@@ -1,0 +1,48 @@
+//! Ablations of DESIGN.md §5: the IC criticality metric, the fanout
+//! threshold, and the all-or-nothing Thumb rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::BENCH_TRACE_LEN;
+use critic_core::design::DesignPoint;
+use critic_core::runner::Workbench;
+use critic_profiler::{Profiler, ProfilerConfig};
+use critic_workloads::suite::Suite;
+
+/// Sweeps the chain average-fanout threshold and reports coverage.
+fn threshold_sweep() -> Vec<(f64, f64)> {
+    let app = &Suite::Mobile.apps()[0];
+    let bench = Workbench::new(app, BENCH_TRACE_LEN);
+    [4.0, 6.0, 8.0, 12.0, 16.0]
+        .iter()
+        .map(|&threshold| {
+            let profile = Profiler::new(ProfilerConfig {
+                chain_avg_threshold: threshold,
+                profile_fraction: 1.0,
+                ..Default::default()
+            })
+            .build_profile(&bench.program, bench.baseline_trace());
+            (threshold, profile.dynamic_coverage)
+        })
+        .collect()
+}
+
+/// Compares the CDP switch against the branch-pair switch.
+fn switch_mechanism() -> (f64, f64) {
+    let app = &Suite::Mobile.apps()[0];
+    let mut bench = Workbench::new(app, BENCH_TRACE_LEN);
+    let base = bench.run(&DesignPoint::baseline());
+    let cdp = bench.run(&DesignPoint::critic());
+    let branch = bench.run(&DesignPoint::critic_branch_switch());
+    (cdp.sim.speedup_over(&base.sim), branch.sim.speedup_over(&base.sim))
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("threshold_sweep", |b| b.iter(threshold_sweep));
+    group.bench_function("switch_mechanism", |b| b.iter(switch_mechanism));
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 10 (design-space speedups, fetch-stall savings, and
+//! energy gains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("fig10_design_space", |b| {
+        b.iter(|| experiments::fig10(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 12 (sensitivity to CritIC length and to profiling
+//! coverage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("fig12a_chain_length", |b| {
+        b.iter(|| experiments::fig12a(BENCH_TRACE_LEN, BENCH_APPS, &[3, 5, 7]))
+    });
+    group.bench_function("fig12b_profile_coverage", |b| {
+        b.iter(|| experiments::fig12b(BENCH_TRACE_LEN, BENCH_APPS, &[0.33, 0.72, 1.0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

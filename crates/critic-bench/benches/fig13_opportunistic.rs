@@ -1,0 +1,17 @@
+//! Regenerates Fig. 13 (OPP16 / Compress / CritIC / OPP16+CritIC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("fig13_conversion_schemes", |b| {
+        b.iter(|| experiments::fig13(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

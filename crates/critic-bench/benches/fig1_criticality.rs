@@ -1,0 +1,21 @@
+//! Regenerates Fig. 1 (single-instruction criticality optimizations and the
+//! critical-gap histogram) as a measured benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("fig1a_prefetch_and_prioritize", |b| {
+        b.iter(|| experiments::fig1a(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.bench_function("fig1b_gap_histogram", |b| {
+        b.iter(|| experiments::fig1b(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

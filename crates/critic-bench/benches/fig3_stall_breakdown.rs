@@ -1,0 +1,18 @@
+//! Regenerates Fig. 3 (critical-instruction stage profile and the
+//! F.StallForI / F.StallForR+D split).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("fig3_stage_profile", |b| {
+        b.iter(|| experiments::fig3(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

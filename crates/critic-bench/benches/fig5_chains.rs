@@ -1,0 +1,20 @@
+//! Regenerates Fig. 5 (IC length/spread and unique-CritIC convertibility).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("fig5a_ic_shapes", |b| {
+        b.iter(|| experiments::fig5a(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.bench_function("fig5b_unique_critics", |b| {
+        b.iter(|| experiments::fig5b(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 8 (approach-1 branch-pair switching on stock hardware,
+//! folded into the Fig. 10 row set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critic_bench::{BENCH_APPS, BENCH_TRACE_LEN};
+use critic_core::experiments;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fig8_branch_pair_switch", |b| {
+        b.iter(|| experiments::fig10(BENCH_TRACE_LEN, BENCH_APPS))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! `critic` — the end-to-end driver of the paper's Fig. 7 framework:
+//! generate (or pick) a workload, profile it, compile it, and report.
+//!
+//! ```text
+//! critic list                          # Table II workloads
+//! critic profile <app> [-o FILE]      # run the offline profiler
+//! critic compile <app> [--scheme S]   # apply a pass and diff the binary
+//! critic run <app> [--scheme S]       # simulate baseline vs scheme
+//! critic disasm <app> [function]      # dump the generated binary
+//! ```
+//!
+//! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
+//! opp16+critic.
+
+use critic_core::design::DesignPoint;
+use critic_core::runner::Workbench;
+use critic_profiler::{save_profile, Profiler, ProfilerConfig};
+use critic_workloads::suite::Suite;
+use critic_workloads::AppSpec;
+
+const TRACE_LEN: usize = 120_000;
+
+fn find_app(name: &str) -> Option<AppSpec> {
+    Suite::ALL
+        .iter()
+        .flat_map(|s| s.apps())
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+fn scheme_point(scheme: &str) -> Option<DesignPoint> {
+    Some(match scheme {
+        "critic" => DesignPoint::critic(),
+        "hoist" => DesignPoint::hoist(),
+        "ideal" => DesignPoint::critic_ideal(),
+        "branch-switch" => DesignPoint::critic_branch_switch(),
+        "opp16" => DesignPoint::opp16(),
+        "compress" => DesignPoint::compress(),
+        "opp16+critic" => DesignPoint::opp16_plus_critic(),
+        _ => return None,
+    })
+}
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!("usage: critic <list|profile|compile|run|disasm> [app] [options]");
+        std::process::exit(2);
+    };
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "list" => {
+            for suite in Suite::ALL {
+                for app in suite.apps() {
+                    println!("{:12} {:10} {}", app.name, suite.label(), app.domain);
+                }
+            }
+        }
+        "profile" => {
+            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
+            let bench = Workbench::new(&app, TRACE_LEN);
+            let profile = Profiler::new(ProfilerConfig::default())
+                .build_profile(&bench.program, bench.baseline_trace());
+            println!(
+                "{}: {} chains selected, {:.1}% dynamic coverage, {:.1}% convertible",
+                app.name,
+                profile.chains.len(),
+                profile.dynamic_coverage * 100.0,
+                profile.stats.convertible_frac * 100.0
+            );
+            if let Some(path) = arg_after(&args, "-o") {
+                save_profile(&profile, std::path::Path::new(&path)).expect("profile written");
+                println!("wrote {path}");
+            }
+        }
+        "compile" | "run" => {
+            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
+            let scheme = arg_after(&args, "--scheme").unwrap_or_else(|| "critic".into());
+            let Some(point) = scheme_point(&scheme) else { return usage() };
+            let mut bench = Workbench::new(&app, TRACE_LEN);
+            let base = bench.run(&DesignPoint::baseline());
+            let run = bench.run(&point);
+            println!(
+                "{} [{}]: applied {} chains, {} insns to 16-bit, {} skipped (legality)",
+                app.name,
+                point.label(),
+                run.pass.chains_applied,
+                run.pass.insns_converted,
+                run.pass.chains_skipped_legality
+            );
+            if command == "run" {
+                println!(
+                    "cycles {} -> {} ({:+.2}%), IPC {:.2} -> {:.2}, 16-bit dyn {:.1}%",
+                    base.sim.cycles,
+                    run.sim.cycles,
+                    (run.sim.speedup_over(&base.sim) - 1.0) * 100.0,
+                    base.sim.ipc(),
+                    run.sim.ipc(),
+                    run.thumb_dyn_frac * 100.0
+                );
+                println!(
+                    "energy: CPU {:+.2}%, system {:+.2}%",
+                    run.energy.cpu_saving(&base.energy) * 100.0,
+                    run.energy.system_saving(&base.energy) * 100.0
+                );
+            }
+        }
+        "disasm" => {
+            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
+            let program = app.generate_program();
+            match args.get(2) {
+                Some(fname) => {
+                    let func = program
+                        .functions
+                        .iter()
+                        .find(|f| f.name == *fname)
+                        .unwrap_or_else(|| {
+                            eprintln!("no function `{fname}`");
+                            std::process::exit(2);
+                        });
+                    print!("{}", program.disassemble_function(func.id));
+                }
+                None => print!("{}", program.disassemble()),
+            }
+        }
+        _ => usage(),
+    }
+}

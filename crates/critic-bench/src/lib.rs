@@ -1,0 +1,11 @@
+//! Shared scaffolding for the benchmark harness: scaled-down experiment
+//! parameters used by both the Criterion benches and smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Trace length used by Criterion benches (small enough for statistics).
+pub const BENCH_TRACE_LEN: usize = 60_000;
+
+/// Apps per suite used by Criterion benches.
+pub const BENCH_APPS: usize = 2;

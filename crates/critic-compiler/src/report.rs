@@ -1,0 +1,52 @@
+//! Pass outcome accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// What a rewriting pass did to the binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// CritIC chains successfully applied (hoisted and/or converted).
+    pub chains_applied: u64,
+    /// Chains skipped because hoisting them would change semantics
+    /// (register reuse between the chain's span and its members).
+    pub chains_skipped_legality: u64,
+    /// Chains skipped because a member uid was consumed by a higher-ranked
+    /// chain or no longer present.
+    pub chains_skipped_missing: u64,
+    /// Instructions re-encoded to the 16-bit format.
+    pub insns_converted: u64,
+    /// Instructions added by two-address expansion (Compress).
+    pub insns_expanded: u64,
+    /// CDP format switches inserted.
+    pub cdps_inserted: u64,
+    /// Branch-pair switch instructions inserted (approach 1).
+    pub switch_branches_inserted: u64,
+}
+
+impl PassReport {
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: PassReport) {
+        self.chains_applied += other.chains_applied;
+        self.chains_skipped_legality += other.chains_skipped_legality;
+        self.chains_skipped_missing += other.chains_skipped_missing;
+        self.insns_converted += other.insns_converted;
+        self.insns_expanded += other.insns_expanded;
+        self.cdps_inserted += other.cdps_inserted;
+        self.switch_branches_inserted += other.switch_branches_inserted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = PassReport { chains_applied: 1, insns_converted: 5, ..Default::default() };
+        let b = PassReport { chains_applied: 2, cdps_inserted: 3, ..Default::default() };
+        a.absorb(b);
+        assert_eq!(a.chains_applied, 3);
+        assert_eq!(a.insns_converted, 5);
+        assert_eq!(a.cdps_inserted, 3);
+    }
+}

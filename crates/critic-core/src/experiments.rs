@@ -1,0 +1,628 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Every function returns typed, serializable rows; the `figures` binary in
+//! `critic-bench` prints them and `EXPERIMENTS.md` records paper-vs-measured
+//! values. Most experiments take a `trace_len` and an `apps` cap so smoke
+//! tests and Criterion benches can run scaled-down versions of the same
+//! code path.
+
+use critic_isa::LatencyClass;
+use critic_profiler::{
+    chains::{extract_dynamic_ics, ChainShape},
+    CriticalitySummary, Dfg, GapHistogram, ProfilerConfig,
+};
+use critic_workloads::suite::Suite;
+use serde::{Deserialize, Serialize};
+
+use crate::design::DesignPoint;
+use crate::runner::Workbench;
+
+fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn suite_apps(suite: Suite, cap: usize) -> Vec<critic_workloads::AppSpec> {
+    suite.apps().into_iter().take(cap.max(1)).collect()
+}
+
+// ---------------------------------------------------------------- Table I/II
+
+/// Table I: the baseline configuration, rendered as text.
+pub fn table1() -> String {
+    let cpu = critic_pipeline::CpuConfig::google_tablet();
+    let mem = critic_mem::MemConfig::google_tablet();
+    format!(
+        "CPU     {}-wide Fetch/Decode/Rename/ROB/Issue/Execute/Commit superscalar;\n\
+        \x20       {} ROB entries, {}-entry 2-level BPU, {}-deep RAS\n\
+        Memory  {}KB {}-way i-cache, {}KB {}-way d-cache, {}-cycle hit;\n\
+        \x20       {}MB {}-way L2, {}-cycle hit, CLPT prefetcher available ({} x 7b)\n\
+        System  LPDDR3: {} ranks/ch, {} banks/rank, open page, tCL=tRP=tRCD={} cycles",
+        cpu.width,
+        cpu.rob_entries,
+        cpu.bpu_entries,
+        cpu.ras_depth,
+        mem.icache.size_bytes / 1024,
+        mem.icache.ways,
+        mem.dcache.size_bytes / 1024,
+        mem.dcache.ways,
+        mem.icache.hit_latency,
+        mem.l2.size_bytes / (1024 * 1024),
+        mem.l2.ways,
+        mem.l2.hit_latency,
+        critic_mem::prefetch::CLPT_ENTRIES,
+        mem.dram.ranks,
+        mem.dram.banks_per_rank,
+        mem.dram.t_cl,
+    )
+}
+
+/// One Table II row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Workload name.
+    pub name: String,
+    /// Suite label.
+    pub suite: String,
+    /// Domain column.
+    pub domain: String,
+    /// Activity column.
+    pub activity: String,
+}
+
+/// Table II: the workload catalog.
+pub fn table2() -> Vec<Table2Row> {
+    Suite::ALL
+        .iter()
+        .flat_map(|s| s.apps())
+        .map(|a| Table2Row {
+            name: a.name.clone(),
+            suite: a.suite.label().to_string(),
+            domain: a.domain.clone(),
+            activity: a.activity.clone(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 1
+
+/// One Fig. 1a bar group: the two single-instruction criticality
+/// optimizations per suite, plus the critical-instruction fraction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1aRow {
+    /// Suite label.
+    pub suite: String,
+    /// Mean speedup of critical-load prefetching.
+    pub prefetch_speedup: f64,
+    /// Mean speedup of critical-instruction ALU prioritization.
+    pub prioritize_speedup: f64,
+    /// Mean fraction of dynamic instructions that are critical
+    /// (right axis).
+    pub critical_frac: f64,
+}
+
+/// Fig. 1a: single-instruction criticality optimizations by suite.
+pub fn fig1a(trace_len: usize, apps_per_suite: usize) -> Vec<Fig1aRow> {
+    Suite::ALL
+        .iter()
+        .map(|&suite| {
+            let mut prefetch = Vec::new();
+            let mut prioritize = Vec::new();
+            let mut critical = Vec::new();
+            for app in suite_apps(suite, apps_per_suite) {
+                let mut bench = Workbench::new(&app, trace_len);
+                let base = bench.run(&DesignPoint::baseline());
+                let pf = bench.run(&DesignPoint::critical_load_prefetch());
+                let pr = bench.run(&DesignPoint::critical_prioritization());
+                prefetch.push(pf.sim.speedup_over(&base.sim));
+                prioritize.push(pr.sim.speedup_over(&base.sim));
+                let fanout = bench.baseline_trace().compute_fanout();
+                let summary = CriticalitySummary::measure(bench.baseline_trace(), &fanout, 8);
+                critical.push(summary.critical_frac());
+            }
+            Fig1aRow {
+                suite: suite.label().to_string(),
+                prefetch_speedup: mean(prefetch),
+                prioritize_speedup: mean(prioritize),
+                critical_frac: mean(critical),
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 1b histogram per suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1bRow {
+    /// Suite label.
+    pub suite: String,
+    /// Fraction of criticals with no dependent critical.
+    pub none_frac: f64,
+    /// Fractions for 0..=5 intermediate low-fanout instructions.
+    pub gap_fracs: [f64; 6],
+}
+
+/// Fig. 1b: low-fanout gaps between dependent criticals.
+pub fn fig1b(trace_len: usize, apps_per_suite: usize) -> Vec<Fig1bRow> {
+    Suite::ALL
+        .iter()
+        .map(|&suite| {
+            let mut none = Vec::new();
+            let mut gaps = vec![Vec::new(); 6];
+            for app in suite_apps(suite, apps_per_suite) {
+                let bench = Workbench::new(&app, trace_len);
+                let trace = bench.baseline_trace();
+                let fanout = trace.compute_fanout();
+                let dfg = Dfg::build(trace);
+                let hist = GapHistogram::measure(&dfg, &fanout, 8);
+                none.push(hist.none_frac());
+                for (g, bucket) in gaps.iter_mut().enumerate() {
+                    bucket.push(hist.gap_frac(g));
+                }
+            }
+            let mut gap_fracs = [0.0; 6];
+            for (g, bucket) in gaps.into_iter().enumerate() {
+                gap_fracs[g] = mean(bucket);
+            }
+            Fig1bRow { suite: suite.label().to_string(), none_frac: mean(none), gap_fracs }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 3
+
+/// One Fig. 3 row per suite: the pipeline-stage profile of critical
+/// instructions, the fetch-stall split, and the latency-class mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Suite label.
+    pub suite: String,
+    /// Fig. 3a: share of critical instructions' fetch-to-commit time in
+    /// [fetch, decode, issue-wait, execute, commit/ROB].
+    pub stage_shares: [f64; 5],
+    /// Fig. 3b: F.StallForI as a fraction of execution.
+    pub stall_for_i: f64,
+    /// Fig. 3b: F.StallForR+D as a fraction of execution.
+    pub stall_for_rd: f64,
+    /// Fig. 3c: fraction of critical instructions by base latency class
+    /// [short, medium, long].
+    pub latency_mix: [f64; 3],
+}
+
+/// Fig. 3: why mobile criticals are front-end bound.
+pub fn fig3(trace_len: usize, apps_per_suite: usize) -> Vec<Fig3Row> {
+    Suite::ALL
+        .iter()
+        .map(|&suite| {
+            let mut rows: Vec<Fig3Row> = Vec::new();
+            for app in suite_apps(suite, apps_per_suite) {
+                let mut bench = Workbench::new(&app, trace_len);
+                let base = bench.run(&DesignPoint::baseline());
+                let c = &base.sim.stage_critical;
+                let total = c.total().max(1) as f64;
+                let stage_shares = [
+                    (c.fetch_supply + c.fetch_buffer) as f64 / total,
+                    c.decode as f64 / total,
+                    c.issue_wait as f64 / total,
+                    c.execute as f64 / total,
+                    c.commit_wait as f64 / total,
+                ];
+                // Latency-class mix of critical instructions.
+                let trace = bench.baseline_trace();
+                let fanout = trace.compute_fanout();
+                let mut mix = [0u64; 3];
+                for (i, e) in trace.iter().enumerate() {
+                    if fanout[i] >= 8 {
+                        let class = match e.op.latency_class() {
+                            LatencyClass::Short => 0,
+                            LatencyClass::Medium => 1,
+                            LatencyClass::Long => 2,
+                        };
+                        mix[class] += 1;
+                    }
+                }
+                let total_crit = mix.iter().sum::<u64>().max(1) as f64;
+                rows.push(Fig3Row {
+                    suite: suite.label().to_string(),
+                    stage_shares,
+                    stall_for_i: base.sim.stall_for_i_frac(),
+                    stall_for_rd: base.sim.stall_for_rd_frac(),
+                    latency_mix: [
+                        mix[0] as f64 / total_crit,
+                        mix[1] as f64 / total_crit,
+                        mix[2] as f64 / total_crit,
+                    ],
+                });
+            }
+            // Average the per-app rows.
+            let n = rows.len().max(1) as f64;
+            let mut out = Fig3Row {
+                suite: suite.label().to_string(),
+                stage_shares: [0.0; 5],
+                stall_for_i: 0.0,
+                stall_for_rd: 0.0,
+                latency_mix: [0.0; 3],
+            };
+            for row in &rows {
+                for k in 0..5 {
+                    out.stage_shares[k] += row.stage_shares[k] / n;
+                }
+                for k in 0..3 {
+                    out.latency_mix[k] += row.latency_mix[k] / n;
+                }
+                out.stall_for_i += row.stall_for_i / n;
+                out.stall_for_rd += row.stall_for_rd / n;
+            }
+            out
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+/// One Fig. 5a row: IC length/spread per suite.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5aRow {
+    /// Suite label.
+    pub suite: String,
+    /// Shape of the extracted dynamic ICs.
+    pub shape: ChainShape,
+}
+
+/// Fig. 5a: IC length and spread, SPEC vs Android.
+pub fn fig5a(trace_len: usize, apps_per_suite: usize) -> Vec<Fig5aRow> {
+    Suite::ALL
+        .iter()
+        .map(|&suite| {
+            let mut shapes = Vec::new();
+            for app in suite_apps(suite, apps_per_suite) {
+                let bench = Workbench::new(&app, trace_len);
+                let trace = bench.baseline_trace();
+                let fanout = trace.compute_fanout();
+                let dfg = Dfg::build(trace);
+                let chains = extract_dynamic_ics(trace, &dfg, &fanout, 8192, 4096);
+                shapes.push(ChainShape::measure(&chains));
+            }
+            // Merge by taking maxima of maxima and means of means.
+            let merged = ChainShape {
+                count: shapes.iter().map(|s| s.count).sum(),
+                max_len: shapes.iter().map(|s| s.max_len).max().unwrap_or(0),
+                mean_len: mean(shapes.iter().map(|s| s.mean_len)),
+                p99_len: shapes.iter().map(|s| s.p99_len).max().unwrap_or(0),
+                max_spread: shapes.iter().map(|s| s.max_spread).max().unwrap_or(0),
+                mean_spread: mean(shapes.iter().map(|s| s.mean_spread)),
+                p99_spread: shapes.iter().map(|s| s.p99_spread).max().unwrap_or(0),
+            };
+            Fig5aRow { suite: suite.label().to_string(), shape: merged }
+        })
+        .collect()
+}
+
+/// Fig. 5b summary: unique CritICs and their Thumb-convertible share.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5bRow {
+    /// Workload name.
+    pub app: String,
+    /// Distinct static chains observed.
+    pub unique_chains: u64,
+    /// Chains passing the criticality threshold.
+    pub critical_chains: u64,
+    /// Fraction of critical chains that convert as-is (paper: ~95.5%).
+    pub convertible_frac: f64,
+    /// Dynamic coverage of the selected chains (paper: ~30%).
+    pub coverage: f64,
+}
+
+/// Fig. 5b: coverage CDF inputs per mobile app.
+pub fn fig5b(trace_len: usize, apps: usize) -> Vec<Fig5bRow> {
+    suite_apps(Suite::Mobile, apps)
+        .into_iter()
+        .map(|app| {
+            let mut bench = Workbench::new(&app, trace_len);
+            let profile = bench
+                .profile(&ProfilerConfig { profile_fraction: 1.0, ..Default::default() })
+                .clone();
+            Fig5bRow {
+                app: app.name.clone(),
+                unique_chains: profile.stats.unique_chains,
+                critical_chains: profile.stats.critical_chains,
+                convertible_frac: profile.stats.convertible_frac,
+                coverage: profile.dynamic_coverage,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 8/10
+
+/// One per-app design-space row (Figs. 8 and 10).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Workload name.
+    pub app: String,
+    /// Fig. 10a: `Hoist` speedup.
+    pub hoist: f64,
+    /// Fig. 10a: `CritIC` speedup.
+    pub critic: f64,
+    /// Fig. 10a: `CritIC.Ideal` speedup.
+    pub critic_ideal: f64,
+    /// Fig. 8: approach-1 (branch-pair switch) speedup on stock hardware.
+    pub branch_switch: f64,
+    /// Fig. 10b: fetch-stall fraction saved by CritIC
+    /// (baseline F.StallForI+R+D minus CritIC's).
+    pub fetch_stall_saving: f64,
+    /// Fig. 10c: system-wide energy saving of CritIC.
+    pub system_energy_saving: f64,
+    /// Fig. 10c: CPU-only energy saving of CritIC.
+    pub cpu_energy_saving: f64,
+    /// Fig. 10c: system-wide saving attributable to the i-cache.
+    pub icache_component: f64,
+}
+
+/// Figs. 8 and 10: the CritIC design space over the ten mobile apps.
+pub fn fig10(trace_len: usize, apps: usize) -> Vec<Fig10Row> {
+    suite_apps(Suite::Mobile, apps)
+        .into_iter()
+        .map(|app| {
+            let mut bench = Workbench::new(&app, trace_len);
+            let base = bench.run(&DesignPoint::baseline());
+            let hoist = bench.run(&DesignPoint::hoist());
+            let critic = bench.run(&DesignPoint::critic());
+            let ideal = bench.run(&DesignPoint::critic_ideal());
+            let branch = bench.run(&DesignPoint::critic_branch_switch());
+            let base_stalls = base.sim.stall_for_i_frac() + base.sim.stall_for_rd_frac();
+            let critic_stalls = critic.sim.stall_for_i_frac() + critic.sim.stall_for_rd_frac();
+            Fig10Row {
+                app: app.name.clone(),
+                hoist: hoist.sim.speedup_over(&base.sim),
+                critic: critic.sim.speedup_over(&base.sim),
+                critic_ideal: ideal.sim.speedup_over(&base.sim),
+                branch_switch: branch.sim.speedup_over(&base.sim),
+                fetch_stall_saving: base_stalls - critic_stalls,
+                system_energy_saving: critic.energy.system_saving(&base.energy),
+                cpu_energy_saving: critic.energy.cpu_saving(&base.energy),
+                icache_component: critic
+                    .energy
+                    .system_saving_from(&base.energy, |e| e.icache),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 11
+
+/// One hardware-mechanism row of Fig. 11.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11Row {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Mean speedup over baseline (mobile apps).
+    pub speedup: f64,
+    /// Mean speedup with CritIC added on top.
+    pub with_critic: f64,
+    /// Change in F.StallForI fraction vs baseline (negative = reduced).
+    pub d_stall_i: f64,
+    /// Change in F.StallForR+D fraction vs baseline.
+    pub d_stall_rd: f64,
+}
+
+/// Fig. 11: conventional hardware fetch mechanisms, alone and with CritIC.
+pub fn fig11(trace_len: usize, apps: usize) -> Vec<Fig11Row> {
+    let mechanisms: Vec<(&str, DesignPoint)> = vec![
+        ("2xFD", DesignPoint::double_fd()),
+        ("4xICache", DesignPoint::quad_icache()),
+        ("EFetch", DesignPoint::efetch()),
+        ("PerfectBr", DesignPoint::perfect_branch()),
+        ("BackendPrio", DesignPoint::backend_prio()),
+        ("AllHW", DesignPoint::all_hw()),
+        ("CritIC", DesignPoint::critic()),
+    ];
+    let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
+    let mut benches: Vec<Workbench> =
+        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
+    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+
+    mechanisms
+        .into_iter()
+        .map(|(name, point)| {
+            let mut speedups = Vec::new();
+            let mut with_critic = Vec::new();
+            let mut d_i = Vec::new();
+            let mut d_rd = Vec::new();
+            for (bench, base) in benches.iter_mut().zip(&bases) {
+                let run = bench.run(&point);
+                speedups.push(run.sim.speedup_over(&base.sim));
+                d_i.push(run.sim.stall_for_i_frac() - base.sim.stall_for_i_frac());
+                d_rd.push(run.sim.stall_for_rd_frac() - base.sim.stall_for_rd_frac());
+                let combo = if matches!(point.software, crate::design::Software::Baseline) {
+                    bench.run(&point.clone().with_critic())
+                } else {
+                    run.clone()
+                };
+                with_critic.push(combo.sim.speedup_over(&base.sim));
+            }
+            Fig11Row {
+                mechanism: name.to_string(),
+                speedup: mean(speedups),
+                with_critic: mean(with_critic),
+                d_stall_i: mean(d_i),
+                d_stall_rd: mean(d_rd),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+/// One Fig. 12a row: a single CritIC length.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12aRow {
+    /// Chain length n.
+    pub n: usize,
+    /// Mean speedup with only chains of exactly this length.
+    pub speedup: f64,
+    /// Mean fetch-stall saving (right axis).
+    pub fetch_saving: f64,
+}
+
+/// Fig. 12a: sensitivity to CritIC length.
+pub fn fig12a(trace_len: usize, apps: usize, lengths: &[usize]) -> Vec<Fig12aRow> {
+    let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
+    let mut benches: Vec<Workbench> =
+        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
+    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    lengths
+        .iter()
+        .map(|&n| {
+            let mut speedups = Vec::new();
+            let mut savings = Vec::new();
+            for (bench, base) in benches.iter_mut().zip(&bases) {
+                let run = bench.run(&DesignPoint::critic_exact_len(n));
+                speedups.push(run.sim.speedup_over(&base.sim));
+                let base_stall = base.sim.stall_for_i_frac() + base.sim.stall_for_rd_frac();
+                let run_stall = run.sim.stall_for_i_frac() + run.sim.stall_for_rd_frac();
+                savings.push(base_stall - run_stall);
+            }
+            Fig12aRow { n, speedup: mean(speedups), fetch_saving: mean(savings) }
+        })
+        .collect()
+}
+
+/// One Fig. 12b row: a profiling-coverage level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig12bRow {
+    /// Fraction of execution profiled.
+    pub fraction: f64,
+    /// Mean speedup at that coverage.
+    pub speedup: f64,
+}
+
+/// Fig. 12b: sensitivity to profiling coverage.
+pub fn fig12b(trace_len: usize, apps: usize, fractions: &[f64]) -> Vec<Fig12bRow> {
+    let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
+    let mut benches: Vec<Workbench> =
+        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
+    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let mut speedups = Vec::new();
+            for (bench, base) in benches.iter_mut().zip(&bases) {
+                let run = bench.run(&DesignPoint::critic_profile_fraction(fraction));
+                speedups.push(run.sim.speedup_over(&base.sim));
+            }
+            Fig12bRow { fraction, speedup: mean(speedups) }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+/// One Fig. 13 row: a conversion scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Row {
+    /// Scheme label.
+    pub scheme: String,
+    /// Mean speedup over baseline.
+    pub speedup: f64,
+    /// Mean fraction of dynamic instructions in 16-bit format
+    /// (Fig. 13b's y-axis).
+    pub converted_frac: f64,
+}
+
+/// Fig. 13: why bother with criticality — OPP16 / Compress / CritIC /
+/// OPP16+CritIC.
+pub fn fig13(trace_len: usize, apps: usize) -> Vec<Fig13Row> {
+    let schemes: Vec<(&str, DesignPoint)> = vec![
+        ("OPP16", DesignPoint::opp16()),
+        ("Compress", DesignPoint::compress()),
+        ("CritIC", DesignPoint::critic()),
+        ("OPP16+CritIC", DesignPoint::opp16_plus_critic()),
+    ];
+    let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
+    let mut benches: Vec<Workbench> =
+        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
+    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    schemes
+        .into_iter()
+        .map(|(name, point)| {
+            let mut speedups = Vec::new();
+            let mut converted = Vec::new();
+            for (bench, base) in benches.iter_mut().zip(&bases) {
+                let run = bench.run(&point);
+                speedups.push(run.sim.speedup_over(&base.sim));
+                converted.push(run.thumb_dyn_frac);
+            }
+            Fig13Row {
+                scheme: name.to_string(),
+                speedup: mean(speedups),
+                converted_frac: mean(converted),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEN: usize = 25_000;
+
+    #[test]
+    fn table1_mentions_the_key_parameters() {
+        let t = table1();
+        assert!(t.contains("128 ROB"));
+        assert!(t.contains("32KB 2-way i-cache"));
+        assert!(t.contains("4096-entry"));
+    }
+
+    #[test]
+    fn table2_has_26_workloads() {
+        let rows = table2();
+        assert_eq!(rows.len(), 26);
+        assert_eq!(rows.iter().filter(|r| r.suite == "Android").count(), 10);
+    }
+
+    #[test]
+    fn fig1a_rows_cover_all_suites() {
+        let rows = fig1a(LEN, 1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.prefetch_speedup > 0.9);
+            assert!(row.critical_frac > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig1b_fractions_normalize() {
+        let rows = fig1b(LEN, 1);
+        for row in &rows {
+            let sum: f64 = row.none_frac + row.gap_fracs.iter().sum::<f64>();
+            assert!((sum - 1.0).abs() < 1e-6, "{}: {}", row.suite, sum);
+        }
+    }
+
+    #[test]
+    fn fig10_reports_per_app() {
+        let rows = fig10(LEN, 2);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.critic > 0.9 && row.critic < 1.5);
+        }
+    }
+
+    #[test]
+    fn fig13_has_four_schemes() {
+        let rows = fig13(LEN, 1);
+        assert_eq!(rows.len(), 4);
+        let critic = rows.iter().find(|r| r.scheme == "CritIC").expect("critic row");
+        let opp = rows.iter().find(|r| r.scheme == "OPP16").expect("opp row");
+        assert!(
+            critic.converted_frac < opp.converted_frac,
+            "CritIC converts fewer instructions (Fig. 13b)"
+        );
+    }
+}

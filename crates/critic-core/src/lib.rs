@@ -1,0 +1,49 @@
+//! Top-level facade of the CritICs reproduction: design points, the
+//! experiment runner, and one function per table/figure of the paper's
+//! evaluation.
+//!
+//! The crate ties the substrates together:
+//!
+//! * [`design`] — every hardware/software configuration the paper
+//!   evaluates (Fig. 1a baselines, Fig. 10 design space, Fig. 11 hardware
+//!   mechanisms and their CritIC combinations, Fig. 13 conversion
+//!   schemes), expressed as composable [`design::DesignPoint`]s;
+//! * [`runner`] — the [`runner::Workbench`]: generates an app's binary
+//!   once, records one execution path, then replays that same input over
+//!   every compiled/configured variant — the paper's "same parts for all
+//!   the optimizations evaluated";
+//! * [`experiments`] — typed row producers for every table and figure
+//!   (consumed by the `figures` binary and the Criterion benches in
+//!   `critic-bench`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use critic_core::design::DesignPoint;
+//! use critic_core::runner::Workbench;
+//! use critic_workloads::suite::Suite;
+//!
+//! let app = &Suite::Mobile.apps()[0];
+//! let mut bench = Workbench::new(app, 100_000);
+//! let base = bench.run(&DesignPoint::baseline());
+//! let critic = bench.run(&DesignPoint::critic());
+//! println!("speedup: {:.3}", critic.sim.speedup_over(&base.sim));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod experiments;
+pub mod runner;
+
+pub use design::{DesignPoint, Software};
+pub use runner::{RunOutcome, Workbench};
+
+/// Default dynamic instructions per app for full experiments (the paper
+/// samples ~50M over 100 samples; we use one contiguous window per app,
+/// scaled to laptop time).
+pub const DEFAULT_TRACE_LEN: usize = 240_000;
+
+/// Shorter windows for smoke tests and doc examples.
+pub const SMOKE_TRACE_LEN: usize = 40_000;

@@ -1,0 +1,214 @@
+//! The experiment workbench: one app, one recorded input, many variants.
+
+use std::collections::HashMap;
+
+use critic_compiler::{
+    apply_compress, apply_critic_pass, apply_opp16, CriticPassOptions, PassReport,
+};
+use critic_energy::{EnergyBreakdown, EnergyModel};
+use critic_pipeline::{SimResult, Simulator};
+use critic_profiler::{Profile, Profiler, ProfilerConfig};
+use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
+use serde::{Deserialize, Serialize};
+
+use crate::design::{DesignPoint, Software};
+
+/// Everything one run of one design point produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// The design point's label.
+    pub design: String,
+    /// Timing result.
+    pub sim: SimResult,
+    /// Energy result.
+    pub energy: EnergyBreakdown,
+    /// What the compiler did to the binary.
+    pub pass: PassReport,
+    /// Fraction of *dynamic* instructions fetched in 16-bit format
+    /// (Fig. 13b's y-axis).
+    pub thumb_dyn_frac: f64,
+    /// Dynamic instructions executed (includes inserted overhead).
+    pub dyn_insns: usize,
+}
+
+/// Generates an app's binary and input once, then evaluates design points
+/// over the identical input — the paper's methodology of running "the same
+/// parts for all the optimizations evaluated".
+#[derive(Debug)]
+pub struct Workbench {
+    /// The workload.
+    pub app: AppSpec,
+    /// The original (baseline) binary.
+    pub program: Program,
+    /// The recorded block-level input.
+    pub path: ExecutionPath,
+    base_trace: Trace,
+    energy_model: EnergyModel,
+    profiles: HashMap<String, Profile>,
+    variants: HashMap<String, (Program, PassReport)>,
+}
+
+impl Workbench {
+    /// Generates the app's binary and records a `trace_len`-instruction
+    /// execution.
+    pub fn new(app: &AppSpec, trace_len: usize) -> Workbench {
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
+        let base_trace = Trace::expand(&program, &path);
+        Workbench {
+            app: app.clone(),
+            program,
+            path,
+            base_trace,
+            energy_model: EnergyModel::default(),
+            profiles: HashMap::new(),
+            variants: HashMap::new(),
+        }
+    }
+
+    /// The baseline dynamic trace.
+    pub fn baseline_trace(&self) -> &Trace {
+        &self.base_trace
+    }
+
+    /// Builds (or returns the cached) profile for a profiler configuration.
+    pub fn profile(&mut self, config: &ProfilerConfig) -> &Profile {
+        let key = serde_json::to_string(config).expect("config serializes");
+        if !self.profiles.contains_key(&key) {
+            let profile = Profiler::new(config.clone()).build_profile(&self.program, &self.base_trace);
+            self.profiles.insert(key.clone(), profile);
+        }
+        &self.profiles[&key]
+    }
+
+    fn variant(&mut self, software: &Software) -> (Program, PassReport) {
+        let key = software.label();
+        if let Some(cached) = self.variants.get(&key) {
+            return cached.clone();
+        }
+        let built = self.build_variant(software);
+        self.variants.insert(key.clone(), built.clone());
+        built
+    }
+
+    fn build_variant(&mut self, software: &Software) -> (Program, PassReport) {
+        let mut program = self.program.clone();
+        let report = match *software {
+            Software::Baseline => PassReport::default(),
+            Software::Hoist => {
+                let profile = self.profile(&ProfilerConfig::default()).clone();
+                apply_critic_pass(&mut program, &profile, CriticPassOptions::hoist_only())
+            }
+            Software::CritIc { profile_fraction, max_len, exact_len } => {
+                let config = ProfilerConfig {
+                    profile_fraction,
+                    max_chain_len: max_len,
+                    ..ProfilerConfig::default()
+                };
+                let mut profile = self.profile(&config).clone();
+                if exact_len {
+                    if let Some(n) = max_len {
+                        profile.chains.retain(|c| c.len() == n);
+                    }
+                }
+                apply_critic_pass(&mut program, &profile, CriticPassOptions::default())
+            }
+            Software::CritIcBranchSwitch => {
+                let profile = self.profile(&ProfilerConfig::default()).clone();
+                apply_critic_pass(&mut program, &profile, CriticPassOptions::branch_switch())
+            }
+            Software::CritIcIdeal => {
+                let profile = self.profile(&ProfilerConfig::ideal()).clone();
+                apply_critic_pass(&mut program, &profile, CriticPassOptions::ideal())
+            }
+            Software::Opp16 => apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN),
+            Software::Compress => apply_compress(&mut program),
+            Software::Opp16PlusCritIc => {
+                let profile = self.profile(&ProfilerConfig::default()).clone();
+                let mut report =
+                    apply_critic_pass(&mut program, &profile, CriticPassOptions::default());
+                report.absorb(apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN));
+                report
+            }
+        };
+        (program, report)
+    }
+
+    /// Runs one design point over the recorded input.
+    pub fn run(&mut self, point: &DesignPoint) -> RunOutcome {
+        let (program, pass) = self.variant(&point.software);
+        let trace = if matches!(point.software, Software::Baseline) {
+            self.base_trace.clone()
+        } else {
+            Trace::expand(&program, &self.path)
+        };
+        let fanout = trace.compute_fanout();
+        let sim = Simulator::new(point.cpu_config(), point.mem_config()).run(&trace, &fanout);
+        let energy = self.energy_model.evaluate(&sim);
+        RunOutcome {
+            design: point.label(),
+            thumb_dyn_frac: trace.thumb_fraction(),
+            dyn_insns: trace.len(),
+            sim,
+            energy,
+            pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::suite::Suite;
+
+    use super::*;
+    use crate::SMOKE_TRACE_LEN;
+
+    fn small_app() -> AppSpec {
+        let mut app = Suite::Mobile.apps()[0].clone();
+        app.params.num_functions = 60;
+        app
+    }
+
+    #[test]
+    fn critic_speeds_up_a_mobile_app() {
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        let base = bench.run(&DesignPoint::baseline());
+        let critic = bench.run(&DesignPoint::critic());
+        let speedup = critic.sim.speedup_over(&base.sim);
+        assert!(
+            speedup > 1.0,
+            "CritIC must beat the baseline, got {speedup:.4} (thumb {:.3})",
+            critic.thumb_dyn_frac
+        );
+        assert!(critic.pass.chains_applied > 0);
+        assert!(critic.thumb_dyn_frac > 0.0);
+    }
+
+    #[test]
+    fn outcomes_are_reproducible() {
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        let a = bench.run(&DesignPoint::critic());
+        let b = bench.run(&DesignPoint::critic());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn energy_savings_follow_the_speedup() {
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        let base = bench.run(&DesignPoint::baseline());
+        let critic = bench.run(&DesignPoint::critic());
+        let cpu_saving = critic.energy.cpu_saving(&base.energy);
+        let system_saving = critic.energy.system_saving(&base.energy);
+        assert!(cpu_saving > 0.0, "cpu saving {cpu_saving:.4}");
+        assert!(system_saving > 0.0 && system_saving < cpu_saving);
+    }
+
+    #[test]
+    fn variants_are_cached() {
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        let _ = bench.run(&DesignPoint::critic());
+        let _ = bench.run(&DesignPoint::critic().with_critic());
+        assert!(bench.variants.len() >= 1);
+        assert!(bench.profiles.len() >= 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! SoC energy model (paper Sec. IV-F, Fig. 10c).
+//!
+//! A McPAT-flavoured event-energy model: each component charges a dynamic
+//! energy per event plus leakage per cycle, and the *rest of the SoC*
+//! (display, radios, accelerators) charges per unit of app activity —
+//! fixed per workload, not per CPU cycle, because speeding the CPU up does
+//! not shorten the user's session. That split is what turns a 15% CPU-only
+//! energy saving into the paper's ~4.6% system-wide saving.
+//!
+//! The CDP decode extension's cost is charged from the paper's own
+//! synthesis numbers (80 µm², 58 µW dynamic, 414 nW leakage at 45 nm) —
+//! negligible, but accounted.
+//!
+//! # Example
+//!
+//! ```
+//! use critic_energy::EnergyModel;
+//! use critic_pipeline::SimResult;
+//!
+//! let model = EnergyModel::default();
+//! let result = SimResult { cycles: 1_000_000, committed: 1_200_000, ..Default::default() };
+//! let energy = model.evaluate(&result);
+//! assert!(energy.system_nj() > energy.cpu_nj());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use critic_pipeline::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// Per-event and per-cycle energy parameters, in nanojoules.
+///
+/// Absolute values are representative of a ~2 GHz 28 nm mobile core; only
+/// *relative* deltas between design points matter for the reproduced
+/// figures. The defaults are calibrated so the CPU complex (core + L1s +
+/// L2) draws roughly 30% of SoC energy at baseline, matching the ratio the
+/// paper's 15%-CPU → 4.6%-system numbers imply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Core dynamic energy per committed instruction.
+    pub core_per_insn: f64,
+    /// Core leakage + clock per cycle.
+    pub core_per_cycle: f64,
+    /// I-cache access energy.
+    pub icache_access: f64,
+    /// D-cache access energy.
+    pub dcache_access: f64,
+    /// L2 access energy.
+    pub l2_access: f64,
+    /// DRAM energy per access (column burst).
+    pub dram_access: f64,
+    /// Extra DRAM energy per activate (row miss/conflict).
+    pub dram_activate: f64,
+    /// DRAM background energy per CPU cycle.
+    pub dram_per_cycle: f64,
+    /// CDP decode-extension energy per switch (from the paper's 45 nm
+    /// synthesis: 58 µW at 160 ps ≈ 9 aJ — rounded up generously).
+    pub cdp_switch: f64,
+    /// Rest-of-SoC energy per committed instruction of app activity
+    /// (display, GPU, radios — independent of CPU speed).
+    pub soc_rest_per_insn: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            core_per_insn: 0.10,
+            core_per_cycle: 0.28,
+            icache_access: 0.05,
+            dcache_access: 0.06,
+            l2_access: 0.40,
+            dram_access: 4.0,
+            dram_activate: 2.0,
+            dram_per_cycle: 0.05,
+            cdp_switch: 0.0001,
+            soc_rest_per_insn: 0.85,
+        }
+    }
+}
+
+/// Energy of one run, broken down by component (all in nJ).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core pipeline (dynamic + leakage).
+    pub core: f64,
+    /// Instruction cache.
+    pub icache: f64,
+    /// Data cache.
+    pub dcache: f64,
+    /// Shared L2.
+    pub l2: f64,
+    /// DRAM.
+    pub dram: f64,
+    /// Everything else on the SoC.
+    pub soc_rest: f64,
+}
+
+impl EnergyBreakdown {
+    /// CPU-complex energy (core + L1s + L2) — the paper's "CPU execution
+    /// alone" 15% number is over this.
+    pub fn cpu_nj(&self) -> f64 {
+        self.core + self.icache + self.dcache + self.l2
+    }
+
+    /// Whole-SoC energy — the paper's 4.6% number is over this.
+    pub fn system_nj(&self) -> f64 {
+        self.cpu_nj() + self.dram + self.soc_rest
+    }
+
+    /// Fractional system-wide saving of `self` relative to `baseline`,
+    /// attributable to one component selector.
+    pub fn system_saving_from(
+        &self,
+        baseline: &EnergyBreakdown,
+        component: fn(&EnergyBreakdown) -> f64,
+    ) -> f64 {
+        (component(baseline) - component(self)) / baseline.system_nj()
+    }
+
+    /// Total system-wide fractional saving relative to `baseline`.
+    pub fn system_saving(&self, baseline: &EnergyBreakdown) -> f64 {
+        (baseline.system_nj() - self.system_nj()) / baseline.system_nj()
+    }
+
+    /// CPU-only fractional saving relative to `baseline`.
+    pub fn cpu_saving(&self, baseline: &EnergyBreakdown) -> f64 {
+        (baseline.cpu_nj() - self.cpu_nj()) / baseline.cpu_nj()
+    }
+}
+
+impl EnergyModel {
+    /// Charges a simulation run.
+    pub fn evaluate(&self, result: &SimResult) -> EnergyBreakdown {
+        let cycles = result.cycles as f64;
+        let m = &result.mem;
+        // App activity: committed instructions excluding compiler-inserted
+        // overheads would double-count; using committed keeps rest-of-SoC
+        // effectively constant across design points of the same workload
+        // (insertions are <2% of the stream).
+        let activity = result.committed as f64;
+        EnergyBreakdown {
+            core: activity * self.core_per_insn
+                + cycles * self.core_per_cycle
+                + result.cdp_switches as f64 * self.cdp_switch,
+            icache: (m.icache.accesses + m.icache.prefetch_fills) as f64 * self.icache_access,
+            dcache: (m.dcache.accesses + m.dcache.prefetch_fills) as f64 * self.dcache_access,
+            l2: (m.l2.accesses + m.l2.prefetch_fills) as f64 * self.l2_access,
+            dram: m.dram.accesses as f64 * self.dram_access
+                + (m.dram.row_misses + m.dram.row_conflicts) as f64 * self.dram_activate
+                + cycles * self.dram_per_cycle,
+            soc_rest: activity * self.soc_rest_per_insn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_mem::MemStats;
+    use critic_pipeline::SimResult;
+
+    use super::*;
+
+    fn result(cycles: u64, committed: u64, icache_acc: u64, dram_acc: u64) -> SimResult {
+        let mut mem = MemStats::default();
+        mem.icache.accesses = icache_acc;
+        mem.dram.accesses = dram_acc;
+        mem.dram.row_misses = dram_acc / 2;
+        SimResult { cycles, committed, mem, ..Default::default() }
+    }
+
+    #[test]
+    fn cpu_share_is_mobile_plausible() {
+        // Calibration target: CPU complex ≈ 25–40% of SoC energy, so a 15%
+        // CPU saving maps to ~4–6% system-wide, as in the paper.
+        let r = result(1_000_000, 1_300_000, 300_000, 5_000);
+        let e = EnergyModel::default().evaluate(&r);
+        let share = e.cpu_nj() / e.system_nj();
+        assert!(
+            (0.25..=0.40).contains(&share),
+            "cpu share {share:.3} outside the mobile band"
+        );
+    }
+
+    #[test]
+    fn faster_run_saves_cpu_but_not_soc_rest() {
+        let model = EnergyModel::default();
+        let base = model.evaluate(&result(1_000_000, 1_300_000, 300_000, 5_000));
+        let fast = model.evaluate(&result(880_000, 1_300_000, 250_000, 5_000));
+        assert!(fast.cpu_saving(&base) > 0.0);
+        assert_eq!(fast.soc_rest, base.soc_rest, "session activity is unchanged");
+        let system = fast.system_saving(&base);
+        let cpu = fast.cpu_saving(&base);
+        assert!(system < cpu, "system saving is diluted by the SoC rest");
+        assert!(system > 0.0);
+    }
+
+    #[test]
+    fn component_attribution_sums_to_total() {
+        let model = EnergyModel::default();
+        let base = model.evaluate(&result(1_000_000, 1_300_000, 300_000, 5_000));
+        let opt = model.evaluate(&result(900_000, 1_300_000, 200_000, 4_000));
+        let parts = opt.system_saving_from(&base, |e| e.core)
+            + opt.system_saving_from(&base, |e| e.icache)
+            + opt.system_saving_from(&base, |e| e.dcache)
+            + opt.system_saving_from(&base, |e| e.l2)
+            + opt.system_saving_from(&base, |e| e.dram)
+            + opt.system_saving_from(&base, |e| e.soc_rest);
+        assert!((parts - opt.system_saving(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_activates_cost_extra() {
+        let model = EnergyModel::default();
+        let mut streaming = result(1_000_000, 1_000_000, 100_000, 10_000);
+        streaming.mem.dram.row_misses = 0;
+        let mut thrashing = result(1_000_000, 1_000_000, 100_000, 10_000);
+        thrashing.mem.dram.row_misses = 10_000;
+        let a = model.evaluate(&streaming);
+        let b = model.evaluate(&thrashing);
+        assert!(b.dram > a.dram);
+    }
+
+    #[test]
+    fn cdp_switches_are_nearly_free() {
+        let model = EnergyModel::default();
+        let mut with = result(1_000_000, 1_000_000, 100_000, 1_000);
+        with.cdp_switches = 50_000;
+        let without = result(1_000_000, 1_000_000, 100_000, 1_000);
+        let delta = model.evaluate(&with).core - model.evaluate(&without).core;
+        assert!(delta > 0.0 && delta < 100.0, "CDP energy must be negligible: {delta}");
+    }
+}

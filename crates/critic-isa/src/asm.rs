@@ -1,0 +1,244 @@
+//! A small assembler: parses the textual syntax `Display` produces back
+//! into [`Insn`]s, so tests and tools can write instruction sequences as
+//! strings.
+//!
+//! ```
+//! use critic_isa::asm::parse_insn;
+//! use critic_isa::{Insn, Opcode, Reg};
+//!
+//! let insn = parse_insn("add r0, r1, r2").unwrap();
+//! assert_eq!(insn, Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]));
+//! assert_eq!(parse_insn(&insn.to_string()).unwrap(), insn);
+//! ```
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::insn::{Insn, InsnBuilder};
+use crate::op::Opcode;
+use crate::reg::Reg;
+
+/// Why a line failed to assemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The mnemonic (with any condition suffix stripped) is unknown.
+    UnknownMnemonic(String),
+    /// A register name did not parse.
+    BadRegister(String),
+    /// An immediate did not parse.
+    BadImmediate(String),
+    /// The operand list does not fit the mnemonic.
+    BadOperands(String),
+    /// The line is empty or a comment.
+    Empty,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmError::BadRegister(r) => write!(f, "bad register `{r}`"),
+            AsmError::BadImmediate(i) => write!(f, "bad immediate `{i}`"),
+            AsmError::BadOperands(line) => write!(f, "operands do not fit: `{line}`"),
+            AsmError::Empty => f.write_str("empty line"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(token: &str) -> Result<Reg, AsmError> {
+    let token = token.trim();
+    match token {
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        "pc" => return Ok(Reg::PC),
+        _ => {}
+    }
+    token
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::from_index)
+        .ok_or_else(|| AsmError::BadRegister(token.to_string()))
+}
+
+fn parse_imm(token: &str) -> Result<i32, AsmError> {
+    let token = token.trim();
+    let digits = token.strip_prefix('#').unwrap_or(token);
+    digits.parse::<i32>().map_err(|_| AsmError::BadImmediate(token.to_string()))
+}
+
+fn split_mnemonic(word: &str) -> Option<(Opcode, Cond)> {
+    // Longest-mnemonic-first so `ldrb` is not read as `ldr` + `b` suffix.
+    let mut ops: Vec<Opcode> = Opcode::ALL.to_vec();
+    ops.sort_by_key(|op| std::cmp::Reverse(op.mnemonic().len()));
+    for op in ops {
+        if let Some(rest) = word.strip_prefix(op.mnemonic()) {
+            if rest.is_empty() {
+                return Some((op, Cond::Al));
+            }
+            if let Some(cond) = Cond::ALL.iter().find(|c| !c.is_always() && c.to_string() == rest)
+            {
+                return Some((op, *cond));
+            }
+        }
+    }
+    None
+}
+
+/// Parses one instruction in the `Display` syntax.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first token that failed; blank
+/// lines and `;`/`//` comments are [`AsmError::Empty`].
+pub fn parse_insn(line: &str) -> Result<Insn, AsmError> {
+    let line = line.split(';').next().unwrap_or("").split("//").next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Err(AsmError::Empty);
+    }
+    let (word, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let (op, cond) =
+        split_mnemonic(word).ok_or_else(|| AsmError::UnknownMnemonic(word.to_string()))?;
+    let rest = rest.trim();
+
+    // Memory operands: `rd, [rb, #off]` / `rv, [rb, #off]`.
+    if op.is_mem() {
+        let (first, bracket) =
+            rest.split_once('[').ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
+        let rt = parse_reg(first.trim().trim_end_matches(','))?;
+        let inner = bracket.trim_end_matches(']');
+        let (base, off) = inner.split_once(',').unwrap_or((inner, "#0"));
+        let base = parse_reg(base)?;
+        let offset = parse_imm(off)?;
+        let insn = if op.is_store() {
+            Insn::store(op, rt, base, offset)
+        } else {
+            Insn::load(op, rt, base, offset)
+        };
+        return Ok(insn.with_cond(cond));
+    }
+
+    if op.is_format_switch() {
+        let covered = parse_imm(rest)?;
+        if !(1..=crate::thumb::MAX_CDP_CHAIN_LEN as i32).contains(&covered) {
+            return Err(AsmError::BadImmediate(rest.to_string()));
+        }
+        return Ok(Insn::cdp(covered as u8));
+    }
+
+    if matches!(op, Opcode::B | Opcode::Bl) {
+        return Ok(Insn::branch(op, parse_imm(rest)?).with_cond(cond));
+    }
+    if op == Opcode::Bx {
+        return Ok(Insn::branch_reg(parse_reg(rest)?).with_cond(cond));
+    }
+    if op == Opcode::Nop {
+        return Ok(Insn::nop().with_cond(cond));
+    }
+
+    // General register/immediate forms.
+    let tokens: Vec<&str> = rest.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
+    let mut builder = InsnBuilder::new(op).cond(cond);
+    let has_dst = op.writes_register();
+    let mut iter = tokens.iter();
+    if has_dst {
+        let dst = iter.next().ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
+        builder = builder.dst(parse_reg(dst)?);
+    }
+    for token in iter {
+        if token.starts_with('#') {
+            builder = builder.imm(parse_imm(token)?);
+        } else {
+            builder = builder.src(parse_reg(token)?);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses a multi-line listing, skipping blank lines and comments.
+///
+/// # Errors
+///
+/// Returns the first real parse failure with its 1-based line number.
+pub fn parse_listing(source: &str) -> Result<Vec<Insn>, (usize, AsmError)> {
+    let mut out = Vec::new();
+    for (number, line) in source.lines().enumerate() {
+        match parse_insn(line) {
+            Ok(insn) => out.push(insn),
+            Err(AsmError::Empty) => {}
+            Err(err) => return Err((number + 1, err)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_display_syntax() {
+        for insn in [
+            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]),
+            Insn::alu(Opcode::Mov, Reg::R4, &[Reg::R5]),
+            Insn::alu_imm(Opcode::Sub, Reg::R3, Reg::R3, 12),
+            Insn::mov_imm(Reg::R7, 99),
+            Insn::compare(Opcode::Cmp, Reg::R1, Reg::R2),
+            Insn::load(Opcode::Ldrb, Reg::R0, Reg::SP, 8),
+            Insn::store(Opcode::Strh, Reg::R1, Reg::R9, 4),
+            Insn::branch(Opcode::B, -42).with_cond(Cond::Ne),
+            Insn::branch(Opcode::Bl, 4096),
+            Insn::branch_reg(Reg::LR),
+            Insn::cdp(5),
+            Insn::nop(),
+        ] {
+            let text = insn.to_string();
+            let parsed = parse_insn(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(parsed, insn, "round trip of `{text}`");
+        }
+    }
+
+    #[test]
+    fn condition_suffixes_parse() {
+        let insn = parse_insn("addeq r0, r1, r2").expect("parses");
+        assert_eq!(insn.cond(), Cond::Eq);
+        assert_eq!(insn.op(), Opcode::Add);
+        // `ldrb` must not parse as `ldr` + a bogus `b` suffix.
+        let insn = parse_insn("ldrb r0, [r1, #4]").expect("parses");
+        assert_eq!(insn.op(), Opcode::Ldrb);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_empty() {
+        assert_eq!(parse_insn(""), Err(AsmError::Empty));
+        assert_eq!(parse_insn("  ; just a comment"), Err(AsmError::Empty));
+        assert_eq!(parse_insn("// also a comment"), Err(AsmError::Empty));
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(parse_insn("frob r0"), Err(AsmError::UnknownMnemonic(_))));
+        assert!(matches!(parse_insn("add r77, r0"), Err(AsmError::BadRegister(_))));
+        assert!(matches!(parse_insn("mov r0, #zz"), Err(AsmError::BadImmediate(_))));
+        assert!(matches!(parse_insn("ldr r0"), Err(AsmError::BadOperands(_))));
+        assert!(matches!(parse_insn("cdp #12"), Err(AsmError::BadImmediate(_))));
+    }
+
+    #[test]
+    fn listing_reports_line_numbers() {
+        let listing = "add r0, r1, r2\n; comment\nmov r3, #5\nbogus r0\n";
+        let err = parse_listing(listing).unwrap_err();
+        assert_eq!(err.0, 4);
+        let ok = parse_listing("add r0, r1, r2\n\nmov r3, #5\n").expect("parses");
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn special_register_aliases_parse() {
+        let insn = parse_insn("ldr r0, [sp, #16]").expect("parses");
+        assert_eq!(insn.srcs().get(0), Some(Reg::SP));
+        let insn = parse_insn("bx lr").expect("parses");
+        assert_eq!(insn.srcs().get(0), Some(Reg::LR));
+    }
+}

@@ -1,0 +1,183 @@
+//! ARM condition codes (predication).
+//!
+//! Every 32-bit ARM instruction carries a 4-bit condition field; an
+//! instruction with any condition other than [`Cond::Al`] is *predicated*.
+//! The 16-bit Thumb format cannot express predication, which is the first of
+//! the two convertibility restrictions the CritICs paper works around by
+//! selecting chains whose instructions happen to be unpredicated.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 4-bit ARM condition code.
+///
+/// ```
+/// use critic_isa::Cond;
+///
+/// assert!(Cond::Al.is_always());
+/// assert!(!Cond::Eq.is_always());
+/// assert_eq!(Cond::from_bits(0b0000), Some(Cond::Eq));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0b0000,
+    /// Not equal (Z clear).
+    Ne = 0b0001,
+    /// Carry set / unsigned higher-or-same.
+    Cs = 0b0010,
+    /// Carry clear / unsigned lower.
+    Cc = 0b0011,
+    /// Minus / negative.
+    Mi = 0b0100,
+    /// Plus / positive or zero.
+    Pl = 0b0101,
+    /// Overflow.
+    Vs = 0b0110,
+    /// No overflow.
+    Vc = 0b0111,
+    /// Unsigned higher.
+    Hi = 0b1000,
+    /// Unsigned lower or same.
+    Ls = 0b1001,
+    /// Signed greater than or equal.
+    Ge = 0b1010,
+    /// Signed less than.
+    Lt = 0b1011,
+    /// Signed greater than.
+    Gt = 0b1100,
+    /// Signed less than or equal.
+    Le = 0b1101,
+    /// Always — the unpredicated case.
+    Al = 0b1110,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// Decodes a 4-bit condition field.
+    ///
+    /// Returns `None` for the reserved `0b1111` pattern and anything wider
+    /// than 4 bits.
+    pub fn from_bits(bits: u8) -> Option<Cond> {
+        Cond::ALL.get(usize::from(bits)).copied()
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this is the unpredicated `AL` condition.
+    pub fn is_always(self) -> bool {
+        self == Cond::Al
+    }
+
+    /// The logical inverse condition (`EQ` ↔ `NE`, …).
+    ///
+    /// `AL` has no inverse and is returned unchanged, matching how ARM
+    /// treats the reserved `NV` slot.
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Al => Cond::Al,
+            other => {
+                // Conditions pair up in the encoding: even ↔ odd.
+                let bits = other.bits() ^ 1;
+                Cond::from_bits(bits).expect("inverting a valid non-AL condition stays valid")
+            }
+        }
+    }
+}
+
+impl Default for Cond {
+    fn default() -> Self {
+        Cond::Al
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mnemonic = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        };
+        f.write_str(mnemonic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_bits(cond.bits()), Some(cond));
+        }
+    }
+
+    #[test]
+    fn reserved_pattern_rejected() {
+        assert_eq!(Cond::from_bits(0b1111), None);
+        assert_eq!(Cond::from_bits(0xFF), None);
+    }
+
+    #[test]
+    fn inversion_is_an_involution() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.invert().invert(), cond);
+        }
+    }
+
+    #[test]
+    fn inversion_pairs_match_arm_semantics() {
+        assert_eq!(Cond::Eq.invert(), Cond::Ne);
+        assert_eq!(Cond::Ge.invert(), Cond::Lt);
+        assert_eq!(Cond::Gt.invert(), Cond::Le);
+        assert_eq!(Cond::Al.invert(), Cond::Al);
+    }
+
+    #[test]
+    fn only_al_is_always() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.is_always(), cond == Cond::Al);
+        }
+    }
+
+    #[test]
+    fn default_is_unpredicated() {
+        assert_eq!(Cond::default(), Cond::Al);
+    }
+}

@@ -1,0 +1,536 @@
+//! Bit-level instruction encodings (paper Fig. 6).
+//!
+//! Two formats exist, mirroring ARM/Thumb:
+//!
+//! **32-bit ARM** — `cond(4) | code(6) | dst(4) | src1(4) | src2(4) | immp(1)
+//! | imm(9)`, where register fields use `0xF` to mean "absent" (the PC is
+//! never an explicit operand in this model), and the three-source multiplies
+//! (`mla`, `smull`) reuse the immediate field's low bits for their third
+//! source. Direct branches use `cond(4) | code(6) | off(22)`.
+//!
+//! **16-bit Thumb** — four layouts selected by the 6-bit code:
+//!
+//! * register form: `code(6) | dst(4) | src1(3) | src2(3)`;
+//! * immediate forms (codes ≥ [`IMM_FORM_BASE`]): ALU
+//!   `code(6) | dst(3) | imm(7)` (two-address) and memory
+//!   `code(6) | dst(3) | base(3) | imm4×4`;
+//! * branch: `code(6) | off(10)`;
+//! * CDP format switch: `code(6) | covered-1 (4) | 0(6)`.
+//!
+//! Encoding is checked: an instruction whose operands do not fit its width's
+//! fields is an [`EncodeError`], and `decode(encode(i)) == i` for every
+//! encodable instruction (see the proptest suite in `tests/`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cond::Cond;
+use crate::insn::{Insn, InsnBuilder, Width};
+use crate::op::Opcode;
+use crate::reg::Reg;
+use crate::thumb::{self, ThumbIncompatibility};
+
+/// First 6-bit code used by Thumb immediate-form encodings.
+pub const IMM_FORM_BASE: u8 = 38;
+
+/// Opcodes that have a Thumb immediate form, in code-assignment order.
+pub const IMM_FORM_OPS: [Opcode; 20] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Rsb,
+    Opcode::And,
+    Opcode::Orr,
+    Opcode::Eor,
+    Opcode::Bic,
+    Opcode::Mov,
+    Opcode::Mvn,
+    Opcode::Cmp,
+    Opcode::Lsl,
+    Opcode::Lsr,
+    Opcode::Asr,
+    Opcode::Ror,
+    Opcode::Ldr,
+    Opcode::Ldrb,
+    Opcode::Ldrh,
+    Opcode::Str,
+    Opcode::Strb,
+    Opcode::Strh,
+];
+
+/// Smallest ARM-format immediate (9-bit two's complement).
+pub const ARM_IMM_MIN: i32 = -256;
+/// Largest ARM-format immediate (9-bit two's complement).
+pub const ARM_IMM_MAX: i32 = 255;
+/// Largest ARM branch word offset (22-bit two's complement).
+pub const ARM_BRANCH_MAX: i32 = (1 << 21) - 1;
+/// Smallest ARM branch word offset.
+pub const ARM_BRANCH_MIN: i32 = -(1 << 21);
+
+const REG_ABSENT: u32 = 0xF;
+
+/// An encoded instruction: one 32-bit word or one 16-bit half-word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Encoded {
+    /// 32-bit ARM word.
+    Word(u32),
+    /// 16-bit Thumb half-word.
+    Half(u16),
+}
+
+impl Encoded {
+    /// Bytes occupied in the instruction stream.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Encoded::Word(_) => 4,
+            Encoded::Half(_) => 2,
+        }
+    }
+
+    /// The raw bits, zero-extended.
+    pub fn bits(self) -> u32 {
+        match self {
+            Encoded::Word(w) => w,
+            Encoded::Half(h) => u32::from(h),
+        }
+    }
+}
+
+impl fmt::Display for Encoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Encoded::Word(w) => write!(f, "{w:08x}"),
+            Encoded::Half(h) => write!(f, "{h:04x}"),
+        }
+    }
+}
+
+/// Why an instruction could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodeError {
+    /// The immediate does not fit the format's field.
+    ImmOutOfRange(i32),
+    /// `r15` cannot appear as an explicit operand (its field value is the
+    /// "absent" sentinel).
+    UnencodableRegister(Reg),
+    /// The instruction's operand count does not match the opcode's canonical
+    /// encoding arity.
+    UnsupportedArity(Opcode),
+    /// A Thumb-width instruction that fails the conversion predicate.
+    NotThumbConvertible(ThumbIncompatibility),
+    /// The opcode has no immediate form but an immediate was supplied.
+    NoImmForm(Opcode),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(imm) => write!(f, "immediate #{imm} out of range"),
+            EncodeError::UnencodableRegister(reg) => {
+                write!(f, "register `{reg}` cannot be an explicit operand")
+            }
+            EncodeError::UnsupportedArity(op) => {
+                write!(f, "operand count unsupported for `{op}`")
+            }
+            EncodeError::NotThumbConvertible(why) => {
+                write!(f, "not thumb-convertible: {why}")
+            }
+            EncodeError::NoImmForm(op) => write!(f, "`{op}` has no immediate form"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Why a bit pattern could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// Unknown opcode code point.
+    BadOpcode(u8),
+    /// Reserved condition field.
+    BadCond(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+    /// CDP cover length out of the 1..=9 range.
+    BadCdpLen(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(code) => write!(f, "unknown opcode code {code}"),
+            DecodeError::BadCond(bits) => write!(f, "reserved condition bits {bits:#06b}"),
+            DecodeError::BadRegister(bits) => write!(f, "register field {bits} out of range"),
+            DecodeError::BadCdpLen(len) => write!(f, "cdp cover length {len} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn imm_form_code(op: Opcode) -> Option<u8> {
+    IMM_FORM_OPS
+        .iter()
+        .position(|&o| o == op)
+        .map(|i| IMM_FORM_BASE + i as u8)
+}
+
+fn reg_field(reg: Option<Reg>) -> Result<u32, EncodeError> {
+    match reg {
+        None => Ok(REG_ABSENT),
+        Some(Reg::PC) => Err(EncodeError::UnencodableRegister(Reg::PC)),
+        Some(reg) => Ok(u32::from(reg.index())),
+    }
+}
+
+/// Encodes an instruction according to its [`Width`].
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an operand does not fit the format; see
+/// the module docs for the field widths.
+pub fn encode(insn: &Insn) -> Result<Encoded, EncodeError> {
+    match insn.width() {
+        Width::Arm32 => encode_arm32(insn).map(Encoded::Word),
+        Width::Thumb16 => encode_thumb16(insn).map(Encoded::Half),
+    }
+}
+
+fn encode_arm32(insn: &Insn) -> Result<u32, EncodeError> {
+    let op = insn.op();
+    let cond = u32::from(insn.cond().bits()) << 28;
+    let code = u32::from(op.code()) << 22;
+    if matches!(op, Opcode::B | Opcode::Bl) {
+        let off = insn.imm().unwrap_or(0);
+        if !(ARM_BRANCH_MIN..=ARM_BRANCH_MAX).contains(&off) {
+            return Err(EncodeError::ImmOutOfRange(off));
+        }
+        return Ok(cond | code | ((off as u32) & 0x3F_FFFF));
+    }
+    let dst = reg_field(insn.dst())? << 18;
+    let src1 = reg_field(insn.srcs().get(0))? << 14;
+    let src2 = reg_field(insn.srcs().get(1))? << 10;
+    let mut word = cond | code | dst | src1 | src2;
+    if op == Opcode::Mla {
+        // The one three-source opcode reuses the immediate field's low bits.
+        let src3 = insn.srcs().get(2).ok_or(EncodeError::UnsupportedArity(op))?;
+        word |= u32::from(src3.index());
+    } else if insn.srcs().get(2).is_some() {
+        return Err(EncodeError::UnsupportedArity(op));
+    } else if let Some(imm) = insn.imm() {
+        if !(ARM_IMM_MIN..=ARM_IMM_MAX).contains(&imm) {
+            return Err(EncodeError::ImmOutOfRange(imm));
+        }
+        word |= 1 << 9;
+        word |= (imm as u32) & 0x1FF;
+    }
+    Ok(word)
+}
+
+fn sign_extend(bits: u32, width: u32) -> i32 {
+    let shift = 32 - width;
+    ((bits << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit ARM word produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes, reserved conditions, or
+/// malformed register fields.
+pub fn decode_arm32(word: u32) -> Result<Insn, DecodeError> {
+    let cond_bits = (word >> 28) as u8;
+    let cond = Cond::from_bits(cond_bits).ok_or(DecodeError::BadCond(cond_bits))?;
+    let code = ((word >> 22) & 0x3F) as u8;
+    let op = Opcode::from_code(code).ok_or(DecodeError::BadOpcode(code))?;
+    if matches!(op, Opcode::B | Opcode::Bl) {
+        let off = sign_extend(word & 0x3F_FFFF, 22);
+        return Ok(Insn::branch(op, off).with_cond(cond));
+    }
+    let mut builder = InsnBuilder::new(op).cond(cond);
+    let dst = (word >> 18) & 0xF;
+    if dst != REG_ABSENT {
+        builder = builder.dst(Reg::from_index(dst as u8).ok_or(DecodeError::BadRegister(dst as u8))?);
+    }
+    for shift in [14u32, 10] {
+        let field = (word >> shift) & 0xF;
+        if field != REG_ABSENT {
+            builder = builder
+                .src(Reg::from_index(field as u8).ok_or(DecodeError::BadRegister(field as u8))?);
+        }
+    }
+    if op == Opcode::Mla {
+        let field = (word & 0xF) as u8;
+        builder = builder.src(Reg::from_index(field).ok_or(DecodeError::BadRegister(field))?);
+    } else if (word >> 9) & 1 == 1 {
+        builder = builder.imm(sign_extend(word & 0x1FF, 9));
+    }
+    Ok(builder.build())
+}
+
+fn encode_thumb16(insn: &Insn) -> Result<u16, EncodeError> {
+    thumb::check_convertible(insn).map_err(EncodeError::NotThumbConvertible)?;
+    let op = insn.op();
+    if op.is_format_switch() {
+        let covered = insn.cdp_covered_len().unwrap_or(0) as u16;
+        let code = u16::from(op.code()) << 10;
+        return Ok(code | ((covered - 1) << 6));
+    }
+    if matches!(op, Opcode::B | Opcode::Bl) {
+        let off = insn.imm().unwrap_or(0);
+        let code = u16::from(op.code()) << 10;
+        return Ok(code | ((off as u16) & 0x3FF));
+    }
+    let has_imm = insn.imm().is_some();
+    if has_imm {
+        let code = imm_form_code(op).ok_or(EncodeError::NoImmForm(op))?;
+        let code = u16::from(code) << 10;
+        let imm = insn.imm().expect("has_imm");
+        if op.is_mem() {
+            let dst_or_val = if op.is_store() { insn.srcs().get(0) } else { insn.dst() };
+            let dst = dst_or_val.map(|r| u16::from(r.index())).unwrap_or(0) << 7;
+            let base_slot = if op.is_store() { 1 } else { 0 };
+            let base =
+                insn.srcs().get(base_slot).map(|r| u16::from(r.index())).unwrap_or(0) << 4;
+            return Ok(code | dst | base | ((imm / 4) as u16 & 0xF));
+        }
+        // Two-address ALU immediate: the source (when present) equals the
+        // destination, so a single register field suffices; compares encode
+        // their source there.
+        let reg = insn.dst().or_else(|| insn.srcs().get(0));
+        let reg = reg.map(|r| u16::from(r.index())).unwrap_or(0) << 7;
+        return Ok(code | reg | (imm as u16 & 0x7F));
+    }
+    // Register form.
+    let code = u16::from(op.code()) << 10;
+    let dst = insn.dst().map(|r| u16::from(r.index())).unwrap_or(REG_ABSENT as u16) << 6;
+    let expected_srcs = canonical_reg_arity(op);
+    if insn.srcs().len() != expected_srcs {
+        return Err(EncodeError::UnsupportedArity(op));
+    }
+    let src1 = insn.srcs().get(0).map(|r| u16::from(r.index())).unwrap_or(0) << 3;
+    let src2 = insn.srcs().get(1).map(|r| u16::from(r.index())).unwrap_or(0);
+    Ok(code | dst | src1 | src2)
+}
+
+/// The register-form source arity the Thumb encoder expects per opcode.
+///
+/// The 16-bit register form has no operand-presence bits, so each opcode's
+/// source count is fixed: unary moves take one source, stores take two, and
+/// ordinary ALU ops take two.
+pub fn canonical_reg_arity(op: Opcode) -> usize {
+    use Opcode::*;
+    match op {
+        Mov | Mvn | Bx => 1,
+        Nop | Cdp | B | Bl => 0,
+        Ldr | Ldrb | Ldrh => 1,
+        Str | Strb | Strh => 2,
+        _ => 2,
+    }
+}
+
+/// Decodes a 16-bit Thumb half-word produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown code points or malformed fields.
+pub fn decode_thumb16(half: u16) -> Result<Insn, DecodeError> {
+    let code = ((half >> 10) & 0x3F) as u8;
+    if code >= IMM_FORM_BASE {
+        let index = usize::from(code - IMM_FORM_BASE);
+        let op = *IMM_FORM_OPS.get(index).ok_or(DecodeError::BadOpcode(code))?;
+        if op.is_mem() {
+            let rt = ((half >> 7) & 0x7) as u8;
+            let base = ((half >> 4) & 0x7) as u8;
+            let imm = i32::from(half & 0xF) * 4;
+            let rt = Reg::from_index(rt).ok_or(DecodeError::BadRegister(rt))?;
+            let base = Reg::from_index(base).ok_or(DecodeError::BadRegister(base))?;
+            let insn = if op.is_store() {
+                Insn::store(op, rt, base, imm)
+            } else {
+                Insn::load(op, rt, base, imm)
+            };
+            return Ok(insn.with_width(Width::Thumb16));
+        }
+        let dst_bits = ((half >> 7) & 0x7) as u8;
+        let dst = Reg::from_index(dst_bits).ok_or(DecodeError::BadRegister(dst_bits))?;
+        let imm = i32::from(half & 0x7F);
+        let insn = if matches!(op, Opcode::Mov | Opcode::Mvn) {
+            InsnBuilder::new(op).dst(dst).imm(imm).width(Width::Thumb16).build()
+        } else if op == Opcode::Cmp {
+            InsnBuilder::new(op).src(dst).imm(imm).width(Width::Thumb16).build()
+        } else {
+            Insn::alu_imm(op, dst, dst, imm).with_width(Width::Thumb16)
+        };
+        return Ok(insn);
+    }
+    let op = Opcode::from_code(code).ok_or(DecodeError::BadOpcode(code))?;
+    if op.is_format_switch() {
+        let covered = ((half >> 6) & 0xF) as u8 + 1;
+        if usize::from(covered) > thumb::MAX_CDP_CHAIN_LEN {
+            return Err(DecodeError::BadCdpLen(covered));
+        }
+        return Ok(Insn::cdp(covered));
+    }
+    if matches!(op, Opcode::B | Opcode::Bl) {
+        let off = sign_extend(u32::from(half) & 0x3FF, 10);
+        return Ok(Insn::branch(op, off).with_width(Width::Thumb16));
+    }
+    let mut builder = InsnBuilder::new(op).width(Width::Thumb16);
+    let dst_bits = ((half >> 6) & 0xF) as u8;
+    if u32::from(dst_bits) != REG_ABSENT {
+        builder = builder.dst(Reg::from_index(dst_bits).ok_or(DecodeError::BadRegister(dst_bits))?);
+    }
+    let arity = canonical_reg_arity(op);
+    let fields = [((half >> 3) & 0x7) as u8, (half & 0x7) as u8];
+    for &field in fields.iter().take(arity) {
+        builder = builder.src(Reg::from_index(field).ok_or(DecodeError::BadRegister(field))?);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_arm(insn: Insn) {
+        let encoded = encode(&insn).expect("encodable");
+        assert_eq!(encoded.bytes(), 4);
+        let word = match encoded {
+            Encoded::Word(w) => w,
+            Encoded::Half(h) => panic!("expected word, got half {h:#x}"),
+        };
+        let decoded = decode_arm32(word).expect("decodable");
+        assert_eq!(decoded, insn);
+    }
+
+    fn round_trip_thumb(insn: Insn) {
+        let encoded = encode(&insn).expect("encodable");
+        assert_eq!(encoded.bytes(), 2);
+        let half = match encoded {
+            Encoded::Half(h) => h,
+            Encoded::Word(w) => panic!("expected half, got word {w:#x}"),
+        };
+        let decoded = decode_thumb16(half).expect("decodable");
+        assert_eq!(decoded, insn);
+    }
+
+    #[test]
+    fn arm_alu_round_trips() {
+        round_trip_arm(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]));
+        round_trip_arm(Insn::alu(Opcode::Eor, Reg::R9, &[Reg::R12, Reg::R14]));
+        round_trip_arm(Insn::alu(Opcode::Mov, Reg::R4, &[Reg::R5]).with_cond(Cond::Le));
+    }
+
+    #[test]
+    fn arm_imm_round_trips() {
+        round_trip_arm(Insn::alu_imm(Opcode::Sub, Reg::R1, Reg::R2, ARM_IMM_MAX));
+        round_trip_arm(Insn::alu_imm(Opcode::Add, Reg::R1, Reg::R2, ARM_IMM_MIN));
+        round_trip_arm(Insn::mov_imm(Reg::R0, 0));
+    }
+
+    #[test]
+    fn arm_memory_round_trips() {
+        round_trip_arm(Insn::load(Opcode::Ldr, Reg::R3, Reg::SP, 16));
+        round_trip_arm(Insn::store(Opcode::Strb, Reg::R1, Reg::R11, -4));
+    }
+
+    #[test]
+    fn arm_branches_round_trip() {
+        round_trip_arm(Insn::branch(Opcode::B, ARM_BRANCH_MAX));
+        round_trip_arm(Insn::branch(Opcode::Bl, ARM_BRANCH_MIN));
+        round_trip_arm(Insn::branch(Opcode::B, -1).with_cond(Cond::Eq));
+        round_trip_arm(Insn::branch_reg(Reg::LR));
+    }
+
+    #[test]
+    fn arm_three_source_multiply_round_trips() {
+        round_trip_arm(Insn::alu(Opcode::Mla, Reg::R0, &[Reg::R1, Reg::R2, Reg::R3]));
+    }
+
+    #[test]
+    fn arm_rejects_out_of_range_imm() {
+        let insn = Insn::alu_imm(Opcode::Add, Reg::R0, Reg::R1, ARM_IMM_MAX + 1);
+        assert_eq!(encode(&insn), Err(EncodeError::ImmOutOfRange(ARM_IMM_MAX + 1)));
+    }
+
+    #[test]
+    fn thumb_reg_form_round_trips() {
+        round_trip_thumb(Insn::alu(Opcode::Add, Reg::R10, &[Reg::R1, Reg::R2]).to_thumb().unwrap());
+        round_trip_thumb(Insn::alu(Opcode::Mov, Reg::R4, &[Reg::R5]).to_thumb().unwrap());
+        round_trip_thumb(Insn::compare(Opcode::Cmp, Reg::R1, Reg::R2).to_thumb().unwrap());
+    }
+
+    #[test]
+    fn thumb_imm_forms_round_trip() {
+        round_trip_thumb(Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R3, 127).to_thumb().unwrap());
+        round_trip_thumb(Insn::mov_imm(Reg::R7, 99).to_thumb().unwrap());
+        round_trip_thumb(Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 60).to_thumb().unwrap());
+        round_trip_thumb(Insn::store(Opcode::Str, Reg::R2, Reg::R3, 0).to_thumb().unwrap());
+    }
+
+    #[test]
+    fn thumb_branch_round_trips() {
+        round_trip_thumb(Insn::branch(Opcode::B, -512).to_thumb().unwrap());
+        round_trip_thumb(Insn::branch(Opcode::B, 511).to_thumb().unwrap());
+    }
+
+    #[test]
+    fn cdp_round_trips_every_length() {
+        for covered in 1..=thumb::MAX_CDP_CHAIN_LEN {
+            round_trip_thumb(Insn::cdp(covered as u8));
+        }
+    }
+
+    #[test]
+    fn thumb_encoding_rechecks_convertibility() {
+        // `with_width` bypasses `to_thumb`'s validation; `encode` catches it.
+        let bogus = Insn::alu(Opcode::Sdiv, Reg::R0, &[Reg::R1, Reg::R2]).with_width(Width::Thumb16);
+        assert!(matches!(encode(&bogus), Err(EncodeError::NotThumbConvertible(_))));
+    }
+
+    #[test]
+    fn pc_is_not_an_explicit_operand() {
+        let insn = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::PC]);
+        assert_eq!(encode(&insn), Err(EncodeError::UnencodableRegister(Reg::PC)));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // Reserved condition 0b1111.
+        assert!(matches!(decode_arm32(0xF000_0000), Err(DecodeError::BadCond(_))));
+        // Opcode code 63 is unused in the ARM space.
+        let word = (u32::from(Cond::Al.bits()) << 28) | (63 << 22);
+        assert!(matches!(decode_arm32(word), Err(DecodeError::BadOpcode(63))));
+        // Thumb code 62 unused.
+        assert!(matches!(decode_thumb16(62 << 10), Err(DecodeError::BadOpcode(62))));
+    }
+
+    #[test]
+    fn encoded_display_is_hex() {
+        assert_eq!(Encoded::Word(0xdead_beef).to_string(), "deadbeef");
+        assert_eq!(Encoded::Half(0x0bad).to_string(), "0bad");
+    }
+
+    #[test]
+    fn thumb_fetch_savings_match_paper_fig6() {
+        // Paper Fig. 6/IV-F: a 5-instruction chain goes from 5×32-bit words
+        // to a CDP half plus 5 halves = 3×32-bit words (12 bytes).
+        let chain: Vec<Insn> = (0..5)
+            .map(|i| {
+                Insn::alu(
+                    Opcode::Add,
+                    Reg::from_index(i).unwrap(),
+                    &[Reg::from_index(i).unwrap(), Reg::from_index(i + 1).unwrap()],
+                )
+            })
+            .collect();
+        let original: u64 = chain.iter().map(|i| i.fetch_bytes()).sum();
+        assert_eq!(original, 20);
+        let mut converted: u64 = Insn::cdp(5).fetch_bytes();
+        for insn in &chain {
+            converted += insn.to_thumb().unwrap().fetch_bytes();
+        }
+        assert_eq!(converted, 12, "5 words shrink to 3 words as in the paper");
+    }
+}

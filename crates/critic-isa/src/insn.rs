@@ -1,0 +1,617 @@
+//! Static instructions: opcode + predication + operands + encoding width.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cond::Cond;
+use crate::op::Opcode;
+use crate::reg::Reg;
+use crate::thumb::{self, ThumbIncompatibility};
+
+/// Encoding width of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// The classic 32-bit ARM format (Fig. 6a).
+    Arm32,
+    /// The concise 16-bit Thumb format (Fig. 6b).
+    Thumb16,
+}
+
+impl Width {
+    /// Bytes an instruction of this width occupies in the binary.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::Arm32 => 4,
+            Width::Thumb16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Width::Arm32 => f.write_str("arm32"),
+            Width::Thumb16 => f.write_str("thumb16"),
+        }
+    }
+}
+
+/// An inline list of up to three source registers.
+///
+/// Instructions never have more than three register sources in this model
+/// (`mla rd, rn, rm, ra` is the three-source case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SrcRegs {
+    regs: [Option<Reg>; 3],
+}
+
+impl SrcRegs {
+    /// Builds the list from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three registers are supplied.
+    pub fn new(regs: &[Reg]) -> SrcRegs {
+        assert!(regs.len() <= 3, "at most 3 source registers, got {}", regs.len());
+        let mut out = SrcRegs::default();
+        for (slot, &reg) in out.regs.iter_mut().zip(regs) {
+            *slot = Some(reg);
+        }
+        out
+    }
+
+    /// Number of sources present.
+    pub fn len(&self) -> usize {
+        self.regs.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether there are no sources.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the sources in operand order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+
+    /// The source at operand position `i`, if present.
+    pub fn get(&self, i: usize) -> Option<Reg> {
+        self.regs.get(i).copied().flatten()
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcRegs {
+    type Item = Reg;
+    type IntoIter = std::iter::Copied<std::iter::Flatten<std::slice::Iter<'a, Option<Reg>>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.iter().flatten().copied()
+    }
+}
+
+/// A static instruction of the model ISA.
+///
+/// `Insn` is a value type: the compiler passes in `critic-compiler` clone and
+/// rewrite instructions freely. The dynamic trace refers back into the static
+/// program, so `Insn` stays compact (16 bytes of operands + enums).
+///
+/// # Example
+///
+/// ```
+/// use critic_isa::{Cond, Insn, Opcode, Reg};
+///
+/// let insn = Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]).with_cond(Cond::Eq);
+/// assert_eq!(insn.to_string(), "addeq r0, r1, r2");
+/// assert_eq!(insn.dst(), Some(Reg::R0));
+/// assert!(insn.is_predicated());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Insn {
+    op: Opcode,
+    cond: Cond,
+    dst: Option<Reg>,
+    srcs: SrcRegs,
+    imm: Option<i32>,
+    width: Width,
+}
+
+impl Insn {
+    /// Builds a register-to-register ALU/multiply instruction.
+    pub fn alu(op: Opcode, dst: Reg, srcs: &[Reg]) -> Insn {
+        debug_assert!(op.writes_register(), "{op} does not produce a register");
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst: Some(dst),
+            srcs: SrcRegs::new(srcs),
+            imm: None,
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds an ALU instruction with a register source and an immediate.
+    pub fn alu_imm(op: Opcode, dst: Reg, src: Reg, imm: i32) -> Insn {
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst: Some(dst),
+            srcs: SrcRegs::new(&[src]),
+            imm: Some(imm),
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds a `mov dst, #imm`.
+    pub fn mov_imm(dst: Reg, imm: i32) -> Insn {
+        Insn {
+            op: Opcode::Mov,
+            cond: Cond::Al,
+            dst: Some(dst),
+            srcs: SrcRegs::default(),
+            imm: Some(imm),
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds a flag-setting compare (`cmp`/`cmn`/`tst`/`vcmp`).
+    pub fn compare(op: Opcode, lhs: Reg, rhs: Reg) -> Insn {
+        debug_assert!(!op.writes_register(), "{op} is not a compare");
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::new(&[lhs, rhs]),
+            imm: None,
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds a load `op dst, [base, #offset]`.
+    pub fn load(op: Opcode, dst: Reg, base: Reg, offset: i32) -> Insn {
+        debug_assert!(op.is_load(), "{op} is not a load");
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst: Some(dst),
+            srcs: SrcRegs::new(&[base]),
+            imm: Some(offset),
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds a store `op value, [base, #offset]`.
+    pub fn store(op: Opcode, value: Reg, base: Reg, offset: i32) -> Insn {
+        debug_assert!(op.is_store(), "{op} is not a store");
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::new(&[value, base]),
+            imm: Some(offset),
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds a PC-relative branch (`b`/`bl`) with a signed word offset.
+    pub fn branch(op: Opcode, offset: i32) -> Insn {
+        debug_assert!(op.is_branch(), "{op} is not a branch");
+        let dst = if op.is_call() { Some(Reg::LR) } else { None };
+        Insn {
+            op,
+            cond: Cond::Al,
+            dst,
+            srcs: SrcRegs::default(),
+            imm: Some(offset),
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds an indirect branch through a register (`bx`).
+    pub fn branch_reg(target: Reg) -> Insn {
+        Insn {
+            op: Opcode::Bx,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::new(&[target]),
+            imm: None,
+            width: Width::Arm32,
+        }
+    }
+
+    /// Builds the CDP format-switch pseudo-instruction (paper Sec. IV-B).
+    ///
+    /// `following` is the number of 16-bit instructions that follow the CDP
+    /// half-word, i.e. the paper's `l + 1` with the 3-bit `l` argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `following` is zero or exceeds
+    /// [`thumb::MAX_CDP_CHAIN_LEN`] (9).
+    pub fn cdp(following: u8) -> Insn {
+        assert!(
+            (1..=thumb::MAX_CDP_CHAIN_LEN).contains(&usize::from(following)),
+            "a CDP covers 1..={} following instructions, got {following}",
+            thumb::MAX_CDP_CHAIN_LEN
+        );
+        Insn {
+            op: Opcode::Cdp,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::default(),
+            imm: Some(i32::from(following)),
+            width: Width::Thumb16,
+        }
+    }
+
+    /// Builds a `nop`.
+    pub fn nop() -> Insn {
+        Insn {
+            op: Opcode::Nop,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::default(),
+            imm: None,
+            width: Width::Arm32,
+        }
+    }
+
+    /// Returns the same instruction under a condition code.
+    #[must_use]
+    pub fn with_cond(mut self, cond: Cond) -> Insn {
+        self.cond = cond;
+        self
+    }
+
+    /// Returns the same instruction with the given encoding width.
+    ///
+    /// Prefer [`Insn::to_thumb`] which validates convertibility.
+    #[must_use]
+    pub fn with_width(mut self, width: Width) -> Insn {
+        self.width = width;
+        self
+    }
+
+    /// The opcode.
+    pub fn op(&self) -> Opcode {
+        self.op
+    }
+
+    /// The condition code.
+    pub fn cond(&self) -> Cond {
+        self.cond
+    }
+
+    /// The destination register, if any (calls report the link register).
+    pub fn dst(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// The source registers in operand order.
+    pub fn srcs(&self) -> &SrcRegs {
+        &self.srcs
+    }
+
+    /// The immediate operand, if any. For CDP this is the covered length.
+    pub fn imm(&self) -> Option<i32> {
+        self.imm
+    }
+
+    /// The encoding width.
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Bytes this instruction occupies in the fetch stream.
+    pub fn fetch_bytes(&self) -> u64 {
+        self.width.bytes()
+    }
+
+    /// Whether the instruction carries a non-`AL` condition.
+    pub fn is_predicated(&self) -> bool {
+        !self.cond.is_always()
+    }
+
+    /// For a CDP switch, the number of following 16-bit instructions.
+    pub fn cdp_covered_len(&self) -> Option<usize> {
+        if self.op.is_format_switch() {
+            self.imm.map(|l| l as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Checks whether the instruction can be re-encoded in the 16-bit Thumb
+    /// format *without any change* — the paper's conversion predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ThumbIncompatibility`] found: predication, an
+    /// opcode without a Thumb form, a register outside the Thumb-addressable
+    /// set, or an immediate too wide for the narrow fields.
+    pub fn thumb_convertible(&self) -> Result<(), ThumbIncompatibility> {
+        thumb::check_convertible(self)
+    }
+
+    /// Re-encodes the instruction in 16-bit Thumb format.
+    ///
+    /// # Errors
+    ///
+    /// See [`Insn::thumb_convertible`].
+    pub fn to_thumb(&self) -> Result<Insn, ThumbIncompatibility> {
+        self.thumb_convertible()?;
+        Ok(self.with_width(Width::Thumb16))
+    }
+
+    /// Re-encodes the instruction in the 32-bit ARM format.
+    ///
+    /// Always succeeds: every Thumb instruction has a 32-bit equivalent.
+    /// The CDP switch has no 32-bit meaning and is returned unchanged.
+    #[must_use]
+    pub fn to_arm32(&self) -> Insn {
+        if self.op.is_format_switch() {
+            *self
+        } else {
+            self.with_width(Width::Arm32)
+        }
+    }
+
+    /// Iterates over every register the instruction reads.
+    pub fn reads(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter()
+    }
+
+    /// Iterates over every register the instruction writes.
+    pub fn writes(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.dst.into_iter()
+    }
+}
+
+/// Incremental builder for unusual instruction shapes.
+///
+/// The named constructors on [`Insn`] cover the common cases; the builder is
+/// for generators that assemble operands piecewise.
+///
+/// ```
+/// use critic_isa::{Insn, InsnBuilder, Opcode, Reg};
+///
+/// let insn = InsnBuilder::new(Opcode::Mla)
+///     .dst(Reg::R0)
+///     .src(Reg::R1)
+///     .src(Reg::R2)
+///     .src(Reg::R3)
+///     .build();
+/// assert_eq!(insn.srcs().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InsnBuilder {
+    op: Opcode,
+    cond: Cond,
+    dst: Option<Reg>,
+    srcs: Vec<Reg>,
+    imm: Option<i32>,
+    width: Width,
+}
+
+impl InsnBuilder {
+    /// Starts building an instruction with the given opcode.
+    pub fn new(op: Opcode) -> InsnBuilder {
+        InsnBuilder {
+            op,
+            cond: Cond::Al,
+            dst: None,
+            srcs: Vec::new(),
+            imm: None,
+            width: Width::Arm32,
+        }
+    }
+
+    /// Sets the condition code.
+    pub fn cond(mut self, cond: Cond) -> InsnBuilder {
+        self.cond = cond;
+        self
+    }
+
+    /// Sets the destination register.
+    pub fn dst(mut self, reg: Reg) -> InsnBuilder {
+        self.dst = Some(reg);
+        self
+    }
+
+    /// Appends a source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in [`InsnBuilder::build`]) if more than three sources are
+    /// accumulated.
+    pub fn src(mut self, reg: Reg) -> InsnBuilder {
+        self.srcs.push(reg);
+        self
+    }
+
+    /// Sets the immediate operand.
+    pub fn imm(mut self, imm: i32) -> InsnBuilder {
+        self.imm = Some(imm);
+        self
+    }
+
+    /// Sets the encoding width.
+    pub fn width(mut self, width: Width) -> InsnBuilder {
+        self.width = width;
+        self
+    }
+
+    /// Finishes the instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than three source registers were added.
+    pub fn build(self) -> Insn {
+        Insn {
+            op: self.op,
+            cond: self.cond,
+            dst: self.dst,
+            srcs: SrcRegs::new(&self.srcs),
+            imm: self.imm,
+            width: self.width,
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.op, self.cond)?;
+        if self.op.is_format_switch() {
+            return write!(f, " #{}", self.imm.unwrap_or(0));
+        }
+        let mut wrote_operand = false;
+        let sep = |f: &mut fmt::Formatter<'_>, wrote: &mut bool| -> fmt::Result {
+            if *wrote {
+                write!(f, ",")?;
+            }
+            *wrote = true;
+            write!(f, " ")
+        };
+        if self.op.is_mem() {
+            // ldr rd, [rb, #off]  /  str rv, [rb, #off]
+            if let Some(dst) = self.dst {
+                sep(f, &mut wrote_operand)?;
+                write!(f, "{dst}")?;
+            }
+            if self.op.is_store() {
+                if let Some(value) = self.srcs.get(0) {
+                    sep(f, &mut wrote_operand)?;
+                    write!(f, "{value}")?;
+                }
+            }
+            let base_slot = if self.op.is_store() { 1 } else { 0 };
+            if let Some(base) = self.srcs.get(base_slot) {
+                sep(f, &mut wrote_operand)?;
+                write!(f, "[{base}, #{}]", self.imm.unwrap_or(0))?;
+            }
+            return Ok(());
+        }
+        // Calls define the link register implicitly; conventional assembly
+        // does not list it.
+        if let Some(dst) = self.dst.filter(|_| !self.op.is_branch()) {
+            sep(f, &mut wrote_operand)?;
+            write!(f, "{dst}")?;
+        }
+        for src in self.srcs.iter() {
+            sep(f, &mut wrote_operand)?;
+            write!(f, "{src}")?;
+        }
+        if let Some(imm) = self.imm {
+            sep(f, &mut wrote_operand)?;
+            write!(f, "#{imm}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_constructor_shape() {
+        let insn = Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]);
+        assert_eq!(insn.dst(), Some(Reg::R0));
+        assert_eq!(insn.srcs().len(), 2);
+        assert_eq!(insn.width(), Width::Arm32);
+        assert_eq!(insn.fetch_bytes(), 4);
+        assert!(!insn.is_predicated());
+    }
+
+    #[test]
+    fn call_defines_link_register() {
+        let call = Insn::branch(Opcode::Bl, 128);
+        assert_eq!(call.dst(), Some(Reg::LR));
+        let jump = Insn::branch(Opcode::B, -4);
+        assert_eq!(jump.dst(), None);
+    }
+
+    #[test]
+    fn store_reads_value_and_base() {
+        let st = Insn::store(Opcode::Str, Reg::R1, Reg::R2, 8);
+        let reads: Vec<Reg> = st.reads().collect();
+        assert_eq!(reads, vec![Reg::R1, Reg::R2]);
+        assert_eq!(st.dst(), None);
+    }
+
+    #[test]
+    fn cdp_round_trips_length() {
+        let cdp = Insn::cdp(5);
+        assert_eq!(cdp.cdp_covered_len(), Some(5));
+        assert_eq!(cdp.fetch_bytes(), 2);
+        assert!(cdp.op().is_format_switch());
+    }
+
+    #[test]
+    #[should_panic(expected = "CDP covers")]
+    fn cdp_rejects_overlong_cover() {
+        let _ = Insn::cdp(10);
+    }
+
+    #[test]
+    fn thumb_round_trip_preserves_semantics() {
+        let insn = Insn::alu_imm(Opcode::Sub, Reg::R3, Reg::R3, 1);
+        let thumbed = insn.to_thumb().expect("low regs, small imm");
+        assert_eq!(thumbed.fetch_bytes(), 2);
+        let back = thumbed.to_arm32();
+        assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn predicated_instruction_cannot_thumb() {
+        let insn = Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1]).with_cond(Cond::Eq);
+        assert!(insn.to_thumb().is_err());
+    }
+
+    #[test]
+    fn display_formats_like_arm_assembly() {
+        assert_eq!(
+            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]).to_string(),
+            "add r0, r1, r2"
+        );
+        assert_eq!(Insn::load(Opcode::Ldr, Reg::R0, Reg::SP, 4).to_string(), "ldr r0, [sp, #4]");
+        assert_eq!(Insn::store(Opcode::Str, Reg::R1, Reg::R2, 0).to_string(), "str r1, [r2, #0]");
+        assert_eq!(Insn::branch(Opcode::B, 16).to_string(), "b #16");
+        assert_eq!(Insn::mov_imm(Reg::R5, 42).to_string(), "mov r5, #42");
+        assert_eq!(Insn::cdp(3).to_string(), "cdp #3");
+        assert_eq!(
+            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1]).with_cond(Cond::Ne).to_string(),
+            "addne r0, r1"
+        );
+    }
+
+    #[test]
+    fn builder_matches_constructor() {
+        let a = InsnBuilder::new(Opcode::Add).dst(Reg::R0).src(Reg::R1).src(Reg::R2).build();
+        let b = Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 3")]
+    fn builder_rejects_four_sources() {
+        let _ = InsnBuilder::new(Opcode::Add)
+            .dst(Reg::R0)
+            .src(Reg::R1)
+            .src(Reg::R2)
+            .src(Reg::R3)
+            .src(Reg::R4)
+            .build();
+    }
+
+    #[test]
+    fn src_regs_indexing() {
+        let srcs = SrcRegs::new(&[Reg::R7, Reg::R8]);
+        assert_eq!(srcs.get(0), Some(Reg::R7));
+        assert_eq!(srcs.get(1), Some(Reg::R8));
+        assert_eq!(srcs.get(2), None);
+        assert!(!srcs.is_empty());
+        assert!(SrcRegs::default().is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! ARM-like instruction-set model for the CritICs reproduction.
+//!
+//! The CritICs optimization (MICRO 2018) rewrites *Critical Instruction
+//! Chains* into ARM's 16-bit Thumb format to nearly double their fetch
+//! bandwidth. Faithfully reproducing that requires an ISA model that knows
+//!
+//! * the **32-bit ARM format** (Fig. 6a of the paper): 12–20 opcode bits and
+//!   three 4-bit register operands, with 4-bit predication (condition codes);
+//! * the **16-bit Thumb format** (Fig. 6b): 6 opcode bits, 3–4 bit operands,
+//!   no predication, and access to only the first 11 architected registers;
+//! * the **convertibility rule** the paper's compiler pass applies: an
+//!   instruction is representable in 16 bits only if it is unpredicated, all
+//!   of its registers are `r0`–`r10`, and its immediate fits the narrow
+//!   field — and a chain is converted *all or nothing*;
+//! * the **CDP format-switch pseudo-instruction** (Fig. 6d): a co-processor
+//!   data-processing mnemonic whose 3-bit argument tells the decoder that the
+//!   next `l + 1` instructions are 16-bit, covering chains of up to 9
+//!   instructions per CDP.
+//!
+//! # Example
+//!
+//! ```
+//! use critic_isa::{Insn, Opcode, Reg, Width};
+//!
+//! let add = Insn::alu(Opcode::Add, Reg::R1, &[Reg::R2, Reg::R3]);
+//! assert_eq!(add.width(), Width::Arm32);
+//! assert!(add.thumb_convertible().is_ok());
+//!
+//! let thumbed = add.to_thumb().expect("r1..r3 are low registers");
+//! assert_eq!(thumbed.fetch_bytes(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cond;
+pub mod encode;
+pub mod insn;
+pub mod op;
+pub mod reg;
+pub mod thumb;
+
+pub use asm::{parse_insn, parse_listing, AsmError};
+pub use cond::Cond;
+pub use encode::{decode_arm32, decode_thumb16, DecodeError, Encoded};
+pub use insn::{Insn, InsnBuilder, Width};
+pub use op::{FuKind, LatencyClass, Opcode};
+pub use reg::Reg;
+pub use thumb::{ThumbIncompatibility, MAX_CDP_CHAIN_LEN, THUMB_REG_LIMIT};

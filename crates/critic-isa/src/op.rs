@@ -1,0 +1,421 @@
+//! Opcodes, functional-unit classes, and execution latencies.
+//!
+//! The opcode set is a pragmatic subset of ARMv7: enough to express the
+//! dataflow, memory, control, and floating-point behaviour the CritICs
+//! experiments depend on, while staying small enough to encode in the
+//! simplified 32-/16-bit formats of [`crate::encode`].
+//!
+//! Latency assignments follow the common gem5 `O3CPU` defaults the paper's
+//! Table I configuration implies: single-cycle integer ALU, 3-cycle multiply,
+//! 12-cycle divide, and longer floating-point pipes. Loads are *nominally*
+//! 2 cycles (d-cache hit, Table I) but their real latency is decided by the
+//! memory hierarchy at simulation time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Functional-unit class an opcode executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Pipelined integer multiplier.
+    IntMult,
+    /// Unpipelined integer divider.
+    IntDiv,
+    /// Load/store unit (address generation + cache port).
+    Mem,
+    /// Branch unit.
+    Branch,
+    /// Floating-point add/compare pipe.
+    FloatAdd,
+    /// Floating-point multiply pipe.
+    FloatMul,
+    /// Floating-point divide/sqrt unit.
+    FloatDiv,
+    /// Decoder-only pseudo ops (CDP format switch, NOP).
+    None,
+}
+
+/// Coarse latency class used by the paper's Fig. 3(c) ("mobile apps have
+/// fewer high latency instructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// 1–2 cycles: ALU ops, branches, cache-hit loads.
+    Short,
+    /// 3–5 cycles: multiplies, FP add/mul.
+    Medium,
+    /// More than 5 cycles: divides, FP divide, cache-miss loads.
+    Long,
+}
+
+impl LatencyClass {
+    /// Classifies a concrete cycle count.
+    ///
+    /// ```
+    /// use critic_isa::LatencyClass;
+    /// assert_eq!(LatencyClass::of_cycles(1), LatencyClass::Short);
+    /// assert_eq!(LatencyClass::of_cycles(4), LatencyClass::Medium);
+    /// assert_eq!(LatencyClass::of_cycles(40), LatencyClass::Long);
+    /// ```
+    pub fn of_cycles(cycles: u32) -> LatencyClass {
+        match cycles {
+            0..=2 => LatencyClass::Short,
+            3..=5 => LatencyClass::Medium,
+            _ => LatencyClass::Long,
+        }
+    }
+}
+
+impl fmt::Display for LatencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyClass::Short => f.write_str("short"),
+            LatencyClass::Medium => f.write_str("medium"),
+            LatencyClass::Long => f.write_str("long"),
+        }
+    }
+}
+
+/// The instruction opcodes of the model ISA.
+///
+/// ```
+/// use critic_isa::{FuKind, Opcode};
+///
+/// assert_eq!(Opcode::Add.fu_kind(), FuKind::IntAlu);
+/// assert_eq!(Opcode::Sdiv.exec_latency(), 12);
+/// assert!(Opcode::Ldr.is_load());
+/// assert!(Opcode::Cdp.is_format_switch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    // Integer ALU.
+    Add,
+    Sub,
+    Rsb,
+    And,
+    Orr,
+    Eor,
+    Bic,
+    Mov,
+    Mvn,
+    Cmp,
+    Cmn,
+    Tst,
+    Lsl,
+    Lsr,
+    Asr,
+    Ror,
+    // Integer multiply / divide.
+    Mul,
+    Mla,
+    Smull,
+    Sdiv,
+    Udiv,
+    // Memory.
+    Ldr,
+    Ldrb,
+    Ldrh,
+    Str,
+    Strb,
+    Strh,
+    // Control.
+    B,
+    Bl,
+    Bx,
+    // Floating point (VFP-like).
+    Vadd,
+    Vsub,
+    Vmul,
+    Vdiv,
+    Vcmp,
+    Vsqrt,
+    // Pseudo.
+    /// Co-processor data-processing mnemonic reused as the CritIC format
+    /// switch (paper Sec. IV-B): its 3-bit argument means "the next `l+1`
+    /// instructions are 16-bit Thumb".
+    Cdp,
+    Nop,
+}
+
+impl Opcode {
+    /// Every opcode, in declaration order.
+    pub const ALL: [Opcode; 38] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Rsb,
+        Opcode::And,
+        Opcode::Orr,
+        Opcode::Eor,
+        Opcode::Bic,
+        Opcode::Mov,
+        Opcode::Mvn,
+        Opcode::Cmp,
+        Opcode::Cmn,
+        Opcode::Tst,
+        Opcode::Lsl,
+        Opcode::Lsr,
+        Opcode::Asr,
+        Opcode::Ror,
+        Opcode::Mul,
+        Opcode::Mla,
+        Opcode::Smull,
+        Opcode::Sdiv,
+        Opcode::Udiv,
+        Opcode::Ldr,
+        Opcode::Ldrb,
+        Opcode::Ldrh,
+        Opcode::Str,
+        Opcode::Strb,
+        Opcode::Strh,
+        Opcode::B,
+        Opcode::Bl,
+        Opcode::Bx,
+        Opcode::Vadd,
+        Opcode::Vsub,
+        Opcode::Vmul,
+        Opcode::Vdiv,
+        Opcode::Vcmp,
+        Opcode::Vsqrt,
+        Opcode::Cdp,
+        Opcode::Nop,
+    ];
+
+    /// A stable small integer used by the bit-level encoders.
+    pub fn code(self) -> u8 {
+        Opcode::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("every opcode is in ALL") as u8
+    }
+
+    /// Inverse of [`Opcode::code`].
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(usize::from(code)).copied()
+    }
+
+    /// The functional unit this opcode executes on.
+    pub fn fu_kind(self) -> FuKind {
+        use Opcode::*;
+        match self {
+            Add | Sub | Rsb | And | Orr | Eor | Bic | Mov | Mvn | Cmp | Cmn | Tst | Lsl | Lsr
+            | Asr | Ror => FuKind::IntAlu,
+            Mul | Mla | Smull => FuKind::IntMult,
+            Sdiv | Udiv => FuKind::IntDiv,
+            Ldr | Ldrb | Ldrh | Str | Strb | Strh => FuKind::Mem,
+            B | Bl | Bx => FuKind::Branch,
+            Vadd | Vsub | Vcmp => FuKind::FloatAdd,
+            Vmul => FuKind::FloatMul,
+            Vdiv | Vsqrt => FuKind::FloatDiv,
+            Cdp | Nop => FuKind::None,
+        }
+    }
+
+    /// Base execution latency in cycles, excluding memory-hierarchy time.
+    ///
+    /// Loads/stores report the Table I d-cache hit latency (2 cycles); the
+    /// pipeline replaces it with the simulated hierarchy latency on a miss.
+    pub fn exec_latency(self) -> u32 {
+        match self.fu_kind() {
+            FuKind::IntAlu => 1,
+            FuKind::IntMult => 3,
+            FuKind::IntDiv => 12,
+            FuKind::Mem => 2,
+            FuKind::Branch => 1,
+            FuKind::FloatAdd => 4,
+            FuKind::FloatMul => 5,
+            FuKind::FloatDiv => 16,
+            FuKind::None => 1,
+        }
+    }
+
+    /// Coarse latency class of the *base* latency (see Fig. 3c).
+    pub fn latency_class(self) -> LatencyClass {
+        LatencyClass::of_cycles(self.exec_latency())
+    }
+
+    /// Whether this opcode reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ldr | Opcode::Ldrb | Opcode::Ldrh)
+    }
+
+    /// Whether this opcode writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Str | Opcode::Strb | Opcode::Strh)
+    }
+
+    /// Whether this opcode accesses memory at all.
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this opcode is a control-flow instruction.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::B | Opcode::Bl | Opcode::Bx)
+    }
+
+    /// Whether this is a function call.
+    pub fn is_call(self) -> bool {
+        self == Opcode::Bl
+    }
+
+    /// Whether this opcode produces a general-purpose register result
+    /// consumed through the dataflow graph (i.e. can have fan-out).
+    pub fn writes_register(self) -> bool {
+        use Opcode::*;
+        !matches!(self, Cmp | Cmn | Tst | Vcmp | Str | Strb | Strh | B | Bx | Cdp | Nop)
+    }
+
+    /// Whether the opcode is the CDP decoder format switch.
+    pub fn is_format_switch(self) -> bool {
+        self == Opcode::Cdp
+    }
+
+    /// Whether this opcode is floating point.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self.fu_kind(),
+            FuKind::FloatAdd | FuKind::FloatMul | FuKind::FloatDiv
+        )
+    }
+
+    /// Whether a 16-bit Thumb encoding exists for this opcode at all.
+    ///
+    /// Thumb-1 has no divide, no multiply-accumulate, no long multiply, and
+    /// no VFP encodings; CDP itself is a 16-bit half-word in the paper's
+    /// Fig. 9 layout.
+    pub fn has_thumb_form(self) -> bool {
+        use Opcode::*;
+        match self {
+            Mla | Smull | Sdiv | Udiv => false,
+            Vadd | Vsub | Vmul | Vdiv | Vcmp | Vsqrt => false,
+            Bx => false,
+            _ => true,
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Rsb => "rsb",
+            And => "and",
+            Orr => "orr",
+            Eor => "eor",
+            Bic => "bic",
+            Mov => "mov",
+            Mvn => "mvn",
+            Cmp => "cmp",
+            Cmn => "cmn",
+            Tst => "tst",
+            Lsl => "lsl",
+            Lsr => "lsr",
+            Asr => "asr",
+            Ror => "ror",
+            Mul => "mul",
+            Mla => "mla",
+            Smull => "smull",
+            Sdiv => "sdiv",
+            Udiv => "udiv",
+            Ldr => "ldr",
+            Ldrb => "ldrb",
+            Ldrh => "ldrh",
+            Str => "str",
+            Strb => "strb",
+            Strh => "strh",
+            B => "b",
+            Bl => "bl",
+            Bx => "bx",
+            Vadd => "vadd",
+            Vsub => "vsub",
+            Vmul => "vmul",
+            Vdiv => "vdiv",
+            Vcmp => "vcmp",
+            Vsqrt => "vsqrt",
+            Cdp => "cdp",
+            Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn loads_and_stores_are_disjoint() {
+        for op in Opcode::ALL {
+            assert!(!(op.is_load() && op.is_store()), "{op} is both load and store");
+        }
+    }
+
+    #[test]
+    fn memory_ops_use_the_mem_unit() {
+        for op in Opcode::ALL {
+            if op.is_mem() {
+                assert_eq!(op.fu_kind(), FuKind::Mem);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_classes_match_table_i_expectations() {
+        assert_eq!(Opcode::Add.latency_class(), LatencyClass::Short);
+        assert_eq!(Opcode::Ldr.latency_class(), LatencyClass::Short);
+        assert_eq!(Opcode::Mul.latency_class(), LatencyClass::Medium);
+        assert_eq!(Opcode::Sdiv.latency_class(), LatencyClass::Long);
+        assert_eq!(Opcode::Vdiv.latency_class(), LatencyClass::Long);
+    }
+
+    #[test]
+    fn thumb_form_excludes_div_and_float() {
+        assert!(!Opcode::Sdiv.has_thumb_form());
+        assert!(!Opcode::Vadd.has_thumb_form());
+        assert!(Opcode::Add.has_thumb_form());
+        assert!(Opcode::Ldr.has_thumb_form());
+        assert!(Opcode::Cdp.has_thumb_form());
+    }
+
+    #[test]
+    fn compare_and_store_ops_produce_no_register_value() {
+        assert!(!Opcode::Cmp.writes_register());
+        assert!(!Opcode::Str.writes_register());
+        assert!(!Opcode::B.writes_register());
+        assert!(Opcode::Add.writes_register());
+        assert!(Opcode::Ldr.writes_register());
+        // BL writes the link register.
+        assert!(Opcode::Bl.writes_register());
+    }
+
+    #[test]
+    fn every_opcode_has_a_unique_mnemonic() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn branch_latency_is_single_cycle() {
+        assert_eq!(Opcode::B.exec_latency(), 1);
+        assert_eq!(Opcode::Bl.exec_latency(), 1);
+    }
+}

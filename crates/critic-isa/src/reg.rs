@@ -1,0 +1,159 @@
+//! Architected registers of the ARM-like machine.
+//!
+//! ARM has 16 architected general-purpose registers, `r0`–`r15`, where
+//! `r13`/`r14`/`r15` double as stack pointer, link register, and program
+//! counter. The 16-bit Thumb format can only name the first 11
+//! ([`crate::thumb::THUMB_REG_LIMIT`]) — the restriction the CritICs paper
+//! calls out as one of the two reasons naive whole-program Thumb conversion
+//! executes ~1.6× more instructions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 16 architected general-purpose registers.
+///
+/// # Example
+///
+/// ```
+/// use critic_isa::Reg;
+///
+/// assert!(Reg::R4.is_thumb_addressable());
+/// assert!(!Reg::R12.is_thumb_addressable());
+/// assert_eq!(Reg::SP, Reg::R13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// Stack pointer alias (`r13`).
+    pub const SP: Reg = Reg::R13;
+    /// Link register alias (`r14`).
+    pub const LR: Reg = Reg::R14;
+    /// Program counter alias (`r15`).
+    pub const PC: Reg = Reg::R15;
+
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Builds a register from its architectural index.
+    ///
+    /// Returns `None` for indices above 15.
+    ///
+    /// ```
+    /// use critic_isa::Reg;
+    /// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+    /// assert_eq!(Reg::from_index(16), None);
+    /// ```
+    pub fn from_index(index: u8) -> Option<Reg> {
+        Reg::ALL.get(usize::from(index)).copied()
+    }
+
+    /// The architectural index (0–15).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether the 16-bit Thumb format can name this register.
+    ///
+    /// The paper (Sec. III-B) notes Thumb "cuts the number of architected
+    /// registers as operands from 16 to 11", i.e. `r0`–`r10`.
+    pub fn is_thumb_addressable(self) -> bool {
+        self.index() < crate::thumb::THUMB_REG_LIMIT
+    }
+
+    /// Whether this register has a special role (SP, LR, or PC).
+    pub fn is_special(self) -> bool {
+        matches!(self, Reg::R13 | Reg::R14 | Reg::R15)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::R13 => write!(f, "sp"),
+            Reg::R14 => write!(f, "lr"),
+            Reg::R15 => write!(f, "pc"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for reg in Reg::ALL {
+            assert_eq!(Reg::from_index(reg.index()), Some(reg));
+        }
+    }
+
+    #[test]
+    fn from_index_rejects_out_of_range() {
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(u8::MAX), None);
+    }
+
+    #[test]
+    fn thumb_addressability_matches_paper_limit() {
+        let addressable = Reg::ALL.iter().filter(|r| r.is_thumb_addressable()).count();
+        assert_eq!(addressable, 11, "paper: Thumb names 11 of 16 registers");
+        assert!(Reg::R10.is_thumb_addressable());
+        assert!(!Reg::R11.is_thumb_addressable());
+    }
+
+    #[test]
+    fn aliases_point_at_high_registers() {
+        assert_eq!(Reg::SP.index(), 13);
+        assert_eq!(Reg::LR.index(), 14);
+        assert_eq!(Reg::PC.index(), 15);
+        assert!(Reg::SP.is_special());
+        assert!(!Reg::R0.is_special());
+    }
+
+    #[test]
+    fn display_uses_conventional_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R13.to_string(), "sp");
+        assert_eq!(Reg::R14.to_string(), "lr");
+        assert_eq!(Reg::R15.to_string(), "pc");
+    }
+}

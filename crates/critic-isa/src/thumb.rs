@@ -1,0 +1,296 @@
+//! The Thumb-conversion predicate and chain-level (all-or-nothing) rule.
+//!
+//! Sec. III-B of the paper: an instruction can be laid down in the 16-bit
+//! format *without any change* only when it has "neither predications nor
+//! use[s] more than the allowed 11 registers" (plus, in any real encoding,
+//! its immediate must fit the narrow fields and the opcode must exist in
+//! Thumb at all). Footnote 1 adds the chain rule: *"If any instruction of a
+//! CritIC sequence cannot be represented in the 16-bit format as is, then the
+//! entire sequence is left as is … all or nothing."*
+//!
+//! The concrete field widths mirror real Thumb-1 (see [`crate::encode`]):
+//!
+//! | form | fields | constraints |
+//! |------|--------|-------------|
+//! | reg  | code(6) dst(4) s1(3) s2(3) | dst ≤ `r10`, sources ≤ `r7` |
+//! | ALU-imm | code(6) dst(3) imm(7) | two-address (`dst == src`), imm 0–127 |
+//! | mem-imm | code(6) dst(3) base(3) imm(4, ×4) | regs ≤ `r7`, offset 0–60 word-aligned |
+//! | branch | code(6) off(10) | word offset −512–511 |
+//! | cdp | code(6) len(3) | always 16-bit |
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::insn::Insn;
+use crate::op::Opcode;
+use crate::reg::Reg;
+
+/// Number of architected registers nameable from the 16-bit format.
+///
+/// The register-form destination field is 4 bits wide but only `r0`–`r10`
+/// are legal — the paper's "cuts the number of architected registers as
+/// operands from 16 to 11".
+pub const THUMB_REG_LIMIT: u8 = 11;
+
+/// Source-register fields (and imm-form destinations) are 3 bits wide
+/// (`r0`–`r7`), matching real Thumb's low-register operand fields.
+pub const THUMB_LOW_REG_LIMIT: u8 = 8;
+
+/// Maximum ALU immediate (7-bit field, two-address form).
+pub const THUMB_ALU_IMM_MAX: i32 = 127;
+
+/// Maximum memory offset (4-bit field scaled by the 4-byte word size).
+pub const THUMB_MEM_IMM_MAX: i32 = 60;
+
+/// Maximum signed word offset of a 16-bit branch (10-bit field).
+pub const THUMB_BRANCH_MAX: i32 = 511;
+/// Minimum signed word offset of a 16-bit branch.
+pub const THUMB_BRANCH_MIN: i32 = -512;
+
+/// Maximum number of following 16-bit instructions one CDP switch covers.
+///
+/// The CDP argument has 3 bits, so it covers `1 + 2^3 = 9` instructions
+/// (paper Sec. IV-B).
+pub const MAX_CDP_CHAIN_LEN: usize = 9;
+
+/// Why an instruction cannot be re-encoded in 16-bit Thumb as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThumbIncompatibility {
+    /// The instruction is predicated; Thumb cannot express conditions.
+    Predicated,
+    /// The opcode has no 16-bit encoding (divide, long multiply, VFP, …).
+    NoThumbForm(Opcode),
+    /// A register operand is outside the field's addressable range.
+    HighRegister(Reg),
+    /// The immediate does not fit the narrow Thumb field.
+    ImmediateTooWide(i32),
+    /// An immediate-form ALU op whose destination differs from its source;
+    /// Thumb ALU-immediate encodings are two-address.
+    NotTwoAddress,
+}
+
+impl fmt::Display for ThumbIncompatibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThumbIncompatibility::Predicated => {
+                f.write_str("predicated instructions have no 16-bit form")
+            }
+            ThumbIncompatibility::NoThumbForm(op) => {
+                write!(f, "opcode `{op}` has no 16-bit form")
+            }
+            ThumbIncompatibility::HighRegister(reg) => {
+                write!(f, "register `{reg}` is outside the thumb-addressable field")
+            }
+            ThumbIncompatibility::ImmediateTooWide(imm) => {
+                write!(f, "immediate #{imm} does not fit the 16-bit format")
+            }
+            ThumbIncompatibility::NotTwoAddress => {
+                f.write_str("thumb ALU-immediate encodings are two-address (dst must equal src)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThumbIncompatibility {}
+
+/// Checks the paper's conversion predicate for one instruction.
+///
+/// # Errors
+///
+/// Returns the first incompatibility found, checking (in order) predication,
+/// opcode coverage, register constraints, then immediate/form constraints.
+pub fn check_convertible(insn: &Insn) -> Result<(), ThumbIncompatibility> {
+    if insn.op().is_format_switch() {
+        // CDP is itself a 16-bit half-word.
+        return Ok(());
+    }
+    if insn.is_predicated() {
+        return Err(ThumbIncompatibility::Predicated);
+    }
+    let op = insn.op();
+    if !op.has_thumb_form() {
+        return Err(ThumbIncompatibility::NoThumbForm(op));
+    }
+    // Source fields are always 3 bits.
+    for src in insn.srcs().iter() {
+        if src.index() >= THUMB_LOW_REG_LIMIT {
+            return Err(ThumbIncompatibility::HighRegister(src));
+        }
+    }
+    let has_imm = insn.imm().is_some() && !op.is_branch();
+    // Destination field: 4 bits (r0–r10) in register form, 3 bits (r0–r7)
+    // in the immediate forms.
+    if let Some(dst) = insn.dst() {
+        let limit = if has_imm { THUMB_LOW_REG_LIMIT } else { THUMB_REG_LIMIT };
+        if dst.index() >= limit {
+            return Err(ThumbIncompatibility::HighRegister(dst));
+        }
+    }
+    if let Some(imm) = insn.imm() {
+        if op.is_branch() {
+            if !(THUMB_BRANCH_MIN..=THUMB_BRANCH_MAX).contains(&imm) {
+                return Err(ThumbIncompatibility::ImmediateTooWide(imm));
+            }
+        } else if op.is_mem() {
+            if !(0..=THUMB_MEM_IMM_MAX).contains(&imm) || imm % 4 != 0 {
+                return Err(ThumbIncompatibility::ImmediateTooWide(imm));
+            }
+        } else {
+            if !(0..=THUMB_ALU_IMM_MAX).contains(&imm) {
+                return Err(ThumbIncompatibility::ImmediateTooWide(imm));
+            }
+            // ALU-immediate is two-address: either no register source
+            // (`mov rd, #imm`), no destination (`cmp rn, #imm`), or the
+            // single source equals the destination (`add rd, rd, #imm`).
+            if let (Some(src), Some(dst)) = (insn.srcs().get(0), insn.dst()) {
+                if src != dst {
+                    return Err(ThumbIncompatibility::NotTwoAddress);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies the all-or-nothing rule to a whole chain.
+///
+/// # Errors
+///
+/// Returns the index of the first non-convertible instruction and its
+/// incompatibility; in that case the paper leaves the *entire* chain in its
+/// original format.
+pub fn check_chain_convertible(chain: &[Insn]) -> Result<(), (usize, ThumbIncompatibility)> {
+    for (index, insn) in chain.iter().enumerate() {
+        check_convertible(insn).map_err(|why| (index, why))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+
+    #[test]
+    fn plain_low_register_alu_converts() {
+        let insn = Insn::alu(Opcode::Add, Reg::R1, &[Reg::R2, Reg::R3]);
+        assert_eq!(check_convertible(&insn), Ok(()));
+    }
+
+    #[test]
+    fn predication_blocks_conversion() {
+        let insn = Insn::alu(Opcode::Add, Reg::R1, &[Reg::R2]).with_cond(Cond::Ne);
+        assert_eq!(check_convertible(&insn), Err(ThumbIncompatibility::Predicated));
+    }
+
+    #[test]
+    fn divide_has_no_thumb_form() {
+        let insn = Insn::alu(Opcode::Sdiv, Reg::R0, &[Reg::R1, Reg::R2]);
+        assert_eq!(
+            check_convertible(&insn),
+            Err(ThumbIncompatibility::NoThumbForm(Opcode::Sdiv))
+        );
+    }
+
+    #[test]
+    fn reg_form_dest_limit_is_eleven() {
+        let ok = Insn::alu(Opcode::Mov, Reg::R10, &[Reg::R0]);
+        assert_eq!(check_convertible(&ok), Ok(()));
+        let bad = Insn::alu(Opcode::Mov, Reg::R11, &[Reg::R0]);
+        assert_eq!(check_convertible(&bad), Err(ThumbIncompatibility::HighRegister(Reg::R11)));
+    }
+
+    #[test]
+    fn src_register_limit_is_eight() {
+        let ok = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::R7]);
+        assert_eq!(check_convertible(&ok), Ok(()));
+        let bad = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::R8]);
+        assert_eq!(check_convertible(&bad), Err(ThumbIncompatibility::HighRegister(Reg::R8)));
+    }
+
+    #[test]
+    fn alu_immediate_is_two_address() {
+        let ok = Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R3, 1);
+        assert_eq!(check_convertible(&ok), Ok(()));
+        let three_address = Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R4, 1);
+        assert_eq!(check_convertible(&three_address), Err(ThumbIncompatibility::NotTwoAddress));
+        let mov = Insn::mov_imm(Reg::R2, 99);
+        assert_eq!(check_convertible(&mov), Ok(()));
+    }
+
+    #[test]
+    fn alu_immediate_range() {
+        let ok = Insn::mov_imm(Reg::R0, THUMB_ALU_IMM_MAX);
+        assert_eq!(check_convertible(&ok), Ok(()));
+        let wide = Insn::mov_imm(Reg::R0, THUMB_ALU_IMM_MAX + 1);
+        assert!(matches!(
+            check_convertible(&wide),
+            Err(ThumbIncompatibility::ImmediateTooWide(_))
+        ));
+        let negative = Insn::mov_imm(Reg::R0, -1);
+        assert!(check_convertible(&negative).is_err());
+    }
+
+    #[test]
+    fn memory_offsets_are_word_scaled() {
+        let ok = Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 60);
+        assert_eq!(check_convertible(&ok), Ok(()));
+        let unaligned = Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 6);
+        assert!(check_convertible(&unaligned).is_err());
+        let wide = Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 64);
+        assert!(check_convertible(&wide).is_err());
+    }
+
+    #[test]
+    fn imm_form_dest_limit_is_eight() {
+        // r9 is fine as a register-form dst but not in the 3-bit imm form.
+        let reg_form = Insn::alu(Opcode::Add, Reg::R9, &[Reg::R1, Reg::R2]);
+        assert_eq!(check_convertible(&reg_form), Ok(()));
+        let imm_form = Insn::alu_imm(Opcode::Add, Reg::R9, Reg::R9, 1);
+        assert_eq!(check_convertible(&imm_form), Err(ThumbIncompatibility::HighRegister(Reg::R9)));
+    }
+
+    #[test]
+    fn branch_offsets_are_signed() {
+        let near = Insn::branch(Opcode::B, THUMB_BRANCH_MIN);
+        assert_eq!(check_convertible(&near), Ok(()));
+        let far = Insn::branch(Opcode::B, THUMB_BRANCH_MIN - 1);
+        assert!(check_convertible(&far).is_err());
+    }
+
+    #[test]
+    fn chain_rule_is_all_or_nothing() {
+        let chain = vec![
+            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1]),
+            Insn::alu(Opcode::Sdiv, Reg::R2, &[Reg::R3, Reg::R4]),
+            Insn::alu(Opcode::Sub, Reg::R5, &[Reg::R6]),
+        ];
+        let err = check_chain_convertible(&chain).unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(err.1, ThumbIncompatibility::NoThumbForm(Opcode::Sdiv));
+    }
+
+    #[test]
+    fn cdp_is_always_sixteen_bit() {
+        assert_eq!(check_convertible(&Insn::cdp(4)), Ok(()));
+    }
+
+    #[test]
+    fn link_register_write_blocks_call_conversion() {
+        // `bl` defines lr (r14); real Thumb handles BL with a 32-bit pair,
+        // which is equivalent to "not convertible" for bandwidth purposes.
+        let call = Insn::branch(Opcode::Bl, 10);
+        assert_eq!(check_convertible(&call), Err(ThumbIncompatibility::HighRegister(Reg::LR)));
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let msg = ThumbIncompatibility::HighRegister(Reg::R12).to_string();
+        assert!(msg.contains("r12"));
+        let msg = ThumbIncompatibility::ImmediateTooWide(1024).to_string();
+        assert!(msg.contains("1024"));
+        let msg = ThumbIncompatibility::NotTwoAddress.to_string();
+        assert!(msg.contains("two-address"));
+    }
+}

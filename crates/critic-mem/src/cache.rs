@@ -1,0 +1,270 @@
+//! A set-associative, LRU, write-allocate cache model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Builds a config, validating the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, if `line_bytes` is not a power of
+    /// two, or if the geometry does not divide evenly into sets.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, hit_latency: u64) -> CacheConfig {
+        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "zero cache dimension");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes;
+        assert!(lines % u64::from(ways) == 0, "capacity must divide into sets");
+        let sets = lines / u64::from(ways);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size_bytes, ways, line_bytes, hit_latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / u64::from(self.ways)
+    }
+}
+
+/// Access/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses (prefetch fills are not counted).
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed by prefetch.
+    pub prefetch_fills: u64,
+    /// Demand hits on prefetched lines (prefetch usefulness).
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over demand accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+    prefetched: bool,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The model tracks only tags — data never matters for timing — and uses a
+/// monotone access counter for LRU ordering.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Line>,
+    ways: usize,
+    set_mask: u64,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        Cache {
+            ways: config.ways as usize,
+            sets: vec![Line::default(); (sets * u64::from(config.ways)) as usize],
+            set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            config,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        (set * self.ways, tag)
+    }
+
+    /// A demand access: returns `true` on hit and updates LRU/fill state.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (base, tag) = self.set_range(addr);
+        for i in base..base + self.ways {
+            let line = &mut self.sets[i];
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                if line.prefetched {
+                    self.stats.prefetch_hits += 1;
+                    line.prefetched = false;
+                }
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        self.fill(base, tag, false);
+        false
+    }
+
+    /// A non-demand fill (prefetch): installs the line if absent.
+    pub fn prefetch_fill(&mut self, addr: u64) {
+        self.tick += 1;
+        let (base, tag) = self.set_range(addr);
+        for i in base..base + self.ways {
+            if self.sets[i].valid && self.sets[i].tag == tag {
+                return; // already present
+            }
+        }
+        self.stats.prefetch_fills += 1;
+        self.fill(base, tag, true);
+    }
+
+    /// Checks presence without updating any state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.sets[base..base + self.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    fn fill(&mut self, base: usize, tag: u64, prefetched: bool) {
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| if self.sets[i].valid { self.sets[i].lru } else { 0 })
+            .expect("ways >= 1");
+        self.sets[victim] = Line { tag, valid: true, lru: self.tick, prefetched };
+    }
+
+    /// Invalidates everything (used between measurement samples).
+    pub fn flush(&mut self) {
+        for line in &mut self.sets {
+            *line = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig::new(512, 2, 64, 2))
+    }
+
+    #[test]
+    fn geometry_is_validated() {
+        let c = CacheConfig::new(32 * 1024, 2, 64, 2);
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_line_size() {
+        let _ = CacheConfig::new(512, 2, 48, 2);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = tiny();
+        assert!(!cache.access(0x1000));
+        assert!(cache.access(0x1000));
+        assert!(cache.access(0x1004), "same line");
+        assert_eq!(cache.stats().accesses, 3);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest() {
+        let mut cache = tiny();
+        // Three distinct tags in the same set (set stride = 4 sets * 64B).
+        let stride = 4 * 64;
+        cache.access(0);
+        cache.access(stride);
+        cache.access(2 * stride); // evicts tag 0
+        assert!(!cache.access(0), "oldest line was evicted");
+        assert!(cache.access(2 * stride), "newest line survives");
+    }
+
+    #[test]
+    fn lru_refresh_on_hit_protects_a_line() {
+        let mut cache = tiny();
+        let stride = 4 * 64;
+        cache.access(0);
+        cache.access(stride);
+        cache.access(0); // refresh
+        cache.access(2 * stride); // should evict `stride`, not 0
+        assert!(cache.access(0));
+        assert!(!cache.access(stride));
+    }
+
+    #[test]
+    fn prefetch_fill_counts_usefulness() {
+        let mut cache = tiny();
+        cache.prefetch_fill(0x2000);
+        assert!(cache.contains(0x2000));
+        assert!(cache.access(0x2000), "prefetched line hits");
+        assert_eq!(cache.stats().prefetch_fills, 1);
+        assert_eq!(cache.stats().prefetch_hits, 1);
+        // A second hit is an ordinary hit, not a prefetch hit.
+        cache.access(0x2000);
+        assert_eq!(cache.stats().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn duplicate_prefetch_is_idempotent() {
+        let mut cache = tiny();
+        cache.prefetch_fill(0x40);
+        cache.prefetch_fill(0x40);
+        assert_eq!(cache.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn flush_empties_the_cache() {
+        let mut cache = tiny();
+        cache.access(0x80);
+        cache.flush();
+        assert!(!cache.contains(0x80));
+    }
+
+    #[test]
+    fn miss_ratio_reports_correctly() {
+        let mut cache = tiny();
+        for i in 0..8u64 {
+            cache.access(i * 64);
+        }
+        // 8 lines, capacity 8 lines: all cold misses.
+        assert!((cache.stats().miss_ratio() - 1.0).abs() < f64::EPSILON);
+        cache.access(7 * 64);
+        assert!(cache.stats().miss_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Whole-hierarchy configuration (the memory half of Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+
+/// Configuration of the full memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 instruction cache.
+    pub icache: CacheConfig,
+    /// L1 data cache.
+    pub dcache: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// DRAM device.
+    pub dram: DramConfig,
+    /// Enable the CLPT critical-load prefetcher (baseline comparison knob).
+    pub clpt_enabled: bool,
+    /// CLPT criticality threshold (fanout counter value).
+    pub clpt_threshold: u8,
+    /// Enable the EFetch instruction prefetcher (Fig. 11 knob).
+    pub efetch_enabled: bool,
+}
+
+impl MemConfig {
+    /// The paper's Table I Google-Tablet memory system.
+    pub fn google_tablet() -> MemConfig {
+        MemConfig {
+            icache: CacheConfig::new(32 * 1024, 2, 64, 2),
+            dcache: CacheConfig::new(64 * 1024, 2, 64, 2),
+            l2: CacheConfig::new(2 * 1024 * 1024, 8, 64, 10),
+            dram: DramConfig::lpddr3_2gb(),
+            clpt_enabled: false,
+            clpt_threshold: 8,
+            efetch_enabled: false,
+        }
+    }
+
+    /// Fig. 11's `4×i-cache` design point: 128 KB instead of 32 KB.
+    #[must_use]
+    pub fn with_4x_icache(mut self) -> MemConfig {
+        self.icache = CacheConfig::new(self.icache.size_bytes * 4, self.icache.ways * 2, self.icache.line_bytes, self.icache.hit_latency);
+        self
+    }
+
+    /// Fig. 11's `2×FD` i-cache side: halved i-cache latency.
+    #[must_use]
+    pub fn with_half_icache_latency(mut self) -> MemConfig {
+        self.icache.hit_latency = (self.icache.hit_latency / 2).max(1);
+        self
+    }
+
+    /// Enables the CLPT prefetcher (the HPCA'09 critical-load baseline).
+    #[must_use]
+    pub fn with_clpt(mut self) -> MemConfig {
+        self.clpt_enabled = true;
+        self
+    }
+
+    /// Enables the EFetch instruction prefetcher.
+    #[must_use]
+    pub fn with_efetch(mut self) -> MemConfig {
+        self.efetch_enabled = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_geometry() {
+        let cfg = MemConfig::google_tablet();
+        assert_eq!(cfg.icache.size_bytes, 32 * 1024);
+        assert_eq!(cfg.icache.ways, 2);
+        assert_eq!(cfg.icache.hit_latency, 2);
+        assert_eq!(cfg.dcache.size_bytes, 64 * 1024);
+        assert_eq!(cfg.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(cfg.l2.ways, 8);
+        assert_eq!(cfg.l2.hit_latency, 10);
+        assert_eq!(cfg.dram.ranks, 2);
+        assert_eq!(cfg.dram.banks_per_rank, 8);
+        assert!(!cfg.clpt_enabled);
+    }
+
+    #[test]
+    fn design_point_builders() {
+        let cfg = MemConfig::google_tablet().with_4x_icache();
+        assert_eq!(cfg.icache.size_bytes, 128 * 1024);
+        let cfg = MemConfig::google_tablet().with_half_icache_latency();
+        assert_eq!(cfg.icache.hit_latency, 1);
+        let cfg = MemConfig::google_tablet().with_clpt().with_efetch();
+        assert!(cfg.clpt_enabled && cfg.efetch_enabled);
+    }
+}

@@ -1,0 +1,204 @@
+//! LPDDR3 DRAM timing in the spirit of DRAMSim2 (paper Table I).
+//!
+//! One channel, two ranks, eight banks per rank, open-page policy, and
+//! tCL = tRP = tRCD = 13 ns. The model tracks one open row per bank and a
+//! per-bank busy time, giving three latency classes:
+//!
+//! * **row hit**: tCL + burst;
+//! * **row miss (closed)**: tRCD + tCL + burst;
+//! * **row conflict (other row open)**: tRP + tRCD + tCL + burst;
+//!
+//! plus any queueing delay behind an earlier access to the same bank.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing/geometry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    /// CPU cycles per tCL (CAS latency).
+    pub t_cl: u64,
+    /// CPU cycles per tRCD (activate to column).
+    pub t_rcd: u64,
+    /// CPU cycles per tRP (precharge).
+    pub t_rp: u64,
+    /// CPU cycles to burst one cache line over the channel.
+    pub t_burst: u64,
+}
+
+impl DramConfig {
+    /// The Table I LPDDR3 part at a 2 GHz CPU clock: 13 ns ≈ 26 cycles.
+    pub fn lpddr3_2gb() -> DramConfig {
+        DramConfig {
+            ranks: 2,
+            banks_per_rank: 8,
+            row_bytes: 4096,
+            t_cl: 26,
+            t_rcd: 26,
+            t_rp: 26,
+            t_burst: 8,
+        }
+    }
+
+    fn total_banks(&self) -> u64 {
+        u64::from(self.ranks) * u64::from(self.banks_per_rank)
+    }
+}
+
+/// Row-buffer and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Open-page hits.
+    pub row_hits: u64,
+    /// Activations of a closed bank.
+    pub row_misses: u64,
+    /// Precharge-then-activate conflicts.
+    pub row_conflicts: u64,
+    /// Cycles spent waiting behind busy banks.
+    pub queue_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// The DRAM device model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Builds a DRAM with all banks precharged.
+    pub fn new(config: DramConfig) -> Dram {
+        Dram { banks: vec![Bank::default(); config.total_banks() as usize], config, stats: DramStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Performs an access at CPU cycle `now`; returns its total latency.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        self.stats.accesses += 1;
+        let row = addr / self.config.row_bytes;
+        let bank_index = (row % self.config.total_banks()) as usize;
+        let cfg = self.config;
+        let bank = &mut self.banks[bank_index];
+
+        let start = now.max(bank.busy_until);
+        let queue = start - now;
+        self.stats.queue_cycles += queue;
+
+        let service = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                cfg.t_cl + cfg.t_burst
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_burst
+            }
+            None => {
+                self.stats.row_misses += 1;
+                cfg.t_rcd + cfg.t_cl + cfg.t_burst
+            }
+        };
+        bank.open_row = Some(row);
+        bank.busy_until = start + service;
+        queue + service
+    }
+
+    /// Row-hit fraction observed so far.
+    pub fn row_hit_ratio(&self) -> f64 {
+        if self.stats.accesses == 0 {
+            0.0
+        } else {
+            self.stats.row_hits as f64 / self.stats.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::lpddr3_2gb())
+    }
+
+    #[test]
+    fn first_access_activates() {
+        let mut d = dram();
+        let lat = d.access(0, 0);
+        // Closed bank: tRCD + tCL + burst.
+        assert_eq!(lat, 26 + 26 + 8);
+        assert_eq!(d.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_hits_open_page() {
+        let mut d = dram();
+        let first = d.access(0, 0);
+        let second = d.access(64, first);
+        assert_eq!(second, 26 + 8, "open-page hit is tCL + burst");
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut d = dram();
+        let cfg = *d.config();
+        let stride = cfg.row_bytes * cfg.total_banks(); // same bank, next row
+        let first = d.access(0, 0);
+        let second = d.access(stride, first);
+        assert_eq!(second, 26 + 26 + 26 + 8, "conflict pays tRP + tRCD + tCL + burst");
+        assert_eq!(d.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn busy_bank_queues() {
+        let mut d = dram();
+        d.access(0, 0);
+        // Immediately issue again to the same bank while it is busy.
+        let lat = d.access(64, 0);
+        assert!(lat > 26 + 8, "second access waits for the bank");
+        assert!(d.stats().queue_cycles > 0);
+    }
+
+    #[test]
+    fn different_banks_do_not_interfere() {
+        let mut d = dram();
+        let row_bytes = d.config().row_bytes;
+        d.access(0, 0);
+        let lat = d.access(row_bytes, 0); // next bank
+        assert_eq!(lat, 26 + 26 + 8, "no queueing across banks");
+    }
+
+    #[test]
+    fn streaming_has_high_row_hit_ratio() {
+        let mut d = dram();
+        let mut now = 0;
+        for i in 0..64u64 {
+            now += d.access(i * 64, now);
+        }
+        assert!(d.row_hit_ratio() > 0.9, "sequential lines stay in the open row");
+    }
+}

@@ -1,0 +1,46 @@
+//! Memory-hierarchy substrate: caches, prefetchers, and LPDDR3 DRAM timing.
+//!
+//! Reproduces the Table I memory system of the paper's Google-Tablet
+//! configuration:
+//!
+//! * 2-way 32 KB i-cache and 64 KB d-cache, 2-cycle hit latency;
+//! * 8-way 2 MB shared L2, 10-cycle hit, with an optional **CLPT**
+//!   (critical-load prefetch table, 1024 × 7-bit entries) prefetcher — the
+//!   HPCA'09 criticality-prefetching baseline the paper compares against;
+//! * a 2 GB LPDDR3 DRAM model in the spirit of DRAMSim2: 1 channel,
+//!   2 ranks/channel, 8 banks/rank, open-page policy,
+//!   tCL = tRP = tRCD = 13 ns;
+//! * an optional **EFetch**-style instruction prefetcher (PACT'14) driven by
+//!   call-stack history, used in the paper's Fig. 11 hardware comparison.
+//!
+//! The [`MemSystem`] facade is what the pipeline talks to: it issues
+//! instruction fetches and data accesses at a given cycle and receives
+//! completion latencies, while the hierarchy keeps hit/miss and row-buffer
+//! statistics for the energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use critic_mem::{MemConfig, MemSystem};
+//!
+//! let mut mem = MemSystem::new(&MemConfig::google_tablet());
+//! let cold = mem.ifetch(0x1_0000, 0);
+//! let warm = mem.ifetch(0x1_0000, cold);
+//! assert!(cold > warm, "second access hits the i-cache");
+//! assert_eq!(warm, 2, "Table I: 2-cycle i-cache hit");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod prefetch;
+pub mod system;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use config::MemConfig;
+pub use dram::{Dram, DramConfig, DramStats};
+pub use prefetch::{ClptPrefetcher, EFetchPrefetcher};
+pub use system::{MemStats, MemSystem};

@@ -1,0 +1,214 @@
+//! Prefetchers: the CLPT critical-load prefetcher (HPCA'09 baseline) and an
+//! EFetch-style call-history instruction prefetcher (PACT'14, Fig. 11).
+
+use serde::{Deserialize, Serialize};
+
+/// Critical-Load Prefetch Table.
+///
+/// The paper's baseline comparison ("prefetching high-fanout loads",
+/// Fig. 1a) follows Subramaniam et al., *Criticality-based optimizations for
+/// efficient load processing*: a PC-indexed table of saturating fanout
+/// counters (Table I sizes it at 1024 × 7 bits). Loads whose counter crosses
+/// a threshold are deemed critical; for those, the prefetcher issues a
+/// next-line (delta-matched) prefetch into L2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClptPrefetcher {
+    counters: Vec<u8>,
+    last_addr: Vec<u64>,
+    threshold: u8,
+}
+
+/// Entries in the CLPT (Table I: 1024).
+pub const CLPT_ENTRIES: usize = 1024;
+/// Saturation limit of the 7-bit counters.
+pub const CLPT_MAX: u8 = 127;
+
+impl ClptPrefetcher {
+    /// Builds an empty table with the given criticality threshold.
+    pub fn new(threshold: u8) -> ClptPrefetcher {
+        ClptPrefetcher {
+            counters: vec![0; CLPT_ENTRIES],
+            last_addr: vec![0; CLPT_ENTRIES],
+            threshold,
+        }
+    }
+
+    fn slot(pc: u64) -> usize {
+        ((pc >> 2) as usize) % CLPT_ENTRIES
+    }
+
+    /// Trains the table with an observed load fanout (from the ROB, as the
+    /// original hardware proposal does).
+    pub fn train(&mut self, pc: u64, fanout: u32) {
+        let slot = Self::slot(pc);
+        let counter = &mut self.counters[slot];
+        // Saturating exponential approach toward the observed fanout.
+        let observed = fanout.min(u32::from(CLPT_MAX)) as u8;
+        if observed > *counter {
+            *counter = (*counter).saturating_add(((observed - *counter) / 2).max(1)).min(CLPT_MAX);
+        } else if *counter > 0 {
+            *counter -= 1;
+        }
+    }
+
+    /// On a load at `pc` to `addr`: returns the address to prefetch, if the
+    /// load is predicted critical.
+    pub fn observe_load(&mut self, pc: u64, addr: u64) -> Option<u64> {
+        let slot = Self::slot(pc);
+        let prev = self.last_addr[slot];
+        self.last_addr[slot] = addr;
+        if self.counters[slot] < self.threshold {
+            return None;
+        }
+        // Delta-matched with line-granular lookahead: small strides walk
+        // lines sequentially, so stage two lines ahead; large strides jump
+        // by the observed delta.
+        let delta = addr.wrapping_sub(prev);
+        let target = if prev != 0 && (64..4096).contains(&delta) {
+            addr.wrapping_add(delta * 2)
+        } else {
+            // Small strides walk lines sequentially: stage several lines
+            // ahead so DRAM latency is actually hidden.
+            (addr & !63) + 256
+        };
+        Some(target)
+    }
+
+    /// Whether the table currently predicts `pc` critical.
+    pub fn is_critical(&self, pc: u64) -> bool {
+        self.counters[Self::slot(pc)] >= self.threshold
+    }
+}
+
+/// EFetch-style instruction prefetcher (Chadha et al., PACT'14).
+///
+/// Tracks a short history of call targets; a table keyed by the hashed
+/// history predicts the *next* function and prefetches the first lines of
+/// its body into the i-cache. The paper sizes the lookup state at 39 KB; at
+/// 8 bytes per entry that is ~4K entries, which we round to a power of two.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EFetchPrefetcher {
+    table: Vec<u64>,
+    history: u64,
+    /// Lines of the predicted function body to prefetch.
+    pub lines_ahead: u32,
+}
+
+/// Entries in the EFetch history table (≈39 KB at 8 B + tag overhead).
+pub const EFETCH_ENTRIES: usize = 4096;
+
+impl EFetchPrefetcher {
+    /// Builds an empty prefetcher that fetches `lines_ahead` lines of the
+    /// predicted callee.
+    pub fn new(lines_ahead: u32) -> EFetchPrefetcher {
+        EFetchPrefetcher { table: vec![0; EFETCH_ENTRIES], history: 0, lines_ahead }
+    }
+
+    fn slot(history: u64) -> usize {
+        let mut h = history;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h as usize) % EFETCH_ENTRIES
+    }
+
+    /// Observes a call to `target`; returns the predicted *next* call target
+    /// (to prefetch), and trains the table.
+    pub fn observe_call(&mut self, target: u64) -> Option<u64> {
+        // Train: after the previous history, `target` was called.
+        let prev_slot = Self::slot(self.history);
+        self.table[prev_slot] = target;
+        // Predict: with `target` now part of the history, what comes next?
+        self.history = (self.history << 16) ^ target;
+        let prediction = self.table[Self::slot(self.history)];
+        (prediction != 0 && prediction != target).then_some(prediction)
+    }
+
+    /// The line addresses to prefetch for a predicted function entry.
+    pub fn prefetch_lines(&self, entry: u64) -> impl Iterator<Item = u64> + '_ {
+        let base = entry & !63;
+        (0..u64::from(self.lines_ahead)).map(move |i| base + i * 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clpt_trains_toward_high_fanout() {
+        let mut clpt = ClptPrefetcher::new(8);
+        let pc = 0x1234;
+        assert!(!clpt.is_critical(pc));
+        for _ in 0..8 {
+            clpt.train(pc, 12);
+        }
+        assert!(clpt.is_critical(pc), "repeated high fanout marks the PC critical");
+    }
+
+    #[test]
+    fn clpt_decays_on_low_fanout() {
+        let mut clpt = ClptPrefetcher::new(8);
+        let pc = 0x40;
+        for _ in 0..8 {
+            clpt.train(pc, 12);
+        }
+        for _ in 0..200 {
+            clpt.train(pc, 0);
+        }
+        assert!(!clpt.is_critical(pc), "counters decay");
+    }
+
+    #[test]
+    fn clpt_prefetches_only_critical_loads() {
+        let mut clpt = ClptPrefetcher::new(8);
+        let pc = 0x80;
+        assert_eq!(clpt.observe_load(pc, 0x1000), None);
+        for _ in 0..8 {
+            clpt.train(pc, 15);
+        }
+        assert!(clpt.observe_load(pc, 0x2000).is_some());
+    }
+
+    #[test]
+    fn clpt_matches_strides() {
+        let mut clpt = ClptPrefetcher::new(1);
+        let pc = 0xC0;
+        clpt.train(pc, 20);
+        clpt.observe_load(pc, 0x1000);
+        let next = clpt.observe_load(pc, 0x1100).expect("critical");
+        assert_eq!(next, 0x1300, "stride 0x100 continues two strides ahead");
+    }
+
+    #[test]
+    fn clpt_counter_saturates_at_seven_bits() {
+        let mut clpt = ClptPrefetcher::new(8);
+        for _ in 0..1000 {
+            clpt.train(0x10, 4096);
+        }
+        // Internal counter must stay within the 7-bit budget of Table I.
+        assert!(clpt.counters.iter().all(|&c| c <= CLPT_MAX));
+    }
+
+    #[test]
+    fn efetch_learns_call_sequences() {
+        let mut ef = EFetchPrefetcher::new(4);
+        // Repeating call pattern A -> B -> C.
+        let (a, b, c) = (0x1000, 0x2000, 0x3000);
+        for _ in 0..4 {
+            ef.observe_call(a);
+            ef.observe_call(b);
+            ef.observe_call(c);
+        }
+        // After history ends with (…, C), calling A is next; after A, B.
+        let pred_after_a = ef.observe_call(a);
+        assert_eq!(pred_after_a, Some(b), "history table predicts the follower of A's context");
+    }
+
+    #[test]
+    fn efetch_prefetches_consecutive_lines() {
+        let ef = EFetchPrefetcher::new(3);
+        let lines: Vec<u64> = ef.prefetch_lines(0x1040).collect();
+        assert_eq!(lines, vec![0x1040, 0x1080, 0x10C0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! The [`MemSystem`] facade: i-fetch and data paths through the hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::MemConfig;
+use crate::dram::{Dram, DramStats};
+use crate::prefetch::{ClptPrefetcher, EFetchPrefetcher};
+
+/// Aggregated statistics of the whole memory system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 instruction cache counters.
+    pub icache: CacheStats,
+    /// L1 data cache counters.
+    pub dcache: CacheStats,
+    /// Shared L2 counters.
+    pub l2: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Prefetches issued by the CLPT.
+    pub clpt_prefetches: u64,
+    /// Prefetches issued by EFetch.
+    pub efetch_prefetches: u64,
+}
+
+/// The memory hierarchy the pipeline talks to.
+///
+/// Latency composition: an L1 miss pays the L1 latency, then the L2 latency;
+/// an L2 miss additionally pays DRAM. This matches the serial lookup a
+/// mobile SoC without an L3 performs.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    dram: Dram,
+    clpt: Option<ClptPrefetcher>,
+    efetch: Option<EFetchPrefetcher>,
+    clpt_prefetches: u64,
+    efetch_prefetches: u64,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(config: &MemConfig) -> MemSystem {
+        MemSystem {
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            l2: Cache::new(config.l2),
+            dram: Dram::new(config.dram),
+            clpt: config.clpt_enabled.then(|| ClptPrefetcher::new(config.clpt_threshold)),
+            efetch: config.efetch_enabled.then(|| EFetchPrefetcher::new(4)),
+            clpt_prefetches: 0,
+            efetch_prefetches: 0,
+        }
+    }
+
+    /// Fetches the instruction line containing `addr`; returns the latency.
+    pub fn ifetch(&mut self, addr: u64, now: u64) -> u64 {
+        let l1 = self.icache.config().hit_latency;
+        if self.icache.access(addr) {
+            return l1;
+        }
+        let l2_latency = self.l2.config().hit_latency;
+        if self.l2.access(addr) {
+            return l1 + l2_latency;
+        }
+        l1 + l2_latency + self.dram.access(addr, now + l1 + l2_latency)
+    }
+
+    /// Performs a data load/store; returns the latency.
+    pub fn data_access(&mut self, addr: u64, now: u64) -> u64 {
+        let l1 = self.dcache.config().hit_latency;
+        if self.dcache.access(addr) {
+            return l1;
+        }
+        let l2_latency = self.l2.config().hit_latency;
+        if self.l2.access(addr) {
+            return l1 + l2_latency;
+        }
+        l1 + l2_latency + self.dram.access(addr, now + l1 + l2_latency)
+    }
+
+    /// Trains the CLPT with a load's observed ROB fanout.
+    pub fn train_load_criticality(&mut self, pc: u64, fanout: u32) {
+        if let Some(clpt) = &mut self.clpt {
+            clpt.train(pc, fanout);
+        }
+    }
+
+    /// Notifies the CLPT of a demand load; issues its prefetch into L2/L1D.
+    pub fn observe_load(&mut self, pc: u64, addr: u64, now: u64) {
+        let Some(clpt) = &mut self.clpt else { return };
+        if let Some(target) = clpt.observe_load(pc, addr) {
+            self.clpt_prefetches += 1;
+            if !self.l2.contains(target) {
+                // Charge DRAM occupancy for the fill, off the demand path.
+                let _ = self.dram.access(target, now);
+                self.l2.prefetch_fill(target);
+            }
+            self.dcache.prefetch_fill(target);
+        }
+    }
+
+    /// Notifies EFetch of a call; prefetches the predicted next function.
+    pub fn observe_call(&mut self, target: u64, now: u64) {
+        let Some(efetch) = &mut self.efetch else { return };
+        if let Some(predicted) = efetch.observe_call(target) {
+            self.efetch_prefetches += 1;
+            let lines: Vec<u64> = efetch.prefetch_lines(predicted).collect();
+            for line in lines {
+                if !self.l2.contains(line) {
+                    let _ = self.dram.access(line, now);
+                    self.l2.prefetch_fill(line);
+                }
+                self.icache.prefetch_fill(line);
+            }
+        }
+    }
+
+    /// Whether the i-cache currently holds `addr`'s line.
+    pub fn icache_contains(&self, addr: u64) -> bool {
+        self.icache.contains(addr)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            icache: self.icache.stats(),
+            dcache: self.dcache.stats(),
+            l2: self.l2.stats(),
+            dram: self.dram.stats(),
+            clpt_prefetches: self.clpt_prefetches,
+            efetch_prefetches: self.efetch_prefetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemSystem {
+        MemSystem::new(&MemConfig::google_tablet())
+    }
+
+    #[test]
+    fn latency_composes_through_levels() {
+        let mut mem = system();
+        // Cold: L1 (2) + L2 (10) + DRAM activate (26+26+8).
+        let cold = mem.ifetch(0x4_0000, 0);
+        assert_eq!(cold, 2 + 10 + 60);
+        // Warm L1.
+        assert_eq!(mem.ifetch(0x4_0000, cold), 2);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut mem = system();
+        let mut now = 0;
+        // Fill well past the 32 KB i-cache but well inside the 2 MB L2.
+        for i in 0..4096u64 {
+            now += mem.ifetch(0x10_0000 + i * 64, now);
+        }
+        // The first line has left L1 but must still be in L2.
+        let lat = mem.ifetch(0x10_0000, now);
+        assert_eq!(lat, 2 + 10, "L1 miss, L2 hit");
+    }
+
+    #[test]
+    fn data_and_instruction_paths_are_separate_l1s() {
+        let mut mem = system();
+        let addr = 0x20_0000;
+        let _ = mem.data_access(addr, 0);
+        // The i-cache never saw this line; only L2 did.
+        let lat = mem.ifetch(addr, 100);
+        assert_eq!(lat, 2 + 10, "i-side L1 misses but shared L2 hits");
+    }
+
+    #[test]
+    fn clpt_prefetch_hides_future_misses() {
+        let mut mem = MemSystem::new(&MemConfig::google_tablet().with_clpt());
+        let pc = 0x1000;
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        mem.train_load_criticality(pc, 16);
+        // Streaming loads with stride 64.
+        let mut now = 0;
+        let _ = mem.data_access(0x100_0000, now);
+        mem.observe_load(pc, 0x100_0000, now);
+        now += 100;
+        // The prefetcher stages several lines ahead of the miss line.
+        let lat = mem.data_access(0x100_0100, now);
+        assert_eq!(lat, 2, "prefetched line hits L1D");
+        assert!(mem.stats().clpt_prefetches >= 1);
+    }
+
+    #[test]
+    fn efetch_prefetch_warms_the_icache() {
+        let mut mem = MemSystem::new(&MemConfig::google_tablet().with_efetch());
+        let (a, b) = (0x5_0000u64, 0x6_0000u64);
+        let mut now = 0;
+        for _ in 0..4 {
+            mem.observe_call(a, now);
+            mem.observe_call(b, now);
+            now += 1000;
+        }
+        // After calling a, EFetch predicts b and prefetches it.
+        mem.observe_call(a, now);
+        assert!(mem.icache_contains(b), "predicted callee body staged in i-cache");
+        assert!(mem.stats().efetch_prefetches >= 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mem = system();
+        let _ = mem.ifetch(0, 0);
+        let _ = mem.ifetch(0, 10);
+        let _ = mem.data_access(1 << 20, 20);
+        let s = mem.stats();
+        assert_eq!(s.icache.accesses, 2);
+        assert_eq!(s.icache.misses, 1);
+        assert_eq!(s.dcache.accesses, 1);
+        assert_eq!(s.l2.accesses, 2);
+        assert_eq!(s.dram.accesses, 2);
+    }
+}

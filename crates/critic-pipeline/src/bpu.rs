@@ -1,0 +1,242 @@
+//! Tournament branch predictor with a return-address stack
+//! (Table I: "4k Entry 2 level BPU").
+//!
+//! The conditional side is a classic tournament: a *bimodal* table indexed
+//! by PC captures biased branches, a *gshare* two-level table (global
+//! history XOR PC) captures patterns, and a chooser table picks per PC.
+//! Returns are predicted by a bounded return-address stack.
+
+use serde::{Deserialize, Serialize};
+
+/// Prediction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BpuStats {
+    /// Conditional-branch predictions made.
+    pub lookups: u64,
+    /// Conditional-branch mispredictions.
+    pub mispredicts: u64,
+    /// Return predictions that missed the RAS.
+    pub ras_mispredicts: u64,
+}
+
+impl BpuStats {
+    /// Conditional misprediction rate.
+    pub fn misp_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The predictor.
+#[derive(Debug, Clone)]
+pub struct Bpu {
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    chooser: Vec<u8>, // 0..=3: low favours bimodal, high favours gshare
+    history: u64,
+    history_mask: u64,
+    index_mask: usize,
+    ras: Vec<u64>,
+    ras_depth: usize,
+    stats: BpuStats,
+}
+
+impl Bpu {
+    /// Builds a predictor with `entries` counters per table (power of two)
+    /// and `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, history_bits: u32, ras_depth: usize) -> Bpu {
+        assert!(entries.is_power_of_two(), "BPU entries must be a power of two");
+        Bpu {
+            bimodal: vec![2; entries],
+            gshare: vec![2; entries],
+            chooser: vec![1; entries], // weakly favour bimodal
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            index_mask: entries - 1,
+            ras: Vec::new(),
+            ras_depth,
+            stats: BpuStats::default(),
+        }
+    }
+
+    fn pc_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.index_mask
+    }
+
+    fn gshare_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) as usize) & self.index_mask
+    }
+
+    /// Predicts a conditional branch and trains with the real outcome.
+    /// Returns `true` if the prediction was correct.
+    pub fn predict_conditional(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.lookups += 1;
+        let bi = self.pc_index(pc);
+        let gi = self.gshare_index(pc);
+        let bimodal_taken = self.bimodal[bi] >= 2;
+        let gshare_taken = self.gshare[gi] >= 2;
+        let use_gshare = self.chooser[bi] >= 2;
+        let predicted = if use_gshare { gshare_taken } else { bimodal_taken };
+
+        // Train the chooser toward whichever component was right.
+        match (bimodal_taken == taken, gshare_taken == taken) {
+            (true, false) => self.chooser[bi] = self.chooser[bi].saturating_sub(1),
+            (false, true) => self.chooser[bi] = (self.chooser[bi] + 1).min(3),
+            _ => {}
+        }
+        // Train both components.
+        train_counter(&mut self.bimodal[bi], taken);
+        train_counter(&mut self.gshare[gi], taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+
+        let correct = predicted == taken;
+        if !correct {
+            self.stats.mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Records a call for later return prediction.
+    pub fn push_return(&mut self, return_pc: u64) {
+        if self.ras.len() == self.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    /// Predicts an indirect return; returns `true` if the RAS had the right
+    /// target.
+    pub fn predict_return(&mut self, actual_target: u64) -> bool {
+        match self.ras.pop() {
+            Some(predicted) if predicted == actual_target => true,
+            _ => {
+                self.stats.ras_mispredicts += 1;
+                false
+            }
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BpuStats {
+        self.stats
+    }
+}
+
+fn train_counter(counter: &mut u8, taken: bool) {
+    if taken {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bpu() -> Bpu {
+        Bpu::new(4096, 12, 16)
+    }
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut b = bpu();
+        let pc = 0x1000;
+        for _ in 0..64 {
+            b.predict_conditional(pc, true);
+        }
+        let before = b.stats().mispredicts;
+        for _ in 0..64 {
+            b.predict_conditional(pc, true);
+        }
+        assert_eq!(b.stats().mispredicts, before, "a settled biased branch never mispredicts");
+    }
+
+    #[test]
+    fn biased_branches_survive_many_static_sites() {
+        // The tournament's bimodal side must keep many independent biased
+        // branches predictable even when gshare contexts are sparse.
+        let mut b = bpu();
+        let pcs: Vec<u64> = (0..400).map(|i| 0x1_0000 + i * 44).collect();
+        // Deterministic pseudo-random interleave of sites, each 95% taken.
+        let mut x = 7u64;
+        for round in 0..60 {
+            for &pc in &pcs {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let taken = (x >> 40) % 100 < 95;
+                let _ = round;
+                b.predict_conditional(pc, taken);
+            }
+        }
+        assert!(
+            b.stats().misp_rate() < 0.12,
+            "tournament should hold ~bias error, got {:.3}",
+            b.stats().misp_rate()
+        );
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern_via_history() {
+        let mut b = bpu();
+        let pc = 0x2000;
+        for i in 0..256 {
+            b.predict_conditional(pc, i % 2 == 0);
+        }
+        let before = b.stats().mispredicts;
+        for i in 0..256 {
+            b.predict_conditional(pc, i % 2 == 0);
+        }
+        let new = b.stats().mispredicts - before;
+        assert!(new < 16, "gshare side should capture alternation, got {new} misses");
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut b = bpu();
+        let mut x = 12345u64;
+        let mut outcomes = Vec::new();
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            outcomes.push((x >> 33) & 1 == 1);
+        }
+        for (i, &taken) in outcomes.iter().enumerate() {
+            b.predict_conditional(0x3000 + (i as u64 % 7) * 4, taken);
+        }
+        assert!(b.stats().misp_rate() > 0.25, "patternless branches should hurt");
+    }
+
+    #[test]
+    fn ras_predicts_returns() {
+        let mut b = bpu();
+        b.push_return(0x100);
+        b.push_return(0x200);
+        assert!(b.predict_return(0x200));
+        assert!(b.predict_return(0x100));
+        assert!(!b.predict_return(0x300), "empty stack mispredicts");
+        assert_eq!(b.stats().ras_mispredicts, 1);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut b = Bpu::new(16, 4, 2);
+        b.push_return(0x1);
+        b.push_return(0x2);
+        b.push_return(0x3); // evicts 0x1
+        assert!(b.predict_return(0x3));
+        assert!(b.predict_return(0x2));
+        assert!(!b.predict_return(0x1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn entries_must_be_power_of_two() {
+        let _ = Bpu::new(1000, 12, 16);
+    }
+}

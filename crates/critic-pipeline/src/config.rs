@@ -1,0 +1,173 @@
+//! CPU core configuration (the processor half of Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-kind functional-unit counts (issue-port constraints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuPool {
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Pipelined integer multipliers.
+    pub int_mult: u32,
+    /// Integer dividers (unpipelined).
+    pub int_div: u32,
+    /// Load/store ports.
+    pub mem_ports: u32,
+    /// Branch units.
+    pub branch: u32,
+    /// FP add/compare pipes.
+    pub float_add: u32,
+    /// FP multiply pipes.
+    pub float_mul: u32,
+    /// FP divide/sqrt units (unpipelined).
+    pub float_div: u32,
+}
+
+impl FuPool {
+    /// A mobile-class 4-wide configuration.
+    pub fn google_tablet() -> FuPool {
+        FuPool {
+            int_alu: 4,
+            int_mult: 1,
+            int_div: 1,
+            mem_ports: 2,
+            branch: 1,
+            float_add: 2,
+            float_mul: 1,
+            float_div: 1,
+        }
+    }
+}
+
+/// Core pipeline configuration.
+///
+/// Defaults reproduce Table I: a 4-wide superscalar with a 128-entry ROB and
+/// a 4K-entry two-level branch predictor. Design-point toggles for the
+/// paper's comparison hardware (Fig. 11) are builder methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Superscalar width of rename/issue/commit.
+    pub width: u32,
+    /// Fetch/decode width (doubled by [`CpuConfig::with_double_fd`]).
+    pub fetch_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Issue-queue entries.
+    pub iq_entries: usize,
+    /// Fetch-buffer capacity in instructions.
+    pub fetch_buffer: usize,
+    /// Bytes the fetch stage can pull per cycle (one 16-byte access).
+    pub fetch_bytes_per_cycle: u64,
+    /// Branch-predictor table entries.
+    pub bpu_entries: usize,
+    /// Global-history bits of the two-level predictor.
+    pub bpu_history_bits: u32,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+    /// Bubble cycles after a correctly-predicted taken branch.
+    pub taken_bubble: u32,
+    /// Front-end refill penalty after a misprediction resolves.
+    pub redirect_penalty: u32,
+    /// Extra decode cycles charged per CDP format switch (Sec. IV-B
+    /// conservatively assumes 1 even though synthesis closed at 160 ps).
+    pub cdp_bubble: u32,
+    /// Fig. 11 `PerfectBr`: no branch mispredictions, no taken bubbles.
+    pub perfect_branch: bool,
+    /// Fig. 1a/11 critical-instruction issue prioritization (`BackendPrio`).
+    pub prioritize_critical: bool,
+    /// Fanout threshold above which the criticality table marks a PC
+    /// critical (the paper uses 8).
+    pub crit_threshold: u32,
+    /// Functional units.
+    pub fu: FuPool,
+}
+
+impl CpuConfig {
+    /// The paper's Table I Google-Tablet core.
+    pub fn google_tablet() -> CpuConfig {
+        CpuConfig {
+            width: 4,
+            fetch_width: 4,
+            rob_entries: 128,
+            iq_entries: 60,
+            fetch_buffer: 32,
+            fetch_bytes_per_cycle: 16,
+            bpu_entries: 4096,
+            bpu_history_bits: 12,
+            ras_depth: 16,
+            taken_bubble: 1,
+            redirect_penalty: 3,
+            cdp_bubble: 1,
+            perfect_branch: false,
+            prioritize_critical: false,
+            crit_threshold: 8,
+            fu: FuPool::google_tablet(),
+        }
+    }
+
+    /// Fig. 11 `2×FD`: doubled fetch/decode bandwidth (the i-cache latency
+    /// half of that design point lives in `MemConfig`).
+    #[must_use]
+    pub fn with_double_fd(mut self) -> CpuConfig {
+        self.fetch_width *= 2;
+        self.fetch_bytes_per_cycle *= 2;
+        self.fetch_buffer *= 2;
+        self
+    }
+
+    /// Fig. 11 `PerfectBr`: oracle branch prediction.
+    #[must_use]
+    pub fn with_perfect_branch(mut self) -> CpuConfig {
+        self.perfect_branch = true;
+        self
+    }
+
+    /// Fig. 1a "prioritizing" / Fig. 11 `BackendPrio`: critical-first issue.
+    #[must_use]
+    pub fn with_critical_prioritization(mut self) -> CpuConfig {
+        self.prioritize_critical = true;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::google_tablet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_core_parameters() {
+        let cfg = CpuConfig::google_tablet();
+        assert_eq!(cfg.width, 4);
+        assert_eq!(cfg.rob_entries, 128);
+        assert_eq!(cfg.bpu_entries, 4096);
+        assert_eq!(cfg.crit_threshold, 8);
+        assert!(!cfg.perfect_branch);
+        assert!(!cfg.prioritize_critical);
+    }
+
+    #[test]
+    fn double_fd_doubles_only_the_front_end() {
+        let cfg = CpuConfig::google_tablet().with_double_fd();
+        assert_eq!(cfg.fetch_width, 8);
+        assert_eq!(cfg.fetch_bytes_per_cycle, 32);
+        assert_eq!(cfg.width, 4, "rename/issue/commit width unchanged");
+        assert_eq!(cfg.rob_entries, 128);
+    }
+
+    #[test]
+    fn toggles_compose() {
+        let cfg = CpuConfig::google_tablet().with_perfect_branch().with_critical_prioritization();
+        assert!(cfg.perfect_branch && cfg.prioritize_critical);
+    }
+
+    #[test]
+    fn default_matches_google_tablet() {
+        assert_eq!(CpuConfig::default(), CpuConfig::google_tablet());
+    }
+}

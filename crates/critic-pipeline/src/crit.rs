@@ -1,0 +1,114 @@
+//! The hardware criticality predictor table (paper Sec. II-A).
+//!
+//! "A table is maintained for those instructions exceeding the threshold
+//! based on prior execution (similar to branch predictors), and upon an
+//! instruction fetch, this table is looked up with the PC to find whether
+//! that instruction is critical or not."
+//!
+//! The single-instruction baselines (critical-load prefetch, critical-first
+//! issue) consult this table; the CritIC scheme itself deliberately does
+//! *not* — it is software-profiled.
+
+use serde::{Deserialize, Serialize};
+
+/// PC-indexed saturating-counter table of observed fanout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CritTable {
+    counters: Vec<u8>,
+    mask: usize,
+    threshold: u32,
+}
+
+impl CritTable {
+    /// Builds a table with `entries` counters (power of two) and the given
+    /// criticality fanout threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, threshold: u32) -> CritTable {
+        assert!(entries.is_power_of_two(), "table entries must be a power of two");
+        CritTable { counters: vec![0; entries], mask: entries - 1, threshold }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Trains the table with a committed instruction's observed ROB fanout.
+    pub fn train(&mut self, pc: u64, fanout: u32) {
+        let index = self.index(pc);
+        let counter = &mut self.counters[index];
+        let observed = fanout.min(127) as u8;
+        if observed >= *counter {
+            *counter = (*counter + ((observed - *counter + 1) / 2)).min(127);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+    }
+
+    /// Whether the table currently predicts `pc` critical.
+    pub fn is_critical(&self, pc: u64) -> bool {
+        u32::from(self.counters[self.index(pc)]) >= self.threshold
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_learns_high_fanout_pcs() {
+        let mut table = CritTable::new(4096, 8);
+        let pc = 0x4000;
+        assert!(!table.is_critical(pc));
+        for _ in 0..6 {
+            table.train(pc, 12);
+        }
+        assert!(table.is_critical(pc));
+    }
+
+    #[test]
+    fn table_forgets_with_decay() {
+        let mut table = CritTable::new(4096, 8);
+        let pc = 0x4000;
+        for _ in 0..6 {
+            table.train(pc, 12);
+        }
+        for _ in 0..64 {
+            table.train(pc, 1);
+        }
+        assert!(!table.is_critical(pc));
+    }
+
+    #[test]
+    fn different_pcs_do_not_interfere_in_a_large_table() {
+        let mut table = CritTable::new(4096, 8);
+        table.train(0x100, 100);
+        table.train(0x100, 100);
+        table.train(0x100, 100);
+        assert!(table.is_critical(0x100));
+        assert!(!table.is_critical(0x104));
+    }
+
+    #[test]
+    fn aliasing_happens_in_a_tiny_table() {
+        let mut table = CritTable::new(2, 8);
+        for _ in 0..6 {
+            table.train(0x0, 50);
+        }
+        // 0x0 and 0x8 collide in a 2-entry table indexed by pc >> 2.
+        assert_eq!(table.is_critical(0x0), table.is_critical(0x8));
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let table = CritTable::new(16, 8);
+        assert_eq!(table.threshold(), 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! Simulation results: cycles, fetch-stall taxonomy, stage residencies.
+
+use critic_mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+use crate::bpu::BpuStats;
+
+/// Fetch-stall cycle attribution (paper Fig. 3b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchStalls {
+    /// Cycles fetch supplied nothing because of an i-cache miss
+    /// (F.StallForI, i-cache component).
+    pub icache: u64,
+    /// Cycles fetch supplied nothing because of branch redirect or
+    /// misprediction recovery (F.StallForI, branch component).
+    pub branch: u64,
+    /// Cycles fetch supplied nothing because the fetch buffer was full —
+    /// back-pressure from decode onward (F.StallForR+D).
+    pub backpressure: u64,
+}
+
+impl FetchStalls {
+    /// Total F.StallForI cycles.
+    pub fn stall_for_i(&self) -> u64 {
+        self.icache + self.branch
+    }
+
+    /// Total F.StallForR+D cycles.
+    pub fn stall_for_rd(&self) -> u64 {
+        self.backpressure
+    }
+}
+
+/// Summed per-stage residencies over a set of instructions (Fig. 3a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Instructions aggregated.
+    pub count: u64,
+    /// Cycles waiting for instruction supply immediately before fetch
+    /// (charged to the first instruction delivered after the stall).
+    pub fetch_supply: u64,
+    /// Cycles sitting in the fetch buffer before decode drained them.
+    pub fetch_buffer: u64,
+    /// Decode/rename cycles.
+    pub decode: u64,
+    /// Cycles in the issue queue waiting for operands or ports.
+    pub issue_wait: u64,
+    /// Execution cycles (including memory latency for loads).
+    pub execute: u64,
+    /// Cycles between completion and in-order commit (ROB residency).
+    pub commit_wait: u64,
+}
+
+impl StageBreakdown {
+    /// Total fetch-to-commit cycles across all aggregated instructions.
+    pub fn total(&self) -> u64 {
+        self.fetch_supply
+            + self.fetch_buffer
+            + self.decode
+            + self.issue_wait
+            + self.execute
+            + self.commit_wait
+    }
+
+    /// The fetch-stage share (supply + buffer) of the total, 0..1.
+    pub fn fetch_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.fetch_supply + self.fetch_buffer) as f64 / total as f64
+        }
+    }
+
+    /// Share of a single component of the total, 0..1.
+    pub fn share(&self, component: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            component as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn add(
+        &mut self,
+        supply: u64,
+        buffer: u64,
+        decode: u64,
+        issue: u64,
+        execute: u64,
+        commit: u64,
+    ) {
+        self.count += 1;
+        self.fetch_supply += supply;
+        self.fetch_buffer += buffer;
+        self.decode += decode;
+        self.issue_wait += issue;
+        self.execute += execute;
+        self.commit_wait += commit;
+    }
+}
+
+/// Everything one simulation run produces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total cycles to commit the whole trace.
+    pub cycles: u64,
+    /// Committed instructions (including compiler-inserted overhead such as
+    /// switch branches; excluding CDPs, which never enter the ROB).
+    pub committed: u64,
+    /// CDP format switches consumed by the decoder.
+    pub cdp_switches: u64,
+    /// Fetch-stall attribution.
+    pub fetch_stalls: FetchStalls,
+    /// Stage residencies over all instructions.
+    pub stage_all: StageBreakdown,
+    /// Stage residencies over high-fanout (critical) instructions only.
+    pub stage_critical: StageBreakdown,
+    /// Branch predictor counters.
+    pub bpu: BpuStats,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Dynamic instructions that were fetched in 16-bit format.
+    pub thumb_fetched: u64,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run **of the same
+    /// workload path** (cycles ratio).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// F.StallForI as a fraction of total execution cycles.
+    pub fn stall_for_i_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fetch_stalls.stall_for_i() as f64 / self.cycles as f64
+        }
+    }
+
+    /// F.StallForR+D as a fraction of total execution cycles.
+    pub fn stall_for_rd_frac(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fetch_stalls.stall_for_rd() as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_shares() {
+        let mut b = StageBreakdown::default();
+        b.add(10, 10, 5, 15, 40, 20);
+        assert_eq!(b.total(), 100);
+        assert!((b.fetch_share() - 0.2).abs() < 1e-9);
+        assert!((b.share(b.execute) - 0.4).abs() < 1e-9);
+        assert_eq!(b.count, 1);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_shares() {
+        let b = StageBreakdown::default();
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.fetch_share(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = SimResult { cycles: 1000, committed: 800, ..Default::default() };
+        let fast = SimResult { cycles: 800, committed: 800, ..Default::default() };
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);
+        assert!((base.ipc() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_fractions() {
+        let r = SimResult {
+            cycles: 100,
+            fetch_stalls: FetchStalls { icache: 15, branch: 2, backpressure: 11 },
+            ..Default::default()
+        };
+        assert!((r.stall_for_i_frac() - 0.17).abs() < 1e-9);
+        assert!((r.stall_for_rd_frac() - 0.11).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,400 @@
+//! Instruction-Chain (IC) extraction (paper Sec. III-A).
+//!
+//! An IC is "any acyclic path of a DFG that is independently schedulable at
+//! that instant": every member after the head reads only values produced
+//! inside the chain or before the chain started. Two extractors share one
+//! greedy core:
+//!
+//! * [`extract_dynamic_ics`] — unconstrained (chains may span blocks and
+//!   loop iterations), used for the Fig. 5a length/spread characterization,
+//!   where SPEC's loop-carried dependences produce kilo-instruction chains;
+//! * [`extract_block_ics`] — chains confined to one dynamic basic-block
+//!   instance. These are what the optimizer can actually hoist; since any
+//!   sub-path of an IC is itself an IC (Sec. III-A), restricting to
+//!   block-contained sub-paths is sound.
+
+use serde::{Deserialize, Serialize};
+
+use critic_workloads::Trace;
+
+use crate::dfg::Dfg;
+
+/// Fanout at or above which an instruction is preferred as a chain head.
+const CRITICAL_HEAD_THRESHOLD: u32 = 8;
+
+/// One extracted dynamic chain: member indices into the trace, in
+/// dependence order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynChain {
+    /// Trace indices of the members (strictly increasing).
+    pub members: Vec<u32>,
+}
+
+impl DynChain {
+    /// Chain length in instructions.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the chain has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Spread: dynamic-stream distance from head to tail (Fig. 5a).
+    pub fn spread(&self) -> u32 {
+        match (self.members.first(), self.members.last()) {
+            (Some(&first), Some(&last)) => last - first,
+            _ => 0,
+        }
+    }
+
+    /// Average fanout per member — the paper's IC criticality metric.
+    pub fn avg_fanout(&self, fanout: &[u32]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.members.iter().map(|&m| u64::from(fanout[m as usize])).sum();
+        sum as f64 / self.members.len() as f64
+    }
+}
+
+/// Shared greedy chain growth.
+///
+/// `boundary` is the earliest trace index whose values count as *internal*:
+/// dependences on instructions before it are external inputs (already
+/// available), dependences on instructions at/after it must be chain
+/// members for the chain to stay self-contained.
+struct Grower<'a> {
+    dfg: &'a Dfg,
+    trace: &'a Trace,
+    fanout: &'a [u32],
+    claimed: Vec<bool>,
+    stamp: Vec<u32>,
+    chain_id: u32,
+}
+
+impl<'a> Grower<'a> {
+    fn new(dfg: &'a Dfg, trace: &'a Trace, fanout: &'a [u32]) -> Grower<'a> {
+        let n = trace.len();
+        Grower { dfg, trace, fanout, claimed: vec![false; n], stamp: vec![u32::MAX; n], chain_id: 0 }
+    }
+
+    /// Grows a chain from `head`, bounded by `limit` (exclusive end of the
+    /// eligible region), `spread_cap`, and `len_cap`.
+    fn grow(
+        &mut self,
+        head: u32,
+        boundary: u32,
+        limit: u32,
+        spread_cap: u32,
+        len_cap: usize,
+    ) -> Vec<u32> {
+        self.chain_id = self.chain_id.wrapping_add(1);
+        let id = self.chain_id;
+        let mut members = vec![head];
+        self.stamp[head as usize] = id;
+        let mut cur = head;
+        while members.len() < len_cap {
+            let mut best: Option<(u32, u64)> = None;
+            for &cand in self.dfg.consumers(cur) {
+                if cand >= limit || cand - head > spread_cap {
+                    break;
+                }
+                if self.claimed[cand as usize] || self.stamp[cand as usize] == id {
+                    continue;
+                }
+                // Self-containment: every dependence must be external
+                // (before `boundary`) or a chain member.
+                let ok = self.trace.entries[cand as usize].deps_iter().all(|d| {
+                    d < boundary || self.stamp[d as usize] == id
+                });
+                if !ok {
+                    continue;
+                }
+                // Prefer the continuation leading toward critical members:
+                // a candidate scores by its own fanout plus a one-hop
+                // lookahead over *eligible* continuations, so low-fanout gap
+                // instructions that lead to the next critical beat dead-end
+                // consumers.
+                let score = self.score(cand, id, boundary, limit);
+                match best {
+                    Some((_, best_score)) if best_score >= score => {}
+                    _ => best = Some((cand, score)),
+                }
+            }
+            let Some((next, _)) = best else { break };
+            self.stamp[next as usize] = id;
+            members.push(next);
+            cur = next;
+        }
+        members
+    }
+
+    /// Candidate score: own fanout plus the best fanout among one-hop
+    /// continuations that would themselves be eligible chain members.
+    fn score(&self, cand: u32, id: u32, boundary: u32, limit: u32) -> u64 {
+        let own = u64::from(self.fanout[cand as usize]);
+        let ahead = self
+            .dfg
+            .consumers(cand)
+            .iter()
+            .take_while(|&&c| c < limit)
+            .filter(|&&c2| {
+                !self.claimed[c2 as usize]
+                    && self.trace.entries[c2 as usize]
+                        .deps_iter()
+                        .all(|d| d < boundary || self.stamp[d as usize] == id || d == cand)
+            })
+            .map(|&c| u64::from(self.fanout[c as usize]))
+            .max()
+            .unwrap_or(0);
+        own + 2 * ahead
+    }
+
+    fn claim(&mut self, members: &[u32]) {
+        for &m in members {
+            self.claimed[m as usize] = true;
+        }
+    }
+
+    /// Clears the stamps of a rejected (too short) chain so its head stays
+    /// available as a member of later chains.
+    fn unstamp(&mut self, members: &[u32]) {
+        for &m in members {
+            self.stamp[m as usize] = u32::MAX;
+        }
+    }
+}
+
+/// Extracts disjoint dynamic ICs over the whole trace (Fig. 5a analysis).
+///
+/// Chains start at unclaimed instructions in trace order, grow greedily
+/// through the forward DFG, and are kept when at least two members long.
+pub fn extract_dynamic_ics(
+    trace: &Trace,
+    dfg: &Dfg,
+    fanout: &[u32],
+    spread_cap: u32,
+    len_cap: usize,
+) -> Vec<DynChain> {
+    let n = trace.len() as u32;
+    let mut grower = Grower::new(dfg, trace, fanout);
+    let mut chains = Vec::new();
+    // Critical heads first, so high-value chains are not swallowed as the
+    // tail of some low-value chain started earlier.
+    let critical_pass = (0..n).filter(|&i| fanout[i as usize] >= CRITICAL_HEAD_THRESHOLD);
+    for head in critical_pass.chain(0..n) {
+        if grower.claimed[head as usize] {
+            continue;
+        }
+        let members = grower.grow(head, head, n, spread_cap, len_cap);
+        if members.len() >= 2 {
+            grower.claim(&members);
+            chains.push(DynChain { members });
+        } else {
+            grower.unstamp(&members);
+        }
+    }
+    chains.sort_by_key(|c| c.members[0]);
+    chains
+}
+
+/// Extracts disjoint ICs confined to single dynamic block instances — the
+/// optimizer's raw material.
+pub fn extract_block_ics(trace: &Trace, dfg: &Dfg, fanout: &[u32]) -> Vec<DynChain> {
+    let mut grower = Grower::new(dfg, trace, fanout);
+    let mut chains = Vec::new();
+    let n = trace.len();
+    let mut start = 0usize;
+    while start < n {
+        // A block instance is a maximal run with at.index increasing from 0.
+        let mut end = start + 1;
+        while end < n && trace.entries[end].at.index > 0 && trace.entries[end].at.block == trace.entries[start].at.block
+        {
+            end += 1;
+        }
+        let critical_pass =
+            (start..end).filter(|&i| fanout[i] >= CRITICAL_HEAD_THRESHOLD);
+        for head in critical_pass.chain(start..end) {
+            if grower.claimed[head] {
+                continue;
+            }
+            let members =
+                grower.grow(head as u32, start as u32, end as u32, (end - start) as u32, usize::MAX);
+            if members.len() >= 2 {
+                grower.claim(&members);
+                chains.push(DynChain { members });
+            } else {
+                grower.unstamp(&members);
+            }
+        }
+        start = end;
+    }
+    chains.sort_by_key(|c| c.members[0]);
+    chains
+}
+
+/// Length/spread distribution summary (Fig. 5a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChainShape {
+    /// Chains observed.
+    pub count: u64,
+    /// Longest chain.
+    pub max_len: u32,
+    /// Mean chain length.
+    pub mean_len: f64,
+    /// 99th-percentile chain length.
+    pub p99_len: u32,
+    /// Largest spread.
+    pub max_spread: u32,
+    /// Mean spread.
+    pub mean_spread: f64,
+    /// 99th-percentile spread.
+    pub p99_spread: u32,
+}
+
+impl ChainShape {
+    /// Summarizes a chain population.
+    pub fn measure(chains: &[DynChain]) -> ChainShape {
+        if chains.is_empty() {
+            return ChainShape::default();
+        }
+        let mut lens: Vec<u32> = chains.iter().map(|c| c.len() as u32).collect();
+        let mut spreads: Vec<u32> = chains.iter().map(DynChain::spread).collect();
+        lens.sort_unstable();
+        spreads.sort_unstable();
+        let p99 = |v: &[u32]| v[(v.len().saturating_sub(1)) * 99 / 100];
+        ChainShape {
+            count: chains.len() as u64,
+            max_len: *lens.last().expect("non-empty"),
+            mean_len: lens.iter().map(|&l| f64::from(l)).sum::<f64>() / lens.len() as f64,
+            p99_len: p99(&lens),
+            max_spread: *spreads.last().expect("non-empty"),
+            mean_spread: spreads.iter().map(|&s| f64::from(s)).sum::<f64>() / spreads.len() as f64,
+            p99_spread: p99(&spreads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::suite::Suite;
+    use critic_workloads::{ExecutionPath, Trace};
+
+    use super::*;
+
+    fn setup(suite: Suite, len: usize) -> (Trace, Vec<u32>, Dfg) {
+        let mut app = suite.apps()[0].clone();
+        app.params.num_functions = app.params.num_functions.min(32);
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, 11, len);
+        let trace = Trace::expand(&program, &path);
+        let fanout = trace.compute_fanout();
+        let dfg = Dfg::build(&trace);
+        (trace, fanout, dfg)
+    }
+
+    fn assert_well_formed(trace: &Trace, chains: &[DynChain]) {
+        let mut seen = std::collections::HashSet::new();
+        for chain in chains {
+            assert!(chain.len() >= 2);
+            // Members strictly increase and are disjoint across chains.
+            assert!(chain.members.windows(2).all(|w| w[0] < w[1]));
+            for &m in &chain.members {
+                assert!(seen.insert(m), "member {m} claimed twice");
+            }
+            // Consecutive members are def-use linked.
+            for w in chain.members.windows(2) {
+                let consumer = &trace.entries[w[1] as usize];
+                assert!(
+                    consumer.deps_iter().any(|d| d == w[0]),
+                    "chain link {}->{} is not a dependence",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_chains_are_well_formed() {
+        let (trace, fanout, dfg) = setup(Suite::Mobile, 15_000);
+        let chains = extract_dynamic_ics(&trace, &dfg, &fanout, 8192, 4096);
+        assert!(!chains.is_empty());
+        assert_well_formed(&trace, &chains);
+    }
+
+    #[test]
+    fn dynamic_chains_are_self_contained() {
+        let (trace, fanout, dfg) = setup(Suite::Mobile, 10_000);
+        let chains = extract_dynamic_ics(&trace, &dfg, &fanout, 8192, 4096);
+        for chain in &chains {
+            let head = chain.members[0];
+            for &m in &chain.members[1..] {
+                for d in trace.entries[m as usize].deps_iter() {
+                    assert!(
+                        d < head || chain.members.contains(&d),
+                        "member {m} depends on {d}, outside the chain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_chains_stay_within_one_block_instance() {
+        let (trace, fanout, dfg) = setup(Suite::Mobile, 15_000);
+        let chains = extract_block_ics(&trace, &dfg, &fanout);
+        assert!(!chains.is_empty());
+        assert_well_formed(&trace, &chains);
+        for chain in &chains {
+            let block = trace.entries[chain.members[0] as usize].at.block;
+            for &m in &chain.members {
+                assert_eq!(trace.entries[m as usize].at.block, block);
+            }
+            // Members of one dynamic instance: indices within block are
+            // strictly increasing.
+            assert!(chain
+                .members
+                .windows(2)
+                .all(|w| trace.entries[w[0] as usize].at.index < trace.entries[w[1] as usize].at.index));
+        }
+    }
+
+    #[test]
+    fn spec_chains_are_longer_and_wider_spread_than_mobile() {
+        // Fig. 5a: SPEC ICs reach kilo-instruction lengths via loop-carried
+        // dependences; mobile ICs stay short and close.
+        let (trace_m, fanout_m, dfg_m) = setup(Suite::Mobile, 30_000);
+        let mobile = ChainShape::measure(&extract_dynamic_ics(&trace_m, &dfg_m, &fanout_m, 8192, 4096));
+        let (trace_s, fanout_s, dfg_s) = setup(Suite::SpecFloat, 30_000);
+        let spec = ChainShape::measure(&extract_dynamic_ics(&trace_s, &dfg_s, &fanout_s, 8192, 4096));
+        assert!(
+            spec.max_len > mobile.max_len * 3,
+            "spec max_len {} vs mobile {}",
+            spec.max_len,
+            mobile.max_len
+        );
+        assert!(
+            spec.max_spread > mobile.max_spread,
+            "spec spread {} vs mobile {}",
+            spec.max_spread,
+            mobile.max_spread
+        );
+        assert!(mobile.max_len >= 4, "mobile chains exist");
+    }
+
+    #[test]
+    fn avg_fanout_is_the_member_mean() {
+        let chain = DynChain { members: vec![0, 2, 5] };
+        let fanout = vec![12, 0, 3, 0, 0, 9];
+        assert!((chain.avg_fanout(&fanout) - 8.0).abs() < 1e-9);
+        assert_eq!(chain.spread(), 5);
+    }
+
+    #[test]
+    fn shape_of_empty_population() {
+        assert_eq!(ChainShape::measure(&[]), ChainShape::default());
+    }
+}

@@ -1,0 +1,107 @@
+//! Critical-instruction marking (paper Sec. II-A).
+//!
+//! "An instruction is critical if its execution time becomes visible in the
+//! overall app execution"; the operational heuristic is fan-out observed in
+//! the ROB: instructions whose result feeds at least `threshold` dependents.
+
+use critic_workloads::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Default fanout threshold (the paper fixes 8).
+pub const DEFAULT_FANOUT_THRESHOLD: u32 = 8;
+
+/// Marks each dynamic instruction critical iff its fanout crosses the
+/// threshold.
+pub fn mark_critical(fanout: &[u32], threshold: u32) -> Vec<bool> {
+    fanout.iter().map(|&f| f >= threshold).collect()
+}
+
+/// Aggregate criticality statistics for one workload (Fig. 1a right axis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalitySummary {
+    /// Dynamic instructions observed.
+    pub instructions: u64,
+    /// Instructions whose fanout crossed the threshold.
+    pub critical: u64,
+    /// The threshold used.
+    pub threshold: u32,
+    /// Maximum observed fanout.
+    pub max_fanout: u32,
+    /// Mean fanout over all instructions.
+    pub mean_fanout: f64,
+}
+
+impl CriticalitySummary {
+    /// Computes the summary for a trace.
+    pub fn measure(trace: &Trace, fanout: &[u32], threshold: u32) -> CriticalitySummary {
+        assert_eq!(trace.len(), fanout.len());
+        let critical = fanout.iter().filter(|&&f| f >= threshold).count() as u64;
+        let max_fanout = fanout.iter().copied().max().unwrap_or(0);
+        let sum: u64 = fanout.iter().map(|&f| u64::from(f)).sum();
+        let mean = if fanout.is_empty() { 0.0 } else { sum as f64 / fanout.len() as f64 };
+        CriticalitySummary {
+            instructions: trace.len() as u64,
+            critical,
+            threshold,
+            max_fanout,
+            mean_fanout: mean,
+        }
+    }
+
+    /// Fraction of dynamic instructions that are critical.
+    pub fn critical_frac(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.critical as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::suite::Suite;
+    use critic_workloads::{ExecutionPath, Trace};
+
+    use super::*;
+
+    #[test]
+    fn marking_respects_threshold() {
+        let fanout = vec![0, 7, 8, 20];
+        let marks = mark_critical(&fanout, 8);
+        assert_eq!(marks, vec![false, false, true, true]);
+    }
+
+    fn summary_for(suite: Suite, len: usize) -> CriticalitySummary {
+        let mut app = suite.apps()[0].clone();
+        app.params.num_functions = app.params.num_functions.min(40);
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, 1, len);
+        let trace = Trace::expand(&program, &path);
+        let fanout = trace.compute_fanout();
+        CriticalitySummary::measure(&trace, &fanout, DEFAULT_FANOUT_THRESHOLD)
+    }
+
+    #[test]
+    fn mobile_has_more_criticals_than_spec() {
+        // Fig. 1a right axis: "mobile apps have a much higher percentage of
+        // critical instructions than their SPEC counterparts".
+        let mobile = summary_for(Suite::Mobile, 40_000);
+        let spec = summary_for(Suite::SpecFloat, 40_000);
+        assert!(
+            mobile.critical_frac() > spec.critical_frac(),
+            "mobile {:.4} vs spec.float {:.4}",
+            mobile.critical_frac(),
+            spec.critical_frac()
+        );
+        assert!(mobile.critical_frac() > 0.01);
+    }
+
+    #[test]
+    fn summary_reports_consistent_counts() {
+        let s = summary_for(Suite::Mobile, 10_000);
+        assert!(s.critical <= s.instructions);
+        assert!(s.max_fanout >= DEFAULT_FANOUT_THRESHOLD);
+        assert!(s.mean_fanout > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! A compact forward def-use graph over a dynamic trace.
+//!
+//! The trace stores each instruction's *producers*; the profiler's analyses
+//! walk the other direction (producer → consumers), so this module builds a
+//! CSR adjacency once and shares it across the gap and chain analyses.
+
+use critic_workloads::Trace;
+
+/// Forward (producer → consumers) adjacency in CSR form.
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    offsets: Vec<u32>,
+    consumers: Vec<u32>,
+}
+
+impl Dfg {
+    /// Builds the forward graph from a trace's dependence records.
+    pub fn build(trace: &Trace) -> Dfg {
+        let n = trace.len();
+        let mut counts = vec![0u32; n + 1];
+        for entry in trace.iter() {
+            for dep in entry.deps_iter() {
+                counts[dep as usize + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let mut consumers = vec![0u32; counts[n] as usize];
+        let mut cursor = counts.clone();
+        for (i, entry) in trace.iter().enumerate() {
+            for dep in entry.deps_iter() {
+                let slot = cursor[dep as usize];
+                consumers[slot as usize] = i as u32;
+                cursor[dep as usize] += 1;
+            }
+        }
+        Dfg { offsets: counts, consumers }
+    }
+
+    /// The direct consumers of instruction `i`, in trace order.
+    pub fn consumers(&self, i: u32) -> &[u32] {
+        let start = self.offsets[i as usize] as usize;
+        let end = self.offsets[i as usize + 1] as usize;
+        &self.consumers[start..end]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The out-degree (fanout) of instruction `i`.
+    pub fn fanout(&self, i: u32) -> u32 {
+        self.offsets[i as usize + 1] - self.offsets[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::{ExecutionPath, GenParams, ProgramGenerator, Trace};
+
+    use super::*;
+
+    fn trace() -> Trace {
+        let mut p = GenParams::mobile(5);
+        p.num_functions = 16;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, 5, 5_000);
+        Trace::expand(&program, &path)
+    }
+
+    #[test]
+    fn consumers_mirror_deps() {
+        let trace = trace();
+        let dfg = Dfg::build(&trace);
+        assert_eq!(dfg.len(), trace.len());
+        for (i, entry) in trace.iter().enumerate() {
+            for dep in entry.deps_iter() {
+                assert!(
+                    dfg.consumers(dep).contains(&(i as u32)),
+                    "edge {dep}->{i} missing from the forward graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_matches_trace_computation() {
+        let trace = trace();
+        let dfg = Dfg::build(&trace);
+        let fanout = trace.compute_fanout();
+        for (i, e) in trace.iter().enumerate() {
+            if matches!(
+                e.op,
+                critic_isa::Opcode::Cmp
+                    | critic_isa::Opcode::Cmn
+                    | critic_isa::Opcode::Tst
+                    | critic_isa::Opcode::Vcmp
+            ) {
+                // Value fanout excludes flag readers; the raw graph keeps
+                // them (the gap analysis walks control dependences too).
+                assert!(dfg.fanout(i as u32) >= fanout[i]);
+            } else {
+                assert_eq!(dfg.fanout(i as u32), fanout[i], "fanout mismatch at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_are_sorted_forward() {
+        let trace = trace();
+        let dfg = Dfg::build(&trace);
+        for i in 0..trace.len() as u32 {
+            let consumers = dfg.consumers(i);
+            assert!(consumers.windows(2).all(|w| w[0] <= w[1]));
+            assert!(consumers.iter().all(|&c| c > i), "consumers come after producers");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Fig. 1b: low-fanout gaps between successive critical instructions in a
+//! dependence chain.
+//!
+//! For every critical instruction, walk the forward def-use graph breadth
+//! first (bounded depth and window, as the ROB bounds the hardware's view)
+//! and find the *nearest* dependent critical instruction. The number of
+//! low-fanout chain nodes on that shortest path is the "gap"; criticals with
+//! no dependent critical in range land in the `none` bucket — the case the
+//! paper reports at ~60% / ~35% for SPEC.float / SPEC.int and almost never
+//! for Android apps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dfg::Dfg;
+
+/// Maximum gap bucket tracked individually (larger gaps clamp here).
+pub const MAX_GAP: usize = 5;
+
+/// BFS depth bound (chains longer than this count as "none").
+const DEPTH_LIMIT: u32 = 8;
+
+/// Window (in dynamic instructions) a dependence may span, mirroring the
+/// ROB-bounded observation of the hardware heuristic.
+const WINDOW: u32 = 256;
+
+/// The Fig. 1b histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapHistogram {
+    /// Criticals with no dependent critical in range.
+    pub none: u64,
+    /// Counts for gaps of exactly 0..=5 low-fanout instructions
+    /// (`gaps[5]` aggregates ≥ 5).
+    pub gaps: [u64; MAX_GAP + 1],
+}
+
+impl GapHistogram {
+    /// Builds the histogram from a trace's forward DFG and fanout.
+    pub fn measure(dfg: &Dfg, fanout: &[u32], threshold: u32) -> GapHistogram {
+        let mut hist = GapHistogram::default();
+        let n = fanout.len() as u32;
+        let mut queue: Vec<(u32, u32)> = Vec::new(); // (node, path length)
+        for start in 0..n {
+            if fanout[start as usize] < threshold {
+                continue;
+            }
+            // Bounded BFS for the nearest dependent critical.
+            queue.clear();
+            queue.push((start, 0));
+            let mut head = 0usize;
+            let mut found: Option<u32> = None;
+            while head < queue.len() {
+                let (node, depth) = queue[head];
+                head += 1;
+                if depth >= DEPTH_LIMIT {
+                    continue;
+                }
+                for &next in dfg.consumers(node) {
+                    if next - start > WINDOW {
+                        break;
+                    }
+                    if fanout[next as usize] >= threshold {
+                        found = Some(depth); // `depth` intermediate low-fanout nodes
+                        break;
+                    }
+                    queue.push((next, depth + 1));
+                }
+                if found.is_some() {
+                    break;
+                }
+            }
+            match found {
+                Some(gap) => hist.gaps[(gap as usize).min(MAX_GAP)] += 1,
+                None => hist.none += 1,
+            }
+        }
+        hist
+    }
+
+    /// Total criticals observed.
+    pub fn total(&self) -> u64 {
+        self.none + self.gaps.iter().sum::<u64>()
+    }
+
+    /// Fraction of criticals with no dependent critical.
+    pub fn none_frac(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.none as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of criticals whose nearest dependent critical sits behind
+    /// `gap` low-fanout instructions.
+    pub fn gap_frac(&self, gap: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.gaps[gap.min(MAX_GAP)] as f64 / self.total() as f64
+        }
+    }
+
+    /// Cumulative fraction with 1..=5 gaps — the paper's "52% of the time in
+    /// Android apps" number.
+    pub fn one_to_five_frac(&self) -> f64 {
+        (1..=MAX_GAP).map(|g| self.gap_frac(g)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::suite::Suite;
+    use critic_workloads::{ExecutionPath, Trace};
+
+    use super::*;
+    use crate::critical::DEFAULT_FANOUT_THRESHOLD;
+
+    fn histogram_for(suite: Suite, len: usize) -> GapHistogram {
+        let mut app = suite.apps()[0].clone();
+        app.params.num_functions = app.params.num_functions.min(40);
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, 3, len);
+        let trace = Trace::expand(&program, &path);
+        let fanout = trace.compute_fanout();
+        let dfg = Dfg::build(&trace);
+        GapHistogram::measure(&dfg, &fanout, DEFAULT_FANOUT_THRESHOLD)
+    }
+
+    #[test]
+    fn android_criticals_chain_through_low_fanout_gaps() {
+        let hist = histogram_for(Suite::Mobile, 40_000);
+        assert!(hist.total() > 50, "need a population of criticals");
+        // Fig. 1b: Android criticals mostly have a dependent critical with
+        // >= 1 low-fanout instruction in between. (Our synthetic web leaves
+        // a larger none-bucket than the paper's near-zero — chain tails at
+        // function boundaries — but the mass in the 1..5 buckets and the
+        // Android-vs-SPEC ordering, which carry the paper's argument, hold;
+        // see EXPERIMENTS.md.)
+        assert!(
+            hist.none_frac() < 0.55,
+            "android none-bucket too big: {:.3}",
+            hist.none_frac()
+        );
+        assert!(
+            hist.one_to_five_frac() > 0.25,
+            "android 1..5 gap mass too small: {:.3}",
+            hist.one_to_five_frac()
+        );
+    }
+
+    #[test]
+    fn spec_criticals_are_mostly_isolated() {
+        let hist = histogram_for(Suite::SpecFloat, 40_000);
+        let android = histogram_for(Suite::Mobile, 40_000);
+        assert!(
+            hist.none_frac() > android.none_frac(),
+            "SPEC.float none {:.3} should exceed Android {:.3}",
+            hist.none_frac(),
+            android.none_frac()
+        );
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let hist = histogram_for(Suite::Mobile, 20_000);
+        let sum: f64 =
+            hist.none_frac() + (0..=MAX_GAP).map(|g| hist.gap_frac(g)).sum::<f64>();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let hist = GapHistogram::default();
+        assert_eq!(hist.total(), 0);
+        assert_eq!(hist.none_frac(), 0.0);
+        assert_eq!(hist.gap_frac(3), 0.0);
+    }
+}

@@ -1,0 +1,928 @@
+//! The static-program generator.
+//!
+//! Given [`GenParams`], builds a [`Program`] whose *register def-use
+//! structure* — not just its opcode mix — reproduces the paper's
+//! characterization:
+//!
+//! * **chain templates**: dependence chains are planted explicitly. A chain
+//!   is a sequence of members where each member reads the previous member's
+//!   destination; *critical* members additionally receive `high_fanout`
+//!   consumer instructions placed in a window after them, so the ROB-fanout
+//!   heuristic of `critic-profiler` marks them critical, while the low-fanout
+//!   members between two criticals realize Fig. 1b's gap histogram;
+//! * **loop-carried accumulators** (SPEC presets) produce the
+//!   kilo-instruction instruction chains of Fig. 5a;
+//! * **filler instructions** realize the opcode mix, predication rate,
+//!   high-register pressure, and immediate widths that gate Thumb
+//!   conversion.
+//!
+//! The generator is fully deterministic in `params.seed`.
+
+use critic_isa::{Cond, Insn, Opcode, Reg};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::ids::{BlockId, FuncId, InsnUid};
+use crate::params::GenParams;
+use crate::program::{BasicBlock, Function, Program, TaggedInsn, Terminator};
+use crate::suite::Suite;
+
+/// Builds one [`Program`] from a parameter set. See the module docs.
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    params: GenParams,
+    rng: StdRng,
+}
+
+/// How far (in functions) a call may reach. Small code bases (SPEC) call
+/// locally; app-sized code bases call all over their library surface, which
+/// is what defeats the i-cache (paper Sec. II-D).
+const SPEC_CALL_WINDOW: u32 = 8;
+
+/// Registers the allocator hands out (`r0`–`r11`; sp/lr/pc are special and
+/// `r12` is the scratch destination of fanout-consumer instructions).
+const POOL_SIZE: usize = 12;
+
+/// Scratch destination for consumer instructions whose value is never used.
+const SCRATCH: Reg = Reg::R12;
+
+impl ProgramGenerator {
+    /// Creates a generator for the given parameters.
+    pub fn new(params: GenParams) -> ProgramGenerator {
+        let rng = StdRng::seed_from_u64(params.seed);
+        ProgramGenerator { params, rng }
+    }
+
+    /// Generates the program.
+    pub fn generate(mut self) -> Program {
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut functions: Vec<Function> = Vec::new();
+        let mut uid_counter = 0u32;
+        let mut load_hints = std::collections::BTreeSet::new();
+        let num_functions = self.params.num_functions.max(1);
+        for f in 0..num_functions {
+            let func_id = FuncId(f);
+            let skeleton = self.plan_function(func_id, num_functions);
+            let built = self.build_function(
+                func_id,
+                &skeleton,
+                blocks.len() as u32,
+                &mut uid_counter,
+                &mut load_hints,
+            );
+            functions.push(Function {
+                id: func_id,
+                name: format!("f{f}"),
+                blocks: built.iter().map(|b| b.id).collect(),
+            });
+            blocks.extend(built);
+        }
+        Program {
+            name: String::from("synthetic"),
+            suite: Suite::Mobile,
+            functions,
+            blocks,
+            mem: self.params.mem,
+            load_hints,
+        }
+    }
+
+    fn sample_span(&mut self, span: crate::params::SpanRange) -> u32 {
+        if span.min >= span.max {
+            span.min
+        } else {
+            self.rng.gen_range(span.min..=span.max)
+        }
+    }
+
+    fn plan_function(&mut self, func: FuncId, num_functions: u32) -> FunctionSkeleton {
+        // The entry function is the app's event loop: it must be big enough
+        // and call-dense enough to actually dispatch into the handler
+        // functions, otherwise the whole execution degenerates to a tiny
+        // local loop.
+        let is_entry = func.0 == 0;
+        // App-sized binaries additionally get a *dispatcher layer*: the
+        // first few functions fan calls out across the whole library
+        // surface, the way an event loop dispatches into diverse handlers.
+        // This is what makes the executed footprint exceed the i-cache.
+        let dispatcher_layer = self.params.num_functions / 32;
+        let is_dispatcher =
+            self.params.num_functions > 100 && func.0 > 0 && func.0 <= dispatcher_layer;
+        let mut nb = self.sample_span(self.params.blocks_per_function).max(1) as usize;
+        if is_entry {
+            nb = nb.max(12);
+        } else if is_dispatcher {
+            nb = nb.max(8);
+        }
+        let call_density = if is_entry || is_dispatcher {
+            (self.params.call_density * 2.0).clamp(0.6, 0.95)
+        } else {
+            self.params.call_density
+        };
+        let sizes: Vec<usize> =
+            (0..nb).map(|_| self.sample_span(self.params.insns_per_block).max(2) as usize).collect();
+
+        let mut ends: Vec<BlockEnd> = vec![BlockEnd::Fallthrough; nb];
+
+        // Natural loop: a backward conditional branch from tail to head.
+        let mut loop_span = None;
+        if nb >= 3 && self.rng.gen_bool(self.params.loop_prob) {
+            let head = self.rng.gen_range(0..nb - 2);
+            let tail = self.rng.gen_range(head + 1..nb - 1);
+            let trips = f64::from(self.sample_span(self.params.loop_trips).max(1));
+            ends[tail] = BlockEnd::LoopBack { head, prob_taken: trips / (trips + 1.0) };
+            loop_span = Some((head, tail));
+        }
+
+        for i in 0..nb - 1 {
+            if !matches!(ends[i], BlockEnd::Fallthrough) {
+                continue;
+            }
+            let can_call = func.0 + 1 < num_functions;
+            if can_call && self.rng.gen_bool(call_density) {
+                // SPEC-sized code bases call near neighbours; app-sized code
+                // bases call across the whole library surface.
+                let lo = func.0 + 1;
+                let hi = if num_functions <= 100 {
+                    (func.0 + SPEC_CALL_WINDOW).min(num_functions - 1)
+                } else {
+                    num_functions - 1
+                };
+                // Real app execution is frequency-skewed: a minority of hot
+                // library routines takes most calls. Square a uniform draw
+                // to bias toward the low end of the callee range while
+                // keeping the whole surface reachable (the i-cache still
+                // sees the tail).
+                let span = f64::from(hi - lo);
+                let roll: f64 = self.rng.gen::<f64>();
+                let skewed = if num_functions > 100 { roll * roll } else { roll };
+                let callee = FuncId(lo + (skewed * span) as u32);
+                ends[i] = BlockEnd::Call { callee };
+            } else if i + 2 < nb && self.rng.gen_bool(self.params.cond_branch_prob) {
+                let skip_to = self.rng.gen_range(i + 2..=(i + 3).min(nb - 1));
+                let bias = self.params.branch_bias.clamp(0.5, 0.99);
+                let jitter = self.rng.gen_range(-0.04..0.04);
+                let base = if self.rng.gen_bool(0.5) { bias } else { 1.0 - bias };
+                let prob_taken = (base + jitter).clamp(0.02, 0.98);
+                ends[i] = BlockEnd::CondSkip { target: skip_to, prob_taken };
+            }
+        }
+
+        FunctionSkeleton { sizes, ends, loop_span }
+    }
+
+    fn build_function(
+        &mut self,
+        func: FuncId,
+        skeleton: &FunctionSkeleton,
+        first_block: u32,
+        uid_counter: &mut u32,
+        load_hints: &mut std::collections::BTreeSet<u32>,
+    ) -> Vec<BasicBlock> {
+        let nb = skeleton.sizes.len();
+        let total: usize = skeleton.sizes.iter().sum();
+        let mut slots: Vec<Option<Insn>> = vec![None; total];
+        let mut hinted_slots: Vec<bool> = vec![false; total];
+        let mut regs = RegAlloc::new();
+
+        // Slot index of the first slot of each block, and block of each slot.
+        let mut block_start = Vec::with_capacity(nb);
+        let mut cursor = 0usize;
+        for &size in &skeleton.sizes {
+            block_start.push(cursor);
+            cursor += size;
+        }
+        // Reserve the last slot of every conditionally-branching block for
+        // the compare that produces the branch's flags.
+        let mut reserved_cmp: Vec<usize> = Vec::new();
+        for (b, end) in skeleton.ends.iter().enumerate() {
+            if matches!(end, BlockEnd::CondSkip { .. } | BlockEnd::LoopBack { .. }) {
+                let last = block_start[b] + skeleton.sizes[b] - 1;
+                slots[last] = Some(Insn::nop()); // placeholder, replaced below
+                reserved_cmp.push(last);
+            }
+        }
+
+        // ---- chain weaving ----
+        // Chains read the function's context register as their second
+        // operand: it is never written locally, so chains stay
+        // independently schedulable (self-contained) at the static level.
+        let ctx = regs.alloc_pinned_low().unwrap_or(Reg::R7);
+        let mut slot = 0usize;
+        // Each chain's head reads the previous chain's tail value (through
+        // the tail's trailing low-fanout members), so the function's
+        // dataflow forms a continuing web: a critical instruction's forward
+        // chain reaches the *next* chain's criticals, as Fig. 1b's Android
+        // profile requires.
+        let mut link: Option<(Reg, usize)> = None;
+        while slot < total {
+            if slots[slot].is_none() && self.rng.gen_bool(self.params.chain_density) {
+                link = self.plant_chain(
+                    &mut slots,
+                    &mut hinted_slots,
+                    &mut regs,
+                    slot,
+                    total,
+                    ctx,
+                    link,
+                );
+            }
+            slot += 1;
+        }
+
+        // ---- loop-carried accumulators (SPEC) ----
+        if let (Some((head, tail)), true) = (skeleton.loop_span, self.params.loop_carried_chain) {
+            let lo = block_start[head];
+            let hi = block_start[tail] + skeleton.sizes[tail];
+            // Loop bodies are SPEC's hot code: plant one chain inside so
+            // the high-fanout (and stride-missing, prefetchable) loads the
+            // paper's Fig. 1a baseline targets actually dominate execution.
+            // SPEC criticals are *isolated* (Fig. 1b), so the loop chain is
+            // a single critical with its consumers.
+            if let Some(free) = find_free(&slots, lo, hi) {
+                let saved = self.params.isolated_critical_frac;
+                self.params.isolated_critical_frac = 1.0;
+                let _ = self.plant_chain(&mut slots, &mut hinted_slots, &mut regs, free, total, ctx, None);
+                self.params.isolated_critical_frac = saved;
+            }
+            let acc = regs.alloc_pinned();
+            if let Some(acc) = acc {
+                // Immediate-form updates keep the accumulator chain
+                // self-contained across iterations (its only input is
+                // itself), which is what lets SPEC ICs grow to the
+                // kilo-instruction lengths of Fig. 5a.
+                let updates = self.rng.gen_range(1..=2);
+                let mut at = lo;
+                for u in 0..updates {
+                    if let Some(free) = find_free(&slots, at, hi) {
+                        slots[free] = Some(Insn::alu_imm(Opcode::Add, acc, acc, 1 + u));
+                        regs.note_def(free, acc);
+                        at = free + 1;
+                    }
+                }
+            }
+        }
+
+        // ---- compares for conditional branches ----
+        for &at in &reserved_cmp {
+            let lhs = regs.recent_or_default(at, &mut self.rng);
+            let rhs = regs.recent_or_default(at, &mut self.rng);
+            slots[at] = Some(Insn::compare(Opcode::Cmp, lhs, rhs));
+        }
+
+        // ---- filler ----
+        for i in 0..total {
+            if slots[i].is_none() {
+                let insn = self.filler(&mut regs, i);
+                slots[i] = Some(insn);
+            }
+        }
+
+        // ---- assemble blocks with terminators ----
+        let abs = |b: usize| BlockId(first_block + b as u32);
+        // Approximate word offsets between block boundaries (all-32-bit).
+        let word_offset = |from_block: usize, to_block: usize| -> i32 {
+            let from_end: usize = skeleton.sizes[..=from_block].iter().map(|s| s + 1).sum();
+            let to_start: usize = skeleton.sizes[..to_block].iter().map(|s| s + 1).sum();
+            to_start as i32 - from_end as i32
+        };
+
+        let mut built = Vec::with_capacity(nb);
+        for b in 0..nb {
+            let start = block_start[b];
+            let size = skeleton.sizes[b];
+            let mut insns: Vec<TaggedInsn> = Vec::with_capacity(size + 1);
+            for s in start..start + size {
+                let insn = slots[s].take().expect("all slots filled");
+                if hinted_slots[s] {
+                    load_hints.insert(*uid_counter);
+                }
+                insns.push(TaggedInsn::new(insn, InsnUid(*uid_counter)));
+                *uid_counter += 1;
+            }
+            let is_last = b + 1 == nb;
+            let (terminator, branch_insn) = match skeleton.ends[b] {
+                _ if is_last => {
+                    if func.0 == 0 {
+                        // The entry function is an endless event/outer loop.
+                        (Terminator::Jump(abs(0)), Some(Insn::branch(Opcode::B, word_offset(b, 0))))
+                    } else {
+                        (Terminator::Return, Some(Insn::branch_reg(Reg::LR)))
+                    }
+                }
+                BlockEnd::Fallthrough => (Terminator::Fallthrough(abs(b + 1)), None),
+                BlockEnd::CondSkip { target, prob_taken } => (
+                    Terminator::Branch { taken: abs(target), not_taken: abs(b + 1), prob_taken },
+                    Some(Insn::branch(Opcode::B, word_offset(b, target)).with_cond(Cond::Ne)),
+                ),
+                BlockEnd::LoopBack { head, prob_taken } => (
+                    Terminator::Branch { taken: abs(head), not_taken: abs(b + 1), prob_taken },
+                    Some(Insn::branch(Opcode::B, word_offset(b, head)).with_cond(Cond::Lt)),
+                ),
+                BlockEnd::Call { callee } => (
+                    Terminator::Call { callee, return_to: abs(b + 1) },
+                    // Inter-function distance: far beyond the 16-bit branch
+                    // range, like a real library call.
+                    Some(Insn::branch(Opcode::Bl, 4096 + callee.0 as i32 * 64)),
+                ),
+            };
+            if let Some(insn) = branch_insn {
+                insns.push(TaggedInsn::new(insn, InsnUid(*uid_counter)));
+                *uid_counter += 1;
+            }
+            built.push(BasicBlock { id: abs(b), func, insns, terminator });
+        }
+        built
+    }
+
+    /// Plants one dependence-chain template starting at `start`.
+    #[allow(clippy::too_many_arguments)]
+    fn plant_chain(
+        &mut self,
+        slots: &mut [Option<Insn>],
+        hinted_slots: &mut [bool],
+        regs: &mut RegAlloc,
+        start: usize,
+        total: usize,
+        ctx: Reg,
+        link: Option<(Reg, usize)>,
+    ) -> Option<(Reg, usize)> {
+        let isolated = self.rng.gen_bool(self.params.isolated_critical_frac);
+        let criticals =
+            if isolated { 1 } else { self.sample_span(self.params.chain_criticals).max(1) as usize };
+
+        // Build the member pattern: C (g lows) C (g lows) C … (1-2 trailing
+        // lows carry the value toward the next chain's head).
+        let mut members: Vec<bool> = Vec::new(); // true = critical
+        members.push(true);
+        for _ in 1..criticals {
+            let gap = self.sample_gap();
+            for _ in 0..gap {
+                members.push(false);
+            }
+            members.push(true);
+        }
+        if !isolated {
+            for _ in 0..self.sample_gap().clamp(1, 2) {
+                members.push(false);
+            }
+        }
+
+        let window = self.params.consumer_window as usize;
+        let mut pos = start;
+        // The head continues the previous chain's value if it is still live.
+        let mut prev_dest: Option<Reg> = link.filter(|&(_, until)| until > start).map(|(r, _)| r);
+        let mut critical_dests: Vec<(Reg, usize)> = Vec::new();
+        let mut last_at = start;
+        let mut last_dest: Option<Reg> = None;
+        let mut last_was_low = false;
+        for &critical in &members {
+            let Some(at) = find_free(slots, pos, total) else { break };
+            // Criticals stay live across their whole consumer window; gap
+            // members only need to survive until the next member reads them.
+            // Short gap reservations keep the low-register pool available,
+            // which is what keeps chains Thumb-convertible (Fig. 5b).
+            // Reservations start at the *chain head*, not the member: no
+            // filler inside the chain's span may reuse a member register,
+            // which is exactly what keeps the compiler's hoist legal.
+            let until =
+                if critical { (at + window).min(total) } else { (at + 10).min(total) };
+            let Some(dest) = regs.alloc_protected(start, until, &mut self.rng) else {
+                break;
+            };
+            let insn = self.chain_member_insn(critical, dest, prev_dest, ctx);
+            if critical && insn.op().is_load() {
+                hinted_slots[at] = true;
+            }
+            slots[at] = Some(insn);
+            regs.note_def(at, dest);
+            if critical {
+                // Most of a critical's fanout is organic: later code
+                // preferentially reads this register (see
+                // `RegAlloc::popular`); a few explicit consumers guarantee
+                // a floor.
+                regs.add_popular(dest, at, until);
+                critical_dests.push((dest, until));
+            }
+            prev_dest = Some(dest);
+            last_dest = Some(dest);
+            last_was_low = !critical;
+            last_at = at;
+            pos = at + 1 + self.sample_span(self.params.chain_spacing) as usize;
+        }
+        // Keep the tail value alive long enough for the next chain to read.
+        // Only link through a trailing *low* member: a truncated chain
+        // ending on a critical must not hand its value directly to the next
+        // head (that would be a critical→critical edge, which Android apps
+        // essentially never show in Fig. 1b).
+        if !last_was_low {
+            last_dest = None;
+        }
+        let link_until = (last_at + 80).min(total);
+        if let Some(tail) = last_dest {
+            let i = tail.index() as usize;
+            if i < POOL_SIZE {
+                regs.protected_until[i] = regs.protected_until[i].max(link_until);
+                regs.busy_until[i] = regs.busy_until[i].max(link_until);
+            }
+        }
+        // Explicit consumer floor, placed after the whole chain so the
+        // members stay spatially compact (Fig. 5a spread).
+        // The explicit floor scales with the suite's planted fanout target,
+        // so mobile criticals reliably out-rank SPEC's (Fig. 1a right axis).
+        let explicit = (self.params.high_fanout.min / 2).clamp(3, 12) as usize;
+        for (dest, until) in critical_dests {
+            let mut cpos = last_at + 1;
+            for _ in 0..explicit {
+                let Some(cslot) = find_free(slots, cpos, until) else { break };
+                // Consumers fall back to the scratch register under pool
+                // pressure: their *reads* are the point, their value is not.
+                let cdst = regs
+                    .alloc(cslot, (cslot + 4).min(total), &mut self.rng, 0.0)
+                    .unwrap_or(SCRATCH);
+                let other = regs.recent_low_or_default(cslot, &mut self.rng);
+                let op = *[Opcode::Add, Opcode::Eor, Opcode::Orr, Opcode::Sub]
+                    .choose(&mut self.rng)
+                    .expect("non-empty");
+                slots[cslot] = Some(Insn::alu(op, cdst, &[dest, other]));
+                if cdst != SCRATCH {
+                    regs.note_def(cslot, cdst);
+                }
+                cpos = cslot + 1;
+            }
+        }
+        last_dest.map(|r| (r, link_until))
+    }
+
+    fn sample_gap(&mut self) -> usize {
+        let weights = &self.params.chain_gap_weights;
+        let roll: f64 = self.rng.gen_range(0.0..weights.iter().sum::<f64>());
+        let mut acc = 0.0;
+        for (gap, &w) in weights.iter().enumerate() {
+            acc += w;
+            if roll < acc {
+                return gap;
+            }
+        }
+        weights.len() - 1
+    }
+
+    fn chain_member_insn(
+        &mut self,
+        critical: bool,
+        dest: Reg,
+        prev_dest: Option<Reg>,
+        ctx: Reg,
+    ) -> Insn {
+        // Chains are kept Thumb-clean except for a small pollution rate that
+        // yields the paper's ~4.5% unconvertible CritIC sequences (Fig. 5b).
+        let polluted = self.rng.gen_bool(0.009);
+        let src_a = prev_dest.unwrap_or(ctx);
+        let src_b = ctx;
+        let mut insn = if critical && self.rng.gen_bool(self.params.critical_load_frac) {
+            let offset = 4 * self.rng.gen_range(0..=15);
+            Insn::load(Opcode::Ldr, dest, src_a, offset)
+        } else {
+            let op = *[Opcode::Add, Opcode::Sub, Opcode::Eor, Opcode::And, Opcode::Orr]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+            Insn::alu(op, dest, &[src_a, src_b])
+        };
+        if polluted {
+            insn = insn.with_cond(Cond::Eq);
+        }
+        insn
+    }
+
+    fn filler(&mut self, regs: &mut RegAlloc, at: usize) -> Insn {
+        let p = self.params.clone();
+        let p = &p;
+        let roll: f64 = self.rng.gen();
+        let high_dst = self.rng.gen_bool(p.high_reg_frac);
+        let predicated = self.rng.gen_bool(p.predicated_frac);
+        // Fillers lean on the high registers so the Thumb-friendly low pool
+        // stays available for chain values.
+        let high_dst = high_dst || self.rng.gen_bool(0.15);
+        let Some(dst) = regs.alloc_biased(at, at + 6, &mut self.rng, high_dst) else {
+            // Transient register-pressure spike: emit a compare, which
+            // produces no register value.
+            let lhs = self.filler_src_at(regs, at);
+            let rhs = self.filler_src_at(regs, at);
+            return Insn::compare(Opcode::Cmp, lhs, rhs);
+        };
+        let src = self.filler_src_at(regs, at);
+
+        let mut insn = if roll < p.load_frac {
+            let op = *[Opcode::Ldr, Opcode::Ldr, Opcode::Ldr, Opcode::Ldrb, Opcode::Ldrh]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+            let offset = self.mem_offset();
+            Insn::load(op, dst, src, offset)
+        } else if roll < p.load_frac + p.store_frac {
+            let op = *[Opcode::Str, Opcode::Str, Opcode::Strb, Opcode::Strh]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+            let base = self.filler_src_at(regs, at);
+            let offset = self.mem_offset();
+            Insn::store(op, src, base, offset)
+        } else if roll < p.load_frac + p.store_frac + p.mul_frac {
+            let other = self.filler_src_at(regs, at);
+            Insn::alu(Opcode::Mul, dst, &[src, other])
+        } else if roll < p.load_frac + p.store_frac + p.mul_frac + p.div_frac {
+            let other = self.filler_src_at(regs, at);
+            Insn::alu(Opcode::Sdiv, dst, &[src, other])
+        } else if roll < p.load_frac + p.store_frac + p.mul_frac + p.div_frac + p.float_frac {
+            let op = *[Opcode::Vadd, Opcode::Vmul, Opcode::Vsub, Opcode::Vadd, Opcode::Vdiv]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+            let other = self.filler_src_at(regs, at);
+            Insn::alu(op, dst, &[src, other])
+        } else if self.rng.gen_bool(0.25) {
+            // Immediate ALU, mostly two-address (Thumb-friendly, like real
+            // compiler output: increments, masks, small adjustments).
+            let wide = self.rng.gen_bool(p.wide_imm_frac);
+            let imm = if wide { self.rng.gen_range(128..=255) } else { self.rng.gen_range(0..=63) };
+            if self.rng.gen_bool(0.3) {
+                Insn::mov_imm(dst, imm)
+            } else {
+                let op = *[Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Lsl]
+                    .choose(&mut self.rng)
+                    .expect("non-empty");
+                if self.rng.gen_bool(0.3) {
+                    // Three-address immediate form: ARM expresses it in one
+                    // instruction; Thumb needs a mov + two-address pair
+                    // (the Compress baseline's expansion case).
+                    Insn::alu_imm(op, dst, src, imm)
+                } else {
+                    Insn::alu_imm(op, dst, dst, imm)
+                }
+            }
+        } else {
+            let op = *[Opcode::Add, Opcode::Sub, Opcode::Orr, Opcode::Eor, Opcode::Mov, Opcode::Lsr]
+                .choose(&mut self.rng)
+                .expect("non-empty");
+            if matches!(op, Opcode::Mov) {
+                Insn::alu(op, dst, &[src])
+            } else {
+                let other = self.filler_src_at(regs, at);
+                Insn::alu(op, dst, &[src, other])
+            }
+        };
+        regs.note_def(at, dst);
+        if predicated && !insn.op().is_branch() {
+            let cond = *[Cond::Eq, Cond::Ne, Cond::Ge, Cond::Lt].choose(&mut self.rng).unwrap();
+            insn = insn.with_cond(cond);
+        }
+        insn
+    }
+
+    /// A source register for filler code. Live *popular* values (critical
+    /// chain destinations) are read preferentially — realizing the planted
+    /// fanout organically — then recently-defined registers (short-distance
+    /// dependences), then arbitrary low registers whose writers are long
+    /// retired, giving filler code the instruction-level parallelism real
+    /// compiled code has.
+    fn filler_src_at(&mut self, regs: &mut RegAlloc, at: usize) -> Reg {
+        if self.rng.gen_bool(0.85) {
+            if let Some(reg) = regs.popular_src(at, &mut self.rng) {
+                return reg;
+            }
+        }
+        if self.rng.gen_bool(0.5) {
+            regs.recent_or_default(at, &mut self.rng)
+        } else {
+            Reg::from_index(self.rng.gen_range(0..8)).expect("low register")
+        }
+    }
+
+    fn mem_offset(&mut self) -> i32 {
+        if self.rng.gen_bool(self.params.wide_imm_frac) {
+            4 * self.rng.gen_range(16..=63) // 64..252: beyond the Thumb field
+        } else {
+            4 * self.rng.gen_range(0..=15) // 0..60: Thumb-encodable
+        }
+    }
+}
+
+fn find_free(slots: &[Option<Insn>], from: usize, to: usize) -> Option<usize> {
+    slots[from.min(to)..to].iter().position(Option::is_none).map(|i| from + i)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BlockEnd {
+    Fallthrough,
+    CondSkip { target: usize, prob_taken: f64 },
+    LoopBack { head: usize, prob_taken: f64 },
+    Call { callee: FuncId },
+}
+
+#[derive(Debug)]
+struct FunctionSkeleton {
+    sizes: Vec<usize>,
+    ends: Vec<BlockEnd>,
+    loop_span: Option<(usize, usize)>,
+}
+
+/// A tiny linear-scan register allocator over instruction slots.
+///
+/// Keeps each produced value's register reserved until its consumers have
+/// been placed, so planted fanout is realized in the dynamic def-use graph
+/// rather than destroyed by accidental overwrites.
+#[derive(Debug)]
+struct RegAlloc {
+    busy_until: [usize; POOL_SIZE],
+    /// Hard reservations for chain-member values: never stolen, so planted
+    /// fanout survives the fill phase.
+    protected_until: [usize; POOL_SIZE],
+    pinned: [bool; POOL_SIZE],
+    recent: Vec<(Reg, usize)>,
+    /// "Popular" values — critical chain members' destinations, with their
+    /// definition slot and lifetime. Subsequent code preferentially reads
+    /// them (the way real code keeps re-reading a freshly computed object
+    /// pointer), which is what gives critical instructions their high ROB
+    /// fanout. Readers are only offered values already defined at their
+    /// slot, so hoisting chains stays legal.
+    popular: Vec<(Reg, usize, usize)>,
+}
+
+impl RegAlloc {
+    fn new() -> RegAlloc {
+        RegAlloc {
+            busy_until: [0; POOL_SIZE],
+            protected_until: [0; POOL_SIZE],
+            pinned: [false; POOL_SIZE],
+            recent: Vec::new(),
+            popular: Vec::new(),
+        }
+    }
+
+    /// Allocates a register free at `at`, reserving it until `until`.
+    /// `high_prob` is the chance of deliberately choosing a high register.
+    fn alloc(&mut self, at: usize, until: usize, rng: &mut StdRng, high_prob: f64) -> Option<Reg> {
+        let prefer_high = high_prob > 0.0 && rng.gen_bool(high_prob);
+        self.alloc_biased(at, until, rng, prefer_high)
+    }
+
+    fn available(&self, i: usize, at: usize) -> bool {
+        !self.pinned[i] && self.busy_until[i] <= at && self.protected_until[i] <= at
+    }
+
+    fn alloc_biased(
+        &mut self,
+        at: usize,
+        until: usize,
+        rng: &mut StdRng,
+        prefer_high: bool,
+    ) -> Option<Reg> {
+        let (first, second): (std::ops::Range<usize>, std::ops::Range<usize>) =
+            if prefer_high { (8..POOL_SIZE, 0..8) } else { (0..8, 8..POOL_SIZE) };
+        let pick = |range: std::ops::Range<usize>, this: &Self, rng: &mut StdRng| -> Option<usize> {
+            let free: Vec<usize> = range.filter(|&i| this.available(i, at)).collect();
+            free.choose(rng).copied()
+        };
+        let index = pick(first, self, rng).or_else(|| pick(second, self, rng)).or_else(|| {
+            // Steal the soonest-released *unprotected* register.
+            (0..POOL_SIZE)
+                .filter(|&i| !self.pinned[i] && self.protected_until[i] <= at)
+                .min_by_key(|&i| self.busy_until[i])
+        })?;
+        self.busy_until[index] = until;
+        Reg::from_index(index as u8)
+    }
+
+    /// Allocates a chain-member destination with a steal-proof reservation.
+    ///
+    /// Low registers only: chain destinations feed the next member's 3-bit
+    /// Thumb source field, so a high-register member would make the whole
+    /// chain unconvertible (the all-or-nothing rule). Under pressure the
+    /// chain is abandoned rather than polluted.
+    fn alloc_protected(&mut self, at: usize, until: usize, rng: &mut StdRng) -> Option<Reg> {
+        let low: Vec<usize> = (0..8).filter(|&i| self.available(i, at)).collect();
+        let index = low.choose(rng).copied()?;
+        self.busy_until[index] = until;
+        self.protected_until[index] = until;
+        Reg::from_index(index as u8)
+    }
+
+    /// Permanently reserves a *low* register (function context values such
+    /// as `this`/environment pointers that chains read without creating
+    /// local dependences — and that the 3-bit Thumb source fields can name).
+    fn alloc_pinned_low(&mut self) -> Option<Reg> {
+        for i in (0..8).rev() {
+            if !self.pinned[i] && self.busy_until[i] == 0 {
+                self.pinned[i] = true;
+                return Reg::from_index(i as u8);
+            }
+        }
+        None
+    }
+
+    /// Permanently reserves a register (loop accumulators).
+    fn alloc_pinned(&mut self) -> Option<Reg> {
+        // Prefer a high register so the accumulator doesn't starve the
+        // Thumb-friendly low pool.
+        for i in (0..POOL_SIZE).rev() {
+            if !self.pinned[i] && self.busy_until[i] == 0 {
+                self.pinned[i] = true;
+                return Reg::from_index(i as u8);
+            }
+        }
+        None
+    }
+
+    /// Marks a register as a popular read target until `until`. At most
+    /// two values are popular at a time (reads concentrate on the newest
+    /// critical results, keeping each one's fanout high); an evicted value
+    /// also releases its long protection so the pool never starves.
+    fn add_popular(&mut self, reg: Reg, at: usize, until: usize) {
+        if self.popular.len() >= 2 {
+            let (old, _, _) = self.popular.remove(0);
+            let i = old.index() as usize;
+            if i < POOL_SIZE {
+                self.protected_until[i] = self.protected_until[i].min(at + 4);
+                self.busy_until[i] = self.busy_until[i].min(at + 4);
+            }
+        }
+        self.popular.push((reg, at, until));
+    }
+
+    /// A live popular register already defined at `at`, if any.
+    fn popular_src(&mut self, at: usize, rng: &mut StdRng) -> Option<Reg> {
+        self.popular.retain(|&(_, _, until)| until > at);
+        let live: Vec<Reg> = self
+            .popular
+            .iter()
+            .filter(|&&(_, def, _)| def < at)
+            .map(|&(reg, _, _)| reg)
+            .collect();
+        live.choose(rng).copied()
+    }
+
+    fn note_def(&mut self, at: usize, reg: Reg) {
+        self.recent.push((reg, at));
+        if self.recent.len() > 12 {
+            self.recent.remove(0);
+        }
+    }
+
+    /// A register already defined at `at` — recently-defined if available,
+    /// otherwise a low register free of pending chain reservations. Reading
+    /// only already-defined values is what keeps the compiler's chain
+    /// hoisting legal.
+    fn recent_or_default(&self, at: usize, rng: &mut StdRng) -> Reg {
+        let defined: Vec<Reg> =
+            self.recent.iter().filter(|&&(_, def)| def < at).map(|&(r, _)| r).collect();
+        defined.choose(rng).copied().unwrap_or_else(|| self.free_low_reg(at, rng))
+    }
+
+    /// A recently-defined *low* register (Thumb source fields are 3-bit).
+    fn recent_low_or_default(&self, at: usize, rng: &mut StdRng) -> Reg {
+        let lows: Vec<Reg> = self
+            .recent
+            .iter()
+            .filter(|&&(r, def)| r.index() < 8 && def < at)
+            .map(|&(r, _)| r)
+            .collect();
+        lows.choose(rng).copied().unwrap_or_else(|| self.free_low_reg(at, rng))
+    }
+
+    /// A low register with no chain reservation pending at `at`.
+    fn free_low_reg(&self, at: usize, rng: &mut StdRng) -> Reg {
+        let free: Vec<u8> =
+            (0..8u8).filter(|&i| self.protected_until[i as usize] <= at).collect();
+        let index = free.choose(rng).copied().unwrap_or(0);
+        Reg::from_index(index).expect("low register")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GenParams;
+
+    fn small_params(seed: u64) -> GenParams {
+        let mut p = GenParams::mobile(seed);
+        p.num_functions = 12;
+        p
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProgramGenerator::new(small_params(42)).generate();
+        let b = ProgramGenerator::new(small_params(42)).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProgramGenerator::new(small_params(1)).generate();
+        let b = ProgramGenerator::new(small_params(2)).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn structure_is_well_formed() {
+        let program = ProgramGenerator::new(small_params(7)).generate();
+        assert_eq!(program.functions.len(), 12);
+        // Block ids are a permutation of arena indices.
+        for (i, block) in program.blocks.iter().enumerate() {
+            assert_eq!(block.id.index(), i);
+            assert!(!block.insns.is_empty());
+            // Every terminator target exists.
+            match block.terminator {
+                Terminator::Fallthrough(t) | Terminator::Jump(t) => {
+                    assert!(t.index() < program.blocks.len());
+                }
+                Terminator::Branch { taken, not_taken, prob_taken } => {
+                    assert!(taken.index() < program.blocks.len());
+                    assert!(not_taken.index() < program.blocks.len());
+                    assert!((0.0..=1.0).contains(&prob_taken));
+                }
+                Terminator::Call { callee, return_to } => {
+                    assert!(callee.index() < program.functions.len());
+                    assert!(return_to.index() < program.blocks.len());
+                }
+                Terminator::Return | Terminator::Exit => {}
+            }
+        }
+        // Uids are unique.
+        let mut uids = std::collections::HashSet::new();
+        for block in &program.blocks {
+            for t in &block.insns {
+                assert!(uids.insert(t.uid), "duplicate uid {}", t.uid);
+            }
+        }
+    }
+
+    #[test]
+    fn calls_form_a_dag() {
+        let program = ProgramGenerator::new(small_params(9)).generate();
+        for block in &program.blocks {
+            if let Terminator::Call { callee, .. } = block.terminator {
+                assert!(callee.0 > block.func.0, "call from {} to {}", block.func, callee);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_function_loops_forever() {
+        let program = ProgramGenerator::new(small_params(3)).generate();
+        let main = &program.functions[0];
+        let last = program.block(*main.blocks.last().unwrap());
+        assert_eq!(last.terminator, Terminator::Jump(main.entry()));
+    }
+
+    #[test]
+    fn conditional_blocks_contain_a_compare() {
+        let program = ProgramGenerator::new(small_params(11)).generate();
+        for block in &program.blocks {
+            if let Terminator::Branch { .. } = block.terminator {
+                let has_cmp = block.insns.iter().any(|t| t.insn.op() == Opcode::Cmp);
+                assert!(has_cmp, "{} branches without a compare", block.id);
+            }
+        }
+    }
+
+    #[test]
+    fn chains_realize_high_fanout_registers() {
+        // At least some registers should be read many times before being
+        // redefined — the planted fanout.
+        let program = ProgramGenerator::new(small_params(5)).generate();
+        let mut max_reads_between_defs = 0usize;
+        for function in &program.functions {
+            let mut reads_since_def = [0usize; 16];
+            for &bid in &function.blocks {
+                for t in &program.block(bid).insns {
+                    for src in t.insn.srcs().iter() {
+                        reads_since_def[src.index() as usize] += 1;
+                        max_reads_between_defs =
+                            max_reads_between_defs.max(reads_since_def[src.index() as usize]);
+                    }
+                    if let Some(dst) = t.insn.dst() {
+                        reads_since_def[dst.index() as usize] = 0;
+                    }
+                }
+            }
+        }
+        assert!(
+            max_reads_between_defs >= 8,
+            "expected a planted fanout >= 8, saw {max_reads_between_defs}"
+        );
+    }
+
+    #[test]
+    fn spec_programs_pin_a_loop_accumulator() {
+        let mut p = GenParams::spec_int(21);
+        p.num_functions = 10;
+        let program = ProgramGenerator::new(p).generate();
+        // Some function should contain an `add rX, rX, #imm` self-update
+        // (the immediate form keeps the chain self-contained).
+        let has_acc = program.blocks.iter().flat_map(|b| &b.insns).any(|t| {
+            t.insn.op() == Opcode::Add
+                && t.insn.dst().is_some()
+                && t.insn.srcs().get(0) == t.insn.dst()
+                && t.insn.imm().is_some()
+        });
+        assert!(has_acc, "expected loop-carried accumulator updates");
+    }
+}

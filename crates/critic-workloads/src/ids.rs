@@ -1,0 +1,104 @@
+//! Newtype identifiers tying the static program and dynamic trace together.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a function within a [`crate::Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Index of a basic block within a [`crate::Program`] (global, not
+/// per-function: blocks are stored in one arena).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A stable identity for a static instruction.
+///
+/// Compiler passes move instructions within a block, change their width, and
+/// insert new ones; the uid follows the *original* instruction so the trace
+/// expander can attach the same memory-address stream to it in every program
+/// variant (keeping data-side behaviour identical across design points, as a
+/// real rewritten binary would).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InsnUid(pub u32);
+
+impl fmt::Display for InsnUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Position of a static instruction: block plus index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InsnRef {
+    /// The containing block.
+    pub block: BlockId,
+    /// The index within the block's instruction list.
+    pub index: u32,
+}
+
+impl InsnRef {
+    /// Convenience constructor.
+    pub fn new(block: BlockId, index: u32) -> InsnRef {
+        InsnRef { block, index }
+    }
+}
+
+impl fmt::Display for InsnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(FuncId(3).to_string(), "fn3");
+        assert_eq!(BlockId(7).to_string(), "bb7");
+        assert_eq!(InsnUid(9).to_string(), "i9");
+        assert_eq!(InsnRef::new(BlockId(7), 2).to_string(), "bb7[2]");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(FuncId(0) < FuncId(1));
+        assert!(InsnRef::new(BlockId(1), 5) < InsnRef::new(BlockId(2), 0));
+    }
+}

@@ -1,0 +1,353 @@
+//! Generator parameters encoding the paper's workload characterization.
+//!
+//! Every number here maps to a measurement in the paper:
+//!
+//! * [`GenParams::chain_gap_weights`] / [`GenParams::isolated_critical_frac`]
+//!   reproduce Fig. 1b — Android apps have 1–5 low-fanout instructions
+//!   between successive high-fanout instructions in a dependence chain for
+//!   ~52% of the time (and essentially never a direct critical→critical
+//!   dependence), while SPEC.float / SPEC.int have *no* dependent critical
+//!   pairs 60% / 35% of the time;
+//! * [`GenParams::critical_load_frac`] and the divide/float fractions
+//!   reproduce Fig. 3c — the mobile critical-instruction mix is dominated by
+//!   short-latency ops;
+//! * the function-count and block-size knobs set the code footprint that
+//!   drives Fig. 3b's F.StallForI (Android executes "from a much larger code
+//!   base with a diverse set of libraries … more frequent function calls");
+//! * the chain length/spacing knobs reproduce Fig. 5a (mobile ICs ≤ ~20
+//!   instructions spread over ≤ ~540; SPEC ICs up to 1.3k spread over 6.3k,
+//!   via loop-carried dependences);
+//! * the predication / high-register / wide-immediate fractions set the
+//!   Thumb-convertible share of CritIC instructions (Fig. 5b: ~95.5%).
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive integer range the generator samples uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRange {
+    /// Inclusive lower bound.
+    pub min: u32,
+    /// Inclusive upper bound.
+    pub max: u32,
+}
+
+impl SpanRange {
+    /// Builds a range, normalizing an inverted pair.
+    pub fn new(min: u32, max: u32) -> SpanRange {
+        if min <= max {
+            SpanRange { min, max }
+        } else {
+            SpanRange { min: max, max: min }
+        }
+    }
+
+    /// The midpoint, used for sizing estimates.
+    pub fn mid(&self) -> u32 {
+        (self.min + self.max) / 2
+    }
+}
+
+/// Data-side memory behaviour, embedded in the generated [`crate::Program`]
+/// so the trace expander reproduces the same address streams for every
+/// compiled variant of the binary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemProfile {
+    /// Seed for the per-instruction address hash.
+    pub seed: u64,
+    /// Total data working set in bytes.
+    pub working_set_bytes: u64,
+    /// Size of the hot region repeatedly-accessed loads hit.
+    pub hot_bytes: u64,
+    /// Fraction of memory instructions that stream with a fixed stride.
+    pub stride_frac: f64,
+    /// Fraction of memory instructions that stay in the hot region
+    /// (the remainder accesses the working set at random).
+    pub hot_frac: f64,
+    /// Class of *critical* (chain) loads: `true` = streaming/stride
+    /// (SPEC's prefetchable, miss-prone high-fanout loads — what makes
+    /// Fig. 1a's critical-load prefetching shine there), `false` = hot
+    /// (mobile's short-latency critical loads, Fig. 3c).
+    pub critical_load_stride: bool,
+}
+
+impl Default for MemProfile {
+    fn default() -> Self {
+        MemProfile {
+            seed: 1,
+            working_set_bytes: 1 << 19,
+            hot_bytes: 1 << 14,
+            stride_frac: 0.2,
+            hot_frac: 0.6,
+            critical_load_stride: false,
+        }
+    }
+}
+
+/// All knobs of the synthetic program/trace generator.
+///
+/// Construct via the suite presets ([`GenParams::mobile`],
+/// [`GenParams::spec_int`], [`GenParams::spec_float`]) and adjust fields for
+/// per-app flavour (see [`crate::suite`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenParams {
+    /// Master seed; every derived stream re-seeds from it.
+    pub seed: u64,
+
+    // ---- code shape ----
+    /// Number of functions in the binary.
+    pub num_functions: u32,
+    /// Basic blocks per function.
+    pub blocks_per_function: SpanRange,
+    /// Instructions per block (excluding the terminator's branch).
+    pub insns_per_block: SpanRange,
+
+    // ---- control flow ----
+    /// Probability a function contains a natural loop.
+    pub loop_prob: f64,
+    /// Loop trip counts.
+    pub loop_trips: SpanRange,
+    /// Probability a block ends in a call (functions call strictly
+    /// higher-numbered functions, so the call graph is a DAG).
+    pub call_density: f64,
+    /// Probability a non-call, non-loop block ends in a conditional branch.
+    pub cond_branch_prob: f64,
+    /// Bias of conditional branches: 0.5 = coin flip (hard to predict),
+    /// towards 1.0 = strongly biased (easy to predict).
+    pub branch_bias: f64,
+
+    // ---- criticality / dataflow structure ----
+    /// Probability (per instruction slot) that a dependence-chain template
+    /// is planted starting at that slot.
+    pub chain_density: f64,
+    /// Fraction of critical (high-fanout) producers that have *no* dependent
+    /// critical instruction — Fig. 1b's "none" bucket.
+    pub isolated_critical_frac: f64,
+    /// Number of critical members in a non-isolated chain.
+    pub chain_criticals: SpanRange,
+    /// Weights of 0–5 low-fanout chain members between two successive
+    /// critical members (Fig. 1b's x-axis).
+    pub chain_gap_weights: [f64; 6],
+    /// Free-slot spacing between consecutive chain members (controls the
+    /// *spread* of Fig. 5a).
+    pub chain_spacing: SpanRange,
+    /// Consumers attached to a critical producer (its fanout).
+    pub high_fanout: SpanRange,
+    /// Consumers attached to a low-fanout chain member.
+    pub low_fanout: SpanRange,
+    /// Window (in slots) within which a producer's consumers are placed.
+    pub consumer_window: u32,
+    /// Fraction of critical producers that are loads (Fig. 3c: high for
+    /// SPEC, low for mobile).
+    pub critical_load_frac: f64,
+    /// Whether loop bodies carry an accumulator dependence across
+    /// iterations (SPEC-style kilo-instruction ICs, Fig. 5a).
+    pub loop_carried_chain: bool,
+
+    // ---- instruction mix (filler instructions) ----
+    /// Fraction of filler slots that are loads.
+    pub load_frac: f64,
+    /// Fraction of filler slots that are stores.
+    pub store_frac: f64,
+    /// Fraction of filler slots that are integer multiplies.
+    pub mul_frac: f64,
+    /// Fraction of filler slots that are integer divides.
+    pub div_frac: f64,
+    /// Fraction of filler slots that are floating point.
+    pub float_frac: f64,
+    /// Fraction of instructions carrying a non-AL condition.
+    pub predicated_frac: f64,
+    /// Fraction of operands drawn from the high registers (`r8`–`r12`).
+    pub high_reg_frac: f64,
+    /// Fraction of immediates too wide for the 16-bit format.
+    pub wide_imm_frac: f64,
+
+    // ---- data memory ----
+    /// Memory behaviour baked into the program.
+    pub mem: MemProfile,
+}
+
+impl GenParams {
+    /// Preset reproducing the paper's Android-app characteristics.
+    pub fn mobile(seed: u64) -> GenParams {
+        GenParams {
+            seed,
+            num_functions: 380,
+            blocks_per_function: SpanRange::new(3, 9),
+            insns_per_block: SpanRange::new(8, 22),
+            loop_prob: 0.22,
+            loop_trips: SpanRange::new(4, 16),
+            call_density: 0.38,
+            cond_branch_prob: 0.45,
+            branch_bias: 0.96,
+            chain_density: 0.026,
+            isolated_critical_frac: 0.03,
+            chain_criticals: SpanRange::new(2, 4),
+            chain_gap_weights: [0.01, 0.42, 0.23, 0.12, 0.09, 0.13],
+            chain_spacing: SpanRange::new(0, 2),
+            high_fanout: SpanRange::new(20, 34),
+            low_fanout: SpanRange::new(1, 2),
+            consumer_window: 64,
+            critical_load_frac: 0.15,
+            loop_carried_chain: false,
+            load_frac: 0.22,
+            store_frac: 0.10,
+            mul_frac: 0.03,
+            div_frac: 0.004,
+            float_frac: 0.01,
+            predicated_frac: 0.05,
+            high_reg_frac: 0.06,
+            wide_imm_frac: 0.05,
+            mem: MemProfile {
+                seed: seed ^ 0x6d65_6d00,
+                working_set_bytes: 1 << 19,
+                hot_bytes: 1 << 15,
+                stride_frac: 0.02,
+                hot_frac: 0.95,
+                critical_load_stride: false,
+            },
+        }
+    }
+
+    /// Preset reproducing SPEC CPU2006 integer characteristics.
+    pub fn spec_int(seed: u64) -> GenParams {
+        GenParams {
+            seed,
+            num_functions: 36,
+            blocks_per_function: SpanRange::new(4, 12),
+            insns_per_block: SpanRange::new(8, 26),
+            loop_prob: 0.85,
+            loop_trips: SpanRange::new(16, 160),
+            call_density: 0.06,
+            cond_branch_prob: 0.40,
+            branch_bias: 0.94,
+            chain_density: 0.013,
+            isolated_critical_frac: 0.35,
+            chain_criticals: SpanRange::new(2, 3),
+            chain_gap_weights: [0.62, 0.17, 0.10, 0.06, 0.03, 0.02],
+            chain_spacing: SpanRange::new(2, 10),
+            high_fanout: SpanRange::new(9, 15),
+            low_fanout: SpanRange::new(1, 2),
+            consumer_window: 48,
+            critical_load_frac: 0.55,
+            loop_carried_chain: true,
+            load_frac: 0.26,
+            store_frac: 0.09,
+            mul_frac: 0.04,
+            div_frac: 0.012,
+            float_frac: 0.0,
+            predicated_frac: 0.14,
+            high_reg_frac: 0.22,
+            wide_imm_frac: 0.18,
+            mem: MemProfile {
+                seed: seed ^ 0x6d65_6d01,
+                working_set_bytes: 8 << 20,
+                hot_bytes: 1 << 16,
+                stride_frac: 0.35,
+                hot_frac: 0.55,
+                critical_load_stride: true,
+            },
+        }
+    }
+
+    /// Preset reproducing SPEC CPU2006 floating-point characteristics.
+    pub fn spec_float(seed: u64) -> GenParams {
+        GenParams {
+            seed,
+            num_functions: 28,
+            blocks_per_function: SpanRange::new(3, 10),
+            insns_per_block: SpanRange::new(10, 30),
+            loop_prob: 0.92,
+            loop_trips: SpanRange::new(40, 400),
+            call_density: 0.04,
+            cond_branch_prob: 0.30,
+            branch_bias: 0.94,
+            chain_density: 0.010,
+            isolated_critical_frac: 0.60,
+            chain_criticals: SpanRange::new(2, 2),
+            chain_gap_weights: [0.70, 0.14, 0.08, 0.04, 0.02, 0.02],
+            chain_spacing: SpanRange::new(3, 12),
+            high_fanout: SpanRange::new(8, 11),
+            low_fanout: SpanRange::new(1, 2),
+            consumer_window: 64,
+            critical_load_frac: 0.60,
+            loop_carried_chain: true,
+            load_frac: 0.30,
+            store_frac: 0.10,
+            mul_frac: 0.02,
+            div_frac: 0.004,
+            float_frac: 0.34,
+            predicated_frac: 0.10,
+            high_reg_frac: 0.20,
+            wide_imm_frac: 0.15,
+            mem: MemProfile {
+                seed: seed ^ 0x6d65_6d02,
+                working_set_bytes: 16 << 20,
+                hot_bytes: 1 << 16,
+                stride_frac: 0.70,
+                hot_frac: 0.15,
+                critical_load_stride: true,
+            },
+        }
+    }
+
+    /// Rough estimate of the binary's code footprint in bytes (all 32-bit).
+    pub fn estimated_code_bytes(&self) -> u64 {
+        u64::from(self.num_functions)
+            * u64::from(self.blocks_per_function.mid())
+            * (u64::from(self.insns_per_block.mid()) + 1)
+            * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_range_normalizes() {
+        let r = SpanRange::new(9, 3);
+        assert_eq!((r.min, r.max), (3, 9));
+        assert_eq!(r.mid(), 6);
+    }
+
+    #[test]
+    fn gap_weights_are_distributions() {
+        for params in [GenParams::mobile(1), GenParams::spec_int(1), GenParams::spec_float(1)] {
+            let sum: f64 = params.chain_gap_weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "weights of {:?} sum to {sum}", params.seed);
+        }
+    }
+
+    #[test]
+    fn mobile_footprint_exceeds_the_32kb_icache() {
+        // Fig. 3b's i-cache stalls require the mobile code base to dwarf the
+        // 32 KB i-cache.
+        assert!(GenParams::mobile(1).estimated_code_bytes() > 96 * 1024);
+        // SPEC hot code, by contrast, should be cacheable.
+        assert!(GenParams::spec_int(1).estimated_code_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn suite_presets_differ_where_the_paper_says() {
+        let mobile = GenParams::mobile(7);
+        let int = GenParams::spec_int(7);
+        let float = GenParams::spec_float(7);
+        // Fig. 1b: direct critical→critical dependences are a SPEC thing.
+        assert!(mobile.chain_gap_weights[0] < 0.05);
+        assert!(int.chain_gap_weights[0] > 0.5);
+        // Fig. 1b: isolated criticals — float 60%, int 35%, mobile ≈ none.
+        assert!(float.isolated_critical_frac > int.isolated_critical_frac);
+        assert!(int.isolated_critical_frac > mobile.isolated_critical_frac);
+        // Fig. 3c: mobile criticals are short-latency.
+        assert!(mobile.critical_load_frac < int.critical_load_frac);
+        // Fig. 5a: kilo-instruction ICs come from loop-carried deps.
+        assert!(!mobile.loop_carried_chain);
+        assert!(int.loop_carried_chain && float.loop_carried_chain);
+    }
+
+    #[test]
+    fn presets_are_deterministic_in_the_seed() {
+        assert_eq!(GenParams::mobile(3), GenParams::mobile(3));
+        assert_ne!(GenParams::mobile(3).mem.seed, GenParams::mobile(4).mem.seed);
+    }
+}

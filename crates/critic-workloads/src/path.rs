@@ -1,0 +1,162 @@
+//! Block-level execution paths.
+//!
+//! A path is the sequence of basic blocks one run of the app visits. It is
+//! generated *once* from the original binary's CFG and a seed (the "user
+//! input") and then replayed over every compiled variant of that binary —
+//! the compiler passes rewrite block bodies but never the CFG, so a path
+//! stays valid and the comparison between design points is input-identical,
+//! the way the paper replays the same recorded app activity on each binary.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::BlockId;
+use crate::program::{Program, Terminator};
+
+/// A block-level execution path through a program's CFG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionPath {
+    /// Visited blocks in order.
+    pub blocks: Vec<BlockId>,
+    /// The seed used for branch/trip decisions.
+    pub seed: u64,
+}
+
+impl ExecutionPath {
+    /// Walks the CFG from the program entry until at least `target_insns`
+    /// dynamic instructions have been covered.
+    ///
+    /// Branch outcomes are drawn from each [`Terminator::Branch`]'s ground
+    /// truth probability; calls and returns follow a call stack. Reaching
+    /// [`Terminator::Exit`] (or an empty call stack on return) wraps around
+    /// to the entry, modelling the app's event loop.
+    pub fn generate(program: &Program, seed: u64, target_insns: usize) -> ExecutionPath {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut blocks = Vec::new();
+        let mut stack: Vec<BlockId> = Vec::new();
+        let mut covered = 0usize;
+        let mut current = program.entry();
+        // Hard cap so a malformed CFG cannot spin forever on empty blocks.
+        let max_steps = target_insns.saturating_mul(4).max(1024);
+        for _ in 0..max_steps {
+            let block = program.block(current);
+            blocks.push(current);
+            covered += block.len();
+            if covered >= target_insns {
+                break;
+            }
+            current = match block.terminator {
+                Terminator::Fallthrough(next) | Terminator::Jump(next) => next,
+                Terminator::Branch { taken, not_taken, prob_taken } => {
+                    if rng.gen_bool(prob_taken.clamp(0.0, 1.0)) {
+                        taken
+                    } else {
+                        not_taken
+                    }
+                }
+                Terminator::Call { callee, return_to } => {
+                    stack.push(return_to);
+                    program.functions[callee.index()].entry()
+                }
+                Terminator::Return => match stack.pop() {
+                    Some(return_to) => return_to,
+                    None => program.entry(),
+                },
+                Terminator::Exit => {
+                    stack.clear();
+                    program.entry()
+                }
+            };
+        }
+        ExecutionPath { blocks, seed }
+    }
+
+    /// Number of blocks visited.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the path is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total dynamic instructions the path covers in `program`.
+    ///
+    /// This count depends on the program variant (compiler passes insert
+    /// CDPs and switch branches), which is exactly the dynamic-instruction
+    /// expansion the paper charges against each scheme.
+    pub fn dyn_insns(&self, program: &Program) -> usize {
+        self.blocks.iter().map(|&b| program.block(b).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ProgramGenerator;
+    use crate::params::GenParams;
+
+    fn program() -> Program {
+        let mut p = GenParams::mobile(77);
+        p.num_functions = 16;
+        ProgramGenerator::new(p).generate()
+    }
+
+    #[test]
+    fn path_reaches_target_length() {
+        let program = program();
+        let path = ExecutionPath::generate(&program, 5, 10_000);
+        assert!(path.dyn_insns(&program) >= 10_000);
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn path_is_deterministic() {
+        let program = program();
+        let a = ExecutionPath::generate(&program, 5, 5_000);
+        let b = ExecutionPath::generate(&program, 5, 5_000);
+        assert_eq!(a, b);
+        let c = ExecutionPath::generate(&program, 6, 5_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn consecutive_blocks_are_cfg_successors() {
+        let program = program();
+        let path = ExecutionPath::generate(&program, 9, 8_000);
+        let mut stack: Vec<BlockId> = Vec::new();
+        for pair in path.blocks.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            let ok = match program.block(from).terminator {
+                Terminator::Fallthrough(n) | Terminator::Jump(n) => n == to,
+                Terminator::Branch { taken, not_taken, .. } => to == taken || to == not_taken,
+                Terminator::Call { callee, return_to } => {
+                    stack.push(return_to);
+                    program.functions[callee.index()].entry() == to
+                }
+                Terminator::Return => {
+                    let expected = stack.pop().unwrap_or(program.entry());
+                    expected == to
+                }
+                Terminator::Exit => to == program.entry(),
+            };
+            assert!(ok, "{from} -> {to} is not a CFG edge");
+        }
+    }
+
+    #[test]
+    fn loops_revisit_blocks() {
+        let mut p = GenParams::spec_int(3);
+        p.num_functions = 6;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, 11, 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for &b in &path.blocks {
+            *counts.entry(b).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max >= 16, "SPEC loops should revisit blocks many times, max={max}");
+    }
+}

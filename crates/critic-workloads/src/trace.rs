@@ -1,0 +1,594 @@
+//! Dynamic traces: the instruction stream a (program, path) pair produces.
+//!
+//! The expander resolves register (and flag) dependences with a last-writer
+//! scan, attaches memory addresses keyed on each instruction's stable
+//! [`InsnUid`] (so data behaviour is identical across compiled variants),
+//! and records branch outcomes. The result is the flat format every timing
+//! and profiling component consumes.
+
+use critic_isa::{FuKind, Opcode};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{InsnRef, InsnUid};
+use crate::program::Program;
+use crate::path::ExecutionPath;
+
+/// Sentinel dependence slot value: no producer.
+pub const NO_DEP: u32 = u32::MAX;
+
+/// Base virtual address of the data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// Outcome of a dynamic branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchOutcome {
+    /// Whether the branch redirected (unconditional branches always do).
+    pub taken: bool,
+    /// Byte address control transferred to (the next instruction's address
+    /// for a not-taken branch).
+    pub target_pc: u64,
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynInsn {
+    /// Stable identity of the static instruction.
+    pub uid: InsnUid,
+    /// Static position.
+    pub at: InsnRef,
+    /// Byte address fetched from.
+    pub pc: u64,
+    /// Opcode.
+    pub op: Opcode,
+    /// Fetch bytes (2 for Thumb, 4 for ARM).
+    pub bytes: u8,
+    /// Whether the instruction carries a non-AL condition.
+    pub predicated: bool,
+    /// Producers of this instruction's register/flag inputs, as indices into
+    /// the trace ([`NO_DEP`] marks empty slots).
+    pub deps: [u32; 3],
+    /// Data address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome for control-flow instructions.
+    pub branch: Option<BranchOutcome>,
+}
+
+impl DynInsn {
+    /// Iterates over the real (non-sentinel) dependence indices.
+    pub fn deps_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.deps.iter().copied().filter(|&d| d != NO_DEP)
+    }
+
+    /// Whether this is the CDP decoder format switch.
+    pub fn is_cdp(&self) -> bool {
+        self.op.is_format_switch()
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        self.op.is_load()
+    }
+
+    /// The functional unit the instruction executes on.
+    pub fn fu_kind(&self) -> FuKind {
+        self.op.fu_kind()
+    }
+}
+
+/// A dynamic instruction stream plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Workload name (copied from the program).
+    pub name: String,
+    /// The dynamic instructions in fetch order.
+    pub entries: Vec<DynInsn>,
+}
+
+impl Trace {
+    /// Expands a block path over a program variant into the dynamic stream.
+    ///
+    /// The same `path` expands differently over differently-compiled
+    /// variants of the same binary: instruction PCs shift with the layout,
+    /// inserted CDPs/switch branches appear, and hoisting changes dependence
+    /// *distances* — while memory addresses and branch outcomes stay fixed,
+    /// because they key on [`InsnUid`]s and the path respectively.
+    pub fn expand(program: &Program, path: &ExecutionPath) -> Trace {
+        let layout = program.layout();
+        let mut entries: Vec<DynInsn> = Vec::with_capacity(path.dyn_insns(program));
+        // Last dynamic writer of each architected register, plus the flags.
+        let mut last_writer = [NO_DEP; 16];
+        let mut flags_writer = NO_DEP;
+        // Per-uid visit counters drive the memory address streams.
+        let mut visits: std::collections::HashMap<InsnUid, u64> = std::collections::HashMap::new();
+
+        for (step, &bid) in path.blocks.iter().enumerate() {
+            let block = program.block(bid);
+            let next_block_pc =
+                path.blocks.get(step + 1).map(|&next| layout.block_addr(next));
+            let last_index = block.insns.len().saturating_sub(1);
+            for (index, tagged) in block.insns.iter().enumerate() {
+                let insn = &tagged.insn;
+                let op = insn.op();
+                let idx = entries.len() as u32;
+                let pc = layout.insn_addr(InsnRef::new(bid, index as u32));
+
+                // Dependences: register sources, then flags for predicated
+                // instructions and conditional branches.
+                let mut deps = [NO_DEP; 3];
+                let mut nd = 0usize;
+                for src in insn.srcs().iter() {
+                    let producer = last_writer[src.index() as usize];
+                    if producer != NO_DEP && !deps[..nd].contains(&producer) && nd < 3 {
+                        deps[nd] = producer;
+                        nd += 1;
+                    }
+                }
+                if insn.is_predicated() && flags_writer != NO_DEP && nd < 3 {
+                    if !deps[..nd].contains(&flags_writer) {
+                        deps[nd] = flags_writer;
+                    }
+                }
+
+                // Memory address stream, keyed on the stable uid.
+                let mem_addr = if op.is_mem() {
+                    let visit = visits.entry(tagged.uid).or_insert(0);
+                    let hinted = program.load_hints.contains(&tagged.uid.0);
+                    let addr = mem_address(&program.mem, tagged.uid, *visit, hinted);
+                    *visit += 1;
+                    Some(addr)
+                } else {
+                    None
+                };
+
+                // Branch outcome.
+                let branch = if op.is_branch() {
+                    let fallthrough_pc = pc + insn.fetch_bytes();
+                    if index == last_index {
+                        match next_block_pc {
+                            Some(target_pc) => {
+                                Some(BranchOutcome { taken: target_pc != fallthrough_pc, target_pc })
+                            }
+                            None => Some(BranchOutcome { taken: false, target_pc: fallthrough_pc }),
+                        }
+                    } else {
+                        // Mid-block branch: a compiler-inserted format-switch
+                        // branch whose target is the next instruction
+                        // (paper Sec. IV-A).
+                        Some(BranchOutcome { taken: true, target_pc: fallthrough_pc })
+                    }
+                } else {
+                    None
+                };
+
+                entries.push(DynInsn {
+                    uid: tagged.uid,
+                    at: InsnRef::new(bid, index as u32),
+                    pc,
+                    op,
+                    bytes: insn.fetch_bytes() as u8,
+                    predicated: insn.is_predicated(),
+                    deps,
+                    mem_addr,
+                    branch,
+                });
+
+                // Update writer tables.
+                if let Some(dst) = insn.dst() {
+                    last_writer[dst.index() as usize] = idx;
+                }
+                if matches!(op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp) {
+                    flags_writer = idx;
+                }
+            }
+        }
+        Trace { name: program.name.clone(), entries }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the dynamic instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInsn> {
+        self.entries.iter()
+    }
+
+    /// Computes each dynamic instruction's fanout: the number of later
+    /// dynamic instructions that consume its result directly.
+    ///
+    /// This is the criticality raw material of the paper (Sec. II-A):
+    /// instructions whose fanout exceeds a threshold get marked critical.
+    pub fn compute_fanout(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.entries.len()];
+        for entry in &self.entries {
+            for dep in entry.deps_iter() {
+                // Flag-setting compares produce no forwardable value; their
+                // predication "readers" are control, not dataflow, so they
+                // do not make a compare critical (Sec. II-A reasons about
+                // value fan-out).
+                if !matches!(
+                    self.entries[dep as usize].op,
+                    Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
+                ) {
+                    fanout[dep as usize] += 1;
+                }
+            }
+        }
+        fanout
+    }
+
+    /// Computes each dynamic instruction's *cone* fanout: the number of
+    /// later instructions within a `window`-instruction horizon (the ROB)
+    /// that transitively require its output before they can begin — the
+    /// paper's Sec. II-A phrasing of the ROB-observed criticality metric.
+    ///
+    /// Direct fanout ([`Trace::compute_fanout`]) is the right measure for
+    /// the per-instruction critical/non-critical classification (Fig. 2's
+    /// example reasons about direct dependents); the cone is the right
+    /// measure for the *chain-level* criticality aggregate, whose coverage
+    /// arithmetic is otherwise impossible (total direct reads are ~1.3 per
+    /// instruction, so 30% of the stream cannot average 8 direct readers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` exceeds 128.
+    pub fn compute_cone_fanout(&self, window: usize) -> Vec<u32> {
+        assert!((1..=128).contains(&window), "cone window must be 1..=128 (u128 masks)");
+        let n = self.entries.len();
+        let mut cones = vec![0u32; n];
+        // masks[i]: bit k set ⇔ instruction i + 1 + k transitively depends
+        // on i. Built backwards: by the time we visit i, every consumer has
+        // contributed its own (shifted) cone.
+        let mut masks = vec![0u128; n];
+        let keep: u128 = if window == 128 { u128::MAX } else { (1u128 << window) - 1 };
+        for c in (0..n).rev() {
+            let cmask = masks[c] & keep;
+            cones[c] = cmask.count_ones();
+            for d in self.entries[c].deps_iter() {
+                let dist = (c as u32 - d) as usize;
+                if dist <= window {
+                    // At dist == 128 the consumer's own cone shifts fully
+                    // out of the horizon; only the direct-dependent bit
+                    // remains.
+                    let shifted = if dist < 128 { cmask << dist } else { 0 };
+                    masks[d as usize] |= shifted | (1u128 << (dist - 1));
+                }
+            }
+        }
+        cones
+    }
+
+    /// Total bytes fetched for the whole stream.
+    pub fn fetch_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| u64::from(e.bytes)).sum()
+    }
+
+    /// Fraction of dynamic instructions in the 16-bit format.
+    pub fn thumb_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let thumbed = self.entries.iter().filter(|e| e.bytes == 2).count();
+        thumbed as f64 / self.entries.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInsn;
+    type IntoIter = std::slice::Iter<'a, DynInsn>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The address an instruction's `visit`-th execution touches.
+///
+/// Each static memory instruction gets a *class* (hot / streaming / random)
+/// hashed from its uid, then a per-class address stream — the standard
+/// synthetic-trace technique for producing controlled cache behaviour.
+fn mem_address(
+    profile: &crate::params::MemProfile,
+    uid: InsnUid,
+    visit: u64,
+    critical_hint: bool,
+) -> u64 {
+    let h = splitmix(u64::from(uid.0) ^ profile.seed);
+    let mut class = (h >> 32) as f64 / f64::from(u32::MAX);
+    if critical_hint {
+        // Critical (chain) loads have a suite-determined class: SPEC's
+        // high-fanout loads stream (prefetchable, miss-prone); mobile's
+        // stay in the hot set (short latency, Fig. 3c).
+        class = if profile.critical_load_stride {
+            0.0 // stride branch below
+        } else {
+            profile.stride_frac + 1e-9 // hot branch below
+        };
+    }
+    let ws = profile.working_set_bytes.max(64);
+    let addr = if class < profile.stride_frac {
+        // Streaming: a fixed per-uid base walking the working set with a
+        // word-ish stride (several accesses per cache line, like a real
+        // array sweep).
+        (h % ws).wrapping_add(visit * 8) % ws
+    } else if class < profile.stride_frac + profile.hot_frac {
+        // Hot: the same location every visit.
+        h % profile.hot_bytes.max(64)
+    } else {
+        // Cold/random: a new pseudo-random location each visit.
+        splitmix(h ^ visit) % ws
+    };
+    DATA_BASE + (addr & !3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ProgramGenerator;
+    use crate::params::GenParams;
+    use crate::suite::Suite;
+
+    fn trace_for(seed: u64, len: usize) -> (Program, ExecutionPath, Trace) {
+        let mut p = GenParams::mobile(seed);
+        p.num_functions = 20;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, seed ^ 1, len);
+        let trace = Trace::expand(&program, &path);
+        (program, path, trace)
+    }
+
+    #[test]
+    fn expansion_covers_the_path() {
+        let (program, path, trace) = trace_for(1, 5_000);
+        assert_eq!(trace.len(), path.dyn_insns(&program));
+        assert!(trace.len() >= 5_000);
+    }
+
+    #[test]
+    fn deps_point_backwards() {
+        let (_, _, trace) = trace_for(2, 5_000);
+        for (i, e) in trace.iter().enumerate() {
+            for d in e.deps_iter() {
+                assert!((d as usize) < i, "dep {d} of insn {i} points forward");
+            }
+        }
+    }
+
+    #[test]
+    fn deps_match_register_semantics() {
+        let (program, _, trace) = trace_for(3, 3_000);
+        // Re-derive the last-writer relation and spot-check.
+        let mut last_writer: [Option<usize>; 16] = [None; 16];
+        for (i, e) in trace.iter().enumerate() {
+            let insn = &program.insn(e.at).insn;
+            for src in insn.srcs().iter() {
+                if let Some(w) = last_writer[src.index() as usize] {
+                    assert!(
+                        e.deps_iter().any(|d| d as usize == w),
+                        "insn {i} misses dep on writer {w} of {src}"
+                    );
+                }
+            }
+            if let Some(dst) = insn.dst() {
+                last_writer[dst.index() as usize] = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_counts_consumers() {
+        let (_, _, trace) = trace_for(4, 8_000);
+        let fanout = trace.compute_fanout();
+        // Every dependence edge counts toward its producer's fanout except
+        // edges into flag-setting compares (control, not value, fan-out).
+        let value_deps: u32 = trace
+            .iter()
+            .map(|e| {
+                e.deps_iter()
+                    .filter(|&d| {
+                        !matches!(
+                            trace.entries[d as usize].op,
+                            Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
+                        )
+                    })
+                    .count() as u32
+            })
+            .sum();
+        let total_fanout: u32 = fanout.iter().sum();
+        assert_eq!(value_deps, total_fanout);
+        // The planted chains must produce genuinely high-fanout instructions.
+        let max = fanout.iter().copied().max().unwrap_or(0);
+        assert!(max >= 8, "expected planted fanout >= 8, max={max}");
+    }
+
+    #[test]
+    fn memory_addresses_are_stable_across_variants() {
+        let (mut program, path, trace) = trace_for(5, 4_000);
+        // "Recompile": flip every convertible instruction to Thumb.
+        for block in &mut program.blocks {
+            for t in &mut block.insns {
+                if let Ok(thumbed) = t.insn.to_thumb() {
+                    t.insn = thumbed;
+                }
+            }
+        }
+        let recompiled = Trace::expand(&program, &path);
+        assert_eq!(trace.len(), recompiled.len());
+        for (a, b) in trace.iter().zip(recompiled.iter()) {
+            assert_eq!(a.uid, b.uid);
+            assert_eq!(a.mem_addr, b.mem_addr, "data behaviour must not change");
+        }
+        // But the fetch stream must have shrunk.
+        assert!(recompiled.fetch_bytes() < trace.fetch_bytes());
+        assert!(recompiled.thumb_fraction() > 0.4);
+    }
+
+    #[test]
+    fn branch_outcomes_align_with_path() {
+        let (program, path, trace) = trace_for(6, 4_000);
+        let layout = program.layout();
+        let mut cursor = 0usize;
+        for (step, &bid) in path.blocks.iter().enumerate() {
+            let block = program.block(bid);
+            let block_entries = &trace.entries[cursor..cursor + block.len()];
+            if let Some(next) = path.blocks.get(step + 1) {
+                if let Some(last) = block_entries.last() {
+                    if let Some(outcome) = last.branch {
+                        assert_eq!(outcome.target_pc, layout.block_addr(*next));
+                    }
+                }
+            }
+            cursor += block.len();
+        }
+    }
+
+    #[test]
+    fn hot_loads_repeat_their_address() {
+        let mut p = GenParams::mobile(9);
+        p.num_functions = 8;
+        p.mem.hot_frac = 1.0;
+        p.mem.stride_frac = 0.0;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, 2, 6_000);
+        let trace = Trace::expand(&program, &path);
+        let mut seen: std::collections::HashMap<InsnUid, u64> = std::collections::HashMap::new();
+        for e in trace.iter().filter(|e| e.mem_addr.is_some()) {
+            let addr = e.mem_addr.unwrap();
+            if let Some(&prev) = seen.get(&e.uid) {
+                assert_eq!(prev, addr, "hot accesses must be stable per uid");
+            }
+            seen.insert(e.uid, addr);
+        }
+    }
+
+    #[test]
+    fn suite_is_recorded_on_programs() {
+        for suite in Suite::ALL {
+            let mut app = suite.apps()[0].clone();
+            app.params.num_functions = app.params.num_functions.min(16);
+            let program = app.generate_program();
+            assert_eq!(program.suite, suite);
+            assert_eq!(program.name, app.name);
+        }
+    }
+
+    #[test]
+    fn pcs_are_monotone_within_blocks() {
+        let (program, _, trace) = trace_for(8, 2_000);
+        let layout = program.layout();
+        for e in trace.iter() {
+            assert_eq!(e.pc, layout.insn_addr(e.at));
+        }
+    }
+}
+
+#[cfg(test)]
+mod cone_tests {
+    use super::*;
+    use crate::generate::ProgramGenerator;
+    use crate::params::GenParams;
+
+    #[test]
+    fn cone_dominates_direct_fanout() {
+        let mut p = GenParams::mobile(13);
+        p.num_functions = 16;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, 13, 5_000);
+        let trace = Trace::expand(&program, &path);
+        let direct = trace.compute_fanout();
+        let cone = trace.compute_cone_fanout(128);
+        for i in 0..trace.len() {
+            // Within-window direct consumers are a subset of the cone; the
+            // cone can only miss direct consumers beyond the window.
+            let within: u32 = trace
+                .entries
+                .iter()
+                .skip(i + 1)
+                .take(128)
+                .filter(|e| e.deps.contains(&(i as u32)))
+                .count() as u32;
+            assert!(cone[i] >= within, "cone {} < windowed direct {} at {i}", cone[i], within);
+            assert!(cone[i] <= 128);
+            let _ = direct;
+        }
+    }
+
+    #[test]
+    fn cone_counts_transitive_dependents() {
+        // Hand-build a 3-deep dependence chain: each member's cone includes
+        // everything downstream.
+        use critic_isa::{Insn, Opcode, Reg};
+        use crate::ids::{BlockId, FuncId, InsnUid};
+        use crate::program::{BasicBlock, Function, Terminator, TaggedInsn};
+        let insns = vec![
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]), InsnUid(0)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R7]), InsnUid(1)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R2, &[Reg::R1, Reg::R7]), InsnUid(2)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R3, &[Reg::R2, Reg::R7]), InsnUid(3)),
+        ];
+        let program = Program {
+            name: "chain".into(),
+            suite: crate::suite::Suite::Mobile,
+            functions: vec![Function { id: FuncId(0), name: "f".into(), blocks: vec![BlockId(0)] }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                func: FuncId(0),
+                insns,
+                terminator: Terminator::Exit,
+            }],
+            mem: crate::params::MemProfile::default(),
+            load_hints: Default::default(),
+        };
+        let path = ExecutionPath { blocks: vec![BlockId(0)], seed: 0 };
+        let trace = Trace::expand(&program, &path);
+        let direct = trace.compute_fanout();
+        let cone = trace.compute_cone_fanout(128);
+        assert_eq!(direct, vec![1, 1, 1, 0], "each member has one direct reader");
+        assert_eq!(cone, vec![3, 2, 1, 0], "cones are transitive");
+    }
+
+    #[test]
+    fn cone_respects_the_window() {
+        use critic_isa::{Insn, Opcode, Reg};
+        use crate::ids::{BlockId, FuncId, InsnUid};
+        use crate::program::{BasicBlock, Function, Terminator, TaggedInsn};
+        // r0 defined once, read 3 instructions later — outside a window of 2.
+        let insns = vec![
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]), InsnUid(0)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R1, &[Reg::R7, Reg::R7]), InsnUid(1)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R2, &[Reg::R7, Reg::R7]), InsnUid(2)),
+            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R3, &[Reg::R0, Reg::R7]), InsnUid(3)),
+        ];
+        let program = Program {
+            name: "window".into(),
+            suite: crate::suite::Suite::Mobile,
+            functions: vec![Function { id: FuncId(0), name: "f".into(), blocks: vec![BlockId(0)] }],
+            blocks: vec![BasicBlock {
+                id: BlockId(0),
+                func: FuncId(0),
+                insns,
+                terminator: Terminator::Exit,
+            }],
+            mem: crate::params::MemProfile::default(),
+            load_hints: Default::default(),
+        };
+        let path = ExecutionPath { blocks: vec![BlockId(0)], seed: 0 };
+        let trace = Trace::expand(&program, &path);
+        assert_eq!(trace.compute_cone_fanout(128)[0], 1);
+        assert_eq!(trace.compute_cone_fanout(2)[0], 0, "reader at distance 3 is outside");
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: profile one mobile app, apply the CritIC pass, and compare
+//! timing and energy against the baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use critics::core::design::DesignPoint;
+use critics::core::runner::Workbench;
+use critics::workloads::suite::Suite;
+
+fn main() {
+    // 1. Pick a workload (Table II) and record one execution.
+    let app = &Suite::Mobile.apps()[0]; // Acrobat
+    println!("workload: {} ({}, \"{}\")", app.name, app.domain, app.activity);
+    let mut bench = Workbench::new(app, 120_000);
+    println!(
+        "binary: {} functions, {} static instructions, {} KB",
+        bench.program.functions.len(),
+        bench.program.static_insn_count(),
+        bench.program.code_bytes() / 1024
+    );
+
+    // 2. Run the Table I baseline.
+    let base = bench.run(&DesignPoint::baseline());
+    println!(
+        "baseline: {} cycles, IPC {:.2}, F.StallForI {:.1}%, F.StallForR+D {:.1}%",
+        base.sim.cycles,
+        base.sim.ipc(),
+        base.sim.stall_for_i_frac() * 100.0,
+        base.sim.stall_for_rd_frac() * 100.0
+    );
+
+    // 3. Profile + compile + rerun with the CritIC scheme.
+    let critic = bench.run(&DesignPoint::critic());
+    println!(
+        "CritIC: applied {} chains ({} instructions to 16-bit, {} CDP switches)",
+        critic.pass.chains_applied, critic.pass.insns_converted, critic.sim.cdp_switches
+    );
+    println!(
+        "speedup {:+.2}%  |  CPU energy {:+.2}%  |  system energy {:+.2}%",
+        (critic.sim.speedup_over(&base.sim) - 1.0) * 100.0,
+        critic.energy.cpu_saving(&base.energy) * 100.0,
+        critic.energy.system_saving(&base.energy) * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! `critics` — facade crate for the CritICs (MICRO 2018) reproduction.
+//!
+//! Re-exports every subsystem crate under one roof so examples and
+//! integration tests can `use critics::...`. See the workspace `README.md`
+//! for the architecture overview and `DESIGN.md` for the per-experiment map.
+
+#![forbid(unsafe_code)]
+
+pub use critic_compiler as compiler;
+pub use critic_core as core;
+pub use critic_energy as energy;
+pub use critic_isa as isa;
+pub use critic_mem as mem;
+pub use critic_pipeline as pipeline;
+pub use critic_profiler as profiler;
+pub use critic_workloads as workloads;
