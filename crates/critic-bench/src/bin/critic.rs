@@ -7,28 +7,98 @@
 //! critic compile <app> [--scheme S]   # apply a pass and diff the binary
 //! critic run <app> [--scheme S]       # simulate baseline vs scheme
 //! critic disasm <app> [function]      # dump the generated binary
+//! critic campaign [options]           # fault-tolerant app x scheme grid
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
 //! opp16+critic.
+//!
+//! Exit codes: 0 success, 1 run error, 2 usage, 3 unknown app/function,
+//! 4 unknown scheme, 5 I/O error, 6 campaign finished with failed cells.
 
+use std::fmt;
+use std::time::Duration;
+
+use critic_core::campaign::{self, CampaignSpec, PlannedFault, Scheme};
 use critic_core::design::DesignPoint;
 use critic_core::runner::Workbench;
-use critic_profiler::{save_profile, Profiler, ProfilerConfig};
+use critic_core::RunError;
+use critic_profiler::{save_profile, ProfilerConfig};
 use critic_workloads::suite::Suite;
-use critic_workloads::AppSpec;
+use critic_workloads::{AppSpec, Fault};
 
 const TRACE_LEN: usize = 120_000;
 
-fn find_app(name: &str) -> Option<AppSpec> {
+const SCHEME_NAMES: [&str; 7] =
+    ["critic", "hoist", "ideal", "branch-switch", "opp16", "compress", "opp16+critic"];
+
+enum CliError {
+    Usage(String),
+    UnknownApp(String),
+    UnknownFunction { app: String, function: String, available: Vec<String> },
+    UnknownScheme(String),
+    Io(String),
+    Run(RunError),
+    CampaignFailed { failed: usize, total: usize },
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::UnknownApp(_) | CliError::UnknownFunction { .. } => 3,
+            CliError::UnknownScheme(_) => 4,
+            CliError::Io(_) => 5,
+            CliError::Run(_) => 1,
+            CliError::CampaignFailed { .. } => 6,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::UnknownApp(name) => {
+                let valid: Vec<String> =
+                    Suite::ALL.iter().flat_map(|s| s.apps()).map(|a| a.name).collect();
+                write!(f, "unknown app `{name}`; valid apps: {}", valid.join(", "))
+            }
+            CliError::UnknownFunction { app, function, available } => {
+                write!(
+                    f,
+                    "no function `{function}` in {app}; functions include: {}",
+                    available.join(", ")
+                )
+            }
+            CliError::UnknownScheme(name) => {
+                write!(f, "unknown scheme `{name}`; valid schemes: {}", SCHEME_NAMES.join(", "))
+            }
+            CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Run(e) => write!(f, "{e}"),
+            CliError::CampaignFailed { failed, total } => {
+                write!(f, "campaign finished with {failed}/{total} failed cells")
+            }
+        }
+    }
+}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError::Run(e)
+    }
+}
+
+fn find_app(name: &str) -> Result<AppSpec, CliError> {
     Suite::ALL
         .iter()
         .flat_map(|s| s.apps())
         .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError::UnknownApp(name.to_string()))
 }
 
-fn scheme_point(scheme: &str) -> Option<DesignPoint> {
-    Some(match scheme {
+fn scheme_point(scheme: &str) -> Result<DesignPoint, CliError> {
+    Ok(match scheme {
         "critic" => DesignPoint::critic(),
         "hoist" => DesignPoint::hoist(),
         "ideal" => DesignPoint::critic_ideal(),
@@ -36,7 +106,7 @@ fn scheme_point(scheme: &str) -> Option<DesignPoint> {
         "opp16" => DesignPoint::opp16(),
         "compress" => DesignPoint::compress(),
         "opp16+critic" => DesignPoint::opp16_plus_critic(),
-        _ => return None,
+        other => return Err(CliError::UnknownScheme(other.to_string())),
     })
 }
 
@@ -44,13 +114,22 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+fn usage() -> CliError {
+    CliError::Usage(
+        "usage: critic <list|profile|compile|run|disasm|campaign> [app] [options]".to_string(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = || {
-        eprintln!("usage: critic <list|profile|compile|run|disasm> [app] [options]");
-        std::process::exit(2);
-    };
-    let Some(command) = args.first() else { return usage() };
+    if let Err(e) = run_cli(&args) {
+        eprintln!("critic: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else { return Err(usage()) };
     match command.as_str() {
         "list" => {
             for suite in Suite::ALL {
@@ -58,12 +137,12 @@ fn main() {
                     println!("{:12} {:10} {}", app.name, suite.label(), app.domain);
                 }
             }
+            Ok(())
         }
         "profile" => {
-            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
-            let bench = Workbench::new(&app, TRACE_LEN);
-            let profile = Profiler::new(ProfilerConfig::default())
-                .build_profile(&bench.program, bench.baseline_trace());
+            let app = find_app(args.get(1).ok_or_else(usage)?)?;
+            let mut bench = Workbench::try_new(&app, TRACE_LEN)?;
+            let profile = bench.try_profile(&ProfilerConfig::default())?.clone();
             println!(
                 "{}: {} chains selected, {:.1}% dynamic coverage, {:.1}% convertible",
                 app.name,
@@ -71,18 +150,20 @@ fn main() {
                 profile.dynamic_coverage * 100.0,
                 profile.stats.convertible_frac * 100.0
             );
-            if let Some(path) = arg_after(&args, "-o") {
-                save_profile(&profile, std::path::Path::new(&path)).expect("profile written");
+            if let Some(path) = arg_after(args, "-o") {
+                save_profile(&profile, std::path::Path::new(&path))
+                    .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
                 println!("wrote {path}");
             }
+            Ok(())
         }
         "compile" | "run" => {
-            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
-            let scheme = arg_after(&args, "--scheme").unwrap_or_else(|| "critic".into());
-            let Some(point) = scheme_point(&scheme) else { return usage() };
-            let mut bench = Workbench::new(&app, TRACE_LEN);
-            let base = bench.run(&DesignPoint::baseline());
-            let run = bench.run(&point);
+            let app = find_app(args.get(1).ok_or_else(usage)?)?;
+            let scheme = arg_after(args, "--scheme").unwrap_or_else(|| "critic".into());
+            let point = scheme_point(&scheme)?;
+            let mut bench = Workbench::try_new(&app, TRACE_LEN)?;
+            let base = bench.try_run(&DesignPoint::baseline())?;
+            let run = bench.try_run(&point)?;
             println!(
                 "{} [{}]: applied {} chains, {} insns to 16-bit, {} skipped (legality)",
                 app.name,
@@ -107,25 +188,124 @@ fn main() {
                     run.energy.system_saving(&base.energy) * 100.0
                 );
             }
+            Ok(())
         }
         "disasm" => {
-            let Some(app) = args.get(1).and_then(|n| find_app(n)) else { return usage() };
+            let app = find_app(args.get(1).ok_or_else(usage)?)?;
             let program = app.generate_program();
             match args.get(2) {
                 Some(fname) => {
-                    let func = program
-                        .functions
-                        .iter()
-                        .find(|f| f.name == *fname)
-                        .unwrap_or_else(|| {
-                            eprintln!("no function `{fname}`");
-                            std::process::exit(2);
-                        });
+                    let func = program.functions.iter().find(|f| f.name == *fname).ok_or_else(
+                        || CliError::UnknownFunction {
+                            app: app.name.clone(),
+                            function: fname.clone(),
+                            available: program
+                                .functions
+                                .iter()
+                                .take(8)
+                                .map(|f| f.name.clone())
+                                .collect(),
+                        },
+                    )?;
                     print!("{}", program.disassemble_function(func.id));
                 }
                 None => print!("{}", program.disassemble()),
             }
+            Ok(())
         }
-        _ => usage(),
+        "campaign" => run_campaign_command(args),
+        other => {
+            Err(CliError::Usage(format!("unknown command `{other}`; {}", usage())))
+        }
+    }
+}
+
+/// `critic campaign [--suite S] [--schemes a,b,..] [--trace-len N]
+/// [--journal FILE] [--resume] [--deadline-secs N] [--retries N]
+/// [--workers N] [--inject app:scheme:fault[:seed]]...`
+fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
+    let apps: Vec<AppSpec> = match arg_after(args, "--suite").as_deref() {
+        None | Some("mobile") => Suite::Mobile.apps(),
+        Some("spec-int") => Suite::SpecInt.apps(),
+        Some("spec-float") => Suite::SpecFloat.apps(),
+        Some("all") => Suite::ALL.iter().flat_map(|s| s.apps()).collect(),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown suite `{other}`; valid suites: mobile, spec-int, spec-float, all"
+            )))
+        }
+    };
+
+    let schemes: Vec<Scheme> = match arg_after(args, "--schemes") {
+        None => campaign::default_schemes(),
+        Some(list) => {
+            let mut schemes = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                schemes.push(Scheme::new(name, scheme_point(name)?));
+            }
+            schemes
+        }
+    };
+
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+
+    let mut spec = CampaignSpec::new(
+        apps,
+        schemes,
+        parse_num("--trace-len")?.map(|n| n as usize).unwrap_or(TRACE_LEN),
+    );
+    spec.deadline = parse_num("--deadline-secs")?.map(Duration::from_secs);
+    spec.retries = parse_num("--retries")?.map(|n| n as u32).unwrap_or(0);
+    spec.workers = parse_num("--workers")?.map(|n| n as usize).unwrap_or(0);
+    spec.journal = arg_after(args, "--journal").map(std::path::PathBuf::from);
+    spec.resume = args.iter().any(|a| a == "--resume");
+    if spec.resume && spec.journal.is_none() {
+        return Err(CliError::Usage("--resume requires --journal FILE".to_string()));
+    }
+
+    let mut idx = 0;
+    while let Some(pos) = args[idx..].iter().position(|a| a == "--inject") {
+        idx += pos + 1;
+        let Some(value) = args.get(idx) else {
+            return Err(CliError::Usage("--inject expects app:scheme:fault[:seed]".to_string()));
+        };
+        let parts: Vec<&str> = value.split(':').collect();
+        if parts.len() < 3 || parts.len() > 4 {
+            return Err(CliError::Usage(format!(
+                "--inject expects app:scheme:fault[:seed], got `{value}`"
+            )));
+        }
+        let fault: Fault = parts[2].parse().map_err(CliError::Usage)?;
+        let seed = match parts.get(3) {
+            None => 0,
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("bad inject seed `{s}`")))?,
+        };
+        spec.faults.push(PlannedFault {
+            app: parts[0].to_string(),
+            scheme: parts[1].to_string(),
+            fault,
+            seed,
+        });
+    }
+
+    let summary = campaign::run_campaign(&spec)?;
+    println!("{}", summary.render());
+    if summary.all_ok() {
+        Ok(())
+    } else {
+        Err(CliError::CampaignFailed {
+            failed: summary.failed().len(),
+            total: summary.records.len(),
+        })
     }
 }

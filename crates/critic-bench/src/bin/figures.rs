@@ -18,6 +18,11 @@ struct Opts {
     targets: Vec<String>,
 }
 
+const TARGETS: [&str; 14] = [
+    "table1", "table2", "fig1a", "fig1b", "fig3", "fig5a", "fig5b", "fig8", "fig10", "fig11",
+    "fig12a", "fig12b", "fig13", "all",
+];
+
 fn parse_args() -> Opts {
     let mut opts = Opts { quick: false, json: false, targets: Vec::new() };
     for arg in std::env::args().skip(1) {
@@ -28,13 +33,26 @@ fn parse_args() -> Opts {
                 eprintln!("usage: figures [--quick] [--json] [TARGET...]");
                 std::process::exit(0);
             }
-            other => opts.targets.push(other.to_string()),
+            other if TARGETS.contains(&other) => opts.targets.push(other.to_string()),
+            other => {
+                eprintln!("figures: unknown target `{other}`; valid: {}", TARGETS.join(", "));
+                std::process::exit(2);
+            }
         }
     }
     if opts.targets.is_empty() {
         opts.targets.push("all".into());
     }
     opts
+}
+
+/// Runs one figure target behind the campaign's panic isolation boundary:
+/// a panic in one target is reported and the remaining targets still run.
+fn isolate_target(failures: &mut Vec<String>, name: &str, f: impl FnOnce()) {
+    if let Err(e) = critic_core::campaign::isolate(name, f) {
+        eprintln!("figures: target {name} failed: {e}");
+        failures.push(name.to_string());
+    }
 }
 
 fn main() {
@@ -49,6 +67,7 @@ fn main() {
             println!("{}", value.to_text(name));
         }
     };
+    let mut failures: Vec<String> = Vec::new();
 
     if wants("table1") {
         println!("== Table I: baseline simulation configuration ==");
@@ -62,6 +81,7 @@ fn main() {
         println!();
     }
     if wants("fig1a") {
+        isolate_target(&mut failures, "fig1a", || {
         let rows = exp::fig1a(len, spec_apps);
         emit("fig1a", &rows_wrap(&rows, |r: &exp::Fig1aRow| {
             format!(
@@ -72,8 +92,10 @@ fn main() {
                 r.critical_frac * 100.0
             )
         }, "Fig. 1a: single-instruction criticality optimizations"));
+        });
     }
     if wants("fig1b") {
+        isolate_target(&mut failures, "fig1b", || {
         let rows = exp::fig1b(len, spec_apps);
         emit("fig1b", &rows_wrap(&rows, |r: &exp::Fig1bRow| {
             format!(
@@ -83,8 +105,10 @@ fn main() {
                 r.gap_fracs.map(|g| (g * 100.0).round() / 100.0)
             )
         }, "Fig. 1b: low-fanout gaps between dependent criticals"));
+        });
     }
     if wants("fig3") {
+        isolate_target(&mut failures, "fig3", || {
         let rows = exp::fig3(len, spec_apps);
         emit("fig3", &rows_wrap(&rows, |r: &exp::Fig3Row| {
             format!(
@@ -96,8 +120,10 @@ fn main() {
                 r.latency_mix.map(|s| (s * 100.0).round() / 100.0)
             )
         }, "Fig. 3: critical-instruction pipeline profile"));
+        });
     }
     if wants("fig5a") {
+        isolate_target(&mut failures, "fig5a", || {
         let rows = exp::fig5a(len, spec_apps);
         emit("fig5a", &rows_wrap(&rows, |r: &exp::Fig5aRow| {
             format!(
@@ -106,8 +132,10 @@ fn main() {
                 r.shape.max_spread, r.shape.p99_spread
             )
         }, "Fig. 5a: IC length and spread"));
+        });
     }
     if wants("fig5b") {
+        isolate_target(&mut failures, "fig5b", || {
         let rows = exp::fig5b(len, apps);
         emit("fig5b", &rows_wrap(&rows, |r: &exp::Fig5bRow| {
             format!(
@@ -116,8 +144,10 @@ fn main() {
                 r.convertible_frac * 100.0, r.coverage * 100.0
             )
         }, "Fig. 5b: unique CritICs and Thumb convertibility"));
+        });
     }
     if wants("fig8") || wants("fig10") {
+        isolate_target(&mut failures, "fig10", || {
         let rows = exp::fig10(len, apps);
         emit("fig10", &rows_wrap(&rows, |r: &exp::Fig10Row| {
             format!(
@@ -145,8 +175,10 @@ fn main() {
             mean(|r| r.cpu_energy_saving) * 100.0,
             mean(|r| r.system_energy_saving) * 100.0,
         );
+        });
     }
     if wants("fig11") {
+        isolate_target(&mut failures, "fig11", || {
         let rows = exp::fig11(len, apps);
         emit("fig11", &rows_wrap(&rows, |r: &exp::Fig11Row| {
             format!(
@@ -158,8 +190,10 @@ fn main() {
                 r.d_stall_rd * 100.0
             )
         }, "Fig. 11: hardware fetch mechanisms vs (and with) CritIC"));
+        });
     }
     if wants("fig12a") {
+        isolate_target(&mut failures, "fig12a", || {
         let rows = exp::fig12a(len, apps, &[2, 3, 4, 5, 7, 9]);
         emit("fig12a", &rows_wrap(&rows, |r: &exp::Fig12aRow| {
             format!(
@@ -169,14 +203,18 @@ fn main() {
                 r.fetch_saving * 100.0
             )
         }, "Fig. 12a: sensitivity to CritIC length"));
+        });
     }
     if wants("fig12b") {
+        isolate_target(&mut failures, "fig12b", || {
         let rows = exp::fig12b(len, apps, &[0.2, 0.33, 0.5, 0.72, 1.0]);
         emit("fig12b", &rows_wrap(&rows, |r: &exp::Fig12bRow| {
             format!("  profiled {:3.0}%  speedup {:+.2}%", r.fraction * 100.0, (r.speedup - 1.0) * 100.0)
         }, "Fig. 12b: sensitivity to profiling coverage"));
+        });
     }
     if wants("fig13") {
+        isolate_target(&mut failures, "fig13", || {
         let rows = exp::fig13(len, apps);
         emit("fig13", &rows_wrap(&rows, |r: &exp::Fig13Row| {
             format!(
@@ -186,6 +224,12 @@ fn main() {
                 r.converted_frac * 100.0
             )
         }, "Fig. 13: criticality-aware vs opportunistic conversion"));
+        });
+    }
+
+    if !failures.is_empty() {
+        eprintln!("figures: {} target(s) failed: {}", failures.len(), failures.join(", "));
+        std::process::exit(1);
     }
 }
 

@@ -16,12 +16,28 @@
 use critic_isa::{Insn, ThumbIncompatibility};
 use critic_workloads::{Program, TaggedInsn};
 
+use crate::error::PassError;
 use crate::opp16::convert_runs_in_block;
 use crate::report::PassReport;
 use crate::uid::UidAllocator;
 
 /// Applies the Compress heuristic to every function.
+///
+/// # Panics
+///
+/// Panics if the program is malformed; use [`try_apply_compress`] to get a
+/// [`PassError`] instead.
 pub fn apply_compress(program: &mut Program) -> PassReport {
+    match try_apply_compress(program) {
+        Ok(report) => report,
+        Err(e) => panic!("compress pass failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`apply_compress`]: rejects structurally invalid
+/// programs with a typed [`PassError`] before rewriting anything.
+pub fn try_apply_compress(program: &mut Program) -> Result<PassReport, PassError> {
+    program.validate()?;
     let mut alloc = UidAllocator::for_program(program);
     let mut report = PassReport::default();
     for block in &mut program.blocks {
@@ -55,9 +71,9 @@ pub fn apply_compress(program: &mut Program) -> PassReport {
         block.insns = expanded;
         // Phase 2: convert every run of >= 2 (isolated islands stay ARM —
         // their switch overhead never amortizes).
-        report.absorb(convert_runs_in_block(block, 2, &mut alloc));
+        report.absorb(convert_runs_in_block(block, 2, &mut alloc)?);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

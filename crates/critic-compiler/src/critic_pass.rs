@@ -21,6 +21,7 @@ use critic_profiler::Profile;
 use critic_workloads::{BlockId, InsnUid, Program, TaggedInsn};
 use serde::{Deserialize, Serialize};
 
+use crate::error::PassError;
 use crate::report::PassReport;
 use crate::uid::UidAllocator;
 
@@ -86,7 +87,53 @@ impl CriticPassOptions {
 ///
 /// Chains are applied in profile rank order; members claimed by an earlier
 /// chain are not re-used. Returns what was done.
+///
+/// # Panics
+///
+/// Panics if the program or profile is malformed; use
+/// [`try_apply_critic_pass`] to get a [`PassError`] instead.
 pub fn apply_critic_pass(
+    program: &mut Program,
+    profile: &Profile,
+    opts: CriticPassOptions,
+) -> PassReport {
+    match try_apply_critic_pass(program, profile, opts) {
+        Ok(report) => report,
+        Err(e) => panic!("critic pass failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`apply_critic_pass`]: validates the program
+/// structurally and every chain spec against it before rewriting anything,
+/// so a corrupted program or a stale/foreign profile yields a typed
+/// [`PassError`] instead of a panic or silent corruption.
+///
+/// On `Err` the program is untouched (all checks run before the first
+/// rewrite).
+pub fn try_apply_critic_pass(
+    program: &mut Program,
+    profile: &Profile,
+    opts: CriticPassOptions,
+) -> Result<PassReport, PassError> {
+    program.validate()?;
+    for (rank, spec) in profile.chains.iter().enumerate() {
+        if spec.uids.is_empty() {
+            return Err(PassError::EmptyChain { chain: rank });
+        }
+        if spec.block.index() >= program.blocks.len() {
+            return Err(PassError::ChainBlockOutOfRange {
+                chain: rank,
+                block: spec.block,
+                num_blocks: program.blocks.len(),
+            });
+        }
+    }
+    Ok(apply_validated(program, profile, opts))
+}
+
+/// The pass proper; every chain's block id is known to be in range and
+/// every chain non-empty.
+fn apply_validated(
     program: &mut Program,
     profile: &Profile,
     opts: CriticPassOptions,
@@ -276,7 +323,8 @@ fn convert_in_place(
 ///   profiles can be stale).
 fn hoist_is_legal(insns: &[TaggedInsn], positions: &[usize]) -> bool {
     let member_set: HashSet<usize> = positions.iter().copied().collect();
-    let last = *positions.last().expect("non-empty chain");
+    // An empty chain moves nothing and is trivially legal.
+    let Some(&last) = positions.last() else { return true };
     let writes_flags = |i: &critic_isa::Insn| {
         matches!(i.op(), Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp)
     };

@@ -1,0 +1,82 @@
+//! Structured errors for the rewriting passes.
+//!
+//! The passes consume two kinds of untrusted input: a [`Program`] that may
+//! come from a generator bug or a corrupted serialization, and a profile
+//! whose [`ChainSpec`]s may be stale or malformed. The `try_*` entry points
+//! reject both with a typed [`PassError`] instead of panicking; the legacy
+//! panicking wrappers remain for callers that have already validated.
+//!
+//! [`Program`]: critic_workloads::Program
+//! [`ChainSpec`]: critic_profiler::ChainSpec
+
+use std::fmt;
+
+use critic_workloads::{BlockId, InsnUid, ProgramError};
+use serde::{Deserialize, Serialize};
+
+/// Why a rewriting pass refused to run (or aborted mid-flight).
+///
+/// On `Err` the program may have been partially rewritten — treat it as
+/// poisoned and rebuild from the pristine original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PassError {
+    /// The input program failed structural validation before the pass ran.
+    InvalidProgram(ProgramError),
+    /// A profiled chain names a block outside the program's arena — the
+    /// profile belongs to a different (or differently generated) program.
+    ChainBlockOutOfRange {
+        /// Rank of the offending chain in the profile.
+        chain: usize,
+        /// The block id the chain claims to live in.
+        block: BlockId,
+        /// How many blocks the program actually has.
+        num_blocks: usize,
+    },
+    /// A profiled chain has no members.
+    EmptyChain {
+        /// Rank of the offending chain in the profile.
+        chain: usize,
+    },
+    /// An instruction the convertibility scan accepted failed `to_thumb`;
+    /// indicates an ISA-model bug or a program mutated mid-pass.
+    Unconvertible {
+        /// Stable uid of the instruction that would not convert.
+        uid: InsnUid,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::InvalidProgram(e) => write!(f, "input program is invalid: {e}"),
+            PassError::ChainBlockOutOfRange { chain, block, num_blocks } => write!(
+                f,
+                "profile chain #{chain} names {block:?} but the program has \
+                 {num_blocks} blocks (stale or foreign profile?)"
+            ),
+            PassError::EmptyChain { chain } => {
+                write!(f, "profile chain #{chain} has no members")
+            }
+            PassError::Unconvertible { uid } => write!(
+                f,
+                "instruction {uid:?} passed the convertibility scan but failed \
+                 Thumb conversion"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PassError::InvalidProgram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for PassError {
+    fn from(e: ProgramError) -> Self {
+        PassError::InvalidProgram(e)
+    }
+}

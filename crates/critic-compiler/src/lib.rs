@@ -47,15 +47,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod compress;
 pub mod critic_pass;
+pub mod error;
 pub mod opp16;
 pub mod report;
 pub mod uid;
 
-pub use compress::apply_compress;
-pub use critic_pass::{apply_critic_pass, CriticPassOptions, SwitchMode};
-pub use opp16::apply_opp16;
+pub use compress::{apply_compress, try_apply_compress};
+pub use critic_pass::{
+    apply_critic_pass, try_apply_critic_pass, CriticPassOptions, SwitchMode,
+};
+pub use error::PassError;
+pub use opp16::{apply_opp16, try_apply_opp16};
 pub use report::PassReport;
 pub use uid::UidAllocator;

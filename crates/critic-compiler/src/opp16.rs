@@ -8,6 +8,7 @@
 use critic_isa::Insn;
 use critic_workloads::{BasicBlock, Program, TaggedInsn};
 
+use crate::error::PassError;
 use crate::report::PassReport;
 use crate::uid::UidAllocator;
 
@@ -20,13 +21,28 @@ pub const OPP16_MIN_RUN: usize = 3;
 ///
 /// Running it after the CritIC pass composes into the paper's
 /// `OPP16+CritIC` scheme: already-converted regions are skipped.
+///
+/// # Panics
+///
+/// Panics if the program is malformed; use [`try_apply_opp16`] to get a
+/// [`PassError`] instead.
 pub fn apply_opp16(program: &mut Program, min_run: usize) -> PassReport {
+    match try_apply_opp16(program, min_run) {
+        Ok(report) => report,
+        Err(e) => panic!("opp16 pass failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`apply_opp16`]: rejects structurally invalid
+/// programs with a typed [`PassError`] before rewriting anything.
+pub fn try_apply_opp16(program: &mut Program, min_run: usize) -> Result<PassReport, PassError> {
+    program.validate()?;
     let mut alloc = UidAllocator::for_program(program);
     let mut report = PassReport::default();
     for block in &mut program.blocks {
-        report.absorb(convert_runs_in_block(block, min_run, &mut alloc));
+        report.absorb(convert_runs_in_block(block, min_run, &mut alloc)?);
     }
-    report
+    Ok(report)
 }
 
 /// Finds and converts the convertible runs of one block. Shared with the
@@ -35,7 +51,7 @@ pub(crate) fn convert_runs_in_block(
     block: &mut BasicBlock,
     min_run: usize,
     alloc: &mut UidAllocator,
-) -> PassReport {
+) -> Result<PassReport, PassError> {
     let mut report = PassReport::default();
     // Collect maximal convertible all-ARM runs first; rewrite back to front
     // so insertion indices stay valid.
@@ -63,9 +79,11 @@ pub(crate) fn convert_runs_in_block(
         }
     }
     for &(s, e) in runs.iter().rev() {
-        // Convert the run.
+        // Convert the run. The scan above established convertibility, so a
+        // failure here means the ISA model disagrees with its own
+        // predicate — surface it rather than trusting either side.
         for t in &mut block.insns[s..e] {
-            t.insn = t.insn.to_thumb().expect("run members passed the predicate");
+            t.insn = t.insn.to_thumb().map_err(|_| PassError::Unconvertible { uid: t.uid })?;
             report.insns_converted += 1;
         }
         // Insert one CDP per chunk of up to 9, back to front.
@@ -82,7 +100,7 @@ pub(crate) fn convert_runs_in_block(
             report.cdps_inserted += 1;
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,667 @@
+//! The fault-tolerant campaign runner: an app × design-point grid with
+//! per-cell panic isolation, deadlines, bounded retry, and a JSONL journal
+//! for checkpoint/resume.
+//!
+//! A *campaign* evaluates every scheme of interest over every app of one
+//! or more suites — the full-evaluation shape behind the paper's Figs. 10,
+//! 11 and 13. One pathological cell (a generator edge case, a corrupted
+//! profile, a runaway simulation) must not take the other 79 cells down
+//! with it, so each cell runs behind [`std::panic::catch_unwind`] on its
+//! own attempt thread, bounded by a per-attempt deadline and a retry
+//! budget. Every finished cell is appended to a JSONL journal and the
+//! journal is replayed on `--resume`, so a killed campaign continues where
+//! it stopped instead of starting over.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use critic_workloads::{
+    inject_program, inject_trace, AppSpec, ExecutionPath, Fault, FaultTarget, Trace,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::design::DesignPoint;
+use crate::error::RunError;
+use crate::runner::Workbench;
+
+/// One named software/hardware configuration of the campaign grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Short stable name (journal key; e.g. `critic`, `opp16`).
+    pub name: String,
+    /// The design point it runs.
+    pub point: DesignPoint,
+}
+
+impl Scheme {
+    /// Convenience constructor.
+    pub fn new(name: &str, point: DesignPoint) -> Scheme {
+        Scheme { name: name.to_string(), point }
+    }
+}
+
+/// A fault to inject into one specific cell (for harness validation and
+/// robustness drills).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// App name the fault applies to (case-insensitive match).
+    pub app: String,
+    /// Scheme name the fault applies to.
+    pub scheme: String,
+    /// What to corrupt.
+    pub fault: Fault,
+    /// Seed steering the injection site.
+    pub seed: u64,
+}
+
+/// The full description of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Apps to evaluate (rows of the grid).
+    pub apps: Vec<AppSpec>,
+    /// Schemes to evaluate (columns of the grid).
+    pub schemes: Vec<Scheme>,
+    /// Dynamic instructions per recorded execution.
+    pub trace_len: usize,
+    /// Per-attempt wall-clock budget; `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first failure (0 = fail fast).
+    pub retries: u32,
+    /// Worker threads; 0 picks the machine's parallelism.
+    pub workers: usize,
+    /// Faults to inject into specific cells.
+    pub faults: Vec<PlannedFault>,
+    /// JSONL journal path; `None` disables journaling (and resume).
+    pub journal: Option<PathBuf>,
+    /// Skip cells already recorded in the journal.
+    pub resume: bool,
+}
+
+impl CampaignSpec {
+    /// A campaign over `apps` × `schemes` with journaling and resume off,
+    /// no deadline, no retries, and automatic worker count.
+    pub fn new(apps: Vec<AppSpec>, schemes: Vec<Scheme>, trace_len: usize) -> CampaignSpec {
+        CampaignSpec {
+            apps,
+            schemes,
+            trace_len,
+            deadline: None,
+            retries: 0,
+            workers: 0,
+            faults: Vec::new(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// Terminal status of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// The cell produced a result.
+    Ok,
+    /// Every attempt returned a typed error.
+    Failed,
+    /// Every attempt blew the deadline.
+    TimedOut,
+    /// The final attempt panicked (trapped at the isolation boundary).
+    Panicked,
+}
+
+/// The metrics a successful cell contributes (the campaign-level subset of
+/// [`RunOutcome`]; the full outcome stays in memory, not in the journal).
+///
+/// [`RunOutcome`]: crate::runner::RunOutcome
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Speedup over the same app's baseline run.
+    pub speedup: f64,
+    /// CPU energy saving vs baseline (fraction).
+    pub cpu_energy_saving: f64,
+    /// Fraction of dynamic instructions fetched 16-bit.
+    pub thumb_dyn_frac: f64,
+    /// Dynamic instructions executed.
+    pub dyn_insns: usize,
+}
+
+/// One journaled cell: identity, terminal status, and either metrics or
+/// the error that killed it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// App name.
+    pub app: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Wall-clock of the final attempt, in milliseconds.
+    pub millis: u64,
+    /// Fault injected into this cell, if any.
+    pub fault: Option<Fault>,
+    /// Metrics, when `status == Ok`.
+    pub metrics: Option<CellMetrics>,
+    /// The final attempt's error, when `status != Ok`.
+    pub error: Option<RunError>,
+}
+
+impl CellRecord {
+    fn key(&self) -> (String, String) {
+        (self.app.clone(), self.scheme.clone())
+    }
+}
+
+/// Aggregate of a finished (or resumed-and-finished) campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Every cell of the grid, in (app, scheme) order, including cells
+    /// replayed from the journal on resume.
+    pub records: Vec<CellRecord>,
+    /// Cells replayed from the journal rather than run this invocation.
+    pub resumed: usize,
+}
+
+impl CampaignSummary {
+    /// Cells that did not finish with [`CellStatus::Ok`].
+    pub fn failed(&self) -> Vec<&CellRecord> {
+        self.records.iter().filter(|r| r.status != CellStatus::Ok).collect()
+    }
+
+    /// Whether every cell succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(|r| r.status == CellStatus::Ok)
+    }
+
+    /// Human-readable report: one line per cell plus a failure roll-up.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let tag = match r.status {
+                CellStatus::Ok => "ok",
+                CellStatus::Failed => "FAILED",
+                CellStatus::TimedOut => "TIMEOUT",
+                CellStatus::Panicked => "PANICKED",
+            };
+            match (&r.metrics, &r.error) {
+                (Some(m), _) => out.push_str(&format!(
+                    "  {:12} {:14} {:8} speedup {:+.2}%  thumb {:4.1}%  ({} ms{})\n",
+                    r.app,
+                    r.scheme,
+                    tag,
+                    (m.speedup - 1.0) * 100.0,
+                    m.thumb_dyn_frac * 100.0,
+                    r.millis,
+                    if r.attempts > 1 { format!(", {} attempts", r.attempts) } else { String::new() },
+                )),
+                (None, Some(e)) => out.push_str(&format!(
+                    "  {:12} {:14} {:8} {}\n",
+                    r.app, r.scheme, tag, e
+                )),
+                (None, None) => {
+                    out.push_str(&format!("  {:12} {:14} {:8}\n", r.app, r.scheme, tag))
+                }
+            }
+        }
+        let failed = self.failed();
+        if failed.is_empty() {
+            out.push_str(&format!("campaign complete: all {} cells ok", self.records.len()));
+        } else {
+            out.push_str(&format!(
+                "campaign complete: {}/{} cells FAILED:",
+                failed.len(),
+                self.records.len()
+            ));
+            for r in failed {
+                out.push_str(&format!("\n  {}:{}", r.app, r.scheme));
+            }
+        }
+        if self.resumed > 0 {
+            out.push_str(&format!("\n({} cells resumed from journal)", self.resumed));
+        }
+        out
+    }
+}
+
+/// One unit of work: an app × scheme pair plus its planned fault.
+#[derive(Debug, Clone)]
+struct Cell {
+    app: AppSpec,
+    scheme: Scheme,
+    fault: Option<(Fault, u64)>,
+}
+
+/// Runs the campaign to completion. Individual cell failures never abort
+/// the grid; they are journaled and reported in the summary. The only
+/// campaign-level error is an unusable journal.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
+    // A planned fault that matches no grid cell is a spec typo: the
+    // campaign would run clean while the caller believes it injected.
+    for fault in &spec.faults {
+        let matches_cell = spec.apps.iter().any(|a| fault.app.eq_ignore_ascii_case(&a.name))
+            && spec.schemes.iter().any(|s| fault.scheme.eq_ignore_ascii_case(&s.name));
+        if !matches_cell {
+            return Err(RunError::Inject(format!(
+                "planned fault targets no cell in the grid: `{}:{}`",
+                fault.app, fault.scheme
+            )));
+        }
+    }
+
+    // Replay the journal: any recorded cell is finished work.
+    let mut resumed_records: Vec<CellRecord> = Vec::new();
+    if spec.resume {
+        if let Some(path) = &spec.journal {
+            if path.exists() {
+                let file = File::open(path)
+                    .map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?;
+                for line in BufReader::new(file).lines() {
+                    let line =
+                        line.map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    // A torn final line (the process died mid-write) is
+                    // expected after a kill; ignore it and rerun that cell.
+                    if let Ok(record) = serde_json::from_str::<CellRecord>(&line) {
+                        resumed_records.push(record);
+                    }
+                }
+            }
+        }
+    }
+    let done: BTreeSet<(String, String)> = resumed_records.iter().map(CellRecord::key).collect();
+
+    let journal: Option<Mutex<File>> = match &spec.journal {
+        Some(path) => Some(Mutex::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?,
+        )),
+        None => None,
+    };
+
+    let mut cells: VecDeque<Cell> = VecDeque::new();
+    for app in &spec.apps {
+        for scheme in &spec.schemes {
+            if done.contains(&(app.name.clone(), scheme.name.clone())) {
+                continue;
+            }
+            let fault = spec
+                .faults
+                .iter()
+                .find(|f| {
+                    f.app.eq_ignore_ascii_case(&app.name)
+                        && f.scheme.eq_ignore_ascii_case(&scheme.name)
+                })
+                .map(|f| (f.fault, f.seed));
+            cells.push_back(Cell { app: app.clone(), scheme: scheme.clone(), fault });
+        }
+    }
+
+    let workers = if spec.workers > 0 {
+        spec.workers
+    } else {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    }
+    .min(cells.len().max(1));
+
+    let queue = Mutex::new(cells);
+    let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(cell) = queue.lock().ok().and_then(|mut q| q.pop_front()) {
+                    let record = run_cell(&cell, spec);
+                    if let Some(journal) = &journal {
+                        if let Ok(mut file) = journal.lock() {
+                            // Journal full lines only; flush so a kill -9
+                            // loses at most the cell in flight.
+                            if let Ok(line) = serde_json::to_string(&record) {
+                                let _ = writeln!(file, "{line}");
+                                let _ = file.flush();
+                            }
+                        }
+                    }
+                    if let Ok(mut records) = fresh.lock() {
+                        records.push(record);
+                    }
+                }
+            });
+        }
+    });
+
+    let resumed = resumed_records.len();
+    let mut records = resumed_records;
+    records.extend(fresh.into_inner().unwrap_or_default());
+    // Grid order, independent of worker interleaving.
+    let order: Vec<(String, String)> = spec
+        .apps
+        .iter()
+        .flat_map(|a| spec.schemes.iter().map(move |s| (a.name.clone(), s.name.clone())))
+        .collect();
+    records.sort_by_key(|r| order.iter().position(|k| *k == r.key()).unwrap_or(usize::MAX));
+    Ok(CampaignSummary { records, resumed })
+}
+
+/// Runs one cell with its retry budget; always returns a terminal record.
+fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
+    let attempts_allowed = spec.retries + 1;
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        let started = Instant::now();
+        let result = run_attempt(cell, spec.trace_len, spec.deadline);
+        let millis = started.elapsed().as_millis() as u64;
+        let fault = cell.fault.map(|(f, _)| f);
+        match result {
+            Ok(metrics) => {
+                return CellRecord {
+                    app: cell.app.name.clone(),
+                    scheme: cell.scheme.name.clone(),
+                    status: CellStatus::Ok,
+                    attempts: attempt,
+                    millis,
+                    fault,
+                    metrics: Some(metrics),
+                    error: None,
+                };
+            }
+            Err(error) if attempt >= attempts_allowed => {
+                let status = match error {
+                    RunError::Panic(_) => CellStatus::Panicked,
+                    RunError::DeadlineExceeded { .. } => CellStatus::TimedOut,
+                    _ => CellStatus::Failed,
+                };
+                return CellRecord {
+                    app: cell.app.name.clone(),
+                    scheme: cell.scheme.name.clone(),
+                    status,
+                    attempts: attempt,
+                    millis,
+                    fault,
+                    metrics: None,
+                    error: Some(error),
+                };
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One attempt, under the deadline if one is set. The body runs on its own
+/// thread so a blown deadline abandons the attempt instead of blocking the
+/// worker; an abandoned thread finishes (or panics) harmlessly in the
+/// background.
+fn run_attempt(
+    cell: &Cell,
+    trace_len: usize,
+    deadline: Option<Duration>,
+) -> Result<CellMetrics, RunError> {
+    match deadline {
+        Some(deadline) => {
+            let (tx, rx) = mpsc::channel();
+            let cell = cell.clone();
+            thread::spawn(move || {
+                let _ = tx.send(run_isolated(&cell, trace_len));
+            });
+            match rx.recv_timeout(deadline) {
+                Ok(result) => result,
+                Err(_) => {
+                    Err(RunError::DeadlineExceeded { millis: deadline.as_millis() as u64 })
+                }
+            }
+        }
+        None => run_isolated(cell, trace_len),
+    }
+}
+
+/// The panic isolation boundary: a panic anywhere below becomes
+/// [`RunError::Panic`].
+fn run_isolated(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError> {
+    catch_unwind(AssertUnwindSafe(|| run_cell_body(cell, trace_len)))
+        .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
+}
+
+/// The cell proper: generate, inject the planned fault (if any), validate,
+/// profile/compile/simulate baseline and scheme, reduce to metrics.
+fn run_cell_body(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError> {
+    let app = &cell.app;
+    let mut program = app.generate_program();
+    if let Some((fault, seed)) = cell.fault {
+        if fault.target() == FaultTarget::Program {
+            inject_program(&mut program, fault, seed)
+                .map_err(|e| RunError::Inject(e.to_string()))?;
+        }
+    }
+    // Validate before walking the CFG: path generation and trace expansion
+    // index blocks by id and would panic on e.g. a dangling terminator.
+    program.validate()?;
+    let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
+    let mut trace = Trace::expand(&program, &path);
+    if let Some((fault, seed)) = cell.fault {
+        if fault.target() == FaultTarget::Trace {
+            inject_trace(&mut trace, fault, seed).map_err(|e| RunError::Inject(e.to_string()))?;
+        }
+    }
+    let mut bench = Workbench::try_assemble(app, program, path, trace)?;
+    let base = bench.try_run(&DesignPoint::baseline())?;
+    let outcome = bench.try_run(&cell.scheme.point)?;
+    Ok(CellMetrics {
+        speedup: outcome.sim.speedup_over(&base.sim),
+        cpu_energy_saving: outcome.energy.cpu_saving(&base.energy),
+        thumb_dyn_frac: outcome.thumb_dyn_frac,
+        dyn_insns: outcome.dyn_insns,
+    })
+}
+
+/// Runs `f` behind the campaign's panic isolation boundary — the building
+/// block the `figures` binary uses so one failing figure cannot abort the
+/// whole regeneration.
+pub fn isolate<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, RunError> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|payload| RunError::Panic(format!("{label}: {}", panic_message(payload))))
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The scheme set of the paper's Fig. 13 conversion-scheme comparison —
+/// the default `critic campaign` grid.
+pub fn default_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::new("hoist", DesignPoint::hoist()),
+        Scheme::new("critic", DesignPoint::critic()),
+        Scheme::new("ideal", DesignPoint::critic_ideal()),
+        Scheme::new("branch-switch", DesignPoint::critic_branch_switch()),
+        Scheme::new("opp16", DesignPoint::opp16()),
+        Scheme::new("compress", DesignPoint::compress()),
+        Scheme::new("opp16+critic", DesignPoint::opp16_plus_critic()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use critic_workloads::Suite;
+
+    use super::*;
+
+    fn tiny_apps(n: usize) -> Vec<AppSpec> {
+        Suite::Mobile
+            .apps()
+            .into_iter()
+            .take(n)
+            .map(|mut app| {
+                app.params.num_functions = 24;
+                app
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_campaign_is_all_ok() {
+        let spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert_eq!(summary.records.len(), 4);
+        assert!(summary.all_ok(), "{}", summary.render());
+        for r in &summary.records {
+            let m = r.metrics.as_ref().expect("ok cell has metrics");
+            assert!(m.dyn_insns > 0);
+        }
+    }
+
+    #[test]
+    fn injected_fault_fails_its_cell_and_only_its_cell() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        let victim = spec.apps[0].name.clone();
+        spec.faults.push(PlannedFault {
+            app: victim.clone(),
+            scheme: "critic".into(),
+            fault: Fault::DanglingTerminator,
+            seed: 7,
+        });
+        let summary = run_campaign(&spec).expect("campaign survives the fault");
+        assert_eq!(summary.records.len(), 2);
+        let failed = summary.failed();
+        assert_eq!(failed.len(), 1, "{}", summary.render());
+        assert_eq!(failed[0].app, victim);
+        assert_eq!(failed[0].status, CellStatus::Failed);
+        assert!(matches!(failed[0].error, Some(RunError::Program(_))));
+        assert!(!summary.all_ok());
+    }
+
+    #[test]
+    fn isolate_traps_panics() {
+        let ok = isolate("fine", || 7);
+        assert_eq!(ok.expect("no panic"), 7);
+        let err = isolate("boom", || -> u32 { panic!("injected panic") })
+            .expect_err("panic must be trapped");
+        match err {
+            RunError::Panic(msg) => {
+                assert!(msg.contains("boom") && msg.contains("injected panic"), "{msg}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn deadline_times_the_cell_out() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            200_000,
+        );
+        spec.deadline = Some(Duration::from_millis(1));
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert_eq!(summary.records.len(), 1);
+        assert_eq!(summary.records[0].status, CellStatus::TimedOut);
+        assert!(matches!(summary.records[0].error, Some(RunError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn retries_are_bounded_and_counted() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.retries = 2;
+        spec.faults.push(PlannedFault {
+            app: spec.apps[0].name.clone(),
+            scheme: "critic".into(),
+            fault: Fault::DuplicateUid,
+            seed: 3,
+        });
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert_eq!(summary.records[0].attempts, 3, "retries + 1 attempts");
+        assert_eq!(summary.records[0].status, CellStatus::Failed);
+    }
+
+    #[test]
+    fn journal_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join("critic_campaign_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        // First leg: one app only.
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.journal = Some(journal.clone());
+        let first = run_campaign(&spec).expect("first leg");
+        assert!(first.all_ok());
+
+        // Simulate a kill mid-write: append a torn line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&journal).expect("journal opens");
+            write!(f, "{{\"app\":\"torn").expect("append");
+        }
+
+        // Second leg: two apps, resuming — the journaled cell is skipped,
+        // the torn line ignored, the new cell runs.
+        let mut spec2 = CampaignSpec::new(
+            tiny_apps(2),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec2.journal = Some(journal.clone());
+        spec2.resume = true;
+        let second = run_campaign(&spec2).expect("second leg");
+        assert_eq!(second.records.len(), 2);
+        assert_eq!(second.resumed, 1, "{}", second.render());
+        assert!(second.all_ok());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn summary_render_names_failed_cells() {
+        let summary = CampaignSummary {
+            records: vec![CellRecord {
+                app: "acrobat".into(),
+                scheme: "critic".into(),
+                status: CellStatus::Panicked,
+                attempts: 1,
+                millis: 12,
+                fault: Some(Fault::ScrambleBlock),
+                metrics: None,
+                error: Some(RunError::Panic("index out of bounds".into())),
+            }],
+            resumed: 0,
+        };
+        let text = summary.render();
+        assert!(text.contains("PANICKED"), "{text}");
+        assert!(text.contains("acrobat:critic"), "{text}");
+        assert!(text.contains("1/1 cells FAILED"), "{text}");
+    }
+}

@@ -287,7 +287,7 @@ mod tests {
         assert_eq!(DesignPoint::baseline().label(), "Base");
         assert_eq!(DesignPoint::critic().label(), "CritIC");
         assert_eq!(DesignPoint::all_hw().label(), "BackendPrio+4xICache+EFetch+PerfectBr");
-        assert_eq!(DesignPoint::all_hw().with_critic().label().contains("CritIC"), true);
+        assert!(DesignPoint::all_hw().with_critic().label().contains("CritIC"));
         assert_eq!(DesignPoint::critic_exact_len(7).label(), "CritIC(n=7)");
         assert_eq!(DesignPoint::critic_profile_fraction(0.33).label(), "CritIC@33%");
     }

@@ -1,0 +1,91 @@
+//! Structured errors for experiment runs.
+
+use std::fmt;
+
+use critic_compiler::PassError;
+use critic_profiler::ProfileError;
+use critic_workloads::{ProgramError, TraceError};
+use serde::{Deserialize, Serialize};
+
+/// Why one experiment run (one cell of a campaign) failed.
+///
+/// Every failure a run can hit — invalid inputs, pass/profiler rejections,
+/// a panic trapped at the isolation boundary, a blown deadline, journal
+/// I/O — collapses into this one serializable type so campaign journals
+/// can record it verbatim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunError {
+    /// The (possibly fault-injected) program failed validation.
+    Program(ProgramError),
+    /// The (possibly fault-injected) trace failed validation.
+    Trace(TraceError),
+    /// The profiler rejected its inputs.
+    Profile(ProfileError),
+    /// A compiler pass rejected its inputs.
+    Pass(PassError),
+    /// A fault injection request had no applicable site.
+    Inject(String),
+    /// A panic escaped the run and was trapped at the isolation boundary.
+    /// Carries the panic payload's message.
+    Panic(String),
+    /// The run exceeded its per-attempt deadline.
+    DeadlineExceeded {
+        /// The deadline that was blown, in milliseconds.
+        millis: u64,
+    },
+    /// The campaign journal could not be read or written.
+    Journal(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Program(e) => write!(f, "invalid program: {e}"),
+            RunError::Trace(e) => write!(f, "invalid trace: {e}"),
+            RunError::Profile(e) => write!(f, "profiling failed: {e}"),
+            RunError::Pass(e) => write!(f, "compiler pass failed: {e}"),
+            RunError::Inject(msg) => write!(f, "fault injection failed: {msg}"),
+            RunError::Panic(msg) => write!(f, "panicked: {msg}"),
+            RunError::DeadlineExceeded { millis } => {
+                write!(f, "deadline of {millis} ms exceeded")
+            }
+            RunError::Journal(msg) => write!(f, "journal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Program(e) => Some(e),
+            RunError::Trace(e) => Some(e),
+            RunError::Profile(e) => Some(e),
+            RunError::Pass(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for RunError {
+    fn from(e: ProgramError) -> Self {
+        RunError::Program(e)
+    }
+}
+
+impl From<TraceError> for RunError {
+    fn from(e: TraceError) -> Self {
+        RunError::Trace(e)
+    }
+}
+
+impl From<ProfileError> for RunError {
+    fn from(e: ProfileError) -> Self {
+        RunError::Profile(e)
+    }
+}
+
+impl From<PassError> for RunError {
+    fn from(e: PassError) -> Self {
+        RunError::Pass(e)
+    }
+}

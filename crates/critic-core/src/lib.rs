@@ -32,12 +32,20 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod campaign;
 pub mod design;
+pub mod error;
 pub mod experiments;
 pub mod runner;
 
+pub use campaign::{
+    run_campaign, CampaignSpec, CampaignSummary, CellMetrics, CellRecord, CellStatus,
+    PlannedFault, Scheme,
+};
 pub use design::{DesignPoint, Software};
+pub use error::RunError;
 pub use runner::{RunOutcome, Workbench};
 
 /// Default dynamic instructions per app for full experiments (the paper

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use critic_compiler::{
-    apply_compress, apply_critic_pass, apply_opp16, CriticPassOptions, PassReport,
+    try_apply_compress, try_apply_critic_pass, try_apply_opp16, CriticPassOptions, PassReport,
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
 use critic_pipeline::{SimResult, Simulator};
@@ -12,6 +12,7 @@ use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{DesignPoint, Software};
+use crate::error::RunError;
 
 /// Everything one run of one design point produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,11 +52,43 @@ pub struct Workbench {
 impl Workbench {
     /// Generates the app's binary and records a `trace_len`-instruction
     /// execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated binary or trace fails validation (a
+    /// generator bug); use [`Workbench::try_new`] to get a [`RunError`].
     pub fn new(app: &AppSpec, trace_len: usize) -> Workbench {
+        match Workbench::try_new(app, trace_len) {
+            Ok(bench) => bench,
+            Err(e) => panic!("workbench setup for {} failed: {e}", app.name),
+        }
+    }
+
+    /// Fallible variant of [`Workbench::new`]: validates the generated
+    /// binary before expanding the trace, and the trace against the
+    /// binary, returning a typed [`RunError`] on either mismatch.
+    pub fn try_new(app: &AppSpec, trace_len: usize) -> Result<Workbench, RunError> {
         let program = app.generate_program();
+        program.validate()?;
         let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
         let base_trace = Trace::expand(&program, &path);
-        Workbench {
+        Workbench::try_assemble(app, program, path, base_trace)
+    }
+
+    /// Builds a workbench from externally supplied (possibly corrupted)
+    /// parts, validating the program and the trace against it. This is the
+    /// fault-injection entry point: campaigns inject faults into the
+    /// program or trace and still get a typed error instead of a panic
+    /// deep inside the analyses.
+    pub fn try_assemble(
+        app: &AppSpec,
+        program: Program,
+        path: ExecutionPath,
+        base_trace: Trace,
+    ) -> Result<Workbench, RunError> {
+        program.validate_encoding()?;
+        base_trace.validate(&program)?;
+        Ok(Workbench {
             app: app.clone(),
             program,
             path,
@@ -63,7 +96,7 @@ impl Workbench {
             energy_model: EnergyModel::default(),
             profiles: HashMap::new(),
             variants: HashMap::new(),
-        }
+        })
     }
 
     /// The baseline dynamic trace.
@@ -72,32 +105,52 @@ impl Workbench {
     }
 
     /// Builds (or returns the cached) profile for a profiler configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiler rejects the workbench's trace; impossible
+    /// for a workbench built through a validating constructor.
     pub fn profile(&mut self, config: &ProfilerConfig) -> &Profile {
-        let key = serde_json::to_string(config).expect("config serializes");
+        match self.ensure_profile(config) {
+            Ok(key) => &self.profiles[&key],
+            Err(e) => panic!("profiling {} failed: {e}", self.app.name),
+        }
+    }
+
+    /// Fallible variant of [`Workbench::profile`].
+    pub fn try_profile(&mut self, config: &ProfilerConfig) -> Result<&Profile, RunError> {
+        let key = self.ensure_profile(config)?;
+        Ok(&self.profiles[&key])
+    }
+
+    /// Builds the profile if missing; returns its cache key.
+    fn ensure_profile(&mut self, config: &ProfilerConfig) -> Result<String, RunError> {
+        let key = format!("{config:?}");
         if !self.profiles.contains_key(&key) {
-            let profile = Profiler::new(config.clone()).build_profile(&self.program, &self.base_trace);
+            let profile =
+                Profiler::new(config.clone()).try_build_profile(&self.program, &self.base_trace)?;
             self.profiles.insert(key.clone(), profile);
         }
-        &self.profiles[&key]
+        Ok(key)
     }
 
-    fn variant(&mut self, software: &Software) -> (Program, PassReport) {
+    fn variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
         let key = software.label();
         if let Some(cached) = self.variants.get(&key) {
-            return cached.clone();
+            return Ok(cached.clone());
         }
-        let built = self.build_variant(software);
+        let built = self.build_variant(software)?;
         self.variants.insert(key.clone(), built.clone());
-        built
+        Ok(built)
     }
 
-    fn build_variant(&mut self, software: &Software) -> (Program, PassReport) {
+    fn build_variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
         let mut program = self.program.clone();
         let report = match *software {
             Software::Baseline => PassReport::default(),
             Software::Hoist => {
-                let profile = self.profile(&ProfilerConfig::default()).clone();
-                apply_critic_pass(&mut program, &profile, CriticPassOptions::hoist_only())
+                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
+                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::hoist_only())?
             }
             Software::CritIc { profile_fraction, max_len, exact_len } => {
                 let config = ProfilerConfig {
@@ -105,38 +158,55 @@ impl Workbench {
                     max_chain_len: max_len,
                     ..ProfilerConfig::default()
                 };
-                let mut profile = self.profile(&config).clone();
+                let mut profile = self.try_profile(&config)?.clone();
                 if exact_len {
                     if let Some(n) = max_len {
                         profile.chains.retain(|c| c.len() == n);
                     }
                 }
-                apply_critic_pass(&mut program, &profile, CriticPassOptions::default())
+                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())?
             }
             Software::CritIcBranchSwitch => {
-                let profile = self.profile(&ProfilerConfig::default()).clone();
-                apply_critic_pass(&mut program, &profile, CriticPassOptions::branch_switch())
+                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
+                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::branch_switch())?
             }
             Software::CritIcIdeal => {
-                let profile = self.profile(&ProfilerConfig::ideal()).clone();
-                apply_critic_pass(&mut program, &profile, CriticPassOptions::ideal())
+                let profile = self.try_profile(&ProfilerConfig::ideal())?.clone();
+                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::ideal())?
             }
-            Software::Opp16 => apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN),
-            Software::Compress => apply_compress(&mut program),
+            Software::Opp16 => {
+                try_apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN)?
+            }
+            Software::Compress => try_apply_compress(&mut program)?,
             Software::Opp16PlusCritIc => {
-                let profile = self.profile(&ProfilerConfig::default()).clone();
+                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
                 let mut report =
-                    apply_critic_pass(&mut program, &profile, CriticPassOptions::default());
-                report.absorb(apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN));
+                    try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())?;
+                report
+                    .absorb(try_apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN)?);
                 report
             }
         };
-        (program, report)
+        Ok((program, report))
     }
 
     /// Runs one design point over the recorded input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if profiling or a compiler pass rejects its inputs; use
+    /// [`Workbench::try_run`] to get a [`RunError`] instead.
     pub fn run(&mut self, point: &DesignPoint) -> RunOutcome {
-        let (program, pass) = self.variant(&point.software);
+        match self.try_run(point) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("run of {} on {} failed: {e}", point.label(), self.app.name),
+        }
+    }
+
+    /// Fallible variant of [`Workbench::run`]: every rejection along the
+    /// profile → pass → simulate pipeline surfaces as a typed [`RunError`].
+    pub fn try_run(&mut self, point: &DesignPoint) -> Result<RunOutcome, RunError> {
+        let (program, pass) = self.variant(&point.software)?;
         let trace = if matches!(point.software, Software::Baseline) {
             self.base_trace.clone()
         } else {
@@ -145,14 +215,14 @@ impl Workbench {
         let fanout = trace.compute_fanout();
         let sim = Simulator::new(point.cpu_config(), point.mem_config()).run(&trace, &fanout);
         let energy = self.energy_model.evaluate(&sim);
-        RunOutcome {
+        Ok(RunOutcome {
             design: point.label(),
             thumb_dyn_frac: trace.thumb_fraction(),
             dyn_insns: trace.len(),
             sim,
             energy,
             pass,
-        }
+        })
     }
 }
 
@@ -208,7 +278,7 @@ mod tests {
         let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
         let _ = bench.run(&DesignPoint::critic());
         let _ = bench.run(&DesignPoint::critic().with_critic());
-        assert!(bench.variants.len() >= 1);
-        assert!(bench.profiles.len() >= 1);
+        assert!(!bench.variants.is_empty());
+        assert!(!bench.profiles.is_empty());
     }
 }

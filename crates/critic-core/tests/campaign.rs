@@ -1,0 +1,87 @@
+//! End-to-end campaign acceptance test: the full Mobile suite with fault
+//! injection on one cell completes, journals every cell, reports the
+//! failed cell without aborting, and resumes from the journal.
+
+use std::fs;
+use std::io::Write;
+
+use critic_core::{
+    run_campaign, CampaignSpec, CellStatus, DesignPoint, PlannedFault, RunError, Scheme,
+};
+use critic_workloads::{Fault, Suite};
+
+fn shrink(mut apps: Vec<critic_workloads::AppSpec>) -> Vec<critic_workloads::AppSpec> {
+    for app in &mut apps {
+        app.params.num_functions = app.params.num_functions.min(16);
+    }
+    apps
+}
+
+#[test]
+fn full_mobile_suite_campaign_with_fault_injection() {
+    let dir = std::env::temp_dir().join("critic_campaign_e2e");
+    let _ = fs::create_dir_all(&dir);
+    let journal = dir.join("mobile.jsonl");
+    let _ = fs::remove_file(&journal);
+
+    let apps = shrink(Suite::Mobile.apps());
+    let n_apps = apps.len();
+    assert!(n_apps >= 10, "full Mobile suite expected, got {n_apps}");
+    let schemes =
+        vec![Scheme::new("critic", DesignPoint::critic()), Scheme::new("opp16", DesignPoint::opp16())];
+    let victim = apps[3].name.clone();
+
+    let mut spec = CampaignSpec::new(apps.clone(), schemes.clone(), 6_000);
+    spec.journal = Some(journal.clone());
+    spec.faults.push(PlannedFault {
+        app: victim.clone(),
+        scheme: "critic".into(),
+        fault: Fault::IllegalImmediate,
+        seed: 42,
+    });
+
+    let summary = run_campaign(&spec).expect("campaign itself must not abort");
+
+    // Every cell of the grid is accounted for and journaled.
+    assert_eq!(summary.records.len(), n_apps * schemes.len());
+    let journaled = fs::read_to_string(&journal).expect("journal exists");
+    assert_eq!(journaled.lines().count(), n_apps * schemes.len(), "one line per cell");
+
+    // Exactly the fault-injected cell failed, with a typed error — the
+    // corruption was caught by validation, not by a trapped panic.
+    let failed = summary.failed();
+    assert_eq!(failed.len(), 1, "{}", summary.render());
+    assert_eq!((failed[0].app.as_str(), failed[0].scheme.as_str()), (victim.as_str(), "critic"));
+    assert_eq!(failed[0].status, CellStatus::Failed);
+    assert!(
+        matches!(failed[0].error, Some(RunError::Program(_))),
+        "expected a validation error, got {:?}",
+        failed[0].error
+    );
+    assert!(!summary.all_ok());
+    assert!(summary.render().contains("FAILED"));
+
+    // Kill/restart: drop the journal's last full line (as if the process
+    // died before finishing that cell), append a torn line, resume.
+    let mut lines: Vec<&str> = journaled.lines().collect();
+    lines.pop();
+    let mut truncated = lines.join("\n");
+    truncated.push('\n');
+    fs::write(&journal, &truncated).expect("truncate journal");
+    {
+        let mut f = fs::OpenOptions::new().append(true).open(&journal).expect("open journal");
+        write!(f, "{{\"app\":\"torn-mid-wr").expect("append torn line");
+    }
+
+    let mut resumed_spec = CampaignSpec::new(apps, schemes, 6_000);
+    resumed_spec.journal = Some(journal.clone());
+    resumed_spec.resume = true;
+    resumed_spec.faults = spec.faults.clone();
+    let resumed = run_campaign(&resumed_spec).expect("resume succeeds");
+
+    assert_eq!(resumed.records.len(), n_apps * 2);
+    assert_eq!(resumed.resumed, n_apps * 2 - 1, "all but the dropped cell replayed");
+    assert_eq!(resumed.failed().len(), 1, "failure is remembered across resume");
+
+    let _ = fs::remove_file(&journal);
+}

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Cond::Eq.is_always());
 /// assert_eq!(Cond::from_bits(0b0000), Some(Cond::Eq));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum Cond {
     /// Equal (Z set).
@@ -51,6 +51,7 @@ pub enum Cond {
     /// Signed less than or equal.
     Le = 0b1101,
     /// Always — the unpredicated case.
+    #[default]
     Al = 0b1110,
 }
 
@@ -101,16 +102,12 @@ impl Cond {
             Cond::Al => Cond::Al,
             other => {
                 // Conditions pair up in the encoding: even ↔ odd.
+                // Inverting a valid non-AL condition stays valid; fall back
+                // to the input (a no-op inversion) rather than panic.
                 let bits = other.bits() ^ 1;
-                Cond::from_bits(bits).expect("inverting a valid non-AL condition stays valid")
+                Cond::from_bits(bits).unwrap_or(other)
             }
         }
-    }
-}
-
-impl Default for Cond {
-    fn default() -> Self {
-        Cond::Al
     }
 }
 

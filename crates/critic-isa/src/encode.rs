@@ -120,6 +120,11 @@ pub enum EncodeError {
     NotThumbConvertible(ThumbIncompatibility),
     /// The opcode has no immediate form but an immediate was supplied.
     NoImmForm(Opcode),
+    /// A CDP format switch whose cover count is outside `1..=9` (its 3-bit
+    /// field cannot express it). Only reachable through deserialized or
+    /// fault-injected instructions; [`crate::Insn::cdp`] checks at
+    /// construction.
+    BadCdpCover(i32),
 }
 
 impl fmt::Display for EncodeError {
@@ -136,6 +141,9 @@ impl fmt::Display for EncodeError {
                 write!(f, "not thumb-convertible: {why}")
             }
             EncodeError::NoImmForm(op) => write!(f, "`{op}` has no immediate form"),
+            EncodeError::BadCdpCover(len) => {
+                write!(f, "cdp cover count {len} outside 1..=9")
+            }
         }
     }
 }
@@ -272,20 +280,21 @@ fn encode_thumb16(insn: &Insn) -> Result<u16, EncodeError> {
     thumb::check_convertible(insn).map_err(EncodeError::NotThumbConvertible)?;
     let op = insn.op();
     if op.is_format_switch() {
-        let covered = insn.cdp_covered_len().unwrap_or(0) as u16;
+        let covered = insn.cdp_covered_len().unwrap_or(0);
+        if !(1..=thumb::MAX_CDP_CHAIN_LEN).contains(&covered) {
+            return Err(EncodeError::BadCdpCover(covered as i32));
+        }
         let code = u16::from(op.code()) << 10;
-        return Ok(code | ((covered - 1) << 6));
+        return Ok(code | ((covered as u16 - 1) << 6));
     }
     if matches!(op, Opcode::B | Opcode::Bl) {
         let off = insn.imm().unwrap_or(0);
         let code = u16::from(op.code()) << 10;
         return Ok(code | ((off as u16) & 0x3FF));
     }
-    let has_imm = insn.imm().is_some();
-    if has_imm {
+    if let Some(imm) = insn.imm() {
         let code = imm_form_code(op).ok_or(EncodeError::NoImmForm(op))?;
         let code = u16::from(code) << 10;
-        let imm = insn.imm().expect("has_imm");
         if op.is_mem() {
             let dst_or_val = if op.is_store() { insn.srcs().get(0) } else { insn.dst() };
             let dst = dst_or_val.map(|r| u16::from(r.index())).unwrap_or(0) << 7;

@@ -245,6 +245,24 @@ impl Insn {
         }
     }
 
+    /// Builds a CDP format switch *without* the cover-count check.
+    ///
+    /// Exists for the fault-injection harness and decoder tests, which need
+    /// to represent malformed switches a buggy toolchain could emit;
+    /// [`crate::encode::encode`] and `Program::validate` reject such
+    /// instructions with typed errors instead of panicking. All real
+    /// compiler passes go through [`Insn::cdp`].
+    pub fn cdp_raw(following: u8) -> Insn {
+        Insn {
+            op: Opcode::Cdp,
+            cond: Cond::Al,
+            dst: None,
+            srcs: SrcRegs::default(),
+            imm: Some(i32::from(following)),
+            width: Width::Thumb16,
+        }
+    }
+
     /// Builds a `nop`.
     pub fn nop() -> Insn {
         Insn {

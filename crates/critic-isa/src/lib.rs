@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod asm;
 pub mod cond;
@@ -43,7 +44,7 @@ pub mod thumb;
 
 pub use asm::{parse_insn, parse_listing, AsmError};
 pub use cond::Cond;
-pub use encode::{decode_arm32, decode_thumb16, DecodeError, Encoded};
+pub use encode::{decode_arm32, decode_thumb16, encode, DecodeError, EncodeError, Encoded};
 pub use insn::{Insn, InsnBuilder, Width};
 pub use op::{FuKind, LatencyClass, Opcode};
 pub use reg::Reg;

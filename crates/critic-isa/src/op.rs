@@ -185,10 +185,10 @@ impl Opcode {
 
     /// A stable small integer used by the bit-level encoders.
     pub fn code(self) -> u8 {
-        Opcode::ALL
-            .iter()
-            .position(|&op| op == self)
-            .expect("every opcode is in ALL") as u8
+        match Opcode::ALL.iter().position(|&op| op == self) {
+            Some(index) => index as u8,
+            None => unreachable!("every opcode is in ALL"),
+        }
     }
 
     /// Inverse of [`Opcode::code`].
@@ -288,12 +288,10 @@ impl Opcode {
     /// Fig. 9 layout.
     pub fn has_thumb_form(self) -> bool {
         use Opcode::*;
-        match self {
-            Mla | Smull | Sdiv | Udiv => false,
-            Vadd | Vsub | Vmul | Vdiv | Vcmp | Vsqrt => false,
-            Bx => false,
-            _ => true,
-        }
+        !matches!(
+            self,
+            Mla | Smull | Sdiv | Udiv | Vadd | Vsub | Vmul | Vdiv | Vcmp | Vsqrt | Bx
+        )
     }
 
     /// The assembler mnemonic.

@@ -26,7 +26,7 @@ impl CacheConfig {
         assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "zero cache dimension");
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let lines = size_bytes / line_bytes;
-        assert!(lines % u64::from(ways) == 0, "capacity must divide into sets");
+        assert!(lines.is_multiple_of(u64::from(ways)), "capacity must divide into sets");
         let sets = lines / u64::from(ways);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheConfig { size_bytes, ways, line_bytes, hit_latency }

@@ -41,7 +41,7 @@ impl CritTable {
         let counter = &mut self.counters[index];
         let observed = fanout.min(127) as u8;
         if observed >= *counter {
-            *counter = (*counter + ((observed - *counter + 1) / 2)).min(127);
+            *counter = (*counter + (observed - *counter).div_ceil(2)).min(127);
         } else {
             *counter = counter.saturating_sub(1);
         }

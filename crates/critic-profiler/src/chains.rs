@@ -267,10 +267,10 @@ impl ChainShape {
         let p99 = |v: &[u32]| v[(v.len().saturating_sub(1)) * 99 / 100];
         ChainShape {
             count: chains.len() as u64,
-            max_len: *lens.last().expect("non-empty"),
+            max_len: lens.last().copied().unwrap_or(0),
             mean_len: lens.iter().map(|&l| f64::from(l)).sum::<f64>() / lens.len() as f64,
             p99_len: p99(&lens),
-            max_spread: *spreads.last().expect("non-empty"),
+            max_spread: spreads.last().copied().unwrap_or(0),
             mean_spread: spreads.iter().map(|&s| f64::from(s)).sum::<f64>() / spreads.len() as f64,
             p99_spread: p99(&spreads),
         }

@@ -1,0 +1,56 @@
+//! Structured errors for the profiling analyses.
+
+use std::fmt;
+
+use critic_workloads::{ProgramError, TraceError};
+use serde::{Deserialize, Serialize};
+
+/// Why a profiling run refused its input.
+///
+/// The profiler walks trace-side block and instruction references straight
+/// into the program's arenas, so a trace that does not belong to the
+/// program (or a corrupted one) used to be an out-of-bounds panic deep in
+/// the analysis. [`Profiler::try_build_profile`] cross-checks both inputs
+/// up front and returns this instead.
+///
+/// [`Profiler::try_build_profile`]: crate::Profiler::try_build_profile
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileError {
+    /// The program failed structural validation.
+    InvalidProgram(ProgramError),
+    /// The trace failed validation against the program (empty, oversized,
+    /// dangling references, mismatched uids, or forward dependences).
+    InvalidTrace(TraceError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::InvalidProgram(e) => write!(f, "program is invalid: {e}"),
+            ProfileError::InvalidTrace(e) => {
+                write!(f, "trace does not belong to this program: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::InvalidProgram(e) => Some(e),
+            ProfileError::InvalidTrace(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProgramError> for ProfileError {
+    fn from(e: ProgramError) -> Self {
+        ProfileError::InvalidProgram(e)
+    }
+}
+
+impl From<TraceError> for ProfileError {
+    fn from(e: TraceError) -> Self {
+        ProfileError::InvalidTrace(e)
+    }
+}

@@ -42,10 +42,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chains;
 pub mod critical;
 pub mod dfg;
+pub mod error;
 pub mod gaps;
 pub mod io;
 pub mod profile;
@@ -53,6 +55,7 @@ pub mod profile;
 pub use chains::{ChainShape, DynChain};
 pub use critical::CriticalitySummary;
 pub use dfg::Dfg;
+pub use error::ProfileError;
 pub use gaps::GapHistogram;
 pub use io::{load_profile, save_profile};
 pub use profile::{ChainSpec, Profile, Profiler, ProfilerConfig};

@@ -24,6 +24,8 @@
 use std::collections::HashMap;
 
 use critic_workloads::{BasicBlock, BlockId, InsnUid, Program, Trace};
+
+use crate::error::ProfileError;
 #[allow(unused_imports)]
 use critic_workloads::trace as _trace_docs;
 use serde::{Deserialize, Serialize};
@@ -159,7 +161,35 @@ impl Profiler {
     }
 
     /// Runs the full analysis over one (program, trace) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references blocks or instructions outside the
+    /// program — i.e. the trace was not expanded from this program. Use
+    /// [`Profiler::try_build_profile`] to get a [`ProfileError`] instead.
     pub fn build_profile(&self, program: &Program, trace: &Trace) -> Profile {
+        match self.try_build_profile(program, trace) {
+            Ok(profile) => profile,
+            Err(e) => panic!("profiling failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Profiler::build_profile`]: validates the
+    /// program structurally and the trace against the program before any
+    /// analysis, so mismatched or corrupted inputs yield a typed
+    /// [`ProfileError`] instead of an out-of-bounds panic mid-analysis.
+    pub fn try_build_profile(
+        &self,
+        program: &Program,
+        trace: &Trace,
+    ) -> Result<Profile, ProfileError> {
+        program.validate()?;
+        trace.validate(program)?;
+        Ok(self.build_validated(program, trace))
+    }
+
+    /// The analysis proper; every trace-side reference is known to resolve.
+    fn build_validated(&self, program: &Program, trace: &Trace) -> Profile {
         let cfg = &self.config;
         let window = ((trace.len() as f64) * cfg.profile_fraction.clamp(0.0, 1.0)) as usize;
 
@@ -466,5 +496,49 @@ mod tests {
         let p = Profile::empty();
         assert!(p.chains.is_empty());
         assert_eq!(p.dynamic_coverage, 0.0);
+    }
+
+    #[test]
+    fn foreign_trace_is_a_typed_error() {
+        // A trace expanded from app A profiled against app B's program:
+        // the old code indexed A's block ids into B's arena and panicked.
+        let (program_a, trace_a) = mobile_setup(5_000);
+        let mut app_b = Suite::SpecInt.apps()[0].clone();
+        app_b.params.num_functions = 4;
+        let program_b = app_b.generate_program();
+        let err = Profiler::new(ProfilerConfig::default())
+            .try_build_profile(&program_b, &trace_a)
+            .expect_err("foreign trace must be rejected");
+        assert!(matches!(err, crate::ProfileError::InvalidTrace(_)), "wrong error: {err}");
+        // The matching pair still profiles.
+        assert!(Profiler::new(ProfilerConfig::default())
+            .try_build_profile(&program_a, &trace_a)
+            .is_ok());
+    }
+
+    #[test]
+    fn injected_trace_faults_are_typed_errors() {
+        use critic_workloads::{inject_trace, Fault, FaultTarget};
+        let (program, pristine) = mobile_setup(5_000);
+        for (i, fault) in Fault::ALL.iter().copied().enumerate() {
+            if fault.target() != FaultTarget::Trace {
+                continue;
+            }
+            let mut trace = pristine.clone();
+            inject_trace(&mut trace, fault, 3000 + i as u64).expect("fault has a site");
+            let invalid = trace.validate(&program).is_err();
+            let result =
+                Profiler::new(ProfilerConfig::default()).try_build_profile(&program, &trace);
+            if invalid {
+                assert!(
+                    matches!(result, Err(crate::ProfileError::InvalidTrace(_))),
+                    "fault {fault} not rejected: got Ok profile"
+                );
+            } else {
+                // Validator-clean corruption (e.g. a duplicated tail that
+                // stays under the length cap) must profile without a panic.
+                assert!(result.is_ok(), "fault {fault} should be tolerated");
+            }
+        }
     }
 }

@@ -1,0 +1,432 @@
+//! Deterministic fault injection for programs and traces.
+//!
+//! The campaign runner's robustness contract is "typed errors, never
+//! panics" for any malformed input a buggy toolchain, a truncated journal,
+//! or a corrupted profile could produce. This module manufactures exactly
+//! those inputs: each [`Fault`] is one corruption, applied at a
+//! seed-determined site so a failing campaign cell can be reproduced from
+//! its journal record alone.
+//!
+//! Faults map onto the error taxonomy of [`crate::validate`] and
+//! [`critic_isa::EncodeError`]:
+//!
+//! | fault                 | expected detection                                  |
+//! |-----------------------|-----------------------------------------------------|
+//! | `IllegalImmediate`    | `EncodeError::ImmOutOfRange` / `Unencodable`        |
+//! | `IllegalRegister`     | `EncodeError::UnencodableRegister` / `Unencodable`  |
+//! | `OversizedCdp`        | `ProgramError::BadCdpCover`                         |
+//! | `TruncateBlock`       | `CdpCoverRunsOffBlock` or a `TraceError`            |
+//! | `ScrambleBlock`       | `CdpCoversWideInsn` or a `TraceError`               |
+//! | `DanglingTerminator`  | `ProgramError::DanglingTerminator`                  |
+//! | `DuplicateUid`        | `ProgramError::DuplicateUid`                        |
+//! | `EmptyTrace`          | `TraceError::Empty`                                 |
+//! | `OversizeTrace`       | `TraceError::Oversized` (under a lowered cap)       |
+//! | `ForwardDep`          | `TraceError::ForwardDep`                            |
+
+use std::fmt;
+use std::str::FromStr;
+
+use critic_isa::{Insn, Opcode, Reg};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, InsnUid};
+use crate::program::{Program, TaggedInsn, Terminator};
+use crate::trace::Trace;
+
+/// One kind of input corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Rewrites an instruction's immediate far outside every field width.
+    IllegalImmediate,
+    /// Inserts an instruction using the PC as an explicit operand.
+    IllegalRegister,
+    /// Inserts a CDP format switch whose cover count exceeds 9.
+    OversizedCdp,
+    /// Drops the tail of a basic block (truncated chain / covered region).
+    TruncateBlock,
+    /// Reverses a block's instructions (non-contiguous hoists, covers over
+    /// 32-bit instructions).
+    ScrambleBlock,
+    /// Redirects a terminator at a block outside the arena.
+    DanglingTerminator,
+    /// Copies one instruction's uid onto its neighbour.
+    DuplicateUid,
+    /// Deletes every trace entry.
+    EmptyTrace,
+    /// Duplicates the trace's tail until it exceeds `max(len*2, 4096)`
+    /// entries (a runaway expansion in miniature).
+    OversizeTrace,
+    /// Points a trace dependence at a later entry.
+    ForwardDep,
+}
+
+/// What a fault corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// The static program.
+    Program,
+    /// The dynamic trace.
+    Trace,
+}
+
+/// Why a fault could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectError {
+    /// The input has no site the fault applies to (e.g. no block with
+    /// enough instructions).
+    NoSite(Fault),
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::NoSite(fault) => write!(f, "no injection site for fault `{fault}`"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+impl Fault {
+    /// Every fault, for exhaustive harness sweeps.
+    pub const ALL: [Fault; 10] = [
+        Fault::IllegalImmediate,
+        Fault::IllegalRegister,
+        Fault::OversizedCdp,
+        Fault::TruncateBlock,
+        Fault::ScrambleBlock,
+        Fault::DanglingTerminator,
+        Fault::DuplicateUid,
+        Fault::EmptyTrace,
+        Fault::OversizeTrace,
+        Fault::ForwardDep,
+    ];
+
+    /// Which artifact this fault corrupts.
+    pub fn target(self) -> FaultTarget {
+        match self {
+            Fault::EmptyTrace | Fault::OversizeTrace | Fault::ForwardDep => FaultTarget::Trace,
+            _ => FaultTarget::Program,
+        }
+    }
+
+    /// The kebab-case name used on the command line and in journals.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::IllegalImmediate => "illegal-immediate",
+            Fault::IllegalRegister => "illegal-register",
+            Fault::OversizedCdp => "oversized-cdp",
+            Fault::TruncateBlock => "truncate-block",
+            Fault::ScrambleBlock => "scramble-block",
+            Fault::DanglingTerminator => "dangling-terminator",
+            Fault::DuplicateUid => "duplicate-uid",
+            Fault::EmptyTrace => "empty-trace",
+            Fault::OversizeTrace => "oversize-trace",
+            Fault::ForwardDep => "forward-dep",
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Fault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Fault, String> {
+        Fault::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
+                format!("unknown fault `{s}` (valid: {})", names.join(", "))
+            })
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick<T>(items: &[T], seed: u64) -> Option<usize> {
+    if items.is_empty() {
+        None
+    } else {
+        Some((mix(seed) % items.len() as u64) as usize)
+    }
+}
+
+/// A uid range reserved for injected instructions, far above anything the
+/// generator or the uid allocator hands out.
+const FAULT_UID_BASE: u32 = 0xF000_0000;
+
+/// A corruption site every execution reaches: the entry block when it has
+/// at least two instructions (every path visits it), else a seed-picked
+/// fallback. Faults detected only through the trace cross-check (truncation,
+/// scrambling) use this so the corruption cannot land in dead code.
+fn executed_site(program: &Program, seed: u64) -> Option<usize> {
+    let entry = program.functions.first()?.blocks.first()?.index();
+    if program.blocks.get(entry).is_some_and(|b| b.insns.len() >= 2) {
+        return Some(entry);
+    }
+    let sites: Vec<usize> =
+        (0..program.blocks.len()).filter(|&b| program.blocks[b].insns.len() >= 2).collect();
+    pick(&sites, seed).map(|i| sites[i])
+}
+
+/// Applies a program-targeted fault at a seed-determined site.
+///
+/// # Errors
+///
+/// [`InjectError::NoSite`] when the program has no applicable site (never
+/// panics — the harness must be more robust than the code it tests).
+pub fn inject_program(program: &mut Program, fault: Fault, seed: u64) -> Result<(), InjectError> {
+    debug_assert_eq!(fault.target(), FaultTarget::Program, "{fault} targets the trace");
+    let no_site = || InjectError::NoSite(fault);
+    match fault {
+        Fault::IllegalImmediate => {
+            // Pick an instruction that already has an immediate and blow it
+            // out past the 9-bit ARM field.
+            let sites: Vec<(usize, usize)> = program
+                .blocks
+                .iter()
+                .enumerate()
+                .flat_map(|(b, block)| {
+                    block
+                        .insns
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            t.insn.imm().is_some() && !t.insn.op().is_branch()
+                                && !t.insn.op().is_format_switch()
+                        })
+                        .map(move |(i, _)| (b, i))
+                })
+                .collect();
+            let (b, i) = sites[pick(&sites, seed).ok_or_else(no_site)?];
+            let insn = program.blocks[b].insns[i].insn;
+            let op = insn.op();
+            let bogus = 100_000 + (mix(seed ^ 1) % 100_000) as i32;
+            program.blocks[b].insns[i].insn = if op.is_load() {
+                Insn::load(op, insn.dst().unwrap_or(Reg::R0), insn.srcs().get(0).unwrap_or(Reg::R1), bogus)
+            } else if op.is_store() {
+                Insn::store(
+                    op,
+                    insn.srcs().get(0).unwrap_or(Reg::R0),
+                    insn.srcs().get(1).unwrap_or(Reg::R1),
+                    bogus,
+                )
+            } else if let (Some(dst), Some(src)) = (insn.dst(), insn.srcs().get(0)) {
+                Insn::alu_imm(op, dst, src, bogus)
+            } else {
+                Insn::mov_imm(insn.dst().unwrap_or(Reg::R0), bogus)
+            };
+            Ok(())
+        }
+        Fault::IllegalRegister => {
+            let sites: Vec<usize> =
+                (0..program.blocks.len()).filter(|&b| !program.blocks[b].insns.is_empty()).collect();
+            let b = sites[pick(&sites, seed).ok_or_else(no_site)?];
+            let pos = (mix(seed ^ 2) % program.blocks[b].insns.len() as u64) as usize;
+            program.blocks[b].insns.insert(
+                pos,
+                TaggedInsn::new(
+                    Insn::alu(Opcode::Add, Reg::R0, &[Reg::PC, Reg::R1]),
+                    InsnUid(FAULT_UID_BASE + 1),
+                ),
+            );
+            Ok(())
+        }
+        Fault::OversizedCdp => {
+            let sites: Vec<usize> =
+                (0..program.blocks.len()).filter(|&b| !program.blocks[b].insns.is_empty()).collect();
+            let b = sites[pick(&sites, seed).ok_or_else(no_site)?];
+            let covered = 10 + (mix(seed ^ 3) % 6) as u8;
+            program.blocks[b]
+                .insns
+                .insert(0, TaggedInsn::new(Insn::cdp_raw(covered), InsnUid(FAULT_UID_BASE + 2)));
+            Ok(())
+        }
+        Fault::TruncateBlock => {
+            let b = executed_site(program, seed).ok_or_else(no_site)?;
+            let keep = program.blocks[b].insns.len() / 2;
+            program.blocks[b].insns.truncate(keep);
+            Ok(())
+        }
+        Fault::ScrambleBlock => {
+            let b = executed_site(program, seed).ok_or_else(no_site)?;
+            program.blocks[b].insns.reverse();
+            Ok(())
+        }
+        Fault::DanglingTerminator => {
+            let bogus = BlockId(program.blocks.len() as u32 + 1 + (mix(seed ^ 4) % 64) as u32);
+            let b = pick(&program.blocks, seed).ok_or_else(no_site)?;
+            program.blocks[b].terminator = Terminator::Jump(bogus);
+            Ok(())
+        }
+        Fault::DuplicateUid => {
+            let sites: Vec<usize> =
+                (0..program.blocks.len()).filter(|&b| program.blocks[b].insns.len() >= 2).collect();
+            let b = sites[pick(&sites, seed).ok_or_else(no_site)?];
+            let uid = program.blocks[b].insns[0].uid;
+            program.blocks[b].insns[1].uid = uid;
+            Ok(())
+        }
+        _ => Err(no_site()),
+    }
+}
+
+/// Applies a trace-targeted fault at a seed-determined site.
+///
+/// # Errors
+///
+/// [`InjectError::NoSite`] when the trace has no applicable site.
+pub fn inject_trace(trace: &mut Trace, fault: Fault, seed: u64) -> Result<(), InjectError> {
+    debug_assert_eq!(fault.target(), FaultTarget::Trace, "{fault} targets the program");
+    let no_site = || InjectError::NoSite(fault);
+    match fault {
+        Fault::EmptyTrace => {
+            trace.entries.clear();
+            Ok(())
+        }
+        Fault::OversizeTrace => {
+            if trace.entries.is_empty() {
+                return Err(no_site());
+            }
+            let target = (trace.entries.len() * 2).max(4096);
+            while trace.entries.len() < target {
+                let tail = trace.entries[trace.entries.len() - 1];
+                trace.entries.push(tail);
+            }
+            Ok(())
+        }
+        Fault::ForwardDep => {
+            if trace.entries.is_empty() {
+                return Err(no_site());
+            }
+            let step = (mix(seed) % trace.entries.len() as u64) as usize;
+            trace.entries[step].deps[0] = step as u32 + 1;
+            Ok(())
+        }
+        _ => Err(no_site()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ProgramGenerator;
+    use crate::params::GenParams;
+    use crate::path::ExecutionPath;
+
+    fn setup() -> (Program, Trace) {
+        let mut p = GenParams::mobile(31);
+        p.num_functions = 10;
+        let program = ProgramGenerator::new(p).generate();
+        let path = ExecutionPath::generate(&program, 5, 3_000);
+        let trace = Trace::expand(&program, &path);
+        (program, trace)
+    }
+
+    #[test]
+    fn every_fault_is_detected_by_some_validator() {
+        let (clean_program, clean_trace) = setup();
+        clean_program.validate_encoding().expect("clean program validates");
+        clean_trace.validate(&clean_program).expect("clean trace validates");
+
+        for (k, fault) in Fault::ALL.into_iter().enumerate() {
+            let seed = 0xFA_u64 + k as u64;
+            match fault.target() {
+                FaultTarget::Program => {
+                    let mut program = clean_program.clone();
+                    inject_program(&mut program, fault, seed).expect("site exists");
+                    // Either the static checks or the trace cross-check must
+                    // flag the corruption — and nothing may panic.
+                    let static_err = program.validate_encoding().is_err();
+                    let trace_err = clean_trace.validate(&program).is_err();
+                    assert!(
+                        static_err || trace_err,
+                        "fault {fault} escaped validation"
+                    );
+                }
+                FaultTarget::Trace => {
+                    let mut trace = clean_trace.clone();
+                    inject_trace(&mut trace, fault, seed).expect("site exists");
+                    if fault == Fault::OversizeTrace {
+                        // The miniature runaway stays under the global cap;
+                        // its signature is growth beyond the recorded window.
+                        assert!(trace.len() >= clean_trace.len() * 2 || trace.len() >= 4096);
+                    } else {
+                        assert!(
+                            trace.validate(&clean_program).is_err(),
+                            "fault {fault} escaped validation"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let (program, trace) = setup();
+        for fault in Fault::ALL {
+            match fault.target() {
+                FaultTarget::Program => {
+                    let mut a = program.clone();
+                    let mut b = program.clone();
+                    inject_program(&mut a, fault, 42).expect("site");
+                    inject_program(&mut b, fault, 42).expect("site");
+                    assert_eq!(a, b, "{fault} must be reproducible from its seed");
+                }
+                FaultTarget::Trace => {
+                    let mut a = trace.clone();
+                    let mut b = trace.clone();
+                    inject_trace(&mut a, fault, 42).expect("site");
+                    inject_trace(&mut b, fault, 42).expect("site");
+                    assert_eq!(a, b, "{fault} must be reproducible from its seed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_names_round_trip() {
+        for fault in Fault::ALL {
+            assert_eq!(fault.name().parse::<Fault>(), Ok(fault));
+        }
+        assert!("no-such-fault".parse::<Fault>().unwrap_err().contains("valid:"));
+    }
+
+    #[test]
+    fn injection_into_degenerate_inputs_errors_instead_of_panicking() {
+        let mut empty_program = Program {
+            name: "empty".into(),
+            suite: crate::suite::Suite::Mobile,
+            functions: Vec::new(),
+            blocks: Vec::new(),
+            mem: crate::params::MemProfile::default(),
+            load_hints: Default::default(),
+        };
+        for fault in Fault::ALL.into_iter().filter(|f| f.target() == FaultTarget::Program) {
+            assert_eq!(
+                inject_program(&mut empty_program, fault, 1),
+                Err(InjectError::NoSite(fault)),
+                "{fault} on an empty program"
+            );
+        }
+        let mut empty_trace = Trace { name: "empty".into(), entries: Vec::new() };
+        assert!(inject_trace(&mut empty_trace, Fault::OversizeTrace, 1).is_err());
+        assert!(inject_trace(&mut empty_trace, Fault::ForwardDep, 1).is_err());
+        // EmptyTrace on an already-empty trace is trivially applicable.
+        assert!(inject_trace(&mut empty_trace, Fault::EmptyTrace, 1).is_ok());
+    }
+}

@@ -134,8 +134,8 @@ impl ProgramGenerator {
             loop_span = Some((head, tail));
         }
 
-        for i in 0..nb - 1 {
-            if !matches!(ends[i], BlockEnd::Fallthrough) {
+        for (i, end) in ends.iter_mut().enumerate().take(nb - 1) {
+            if !matches!(end, BlockEnd::Fallthrough) {
                 continue;
             }
             let can_call = func.0 + 1 < num_functions;
@@ -157,14 +157,14 @@ impl ProgramGenerator {
                 let roll: f64 = self.rng.gen::<f64>();
                 let skewed = if num_functions > 100 { roll * roll } else { roll };
                 let callee = FuncId(lo + (skewed * span) as u32);
-                ends[i] = BlockEnd::Call { callee };
+                *end = BlockEnd::Call { callee };
             } else if i + 2 < nb && self.rng.gen_bool(self.params.cond_branch_prob) {
                 let skip_to = self.rng.gen_range(i + 2..=(i + 3).min(nb - 1));
                 let bias = self.params.branch_bias.clamp(0.5, 0.99);
                 let jitter = self.rng.gen_range(-0.04..0.04);
                 let base = if self.rng.gen_bool(0.5) { bias } else { 1.0 - bias };
                 let prob_taken = (base + jitter).clamp(0.02, 0.98);
-                ends[i] = BlockEnd::CondSkip { target: skip_to, prob_taken };
+                *end = BlockEnd::CondSkip { target: skip_to, prob_taken };
             }
         }
 
@@ -271,10 +271,9 @@ impl ProgramGenerator {
         }
 
         // ---- filler ----
-        for i in 0..total {
-            if slots[i].is_none() {
-                let insn = self.filler(&mut regs, i);
-                slots[i] = Some(insn);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.filler(&mut regs, i));
             }
         }
 
@@ -288,12 +287,13 @@ impl ProgramGenerator {
         };
 
         let mut built = Vec::with_capacity(nb);
-        for b in 0..nb {
-            let start = block_start[b];
+        for (b, &start) in block_start.iter().enumerate() {
             let size = skeleton.sizes[b];
             let mut insns: Vec<TaggedInsn> = Vec::with_capacity(size + 1);
             for s in start..start + size {
-                let insn = slots[s].take().expect("all slots filled");
+                let Some(insn) = slots[s].take() else {
+                    unreachable!("slot {s} filled by the planner or the filler pass")
+                };
                 if hinted_slots[s] {
                     load_hints.insert(*uid_counter);
                 }
@@ -357,15 +357,12 @@ impl ProgramGenerator {
         members.push(true);
         for _ in 1..criticals {
             let gap = self.sample_gap();
-            for _ in 0..gap {
-                members.push(false);
-            }
+            members.resize(members.len() + gap, false);
             members.push(true);
         }
         if !isolated {
-            for _ in 0..self.sample_gap().clamp(1, 2) {
-                members.push(false);
-            }
+            let tail = self.sample_gap().clamp(1, 2);
+            members.resize(members.len() + tail, false);
         }
 
         let window = self.params.consumer_window as usize;
@@ -441,9 +438,10 @@ impl ProgramGenerator {
                     .alloc(cslot, (cslot + 4).min(total), &mut self.rng, 0.0)
                     .unwrap_or(SCRATCH);
                 let other = regs.recent_low_or_default(cslot, &mut self.rng);
-                let op = *[Opcode::Add, Opcode::Eor, Opcode::Orr, Opcode::Sub]
+                let op = [Opcode::Add, Opcode::Eor, Opcode::Orr, Opcode::Sub]
                     .choose(&mut self.rng)
-                    .expect("non-empty");
+                    .copied()
+                    .unwrap_or(Opcode::Add);
                 slots[cslot] = Some(Insn::alu(op, cdst, &[dest, other]));
                 if cdst != SCRATCH {
                     regs.note_def(cslot, cdst);
@@ -483,9 +481,10 @@ impl ProgramGenerator {
             let offset = 4 * self.rng.gen_range(0..=15);
             Insn::load(Opcode::Ldr, dest, src_a, offset)
         } else {
-            let op = *[Opcode::Add, Opcode::Sub, Opcode::Eor, Opcode::And, Opcode::Orr]
+            let op = [Opcode::Add, Opcode::Sub, Opcode::Eor, Opcode::And, Opcode::Orr]
                 .choose(&mut self.rng)
-                .expect("non-empty");
+                .copied()
+                .unwrap_or(Opcode::Add);
             Insn::alu(op, dest, &[src_a, src_b])
         };
         if polluted {
@@ -513,15 +512,17 @@ impl ProgramGenerator {
         let src = self.filler_src_at(regs, at);
 
         let mut insn = if roll < p.load_frac {
-            let op = *[Opcode::Ldr, Opcode::Ldr, Opcode::Ldr, Opcode::Ldrb, Opcode::Ldrh]
+            let op = [Opcode::Ldr, Opcode::Ldr, Opcode::Ldr, Opcode::Ldrb, Opcode::Ldrh]
                 .choose(&mut self.rng)
-                .expect("non-empty");
+                .copied()
+                .unwrap_or(Opcode::Ldr);
             let offset = self.mem_offset();
             Insn::load(op, dst, src, offset)
         } else if roll < p.load_frac + p.store_frac {
-            let op = *[Opcode::Str, Opcode::Str, Opcode::Strb, Opcode::Strh]
+            let op = [Opcode::Str, Opcode::Str, Opcode::Strb, Opcode::Strh]
                 .choose(&mut self.rng)
-                .expect("non-empty");
+                .copied()
+                .unwrap_or(Opcode::Str);
             let base = self.filler_src_at(regs, at);
             let offset = self.mem_offset();
             Insn::store(op, src, base, offset)
@@ -532,9 +533,10 @@ impl ProgramGenerator {
             let other = self.filler_src_at(regs, at);
             Insn::alu(Opcode::Sdiv, dst, &[src, other])
         } else if roll < p.load_frac + p.store_frac + p.mul_frac + p.div_frac + p.float_frac {
-            let op = *[Opcode::Vadd, Opcode::Vmul, Opcode::Vsub, Opcode::Vadd, Opcode::Vdiv]
+            let op = [Opcode::Vadd, Opcode::Vmul, Opcode::Vsub, Opcode::Vadd, Opcode::Vdiv]
                 .choose(&mut self.rng)
-                .expect("non-empty");
+                .copied()
+                .unwrap_or(Opcode::Vadd);
             let other = self.filler_src_at(regs, at);
             Insn::alu(op, dst, &[src, other])
         } else if self.rng.gen_bool(0.25) {
@@ -545,9 +547,10 @@ impl ProgramGenerator {
             if self.rng.gen_bool(0.3) {
                 Insn::mov_imm(dst, imm)
             } else {
-                let op = *[Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Lsl]
+                let op = [Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Lsl]
                     .choose(&mut self.rng)
-                    .expect("non-empty");
+                    .copied()
+                    .unwrap_or(Opcode::Add);
                 if self.rng.gen_bool(0.3) {
                     // Three-address immediate form: ARM expresses it in one
                     // instruction; Thumb needs a mov + two-address pair
@@ -558,9 +561,10 @@ impl ProgramGenerator {
                 }
             }
         } else {
-            let op = *[Opcode::Add, Opcode::Sub, Opcode::Orr, Opcode::Eor, Opcode::Mov, Opcode::Lsr]
+            let op = [Opcode::Add, Opcode::Sub, Opcode::Orr, Opcode::Eor, Opcode::Mov, Opcode::Lsr]
                 .choose(&mut self.rng)
-                .expect("non-empty");
+                .copied()
+                .unwrap_or(Opcode::Add);
             if matches!(op, Opcode::Mov) {
                 Insn::alu(op, dst, &[src])
             } else {
@@ -570,7 +574,10 @@ impl ProgramGenerator {
         };
         regs.note_def(at, dst);
         if predicated && !insn.op().is_branch() {
-            let cond = *[Cond::Eq, Cond::Ne, Cond::Ge, Cond::Lt].choose(&mut self.rng).unwrap();
+            let cond = [Cond::Eq, Cond::Ne, Cond::Ge, Cond::Lt]
+                .choose(&mut self.rng)
+                .copied()
+                .unwrap_or(Cond::Eq);
             insn = insn.with_cond(cond);
         }
         insn
@@ -591,7 +598,7 @@ impl ProgramGenerator {
         if self.rng.gen_bool(0.5) {
             regs.recent_or_default(at, &mut self.rng)
         } else {
-            Reg::from_index(self.rng.gen_range(0..8)).expect("low register")
+            Reg::from_index(self.rng.gen_range(0..8)).unwrap_or(SCRATCH)
         }
     }
 
@@ -791,7 +798,7 @@ impl RegAlloc {
         let free: Vec<u8> =
             (0..8u8).filter(|&i| self.protected_until[i as usize] <= at).collect();
         let index = free.choose(rng).copied().unwrap_or(0);
-        Reg::from_index(index).expect("low register")
+        Reg::from_index(index).unwrap_or(SCRATCH)
     }
 }
 

@@ -36,7 +36,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod fault;
 pub mod generate;
 pub mod ids;
 pub mod params;
@@ -44,7 +46,9 @@ pub mod path;
 pub mod program;
 pub mod suite;
 pub mod trace;
+pub mod validate;
 
+pub use fault::{inject_program, inject_trace, Fault, FaultTarget, InjectError};
 pub use generate::ProgramGenerator;
 pub use ids::{BlockId, FuncId, InsnRef, InsnUid};
 pub use params::GenParams;
@@ -52,3 +56,4 @@ pub use path::ExecutionPath;
 pub use program::{BasicBlock, Function, Layout, Program, TaggedInsn, Terminator};
 pub use suite::{AppSpec, Suite};
 pub use trace::{BranchOutcome, DynInsn, Trace, NO_DEP};
+pub use validate::{ProgramError, TraceError, MAX_TRACE_LEN};

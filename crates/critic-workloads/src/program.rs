@@ -369,7 +369,6 @@ impl Program {
 
 #[cfg(test)]
 mod disasm_tests {
-    use super::*;
     use crate::generate::ProgramGenerator;
     use crate::params::GenParams;
 

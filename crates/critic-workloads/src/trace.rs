@@ -123,10 +123,12 @@ impl Trace {
                         nd += 1;
                     }
                 }
-                if insn.is_predicated() && flags_writer != NO_DEP && nd < 3 {
-                    if !deps[..nd].contains(&flags_writer) {
-                        deps[nd] = flags_writer;
-                    }
+                if insn.is_predicated()
+                    && flags_writer != NO_DEP
+                    && nd < 3
+                    && !deps[..nd].contains(&flags_writer)
+                {
+                    deps[nd] = flags_writer;
                 }
 
                 // Memory address stream, keyed on the stable uid.
@@ -511,7 +513,8 @@ mod cone_tests {
         let trace = Trace::expand(&program, &path);
         let direct = trace.compute_fanout();
         let cone = trace.compute_cone_fanout(128);
-        for i in 0..trace.len() {
+        assert_eq!(cone.len(), trace.len());
+        for (i, &cone_i) in cone.iter().enumerate() {
             // Within-window direct consumers are a subset of the cone; the
             // cone can only miss direct consumers beyond the window.
             let within: u32 = trace
@@ -521,8 +524,8 @@ mod cone_tests {
                 .take(128)
                 .filter(|e| e.deps.contains(&(i as u32)))
                 .count() as u32;
-            assert!(cone[i] >= within, "cone {} < windowed direct {} at {i}", cone[i], within);
-            assert!(cone[i] <= 128);
+            assert!(cone_i >= within, "cone {cone_i} < windowed direct {within} at {i}");
+            assert!(cone_i <= 128);
             let _ = direct;
         }
     }

@@ -1,0 +1,124 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure a configurable number of times and prints
+//! mean/min wall-clock timings — no statistics, plots, or baselines, just
+//! enough to execute the workspace's `benches/` targets offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for `b.iter(|| black_box(...))` call sites.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks one function under `group/id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure to time its workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` once per sample, recording wall-clock durations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed warm-up run, then the timed samples.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!("{id}: mean {mean:?}, min {min:?} over {} samples", bencher.samples.len());
+}
+
+/// Collects benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut criterion = $crate::Criterion::new();
+                    $func(&mut criterion);
+                }
+            )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

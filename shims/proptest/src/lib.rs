@@ -1,0 +1,478 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! [`proptest!`] macro with `name in strategy` and `name: Type` argument
+//! forms, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and the range,
+//! `sample::select`, `collection::vec`, and `prop_map` strategies.
+//!
+//! Differences from the real crate, by design: sampling is plain random
+//! draws with **no shrinking** — a failure reports the sampled inputs
+//! rather than a minimized counterexample — and the per-property case
+//! count defaults to 64 (override with the `PROPTEST_CASES` environment
+//! variable or `ProptestConfig::with_cases`).
+
+#![forbid(unsafe_code)]
+
+/// Test-run plumbing: the RNG, case errors, and configuration.
+pub mod test_runner {
+    /// SplitMix64 generator driving all sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator from an explicit seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// A generator seeded from the test name, so each property draws
+        /// an independent but reproducible stream.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::new(hash)
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property is false for these inputs.
+        Fail(String),
+        /// The inputs don't satisfy a `prop_assume!` precondition.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered-out) case.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-property configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for sampling values of one type.
+    pub trait Strategy {
+        /// The type of sampled values.
+        type Value;
+
+        /// Draws one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy that post-processes sampled values.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn pick(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.pick(rng))
+        }
+    }
+
+    macro_rules! strategy_for_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+}
+
+/// `any::<T>()` and the types it can sample.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Sampling from explicit option sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy drawing uniformly from the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn pick(&self, rng: &mut TestRng) -> T {
+            self.options[rng.next_u64() as usize % self.options.len()].clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length specification: a fixed size or a half-open range.
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::sample::Select;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function body runs for the configured
+/// number of cases with fresh samples bound to its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr) $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block $($rest:tt)* ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __cfg.cases {
+                match $crate::__proptest_case!(__rng, $body, $($args)*) {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __cfg.cases.saturating_mul(64),
+                            "{}: too many prop_assume rejections ({} passed)",
+                            stringify!($name),
+                            __passed,
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!("property {} failed: {}", stringify!($name), __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds one sampled argument, then recurses; failures are
+/// annotated with each sampled input on the way out.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $body:block, ) => {
+        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+            $body
+            #[allow(unreachable_code)]
+            ::std::result::Result::Ok(())
+        })()
+    };
+    ($rng:ident, $body:block, $name:ident in $strat:expr) => {
+        $crate::__proptest_case!($rng, $body, $name in $strat,)
+    };
+    ($rng:ident, $body:block, $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::strategy::Strategy::pick(&($strat), &mut $rng);
+        let __shown = ::std::format!("{} = {:?}", stringify!($name), &$name);
+        $crate::__proptest_annotate!($crate::__proptest_case!($rng, $body, $($rest)*), __shown)
+    }};
+    ($rng:ident, $body:block, $name:ident : $ty:ty) => {
+        $crate::__proptest_case!($rng, $body, $name : $ty,)
+    };
+    ($rng:ident, $body:block, $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        let __shown = ::std::format!("{} = {:?}", stringify!($name), &$name);
+        $crate::__proptest_annotate!($crate::__proptest_case!($rng, $body, $($rest)*), __shown)
+    }};
+}
+
+/// Internal: appends an input description to a failing case's message.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_annotate {
+    ($outcome:expr, $shown:ident) => {
+        match $outcome {
+            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__m)) => {
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                    ::std::format!("{}\n    with {}", __m, $shown),
+                ))
+            }
+            __other => __other,
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "values are not equal")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "{}: `{:?}` != `{:?}`",
+                            ::std::format!($($fmt)+),
+                            __l,
+                            __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!("values are equal: `{:?}`", __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (not a failure) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
