@@ -12,13 +12,14 @@
 //! journal is replayed on `--resume`, so a killed campaign continues where
 //! it stopped instead of starting over.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -80,7 +81,9 @@ pub struct CampaignSpec {
     pub faults: Vec<PlannedFault>,
     /// JSONL journal path; `None` disables journaling (and resume).
     pub journal: Option<PathBuf>,
-    /// Skip cells already recorded in the journal.
+    /// Skip cells already journaled as [`CellStatus::Ok`]; failed,
+    /// timed-out, and panicked cells are retried (their newest record
+    /// supersedes the journaled one in the summary).
     pub resume: bool,
 }
 
@@ -255,8 +258,20 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
         }
     }
 
-    // Replay the journal: any recorded cell is finished work.
-    let mut resumed_records: Vec<CellRecord> = Vec::new();
+    let grid: BTreeSet<(String, String)> = spec
+        .apps
+        .iter()
+        .flat_map(|a| spec.schemes.iter().map(move |s| (a.name.clone(), s.name.clone())))
+        .collect();
+
+    // Replay the journal. Only cells journaled Ok count as finished work:
+    // failed/timed-out/panicked cells rerun (so resuming after fixing a
+    // transient cause — e.g. a too-tight deadline — retries them rather
+    // than re-reporting the stale failure). Records are deduped by cell
+    // key with the newest line winning, and records for cells outside the
+    // current grid are dropped, so repeated or re-scoped runs against the
+    // same journal cannot inflate the summary past the grid size.
+    let mut replayed: BTreeMap<(String, String), CellRecord> = BTreeMap::new();
     if spec.resume {
         if let Some(path) = &spec.journal {
             if path.exists() {
@@ -271,12 +286,16 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
                     // A torn final line (the process died mid-write) is
                     // expected after a kill; ignore it and rerun that cell.
                     if let Ok(record) = serde_json::from_str::<CellRecord>(&line) {
-                        resumed_records.push(record);
+                        if grid.contains(&record.key()) {
+                            replayed.insert(record.key(), record);
+                        }
                     }
                 }
             }
         }
     }
+    let resumed_records: Vec<CellRecord> =
+        replayed.into_values().filter(|r| r.status == CellStatus::Ok).collect();
     let done: BTreeSet<(String, String)> = resumed_records.iter().map(CellRecord::key).collect();
 
     let journal: Option<Mutex<File>> = match &spec.journal {
@@ -400,8 +419,12 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
 
 /// One attempt, under the deadline if one is set. The body runs on its own
 /// thread so a blown deadline abandons the attempt instead of blocking the
-/// worker; an abandoned thread finishes (or panics) harmlessly in the
-/// background.
+/// worker. On timeout the attempt's cancellation flag is raised; the
+/// abandoned thread exits at the next checkpoint between pipeline stages
+/// (generate / validate / trace / assemble / each simulated run) instead of
+/// computing the whole cell in the background. The stage already in flight
+/// runs to completion — cancellation is cooperative, not preemptive — so an
+/// abandoned attempt can outlive its deadline by at most one stage.
 fn run_attempt(
     cell: &Cell,
     trace_len: usize,
@@ -410,31 +433,49 @@ fn run_attempt(
     match deadline {
         Some(deadline) => {
             let (tx, rx) = mpsc::channel();
+            let cancel = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&cancel);
             let cell = cell.clone();
             thread::spawn(move || {
-                let _ = tx.send(run_isolated(&cell, trace_len));
+                let _ = tx.send(run_isolated(&cell, trace_len, &flag));
             });
             match rx.recv_timeout(deadline) {
                 Ok(result) => result,
                 Err(_) => {
+                    cancel.store(true, Ordering::Relaxed);
                     Err(RunError::DeadlineExceeded { millis: deadline.as_millis() as u64 })
                 }
             }
         }
-        None => run_isolated(cell, trace_len),
+        None => run_isolated(cell, trace_len, &AtomicBool::new(false)),
     }
 }
 
 /// The panic isolation boundary: a panic anywhere below becomes
 /// [`RunError::Panic`].
-fn run_isolated(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError> {
-    catch_unwind(AssertUnwindSafe(|| run_cell_body(cell, trace_len)))
+fn run_isolated(cell: &Cell, trace_len: usize, cancel: &AtomicBool) -> Result<CellMetrics, RunError> {
+    catch_unwind(AssertUnwindSafe(|| run_cell_body(cell, trace_len, cancel)))
         .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
+}
+
+/// Returns early with [`RunError::Cancelled`] once the attempt has been
+/// abandoned by its worker; the result is never observed, so the variant
+/// only short-circuits the remaining stages.
+fn checkpoint(cancel: &AtomicBool) -> Result<(), RunError> {
+    if cancel.load(Ordering::Relaxed) {
+        Err(RunError::Cancelled)
+    } else {
+        Ok(())
+    }
 }
 
 /// The cell proper: generate, inject the planned fault (if any), validate,
 /// profile/compile/simulate baseline and scheme, reduce to metrics.
-fn run_cell_body(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError> {
+fn run_cell_body(
+    cell: &Cell,
+    trace_len: usize,
+    cancel: &AtomicBool,
+) -> Result<CellMetrics, RunError> {
     let app = &cell.app;
     let mut program = app.generate_program();
     if let Some((fault, seed)) = cell.fault {
@@ -446,6 +487,7 @@ fn run_cell_body(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError>
     // Validate before walking the CFG: path generation and trace expansion
     // index blocks by id and would panic on e.g. a dangling terminator.
     program.validate()?;
+    checkpoint(cancel)?;
     let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
     let mut trace = Trace::expand(&program, &path);
     if let Some((fault, seed)) = cell.fault {
@@ -453,8 +495,11 @@ fn run_cell_body(cell: &Cell, trace_len: usize) -> Result<CellMetrics, RunError>
             inject_trace(&mut trace, fault, seed).map_err(|e| RunError::Inject(e.to_string()))?;
         }
     }
+    checkpoint(cancel)?;
     let mut bench = Workbench::try_assemble(app, program, path, trace)?;
+    checkpoint(cancel)?;
     let base = bench.try_run(&DesignPoint::baseline())?;
+    checkpoint(cancel)?;
     let outcome = bench.try_run(&cell.scheme.point)?;
     Ok(CellMetrics {
         speedup: outcome.sim.speedup_over(&base.sim),
@@ -641,6 +686,54 @@ mod tests {
         assert_eq!(second.records.len(), 2);
         assert_eq!(second.resumed, 1, "{}", second.render());
         assert!(second.all_ok());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn resume_retries_failed_cells_and_dedupes_duplicates() {
+        let dir = std::env::temp_dir().join("critic_campaign_resume_retry_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        // First leg: the fault makes the only cell fail, and is journaled
+        // twice (as if the campaign ran twice without --resume).
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.journal = Some(journal.clone());
+        spec.faults.push(PlannedFault {
+            app: spec.apps[0].name.clone(),
+            scheme: "critic".into(),
+            fault: Fault::DanglingTerminator,
+            seed: 7,
+        });
+        let first = run_campaign(&spec).expect("first leg");
+        assert_eq!(first.failed().len(), 1);
+        let _ = run_campaign(&spec).expect("duplicate leg");
+
+        // Second leg: same grid, fault removed (the "transient cause" is
+        // fixed), resuming. The failed cell must rerun — and succeed — not
+        // be replayed; the duplicate journal lines must not inflate the
+        // summary past the grid size.
+        let mut spec2 = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec2.journal = Some(journal.clone());
+        spec2.resume = true;
+        let second = run_campaign(&spec2).expect("second leg");
+        assert_eq!(second.records.len(), 1, "{}", second.render());
+        assert_eq!(second.resumed, 0, "failed cells are retried, not replayed");
+        assert!(second.all_ok(), "{}", second.render());
+
+        // Third leg: everything is journaled Ok now, so resume replays it.
+        let third = run_campaign(&spec2).expect("third leg");
+        assert_eq!(third.records.len(), 1);
+        assert_eq!(third.resumed, 1, "{}", third.render());
         let _ = std::fs::remove_file(&journal);
     }
 

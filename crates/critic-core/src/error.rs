@@ -33,6 +33,9 @@ pub enum RunError {
         /// The deadline that was blown, in milliseconds.
         millis: u64,
     },
+    /// The attempt was abandoned (its deadline expired in the worker) and
+    /// exited early at a cancellation checkpoint.
+    Cancelled,
     /// The campaign journal could not be read or written.
     Journal(String),
 }
@@ -49,6 +52,7 @@ impl fmt::Display for RunError {
             RunError::DeadlineExceeded { millis } => {
                 write!(f, "deadline of {millis} ms exceeded")
             }
+            RunError::Cancelled => write!(f, "attempt cancelled after its deadline expired"),
             RunError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }

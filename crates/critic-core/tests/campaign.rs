@@ -80,8 +80,13 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     let resumed = run_campaign(&resumed_spec).expect("resume succeeds");
 
     assert_eq!(resumed.records.len(), n_apps * 2);
-    assert_eq!(resumed.resumed, n_apps * 2 - 1, "all but the dropped cell replayed");
-    assert_eq!(resumed.failed().len(), 1, "failure is remembered across resume");
+    // Only Ok-journaled cells replay; the dropped cell and the journaled
+    // failure both rerun (the fault is still planned, so it fails again).
+    let ok_journaled =
+        truncated.lines().filter(|l| l.contains("\"status\":\"Ok\"")).count();
+    assert_eq!(resumed.resumed, ok_journaled, "exactly the Ok-journaled cells replayed");
+    assert!(resumed.resumed >= n_apps * 2 - 2, "{}", resumed.render());
+    assert_eq!(resumed.failed().len(), 1, "fault-injected cell fails again on retry");
 
     let _ = fs::remove_file(&journal);
 }

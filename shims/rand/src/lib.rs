@@ -206,8 +206,8 @@ impl Standard for f32 {
 
 impl Standard for bool {
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        // rand 0.8 samples a u32 and keeps the low bit.
-        rng.next_u32() & 1 == 1
+        // rand 0.8 samples a u32 and tests the sign bit.
+        (rng.next_u32() as i32) < 0
     }
 }
 
@@ -230,7 +230,8 @@ macro_rules! sample_range_int {
             fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let range = self.end.wrapping_sub(self.start) as $unsigned as $large;
-                lemire::<$large, $wide, R>(range, rng)
+                let small = <$unsigned>::MAX as u128 <= u16::MAX as u128;
+                lemire::<$large, $wide, R>(range, small, rng)
                     .map(|hi| self.start.wrapping_add(hi as $t))
                     .unwrap_or_else(|| <$large as Standard>::draw(rng) as $t)
             }
@@ -240,7 +241,8 @@ macro_rules! sample_range_int {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
                 let range = end.wrapping_sub(start).wrapping_add(1) as $unsigned as $large;
-                lemire::<$large, $wide, R>(range, rng)
+                let small = <$unsigned>::MAX as u128 <= u16::MAX as u128;
+                lemire::<$large, $wide, R>(range, small, rng)
                     .map(|hi| start.wrapping_add(hi as $t))
                     .unwrap_or_else(|| <$large as Standard>::draw(rng) as $t)
             }
@@ -250,7 +252,12 @@ macro_rules! sample_range_int {
 
 /// Returns `Some(offset)` in `[0, range)`, or `None` when `range == 0`
 /// (i.e. the full domain, where the caller draws directly).
-fn lemire<L, W, R>(range: L, rng: &mut R) -> Option<L>
+///
+/// `small_int` selects rand 0.8's zone rule: for types up to 16 bits the
+/// real crate computes the exact rejection zone by modulus, and only uses
+/// the bit-shift approximation for wider types. The zones differ, so the
+/// choice affects both results and how many words a draw consumes.
+fn lemire<L, W, R>(range: L, small_int: bool, rng: &mut R) -> Option<L>
 where
     L: LemireWord<W>,
     R: RngCore + ?Sized,
@@ -258,7 +265,7 @@ where
     if range.is_zero() {
         return None;
     }
-    let zone = range.zone();
+    let zone = range.zone(small_int);
     loop {
         let v = L::draw_word(rng);
         let (hi, lo) = v.wmul(range);
@@ -271,7 +278,7 @@ where
 /// The arithmetic `lemire` needs, implemented for u32 and u64 words.
 trait LemireWord<W>: Copy + Standard {
     fn is_zero(self) -> bool;
-    fn zone(self) -> Self;
+    fn zone(self, small_int: bool) -> Self;
     fn wmul(self, range: Self) -> (Self, Self);
     fn le(self, other: Self) -> bool;
     fn draw_word<R: RngCore + ?Sized>(rng: &mut R) -> Self;
@@ -282,8 +289,12 @@ impl LemireWord<u64> for u32 {
         self == 0
     }
 
-    fn zone(self) -> u32 {
-        (self << self.leading_zeros()).wrapping_sub(1)
+    fn zone(self, small_int: bool) -> u32 {
+        if small_int {
+            u32::MAX - (u32::MAX - self + 1) % self
+        } else {
+            (self << self.leading_zeros()).wrapping_sub(1)
+        }
     }
 
     fn wmul(self, range: u32) -> (u32, u32) {
@@ -305,8 +316,12 @@ impl LemireWord<u128> for u64 {
         self == 0
     }
 
-    fn zone(self) -> u64 {
-        (self << self.leading_zeros()).wrapping_sub(1)
+    fn zone(self, small_int: bool) -> u64 {
+        if small_int {
+            u64::MAX - (u64::MAX - self + 1) % self
+        } else {
+            (self << self.leading_zeros()).wrapping_sub(1)
+        }
     }
 
     fn wmul(self, range: u64) -> (u64, u64) {
@@ -411,6 +426,18 @@ pub trait SliceRandom {
     fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
 }
 
+/// rand 0.8's `seq::gen_index`: indices are sampled as `u32` (one u32
+/// Lemire draw) whenever the bound fits, falling back to the full `usize`
+/// path only for slices longer than `u32::MAX`. The word width decides how
+/// much of the stream each draw consumes, so this is part of bit-exactness.
+fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        (0..ubound as u32).sample_one(rng) as usize
+    } else {
+        (0..ubound).sample_one(rng)
+    }
+}
+
 impl<T> SliceRandom for [T] {
     type Item = T;
 
@@ -418,13 +445,13 @@ impl<T> SliceRandom for [T] {
         if self.is_empty() {
             None
         } else {
-            self.get((0..self.len()).sample_one(rng))
+            self.get(gen_index(rng, self.len()))
         }
     }
 
     fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         for i in (1..self.len()).rev() {
-            let j = (0..=i).sample_one(rng);
+            let j = gen_index(rng, i + 1);
             self.swap(i, j);
         }
     }
@@ -505,6 +532,45 @@ mod tests {
         assert!(!rng.gen_bool(0.0));
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    /// rand 0.8's `seq::gen_index` samples slice indices as `u32` when the
+    /// bound fits, via `sample_single`'s one-word-per-round Lemire loop
+    /// with the bit-shift approximation zone — not the u64/usize path.
+    #[test]
+    fn index_draws_use_the_u32_path() {
+        fn emulate_gen_index(rng: &mut StdRng, len: u32) -> usize {
+            let zone = (len << len.leading_zeros()).wrapping_sub(1);
+            loop {
+                let wide = u64::from(rng.next_u32()) * u64::from(len);
+                if (wide as u32) <= zone {
+                    return (wide >> 32) as usize;
+                }
+            }
+        }
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = a.clone();
+        let opts = [10u8, 20, 30, 40, 50];
+        for _ in 0..1000 {
+            let &chosen = opts.choose(&mut a).expect("non-empty");
+            assert_eq!(chosen, opts[emulate_gen_index(&mut b, 5)]);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "streams stay in lockstep");
+    }
+
+    /// For u8/u16 ranges rand 0.8 computes the rejection zone by exact
+    /// modulus, so a range of 128 values rejects nothing: each draw is one
+    /// u32 and the value is the Lemire high word.
+    #[test]
+    fn small_int_inclusive_ranges_use_exact_zone() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            let v: u8 = a.gen_range(128..=255);
+            let hi = ((u64::from(b.next_u32()) * 128) >> 32) as u8;
+            assert_eq!(v, 128 + hi);
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "streams stay in lockstep");
     }
 
     #[test]
