@@ -33,7 +33,10 @@ fn switch_mechanism() -> (f64, f64) {
     let base = bench.run(&DesignPoint::baseline());
     let cdp = bench.run(&DesignPoint::critic());
     let branch = bench.run(&DesignPoint::critic_branch_switch());
-    (cdp.sim.speedup_over(&base.sim), branch.sim.speedup_over(&base.sim))
+    (
+        cdp.sim.speedup_over(&base.sim),
+        branch.sim.speedup_over(&base.sim),
+    )
 }
 
 fn ablations(c: &mut Criterion) {

@@ -5,16 +5,27 @@
 //! critic list                          # Table II workloads
 //! critic profile <app> [-o FILE]      # run the offline profiler
 //! critic compile <app> [--scheme S]   # apply a pass and diff the binary
-//! critic run <app> [--scheme S]       # simulate baseline vs scheme
+//! critic run <app> [--scheme S] [--validate]   # simulate baseline vs scheme
+//! critic validate <app> [--scheme S] [--seed N] # differential oracle only
 //! critic disasm <app> [function]      # dump the generated binary
-//! critic campaign [options]           # fault-tolerant app x scheme grid
+//! critic campaign [--validate] [options]  # fault-tolerant app x scheme grid
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
 //! opp16+critic.
 //!
-//! Exit codes: 0 success, 1 run error, 2 usage, 3 unknown app/function,
-//! 4 unknown scheme, 5 I/O error, 6 campaign finished with failed cells.
+//! Exit codes (single source of truth, mirrored in README/DESIGN):
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | success |
+//! | 1 | run error |
+//! | 2 | usage error |
+//! | 3 | unknown app or function |
+//! | 4 | unknown scheme |
+//! | 5 | I/O error |
+//! | 6 | campaign finished with failed cells |
+//! | 7 | translation validation failed (divergence survived demotion) |
 
 use std::fmt;
 use std::time::Duration;
@@ -29,17 +40,35 @@ use critic_workloads::{AppSpec, Fault};
 
 const TRACE_LEN: usize = 120_000;
 
-const SCHEME_NAMES: [&str; 7] =
-    ["critic", "hoist", "ideal", "branch-switch", "opp16", "compress", "opp16+critic"];
+const SCHEME_NAMES: [&str; 7] = [
+    "critic",
+    "hoist",
+    "ideal",
+    "branch-switch",
+    "opp16",
+    "compress",
+    "opp16+critic",
+];
 
 enum CliError {
     Usage(String),
     UnknownApp(String),
-    UnknownFunction { app: String, function: String, available: Vec<String> },
+    UnknownFunction {
+        app: String,
+        function: String,
+        available: Vec<String>,
+    },
     UnknownScheme(String),
     Io(String),
     Run(RunError),
-    CampaignFailed { failed: usize, total: usize },
+    CampaignFailed {
+        failed: usize,
+        total: usize,
+    },
+    CampaignValidationFailed {
+        failed: usize,
+        total: usize,
+    },
 }
 
 impl CliError {
@@ -49,8 +78,13 @@ impl CliError {
             CliError::UnknownApp(_) | CliError::UnknownFunction { .. } => 3,
             CliError::UnknownScheme(_) => 4,
             CliError::Io(_) => 5,
+            // A validation failure gets its own exit code so scripted
+            // miscompile hunts can tell "oracle caught a divergence" (7)
+            // apart from ordinary pipeline failures (1).
+            CliError::Run(RunError::Validation(_)) => 7,
             CliError::Run(_) => 1,
             CliError::CampaignFailed { .. } => 6,
+            CliError::CampaignValidationFailed { .. } => 7,
         }
     }
 }
@@ -60,11 +94,18 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::UnknownApp(name) => {
-                let valid: Vec<String> =
-                    Suite::ALL.iter().flat_map(|s| s.apps()).map(|a| a.name).collect();
+                let valid: Vec<String> = Suite::ALL
+                    .iter()
+                    .flat_map(|s| s.apps())
+                    .map(|a| a.name)
+                    .collect();
                 write!(f, "unknown app `{name}`; valid apps: {}", valid.join(", "))
             }
-            CliError::UnknownFunction { app, function, available } => {
+            CliError::UnknownFunction {
+                app,
+                function,
+                available,
+            } => {
                 write!(
                     f,
                     "no function `{function}` in {app}; functions include: {}",
@@ -72,12 +113,22 @@ impl fmt::Display for CliError {
                 )
             }
             CliError::UnknownScheme(name) => {
-                write!(f, "unknown scheme `{name}`; valid schemes: {}", SCHEME_NAMES.join(", "))
+                write!(
+                    f,
+                    "unknown scheme `{name}`; valid schemes: {}",
+                    SCHEME_NAMES.join(", ")
+                )
             }
             CliError::Io(msg) => write!(f, "{msg}"),
             CliError::Run(e) => write!(f, "{e}"),
             CliError::CampaignFailed { failed, total } => {
                 write!(f, "campaign finished with {failed}/{total} failed cells")
+            }
+            CliError::CampaignValidationFailed { failed, total } => {
+                write!(
+                    f,
+                    "campaign finished with {failed}/{total} cells failing translation validation"
+                )
             }
         }
     }
@@ -111,12 +162,16 @@ fn scheme_point(scheme: &str) -> Result<DesignPoint, CliError> {
 }
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|disasm|campaign> [app] [options]".to_string(),
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign> [app] [options]"
+            .to_string(),
     )
 }
 
@@ -129,7 +184,9 @@ fn main() {
 }
 
 fn run_cli(args: &[String]) -> Result<(), CliError> {
-    let Some(command) = args.first() else { return Err(usage()) };
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
     match command.as_str() {
         "list" => {
             for suite in Suite::ALL {
@@ -163,7 +220,12 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
             let point = scheme_point(&scheme)?;
             let mut bench = Workbench::try_new(&app, TRACE_LEN)?;
             let base = bench.try_run(&DesignPoint::baseline())?;
-            let run = bench.try_run(&point)?;
+            let (run, validation) = if args.iter().any(|a| a == "--validate") {
+                let (run, stats) = bench.try_run_validated(&point, app.path_seed())?;
+                (run, Some(stats))
+            } else {
+                (bench.try_run(&point)?, None)
+            };
             println!(
                 "{} [{}]: applied {} chains, {} insns to 16-bit, {} skipped (legality)",
                 app.name,
@@ -188,6 +250,38 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
                     run.energy.system_saving(&base.energy) * 100.0
                 );
             }
+            if let Some(stats) = validation {
+                println!(
+                    "validation: {} chains checked, {} demoted",
+                    stats.chains_checked, stats.chains_demoted
+                );
+            }
+            Ok(())
+        }
+        "validate" => {
+            let app = find_app(args.get(1).ok_or_else(usage)?)?;
+            let scheme = arg_after(args, "--scheme").unwrap_or_else(|| "critic".into());
+            let point = scheme_point(&scheme)?;
+            let seed = match arg_after(args, "--seed") {
+                None => app.path_seed(),
+                Some(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("--seed expects a number, got `{v}`")))?,
+            };
+            let mut bench = Workbench::try_new(&app, TRACE_LEN)?;
+            // try_run_validated returns Err(RunError::Validation) — exit
+            // code 7 via the From impl — when a divergence survives the
+            // demotion loop.
+            let (run, stats) = bench.try_run_validated(&point, seed)?;
+            println!(
+                "{} [{}]: VALIDATED — {} chains checked, {} demoted, {} applied (seed {})",
+                app.name,
+                point.label(),
+                stats.chains_checked,
+                stats.chains_demoted,
+                run.pass.chains_applied,
+                seed
+            );
             Ok(())
         }
         "disasm" => {
@@ -195,8 +289,11 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
             let program = app.generate_program();
             match args.get(2) {
                 Some(fname) => {
-                    let func = program.functions.iter().find(|f| f.name == *fname).ok_or_else(
-                        || CliError::UnknownFunction {
+                    let func = program
+                        .functions
+                        .iter()
+                        .find(|f| f.name == *fname)
+                        .ok_or_else(|| CliError::UnknownFunction {
                             app: app.name.clone(),
                             function: fname.clone(),
                             available: program
@@ -205,8 +302,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
                                 .take(8)
                                 .map(|f| f.name.clone())
                                 .collect(),
-                        },
-                    )?;
+                        })?;
                     print!("{}", program.disassemble_function(func.id));
                 }
                 None => print!("{}", program.disassemble()),
@@ -214,15 +310,16 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "campaign" => run_campaign_command(args),
-        other => {
-            Err(CliError::Usage(format!("unknown command `{other}`; {}", usage())))
-        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; {}",
+            usage()
+        ))),
     }
 }
 
 /// `critic campaign [--suite S] [--schemes a,b,..] [--trace-len N]
-/// [--journal FILE] [--resume] [--deadline-secs N] [--retries N]
-/// [--workers N] [--inject app:scheme:fault[:seed]]...`
+/// [--journal FILE] [--resume] [--validate] [--deadline-secs N]
+/// [--retries N] [--workers N] [--inject app:scheme:fault[:seed]]...`
 fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     let apps: Vec<AppSpec> = match arg_after(args, "--suite").as_deref() {
         None | Some("mobile") => Suite::Mobile.apps(),
@@ -260,22 +357,29 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     let mut spec = CampaignSpec::new(
         apps,
         schemes,
-        parse_num("--trace-len")?.map(|n| n as usize).unwrap_or(TRACE_LEN),
+        parse_num("--trace-len")?
+            .map(|n| n as usize)
+            .unwrap_or(TRACE_LEN),
     );
     spec.deadline = parse_num("--deadline-secs")?.map(Duration::from_secs);
     spec.retries = parse_num("--retries")?.map(|n| n as u32).unwrap_or(0);
     spec.workers = parse_num("--workers")?.map(|n| n as usize).unwrap_or(0);
     spec.journal = arg_after(args, "--journal").map(std::path::PathBuf::from);
     spec.resume = args.iter().any(|a| a == "--resume");
+    spec.validate = args.iter().any(|a| a == "--validate");
     if spec.resume && spec.journal.is_none() {
-        return Err(CliError::Usage("--resume requires --journal FILE".to_string()));
+        return Err(CliError::Usage(
+            "--resume requires --journal FILE".to_string(),
+        ));
     }
 
     let mut idx = 0;
     while let Some(pos) = args[idx..].iter().position(|a| a == "--inject") {
         idx += pos + 1;
         let Some(value) = args.get(idx) else {
-            return Err(CliError::Usage("--inject expects app:scheme:fault[:seed]".to_string()));
+            return Err(CliError::Usage(
+                "--inject expects app:scheme:fault[:seed]".to_string(),
+            ));
         };
         let parts: Vec<&str> = value.split(':').collect();
         if parts.len() < 3 || parts.len() > 4 {
@@ -302,6 +406,14 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     println!("{}", summary.render());
     if summary.all_ok() {
         Ok(())
+    } else if !summary.validation_failures().is_empty() {
+        // Validation failures outrank generic cell failures: a surviving
+        // divergence means a miscompile escaped demotion, which scripted
+        // hunts must be able to detect from the exit code alone.
+        Err(CliError::CampaignValidationFailed {
+            failed: summary.validation_failures().len(),
+            total: summary.records.len(),
+        })
     } else {
         Err(CliError::CampaignFailed {
             failed: summary.failed().len(),

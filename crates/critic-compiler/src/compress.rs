@@ -1,4 +1,4 @@
-//! The Compress baseline: Fine-Grained Thumb Conversion (Sec. V, [78]).
+//! The Compress baseline: Fine-Grained Thumb Conversion (Sec. V, \[78\]).
 //!
 //! Krishnaswamy & Gupta's LCTES'02 heuristic "first converts a whole
 //! function to Thumb, then replaces frequently occurring 'slower thumb
@@ -96,7 +96,10 @@ mod tests {
         let mut optimized = original.clone();
         let report = apply_compress(&mut optimized);
         assert!(report.insns_converted > 0);
-        assert!(report.insns_expanded > 0, "two-address expansion should trigger");
+        assert!(
+            report.insns_expanded > 0,
+            "two-address expansion should trigger"
+        );
         assert!(
             optimized.static_insn_count() > original.static_insn_count(),
             "expansion grows the instruction count"
@@ -135,8 +138,12 @@ mod tests {
         apply_compress(&mut optimized);
         let trace = Trace::expand(&optimized, &path);
         // Every original instruction still appears with its uid.
-        let original_uids: std::collections::HashSet<_> =
-            original.blocks.iter().flat_map(|b| &b.insns).map(|t| t.uid).collect();
+        let original_uids: std::collections::HashSet<_> = original
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .map(|t| t.uid)
+            .collect();
         let seen: std::collections::HashSet<_> = trace.iter().map(|e| e.uid).collect();
         for block in &original.blocks {
             for t in &block.insns {
@@ -144,10 +151,18 @@ mod tests {
             }
         }
         // (Blocks never visited by the path are legitimately absent.)
-        assert!(seen.iter().filter(|uid| original_uids.contains(uid)).count() > 0);
+        assert!(
+            seen.iter()
+                .filter(|uid| original_uids.contains(uid))
+                .count()
+                > 0
+        );
         // Expanded movs execute: dynamic stream grows.
         let baseline = Trace::expand(&original, &path);
-        assert!(trace.len() > baseline.len(), "expansion adds executed instructions");
+        assert!(
+            trace.len() > baseline.len(),
+            "expansion adds executed instructions"
+        );
     }
 
     #[test]

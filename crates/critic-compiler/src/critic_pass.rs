@@ -68,18 +68,27 @@ impl Default for CriticPassOptions {
 impl CriticPassOptions {
     /// The `Hoist` design point: aggregation without conversion.
     pub fn hoist_only() -> CriticPassOptions {
-        CriticPassOptions { convert: false, ..Default::default() }
+        CriticPassOptions {
+            convert: false,
+            ..Default::default()
+        }
     }
 
     /// The `CritIC.Ideal` design point (pair with
     /// `ProfilerConfig::ideal()`).
     pub fn ideal() -> CriticPassOptions {
-        CriticPassOptions { force_convert: true, ..Default::default() }
+        CriticPassOptions {
+            force_convert: true,
+            ..Default::default()
+        }
     }
 
     /// Approach 1: the branch-pair switch that runs on stock hardware.
     pub fn branch_switch() -> CriticPassOptions {
-        CriticPassOptions { switch_mode: SwitchMode::BranchPair, ..Default::default() }
+        CriticPassOptions {
+            switch_mode: SwitchMode::BranchPair,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,13 +152,20 @@ fn apply_validated(
     let mut report = PassReport::default();
 
     for spec in &profile.chains {
-        if spec.uids.iter().any(|&uid| claimed.contains(&(spec.block, uid))) {
+        if spec
+            .uids
+            .iter()
+            .any(|&uid| claimed.contains(&(spec.block, uid)))
+        {
             report.chains_skipped_missing += 1;
             continue;
         }
         let block = program.block_mut(spec.block);
-        let positions: Option<Vec<usize>> =
-            spec.uids.iter().map(|&uid| block.position_of(uid)).collect();
+        let positions: Option<Vec<usize>> = spec
+            .uids
+            .iter()
+            .map(|&uid| block.position_of(uid))
+            .collect();
         let Some(positions) = positions else {
             report.chains_skipped_missing += 1;
             continue;
@@ -160,6 +176,11 @@ fn apply_validated(
             continue;
         }
 
+        // Snapshot for graceful degradation: if the post-rewrite soundness
+        // re-check fails, the chain is demoted — the block is restored to
+        // this image and the run continues with the chain in 32-bit form.
+        let snapshot = block.insns.clone();
+
         let hoistable = !opts.hoist || hoist_is_legal(&block.insns, &positions);
         if !hoistable {
             // Register reuse across the chain's span makes reordering
@@ -169,9 +190,16 @@ fn apply_validated(
             report.chains_skipped_legality += 1;
             let convert = opts.convert && (spec.thumb_convertible || opts.force_convert);
             if convert {
-                convert_in_place(block, &positions, opts, &mut alloc, &mut report);
-                for &uid in &spec.uids {
-                    claimed.insert((spec.block, uid));
+                let mut delta = PassReport::default();
+                convert_in_place(block, &positions, opts, &mut alloc, &mut delta);
+                if chain_rewrite_is_sound(block, &spec.uids, opts, false) {
+                    report.absorb(delta);
+                    for &uid in &spec.uids {
+                        claimed.insert((spec.block, uid));
+                    }
+                } else {
+                    block.insns = snapshot;
+                    report.chains_demoted += 1;
                 }
             }
             continue;
@@ -192,6 +220,7 @@ fn apply_validated(
         // ---- convert ----
         let convert = opts.convert && (spec.thumb_convertible || opts.force_convert);
         let len = members.len();
+        let mut delta = PassReport::default();
         if convert {
             let range = if opts.hoist {
                 first..first + len
@@ -203,10 +232,11 @@ fn apply_validated(
             };
             for p in range {
                 let insn = block.insns[p].insn;
-                let thumbed =
-                    insn.to_thumb().unwrap_or_else(|_| insn.with_width(Width::Thumb16));
+                let thumbed = insn
+                    .to_thumb()
+                    .unwrap_or_else(|_| insn.with_width(Width::Thumb16));
                 block.insns[p].insn = thumbed;
-                report.insns_converted += 1;
+                delta.insns_converted += 1;
             }
 
             // ---- format switch ----
@@ -221,7 +251,7 @@ fn apply_validated(
                         let cdp = TaggedInsn::new(Insn::cdp(chunk as u8), alloc.fresh());
                         block.insns.insert(first + offset + inserted, cdp);
                         inserted += 1;
-                        report.cdps_inserted += 1;
+                        delta.cdps_inserted += 1;
                         offset += chunk;
                     }
                 }
@@ -235,17 +265,73 @@ fn apply_validated(
                     );
                     block.insns.insert(first, pre);
                     block.insns.insert(first + 1 + len, post);
-                    report.switch_branches_inserted += 2;
+                    delta.switch_branches_inserted += 2;
                 }
             }
         }
 
+        // ---- re-check ----
+        // Trust nothing: verify the rewrite's own postconditions before
+        // keeping it. A bug here would otherwise corrupt every downstream
+        // speedup and energy figure.
+        if !chain_rewrite_is_sound(block, &spec.uids, opts, opts.hoist) {
+            block.insns = snapshot;
+            report.chains_demoted += 1;
+            continue;
+        }
+
+        report.absorb(delta);
         report.chains_applied += 1;
         for &uid in &spec.uids {
             claimed.insert((spec.block, uid));
         }
     }
     report
+}
+
+/// Post-rewrite soundness re-check for one chain: every member uid must
+/// still be present (contiguous and in order when `contiguous` is
+/// demanded), and in CDP switch mode the block's decode-cover accounting
+/// must be intact — every 16-bit instruction under a switch whose cover
+/// reaches it, and no switch covering a 32-bit instruction.
+///
+/// The pass runs this after rewriting each chain and *demotes* the chain
+/// (rolls the block back to its 32-bit image) if it fails; it is public so
+/// tests and external validators can exercise the same predicate.
+pub fn chain_rewrite_is_sound(
+    block: &critic_workloads::BasicBlock,
+    uids: &[InsnUid],
+    opts: CriticPassOptions,
+    contiguous: bool,
+) -> bool {
+    let positions: Option<Vec<usize>> = uids.iter().map(|&u| block.position_of(u)).collect();
+    let Some(positions) = positions else {
+        return false;
+    };
+    if !positions.windows(2).all(|w| w[0] < w[1]) {
+        return false;
+    }
+    if contiguous && !positions.windows(2).all(|w| w[1] == w[0] + 1) {
+        return false;
+    }
+    if opts.switch_mode == SwitchMode::Cdp {
+        let mut cover = 0usize;
+        for tagged in &block.insns {
+            if let Some(covered) = tagged.insn.cdp_covered_len() {
+                cover = covered;
+                continue;
+            }
+            match tagged.insn.width() {
+                Width::Thumb16 if cover == 0 => return false,
+                Width::Arm32 if cover > 0 => return false,
+                _ => cover = cover.saturating_sub(1),
+            }
+        }
+        if cover > 0 {
+            return false; // a switch covers past the end of the block
+        }
+    }
+    true
 }
 
 /// Converts a non-hoistable chain's members where they stand: each
@@ -276,8 +362,9 @@ fn convert_in_place(
         }
         for p in start..start + len {
             let insn = block.insns[p].insn;
-            block.insns[p].insn =
-                insn.to_thumb().unwrap_or_else(|_| insn.with_width(Width::Thumb16));
+            block.insns[p].insn = insn
+                .to_thumb()
+                .unwrap_or_else(|_| insn.with_width(Width::Thumb16));
             report.insns_converted += 1;
         }
         match opts.switch_mode {
@@ -321,12 +408,17 @@ fn convert_in_place(
 /// * X writes a register some m ∈ M reads (m would suddenly read X's
 ///   value — impossible for self-contained chains, checked anyway because
 ///   profiles can be stale).
-fn hoist_is_legal(insns: &[TaggedInsn], positions: &[usize]) -> bool {
+pub fn hoist_is_legal(insns: &[TaggedInsn], positions: &[usize]) -> bool {
     let member_set: HashSet<usize> = positions.iter().copied().collect();
     // An empty chain moves nothing and is trivially legal.
-    let Some(&last) = positions.last() else { return true };
+    let Some(&last) = positions.last() else {
+        return true;
+    };
     let writes_flags = |i: &critic_isa::Insn| {
-        matches!(i.op(), Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp)
+        matches!(
+            i.op(),
+            Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
+        )
     };
     for x in positions[0]..=last {
         if member_set.contains(&x) {
@@ -398,8 +490,7 @@ mod tests {
             if !original_uids.contains(&e.uid) {
                 continue;
             }
-            let mut deps: Vec<(InsnUid, u32)> =
-                e.deps_iter().map(|d| occ_of[d as usize]).collect();
+            let mut deps: Vec<(InsnUid, u32)> = e.deps_iter().map(|d| occ_of[d as usize]).collect();
             deps.sort();
             signature.insert(occ_of[i], deps);
         }
@@ -421,8 +512,12 @@ mod tests {
     #[test]
     fn hoisting_preserves_register_dataflow() {
         let (program, path, trace, profile) = setup(30_000);
-        let original_uids: HashSet<InsnUid> =
-            program.blocks.iter().flat_map(|b| &b.insns).map(|t| t.uid).collect();
+        let original_uids: HashSet<InsnUid> = program
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .map(|t| t.uid)
+            .collect();
         let mut optimized = program.clone();
         let report = apply_critic_pass(&mut optimized, &profile, CriticPassOptions::default());
         assert!(report.chains_applied > 0);
@@ -446,8 +541,10 @@ mod tests {
         apply_critic_pass(&mut optimized, &profile, CriticPassOptions::default());
         let rewritten = Trace::expand(&optimized, &path);
         let mems = |t: &Trace| -> Vec<(InsnUid, u64)> {
-            let mut v: Vec<(InsnUid, u64)> =
-                t.iter().filter_map(|e| e.mem_addr.map(|a| (e.uid, a))).collect();
+            let mut v: Vec<(InsnUid, u64)> = t
+                .iter()
+                .filter_map(|e| e.mem_addr.map(|a| (e.uid, a)))
+                .collect();
             v.sort();
             v
         };
@@ -462,7 +559,11 @@ mod tests {
         assert!(report.chains_applied > 0);
         assert_eq!(report.insns_converted, 0);
         assert_eq!(report.cdps_inserted, 0);
-        assert_eq!(optimized.code_bytes(), program.code_bytes(), "widths untouched");
+        assert_eq!(
+            optimized.code_bytes(),
+            program.code_bytes(),
+            "widths untouched"
+        );
         assert_ne!(optimized, program, "but instructions moved");
     }
 
@@ -470,7 +571,8 @@ mod tests {
     fn branch_pair_mode_inserts_two_branches_per_chain() {
         let (program, _, _, profile) = setup(30_000);
         let mut optimized = program.clone();
-        let report = apply_critic_pass(&mut optimized, &profile, CriticPassOptions::branch_switch());
+        let report =
+            apply_critic_pass(&mut optimized, &profile, CriticPassOptions::branch_switch());
         assert!(report.chains_applied > 0);
         // Hoisted chains get exactly one pre/post pair; in-place fallbacks
         // may need a pair per contiguous sub-run.
@@ -482,8 +584,7 @@ mod tests {
     #[test]
     fn ideal_mode_converts_unconvertible_chains() {
         let (program, path, trace, _) = setup(30_000);
-        let ideal_profile =
-            Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace);
+        let ideal_profile = Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace);
         let _ = path;
         let _ = trace;
         let mut optimized = program.clone();
@@ -496,15 +597,17 @@ mod tests {
             .filter(|c| !c.thumb_convertible)
             .map(|c| c.len() as u64)
             .sum();
-        assert!(unconvertible_members > 0, "ideal profile should include unconvertible chains");
+        assert!(
+            unconvertible_members > 0,
+            "ideal profile should include unconvertible chains"
+        );
         assert!(report.insns_converted > 0);
     }
 
     #[test]
     fn cdp_cover_never_exceeds_nine() {
         let (program, _, trace, _) = setup(30_000);
-        let ideal_profile =
-            Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace);
+        let ideal_profile = Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace);
         let mut optimized = program.clone();
         apply_critic_pass(&mut optimized, &ideal_profile, CriticPassOptions::ideal());
         for block in &optimized.blocks {
@@ -530,26 +633,114 @@ mod tests {
         // Members at 0 and 2; instruction 1 reads r1, which member 2
         // writes — hoisting member 2 above it would corrupt instruction 1.
         let insns = vec![
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]), InsnUid(0)),
-            TaggedInsn::new(Insn::alu(Opcode::Orr, Reg::R4, &[Reg::R1, Reg::R5]), InsnUid(1)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R7]), InsnUid(2)),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]),
+                InsnUid(0),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Orr, Reg::R4, &[Reg::R1, Reg::R5]),
+                InsnUid(1),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R7]),
+                InsnUid(2),
+            ),
         ];
         assert!(!hoist_is_legal(&insns, &[0, 2]));
         // Without the conflicting read it is fine.
         let insns_ok = vec![
             insns[0],
-            TaggedInsn::new(Insn::alu(Opcode::Orr, Reg::R4, &[Reg::R6, Reg::R5]), InsnUid(1)),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Orr, Reg::R4, &[Reg::R6, Reg::R5]),
+                InsnUid(1),
+            ),
             insns[2],
         ];
         assert!(hoist_is_legal(&insns_ok, &[0, 2]));
     }
 
     #[test]
+    fn clean_passes_never_demote() {
+        let (program, _, trace, profile) = setup(30_000);
+        for (opts, prof) in [
+            (CriticPassOptions::default(), profile.clone()),
+            (CriticPassOptions::hoist_only(), profile.clone()),
+            (CriticPassOptions::branch_switch(), profile.clone()),
+            (
+                CriticPassOptions::ideal(),
+                Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace),
+            ),
+        ] {
+            let mut optimized = program.clone();
+            let report = apply_critic_pass(&mut optimized, &prof, opts);
+            assert_eq!(report.chains_demoted, 0, "sound rewrites must not demote");
+            assert!(report.chains_applied > 0);
+        }
+    }
+
+    #[test]
+    fn rewrite_soundness_check_accepts_real_rewrites_and_rejects_corruption() {
+        use critic_isa::Reg;
+        let opts = CriticPassOptions::default();
+        // A correctly rewritten chain: CDP covering three 16-bit members.
+        let members = [InsnUid(1), InsnUid(2), InsnUid(3)];
+        let sound = |insns: Vec<TaggedInsn>| critic_workloads::BasicBlock {
+            id: BlockId(0),
+            func: critic_workloads::FuncId(0),
+            insns,
+            terminator: critic_workloads::Terminator::Exit,
+        };
+        let thumb = |op, d, s: &[Reg], uid| {
+            TaggedInsn::new(Insn::alu(op, d, s).with_width(Width::Thumb16), InsnUid(uid))
+        };
+        let good = sound(vec![
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]),
+                InsnUid(0),
+            ),
+            TaggedInsn::new(Insn::cdp(3), InsnUid(10)),
+            thumb(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R0], 1),
+            thumb(Opcode::Orr, Reg::R2, &[Reg::R1, Reg::R0], 2),
+            thumb(Opcode::Eor, Reg::R3, &[Reg::R2, Reg::R1], 3),
+        ]);
+        assert!(chain_rewrite_is_sound(&good, &members, opts, true));
+
+        // A member vanished.
+        let mut dropped = good.clone();
+        dropped.insns.remove(3);
+        assert!(!chain_rewrite_is_sound(&dropped, &members, opts, true));
+
+        // The members are no longer contiguous.
+        let mut scattered = good.clone();
+        let moved = scattered.insns.remove(2);
+        scattered.insns.push(moved);
+        assert!(!chain_rewrite_is_sound(&scattered, &members, opts, true));
+
+        // The CDP cover undershoots the chain, leaving a 16-bit orphan.
+        let mut short = good.clone();
+        short.insns[1].insn = Insn::cdp(2);
+        assert!(!chain_rewrite_is_sound(&short, &members, opts, true));
+
+        // The CDP cover overshoots the end of the block.
+        let mut long = good.clone();
+        long.insns[1].insn = Insn::cdp(5);
+        assert!(!chain_rewrite_is_sound(&long, &members, opts, true));
+
+        // A 32-bit instruction sits under the cover.
+        let mut wide = good.clone();
+        wide.insns[3].insn = wide.insns[3].insn.with_width(Width::Arm32);
+        assert!(!chain_rewrite_is_sound(&wide, &members, opts, true));
+    }
+
+    #[test]
     fn empty_profile_is_a_no_op() {
         let (program, _, _, _) = setup(5_000);
         let mut optimized = program.clone();
-        let report =
-            apply_critic_pass(&mut optimized, &Profile::empty(), CriticPassOptions::default());
+        let report = apply_critic_pass(
+            &mut optimized,
+            &Profile::empty(),
+            CriticPassOptions::default(),
+        );
         assert_eq!(report, PassReport::default());
         assert_eq!(optimized, program);
     }

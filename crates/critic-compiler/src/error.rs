@@ -49,7 +49,11 @@ impl fmt::Display for PassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PassError::InvalidProgram(e) => write!(f, "input program is invalid: {e}"),
-            PassError::ChainBlockOutOfRange { chain, block, num_blocks } => write!(
+            PassError::ChainBlockOutOfRange {
+                chain,
+                block,
+                num_blocks,
+            } => write!(
                 f,
                 "profile chain #{chain} names {block:?} but the program has \
                  {num_blocks} blocks (stale or foreign profile?)"

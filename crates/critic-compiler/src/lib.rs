@@ -55,12 +55,15 @@ pub mod error;
 pub mod opp16;
 pub mod report;
 pub mod uid;
+pub mod validate;
 
 pub use compress::{apply_compress, try_apply_compress};
 pub use critic_pass::{
-    apply_critic_pass, try_apply_critic_pass, CriticPassOptions, SwitchMode,
+    apply_critic_pass, chain_rewrite_is_sound, hoist_is_legal, try_apply_critic_pass,
+    CriticPassOptions, SwitchMode,
 };
 pub use error::PassError;
 pub use opp16::{apply_opp16, try_apply_opp16};
 pub use report::PassReport;
 pub use uid::UidAllocator;
+pub use validate::{validate_transform, DivergenceKind, ValidationError, ValidationReport};

@@ -83,7 +83,10 @@ pub(crate) fn convert_runs_in_block(
         // failure here means the ISA model disagrees with its own
         // predicate — surface it rather than trusting either side.
         for t in &mut block.insns[s..e] {
-            t.insn = t.insn.to_thumb().map_err(|_| PassError::Unconvertible { uid: t.uid })?;
+            t.insn = t
+                .insn
+                .to_thumb()
+                .map_err(|_| PassError::Unconvertible { uid: t.uid })?;
             report.insns_converted += 1;
         }
         // Insert one CDP per chunk of up to 9, back to front.
@@ -96,7 +99,9 @@ pub(crate) fn convert_runs_in_block(
             offset += chunk;
         }
         for &(at, chunk) in chunk_starts.iter().rev() {
-            block.insns.insert(at, TaggedInsn::new(Insn::cdp(chunk as u8), alloc.fresh()));
+            block
+                .insns
+                .insert(at, TaggedInsn::new(Insn::cdp(chunk as u8), alloc.fresh()));
             report.cdps_inserted += 1;
         }
     }
@@ -128,8 +133,12 @@ mod tests {
         // Original instructions keep their relative order.
         for (a, b) in original.blocks.iter().zip(&optimized.blocks) {
             let orig: Vec<_> = a.insns.iter().map(|t| t.uid).collect();
-            let now: Vec<_> =
-                b.insns.iter().map(|t| t.uid).filter(|uid| orig.contains(uid)).collect();
+            let now: Vec<_> = b
+                .insns
+                .iter()
+                .map(|t| t.uid)
+                .filter(|uid| orig.contains(uid))
+                .collect();
             assert_eq!(orig, now, "OPP16 must not move instructions in {}", a.id);
         }
     }
@@ -147,9 +156,7 @@ mod tests {
                     && !block.insns[i].insn.op().is_format_switch()
                 {
                     let mut j = i;
-                    while j < block.insns.len()
-                        && block.insns[j].insn.width() == Width::Thumb16
-                    {
+                    while j < block.insns.len() && block.insns[j].insn.width() == Width::Thumb16 {
                         j += 1;
                     }
                     // The run includes its CDPs; subtract them.
@@ -216,7 +223,10 @@ mod tests {
         let mut critic_only = original.clone();
         crate::apply_critic_pass(&mut critic_only, &profile, Default::default());
         let critic_thumb = Trace::expand(&critic_only, &path).thumb_fraction();
-        assert!(combined_thumb > critic_thumb, "the combination converts more than CritIC alone");
+        assert!(
+            combined_thumb > critic_thumb,
+            "the combination converts more than CritIC alone"
+        );
     }
 
     #[test]
@@ -230,7 +240,10 @@ mod tests {
         // Same original instructions in the same order with the same memory
         // addresses; only widths and CDPs differ.
         let essence = |t: &Trace| -> Vec<(critic_workloads::InsnUid, Option<u64>)> {
-            t.iter().filter(|e| !e.is_cdp()).map(|e| (e.uid, e.mem_addr)).collect()
+            t.iter()
+                .filter(|e| !e.is_cdp())
+                .map(|e| (e.uid, e.mem_addr))
+                .collect()
         };
         assert_eq!(essence(&before), essence(&after));
     }

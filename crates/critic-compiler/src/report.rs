@@ -13,6 +13,10 @@ pub struct PassReport {
     /// Chains skipped because a member uid was consumed by a higher-ranked
     /// chain or no longer present.
     pub chains_skipped_missing: u64,
+    /// Chains whose rewrite failed the post-rewrite soundness re-check (or
+    /// downstream validation) and were rolled back to their original 32-bit
+    /// form.
+    pub chains_demoted: u64,
     /// Instructions re-encoded to the 16-bit format.
     pub insns_converted: u64,
     /// Instructions added by two-address expansion (Compress).
@@ -29,6 +33,7 @@ impl PassReport {
         self.chains_applied += other.chains_applied;
         self.chains_skipped_legality += other.chains_skipped_legality;
         self.chains_skipped_missing += other.chains_skipped_missing;
+        self.chains_demoted += other.chains_demoted;
         self.insns_converted += other.insns_converted;
         self.insns_expanded += other.insns_expanded;
         self.cdps_inserted += other.cdps_inserted;
@@ -42,8 +47,16 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = PassReport { chains_applied: 1, insns_converted: 5, ..Default::default() };
-        let b = PassReport { chains_applied: 2, cdps_inserted: 3, ..Default::default() };
+        let mut a = PassReport {
+            chains_applied: 1,
+            insns_converted: 5,
+            ..Default::default()
+        };
+        let b = PassReport {
+            chains_applied: 2,
+            cdps_inserted: 3,
+            ..Default::default()
+        };
         a.absorb(b);
         assert_eq!(a.chains_applied, 3);
         assert_eq!(a.insns_converted, 5);

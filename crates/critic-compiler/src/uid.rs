@@ -44,8 +44,12 @@ mod tests {
         let mut p = GenParams::mobile(3);
         p.num_functions = 8;
         let program = ProgramGenerator::new(p).generate();
-        let mut existing: std::collections::HashSet<InsnUid> =
-            program.blocks.iter().flat_map(|b| &b.insns).map(|t| t.uid).collect();
+        let mut existing: std::collections::HashSet<InsnUid> = program
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .map(|t| t.uid)
+            .collect();
         let mut alloc = UidAllocator::for_program(&program);
         for _ in 0..100 {
             assert!(existing.insert(alloc.fresh()), "fresh uid collided");

@@ -1,0 +1,724 @@
+//! Translation validation: the differential oracle.
+//!
+//! The CritIC pass rewrites hot programs aggressively — it hoists chain
+//! members across other instructions and re-encodes them in the 16-bit
+//! format. Nothing about that is *obviously* meaning-preserving, and a
+//! legality-check bug would silently corrupt every downstream speedup and
+//! energy figure. This module proves each transformation after the fact:
+//! it executes the baseline and the transformed variant over identical,
+//! deterministically seeded inputs on the [`critic_isa`
+//! interpreter](critic_isa::MachineState) and compares
+//!
+//! * the **per-instruction register dataflow** — the sequence of `(register,
+//!   value)` writes each original instruction (by stable uid) performs over
+//!   the whole run;
+//! * the **per-address store order** — the `(uid, value)` sequence landing
+//!   at every data address;
+//! * the **final architectural state** — registers and the sparse memory
+//!   image;
+//! * **decode coverage** — every 16-bit instruction in the variant must be
+//!   covered by a preceding CDP format switch, or the decoder would
+//!   misparse the byte stream (checked only for CDP-mode variants).
+//!
+//! A divergence is reported as a typed [`ValidationError`] naming the
+//! offending chain (by profile rank), the instruction uid, and the first
+//! diverging register or address — precise enough for the pass to *demote*
+//! exactly the guilty chain and re-try, rather than aborting the run. When
+//! several effects diverge, the one earliest in *execution order* is
+//! reported: the corrupted write runs strictly before every consumer that
+//! propagates it, so the report stays on the root cause (a chain member)
+//! instead of an innocent downstream reader with a smaller uid.
+//!
+//! The comparison is layout-independent by construction: load results and
+//! call link tokens are seeded from `(seed, uid, visit)` rather than read
+//! from a memory image or a return address, so re-encoding (which moves
+//! every subsequent PC) and legal hoists (which may reorder loads across
+//! unrelated stores) cannot produce false positives. See the
+//! [`critic_isa::interp`] module docs for the full argument.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use critic_isa::{seeded_input, MachineState, Reg, StepError, StepIo, Width};
+use critic_profiler::ChainSpec;
+use critic_workloads::{ExecutionPath, InsnUid, Program, Trace};
+
+/// Salt distinguishing the link-token stream from the load-value stream.
+const LINK_SALT: u64 = 0x6C69_6E6B_746F_6B65; // "linktoke"
+
+/// What diverged between the baseline and the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// An instruction wrote registers in the baseline but never executed a
+    /// write in the variant (e.g. a dropped chain member).
+    MissingInsn,
+    /// An instruction present in the baseline *program* wrote registers in
+    /// the variant but never in the baseline run (e.g. a flipped
+    /// predicate). Pass-inserted helpers (uids the baseline program does
+    /// not contain, such as Compress's two-address `mov` expansion) are
+    /// exempt: their effects are judged through the original instructions'
+    /// streams, the store sequences, and the final state.
+    ExtraInsn,
+    /// The `index`-th register write of one instruction differs.
+    RegisterWrite {
+        /// Which dynamic write of this uid diverged (0-based).
+        index: usize,
+        /// The baseline's write, if it performed one at this index.
+        baseline: Option<(Reg, u32)>,
+        /// The variant's write, if it performed one at this index.
+        variant: Option<(Reg, u32)>,
+    },
+    /// The `index`-th store to `addr` differs in writer or value.
+    StoreSequence {
+        /// The diverging data address.
+        addr: u64,
+        /// Which store to that address diverged (0-based).
+        index: usize,
+        /// The baseline's `(writer uid, value)` at this index.
+        baseline: Option<(InsnUid, u32)>,
+        /// The variant's `(writer uid, value)` at this index.
+        variant: Option<(InsnUid, u32)>,
+    },
+    /// A register holds different values after the full run.
+    FinalRegister {
+        /// The diverging register.
+        reg: Reg,
+        /// Its final baseline value.
+        baseline: u32,
+        /// Its final variant value.
+        variant: u32,
+    },
+    /// A memory byte differs after the full run.
+    FinalMemory {
+        /// The diverging byte address.
+        addr: u64,
+        /// The baseline byte, if written.
+        baseline: Option<u8>,
+        /// The variant byte, if written.
+        variant: Option<u8>,
+    },
+    /// A 16-bit instruction in the variant is not covered by a CDP format
+    /// switch (or a CDP covers a 32-bit instruction): the decoder would
+    /// misparse the byte stream.
+    DecodeGap,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceKind::MissingInsn => f.write_str("writes in baseline only"),
+            DivergenceKind::ExtraInsn => f.write_str("writes in variant only"),
+            DivergenceKind::RegisterWrite {
+                index,
+                baseline,
+                variant,
+            } => write!(
+                f,
+                "register write #{index} diverges: baseline {baseline:?}, variant {variant:?}"
+            ),
+            DivergenceKind::StoreSequence {
+                addr,
+                index,
+                baseline,
+                variant,
+            } => write!(
+                f,
+                "store #{index} to {addr:#x} diverges: baseline {baseline:?}, variant {variant:?}"
+            ),
+            DivergenceKind::FinalRegister {
+                reg,
+                baseline,
+                variant,
+            } => write!(
+                f,
+                "final {reg} diverges: baseline {baseline:#x}, variant {variant:#x}"
+            ),
+            DivergenceKind::FinalMemory {
+                addr,
+                baseline,
+                variant,
+            } => write!(
+                f,
+                "final memory at {addr:#x} diverges: baseline {baseline:?}, variant {variant:?}"
+            ),
+            DivergenceKind::DecodeGap => {
+                f.write_str("16-bit instruction not covered by a format switch")
+            }
+        }
+    }
+}
+
+/// A validation failure: the variant does not compute what the baseline
+/// computes (or could not be decoded), attributed to a chain when possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Rank of the offending chain in the profile (`None` when the
+    /// divergence could not be attributed to any chain).
+    pub chain: Option<usize>,
+    /// The first diverging instruction, by stable uid.
+    pub uid: Option<InsnUid>,
+    /// What diverged.
+    pub kind: DivergenceKind,
+    /// Interpreter-level failure text, set only when the oracle itself
+    /// could not step an instruction (a harness bug, not a miscompile).
+    pub internal: Option<String>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.chain {
+            Some(rank) => write!(f, "chain #{rank}")?,
+            None => f.write_str("unattributed")?,
+        }
+        if let Some(uid) = self.uid {
+            write!(f, " (insn {uid})")?;
+        }
+        write!(f, ": {}", self.kind)?;
+        if let Some(internal) = &self.internal {
+            write!(f, " [{internal}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// What a clean validation run covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Chains in the profile the variant was validated against.
+    pub chains: usize,
+    /// Dynamic instructions executed on the baseline.
+    pub baseline_steps: u64,
+    /// Dynamic instructions executed on the variant.
+    pub variant_steps: u64,
+}
+
+/// One program's observable behaviour over a seeded run.
+///
+/// Each recorded effect carries the dynamic step at which it happened.
+/// Steps never participate in *equality* (re-encoding inserts format
+/// switches and hoisting reorders, so step indices legitimately differ) —
+/// they only order divergences, so the report lands on the execution-
+/// earliest one, which is the root cause.
+struct Execution {
+    state: MachineState,
+    writes_by_uid: HashMap<InsnUid, Vec<(u64, Reg, u32)>>,
+    stores_by_addr: BTreeMap<u64, Vec<(u64, InsnUid, u32)>>,
+    steps: u64,
+}
+
+/// Validates that `variant` computes the same thing as `baseline` over the
+/// recorded execution path, using inputs seeded from `seed`.
+///
+/// `chains` is the profile the variant was built from, used only to
+/// *attribute* a divergence to the responsible chain; pass `&[]` when
+/// validating a chain-free rewrite (OPP16, Compress).
+///
+/// # Errors
+///
+/// Returns one [`ValidationError`], chosen deterministically: the static
+/// decode-coverage check runs first; then, among all register-dataflow and
+/// store-sequence divergences, the one that happened *earliest in
+/// execution order* is reported — a corrupted write executes strictly
+/// before every consumer that propagates it, so this keeps the report (and
+/// the chain attribution) on the faulty rewrite rather than on an innocent
+/// downstream reader that merely has a smaller uid. Final registers and
+/// final memory are checked last.
+pub fn validate_transform(
+    baseline: &Program,
+    variant: &Program,
+    path: &ExecutionPath,
+    chains: &[ChainSpec],
+    seed: u64,
+) -> Result<ValidationReport, ValidationError> {
+    // Decode coverage is static and is the only detector for a CDP whose
+    // cover count undershoots its chain, so it runs first.
+    check_decode_coverage(variant, chains)?;
+
+    let base = execute(baseline, path, seed).map_err(|(uid, e)| internal_error(uid, e))?;
+    let var = execute(variant, path, seed).map_err(|(uid, e)| internal_error(uid, e))?;
+
+    // Collect the execution-earliest divergence across register dataflow
+    // and store sequences. The root cause (the rewritten instruction that
+    // first computed a wrong value) always executes before anything that
+    // propagates it, so the minimum-step divergence is the attributable
+    // one; scanning in uid or address order instead can land on a consumer
+    // in a chain-less block and defeat attribution.
+    let mut earliest: Option<(u64, Option<InsnUid>, DivergenceKind)> = None;
+
+    // Uids present in the baseline *program* (executed or not). A variant
+    // write from a uid outside this set comes from a pass-inserted helper
+    // (e.g. Compress's two-address `mov` expansion); such a write is not a
+    // divergence in itself — any observable effect it has flows through an
+    // original instruction's write stream, a store sequence, or the final
+    // state, all of which are still compared.
+    let baseline_uids: std::collections::HashSet<InsnUid> = baseline
+        .blocks
+        .iter()
+        .flat_map(|b| b.insns.iter().map(|t| t.uid))
+        .collect();
+
+    // Per-uid register dataflow.
+    let mut uids: Vec<InsnUid> = base
+        .writes_by_uid
+        .keys()
+        .chain(var.writes_by_uid.keys())
+        .copied()
+        .collect();
+    uids.sort();
+    uids.dedup();
+    for uid in uids {
+        let b = base.writes_by_uid.get(&uid);
+        let v = var.writes_by_uid.get(&uid);
+        match (b, v) {
+            (Some(b), None) => {
+                if let Some(&(step, ..)) = b.first() {
+                    consider(&mut earliest, step, Some(uid), DivergenceKind::MissingInsn);
+                }
+            }
+            (None, Some(v)) => {
+                if baseline_uids.contains(&uid) {
+                    if let Some(&(step, ..)) = v.first() {
+                        consider(&mut earliest, step, Some(uid), DivergenceKind::ExtraInsn);
+                    }
+                }
+            }
+            (Some(b), Some(v)) => {
+                for index in 0..b.len().max(v.len()) {
+                    let bw = b.get(index).copied();
+                    let vw = v.get(index).copied();
+                    let strip = |w: Option<(u64, Reg, u32)>| w.map(|(_, r, x)| (r, x));
+                    if strip(bw) != strip(vw) {
+                        let step = [bw, vw]
+                            .into_iter()
+                            .flatten()
+                            .map(|(s, ..)| s)
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        consider(
+                            &mut earliest,
+                            step,
+                            Some(uid),
+                            DivergenceKind::RegisterWrite {
+                                index,
+                                baseline: strip(bw),
+                                variant: strip(vw),
+                            },
+                        );
+                        break; // later writes of this uid are downstream
+                    }
+                }
+            }
+            (None, None) => {}
+        }
+    }
+
+    // Per-address store order and values.
+    let mut addrs: Vec<u64> = base
+        .stores_by_addr
+        .keys()
+        .chain(var.stores_by_addr.keys())
+        .copied()
+        .collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    static EMPTY: Vec<(u64, InsnUid, u32)> = Vec::new();
+    for addr in addrs {
+        let b = base.stores_by_addr.get(&addr).unwrap_or(&EMPTY);
+        let v = var.stores_by_addr.get(&addr).unwrap_or(&EMPTY);
+        for index in 0..b.len().max(v.len()) {
+            let bs = b.get(index).copied();
+            let vs = v.get(index).copied();
+            let strip = |s: Option<(u64, InsnUid, u32)>| s.map(|(_, uid, x)| (uid, x));
+            if strip(bs) != strip(vs) {
+                let step = [bs, vs]
+                    .into_iter()
+                    .flatten()
+                    .map(|(s, ..)| s)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let uid = strip(vs).or(strip(bs)).map(|(uid, _)| uid);
+                consider(
+                    &mut earliest,
+                    step,
+                    uid,
+                    DivergenceKind::StoreSequence {
+                        addr,
+                        index,
+                        baseline: strip(bs),
+                        variant: strip(vs),
+                    },
+                );
+                break; // later stores to this address are downstream
+            }
+        }
+    }
+
+    if let Some((_, uid, kind)) = earliest {
+        return Err(attribute(variant, chains, uid, kind));
+    }
+
+    // Final architectural state.
+    for i in 0..16 {
+        if base.state.regs[i] != var.state.regs[i] {
+            let Some(reg) = Reg::from_index(i as u8) else {
+                continue;
+            };
+            return Err(attribute(
+                variant,
+                chains,
+                None,
+                DivergenceKind::FinalRegister {
+                    reg,
+                    baseline: base.state.regs[i],
+                    variant: var.state.regs[i],
+                },
+            ));
+        }
+    }
+    if base.state.mem != var.state.mem {
+        let mut keys: Vec<u64> = base
+            .state
+            .mem
+            .keys()
+            .chain(var.state.mem.keys())
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for addr in keys {
+            let b = base.state.mem.get(&addr).copied();
+            let v = var.state.mem.get(&addr).copied();
+            if b != v {
+                return Err(attribute(
+                    variant,
+                    chains,
+                    None,
+                    DivergenceKind::FinalMemory {
+                        addr,
+                        baseline: b,
+                        variant: v,
+                    },
+                ));
+            }
+        }
+    }
+
+    Ok(ValidationReport {
+        chains: chains.len(),
+        baseline_steps: base.steps,
+        variant_steps: var.steps,
+    })
+}
+
+/// Runs one program over the path, recording every observable effect.
+fn execute(
+    program: &Program,
+    path: &ExecutionPath,
+    seed: u64,
+) -> Result<Execution, (InsnUid, StepError)> {
+    let trace = Trace::expand(program, path);
+    let mut state = MachineState::seeded(seed);
+    let mut visits: HashMap<InsnUid, u64> = HashMap::new();
+    let mut writes_by_uid: HashMap<InsnUid, Vec<(u64, Reg, u32)>> = HashMap::new();
+    let mut stores_by_addr: BTreeMap<u64, Vec<(u64, InsnUid, u32)>> = BTreeMap::new();
+    let mut steps = 0u64;
+    for e in trace.iter() {
+        let insn = &program.insn(e.at).insn;
+        let visit = visits.entry(e.uid).or_insert(0);
+        let op = insn.op();
+        let io = StepIo {
+            mem_addr: e.mem_addr,
+            load_value: op
+                .is_load()
+                .then(|| seeded_input(seed, u64::from(e.uid.0), *visit)),
+            link_value: op
+                .is_call()
+                .then(|| seeded_input(seed ^ LINK_SALT, u64::from(e.uid.0), *visit)),
+        };
+        *visit += 1;
+        let effect = state.step(insn, &io).map_err(|err| (e.uid, err))?;
+        let at_step = steps;
+        steps += 1;
+        if let Some((reg, value)) = effect.reg_write {
+            writes_by_uid
+                .entry(e.uid)
+                .or_default()
+                .push((at_step, reg, value));
+        }
+        if let Some(w) = effect.mem_write {
+            stores_by_addr
+                .entry(w.addr)
+                .or_default()
+                .push((at_step, e.uid, w.value));
+        }
+    }
+    Ok(Execution {
+        state,
+        writes_by_uid,
+        stores_by_addr,
+        steps,
+    })
+}
+
+/// Static decode-coverage check: in a CDP-mode variant every 16-bit
+/// instruction must sit under a format switch whose cover reaches it, and
+/// no switch may cover a 32-bit instruction.
+///
+/// Variants with no CDP at all (baseline, hoist-only, branch-pair mode) are
+/// exempt: the branch-pair mechanism brackets regions with real branches
+/// and needs no cover accounting.
+fn check_decode_coverage(variant: &Program, chains: &[ChainSpec]) -> Result<(), ValidationError> {
+    let has_cdp = variant
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insns)
+        .any(|t| t.insn.cdp_covered_len().is_some());
+    if !has_cdp {
+        return Ok(());
+    }
+    for block in &variant.blocks {
+        let mut cover = 0usize;
+        for tagged in &block.insns {
+            if let Some(covered) = tagged.insn.cdp_covered_len() {
+                cover = covered;
+                continue;
+            }
+            match tagged.insn.width() {
+                Width::Thumb16 if cover == 0 => {
+                    return Err(attribute(
+                        variant,
+                        chains,
+                        Some(tagged.uid),
+                        DivergenceKind::DecodeGap,
+                    ));
+                }
+                Width::Arm32 if cover > 0 => {
+                    return Err(attribute(
+                        variant,
+                        chains,
+                        Some(tagged.uid),
+                        DivergenceKind::DecodeGap,
+                    ));
+                }
+                _ => cover = cover.saturating_sub(1),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Keeps `best` pointing at the divergence with the smallest step.
+fn consider(
+    best: &mut Option<(u64, Option<InsnUid>, DivergenceKind)>,
+    step: u64,
+    uid: Option<InsnUid>,
+    kind: DivergenceKind,
+) {
+    if best.as_ref().is_none_or(|&(s, ..)| step < s) {
+        *best = Some((step, uid, kind));
+    }
+}
+
+fn internal_error(uid: InsnUid, err: StepError) -> ValidationError {
+    ValidationError {
+        chain: None,
+        uid: Some(uid),
+        kind: DivergenceKind::MissingInsn,
+        internal: Some(err.to_string()),
+    }
+}
+
+/// Names the chain responsible for a divergence at `uid`.
+///
+/// Direct attribution: the uid is a member of a chain. Fallback: the
+/// nearest chain member (by position) in the same variant block — a
+/// divergence observed at an innocent bystander is still almost always
+/// caused by the chain that was rewritten around it.
+fn attribute(
+    variant: &Program,
+    chains: &[ChainSpec],
+    uid: Option<InsnUid>,
+    kind: DivergenceKind,
+) -> ValidationError {
+    let chain = uid.and_then(|uid| attribute_uid(variant, chains, uid));
+    ValidationError {
+        chain,
+        uid,
+        kind,
+        internal: None,
+    }
+}
+
+fn attribute_uid(variant: &Program, chains: &[ChainSpec], uid: InsnUid) -> Option<usize> {
+    if let Some(rank) = chains.iter().position(|c| c.uids.contains(&uid)) {
+        return Some(rank);
+    }
+    // The uid is not a member; find its block and the nearest member.
+    let (block, position) = variant
+        .blocks
+        .iter()
+        .find_map(|b| b.position_of(uid).map(|p| (b.id, p)))?;
+    let mut best: Option<(usize, usize)> = None; // (distance, rank)
+    for (rank, chain) in chains.iter().enumerate() {
+        if chain.block != block {
+            continue;
+        }
+        let block_ref = variant.block(block);
+        for &member in &chain.uids {
+            let Some(p) = block_ref.position_of(member) else {
+                continue;
+            };
+            let distance = p.abs_diff(position);
+            if best.is_none_or(|(d, _)| distance < d) {
+                best = Some((distance, rank));
+            }
+        }
+    }
+    best.map(|(_, rank)| rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    use critic_profiler::{Profiler, ProfilerConfig};
+    use critic_workloads::suite::Suite;
+    use critic_workloads::{inject_variant, BlockId, Fault};
+
+    use super::*;
+    use crate::critic_pass::{apply_critic_pass, CriticPassOptions};
+
+    fn setup(len: usize) -> (Program, ExecutionPath, Trace, critic_profiler::Profile) {
+        setup_app(0, len)
+    }
+
+    fn setup_app(
+        app_index: usize,
+        len: usize,
+    ) -> (Program, ExecutionPath, Trace, critic_profiler::Profile) {
+        let mut app = Suite::Mobile.apps()[app_index].clone();
+        app.params.num_functions = 40;
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, 21, len);
+        let trace = Trace::expand(&program, &path);
+        let profile = Profiler::new(ProfilerConfig::default()).build_profile(&program, &trace);
+        (program, path, trace, profile)
+    }
+
+    #[test]
+    fn clean_critic_variant_validates() {
+        let (program, path, _, profile) = setup(20_000);
+        let mut variant = program.clone();
+        let report = apply_critic_pass(&mut variant, &profile, CriticPassOptions::default());
+        assert!(report.chains_applied > 0);
+        let vr = validate_transform(&program, &variant, &path, &profile.chains, 7)
+            .expect("legal transform must validate");
+        assert_eq!(vr.chains, profile.chains.len());
+        assert!(vr.baseline_steps > 0);
+        // Hoisting neither adds nor removes executed original instructions;
+        // CDP switches add fetches.
+        assert!(vr.variant_steps >= vr.baseline_steps);
+    }
+
+    #[test]
+    fn all_pass_modes_validate_clean() {
+        let (program, path, trace, profile) = setup(15_000);
+        let modes = [
+            ("critic", CriticPassOptions::default(), profile.clone()),
+            ("hoist", CriticPassOptions::hoist_only(), profile.clone()),
+            (
+                "branch-pair",
+                CriticPassOptions::branch_switch(),
+                profile.clone(),
+            ),
+            (
+                "ideal",
+                CriticPassOptions::ideal(),
+                Profiler::new(ProfilerConfig::ideal()).build_profile(&program, &trace),
+            ),
+        ];
+        for (name, opts, prof) in modes {
+            let mut variant = program.clone();
+            apply_critic_pass(&mut variant, &prof, opts);
+            validate_transform(&program, &variant, &path, &prof.chains, 7)
+                .unwrap_or_else(|e| panic!("{name} variant failed validation: {e}"));
+        }
+    }
+
+    #[test]
+    fn opp16_and_compress_validate_without_chains() {
+        let (program, path, _, _) = setup(15_000);
+        let mut opp = program.clone();
+        crate::apply_opp16(&mut opp, 3);
+        validate_transform(&program, &opp, &path, &[], 7).expect("opp16 must validate");
+        let mut comp = program.clone();
+        crate::apply_compress(&mut comp);
+        validate_transform(&program, &comp, &path, &[], 7).expect("compress must validate");
+    }
+
+    #[test]
+    fn validation_is_deterministic_in_the_seed() {
+        let (program, path, _, profile) = setup(10_000);
+        let mut variant = program.clone();
+        apply_critic_pass(&mut variant, &profile, CriticPassOptions::default());
+        let a = validate_transform(&program, &variant, &path, &profile.chains, 11).unwrap();
+        let b = validate_transform(&program, &variant, &path, &profile.chains, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_miscompile_fault_is_caught_and_attributed() {
+        // Youtube: its converted chains include immediate-form members, so
+        // every miscompile kind (including WrongThumbImmediate) has a site.
+        let (program, path, _, profile) = setup_app(9, 20_000);
+        let executed: HashSet<BlockId> = path.blocks.iter().copied().collect();
+        for (i, fault) in Fault::MISCOMPILES.iter().copied().enumerate() {
+            let mut variant = program.clone();
+            let report = apply_critic_pass(&mut variant, &profile, CriticPassOptions::default());
+            assert!(report.chains_applied > 0);
+            // Sanity: the un-faulted variant validates.
+            validate_transform(&program, &variant, &path, &profile.chains, 7)
+                .expect("clean variant validates");
+            inject_variant(&mut variant, fault, 100 + i as u64, &executed)
+                .expect("miscompile site exists in a transformed Mobile app");
+            let err = validate_transform(&program, &variant, &path, &profile.chains, 7)
+                .expect_err(&format!("miscompile {fault} escaped the oracle"));
+            assert!(
+                err.chain.is_some(),
+                "miscompile {fault} not attributed to a chain: {err}"
+            );
+            assert!(err.chain.unwrap() < profile.chains.len());
+            assert!(
+                err.internal.is_none(),
+                "{fault} tripped an internal error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_names_chain_uid_and_divergence() {
+        let err = ValidationError {
+            chain: Some(3),
+            uid: Some(InsnUid(42)),
+            kind: DivergenceKind::RegisterWrite {
+                index: 0,
+                baseline: Some((Reg::R1, 7)),
+                variant: Some((Reg::R2, 7)),
+            },
+            internal: None,
+        };
+        let text = err.to_string();
+        assert!(text.contains("chain #3"), "{text}");
+        assert!(text.contains("42"), "{text}");
+        assert!(text.contains("register write #0"), "{text}");
+    }
+
+    #[test]
+    fn identical_programs_always_validate() {
+        let (program, path, _, profile) = setup(5_000);
+        let report = validate_transform(&program, &program, &path, &profile.chains, 3).unwrap();
+        assert_eq!(report.baseline_steps, report.variant_steps);
+    }
+}

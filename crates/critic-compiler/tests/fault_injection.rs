@@ -46,7 +46,10 @@ fn critic_pass_survives_every_program_fault() {
         } else {
             // Structurally sound corruption (e.g. a truncated block) must
             // not panic; stale chains are skipped, not applied blindly.
-            assert!(result.is_ok(), "fault {fault} should be tolerated: {result:?}");
+            assert!(
+                result.is_ok(),
+                "fault {fault} should be tolerated: {result:?}"
+            );
         }
     }
 }
@@ -66,8 +69,14 @@ fn opp16_and_compress_reject_invalid_programs() {
         let opp = try_apply_opp16(&mut for_opp16, critic_compiler::opp16::OPP16_MIN_RUN);
         let cmp = try_apply_compress(&mut for_compress);
         if statically_invalid {
-            assert!(matches!(opp, Err(PassError::InvalidProgram(_))), "opp16 vs {fault}: {opp:?}");
-            assert!(matches!(cmp, Err(PassError::InvalidProgram(_))), "compress vs {fault}: {cmp:?}");
+            assert!(
+                matches!(opp, Err(PassError::InvalidProgram(_))),
+                "opp16 vs {fault}: {opp:?}"
+            );
+            assert!(
+                matches!(cmp, Err(PassError::InvalidProgram(_))),
+                "compress vs {fault}: {cmp:?}"
+            );
         } else {
             assert!(opp.is_ok(), "opp16 vs {fault}: {opp:?}");
             assert!(cmp.is_ok(), "compress vs {fault}: {cmp:?}");
@@ -95,7 +104,11 @@ fn foreign_profile_block_is_a_typed_error() {
     let err = try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())
         .expect_err("out-of-range block must be rejected");
     match err {
-        PassError::ChainBlockOutOfRange { chain, block, num_blocks } => {
+        PassError::ChainBlockOutOfRange {
+            chain,
+            block,
+            num_blocks,
+        } => {
             assert_eq!(chain, 0);
             assert_eq!(block, bogus);
             assert_eq!(num_blocks, program.blocks.len());
@@ -116,7 +129,10 @@ fn empty_chain_is_a_typed_error() {
     });
     let err = try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())
         .expect_err("empty chain must be rejected");
-    assert!(matches!(err, PassError::EmptyChain { .. }), "wrong error: {err}");
+    assert!(
+        matches!(err, PassError::EmptyChain { .. }),
+        "wrong error: {err}"
+    );
 }
 
 /// Chains whose uids simply do not exist (as opposed to a bad block id) are
@@ -158,8 +174,12 @@ fn rejected_pass_leaves_program_untouched() {
 
 #[test]
 fn errors_render_useful_messages() {
-    let msg = PassError::ChainBlockOutOfRange { chain: 3, block: BlockId(99), num_blocks: 40 }
-        .to_string();
+    let msg = PassError::ChainBlockOutOfRange {
+        chain: 3,
+        block: BlockId(99),
+        num_blocks: 40,
+    }
+    .to_string();
     assert!(msg.contains("chain #3"), "{msg}");
     assert!(msg.contains("40 blocks"), "{msg}");
     let msg = PassError::EmptyChain { chain: 7 }.to_string();

@@ -1,0 +1,188 @@
+//! Property test: `hoist_is_legal` is *sound* for the chain shape the
+//! CritIC pass hoists (register-writing ALU chains, the paper's CritICs).
+//!
+//! For random straight-line blocks and random candidate chains, whenever
+//! the legality predicate approves a hoist, performing the pass's exact
+//! reordering (members pulled into a contiguous run at the first member's
+//! position, everything else keeping relative order) must preserve the
+//! architectural result: same final registers, flags, and memory under the
+//! `critic-isa` interpreter. In particular the pass can never move an
+//! instruction across a redefinition of one of its source registers — the
+//! interpreter would observe the stale/overwritten value and the final
+//! state would diverge.
+//!
+//! The predicate is deliberately conservative, so no claim is made for
+//! rejected chains; the property is one-sided.
+
+use critic_compiler::hoist_is_legal;
+use critic_isa::{seeded_input, Cond, Insn, MachineState, Opcode, Reg, StepIo};
+use critic_workloads::{InsnUid, TaggedInsn};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// Low registers the generator draws operands from.
+const REGS: [Reg; 6] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+
+fn reg(rng: &mut TestRng) -> Reg {
+    REGS[rng.next_u64() as usize % REGS.len()]
+}
+
+/// One random straight-line instruction. The mix intentionally includes
+/// the hazards the legality predicate must respect: plain ALU ops,
+/// immediates, compares (flag writers), predicated ALU ops (flag
+/// readers), loads, and stores.
+fn random_insn(rng: &mut TestRng) -> Insn {
+    const ALU: [Opcode; 5] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Orr,
+        Opcode::And,
+        Opcode::Eor,
+    ];
+    match rng.next_u64() % 100 {
+        0..=44 => {
+            let op = ALU[rng.next_u64() as usize % ALU.len()];
+            Insn::alu(op, reg(rng), &[reg(rng), reg(rng)])
+        }
+        45..=54 => Insn::alu_imm(
+            Opcode::Add,
+            reg(rng),
+            reg(rng),
+            (rng.next_u64() % 32) as i32,
+        ),
+        55..=64 => Insn::mov_imm(reg(rng), (rng.next_u64() % 128) as i32),
+        65..=74 => Insn::compare(Opcode::Cmp, reg(rng), reg(rng)),
+        75..=84 => {
+            let op = ALU[rng.next_u64() as usize % ALU.len()];
+            let cond = if rng.next_u64().is_multiple_of(2) {
+                Cond::Eq
+            } else {
+                Cond::Ne
+            };
+            Insn::alu(op, reg(rng), &[reg(rng), reg(rng)]).with_cond(cond)
+        }
+        85..=92 => Insn::load(
+            Opcode::Ldr,
+            reg(rng),
+            reg(rng),
+            (rng.next_u64() % 16) as i32 * 4,
+        ),
+        _ => Insn::store(
+            Opcode::Str,
+            reg(rng),
+            reg(rng),
+            (rng.next_u64() % 16) as i32 * 4,
+        ),
+    }
+}
+
+/// Whether an instruction has the shape of a CritIC chain member: writes a
+/// register, touches no memory, writes no flags. (The profiler's chains
+/// are ALU dataflow chains; loads, stores, and compares never join one.)
+fn chain_member_shape(insn: &Insn) -> bool {
+    insn.dst().is_some() && !insn.op().is_mem() && !insn.op().is_branch()
+}
+
+/// Executes a straight-line sequence on the interpreter. Each element
+/// carries the uid it had in the *original* order so a hoisted load keeps
+/// its seeded input value — the value models "what the address held",
+/// which moving the instruction must not change.
+fn execute(seq: &[(Insn, u64)], seed: u64) -> MachineState {
+    let mut state = MachineState::seeded(seed);
+    for &(insn, uid) in seq {
+        let op = insn.op();
+        let mem_addr = op.is_mem().then(|| {
+            // Address = base + offset, derived from live register state so
+            // both orders compute it the same way for unmoved dataflow.
+            let base_slot = if op.is_store() { 1 } else { 0 };
+            let base = insn
+                .srcs()
+                .get(base_slot)
+                .map_or(0, |r| state.regs[r.index() as usize]);
+            u64::from(base.wrapping_add(insn.imm().unwrap_or(0) as u32)) & 0xFFFF
+        });
+        let io = StepIo {
+            mem_addr,
+            load_value: op.is_load().then(|| seeded_input(seed, uid, 0)),
+            link_value: None,
+        };
+        state
+            .step(&insn, &io)
+            .expect("straight-line step cannot fail");
+    }
+    state
+}
+
+/// The pass's hoist, verbatim: remove the members back to front, reinsert
+/// them contiguously at the first member's position.
+fn hoist(seq: &[(Insn, u64)], positions: &[usize]) -> Vec<(Insn, u64)> {
+    let mut out: Vec<(Insn, u64)> = seq.to_vec();
+    let members: Vec<(Insn, u64)> = positions.iter().map(|&p| seq[p]).collect();
+    for &p in positions.iter().rev() {
+        out.remove(p);
+    }
+    let first = positions[0];
+    for (k, member) in members.iter().enumerate() {
+        out.insert(first + k, *member);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A legal hoist never changes the architectural result.
+    #[test]
+    fn legal_hoists_preserve_the_interpreted_state(seed: u64) {
+        let mut rng = TestRng::new(seed);
+        let len = 6 + (rng.next_u64() % 10) as usize;
+        let seq: Vec<(Insn, u64)> =
+            (0..len).map(|i| (random_insn(&mut rng), i as u64)).collect();
+
+        // Candidate chain: 2-4 member-shaped instructions, in order.
+        let candidates: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, (insn, _))| chain_member_shape(insn))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(candidates.len() >= 2);
+        let want = 2 + (rng.next_u64() % 3) as usize;
+        let mut positions: Vec<usize> = Vec::new();
+        let mut pool = candidates;
+        while positions.len() < want && !pool.is_empty() {
+            positions.push(pool.remove(rng.next_u64() as usize % pool.len()));
+        }
+        positions.sort_unstable();
+
+        let tagged: Vec<TaggedInsn> = seq
+            .iter()
+            .map(|&(insn, uid)| TaggedInsn::new(insn, InsnUid(uid as u32)))
+            .collect();
+        prop_assume!(hoist_is_legal(&tagged, &positions));
+
+        let hoisted = hoist(&seq, &positions);
+        let input_seed = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let before = execute(&seq, input_seed);
+        let after = execute(&hoisted, input_seed);
+        prop_assert_eq!(before.regs, after.regs, "final registers diverge");
+        prop_assert_eq!(before.flags, after.flags, "final flags diverge");
+        prop_assert_eq!(before.mem, after.mem, "final memory diverges");
+    }
+
+    /// The specific defect the predicate exists to prevent: an interloper
+    /// that redefines a chain member's source register is always rejected.
+    /// (`positions` hoisting `mov r0, #1; add r2, r0, r0` over `mov r0,
+    /// #2` would make the add read the wrong generation of r0.)
+    #[test]
+    fn redefinition_of_a_member_source_is_always_illegal(imm in 0i32..64) {
+        let seq = [
+            Insn::mov_imm(Reg::R0, 1),
+            Insn::mov_imm(Reg::R0, imm),
+            Insn::alu(Opcode::Add, Reg::R2, &[Reg::R0, Reg::R0]),
+        ];
+        let tagged: Vec<TaggedInsn> =
+            seq.iter().enumerate().map(|(i, &insn)| TaggedInsn::new(insn, InsnUid(i as u32))).collect();
+        prop_assert!(!hoist_is_legal(&tagged, &[0, 2]));
+    }
+}

@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
 use crate::error::RunError;
-use crate::runner::Workbench;
+use crate::runner::{ValidationStats, Workbench};
 
 /// One named software/hardware configuration of the campaign grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,7 +44,10 @@ pub struct Scheme {
 impl Scheme {
     /// Convenience constructor.
     pub fn new(name: &str, point: DesignPoint) -> Scheme {
-        Scheme { name: name.to_string(), point }
+        Scheme {
+            name: name.to_string(),
+            point,
+        }
     }
 }
 
@@ -85,6 +88,11 @@ pub struct CampaignSpec {
     /// timed-out, and panicked cells are retried (their newest record
     /// supersedes the journaled one in the summary).
     pub resume: bool,
+    /// Run every scheme cell through the translation-validation oracle
+    /// ([`Workbench::try_run_validated`]): miscompiled chains are demoted
+    /// and counted in the cell's [`ValidationStats`]; divergences that
+    /// survive demotion fail the cell with [`RunError::Validation`].
+    pub validate: bool,
 }
 
 impl CampaignSpec {
@@ -101,6 +109,7 @@ impl CampaignSpec {
             faults: Vec::new(),
             journal: None,
             resume: false,
+            validate: false,
         }
     }
 }
@@ -154,6 +163,11 @@ pub struct CellRecord {
     pub metrics: Option<CellMetrics>,
     /// The final attempt's error, when `status != Ok`.
     pub error: Option<RunError>,
+    /// Per-cell translation-validation stats, when the campaign ran with
+    /// [`CampaignSpec::validate`]. Absent in journals written before
+    /// validation existed (and when validation is off), so old journals
+    /// still resume.
+    pub validation: Option<ValidationStats>,
 }
 
 impl CellRecord {
@@ -175,12 +189,25 @@ pub struct CampaignSummary {
 impl CampaignSummary {
     /// Cells that did not finish with [`CellStatus::Ok`].
     pub fn failed(&self) -> Vec<&CellRecord> {
-        self.records.iter().filter(|r| r.status != CellStatus::Ok).collect()
+        self.records
+            .iter()
+            .filter(|r| r.status != CellStatus::Ok)
+            .collect()
     }
 
     /// Whether every cell succeeded.
     pub fn all_ok(&self) -> bool {
         self.records.iter().all(|r| r.status == CellStatus::Ok)
+    }
+
+    /// Cells whose final error was a translation-validation failure — a
+    /// divergence the demotion loop could not attribute or resolve. The
+    /// CLI maps a non-empty result to its dedicated exit code.
+    pub fn validation_failures(&self) -> Vec<&CellRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.error, Some(RunError::Validation(_))))
+            .collect()
     }
 
     /// Human-readable report: one line per cell plus a failure roll-up.
@@ -193,21 +220,35 @@ impl CampaignSummary {
                 CellStatus::TimedOut => "TIMEOUT",
                 CellStatus::Panicked => "PANICKED",
             };
+            let validation = match &r.validation {
+                Some(v) if v.chains_demoted > 0 => {
+                    format!(
+                        "  [validated: {}/{} chains demoted]",
+                        v.chains_demoted, v.chains_checked
+                    )
+                }
+                Some(v) => format!("  [validated: {} chains]", v.chains_checked),
+                None => String::new(),
+            };
             match (&r.metrics, &r.error) {
                 (Some(m), _) => out.push_str(&format!(
-                    "  {:12} {:14} {:8} speedup {:+.2}%  thumb {:4.1}%  ({} ms{})\n",
+                    "  {:12} {:14} {:8} speedup {:+.2}%  thumb {:4.1}%  ({} ms{}){}\n",
                     r.app,
                     r.scheme,
                     tag,
                     (m.speedup - 1.0) * 100.0,
                     m.thumb_dyn_frac * 100.0,
                     r.millis,
-                    if r.attempts > 1 { format!(", {} attempts", r.attempts) } else { String::new() },
+                    if r.attempts > 1 {
+                        format!(", {} attempts", r.attempts)
+                    } else {
+                        String::new()
+                    },
+                    validation,
                 )),
-                (None, Some(e)) => out.push_str(&format!(
-                    "  {:12} {:14} {:8} {}\n",
-                    r.app, r.scheme, tag, e
-                )),
+                (None, Some(e)) => {
+                    out.push_str(&format!("  {:12} {:14} {:8} {}\n", r.app, r.scheme, tag, e))
+                }
                 (None, None) => {
                     out.push_str(&format!("  {:12} {:14} {:8}\n", r.app, r.scheme, tag))
                 }
@@ -215,7 +256,10 @@ impl CampaignSummary {
         }
         let failed = self.failed();
         if failed.is_empty() {
-            out.push_str(&format!("campaign complete: all {} cells ok", self.records.len()));
+            out.push_str(&format!(
+                "campaign complete: all {} cells ok",
+                self.records.len()
+            ));
         } else {
             out.push_str(&format!(
                 "campaign complete: {}/{} cells FAILED:",
@@ -248,8 +292,14 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
     // A planned fault that matches no grid cell is a spec typo: the
     // campaign would run clean while the caller believes it injected.
     for fault in &spec.faults {
-        let matches_cell = spec.apps.iter().any(|a| fault.app.eq_ignore_ascii_case(&a.name))
-            && spec.schemes.iter().any(|s| fault.scheme.eq_ignore_ascii_case(&s.name));
+        let matches_cell = spec
+            .apps
+            .iter()
+            .any(|a| fault.app.eq_ignore_ascii_case(&a.name))
+            && spec
+                .schemes
+                .iter()
+                .any(|s| fault.scheme.eq_ignore_ascii_case(&s.name));
         if !matches_cell {
             return Err(RunError::Inject(format!(
                 "planned fault targets no cell in the grid: `{}:{}`",
@@ -261,7 +311,11 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
     let grid: BTreeSet<(String, String)> = spec
         .apps
         .iter()
-        .flat_map(|a| spec.schemes.iter().map(move |s| (a.name.clone(), s.name.clone())))
+        .flat_map(|a| {
+            spec.schemes
+                .iter()
+                .map(move |s| (a.name.clone(), s.name.clone()))
+        })
         .collect();
 
     // Replay the journal. Only cells journaled Ok count as finished work:
@@ -294,8 +348,10 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
             }
         }
     }
-    let resumed_records: Vec<CellRecord> =
-        replayed.into_values().filter(|r| r.status == CellStatus::Ok).collect();
+    let resumed_records: Vec<CellRecord> = replayed
+        .into_values()
+        .filter(|r| r.status == CellStatus::Ok)
+        .collect();
     let done: BTreeSet<(String, String)> = resumed_records.iter().map(CellRecord::key).collect();
 
     let journal: Option<Mutex<File>> = match &spec.journal {
@@ -323,14 +379,20 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
                         && f.scheme.eq_ignore_ascii_case(&scheme.name)
                 })
                 .map(|f| (f.fault, f.seed));
-            cells.push_back(Cell { app: app.clone(), scheme: scheme.clone(), fault });
+            cells.push_back(Cell {
+                app: app.clone(),
+                scheme: scheme.clone(),
+                fault,
+            });
         }
     }
 
     let workers = if spec.workers > 0 {
         spec.workers
     } else {
-        thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
     .min(cells.len().max(1));
 
@@ -343,11 +405,15 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
                     let record = run_cell(&cell, spec);
                     if let Some(journal) = &journal {
                         if let Ok(mut file) = journal.lock() {
-                            // Journal full lines only; flush so a kill -9
-                            // loses at most the cell in flight.
+                            // Journal full lines only; flush + fsync so a
+                            // kill -9 (or power loss) loses at most the
+                            // cell in flight, never an already-reported
+                            // one. Resume tolerates the torn tail such a
+                            // kill can still leave.
                             if let Ok(line) = serde_json::to_string(&record) {
                                 let _ = writeln!(file, "{line}");
                                 let _ = file.flush();
+                                let _ = file.sync_all();
                             }
                         }
                     }
@@ -366,9 +432,18 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
     let order: Vec<(String, String)> = spec
         .apps
         .iter()
-        .flat_map(|a| spec.schemes.iter().map(move |s| (a.name.clone(), s.name.clone())))
+        .flat_map(|a| {
+            spec.schemes
+                .iter()
+                .map(move |s| (a.name.clone(), s.name.clone()))
+        })
         .collect();
-    records.sort_by_key(|r| order.iter().position(|k| *k == r.key()).unwrap_or(usize::MAX));
+    records.sort_by_key(|r| {
+        order
+            .iter()
+            .position(|k| *k == r.key())
+            .unwrap_or(usize::MAX)
+    });
     Ok(CampaignSummary { records, resumed })
 }
 
@@ -379,11 +454,11 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
     loop {
         attempt += 1;
         let started = Instant::now();
-        let result = run_attempt(cell, spec.trace_len, spec.deadline);
+        let result = run_attempt(cell, spec.trace_len, spec.validate, spec.deadline);
         let millis = started.elapsed().as_millis() as u64;
         let fault = cell.fault.map(|(f, _)| f);
         match result {
-            Ok(metrics) => {
+            Ok((metrics, validation)) => {
                 return CellRecord {
                     app: cell.app.name.clone(),
                     scheme: cell.scheme.name.clone(),
@@ -393,6 +468,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
                     fault,
                     metrics: Some(metrics),
                     error: None,
+                    validation,
                 };
             }
             Err(error) if attempt >= attempts_allowed => {
@@ -410,6 +486,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
                     fault,
                     metrics: None,
                     error: Some(error),
+                    validation: None,
                 };
             }
             Err(_) => continue,
@@ -428,8 +505,9 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
 fn run_attempt(
     cell: &Cell,
     trace_len: usize,
+    validate: bool,
     deadline: Option<Duration>,
-) -> Result<CellMetrics, RunError> {
+) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     match deadline {
         Some(deadline) => {
             let (tx, rx) = mpsc::channel();
@@ -437,25 +515,34 @@ fn run_attempt(
             let flag = Arc::clone(&cancel);
             let cell = cell.clone();
             thread::spawn(move || {
-                let _ = tx.send(run_isolated(&cell, trace_len, &flag));
+                let _ = tx.send(run_isolated(&cell, trace_len, validate, &flag));
             });
             match rx.recv_timeout(deadline) {
                 Ok(result) => result,
                 Err(_) => {
                     cancel.store(true, Ordering::Relaxed);
-                    Err(RunError::DeadlineExceeded { millis: deadline.as_millis() as u64 })
+                    Err(RunError::DeadlineExceeded {
+                        millis: deadline.as_millis() as u64,
+                    })
                 }
             }
         }
-        None => run_isolated(cell, trace_len, &AtomicBool::new(false)),
+        None => run_isolated(cell, trace_len, validate, &AtomicBool::new(false)),
     }
 }
 
 /// The panic isolation boundary: a panic anywhere below becomes
 /// [`RunError::Panic`].
-fn run_isolated(cell: &Cell, trace_len: usize, cancel: &AtomicBool) -> Result<CellMetrics, RunError> {
-    catch_unwind(AssertUnwindSafe(|| run_cell_body(cell, trace_len, cancel)))
-        .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
+fn run_isolated(
+    cell: &Cell,
+    trace_len: usize,
+    validate: bool,
+    cancel: &AtomicBool,
+) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_cell_body(cell, trace_len, validate, cancel)
+    }))
+    .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
 }
 
 /// Returns early with [`RunError::Cancelled`] once the attempt has been
@@ -474,8 +561,9 @@ fn checkpoint(cancel: &AtomicBool) -> Result<(), RunError> {
 fn run_cell_body(
     cell: &Cell,
     trace_len: usize,
+    validate: bool,
     cancel: &AtomicBool,
-) -> Result<CellMetrics, RunError> {
+) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     let app = &cell.app;
     let mut program = app.generate_program();
     if let Some((fault, seed)) = cell.fault {
@@ -497,16 +585,33 @@ fn run_cell_body(
     }
     checkpoint(cancel)?;
     let mut bench = Workbench::try_assemble(app, program, path, trace)?;
+    if let Some((fault, seed)) = cell.fault {
+        // Miscompile faults corrupt the *rewritten* variant, so they are
+        // armed on the workbench: the baseline design point is never
+        // injected (the oracle needs an honest reference), only the
+        // scheme's variant is.
+        if fault.target() == FaultTarget::Variant {
+            bench.set_variant_fault(fault, seed);
+        }
+    }
     checkpoint(cancel)?;
     let base = bench.try_run(&DesignPoint::baseline())?;
     checkpoint(cancel)?;
-    let outcome = bench.try_run(&cell.scheme.point)?;
-    Ok(CellMetrics {
-        speedup: outcome.sim.speedup_over(&base.sim),
-        cpu_energy_saving: outcome.energy.cpu_saving(&base.energy),
-        thumb_dyn_frac: outcome.thumb_dyn_frac,
-        dyn_insns: outcome.dyn_insns,
-    })
+    let (outcome, validation) = if validate {
+        let (outcome, stats) = bench.try_run_validated(&cell.scheme.point, app.path_seed())?;
+        (outcome, Some(stats))
+    } else {
+        (bench.try_run(&cell.scheme.point)?, None)
+    };
+    Ok((
+        CellMetrics {
+            speedup: outcome.sim.speedup_over(&base.sim),
+            cpu_energy_saving: outcome.energy.cpu_saving(&base.energy),
+            thumb_dyn_frac: outcome.thumb_dyn_frac,
+            dyn_insns: outcome.dyn_insns,
+        },
+        validation,
+    ))
 }
 
 /// Runs `f` behind the campaign's panic isolation boundary — the building
@@ -611,7 +716,10 @@ mod tests {
             .expect_err("panic must be trapped");
         match err {
             RunError::Panic(msg) => {
-                assert!(msg.contains("boom") && msg.contains("injected panic"), "{msg}");
+                assert!(
+                    msg.contains("boom") && msg.contains("injected panic"),
+                    "{msg}"
+                );
             }
             other => panic!("wrong error: {other}"),
         }
@@ -628,7 +736,10 @@ mod tests {
         let summary = run_campaign(&spec).expect("campaign runs");
         assert_eq!(summary.records.len(), 1);
         assert_eq!(summary.records[0].status, CellStatus::TimedOut);
-        assert!(matches!(summary.records[0].error, Some(RunError::DeadlineExceeded { .. })));
+        assert!(matches!(
+            summary.records[0].error,
+            Some(RunError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]
@@ -669,7 +780,10 @@ mod tests {
 
         // Simulate a kill mid-write: append a torn line.
         {
-            let mut f = OpenOptions::new().append(true).open(&journal).expect("journal opens");
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(&journal)
+                .expect("journal opens");
             write!(f, "{{\"app\":\"torn").expect("append");
         }
 
@@ -738,6 +852,104 @@ mod tests {
     }
 
     #[test]
+    fn validated_campaign_demotes_miscompiled_cell_and_journals_stats() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.validate = true;
+        let victim = spec.apps[0].name.clone();
+        spec.faults.push(PlannedFault {
+            app: victim.clone(),
+            scheme: "critic".into(),
+            fault: Fault::ClobberedDestination,
+            seed: 33,
+        });
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(
+            summary.all_ok(),
+            "demotion keeps the faulted cell alive: {}",
+            summary.render()
+        );
+        assert!(summary.validation_failures().is_empty());
+        for r in &summary.records {
+            let stats = r.validation.expect("validated cells journal stats");
+            assert!(stats.chains_checked > 0, "{}: no chains checked", r.app);
+            assert_eq!(stats.failed, 0);
+            if r.app == victim {
+                assert!(
+                    stats.chains_demoted >= 1,
+                    "miscompile must demote: {}",
+                    summary.render()
+                );
+            } else {
+                assert_eq!(stats.chains_demoted, 0, "clean cell must not demote");
+            }
+        }
+        let text = summary.render();
+        assert!(text.contains("chains demoted"), "{text}");
+    }
+
+    #[test]
+    fn unvalidated_campaign_swallows_the_same_miscompile() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.faults.push(PlannedFault {
+            app: spec.apps[0].name.clone(),
+            scheme: "critic".into(),
+            fault: Fault::ClobberedDestination,
+            seed: 33,
+        });
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+        assert!(
+            summary.records[0].validation.is_none(),
+            "no oracle, no stats"
+        );
+    }
+
+    #[test]
+    fn journal_lines_without_validation_field_still_resume() {
+        // A journal written before translation validation existed has no
+        // `validation` key; resume must replay it as `validation: None`
+        // rather than rejecting the whole line (which would silently rerun
+        // finished work).
+        let dir = std::env::temp_dir().join("critic_campaign_compat_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let apps = tiny_apps(1);
+        let line = format!(
+            "{{\"app\":{:?},\"scheme\":\"critic\",\"status\":\"Ok\",\"attempts\":1,\
+             \"millis\":5,\"fault\":null,\"metrics\":{{\"speedup\":1.1,\
+             \"cpu_energy_saving\":0.2,\"thumb_dyn_frac\":0.5,\"dyn_insns\":8000}},\
+             \"error\":null}}",
+            apps[0].name
+        );
+        std::fs::write(&journal, format!("{line}\n")).expect("journal writes");
+
+        let mut spec = CampaignSpec::new(
+            apps,
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.journal = Some(journal.clone());
+        spec.resume = true;
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert_eq!(
+            summary.resumed,
+            1,
+            "pre-validation record replays: {}",
+            summary.render()
+        );
+        assert_eq!(summary.records[0].validation, None);
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
     fn summary_render_names_failed_cells() {
         let summary = CampaignSummary {
             records: vec![CellRecord {
@@ -749,6 +961,7 @@ mod tests {
                 fault: Some(Fault::ScrambleBlock),
                 metrics: None,
                 error: Some(RunError::Panic("index out of bounds".into())),
+                validation: None,
             }],
             resumed: 0,
         };

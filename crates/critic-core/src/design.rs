@@ -29,7 +29,7 @@ pub enum Software {
     CritIcIdeal,
     /// Opportunistic conversion of every convertible run ≥ 3 (Sec. V).
     Opp16,
-    /// Fine-Grained Thumb Conversion [78] (Sec. V's `Compress`).
+    /// Fine-Grained Thumb Conversion \[78\] (Sec. V's `Compress`).
     Compress,
     /// CritIC first, then OPP16 over the rest (Sec. V's best scheme).
     Opp16PlusCritIc,
@@ -41,7 +41,11 @@ impl Software {
         match self {
             Software::Baseline => "Base".into(),
             Software::Hoist => "Hoist".into(),
-            Software::CritIc { profile_fraction, max_len, exact_len } => {
+            Software::CritIc {
+                profile_fraction,
+                max_len,
+                exact_len,
+            } => {
                 let mut s = String::from("CritIC");
                 if *exact_len {
                     s.push_str(&format!("(n={})", max_len.unwrap_or(0)));
@@ -63,7 +67,11 @@ impl Software {
 
     /// The paper's headline CritIC configuration.
     pub fn critic_default() -> Software {
-        Software::CritIc { profile_fraction: 0.72, max_len: Some(5), exact_len: false }
+        Software::CritIc {
+            profile_fraction: 0.72,
+            max_len: Some(5),
+            exact_len: false,
+        }
     }
 }
 
@@ -105,14 +113,20 @@ impl DesignPoint {
         DesignPoint::plain(Software::Baseline)
     }
 
-    /// Fig. 1a critical-load prefetching (HPCA'09 [18]).
+    /// Fig. 1a critical-load prefetching (HPCA'09 \[18\]).
     pub fn critical_load_prefetch() -> DesignPoint {
-        DesignPoint { clpt: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            clpt: true,
+            ..DesignPoint::baseline()
+        }
     }
 
-    /// Fig. 1a critical-instruction ALU prioritization ([32], [33]).
+    /// Fig. 1a critical-instruction ALU prioritization (\[32\], \[33\]).
     pub fn critical_prioritization() -> DesignPoint {
-        DesignPoint { prioritize: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            prioritize: true,
+            ..DesignPoint::baseline()
+        }
     }
 
     /// Fig. 10 `Hoist`.
@@ -137,22 +151,34 @@ impl DesignPoint {
 
     /// Fig. 11 `2×FD`.
     pub fn double_fd() -> DesignPoint {
-        DesignPoint { double_fd: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            double_fd: true,
+            ..DesignPoint::baseline()
+        }
     }
 
     /// Fig. 11 `4×i-cache`.
     pub fn quad_icache() -> DesignPoint {
-        DesignPoint { quad_icache: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            quad_icache: true,
+            ..DesignPoint::baseline()
+        }
     }
 
     /// Fig. 11 `EFetch`.
     pub fn efetch() -> DesignPoint {
-        DesignPoint { efetch: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            efetch: true,
+            ..DesignPoint::baseline()
+        }
     }
 
     /// Fig. 11 `PerfectBr`.
     pub fn perfect_branch() -> DesignPoint {
-        DesignPoint { perfect_branch: true, ..DesignPoint::baseline() }
+        DesignPoint {
+            perfect_branch: true,
+            ..DesignPoint::baseline()
+        }
     }
 
     /// Fig. 11 `BackendPrio` (same mechanism as Fig. 1a prioritization).
@@ -286,10 +312,19 @@ mod tests {
     fn labels_are_meaningful() {
         assert_eq!(DesignPoint::baseline().label(), "Base");
         assert_eq!(DesignPoint::critic().label(), "CritIC");
-        assert_eq!(DesignPoint::all_hw().label(), "BackendPrio+4xICache+EFetch+PerfectBr");
-        assert!(DesignPoint::all_hw().with_critic().label().contains("CritIC"));
+        assert_eq!(
+            DesignPoint::all_hw().label(),
+            "BackendPrio+4xICache+EFetch+PerfectBr"
+        );
+        assert!(DesignPoint::all_hw()
+            .with_critic()
+            .label()
+            .contains("CritIC"));
         assert_eq!(DesignPoint::critic_exact_len(7).label(), "CritIC(n=7)");
-        assert_eq!(DesignPoint::critic_profile_fraction(0.33).label(), "CritIC@33%");
+        assert_eq!(
+            DesignPoint::critic_profile_fraction(0.33).label(),
+            "CritIC@33%"
+        );
     }
 
     #[test]

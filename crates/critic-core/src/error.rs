@@ -38,6 +38,9 @@ pub enum RunError {
     Cancelled,
     /// The campaign journal could not be read or written.
     Journal(String),
+    /// The differential oracle found a divergence that could not be
+    /// resolved by demoting the offending chain.
+    Validation(String),
 }
 
 impl fmt::Display for RunError {
@@ -54,6 +57,7 @@ impl fmt::Display for RunError {
             }
             RunError::Cancelled => write!(f, "attempt cancelled after its deadline expired"),
             RunError::Journal(msg) => write!(f, "journal error: {msg}"),
+            RunError::Validation(msg) => write!(f, "translation validation failed: {msg}"),
         }
     }
 }

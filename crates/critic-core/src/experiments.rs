@@ -167,7 +167,11 @@ pub fn fig1b(trace_len: usize, apps_per_suite: usize) -> Vec<Fig1bRow> {
             for (g, bucket) in gaps.into_iter().enumerate() {
                 gap_fracs[g] = mean(bucket);
             }
-            Fig1bRow { suite: suite.label().to_string(), none_frac: mean(none), gap_fracs }
+            Fig1bRow {
+                suite: suite.label().to_string(),
+                none_frac: mean(none),
+                gap_fracs,
+            }
         })
         .collect()
 }
@@ -296,7 +300,10 @@ pub fn fig5a(trace_len: usize, apps_per_suite: usize) -> Vec<Fig5aRow> {
                 mean_spread: mean(shapes.iter().map(|s| s.mean_spread)),
                 p99_spread: shapes.iter().map(|s| s.p99_spread).max().unwrap_or(0),
             };
-            Fig5aRow { suite: suite.label().to_string(), shape: merged }
+            Fig5aRow {
+                suite: suite.label().to_string(),
+                shape: merged,
+            }
         })
         .collect()
 }
@@ -323,7 +330,10 @@ pub fn fig5b(trace_len: usize, apps: usize) -> Vec<Fig5bRow> {
         .map(|app| {
             let mut bench = Workbench::new(&app, trace_len);
             let profile = bench
-                .profile(&ProfilerConfig { profile_fraction: 1.0, ..Default::default() })
+                .profile(&ProfilerConfig {
+                    profile_fraction: 1.0,
+                    ..Default::default()
+                })
                 .clone();
             Fig5bRow {
                 app: app.name.clone(),
@@ -384,9 +394,7 @@ pub fn fig10(trace_len: usize, apps: usize) -> Vec<Fig10Row> {
                 fetch_stall_saving: base_stalls - critic_stalls,
                 system_energy_saving: critic.energy.system_saving(&base.energy),
                 cpu_energy_saving: critic.energy.cpu_saving(&base.energy),
-                icache_component: critic
-                    .energy
-                    .system_saving_from(&base.energy, |e| e.icache),
+                icache_component: critic.energy.system_saving_from(&base.energy, |e| e.icache),
             }
         })
         .collect()
@@ -421,9 +429,14 @@ pub fn fig11(trace_len: usize, apps: usize) -> Vec<Fig11Row> {
         ("CritIC", DesignPoint::critic()),
     ];
     let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
-    let mut benches: Vec<Workbench> =
-        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
-    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    let mut benches: Vec<Workbench> = apps
+        .iter()
+        .map(|app| Workbench::new(app, trace_len))
+        .collect();
+    let bases: Vec<_> = benches
+        .iter_mut()
+        .map(|b| b.run(&DesignPoint::baseline()))
+        .collect();
 
     mechanisms
         .into_iter()
@@ -471,9 +484,14 @@ pub struct Fig12aRow {
 /// Fig. 12a: sensitivity to CritIC length.
 pub fn fig12a(trace_len: usize, apps: usize, lengths: &[usize]) -> Vec<Fig12aRow> {
     let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
-    let mut benches: Vec<Workbench> =
-        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
-    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    let mut benches: Vec<Workbench> = apps
+        .iter()
+        .map(|app| Workbench::new(app, trace_len))
+        .collect();
+    let bases: Vec<_> = benches
+        .iter_mut()
+        .map(|b| b.run(&DesignPoint::baseline()))
+        .collect();
     lengths
         .iter()
         .map(|&n| {
@@ -486,7 +504,11 @@ pub fn fig12a(trace_len: usize, apps: usize, lengths: &[usize]) -> Vec<Fig12aRow
                 let run_stall = run.sim.stall_for_i_frac() + run.sim.stall_for_rd_frac();
                 savings.push(base_stall - run_stall);
             }
-            Fig12aRow { n, speedup: mean(speedups), fetch_saving: mean(savings) }
+            Fig12aRow {
+                n,
+                speedup: mean(speedups),
+                fetch_saving: mean(savings),
+            }
         })
         .collect()
 }
@@ -503,9 +525,14 @@ pub struct Fig12bRow {
 /// Fig. 12b: sensitivity to profiling coverage.
 pub fn fig12b(trace_len: usize, apps: usize, fractions: &[f64]) -> Vec<Fig12bRow> {
     let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
-    let mut benches: Vec<Workbench> =
-        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
-    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    let mut benches: Vec<Workbench> = apps
+        .iter()
+        .map(|app| Workbench::new(app, trace_len))
+        .collect();
+    let bases: Vec<_> = benches
+        .iter_mut()
+        .map(|b| b.run(&DesignPoint::baseline()))
+        .collect();
     fractions
         .iter()
         .map(|&fraction| {
@@ -514,7 +541,10 @@ pub fn fig12b(trace_len: usize, apps: usize, fractions: &[f64]) -> Vec<Fig12bRow
                 let run = bench.run(&DesignPoint::critic_profile_fraction(fraction));
                 speedups.push(run.sim.speedup_over(&base.sim));
             }
-            Fig12bRow { fraction, speedup: mean(speedups) }
+            Fig12bRow {
+                fraction,
+                speedup: mean(speedups),
+            }
         })
         .collect()
 }
@@ -543,9 +573,14 @@ pub fn fig13(trace_len: usize, apps: usize) -> Vec<Fig13Row> {
         ("OPP16+CritIC", DesignPoint::opp16_plus_critic()),
     ];
     let apps: Vec<_> = suite_apps(Suite::Mobile, apps);
-    let mut benches: Vec<Workbench> =
-        apps.iter().map(|app| Workbench::new(app, trace_len)).collect();
-    let bases: Vec<_> = benches.iter_mut().map(|b| b.run(&DesignPoint::baseline())).collect();
+    let mut benches: Vec<Workbench> = apps
+        .iter()
+        .map(|app| Workbench::new(app, trace_len))
+        .collect();
+    let bases: Vec<_> = benches
+        .iter_mut()
+        .map(|b| b.run(&DesignPoint::baseline()))
+        .collect();
     schemes
         .into_iter()
         .map(|(name, point)| {
@@ -618,7 +653,10 @@ mod tests {
     fn fig13_has_four_schemes() {
         let rows = fig13(LEN, 1);
         assert_eq!(rows.len(), 4);
-        let critic = rows.iter().find(|r| r.scheme == "CritIC").expect("critic row");
+        let critic = rows
+            .iter()
+            .find(|r| r.scheme == "CritIC")
+            .expect("critic row");
         let opp = rows.iter().find(|r| r.scheme == "OPP16").expect("opp row");
         assert!(
             critic.converted_frac < opp.converted_frac,

@@ -41,12 +41,12 @@ pub mod experiments;
 pub mod runner;
 
 pub use campaign::{
-    run_campaign, CampaignSpec, CampaignSummary, CellMetrics, CellRecord, CellStatus,
-    PlannedFault, Scheme,
+    run_campaign, CampaignSpec, CampaignSummary, CellMetrics, CellRecord, CellStatus, PlannedFault,
+    Scheme,
 };
 pub use design::{DesignPoint, Software};
 pub use error::RunError;
-pub use runner::{RunOutcome, Workbench};
+pub use runner::{RunOutcome, ValidationStats, Workbench};
 
 /// Default dynamic instructions per app for full experiments (the paper
 /// samples ~50M over 100 samples; we use one contiguous window per app,

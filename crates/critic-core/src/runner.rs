@@ -1,18 +1,31 @@
 //! The experiment workbench: one app, one recorded input, many variants.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use critic_compiler::{
-    try_apply_compress, try_apply_critic_pass, try_apply_opp16, CriticPassOptions, PassReport,
+    try_apply_compress, try_apply_critic_pass, try_apply_opp16, validate_transform,
+    CriticPassOptions, PassReport,
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
 use critic_pipeline::{SimResult, Simulator};
-use critic_profiler::{Profile, Profiler, ProfilerConfig};
-use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
+use critic_profiler::{ChainSpec, Profile, Profiler, ProfilerConfig};
+use critic_workloads::{inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{DesignPoint, Software};
 use crate::error::RunError;
+
+/// Per-run translation-validation accounting, journaled per campaign cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationStats {
+    /// Chains in the profile the variant was validated against.
+    pub chains_checked: u64,
+    /// Chains demoted back to their 32-bit form after a divergence.
+    pub chains_demoted: u64,
+    /// Divergences that demotion could not resolve (the run then fails
+    /// with [`RunError::Validation`]).
+    pub failed: u64,
+}
 
 /// Everything one run of one design point produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +60,7 @@ pub struct Workbench {
     energy_model: EnergyModel,
     profiles: HashMap<String, Profile>,
     variants: HashMap<String, (Program, PassReport)>,
+    variant_fault: Option<(Fault, u64)>,
 }
 
 impl Workbench {
@@ -96,7 +110,18 @@ impl Workbench {
             energy_model: EnergyModel::default(),
             profiles: HashMap::new(),
             variants: HashMap::new(),
+            variant_fault: None,
         })
+    }
+
+    /// Arms a deterministic miscompile: the next non-baseline variant built
+    /// is corrupted with `fault` (seeded by `seed`) after its compiler pass
+    /// runs. The corruption is silent — only the differential oracle
+    /// ([`Workbench::try_run_validated`]) can see it.
+    pub fn set_variant_fault(&mut self, fault: Fault, seed: u64) {
+        self.variant_fault = Some((fault, seed));
+        // Drop any variants built before the fault was armed.
+        self.variants.clear();
     }
 
     /// The baseline dynamic trace.
@@ -144,15 +169,19 @@ impl Workbench {
         Ok(built)
     }
 
-    fn build_variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
-        let mut program = self.program.clone();
-        let report = match *software {
-            Software::Baseline => PassReport::default(),
-            Software::Hoist => {
-                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
-                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::hoist_only())?
+    /// The profile a software scheme consumes (with any scheme-specific
+    /// chain filtering applied), or `None` for profile-free schemes.
+    fn software_profile(&mut self, software: &Software) -> Result<Option<Profile>, RunError> {
+        Ok(match *software {
+            Software::Baseline | Software::Opp16 | Software::Compress => None,
+            Software::Hoist | Software::CritIcBranchSwitch | Software::Opp16PlusCritIc => {
+                Some(self.try_profile(&ProfilerConfig::default())?.clone())
             }
-            Software::CritIc { profile_fraction, max_len, exact_len } => {
+            Software::CritIc {
+                profile_fraction,
+                max_len,
+                exact_len,
+            } => {
                 let config = ProfilerConfig {
                     profile_fraction,
                     max_chain_len: max_len,
@@ -164,29 +193,60 @@ impl Workbench {
                         profile.chains.retain(|c| c.len() == n);
                     }
                 }
-                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())?
+                Some(profile)
+            }
+            Software::CritIcIdeal => Some(self.try_profile(&ProfilerConfig::ideal())?.clone()),
+        })
+    }
+
+    /// Applies a scheme's compiler passes to `program`, consuming the
+    /// profile [`Workbench::software_profile`] resolved for it.
+    fn apply_software(
+        program: &mut Program,
+        software: &Software,
+        profile: Option<&Profile>,
+    ) -> Result<PassReport, RunError> {
+        let empty = Profile::empty();
+        let profile = profile.unwrap_or(&empty);
+        Ok(match *software {
+            Software::Baseline => PassReport::default(),
+            Software::Hoist => {
+                try_apply_critic_pass(program, profile, CriticPassOptions::hoist_only())?
+            }
+            Software::CritIc { .. } => {
+                try_apply_critic_pass(program, profile, CriticPassOptions::default())?
             }
             Software::CritIcBranchSwitch => {
-                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
-                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::branch_switch())?
+                try_apply_critic_pass(program, profile, CriticPassOptions::branch_switch())?
             }
             Software::CritIcIdeal => {
-                let profile = self.try_profile(&ProfilerConfig::ideal())?.clone();
-                try_apply_critic_pass(&mut program, &profile, CriticPassOptions::ideal())?
+                try_apply_critic_pass(program, profile, CriticPassOptions::ideal())?
             }
-            Software::Opp16 => {
-                try_apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN)?
-            }
-            Software::Compress => try_apply_compress(&mut program)?,
+            Software::Opp16 => try_apply_opp16(program, critic_compiler::opp16::OPP16_MIN_RUN)?,
+            Software::Compress => try_apply_compress(program)?,
             Software::Opp16PlusCritIc => {
-                let profile = self.try_profile(&ProfilerConfig::default())?.clone();
                 let mut report =
-                    try_apply_critic_pass(&mut program, &profile, CriticPassOptions::default())?;
-                report
-                    .absorb(try_apply_opp16(&mut program, critic_compiler::opp16::OPP16_MIN_RUN)?);
+                    try_apply_critic_pass(program, profile, CriticPassOptions::default())?;
+                report.absorb(try_apply_opp16(
+                    program,
+                    critic_compiler::opp16::OPP16_MIN_RUN,
+                )?);
                 report
             }
-        };
+        })
+    }
+
+    fn build_variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
+        let profile = self.software_profile(software)?;
+        let mut program = self.program.clone();
+        let report = Self::apply_software(&mut program, software, profile.as_ref())?;
+        if let Some((fault, seed)) = self.variant_fault {
+            if !matches!(software, Software::Baseline) {
+                let executed: HashSet<BlockId> = self.path.blocks.iter().copied().collect();
+                inject_variant(&mut program, fault, seed, &executed)
+                    .map_err(|e| RunError::Inject(e.to_string()))?;
+            }
+        }
         Ok((program, report))
     }
 
@@ -207,6 +267,94 @@ impl Workbench {
     /// profile → pass → simulate pipeline surfaces as a typed [`RunError`].
     pub fn try_run(&mut self, point: &DesignPoint) -> Result<RunOutcome, RunError> {
         let (program, pass) = self.variant(&point.software)?;
+        self.simulate(point, program, pass)
+    }
+
+    /// Runs one design point with the differential oracle in the loop.
+    ///
+    /// The variant is executed against the baseline over inputs seeded from
+    /// `seed` before it is simulated. On a divergence the offending chain
+    /// is **demoted** — the variant is rebuilt from the original binary
+    /// with that chain removed from the profile, leaving it in its 32-bit
+    /// form — and validation repeats. Demotions are counted in the
+    /// returned [`ValidationStats`] and in `PassReport::chains_demoted`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Validation`] when a divergence cannot be pinned
+    /// on a chain or survives its chain's demotion; other pipeline failures
+    /// surface as their usual [`RunError`] variants.
+    pub fn try_run_validated(
+        &mut self,
+        point: &DesignPoint,
+        seed: u64,
+    ) -> Result<(RunOutcome, ValidationStats), RunError> {
+        let software = &point.software;
+        let full_profile = self.software_profile(software)?;
+        let chains: Vec<ChainSpec> = full_profile
+            .as_ref()
+            .map(|p| p.chains.clone())
+            .unwrap_or_default();
+        let (mut program, mut pass) = self.variant(software)?;
+        let mut stats = ValidationStats {
+            chains_checked: chains.len() as u64,
+            ..Default::default()
+        };
+        let mut demoted: HashSet<usize> = HashSet::new();
+        loop {
+            // Attribution ranks refer to the *original* chain list, so the
+            // full list is passed on every iteration.
+            match validate_transform(&self.program, &program, &self.path, &chains, seed) {
+                Ok(_) => break,
+                Err(e) => {
+                    let Some(rank) = e.chain else {
+                        stats.failed += 1;
+                        return Err(RunError::Validation(format!(
+                            "{e} ({} chains checked, {} demoted, {} unresolved)",
+                            stats.chains_checked, stats.chains_demoted, stats.failed
+                        )));
+                    };
+                    if !demoted.insert(rank) {
+                        stats.failed += 1;
+                        return Err(RunError::Validation(format!(
+                            "divergence survives demotion of chain #{rank}: {e} \
+                             ({} chains checked, {} demoted, {} unresolved)",
+                            stats.chains_checked, stats.chains_demoted, stats.failed
+                        )));
+                    }
+                    stats.chains_demoted += 1;
+                    // Rebuild from the pristine binary with the demoted
+                    // chains withheld from the profile. The armed
+                    // miscompile (if any) is *not* re-injected: demotion
+                    // models the pass backing out one chain, not the
+                    // corruption recurring.
+                    let mut filtered = full_profile.clone().unwrap_or_else(Profile::empty);
+                    let kept: Vec<ChainSpec> = filtered
+                        .chains
+                        .iter()
+                        .enumerate()
+                        .filter(|(rank, _)| !demoted.contains(rank))
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    filtered.chains = kept;
+                    let mut rebuilt = self.program.clone();
+                    pass = Self::apply_software(&mut rebuilt, software, Some(&filtered))?;
+                    pass.chains_demoted += demoted.len() as u64;
+                    program = rebuilt;
+                }
+            }
+        }
+        let outcome = self.simulate(point, program, pass)?;
+        Ok((outcome, stats))
+    }
+
+    /// Simulates an already-built variant and assembles the outcome.
+    fn simulate(
+        &mut self,
+        point: &DesignPoint,
+        program: Program,
+        pass: PassReport,
+    ) -> Result<RunOutcome, RunError> {
         let trace = if matches!(point.software, Software::Baseline) {
             self.base_trace.clone()
         } else {
@@ -271,6 +419,59 @@ mod tests {
         let system_saving = critic.energy.system_saving(&base.energy);
         assert!(cpu_saving > 0.0, "cpu saving {cpu_saving:.4}");
         assert!(system_saving > 0.0 && system_saving < cpu_saving);
+    }
+
+    #[test]
+    fn clean_runs_validate_with_zero_demotions() {
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        for point in [
+            DesignPoint::baseline(),
+            DesignPoint::critic(),
+            DesignPoint::critic_ideal(),
+        ] {
+            let (outcome, stats) = bench
+                .try_run_validated(&point, 7)
+                .expect("clean run validates");
+            assert_eq!(stats.chains_demoted, 0, "{}", point.label());
+            assert_eq!(stats.failed, 0);
+            assert_eq!(outcome.pass.chains_demoted, 0);
+            // Validation must not perturb the measured outcome.
+            let plain = bench.try_run(&point).expect("plain run");
+            assert_eq!(outcome, plain, "{}", point.label());
+        }
+    }
+
+    #[test]
+    fn miscompiled_variant_is_demoted_not_fatal() {
+        use critic_workloads::Fault;
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        let clean = bench.try_run(&DesignPoint::critic()).expect("clean run");
+        bench.set_variant_fault(Fault::ClobberedDestination, 33);
+        let (outcome, stats) = bench
+            .try_run_validated(&DesignPoint::critic(), 7)
+            .expect("faulted run must complete via demotion");
+        assert!(
+            stats.chains_demoted >= 1,
+            "the corrupted chain must be demoted"
+        );
+        assert_eq!(stats.failed, 0);
+        assert_eq!(outcome.pass.chains_demoted, stats.chains_demoted);
+        // The demoted variant keeps fewer chains than the clean one.
+        assert!(outcome.pass.chains_applied < clean.pass.chains_applied);
+    }
+
+    #[test]
+    fn unvalidated_run_swallows_the_miscompile() {
+        use critic_workloads::Fault;
+        // The control experiment: without the oracle the corrupted variant
+        // simulates to a plausible outcome — exactly the silent-poisoning
+        // failure mode validation exists to stop.
+        let mut bench = Workbench::new(&small_app(), SMOKE_TRACE_LEN);
+        bench.set_variant_fault(Fault::StaleSource, 33);
+        let outcome = bench
+            .try_run(&DesignPoint::critic())
+            .expect("silent miscompile runs");
+        assert!(outcome.pass.chains_applied > 0);
     }
 
     #[test]

@@ -27,8 +27,10 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     let apps = shrink(Suite::Mobile.apps());
     let n_apps = apps.len();
     assert!(n_apps >= 10, "full Mobile suite expected, got {n_apps}");
-    let schemes =
-        vec![Scheme::new("critic", DesignPoint::critic()), Scheme::new("opp16", DesignPoint::opp16())];
+    let schemes = vec![
+        Scheme::new("critic", DesignPoint::critic()),
+        Scheme::new("opp16", DesignPoint::opp16()),
+    ];
     let victim = apps[3].name.clone();
 
     let mut spec = CampaignSpec::new(apps.clone(), schemes.clone(), 6_000);
@@ -45,13 +47,20 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     // Every cell of the grid is accounted for and journaled.
     assert_eq!(summary.records.len(), n_apps * schemes.len());
     let journaled = fs::read_to_string(&journal).expect("journal exists");
-    assert_eq!(journaled.lines().count(), n_apps * schemes.len(), "one line per cell");
+    assert_eq!(
+        journaled.lines().count(),
+        n_apps * schemes.len(),
+        "one line per cell"
+    );
 
     // Exactly the fault-injected cell failed, with a typed error — the
     // corruption was caught by validation, not by a trapped panic.
     let failed = summary.failed();
     assert_eq!(failed.len(), 1, "{}", summary.render());
-    assert_eq!((failed[0].app.as_str(), failed[0].scheme.as_str()), (victim.as_str(), "critic"));
+    assert_eq!(
+        (failed[0].app.as_str(), failed[0].scheme.as_str()),
+        (victim.as_str(), "critic")
+    );
     assert_eq!(failed[0].status, CellStatus::Failed);
     assert!(
         matches!(failed[0].error, Some(RunError::Program(_))),
@@ -69,7 +78,10 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     truncated.push('\n');
     fs::write(&journal, &truncated).expect("truncate journal");
     {
-        let mut f = fs::OpenOptions::new().append(true).open(&journal).expect("open journal");
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("open journal");
         write!(f, "{{\"app\":\"torn-mid-wr").expect("append torn line");
     }
 
@@ -82,11 +94,20 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     assert_eq!(resumed.records.len(), n_apps * 2);
     // Only Ok-journaled cells replay; the dropped cell and the journaled
     // failure both rerun (the fault is still planned, so it fails again).
-    let ok_journaled =
-        truncated.lines().filter(|l| l.contains("\"status\":\"Ok\"")).count();
-    assert_eq!(resumed.resumed, ok_journaled, "exactly the Ok-journaled cells replayed");
+    let ok_journaled = truncated
+        .lines()
+        .filter(|l| l.contains("\"status\":\"Ok\""))
+        .count();
+    assert_eq!(
+        resumed.resumed, ok_journaled,
+        "exactly the Ok-journaled cells replayed"
+    );
     assert!(resumed.resumed >= n_apps * 2 - 2, "{}", resumed.render());
-    assert_eq!(resumed.failed().len(), 1, "fault-injected cell fails again on retry");
+    assert_eq!(
+        resumed.failed().len(),
+        1,
+        "fault-injected cell fails again on retry"
+    );
 
     let _ = fs::remove_file(&journal);
 }

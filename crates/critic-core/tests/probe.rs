@@ -7,19 +7,36 @@ fn probe() {
     for app in Suite::Mobile.apps().iter().take(3) {
         let mut bench = Workbench::new(app, 240_000);
         let base = bench.run(&DesignPoint::baseline());
-        eprintln!("== {} base: ipc={:.3} imiss={} istall={:.3} bstall={:.3} stallRD={:.3}", app.name, base.sim.ipc(),
+        eprintln!(
+            "== {} base: ipc={:.3} imiss={} istall={:.3} bstall={:.3} stallRD={:.3}",
+            app.name,
+            base.sim.ipc(),
             base.sim.mem.icache.misses,
             base.sim.fetch_stalls.icache as f64 / base.sim.cycles as f64,
             base.sim.fetch_stalls.branch as f64 / base.sim.cycles as f64,
-            base.sim.stall_for_rd_frac());
+            base.sim.stall_for_rd_frac()
+        );
         {
             use critic_profiler::ProfilerConfig;
             let prof = bench.profile(&ProfilerConfig::default()).clone();
-            eprintln!("   profile: {} chains, coverage {:.3}, conv {:.3}", prof.chains.len(), prof.dynamic_coverage, prof.stats.convertible_frac);
+            eprintln!(
+                "   profile: {} chains, coverage {:.3}, conv {:.3}",
+                prof.chains.len(),
+                prof.dynamic_coverage,
+                prof.stats.convertible_frac
+            );
         }
-        for p in [DesignPoint::hoist(), DesignPoint::critic(), DesignPoint::critic_ideal(), DesignPoint::critic_branch_switch(),
-                  DesignPoint::critical_load_prefetch(), DesignPoint::critical_prioritization(),
-                  DesignPoint::opp16(), DesignPoint::compress(), DesignPoint::opp16_plus_critic()] {
+        for p in [
+            DesignPoint::hoist(),
+            DesignPoint::critic(),
+            DesignPoint::critic_ideal(),
+            DesignPoint::critic_branch_switch(),
+            DesignPoint::critical_load_prefetch(),
+            DesignPoint::critical_prioritization(),
+            DesignPoint::opp16(),
+            DesignPoint::compress(),
+            DesignPoint::opp16_plus_critic(),
+        ] {
             let r = bench.run(&p);
             eprintln!("   {:24} speedup={:.4} thumb={:.3} imiss={:>6} istall={:.3} bstall={:.3} rd={:.3} cdp={}",
                 r.design, r.sim.speedup_over(&base.sim), r.thumb_dyn_frac,
@@ -28,8 +45,13 @@ fn probe() {
                 r.sim.fetch_stalls.branch as f64 / r.sim.cycles as f64,
                 r.sim.stall_for_rd_frac(), r.sim.cdp_switches);
             if r.design == "CritIC" {
-                eprintln!("      pass: applied={} skip_legal={} skip_missing={} converted={}",
-                    r.pass.chains_applied, r.pass.chains_skipped_legality, r.pass.chains_skipped_missing, r.pass.insns_converted);
+                eprintln!(
+                    "      pass: applied={} skip_legal={} skip_missing={} converted={}",
+                    r.pass.chains_applied,
+                    r.pass.chains_skipped_legality,
+                    r.pass.chains_skipped_missing,
+                    r.pass.insns_converted
+                );
             }
         }
     }
@@ -39,7 +61,14 @@ fn probe() {
         let base = bench.run(&DesignPoint::baseline());
         let pf = bench.run(&DesignPoint::critical_load_prefetch());
         let pr = bench.run(&DesignPoint::critical_prioritization());
-        eprintln!("== {} ipc={:.3} prefetch={:.4} (issued {} useful {}) prio={:.4}", app.name, base.sim.ipc(),
-            pf.sim.speedup_over(&base.sim), pf.sim.mem.clpt_prefetches, pf.sim.mem.dcache.prefetch_hits, pr.sim.speedup_over(&base.sim));
+        eprintln!(
+            "== {} ipc={:.3} prefetch={:.4} (issued {} useful {}) prio={:.4}",
+            app.name,
+            base.sim.ipc(),
+            pf.sim.speedup_over(&base.sim),
+            pf.sim.mem.clpt_prefetches,
+            pf.sim.mem.dcache.prefetch_hits,
+            pr.sim.speedup_over(&base.sim)
+        );
     }
 }

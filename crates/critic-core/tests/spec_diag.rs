@@ -9,16 +9,32 @@ fn spec_diag() {
     let path = ExecutionPath::generate(&program, app.path_seed(), 240_000);
     let trace = Trace::expand(&program, &path);
     let fanout = trace.compute_fanout();
-    let crit_loads = trace.iter().enumerate().filter(|(i,e)| e.op.is_load() && fanout[*i] >= 8).count();
+    let crit_loads = trace
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| e.op.is_load() && fanout[*i] >= 8)
+        .count();
     let loads = trace.iter().filter(|e| e.op.is_load()).count();
-    eprintln!("loads={} critical loads={} hints={}", loads, crit_loads, program.load_hints.len());
+    eprintln!(
+        "loads={} critical loads={} hints={}",
+        loads,
+        crit_loads,
+        program.load_hints.len()
+    );
     // distinct PCs of critical loads
-    let pcs: std::collections::HashSet<u64> = trace.iter().enumerate().filter(|(i,e)| e.op.is_load() && fanout[*i]>=8).map(|(_,e)| e.pc).collect();
+    let pcs: std::collections::HashSet<u64> = trace
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| e.op.is_load() && fanout[*i] >= 8)
+        .map(|(_, e)| e.pc)
+        .collect();
     eprintln!("distinct critical-load pcs: {}", pcs.len());
     // avg fanout of hinted loads
     let mut hint_fo = vec![];
-    for (i,e) in trace.iter().enumerate() {
-        if e.op.is_load() && program.load_hints.contains(&e.uid.0) { hint_fo.push(fanout[i]); }
+    for (i, e) in trace.iter().enumerate() {
+        if e.op.is_load() && program.load_hints.contains(&e.uid.0) {
+            hint_fo.push(fanout[i]);
+        }
     }
     let mean = hint_fo.iter().map(|&f| f as f64).sum::<f64>() / hint_fo.len().max(1) as f64;
     eprintln!("hinted loads dyn={} mean fanout={:.1}", hint_fo.len(), mean);

@@ -166,7 +166,12 @@ mod tests {
         mem.icache.accesses = icache_acc;
         mem.dram.accesses = dram_acc;
         mem.dram.row_misses = dram_acc / 2;
-        SimResult { cycles, committed, mem, ..Default::default() }
+        SimResult {
+            cycles,
+            committed,
+            mem,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -188,7 +193,10 @@ mod tests {
         let base = model.evaluate(&result(1_000_000, 1_300_000, 300_000, 5_000));
         let fast = model.evaluate(&result(880_000, 1_300_000, 250_000, 5_000));
         assert!(fast.cpu_saving(&base) > 0.0);
-        assert_eq!(fast.soc_rest, base.soc_rest, "session activity is unchanged");
+        assert_eq!(
+            fast.soc_rest, base.soc_rest,
+            "session activity is unchanged"
+        );
         let system = fast.system_saving(&base);
         let cpu = fast.cpu_saving(&base);
         assert!(system < cpu, "system saving is diluted by the SoC rest");
@@ -228,6 +236,9 @@ mod tests {
         with.cdp_switches = 50_000;
         let without = result(1_000_000, 1_000_000, 100_000, 1_000);
         let delta = model.evaluate(&with).core - model.evaluate(&without).core;
-        assert!(delta > 0.0 && delta < 100.0, "CDP energy must be negligible: {delta}");
+        assert!(
+            delta > 0.0 && delta < 100.0,
+            "CDP energy must be negligible: {delta}"
+        );
     }
 }

@@ -65,7 +65,9 @@ fn parse_reg(token: &str) -> Result<Reg, AsmError> {
 fn parse_imm(token: &str) -> Result<i32, AsmError> {
     let token = token.trim();
     let digits = token.strip_prefix('#').unwrap_or(token);
-    digits.parse::<i32>().map_err(|_| AsmError::BadImmediate(token.to_string()))
+    digits
+        .parse::<i32>()
+        .map_err(|_| AsmError::BadImmediate(token.to_string()))
 }
 
 fn split_mnemonic(word: &str) -> Option<(Opcode, Cond)> {
@@ -77,7 +79,9 @@ fn split_mnemonic(word: &str) -> Option<(Opcode, Cond)> {
             if rest.is_empty() {
                 return Some((op, Cond::Al));
             }
-            if let Some(cond) = Cond::ALL.iter().find(|c| !c.is_always() && c.to_string() == rest)
+            if let Some(cond) = Cond::ALL
+                .iter()
+                .find(|c| !c.is_always() && c.to_string() == rest)
             {
                 return Some((op, *cond));
             }
@@ -93,7 +97,14 @@ fn split_mnemonic(word: &str) -> Option<(Opcode, Cond)> {
 /// Returns an [`AsmError`] describing the first token that failed; blank
 /// lines and `;`/`//` comments are [`AsmError::Empty`].
 pub fn parse_insn(line: &str) -> Result<Insn, AsmError> {
-    let line = line.split(';').next().unwrap_or("").split("//").next().unwrap_or("").trim();
+    let line = line
+        .split(';')
+        .next()
+        .unwrap_or("")
+        .split("//")
+        .next()
+        .unwrap_or("")
+        .trim();
     if line.is_empty() {
         return Err(AsmError::Empty);
     }
@@ -104,8 +115,9 @@ pub fn parse_insn(line: &str) -> Result<Insn, AsmError> {
 
     // Memory operands: `rd, [rb, #off]` / `rv, [rb, #off]`.
     if op.is_mem() {
-        let (first, bracket) =
-            rest.split_once('[').ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
+        let (first, bracket) = rest
+            .split_once('[')
+            .ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
         let rt = parse_reg(first.trim().trim_end_matches(','))?;
         let inner = bracket.trim_end_matches(']');
         let (base, off) = inner.split_once(',').unwrap_or((inner, "#0"));
@@ -138,12 +150,18 @@ pub fn parse_insn(line: &str) -> Result<Insn, AsmError> {
     }
 
     // General register/immediate forms.
-    let tokens: Vec<&str> = rest.split(',').map(str::trim).filter(|t| !t.is_empty()).collect();
+    let tokens: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
     let mut builder = InsnBuilder::new(op).cond(cond);
     let has_dst = op.writes_register();
     let mut iter = tokens.iter();
     if has_dst {
-        let dst = iter.next().ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
+        let dst = iter
+            .next()
+            .ok_or_else(|| AsmError::BadOperands(line.to_string()))?;
         builder = builder.dst(parse_reg(dst)?);
     }
     for token in iter {
@@ -153,7 +171,11 @@ pub fn parse_insn(line: &str) -> Result<Insn, AsmError> {
             builder = builder.src(parse_reg(token)?);
         }
     }
-    Ok(builder.build())
+    // try_build, not build: `add r0, r1, r2, r3, r4` is malformed input,
+    // not a programmer error, so it must not panic the assembler.
+    builder
+        .try_build()
+        .map_err(|_| AsmError::BadOperands(line.to_string()))
 }
 
 /// Parses a multi-line listing, skipping blank lines and comments.
@@ -218,11 +240,32 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        assert!(matches!(parse_insn("frob r0"), Err(AsmError::UnknownMnemonic(_))));
-        assert!(matches!(parse_insn("add r77, r0"), Err(AsmError::BadRegister(_))));
-        assert!(matches!(parse_insn("mov r0, #zz"), Err(AsmError::BadImmediate(_))));
-        assert!(matches!(parse_insn("ldr r0"), Err(AsmError::BadOperands(_))));
-        assert!(matches!(parse_insn("cdp #12"), Err(AsmError::BadImmediate(_))));
+        assert!(matches!(
+            parse_insn("frob r0"),
+            Err(AsmError::UnknownMnemonic(_))
+        ));
+        assert!(matches!(
+            parse_insn("add r77, r0"),
+            Err(AsmError::BadRegister(_))
+        ));
+        assert!(matches!(
+            parse_insn("mov r0, #zz"),
+            Err(AsmError::BadImmediate(_))
+        ));
+        assert!(matches!(
+            parse_insn("ldr r0"),
+            Err(AsmError::BadOperands(_))
+        ));
+        assert!(matches!(
+            parse_insn("cdp #12"),
+            Err(AsmError::BadImmediate(_))
+        ));
+        // More sources than the ISA's 3-operand limit is a parse error,
+        // never a panic.
+        assert!(matches!(
+            parse_insn("add r0, r1, r2, r3, r4"),
+            Err(AsmError::BadOperands(_))
+        ));
     }
 
     #[test]

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Cond::Eq.is_always());
 /// assert_eq!(Cond::from_bits(0b0000), Some(Cond::Eq));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 #[repr(u8)]
 pub enum Cond {
     /// Equal (Z set).

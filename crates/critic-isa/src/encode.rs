@@ -221,7 +221,10 @@ fn encode_arm32(insn: &Insn) -> Result<u32, EncodeError> {
     let mut word = cond | code | dst | src1 | src2;
     if op == Opcode::Mla {
         // The one three-source opcode reuses the immediate field's low bits.
-        let src3 = insn.srcs().get(2).ok_or(EncodeError::UnsupportedArity(op))?;
+        let src3 = insn
+            .srcs()
+            .get(2)
+            .ok_or(EncodeError::UnsupportedArity(op))?;
         word |= u32::from(src3.index());
     } else if insn.srcs().get(2).is_some() {
         return Err(EncodeError::UnsupportedArity(op));
@@ -258,7 +261,8 @@ pub fn decode_arm32(word: u32) -> Result<Insn, DecodeError> {
     let mut builder = InsnBuilder::new(op).cond(cond);
     let dst = (word >> 18) & 0xF;
     if dst != REG_ABSENT {
-        builder = builder.dst(Reg::from_index(dst as u8).ok_or(DecodeError::BadRegister(dst as u8))?);
+        builder =
+            builder.dst(Reg::from_index(dst as u8).ok_or(DecodeError::BadRegister(dst as u8))?);
     }
     for shift in [14u32, 10] {
         let field = (word >> shift) & 0xF;
@@ -296,11 +300,19 @@ fn encode_thumb16(insn: &Insn) -> Result<u16, EncodeError> {
         let code = imm_form_code(op).ok_or(EncodeError::NoImmForm(op))?;
         let code = u16::from(code) << 10;
         if op.is_mem() {
-            let dst_or_val = if op.is_store() { insn.srcs().get(0) } else { insn.dst() };
+            let dst_or_val = if op.is_store() {
+                insn.srcs().get(0)
+            } else {
+                insn.dst()
+            };
             let dst = dst_or_val.map(|r| u16::from(r.index())).unwrap_or(0) << 7;
             let base_slot = if op.is_store() { 1 } else { 0 };
-            let base =
-                insn.srcs().get(base_slot).map(|r| u16::from(r.index())).unwrap_or(0) << 4;
+            let base = insn
+                .srcs()
+                .get(base_slot)
+                .map(|r| u16::from(r.index()))
+                .unwrap_or(0)
+                << 4;
             return Ok(code | dst | base | ((imm / 4) as u16 & 0xF));
         }
         // Two-address ALU immediate: the source (when present) equals the
@@ -312,13 +324,26 @@ fn encode_thumb16(insn: &Insn) -> Result<u16, EncodeError> {
     }
     // Register form.
     let code = u16::from(op.code()) << 10;
-    let dst = insn.dst().map(|r| u16::from(r.index())).unwrap_or(REG_ABSENT as u16) << 6;
+    let dst = insn
+        .dst()
+        .map(|r| u16::from(r.index()))
+        .unwrap_or(REG_ABSENT as u16)
+        << 6;
     let expected_srcs = canonical_reg_arity(op);
     if insn.srcs().len() != expected_srcs {
         return Err(EncodeError::UnsupportedArity(op));
     }
-    let src1 = insn.srcs().get(0).map(|r| u16::from(r.index())).unwrap_or(0) << 3;
-    let src2 = insn.srcs().get(1).map(|r| u16::from(r.index())).unwrap_or(0);
+    let src1 = insn
+        .srcs()
+        .get(0)
+        .map(|r| u16::from(r.index()))
+        .unwrap_or(0)
+        << 3;
+    let src2 = insn
+        .srcs()
+        .get(1)
+        .map(|r| u16::from(r.index()))
+        .unwrap_or(0);
     Ok(code | dst | src1 | src2)
 }
 
@@ -347,7 +372,9 @@ pub fn decode_thumb16(half: u16) -> Result<Insn, DecodeError> {
     let code = ((half >> 10) & 0x3F) as u8;
     if code >= IMM_FORM_BASE {
         let index = usize::from(code - IMM_FORM_BASE);
-        let op = *IMM_FORM_OPS.get(index).ok_or(DecodeError::BadOpcode(code))?;
+        let op = *IMM_FORM_OPS
+            .get(index)
+            .ok_or(DecodeError::BadOpcode(code))?;
         if op.is_mem() {
             let rt = ((half >> 7) & 0x7) as u8;
             let base = ((half >> 4) & 0x7) as u8;
@@ -365,9 +392,17 @@ pub fn decode_thumb16(half: u16) -> Result<Insn, DecodeError> {
         let dst = Reg::from_index(dst_bits).ok_or(DecodeError::BadRegister(dst_bits))?;
         let imm = i32::from(half & 0x7F);
         let insn = if matches!(op, Opcode::Mov | Opcode::Mvn) {
-            InsnBuilder::new(op).dst(dst).imm(imm).width(Width::Thumb16).build()
+            InsnBuilder::new(op)
+                .dst(dst)
+                .imm(imm)
+                .width(Width::Thumb16)
+                .build()
         } else if op == Opcode::Cmp {
-            InsnBuilder::new(op).src(dst).imm(imm).width(Width::Thumb16).build()
+            InsnBuilder::new(op)
+                .src(dst)
+                .imm(imm)
+                .width(Width::Thumb16)
+                .build()
         } else {
             Insn::alu_imm(op, dst, dst, imm).with_width(Width::Thumb16)
         };
@@ -454,28 +489,59 @@ mod tests {
 
     #[test]
     fn arm_three_source_multiply_round_trips() {
-        round_trip_arm(Insn::alu(Opcode::Mla, Reg::R0, &[Reg::R1, Reg::R2, Reg::R3]));
+        round_trip_arm(Insn::alu(
+            Opcode::Mla,
+            Reg::R0,
+            &[Reg::R1, Reg::R2, Reg::R3],
+        ));
     }
 
     #[test]
     fn arm_rejects_out_of_range_imm() {
         let insn = Insn::alu_imm(Opcode::Add, Reg::R0, Reg::R1, ARM_IMM_MAX + 1);
-        assert_eq!(encode(&insn), Err(EncodeError::ImmOutOfRange(ARM_IMM_MAX + 1)));
+        assert_eq!(
+            encode(&insn),
+            Err(EncodeError::ImmOutOfRange(ARM_IMM_MAX + 1))
+        );
     }
 
     #[test]
     fn thumb_reg_form_round_trips() {
-        round_trip_thumb(Insn::alu(Opcode::Add, Reg::R10, &[Reg::R1, Reg::R2]).to_thumb().unwrap());
-        round_trip_thumb(Insn::alu(Opcode::Mov, Reg::R4, &[Reg::R5]).to_thumb().unwrap());
-        round_trip_thumb(Insn::compare(Opcode::Cmp, Reg::R1, Reg::R2).to_thumb().unwrap());
+        round_trip_thumb(
+            Insn::alu(Opcode::Add, Reg::R10, &[Reg::R1, Reg::R2])
+                .to_thumb()
+                .unwrap(),
+        );
+        round_trip_thumb(
+            Insn::alu(Opcode::Mov, Reg::R4, &[Reg::R5])
+                .to_thumb()
+                .unwrap(),
+        );
+        round_trip_thumb(
+            Insn::compare(Opcode::Cmp, Reg::R1, Reg::R2)
+                .to_thumb()
+                .unwrap(),
+        );
     }
 
     #[test]
     fn thumb_imm_forms_round_trip() {
-        round_trip_thumb(Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R3, 127).to_thumb().unwrap());
+        round_trip_thumb(
+            Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R3, 127)
+                .to_thumb()
+                .unwrap(),
+        );
         round_trip_thumb(Insn::mov_imm(Reg::R7, 99).to_thumb().unwrap());
-        round_trip_thumb(Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 60).to_thumb().unwrap());
-        round_trip_thumb(Insn::store(Opcode::Str, Reg::R2, Reg::R3, 0).to_thumb().unwrap());
+        round_trip_thumb(
+            Insn::load(Opcode::Ldr, Reg::R0, Reg::R1, 60)
+                .to_thumb()
+                .unwrap(),
+        );
+        round_trip_thumb(
+            Insn::store(Opcode::Str, Reg::R2, Reg::R3, 0)
+                .to_thumb()
+                .unwrap(),
+        );
     }
 
     #[test]
@@ -494,25 +560,41 @@ mod tests {
     #[test]
     fn thumb_encoding_rechecks_convertibility() {
         // `with_width` bypasses `to_thumb`'s validation; `encode` catches it.
-        let bogus = Insn::alu(Opcode::Sdiv, Reg::R0, &[Reg::R1, Reg::R2]).with_width(Width::Thumb16);
-        assert!(matches!(encode(&bogus), Err(EncodeError::NotThumbConvertible(_))));
+        let bogus =
+            Insn::alu(Opcode::Sdiv, Reg::R0, &[Reg::R1, Reg::R2]).with_width(Width::Thumb16);
+        assert!(matches!(
+            encode(&bogus),
+            Err(EncodeError::NotThumbConvertible(_))
+        ));
     }
 
     #[test]
     fn pc_is_not_an_explicit_operand() {
         let insn = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::PC]);
-        assert_eq!(encode(&insn), Err(EncodeError::UnencodableRegister(Reg::PC)));
+        assert_eq!(
+            encode(&insn),
+            Err(EncodeError::UnencodableRegister(Reg::PC))
+        );
     }
 
     #[test]
     fn decode_rejects_garbage() {
         // Reserved condition 0b1111.
-        assert!(matches!(decode_arm32(0xF000_0000), Err(DecodeError::BadCond(_))));
+        assert!(matches!(
+            decode_arm32(0xF000_0000),
+            Err(DecodeError::BadCond(_))
+        ));
         // Opcode code 63 is unused in the ARM space.
         let word = (u32::from(Cond::Al.bits()) << 28) | (63 << 22);
-        assert!(matches!(decode_arm32(word), Err(DecodeError::BadOpcode(63))));
+        assert!(matches!(
+            decode_arm32(word),
+            Err(DecodeError::BadOpcode(63))
+        ));
         // Thumb code 62 unused.
-        assert!(matches!(decode_thumb16(62 << 10), Err(DecodeError::BadOpcode(62))));
+        assert!(matches!(
+            decode_thumb16(62 << 10),
+            Err(DecodeError::BadOpcode(62))
+        ));
     }
 
     #[test]

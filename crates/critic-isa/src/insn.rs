@@ -53,7 +53,11 @@ impl SrcRegs {
     ///
     /// Panics if more than three registers are supplied.
     pub fn new(regs: &[Reg]) -> SrcRegs {
-        assert!(regs.len() <= 3, "at most 3 source registers, got {}", regs.len());
+        assert!(
+            regs.len() <= 3,
+            "at most 3 source registers, got {}",
+            regs.len()
+        );
         let mut out = SrcRegs::default();
         for (slot, &reg) in out.regs.iter_mut().zip(regs) {
             *slot = Some(reg);
@@ -439,10 +443,9 @@ impl InsnBuilder {
 
     /// Appends a source register.
     ///
-    /// # Panics
-    ///
-    /// Panics (in [`InsnBuilder::build`]) if more than three sources are
-    /// accumulated.
+    /// Accumulating more than three sources makes [`InsnBuilder::build`]
+    /// panic; use [`InsnBuilder::try_build`] when the operand list comes
+    /// from untrusted input.
     pub fn src(mut self, reg: Reg) -> InsnBuilder {
         self.srcs.push(reg);
         self
@@ -464,18 +467,56 @@ impl InsnBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if more than three source registers were added.
+    /// Panics if more than three source registers were added. Compiler
+    /// passes construct operand lists themselves, so for them this is a
+    /// programmer-error contract; anything building from external text or
+    /// bytes must use [`InsnBuilder::try_build`] instead.
     pub fn build(self) -> Insn {
-        Insn {
+        match self.try_build() {
+            Ok(insn) => insn,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finishes the instruction, rejecting operand lists the ISA cannot
+    /// represent instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManySources`] when more than three source registers
+    /// were accumulated.
+    pub fn try_build(self) -> Result<Insn, TooManySources> {
+        if self.srcs.len() > 3 {
+            return Err(TooManySources {
+                got: self.srcs.len(),
+            });
+        }
+        Ok(Insn {
             op: self.op,
             cond: self.cond,
             dst: self.dst,
             srcs: SrcRegs::new(&self.srcs),
             imm: self.imm,
             width: self.width,
-        }
+        })
     }
 }
+
+/// Error from [`InsnBuilder::try_build`]: the operand list exceeds the
+/// ISA's three-source limit (`mla rd, rn, rm, ra` is the widest form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManySources {
+    /// How many sources were supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for TooManySources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at most 3 source registers, got {}", self.got)
+    }
+}
+
+impl std::error::Error for TooManySources {}
 
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -593,20 +634,32 @@ mod tests {
             Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]).to_string(),
             "add r0, r1, r2"
         );
-        assert_eq!(Insn::load(Opcode::Ldr, Reg::R0, Reg::SP, 4).to_string(), "ldr r0, [sp, #4]");
-        assert_eq!(Insn::store(Opcode::Str, Reg::R1, Reg::R2, 0).to_string(), "str r1, [r2, #0]");
+        assert_eq!(
+            Insn::load(Opcode::Ldr, Reg::R0, Reg::SP, 4).to_string(),
+            "ldr r0, [sp, #4]"
+        );
+        assert_eq!(
+            Insn::store(Opcode::Str, Reg::R1, Reg::R2, 0).to_string(),
+            "str r1, [r2, #0]"
+        );
         assert_eq!(Insn::branch(Opcode::B, 16).to_string(), "b #16");
         assert_eq!(Insn::mov_imm(Reg::R5, 42).to_string(), "mov r5, #42");
         assert_eq!(Insn::cdp(3).to_string(), "cdp #3");
         assert_eq!(
-            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1]).with_cond(Cond::Ne).to_string(),
+            Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1])
+                .with_cond(Cond::Ne)
+                .to_string(),
             "addne r0, r1"
         );
     }
 
     #[test]
     fn builder_matches_constructor() {
-        let a = InsnBuilder::new(Opcode::Add).dst(Reg::R0).src(Reg::R1).src(Reg::R2).build();
+        let a = InsnBuilder::new(Opcode::Add)
+            .dst(Reg::R0)
+            .src(Reg::R1)
+            .src(Reg::R2)
+            .build();
         let b = Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]);
         assert_eq!(a, b);
     }

@@ -3,7 +3,7 @@
 //! The opcode set is a pragmatic subset of ARMv7: enough to express the
 //! dataflow, memory, control, and floating-point behaviour the CritICs
 //! experiments depend on, while staying small enough to encode in the
-//! simplified 32-/16-bit formats of [`crate::encode`].
+//! simplified 32-/16-bit formats of [`crate::encode()`].
 //!
 //! Latency assignments follow the common gem5 `O3CPU` defaults the paper's
 //! Table I configuration implies: single-cycle integer ALU, 3-cycle multiply,
@@ -265,7 +265,10 @@ impl Opcode {
     /// consumed through the dataflow graph (i.e. can have fan-out).
     pub fn writes_register(self) -> bool {
         use Opcode::*;
-        !matches!(self, Cmp | Cmn | Tst | Vcmp | Str | Strb | Strh | B | Bx | Cdp | Nop)
+        !matches!(
+            self,
+            Cmp | Cmn | Tst | Vcmp | Str | Strb | Strh | B | Bx | Cdp | Nop
+        )
     }
 
     /// Whether the opcode is the CDP decoder format switch.
@@ -361,7 +364,10 @@ mod tests {
     #[test]
     fn loads_and_stores_are_disjoint() {
         for op in Opcode::ALL {
-            assert!(!(op.is_load() && op.is_store()), "{op} is both load and store");
+            assert!(
+                !(op.is_load() && op.is_store()),
+                "{op} is both load and store"
+            );
         }
     }
 
@@ -407,7 +413,11 @@ mod tests {
     fn every_opcode_has_a_unique_mnemonic() {
         let mut seen = std::collections::HashSet::new();
         for op in Opcode::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 

@@ -2,13 +2,13 @@
 //!
 //! Sec. III-B of the paper: an instruction can be laid down in the 16-bit
 //! format *without any change* only when it has "neither predications nor
-//! use[s] more than the allowed 11 registers" (plus, in any real encoding,
+//! use\[s\] more than the allowed 11 registers" (plus, in any real encoding,
 //! its immediate must fit the narrow fields and the opcode must exist in
 //! Thumb at all). Footnote 1 adds the chain rule: *"If any instruction of a
 //! CritIC sequence cannot be represented in the 16-bit format as is, then the
 //! entire sequence is left as is … all or nothing."*
 //!
-//! The concrete field widths mirror real Thumb-1 (see [`crate::encode`]):
+//! The concrete field widths mirror real Thumb-1 (see [`crate::encode()`]):
 //!
 //! | form | fields | constraints |
 //! |------|--------|-------------|
@@ -122,7 +122,11 @@ pub fn check_convertible(insn: &Insn) -> Result<(), ThumbIncompatibility> {
     // Destination field: 4 bits (r0–r10) in register form, 3 bits (r0–r7)
     // in the immediate forms.
     if let Some(dst) = insn.dst() {
-        let limit = if has_imm { THUMB_LOW_REG_LIMIT } else { THUMB_REG_LIMIT };
+        let limit = if has_imm {
+            THUMB_LOW_REG_LIMIT
+        } else {
+            THUMB_REG_LIMIT
+        };
         if dst.index() >= limit {
             return Err(ThumbIncompatibility::HighRegister(dst));
         }
@@ -181,7 +185,10 @@ mod tests {
     #[test]
     fn predication_blocks_conversion() {
         let insn = Insn::alu(Opcode::Add, Reg::R1, &[Reg::R2]).with_cond(Cond::Ne);
-        assert_eq!(check_convertible(&insn), Err(ThumbIncompatibility::Predicated));
+        assert_eq!(
+            check_convertible(&insn),
+            Err(ThumbIncompatibility::Predicated)
+        );
     }
 
     #[test]
@@ -198,7 +205,10 @@ mod tests {
         let ok = Insn::alu(Opcode::Mov, Reg::R10, &[Reg::R0]);
         assert_eq!(check_convertible(&ok), Ok(()));
         let bad = Insn::alu(Opcode::Mov, Reg::R11, &[Reg::R0]);
-        assert_eq!(check_convertible(&bad), Err(ThumbIncompatibility::HighRegister(Reg::R11)));
+        assert_eq!(
+            check_convertible(&bad),
+            Err(ThumbIncompatibility::HighRegister(Reg::R11))
+        );
     }
 
     #[test]
@@ -206,7 +216,10 @@ mod tests {
         let ok = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::R7]);
         assert_eq!(check_convertible(&ok), Ok(()));
         let bad = Insn::alu(Opcode::Mov, Reg::R0, &[Reg::R8]);
-        assert_eq!(check_convertible(&bad), Err(ThumbIncompatibility::HighRegister(Reg::R8)));
+        assert_eq!(
+            check_convertible(&bad),
+            Err(ThumbIncompatibility::HighRegister(Reg::R8))
+        );
     }
 
     #[test]
@@ -214,7 +227,10 @@ mod tests {
         let ok = Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R3, 1);
         assert_eq!(check_convertible(&ok), Ok(()));
         let three_address = Insn::alu_imm(Opcode::Add, Reg::R3, Reg::R4, 1);
-        assert_eq!(check_convertible(&three_address), Err(ThumbIncompatibility::NotTwoAddress));
+        assert_eq!(
+            check_convertible(&three_address),
+            Err(ThumbIncompatibility::NotTwoAddress)
+        );
         let mov = Insn::mov_imm(Reg::R2, 99);
         assert_eq!(check_convertible(&mov), Ok(()));
     }
@@ -248,7 +264,10 @@ mod tests {
         let reg_form = Insn::alu(Opcode::Add, Reg::R9, &[Reg::R1, Reg::R2]);
         assert_eq!(check_convertible(&reg_form), Ok(()));
         let imm_form = Insn::alu_imm(Opcode::Add, Reg::R9, Reg::R9, 1);
-        assert_eq!(check_convertible(&imm_form), Err(ThumbIncompatibility::HighRegister(Reg::R9)));
+        assert_eq!(
+            check_convertible(&imm_form),
+            Err(ThumbIncompatibility::HighRegister(Reg::R9))
+        );
     }
 
     #[test]
@@ -281,7 +300,10 @@ mod tests {
         // `bl` defines lr (r14); real Thumb handles BL with a 32-bit pair,
         // which is equivalent to "not convertible" for bandwidth purposes.
         let call = Insn::branch(Opcode::Bl, 10);
-        assert_eq!(check_convertible(&call), Err(ThumbIncompatibility::HighRegister(Reg::LR)));
+        assert_eq!(
+            check_convertible(&call),
+            Err(ThumbIncompatibility::HighRegister(Reg::LR))
+        );
     }
 
     #[test]

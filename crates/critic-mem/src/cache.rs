@@ -23,13 +23,27 @@ impl CacheConfig {
     /// Panics if any dimension is zero, if `line_bytes` is not a power of
     /// two, or if the geometry does not divide evenly into sets.
     pub fn new(size_bytes: u64, ways: u32, line_bytes: u64, hit_latency: u64) -> CacheConfig {
-        assert!(size_bytes > 0 && ways > 0 && line_bytes > 0, "zero cache dimension");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && ways > 0 && line_bytes > 0,
+            "zero cache dimension"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes;
-        assert!(lines.is_multiple_of(u64::from(ways)), "capacity must divide into sets");
+        assert!(
+            lines.is_multiple_of(u64::from(ways)),
+            "capacity must divide into sets"
+        );
         let sets = lines / u64::from(ways);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheConfig { size_bytes, ways, line_bytes, hit_latency }
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+            hit_latency,
+        }
     }
 
     /// Number of sets.
@@ -154,14 +168,27 @@ impl Cache {
     /// Checks presence without updating any state.
     pub fn contains(&self, addr: u64) -> bool {
         let (base, tag) = self.set_range(addr);
-        self.sets[base..base + self.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.sets[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     fn fill(&mut self, base: usize, tag: u64, prefetched: bool) {
         let victim = (base..base + self.ways)
-            .min_by_key(|&i| if self.sets[i].valid { self.sets[i].lru } else { 0 })
+            .min_by_key(|&i| {
+                if self.sets[i].valid {
+                    self.sets[i].lru
+                } else {
+                    0
+                }
+            })
             .expect("ways >= 1");
-        self.sets[victim] = Line { tag, valid: true, lru: self.tick, prefetched };
+        self.sets[victim] = Line {
+            tag,
+            valid: true,
+            lru: self.tick,
+            prefetched,
+        };
     }
 
     /// Invalidates everything (used between measurement samples).

@@ -41,7 +41,12 @@ impl MemConfig {
     /// Fig. 11's `4×i-cache` design point: 128 KB instead of 32 KB.
     #[must_use]
     pub fn with_4x_icache(mut self) -> MemConfig {
-        self.icache = CacheConfig::new(self.icache.size_bytes * 4, self.icache.ways * 2, self.icache.line_bytes, self.icache.hit_latency);
+        self.icache = CacheConfig::new(
+            self.icache.size_bytes * 4,
+            self.icache.ways * 2,
+            self.icache.line_bytes,
+            self.icache.hit_latency,
+        );
         self
     }
 

@@ -82,7 +82,11 @@ pub struct Dram {
 impl Dram {
     /// Builds a DRAM with all banks precharged.
     pub fn new(config: DramConfig) -> Dram {
-        Dram { banks: vec![Bank::default(); config.total_banks() as usize], config, stats: DramStats::default() }
+        Dram {
+            banks: vec![Bank::default(); config.total_banks() as usize],
+            config,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration.
@@ -169,7 +173,11 @@ mod tests {
         let stride = cfg.row_bytes * cfg.total_banks(); // same bank, next row
         let first = d.access(0, 0);
         let second = d.access(stride, first);
-        assert_eq!(second, 26 + 26 + 26 + 8, "conflict pays tRP + tRCD + tCL + burst");
+        assert_eq!(
+            second,
+            26 + 26 + 26 + 8,
+            "conflict pays tRP + tRCD + tCL + burst"
+        );
         assert_eq!(d.stats().row_conflicts, 1);
     }
 
@@ -199,6 +207,9 @@ mod tests {
         for i in 0..64u64 {
             now += d.access(i * 64, now);
         }
-        assert!(d.row_hit_ratio() > 0.9, "sequential lines stay in the open row");
+        assert!(
+            d.row_hit_ratio() > 0.9,
+            "sequential lines stay in the open row"
+        );
     }
 }

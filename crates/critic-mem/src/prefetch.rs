@@ -45,7 +45,9 @@ impl ClptPrefetcher {
         // Saturating exponential approach toward the observed fanout.
         let observed = fanout.min(u32::from(CLPT_MAX)) as u8;
         if observed > *counter {
-            *counter = (*counter).saturating_add(((observed - *counter) / 2).max(1)).min(CLPT_MAX);
+            *counter = (*counter)
+                .saturating_add(((observed - *counter) / 2).max(1))
+                .min(CLPT_MAX);
         } else if *counter > 0 {
             *counter -= 1;
         }
@@ -101,7 +103,11 @@ impl EFetchPrefetcher {
     /// Builds an empty prefetcher that fetches `lines_ahead` lines of the
     /// predicted callee.
     pub fn new(lines_ahead: u32) -> EFetchPrefetcher {
-        EFetchPrefetcher { table: vec![0; EFETCH_ENTRIES], history: 0, lines_ahead }
+        EFetchPrefetcher {
+            table: vec![0; EFETCH_ENTRIES],
+            history: 0,
+            lines_ahead,
+        }
     }
 
     fn slot(history: u64) -> usize {
@@ -143,7 +149,10 @@ mod tests {
         for _ in 0..8 {
             clpt.train(pc, 12);
         }
-        assert!(clpt.is_critical(pc), "repeated high fanout marks the PC critical");
+        assert!(
+            clpt.is_critical(pc),
+            "repeated high fanout marks the PC critical"
+        );
     }
 
     #[test]
@@ -202,7 +211,11 @@ mod tests {
         }
         // After history ends with (…, C), calling A is next; after A, B.
         let pred_after_a = ef.observe_call(a);
-        assert_eq!(pred_after_a, Some(b), "history table predicts the follower of A's context");
+        assert_eq!(
+            pred_after_a,
+            Some(b),
+            "history table predicts the follower of A's context"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl MemSystem {
             dcache: Cache::new(config.dcache),
             l2: Cache::new(config.l2),
             dram: Dram::new(config.dram),
-            clpt: config.clpt_enabled.then(|| ClptPrefetcher::new(config.clpt_threshold)),
+            clpt: config
+                .clpt_enabled
+                .then(|| ClptPrefetcher::new(config.clpt_threshold)),
             efetch: config.efetch_enabled.then(|| EFetchPrefetcher::new(4)),
             clpt_prefetches: 0,
             efetch_prefetches: 0,
@@ -105,7 +107,9 @@ impl MemSystem {
 
     /// Notifies EFetch of a call; prefetches the predicted next function.
     pub fn observe_call(&mut self, target: u64, now: u64) {
-        let Some(efetch) = &mut self.efetch else { return };
+        let Some(efetch) = &mut self.efetch else {
+            return;
+        };
         if let Some(predicted) = efetch.observe_call(target) {
             self.efetch_prefetches += 1;
             let lines: Vec<u64> = efetch.prefetch_lines(predicted).collect();
@@ -213,7 +217,10 @@ mod tests {
         }
         // After calling a, EFetch predicts b and prefetches it.
         mem.observe_call(a, now);
-        assert!(mem.icache_contains(b), "predicted callee body staged in i-cache");
+        assert!(
+            mem.icache_contains(b),
+            "predicted callee body staged in i-cache"
+        );
         assert!(mem.stats().efetch_prefetches >= 1);
     }
 

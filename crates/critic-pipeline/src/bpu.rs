@@ -52,7 +52,10 @@ impl Bpu {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, history_bits: u32, ras_depth: usize) -> Bpu {
-        assert!(entries.is_power_of_two(), "BPU entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "BPU entries must be a power of two"
+        );
         Bpu {
             bimodal: vec![2; entries],
             gshare: vec![2; entries],
@@ -83,7 +86,11 @@ impl Bpu {
         let bimodal_taken = self.bimodal[bi] >= 2;
         let gshare_taken = self.gshare[gi] >= 2;
         let use_gshare = self.chooser[bi] >= 2;
-        let predicted = if use_gshare { gshare_taken } else { bimodal_taken };
+        let predicted = if use_gshare {
+            gshare_taken
+        } else {
+            bimodal_taken
+        };
 
         // Train the chooser toward whichever component was right.
         match (bimodal_taken == taken, gshare_taken == taken) {
@@ -156,7 +163,11 @@ mod tests {
         for _ in 0..64 {
             b.predict_conditional(pc, true);
         }
-        assert_eq!(b.stats().mispredicts, before, "a settled biased branch never mispredicts");
+        assert_eq!(
+            b.stats().mispredicts,
+            before,
+            "a settled biased branch never mispredicts"
+        );
     }
 
     #[test]
@@ -194,7 +205,10 @@ mod tests {
             b.predict_conditional(pc, i % 2 == 0);
         }
         let new = b.stats().mispredicts - before;
-        assert!(new < 16, "gshare side should capture alternation, got {new} misses");
+        assert!(
+            new < 16,
+            "gshare side should capture alternation, got {new} misses"
+        );
     }
 
     #[test]
@@ -203,13 +217,18 @@ mod tests {
         let mut x = 12345u64;
         let mut outcomes = Vec::new();
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             outcomes.push((x >> 33) & 1 == 1);
         }
         for (i, &taken) in outcomes.iter().enumerate() {
             b.predict_conditional(0x3000 + (i as u64 % 7) * 4, taken);
         }
-        assert!(b.stats().misp_rate() > 0.25, "patternless branches should hurt");
+        assert!(
+            b.stats().misp_rate() > 0.25,
+            "patternless branches should hurt"
+        );
     }
 
     #[test]

@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn toggles_compose() {
-        let cfg = CpuConfig::google_tablet().with_perfect_branch().with_critical_prioritization();
+        let cfg = CpuConfig::google_tablet()
+            .with_perfect_branch()
+            .with_critical_prioritization();
         assert!(cfg.perfect_branch && cfg.prioritize_critical);
     }
 

@@ -27,8 +27,15 @@ impl CritTable {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, threshold: u32) -> CritTable {
-        assert!(entries.is_power_of_two(), "table entries must be a power of two");
-        CritTable { counters: vec![0; entries], mask: entries - 1, threshold }
+        assert!(
+            entries.is_power_of_two(),
+            "table entries must be a power of two"
+        );
+        CritTable {
+            counters: vec![0; entries],
+            mask: entries - 1,
+            threshold,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

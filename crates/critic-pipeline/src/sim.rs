@@ -57,7 +57,11 @@ impl Simulator {
     ///
     /// Panics if `fanout.len() != trace.len()`.
     pub fn run(&self, trace: &Trace, fanout: &[u32]) -> SimResult {
-        assert_eq!(trace.len(), fanout.len(), "fanout slice must match the trace");
+        assert_eq!(
+            trace.len(),
+            fanout.len(),
+            "fanout slice must match the trace"
+        );
         let cfg = &self.cpu;
         let mut mem = MemSystem::new(&self.mem_config);
         let mut bpu = Bpu::new(cfg.bpu_entries, cfg.bpu_history_bits, cfg.ras_depth);
@@ -122,7 +126,9 @@ impl Simulator {
                 // back-pressure, not fetch-stage time — gem5 charges it to
                 // rename-blocked-on-ROB, the paper to "ROB queue
                 // residencies" — so it lands in the commit bucket.
-                let buffer_total = decoded_at[hi].saturating_sub(fetched_at[hi]).saturating_sub(1);
+                let buffer_total = decoded_at[hi]
+                    .saturating_sub(fetched_at[hi])
+                    .saturating_sub(1);
                 let buffer_blocked =
                     (blocked_at_decode[hi] - blocked_at_fetch[hi]).min(buffer_total);
                 let buffer = buffer_total - buffer_blocked;
@@ -133,7 +139,14 @@ impl Simulator {
                 // instruction queued behind them.
                 let commit_wait = now.saturating_sub(done_at[hi].max(head_since)) + buffer_blocked;
                 head_since = now;
-                stage_all.add(u64::from(supply_stall[hi]), buffer, 1, issue_wait, execute, commit_wait);
+                stage_all.add(
+                    u64::from(supply_stall[hi]),
+                    buffer,
+                    1,
+                    issue_wait,
+                    execute,
+                    commit_wait,
+                );
                 if fanout[hi] >= cfg.crit_threshold {
                     stage_critical.add(
                         u64::from(supply_stall[hi]),
@@ -249,7 +262,9 @@ impl Simulator {
             if now >= dispatch_block_until {
                 let mut dispatched = 0;
                 while dispatched < cfg.width {
-                    let Some(&head) = fetch_queue.front() else { break };
+                    let Some(&head) = fetch_queue.front() else {
+                        break;
+                    };
                     let hi = head as usize;
                     if now < fetched_at[hi] + 1 {
                         break; // still in the decode pipe
@@ -503,7 +518,8 @@ impl FuUse {
             FuKind::FloatAdd => take(&mut self.float_add, pool.float_add),
             FuKind::FloatMul => take(&mut self.float_mul, pool.float_mul),
             FuKind::FloatDiv => {
-                float_div_free.iter().any(|&f| f <= now) && take(&mut self.float_div, pool.float_div)
+                float_div_free.iter().any(|&f| f <= now)
+                    && take(&mut self.float_div, pool.float_div)
             }
         }
     }
@@ -576,7 +592,10 @@ mod tests {
     fn stage_residencies_cover_critical_instructions() {
         let (trace, fanout) = mobile_trace(4, 20_000);
         let result = run(&trace, &fanout);
-        assert!(result.stage_critical.count > 0, "planted chains must yield critical insns");
+        assert!(
+            result.stage_critical.count > 0,
+            "planted chains must yield critical insns"
+        );
         assert!(result.stage_critical.count < result.stage_all.count);
         assert!(result.stage_all.total() > 0);
     }
@@ -611,8 +630,11 @@ mod tests {
     fn bigger_icache_reduces_icache_stalls() {
         let (trace, fanout) = mobile_trace(7, 30_000);
         let base = run(&trace, &fanout);
-        let big = Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet().with_4x_icache())
-            .run(&trace, &fanout);
+        let big = Simulator::new(
+            CpuConfig::google_tablet(),
+            MemConfig::google_tablet().with_4x_icache(),
+        )
+        .run(&trace, &fanout);
         assert!(
             big.fetch_stalls.icache <= base.fetch_stalls.icache,
             "4x i-cache must not increase i-stalls"
@@ -628,7 +650,10 @@ mod tests {
         let frac_i = result.stall_for_i_frac();
         let frac_rd = result.stall_for_rd_frac();
         assert!(frac_i > 0.02, "expected visible F.StallForI, got {frac_i}");
-        assert!(frac_rd > 0.01, "expected visible F.StallForR+D, got {frac_rd}");
+        assert!(
+            frac_rd > 0.01,
+            "expected visible F.StallForR+D, got {frac_rd}"
+        );
     }
 
     #[test]
@@ -636,7 +661,10 @@ mod tests {
         let (trace, fanout) = spec_trace(9, 20_000);
         let result = run(&trace, &fanout);
         assert_eq!(result.committed + result.cdp_switches, trace.len() as u64);
-        assert!(result.mem.dram.accesses > 0, "SPEC working sets must reach DRAM");
+        assert!(
+            result.mem.dram.accesses > 0,
+            "SPEC working sets must reach DRAM"
+        );
     }
 
     #[test]

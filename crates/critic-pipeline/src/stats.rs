@@ -187,8 +187,16 @@ mod tests {
 
     #[test]
     fn speedup_is_cycle_ratio() {
-        let base = SimResult { cycles: 1000, committed: 800, ..Default::default() };
-        let fast = SimResult { cycles: 800, committed: 800, ..Default::default() };
+        let base = SimResult {
+            cycles: 1000,
+            committed: 800,
+            ..Default::default()
+        };
+        let fast = SimResult {
+            cycles: 800,
+            committed: 800,
+            ..Default::default()
+        };
         assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-9);
         assert!((base.ipc() - 0.8).abs() < 1e-9);
     }
@@ -197,7 +205,11 @@ mod tests {
     fn stall_fractions() {
         let r = SimResult {
             cycles: 100,
-            fetch_stalls: FetchStalls { icache: 15, branch: 2, backpressure: 11 },
+            fetch_stalls: FetchStalls {
+                icache: 15,
+                branch: 2,
+                backpressure: 11,
+            },
             ..Default::default()
         };
         assert!((r.stall_for_i_frac() - 0.17).abs() < 1e-9);

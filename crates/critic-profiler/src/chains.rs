@@ -54,7 +54,11 @@ impl DynChain {
         if self.members.is_empty() {
             return 0.0;
         }
-        let sum: u64 = self.members.iter().map(|&m| u64::from(fanout[m as usize])).sum();
+        let sum: u64 = self
+            .members
+            .iter()
+            .map(|&m| u64::from(fanout[m as usize]))
+            .sum();
         sum as f64 / self.members.len() as f64
     }
 }
@@ -77,7 +81,14 @@ struct Grower<'a> {
 impl<'a> Grower<'a> {
     fn new(dfg: &'a Dfg, trace: &'a Trace, fanout: &'a [u32]) -> Grower<'a> {
         let n = trace.len();
-        Grower { dfg, trace, fanout, claimed: vec![false; n], stamp: vec![u32::MAX; n], chain_id: 0 }
+        Grower {
+            dfg,
+            trace,
+            fanout,
+            claimed: vec![false; n],
+            stamp: vec![u32::MAX; n],
+            chain_id: 0,
+        }
     }
 
     /// Grows a chain from `head`, bounded by `limit` (exclusive end of the
@@ -106,9 +117,9 @@ impl<'a> Grower<'a> {
                 }
                 // Self-containment: every dependence must be external
                 // (before `boundary`) or a chain member.
-                let ok = self.trace.entries[cand as usize].deps_iter().all(|d| {
-                    d < boundary || self.stamp[d as usize] == id
-                });
+                let ok = self.trace.entries[cand as usize]
+                    .deps_iter()
+                    .all(|d| d < boundary || self.stamp[d as usize] == id);
                 if !ok {
                     continue;
                 }
@@ -210,18 +221,24 @@ pub fn extract_block_ics(trace: &Trace, dfg: &Dfg, fanout: &[u32]) -> Vec<DynCha
     while start < n {
         // A block instance is a maximal run with at.index increasing from 0.
         let mut end = start + 1;
-        while end < n && trace.entries[end].at.index > 0 && trace.entries[end].at.block == trace.entries[start].at.block
+        while end < n
+            && trace.entries[end].at.index > 0
+            && trace.entries[end].at.block == trace.entries[start].at.block
         {
             end += 1;
         }
-        let critical_pass =
-            (start..end).filter(|&i| fanout[i] >= CRITICAL_HEAD_THRESHOLD);
+        let critical_pass = (start..end).filter(|&i| fanout[i] >= CRITICAL_HEAD_THRESHOLD);
         for head in critical_pass.chain(start..end) {
             if grower.claimed[head] {
                 continue;
             }
-            let members =
-                grower.grow(head as u32, start as u32, end as u32, (end - start) as u32, usize::MAX);
+            let members = grower.grow(
+                head as u32,
+                start as u32,
+                end as u32,
+                (end - start) as u32,
+                usize::MAX,
+            );
             if members.len() >= 2 {
                 grower.claim(&members);
                 chains.push(DynChain { members });
@@ -358,7 +375,8 @@ mod tests {
             assert!(chain
                 .members
                 .windows(2)
-                .all(|w| trace.entries[w[0] as usize].at.index < trace.entries[w[1] as usize].at.index));
+                .all(|w| trace.entries[w[0] as usize].at.index
+                    < trace.entries[w[1] as usize].at.index));
         }
     }
 
@@ -367,9 +385,13 @@ mod tests {
         // Fig. 5a: SPEC ICs reach kilo-instruction lengths via loop-carried
         // dependences; mobile ICs stay short and close.
         let (trace_m, fanout_m, dfg_m) = setup(Suite::Mobile, 30_000);
-        let mobile = ChainShape::measure(&extract_dynamic_ics(&trace_m, &dfg_m, &fanout_m, 8192, 4096));
+        let mobile = ChainShape::measure(&extract_dynamic_ics(
+            &trace_m, &dfg_m, &fanout_m, 8192, 4096,
+        ));
         let (trace_s, fanout_s, dfg_s) = setup(Suite::SpecFloat, 30_000);
-        let spec = ChainShape::measure(&extract_dynamic_ics(&trace_s, &dfg_s, &fanout_s, 8192, 4096));
+        let spec = ChainShape::measure(&extract_dynamic_ics(
+            &trace_s, &dfg_s, &fanout_s, 8192, 4096,
+        ));
         assert!(
             spec.max_len > mobile.max_len * 3,
             "spec max_len {} vs mobile {}",
@@ -387,7 +409,9 @@ mod tests {
 
     #[test]
     fn avg_fanout_is_the_member_mean() {
-        let chain = DynChain { members: vec![0, 2, 5] };
+        let chain = DynChain {
+            members: vec![0, 2, 5],
+        };
         let fanout = vec![12, 0, 3, 0, 0, 9];
         assert!((chain.avg_fanout(&fanout) - 8.0).abs() < 1e-9);
         assert_eq!(chain.spread(), 5);

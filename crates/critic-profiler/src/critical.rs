@@ -38,7 +38,11 @@ impl CriticalitySummary {
         let critical = fanout.iter().filter(|&&f| f >= threshold).count() as u64;
         let max_fanout = fanout.iter().copied().max().unwrap_or(0);
         let sum: u64 = fanout.iter().map(|&f| u64::from(f)).sum();
-        let mean = if fanout.is_empty() { 0.0 } else { sum as f64 / fanout.len() as f64 };
+        let mean = if fanout.is_empty() {
+            0.0
+        } else {
+            sum as f64 / fanout.len() as f64
+        };
         CriticalitySummary {
             instructions: trace.len() as u64,
             critical,

@@ -35,7 +35,10 @@ impl Dfg {
                 cursor[dep as usize] += 1;
             }
         }
-        Dfg { offsets: counts, consumers }
+        Dfg {
+            offsets: counts,
+            consumers,
+        }
     }
 
     /// The direct consumers of instruction `i`, in trace order.
@@ -119,7 +122,10 @@ mod tests {
         for i in 0..trace.len() as u32 {
             let consumers = dfg.consumers(i);
             assert!(consumers.windows(2).all(|w| w[0] <= w[1]));
-            assert!(consumers.iter().all(|&c| c > i), "consumers come after producers");
+            assert!(
+                consumers.iter().all(|&c| c > i),
+                "consumers come after producers"
+            );
         }
     }
 }

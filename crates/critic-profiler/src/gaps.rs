@@ -163,8 +163,7 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let hist = histogram_for(Suite::Mobile, 20_000);
-        let sum: f64 =
-            hist.none_frac() + (0..=MAX_GAP).map(|g| hist.gap_frac(g)).sum::<f64>();
+        let sum: f64 = hist.none_frac() + (0..=MAX_GAP).map(|g| hist.gap_frac(g)).sum::<f64>();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 

@@ -55,7 +55,10 @@ mod tests {
         let loaded = load_profile(&file).expect("loads");
         assert_eq!(profile.chains.len(), loaded.chains.len());
         for (a, b) in profile.chains.iter().zip(&loaded.chains) {
-            assert_eq!((a.block, &a.uids, a.dynamic_count), (b.block, &b.uids, b.dynamic_count));
+            assert_eq!(
+                (a.block, &a.uids, a.dynamic_count),
+                (b.block, &b.uids, b.dynamic_count)
+            );
         }
         // The artifact is compact, like the paper's ~10 KB profile.
         let bytes = fs::metadata(&file).expect("stat").len();

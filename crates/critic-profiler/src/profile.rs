@@ -75,7 +75,11 @@ impl Default for ProfilerConfig {
 impl ProfilerConfig {
     /// The CritIC.Ideal configuration: no length cap, no Thumb filter.
     pub fn ideal() -> ProfilerConfig {
-        ProfilerConfig { max_chain_len: None, require_thumb: false, ..ProfilerConfig::default() }
+        ProfilerConfig {
+            max_chain_len: None,
+            require_thumb: false,
+            ..ProfilerConfig::default()
+        }
     }
 }
 
@@ -139,7 +143,11 @@ pub struct Profile {
 impl Profile {
     /// An empty profile (the baseline compiler input).
     pub fn empty() -> Profile {
-        Profile { chains: Vec::new(), dynamic_coverage: 0.0, stats: ProfileStats::default() }
+        Profile {
+            chains: Vec::new(),
+            dynamic_coverage: 0.0,
+            stats: ProfileStats::default(),
+        }
     }
 }
 
@@ -208,7 +216,9 @@ impl Profiler {
             }
         }
         let avg_of = |uid: InsnUid| -> f64 {
-            uid_fanout.get(&uid).map_or(0.0, |&(sum, count)| sum as f64 / count.max(1) as f64)
+            uid_fanout
+                .get(&uid)
+                .map_or(0.0, |&(sum, count)| sum as f64 / count.max(1) as f64)
         };
 
         let mut unique_chains = 0u64;
@@ -228,14 +238,18 @@ impl Profiler {
                 if positions.len() < 2 {
                     continue;
                 }
-                let avg_fanout = positions.iter().map(|&p| avg_of(block.insns[p].uid)).sum::<f64>()
+                let avg_fanout = positions
+                    .iter()
+                    .map(|&p| avg_of(block.insns[p].uid))
+                    .sum::<f64>()
                     / positions.len() as f64;
                 if avg_fanout < cfg.chain_avg_threshold {
                     continue;
                 }
                 critical_chains += 1;
-                let thumb_convertible =
-                    positions.iter().all(|&p| block.insns[p].insn.thumb_convertible().is_ok());
+                let thumb_convertible = positions
+                    .iter()
+                    .all(|&p| block.insns[p].insn.thumb_convertible().is_ok());
                 if thumb_convertible {
                     convertible_count += 1;
                 }
@@ -306,7 +320,11 @@ pub fn block_static_chains(block: &BasicBlock, avg_of: &dyn Fn(InsnUid) -> f64) 
 
     let score = |i: usize| -> f64 { avg_of(block.insns[i].uid) };
     let mut heads: Vec<usize> = (0..n).collect();
-    heads.sort_by(|&a, &b| score(b).partial_cmp(&score(a)).unwrap_or(std::cmp::Ordering::Equal));
+    heads.sort_by(|&a, &b| {
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut claimed = vec![false; n];
     let mut chains: Vec<Vec<usize>> = Vec::new();
@@ -335,8 +353,7 @@ pub fn block_static_chains(block: &BasicBlock, avg_of: &dyn Fn(InsnUid) -> f64) 
                 let ahead = consumers[cand]
                     .iter()
                     .filter(|&&c2| {
-                        !claimed[c2]
-                            && producers[c2].iter().all(|&p| in_chain[p] || p == cand)
+                        !claimed[c2] && producers[c2].iter().all(|&p| in_chain[p] || p == cand)
                     })
                     .map(|&c| score(c))
                     .fold(0.0f64, f64::max);
@@ -385,7 +402,11 @@ mod tests {
         assert!(!profile.chains.is_empty());
         for chain in &profile.chains {
             assert!(chain.avg_fanout >= 8.0, "selected chain below threshold");
-            assert!(chain.len() >= 2 && chain.len() <= 5, "length cap violated: {}", chain.len());
+            assert!(
+                chain.len() >= 2 && chain.len() <= 5,
+                "length cap violated: {}",
+                chain.len()
+            );
             assert!(chain.thumb_convertible, "require_thumb filter violated");
             assert!(chain.dynamic_count >= 1);
         }
@@ -402,9 +423,15 @@ mod tests {
         assert!(!profile.chains.is_empty());
         for chain in &profile.chains {
             let block = program.block(chain.block);
-            let positions: Vec<usize> =
-                chain.uids.iter().map(|&uid| block.position_of(uid).expect("uid in block")).collect();
-            assert!(positions.windows(2).all(|w| w[0] < w[1]), "members in program order");
+            let positions: Vec<usize> = chain
+                .uids
+                .iter()
+                .map(|&uid| block.position_of(uid).expect("uid in block"))
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "members in program order"
+            );
             for w in positions.windows(2) {
                 let producer = &block.insns[w[0]].insn;
                 let consumer = &block.insns[w[1]].insn;
@@ -447,10 +474,16 @@ mod tests {
     #[test]
     fn smaller_profile_fraction_sees_less() {
         let (program, trace) = mobile_setup(40_000);
-        let full = Profiler::new(ProfilerConfig { profile_fraction: 1.0, ..Default::default() })
-            .build_profile(&program, &trace);
-        let third = Profiler::new(ProfilerConfig { profile_fraction: 0.33, ..Default::default() })
-            .build_profile(&program, &trace);
+        let full = Profiler::new(ProfilerConfig {
+            profile_fraction: 1.0,
+            ..Default::default()
+        })
+        .build_profile(&program, &trace);
+        let third = Profiler::new(ProfilerConfig {
+            profile_fraction: 0.33,
+            ..Default::default()
+        })
+        .build_profile(&program, &trace);
         assert!(third.stats.profiled_insns < full.stats.profiled_insns);
         let count = |p: &Profile| p.chains.iter().map(|c| c.dynamic_count).sum::<u64>();
         assert!(count(&third) < count(&full));
@@ -461,8 +494,11 @@ mod tests {
         // The paper's selected CritICs account for ~30% of the dynamic
         // stream; our synthetic apps should land in the same region.
         let (program, trace) = mobile_setup(60_000);
-        let profile = Profiler::new(ProfilerConfig { profile_fraction: 1.0, ..Default::default() })
-            .build_profile(&program, &trace);
+        let profile = Profiler::new(ProfilerConfig {
+            profile_fraction: 1.0,
+            ..Default::default()
+        })
+        .build_profile(&program, &trace);
         assert!(
             profile.dynamic_coverage > 0.08 && profile.dynamic_coverage < 0.8,
             "coverage {:.3} outside plausible band",
@@ -509,7 +545,10 @@ mod tests {
         let err = Profiler::new(ProfilerConfig::default())
             .try_build_profile(&program_b, &trace_a)
             .expect_err("foreign trace must be rejected");
-        assert!(matches!(err, crate::ProfileError::InvalidTrace(_)), "wrong error: {err}");
+        assert!(
+            matches!(err, crate::ProfileError::InvalidTrace(_)),
+            "wrong error: {err}"
+        );
         // The matching pair still profiles.
         assert!(Profiler::new(ProfilerConfig::default())
             .try_build_profile(&program_a, &trace_a)

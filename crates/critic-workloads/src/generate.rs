@@ -119,8 +119,9 @@ impl ProgramGenerator {
         } else {
             self.params.call_density
         };
-        let sizes: Vec<usize> =
-            (0..nb).map(|_| self.sample_span(self.params.insns_per_block).max(2) as usize).collect();
+        let sizes: Vec<usize> = (0..nb)
+            .map(|_| self.sample_span(self.params.insns_per_block).max(2) as usize)
+            .collect();
 
         let mut ends: Vec<BlockEnd> = vec![BlockEnd::Fallthrough; nb];
 
@@ -130,7 +131,10 @@ impl ProgramGenerator {
             let head = self.rng.gen_range(0..nb - 2);
             let tail = self.rng.gen_range(head + 1..nb - 1);
             let trips = f64::from(self.sample_span(self.params.loop_trips).max(1));
-            ends[tail] = BlockEnd::LoopBack { head, prob_taken: trips / (trips + 1.0) };
+            ends[tail] = BlockEnd::LoopBack {
+                head,
+                prob_taken: trips / (trips + 1.0),
+            };
             loop_span = Some((head, tail));
         }
 
@@ -155,20 +159,35 @@ impl ProgramGenerator {
                 // sees the tail).
                 let span = f64::from(hi - lo);
                 let roll: f64 = self.rng.gen::<f64>();
-                let skewed = if num_functions > 100 { roll * roll } else { roll };
+                let skewed = if num_functions > 100 {
+                    roll * roll
+                } else {
+                    roll
+                };
                 let callee = FuncId(lo + (skewed * span) as u32);
                 *end = BlockEnd::Call { callee };
             } else if i + 2 < nb && self.rng.gen_bool(self.params.cond_branch_prob) {
                 let skip_to = self.rng.gen_range(i + 2..=(i + 3).min(nb - 1));
                 let bias = self.params.branch_bias.clamp(0.5, 0.99);
                 let jitter = self.rng.gen_range(-0.04..0.04);
-                let base = if self.rng.gen_bool(0.5) { bias } else { 1.0 - bias };
+                let base = if self.rng.gen_bool(0.5) {
+                    bias
+                } else {
+                    1.0 - bias
+                };
                 let prob_taken = (base + jitter).clamp(0.02, 0.98);
-                *end = BlockEnd::CondSkip { target: skip_to, prob_taken };
+                *end = BlockEnd::CondSkip {
+                    target: skip_to,
+                    prob_taken,
+                };
             }
         }
 
-        FunctionSkeleton { sizes, ends, loop_span }
+        FunctionSkeleton {
+            sizes,
+            ends,
+            loop_span,
+        }
     }
 
     fn build_function(
@@ -242,7 +261,15 @@ impl ProgramGenerator {
             if let Some(free) = find_free(&slots, lo, hi) {
                 let saved = self.params.isolated_critical_frac;
                 self.params.isolated_critical_frac = 1.0;
-                let _ = self.plant_chain(&mut slots, &mut hinted_slots, &mut regs, free, total, ctx, None);
+                let _ = self.plant_chain(
+                    &mut slots,
+                    &mut hinted_slots,
+                    &mut regs,
+                    free,
+                    total,
+                    ctx,
+                    None,
+                );
                 self.params.isolated_critical_frac = saved;
             }
             let acc = regs.alloc_pinned();
@@ -305,22 +332,36 @@ impl ProgramGenerator {
                 _ if is_last => {
                     if func.0 == 0 {
                         // The entry function is an endless event/outer loop.
-                        (Terminator::Jump(abs(0)), Some(Insn::branch(Opcode::B, word_offset(b, 0))))
+                        (
+                            Terminator::Jump(abs(0)),
+                            Some(Insn::branch(Opcode::B, word_offset(b, 0))),
+                        )
                     } else {
                         (Terminator::Return, Some(Insn::branch_reg(Reg::LR)))
                     }
                 }
                 BlockEnd::Fallthrough => (Terminator::Fallthrough(abs(b + 1)), None),
                 BlockEnd::CondSkip { target, prob_taken } => (
-                    Terminator::Branch { taken: abs(target), not_taken: abs(b + 1), prob_taken },
+                    Terminator::Branch {
+                        taken: abs(target),
+                        not_taken: abs(b + 1),
+                        prob_taken,
+                    },
                     Some(Insn::branch(Opcode::B, word_offset(b, target)).with_cond(Cond::Ne)),
                 ),
                 BlockEnd::LoopBack { head, prob_taken } => (
-                    Terminator::Branch { taken: abs(head), not_taken: abs(b + 1), prob_taken },
+                    Terminator::Branch {
+                        taken: abs(head),
+                        not_taken: abs(b + 1),
+                        prob_taken,
+                    },
                     Some(Insn::branch(Opcode::B, word_offset(b, head)).with_cond(Cond::Lt)),
                 ),
                 BlockEnd::Call { callee } => (
-                    Terminator::Call { callee, return_to: abs(b + 1) },
+                    Terminator::Call {
+                        callee,
+                        return_to: abs(b + 1),
+                    },
                     // Inter-function distance: far beyond the 16-bit branch
                     // range, like a real library call.
                     Some(Insn::branch(Opcode::Bl, 4096 + callee.0 as i32 * 64)),
@@ -330,7 +371,12 @@ impl ProgramGenerator {
                 insns.push(TaggedInsn::new(insn, InsnUid(*uid_counter)));
                 *uid_counter += 1;
             }
-            built.push(BasicBlock { id: abs(b), func, insns, terminator });
+            built.push(BasicBlock {
+                id: abs(b),
+                func,
+                insns,
+                terminator,
+            });
         }
         built
     }
@@ -348,8 +394,11 @@ impl ProgramGenerator {
         link: Option<(Reg, usize)>,
     ) -> Option<(Reg, usize)> {
         let isolated = self.rng.gen_bool(self.params.isolated_critical_frac);
-        let criticals =
-            if isolated { 1 } else { self.sample_span(self.params.chain_criticals).max(1) as usize };
+        let criticals = if isolated {
+            1
+        } else {
+            self.sample_span(self.params.chain_criticals).max(1) as usize
+        };
 
         // Build the member pattern: C (g lows) C (g lows) C … (1-2 trailing
         // lows carry the value toward the next chain's head).
@@ -374,7 +423,9 @@ impl ProgramGenerator {
         let mut last_dest: Option<Reg> = None;
         let mut last_was_low = false;
         for &critical in &members {
-            let Some(at) = find_free(slots, pos, total) else { break };
+            let Some(at) = find_free(slots, pos, total) else {
+                break;
+            };
             // Criticals stay live across their whole consumer window; gap
             // members only need to survive until the next member reads them.
             // Short gap reservations keep the low-register pool available,
@@ -382,8 +433,11 @@ impl ProgramGenerator {
             // Reservations start at the *chain head*, not the member: no
             // filler inside the chain's span may reuse a member register,
             // which is exactly what keeps the compiler's hoist legal.
-            let until =
-                if critical { (at + window).min(total) } else { (at + 10).min(total) };
+            let until = if critical {
+                (at + window).min(total)
+            } else {
+                (at + 10).min(total)
+            };
             let Some(dest) = regs.alloc_protected(start, until, &mut self.rng) else {
                 break;
             };
@@ -431,7 +485,9 @@ impl ProgramGenerator {
         for (dest, until) in critical_dests {
             let mut cpos = last_at + 1;
             for _ in 0..explicit {
-                let Some(cslot) = find_free(slots, cpos, until) else { break };
+                let Some(cslot) = find_free(slots, cpos, until) else {
+                    break;
+                };
                 // Consumers fall back to the scratch register under pool
                 // pressure: their *reads* are the point, their value is not.
                 let cdst = regs
@@ -481,10 +537,16 @@ impl ProgramGenerator {
             let offset = 4 * self.rng.gen_range(0..=15);
             Insn::load(Opcode::Ldr, dest, src_a, offset)
         } else {
-            let op = [Opcode::Add, Opcode::Sub, Opcode::Eor, Opcode::And, Opcode::Orr]
-                .choose(&mut self.rng)
-                .copied()
-                .unwrap_or(Opcode::Add);
+            let op = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Eor,
+                Opcode::And,
+                Opcode::Orr,
+            ]
+            .choose(&mut self.rng)
+            .copied()
+            .unwrap_or(Opcode::Add);
             Insn::alu(op, dest, &[src_a, src_b])
         };
         if polluted {
@@ -512,10 +574,16 @@ impl ProgramGenerator {
         let src = self.filler_src_at(regs, at);
 
         let mut insn = if roll < p.load_frac {
-            let op = [Opcode::Ldr, Opcode::Ldr, Opcode::Ldr, Opcode::Ldrb, Opcode::Ldrh]
-                .choose(&mut self.rng)
-                .copied()
-                .unwrap_or(Opcode::Ldr);
+            let op = [
+                Opcode::Ldr,
+                Opcode::Ldr,
+                Opcode::Ldr,
+                Opcode::Ldrb,
+                Opcode::Ldrh,
+            ]
+            .choose(&mut self.rng)
+            .copied()
+            .unwrap_or(Opcode::Ldr);
             let offset = self.mem_offset();
             Insn::load(op, dst, src, offset)
         } else if roll < p.load_frac + p.store_frac {
@@ -533,17 +601,27 @@ impl ProgramGenerator {
             let other = self.filler_src_at(regs, at);
             Insn::alu(Opcode::Sdiv, dst, &[src, other])
         } else if roll < p.load_frac + p.store_frac + p.mul_frac + p.div_frac + p.float_frac {
-            let op = [Opcode::Vadd, Opcode::Vmul, Opcode::Vsub, Opcode::Vadd, Opcode::Vdiv]
-                .choose(&mut self.rng)
-                .copied()
-                .unwrap_or(Opcode::Vadd);
+            let op = [
+                Opcode::Vadd,
+                Opcode::Vmul,
+                Opcode::Vsub,
+                Opcode::Vadd,
+                Opcode::Vdiv,
+            ]
+            .choose(&mut self.rng)
+            .copied()
+            .unwrap_or(Opcode::Vadd);
             let other = self.filler_src_at(regs, at);
             Insn::alu(op, dst, &[src, other])
         } else if self.rng.gen_bool(0.25) {
             // Immediate ALU, mostly two-address (Thumb-friendly, like real
             // compiler output: increments, masks, small adjustments).
             let wide = self.rng.gen_bool(p.wide_imm_frac);
-            let imm = if wide { self.rng.gen_range(128..=255) } else { self.rng.gen_range(0..=63) };
+            let imm = if wide {
+                self.rng.gen_range(128..=255)
+            } else {
+                self.rng.gen_range(0..=63)
+            };
             if self.rng.gen_bool(0.3) {
                 Insn::mov_imm(dst, imm)
             } else {
@@ -561,10 +639,17 @@ impl ProgramGenerator {
                 }
             }
         } else {
-            let op = [Opcode::Add, Opcode::Sub, Opcode::Orr, Opcode::Eor, Opcode::Mov, Opcode::Lsr]
-                .choose(&mut self.rng)
-                .copied()
-                .unwrap_or(Opcode::Add);
+            let op = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Orr,
+                Opcode::Eor,
+                Opcode::Mov,
+                Opcode::Lsr,
+            ]
+            .choose(&mut self.rng)
+            .copied()
+            .unwrap_or(Opcode::Add);
             if matches!(op, Opcode::Mov) {
                 Insn::alu(op, dst, &[src])
             } else {
@@ -612,7 +697,10 @@ impl ProgramGenerator {
 }
 
 fn find_free(slots: &[Option<Insn>], from: usize, to: usize) -> Option<usize> {
-    slots[from.min(to)..to].iter().position(Option::is_none).map(|i| from + i)
+    slots[from.min(to)..to]
+        .iter()
+        .position(Option::is_none)
+        .map(|i| from + i)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -681,18 +769,24 @@ impl RegAlloc {
         rng: &mut StdRng,
         prefer_high: bool,
     ) -> Option<Reg> {
-        let (first, second): (std::ops::Range<usize>, std::ops::Range<usize>) =
-            if prefer_high { (8..POOL_SIZE, 0..8) } else { (0..8, 8..POOL_SIZE) };
-        let pick = |range: std::ops::Range<usize>, this: &Self, rng: &mut StdRng| -> Option<usize> {
-            let free: Vec<usize> = range.filter(|&i| this.available(i, at)).collect();
-            free.choose(rng).copied()
+        let (first, second): (std::ops::Range<usize>, std::ops::Range<usize>) = if prefer_high {
+            (8..POOL_SIZE, 0..8)
+        } else {
+            (0..8, 8..POOL_SIZE)
         };
-        let index = pick(first, self, rng).or_else(|| pick(second, self, rng)).or_else(|| {
-            // Steal the soonest-released *unprotected* register.
-            (0..POOL_SIZE)
-                .filter(|&i| !self.pinned[i] && self.protected_until[i] <= at)
-                .min_by_key(|&i| self.busy_until[i])
-        })?;
+        let pick =
+            |range: std::ops::Range<usize>, this: &Self, rng: &mut StdRng| -> Option<usize> {
+                let free: Vec<usize> = range.filter(|&i| this.available(i, at)).collect();
+                free.choose(rng).copied()
+            };
+        let index = pick(first, self, rng)
+            .or_else(|| pick(second, self, rng))
+            .or_else(|| {
+                // Steal the soonest-released *unprotected* register.
+                (0..POOL_SIZE)
+                    .filter(|&i| !self.pinned[i] && self.protected_until[i] <= at)
+                    .min_by_key(|&i| self.busy_until[i])
+            })?;
         self.busy_until[index] = until;
         Reg::from_index(index as u8)
     }
@@ -777,9 +871,16 @@ impl RegAlloc {
     /// only already-defined values is what keeps the compiler's chain
     /// hoisting legal.
     fn recent_or_default(&self, at: usize, rng: &mut StdRng) -> Reg {
-        let defined: Vec<Reg> =
-            self.recent.iter().filter(|&&(_, def)| def < at).map(|&(r, _)| r).collect();
-        defined.choose(rng).copied().unwrap_or_else(|| self.free_low_reg(at, rng))
+        let defined: Vec<Reg> = self
+            .recent
+            .iter()
+            .filter(|&&(_, def)| def < at)
+            .map(|&(r, _)| r)
+            .collect();
+        defined
+            .choose(rng)
+            .copied()
+            .unwrap_or_else(|| self.free_low_reg(at, rng))
     }
 
     /// A recently-defined *low* register (Thumb source fields are 3-bit).
@@ -790,13 +891,16 @@ impl RegAlloc {
             .filter(|&&(r, def)| r.index() < 8 && def < at)
             .map(|&(r, _)| r)
             .collect();
-        lows.choose(rng).copied().unwrap_or_else(|| self.free_low_reg(at, rng))
+        lows.choose(rng)
+            .copied()
+            .unwrap_or_else(|| self.free_low_reg(at, rng))
     }
 
     /// A low register with no chain reservation pending at `at`.
     fn free_low_reg(&self, at: usize, rng: &mut StdRng) -> Reg {
-        let free: Vec<u8> =
-            (0..8u8).filter(|&i| self.protected_until[i as usize] <= at).collect();
+        let free: Vec<u8> = (0..8u8)
+            .filter(|&i| self.protected_until[i as usize] <= at)
+            .collect();
         let index = free.choose(rng).copied().unwrap_or(0);
         Reg::from_index(index).unwrap_or(SCRATCH)
     }
@@ -840,7 +944,11 @@ mod tests {
                 Terminator::Fallthrough(t) | Terminator::Jump(t) => {
                     assert!(t.index() < program.blocks.len());
                 }
-                Terminator::Branch { taken, not_taken, prob_taken } => {
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
                     assert!(taken.index() < program.blocks.len());
                     assert!(not_taken.index() < program.blocks.len());
                     assert!((0.0..=1.0).contains(&prob_taken));
@@ -866,7 +974,12 @@ mod tests {
         let program = ProgramGenerator::new(small_params(9)).generate();
         for block in &program.blocks {
             if let Terminator::Call { callee, .. } = block.terminator {
-                assert!(callee.0 > block.func.0, "call from {} to {}", block.func, callee);
+                assert!(
+                    callee.0 > block.func.0,
+                    "call from {} to {}",
+                    block.func,
+                    callee
+                );
             }
         }
     }

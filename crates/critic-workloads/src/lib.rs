@@ -48,7 +48,7 @@ pub mod suite;
 pub mod trace;
 pub mod validate;
 
-pub use fault::{inject_program, inject_trace, Fault, FaultTarget, InjectError};
+pub use fault::{inject_program, inject_trace, inject_variant, Fault, FaultTarget, InjectError};
 pub use generate::ProgramGenerator;
 pub use ids::{BlockId, FuncId, InsnRef, InsnUid};
 pub use params::GenParams;

@@ -312,9 +312,17 @@ mod tests {
 
     #[test]
     fn gap_weights_are_distributions() {
-        for params in [GenParams::mobile(1), GenParams::spec_int(1), GenParams::spec_float(1)] {
+        for params in [
+            GenParams::mobile(1),
+            GenParams::spec_int(1),
+            GenParams::spec_float(1),
+        ] {
             let sum: f64 = params.chain_gap_weights.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-6, "weights of {:?} sum to {sum}", params.seed);
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "weights of {:?} sum to {sum}",
+                params.seed
+            );
         }
     }
 

@@ -48,7 +48,11 @@ impl ExecutionPath {
             }
             current = match block.terminator {
                 Terminator::Fallthrough(next) | Terminator::Jump(next) => next,
-                Terminator::Branch { taken, not_taken, prob_taken } => {
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
                     if rng.gen_bool(prob_taken.clamp(0.0, 1.0)) {
                         taken
                     } else {
@@ -131,7 +135,9 @@ mod tests {
             let (from, to) = (pair[0], pair[1]);
             let ok = match program.block(from).terminator {
                 Terminator::Fallthrough(n) | Terminator::Jump(n) => n == to,
-                Terminator::Branch { taken, not_taken, .. } => to == taken || to == not_taken,
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => to == taken || to == not_taken,
                 Terminator::Call { callee, return_to } => {
                     stack.push(return_to);
                     program.functions[callee.index()].entry() == to
@@ -157,6 +163,9 @@ mod tests {
             *counts.entry(b).or_insert(0u32) += 1;
         }
         let max = counts.values().copied().max().unwrap_or(0);
-        assert!(max >= 16, "SPEC loops should revisit blocks many times, max={max}");
+        assert!(
+            max >= 16,
+            "SPEC loops should revisit blocks many times, max={max}"
+        );
     }
 }

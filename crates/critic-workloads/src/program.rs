@@ -210,7 +210,11 @@ impl Program {
                 }
             }
         }
-        Layout { block_addr, insn_addr, code_end: cursor }
+        Layout {
+            block_addr,
+            insn_addr,
+            code_end: cursor,
+        }
     }
 }
 
@@ -257,7 +261,10 @@ mod tests {
             id: BlockId(0),
             func: FuncId(0),
             insns: vec![
-                TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]), InsnUid(0)),
+                TaggedInsn::new(
+                    Insn::alu(Opcode::Add, Reg::R0, &[Reg::R1, Reg::R2]),
+                    InsnUid(0),
+                ),
                 TaggedInsn::new(Insn::load(Opcode::Ldr, Reg::R3, Reg::R0, 4), InsnUid(1)),
             ],
             terminator: Terminator::Fallthrough(BlockId(1)),
@@ -274,7 +281,11 @@ mod tests {
         Program {
             name: "tiny".into(),
             suite: Suite::Mobile,
-            functions: vec![Function { id: FuncId(0), name: "main".into(), blocks: vec![BlockId(0), BlockId(1)] }],
+            functions: vec![Function {
+                id: FuncId(0),
+                name: "main".into(),
+                blocks: vec![BlockId(0), BlockId(1)],
+            }],
             blocks: vec![b0, b1],
             mem: MemProfile::default(),
             load_hints: Default::default(),
@@ -322,9 +333,11 @@ mod tests {
             insns: vec![TaggedInsn::new(Insn::nop(), InsnUid(3))],
             terminator: Terminator::Return,
         });
-        program
-            .functions
-            .push(Function { id: FuncId(1), name: "callee".into(), blocks: vec![BlockId(2)] });
+        program.functions.push(Function {
+            id: FuncId(1),
+            name: "callee".into(),
+            blocks: vec![BlockId(2)],
+        });
         let layout = program.layout();
         assert_eq!(layout.block_addr(BlockId(2)) % 16, 0);
         assert!(layout.block_addr(BlockId(2)) >= CODE_BASE + 12);
@@ -363,7 +376,11 @@ impl Program {
 
     /// Renders the whole binary's disassembly.
     pub fn disassemble(&self) -> String {
-        self.functions.iter().map(|f| self.disassemble_function(f.id)).collect::<Vec<_>>().join("\n")
+        self.functions
+            .iter()
+            .map(|f| self.disassemble_function(f.id))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -378,7 +395,10 @@ mod disasm_tests {
         p.num_functions = 6;
         let program = ProgramGenerator::new(p).generate();
         let text = program.disassemble();
-        let lines = text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        let lines = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
         assert_eq!(lines, program.static_insn_count());
         assert!(text.contains("f0:"));
         assert!(text.contains("bb0:"));

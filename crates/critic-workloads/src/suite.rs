@@ -79,17 +79,14 @@ impl AppSpec {
     /// Seed for the execution-path walk (distinct from the binary seed so
     /// code layout and user input vary independently).
     pub fn path_seed(&self) -> u64 {
-        self.params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xA5A5)
+        self.params
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xA5A5)
     }
 }
 
-fn app(
-    name: &str,
-    suite: Suite,
-    domain: &str,
-    activity: &str,
-    params: GenParams,
-) -> AppSpec {
+fn app(name: &str, suite: Suite, domain: &str, activity: &str, params: GenParams) -> AppSpec {
     AppSpec {
         name: name.to_string(),
         suite,
@@ -148,22 +145,91 @@ pub fn mobile_apps() -> Vec<AppSpec> {
     youtube.chain_spacing = crate::params::SpanRange::new(1, 6);
 
     vec![
-        app("Acrobat", Suite::Mobile, "Document readers", "View, add comment", acrobat),
-        app("Angrybirds", Suite::Mobile, "Physics games", "1 level of game", angrybirds),
-        app("Browser", Suite::Mobile, "Web interfaces", "Search and load pages", browser),
-        app("Facebook", Suite::Mobile, "Instant messengers", "RT-texting", facebook),
-        app("Email", Suite::Mobile, "Email clients", "Send, receive mail", email),
-        app("Maps", Suite::Mobile, "Navigation", "Search directions", maps),
-        app("Music", Suite::Mobile, "Music/audio players", "2 minutes song", music),
-        app("Office", Suite::Mobile, "Interactive displays", "Slide edit, present", office),
-        app("PhotoGallery", Suite::Mobile, "Image browsing", "Browse images", photogallery),
-        app("Youtube", Suite::Mobile, "Video streaming", "HQ video stream", youtube),
+        app(
+            "Acrobat",
+            Suite::Mobile,
+            "Document readers",
+            "View, add comment",
+            acrobat,
+        ),
+        app(
+            "Angrybirds",
+            Suite::Mobile,
+            "Physics games",
+            "1 level of game",
+            angrybirds,
+        ),
+        app(
+            "Browser",
+            Suite::Mobile,
+            "Web interfaces",
+            "Search and load pages",
+            browser,
+        ),
+        app(
+            "Facebook",
+            Suite::Mobile,
+            "Instant messengers",
+            "RT-texting",
+            facebook,
+        ),
+        app(
+            "Email",
+            Suite::Mobile,
+            "Email clients",
+            "Send, receive mail",
+            email,
+        ),
+        app(
+            "Maps",
+            Suite::Mobile,
+            "Navigation",
+            "Search directions",
+            maps,
+        ),
+        app(
+            "Music",
+            Suite::Mobile,
+            "Music/audio players",
+            "2 minutes song",
+            music,
+        ),
+        app(
+            "Office",
+            Suite::Mobile,
+            "Interactive displays",
+            "Slide edit, present",
+            office,
+        ),
+        app(
+            "PhotoGallery",
+            Suite::Mobile,
+            "Image browsing",
+            "Browse images",
+            photogallery,
+        ),
+        app(
+            "Youtube",
+            Suite::Mobile,
+            "Video streaming",
+            "HQ video stream",
+            youtube,
+        ),
     ]
 }
 
 /// The eight SPEC.int programs of Table II.
 pub fn spec_int_apps() -> Vec<AppSpec> {
-    let names = ["bzip2", "hmmer", "libquantum", "mcf", "gcc", "gobmk", "sjeng", "h264ref"];
+    let names = [
+        "bzip2",
+        "hmmer",
+        "libquantum",
+        "mcf",
+        "gcc",
+        "gobmk",
+        "sjeng",
+        "h264ref",
+    ];
     names
         .iter()
         .enumerate()
@@ -193,14 +259,22 @@ pub fn spec_int_apps() -> Vec<AppSpec> {
                 }
                 _ => {}
             }
-            app(name, Suite::SpecInt, "SPEC CPU2006 int", "ref input", params)
+            app(
+                name,
+                Suite::SpecInt,
+                "SPEC CPU2006 int",
+                "ref input",
+                params,
+            )
         })
         .collect()
 }
 
 /// The eight SPEC.float programs of Table II.
 pub fn spec_float_apps() -> Vec<AppSpec> {
-    let names = ["sperand", "namd", "gromacs", "calculix", "lbm", "milc", "dealII", "leslie3d"];
+    let names = [
+        "sperand", "namd", "gromacs", "calculix", "lbm", "milc", "dealII", "leslie3d",
+    ];
     names
         .iter()
         .enumerate()
@@ -219,7 +293,13 @@ pub fn spec_float_apps() -> Vec<AppSpec> {
                 }
                 _ => {}
             }
-            app(name, Suite::SpecFloat, "SPEC CPU2006 float", "ref input", params)
+            app(
+                name,
+                Suite::SpecFloat,
+                "SPEC CPU2006 float",
+                "ref input",
+                params,
+            )
         })
         .collect()
 }
@@ -257,7 +337,11 @@ mod tests {
         let mut seeds = std::collections::HashSet::new();
         for suite in Suite::ALL {
             for app in suite.apps() {
-                assert!(seeds.insert(app.params.seed), "duplicate seed for {}", app.name);
+                assert!(
+                    seeds.insert(app.params.seed),
+                    "duplicate seed for {}",
+                    app.name
+                );
             }
         }
     }

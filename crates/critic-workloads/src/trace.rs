@@ -10,8 +10,8 @@ use critic_isa::{FuKind, Opcode};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{InsnRef, InsnUid};
-use crate::program::Program;
 use crate::path::ExecutionPath;
+use crate::program::Program;
 
 /// Sentinel dependence slot value: no producer.
 pub const NO_DEP: u32 = u32::MAX;
@@ -103,8 +103,10 @@ impl Trace {
 
         for (step, &bid) in path.blocks.iter().enumerate() {
             let block = program.block(bid);
-            let next_block_pc =
-                path.blocks.get(step + 1).map(|&next| layout.block_addr(next));
+            let next_block_pc = path
+                .blocks
+                .get(step + 1)
+                .map(|&next| layout.block_addr(next));
             let last_index = block.insns.len().saturating_sub(1);
             for (index, tagged) in block.insns.iter().enumerate() {
                 let insn = &tagged.insn;
@@ -147,16 +149,23 @@ impl Trace {
                     let fallthrough_pc = pc + insn.fetch_bytes();
                     if index == last_index {
                         match next_block_pc {
-                            Some(target_pc) => {
-                                Some(BranchOutcome { taken: target_pc != fallthrough_pc, target_pc })
-                            }
-                            None => Some(BranchOutcome { taken: false, target_pc: fallthrough_pc }),
+                            Some(target_pc) => Some(BranchOutcome {
+                                taken: target_pc != fallthrough_pc,
+                                target_pc,
+                            }),
+                            None => Some(BranchOutcome {
+                                taken: false,
+                                target_pc: fallthrough_pc,
+                            }),
                         }
                     } else {
                         // Mid-block branch: a compiler-inserted format-switch
                         // branch whose target is the next instruction
                         // (paper Sec. IV-A).
-                        Some(BranchOutcome { taken: true, target_pc: fallthrough_pc })
+                        Some(BranchOutcome {
+                            taken: true,
+                            target_pc: fallthrough_pc,
+                        })
                     }
                 } else {
                     None
@@ -183,7 +192,10 @@ impl Trace {
                 }
             }
         }
-        Trace { name: program.name.clone(), entries }
+        Trace {
+            name: program.name.clone(),
+            entries,
+        }
     }
 
     /// Number of dynamic instructions.
@@ -241,14 +253,21 @@ impl Trace {
     ///
     /// Panics if `window` exceeds 128.
     pub fn compute_cone_fanout(&self, window: usize) -> Vec<u32> {
-        assert!((1..=128).contains(&window), "cone window must be 1..=128 (u128 masks)");
+        assert!(
+            (1..=128).contains(&window),
+            "cone window must be 1..=128 (u128 masks)"
+        );
         let n = self.entries.len();
         let mut cones = vec![0u32; n];
         // masks[i]: bit k set ⇔ instruction i + 1 + k transitively depends
         // on i. Built backwards: by the time we visit i, every consumer has
         // contributed its own (shifted) cone.
         let mut masks = vec![0u128; n];
-        let keep: u128 = if window == 128 { u128::MAX } else { (1u128 << window) - 1 };
+        let keep: u128 = if window == 128 {
+            u128::MAX
+        } else {
+            (1u128 << window) - 1
+        };
         for c in (0..n).rev() {
             let cmask = masks[c] & keep;
             cones[c] = cmask.count_ones();
@@ -524,7 +543,10 @@ mod cone_tests {
                 .take(128)
                 .filter(|e| e.deps.contains(&(i as u32)))
                 .count() as u32;
-            assert!(cone_i >= within, "cone {cone_i} < windowed direct {within} at {i}");
+            assert!(
+                cone_i >= within,
+                "cone {cone_i} < windowed direct {within} at {i}"
+            );
             assert!(cone_i <= 128);
             let _ = direct;
         }
@@ -534,19 +556,35 @@ mod cone_tests {
     fn cone_counts_transitive_dependents() {
         // Hand-build a 3-deep dependence chain: each member's cone includes
         // everything downstream.
-        use critic_isa::{Insn, Opcode, Reg};
         use crate::ids::{BlockId, FuncId, InsnUid};
-        use crate::program::{BasicBlock, Function, Terminator, TaggedInsn};
+        use crate::program::{BasicBlock, Function, TaggedInsn, Terminator};
+        use critic_isa::{Insn, Opcode, Reg};
         let insns = vec![
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]), InsnUid(0)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R7]), InsnUid(1)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R2, &[Reg::R1, Reg::R7]), InsnUid(2)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R3, &[Reg::R2, Reg::R7]), InsnUid(3)),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]),
+                InsnUid(0),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R1, &[Reg::R0, Reg::R7]),
+                InsnUid(1),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R2, &[Reg::R1, Reg::R7]),
+                InsnUid(2),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R3, &[Reg::R2, Reg::R7]),
+                InsnUid(3),
+            ),
         ];
         let program = Program {
             name: "chain".into(),
             suite: crate::suite::Suite::Mobile,
-            functions: vec![Function { id: FuncId(0), name: "f".into(), blocks: vec![BlockId(0)] }],
+            functions: vec![Function {
+                id: FuncId(0),
+                name: "f".into(),
+                blocks: vec![BlockId(0)],
+            }],
             blocks: vec![BasicBlock {
                 id: BlockId(0),
                 func: FuncId(0),
@@ -556,30 +594,53 @@ mod cone_tests {
             mem: crate::params::MemProfile::default(),
             load_hints: Default::default(),
         };
-        let path = ExecutionPath { blocks: vec![BlockId(0)], seed: 0 };
+        let path = ExecutionPath {
+            blocks: vec![BlockId(0)],
+            seed: 0,
+        };
         let trace = Trace::expand(&program, &path);
         let direct = trace.compute_fanout();
         let cone = trace.compute_cone_fanout(128);
-        assert_eq!(direct, vec![1, 1, 1, 0], "each member has one direct reader");
+        assert_eq!(
+            direct,
+            vec![1, 1, 1, 0],
+            "each member has one direct reader"
+        );
         assert_eq!(cone, vec![3, 2, 1, 0], "cones are transitive");
     }
 
     #[test]
     fn cone_respects_the_window() {
-        use critic_isa::{Insn, Opcode, Reg};
         use crate::ids::{BlockId, FuncId, InsnUid};
-        use crate::program::{BasicBlock, Function, Terminator, TaggedInsn};
+        use crate::program::{BasicBlock, Function, TaggedInsn, Terminator};
+        use critic_isa::{Insn, Opcode, Reg};
         // r0 defined once, read 3 instructions later — outside a window of 2.
         let insns = vec![
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]), InsnUid(0)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R1, &[Reg::R7, Reg::R7]), InsnUid(1)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R2, &[Reg::R7, Reg::R7]), InsnUid(2)),
-            TaggedInsn::new(Insn::alu(Opcode::Add, Reg::R3, &[Reg::R0, Reg::R7]), InsnUid(3)),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R0, &[Reg::R7, Reg::R7]),
+                InsnUid(0),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R1, &[Reg::R7, Reg::R7]),
+                InsnUid(1),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R2, &[Reg::R7, Reg::R7]),
+                InsnUid(2),
+            ),
+            TaggedInsn::new(
+                Insn::alu(Opcode::Add, Reg::R3, &[Reg::R0, Reg::R7]),
+                InsnUid(3),
+            ),
         ];
         let program = Program {
             name: "window".into(),
             suite: crate::suite::Suite::Mobile,
-            functions: vec![Function { id: FuncId(0), name: "f".into(), blocks: vec![BlockId(0)] }],
+            functions: vec![Function {
+                id: FuncId(0),
+                name: "f".into(),
+                blocks: vec![BlockId(0)],
+            }],
             blocks: vec![BasicBlock {
                 id: BlockId(0),
                 func: FuncId(0),
@@ -589,9 +650,16 @@ mod cone_tests {
             mem: crate::params::MemProfile::default(),
             load_hints: Default::default(),
         };
-        let path = ExecutionPath { blocks: vec![BlockId(0)], seed: 0 };
+        let path = ExecutionPath {
+            blocks: vec![BlockId(0)],
+            seed: 0,
+        };
         let trace = Trace::expand(&program, &path);
         assert_eq!(trace.compute_cone_fanout(128)[0], 1);
-        assert_eq!(trace.compute_cone_fanout(2)[0], 0, "reader at distance 3 is outside");
+        assert_eq!(
+            trace.compute_cone_fanout(2)[0],
+            0,
+            "reader at distance 3 is outside"
+        );
     }
 }

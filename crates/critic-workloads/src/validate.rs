@@ -15,7 +15,7 @@
 //!   design point force-converts chains into hypothetical 16-bit forms
 //!   (paper Sec. IV-D) that the simulator consumes by width alone.
 //! * [`Program::validate_encoding`] — **strict**: additionally requires
-//!   every instruction to pass [`critic_isa::encode`], i.e. the binary
+//!   every instruction to pass [`critic_isa::encode()`], i.e. the binary
 //!   could really be emitted. Real (non-Ideal) toolchain output must pass
 //!   this.
 
@@ -115,17 +115,30 @@ impl fmt::Display for ProgramError {
                 write!(f, "function {func} references out-of-range block {block}")
             }
             ProgramError::DanglingTerminator { from, target } => {
-                write!(f, "terminator of {from} targets out-of-range block {target}")
+                write!(
+                    f,
+                    "terminator of {from} targets out-of-range block {target}"
+                )
             }
             ProgramError::DanglingCall { from, callee } => {
                 write!(f, "call in {from} targets out-of-range function {callee}")
             }
             ProgramError::DuplicateUid(uid) => write!(f, "uid {uid} appears twice"),
             ProgramError::BadCdpCover { at, covered } => {
-                write!(f, "cdp at {at} covers {covered} (must be 1..={MAX_CDP_CHAIN_LEN})")
+                write!(
+                    f,
+                    "cdp at {at} covers {covered} (must be 1..={MAX_CDP_CHAIN_LEN})"
+                )
             }
-            ProgramError::CdpCoverRunsOffBlock { at, covered, remaining } => {
-                write!(f, "cdp at {at} covers {covered} but only {remaining} instructions remain")
+            ProgramError::CdpCoverRunsOffBlock {
+                at,
+                covered,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "cdp at {at} covers {covered} but only {remaining} instructions remain"
+                )
             }
             ProgramError::CdpCoversWideInsn { at, wide_at } => {
                 write!(f, "cdp at {at} covers 32-bit instruction at {wide_at}")
@@ -194,8 +207,15 @@ impl fmt::Display for TraceError {
             TraceError::InsnOutOfRange { step, at } => {
                 write!(f, "entry {step} references out-of-range instruction {at}")
             }
-            TraceError::UidMismatch { step, found, expected } => {
-                write!(f, "entry {step} carries uid {found} but the program has {expected}")
+            TraceError::UidMismatch {
+                step,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "entry {step} carries uid {found} but the program has {expected}"
+                )
             }
             TraceError::ForwardDep { step, dep } => {
                 write!(f, "entry {step} depends on non-earlier entry {dep}")
@@ -224,20 +244,31 @@ impl Program {
                 return Err(ProgramError::EmptyFunction(function.id));
             }
             if let Some(&block) = function.blocks.iter().find(|b| b.index() >= nblocks) {
-                return Err(ProgramError::FunctionBlockOutOfRange { func: function.id, block });
+                return Err(ProgramError::FunctionBlockOutOfRange {
+                    func: function.id,
+                    block,
+                });
             }
         }
         let mut seen_uids: HashSet<InsnUid> = HashSet::new();
         for (index, block) in self.blocks.iter().enumerate() {
             if block.id.index() != index {
-                return Err(ProgramError::BlockIdMismatch { index, found: block.id });
+                return Err(ProgramError::BlockIdMismatch {
+                    index,
+                    found: block.id,
+                });
             }
             let out_of_range = |target: BlockId| target.index() >= nblocks;
             match block.terminator {
                 Terminator::Fallthrough(t) | Terminator::Jump(t) if out_of_range(t) => {
-                    return Err(ProgramError::DanglingTerminator { from: block.id, target: t });
+                    return Err(ProgramError::DanglingTerminator {
+                        from: block.id,
+                        target: t,
+                    });
                 }
-                Terminator::Branch { taken, not_taken, .. } => {
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => {
                     for t in [taken, not_taken] {
                         if out_of_range(t) {
                             return Err(ProgramError::DanglingTerminator {
@@ -249,7 +280,10 @@ impl Program {
                 }
                 Terminator::Call { callee, return_to } => {
                     if callee.index() >= nfuncs {
-                        return Err(ProgramError::DanglingCall { from: block.id, callee });
+                        return Err(ProgramError::DanglingCall {
+                            from: block.id,
+                            callee,
+                        });
                     }
                     if out_of_range(return_to) {
                         return Err(ProgramError::DanglingTerminator {
@@ -274,7 +308,11 @@ impl Program {
                     }
                     let remaining = block.insns.len() - i - 1;
                     if covered > remaining {
-                        return Err(ProgramError::CdpCoverRunsOffBlock { at, covered, remaining });
+                        return Err(ProgramError::CdpCoverRunsOffBlock {
+                            at,
+                            covered,
+                            remaining,
+                        });
                     }
                     for k in 1..=covered {
                         if block.insns[i + k].insn.width() != Width::Thumb16 {
@@ -329,13 +367,19 @@ impl Trace {
             return Err(TraceError::Empty);
         }
         if self.entries.len() > MAX_TRACE_LEN {
-            return Err(TraceError::Oversized { len: self.entries.len() });
+            return Err(TraceError::Oversized {
+                len: self.entries.len(),
+            });
         }
         for (step, entry) in self.entries.iter().enumerate() {
-            let block = program
-                .blocks
-                .get(entry.at.block.index())
-                .ok_or(TraceError::BlockOutOfRange { step, block: entry.at.block })?;
+            let block =
+                program
+                    .blocks
+                    .get(entry.at.block.index())
+                    .ok_or(TraceError::BlockOutOfRange {
+                        step,
+                        block: entry.at.block,
+                    })?;
             let tagged = block
                 .insns
                 .get(entry.at.index as usize)
@@ -375,7 +419,9 @@ mod tests {
     fn generated_programs_validate() {
         let program = generated();
         program.validate().expect("generator output is structural");
-        program.validate_encoding().expect("generator output is encodable");
+        program
+            .validate_encoding()
+            .expect("generator output is encodable");
     }
 
     #[test]
@@ -383,13 +429,18 @@ mod tests {
         let program = generated();
         let path = ExecutionPath::generate(&program, 3, 5_000);
         let trace = Trace::expand(&program, &path);
-        trace.validate(&program).expect("expander output is well-formed");
+        trace
+            .validate(&program)
+            .expect("expander output is well-formed");
     }
 
     #[test]
     fn empty_trace_is_rejected() {
         let program = generated();
-        let trace = Trace { name: "empty".into(), entries: Vec::new() };
+        let trace = Trace {
+            name: "empty".into(),
+            entries: Vec::new(),
+        };
         assert_eq!(trace.validate(&program), Err(TraceError::Empty));
     }
 
@@ -420,18 +471,29 @@ mod tests {
     #[test]
     fn overlong_cdp_cover_is_caught() {
         let mut program = generated();
-        program.blocks[0].insns.insert(0, TaggedInsn::new(Insn::cdp_raw(12), InsnUid(9_999_990)));
-        assert!(matches!(program.validate(), Err(ProgramError::BadCdpCover { covered: 12, .. })));
+        program.blocks[0]
+            .insns
+            .insert(0, TaggedInsn::new(Insn::cdp_raw(12), InsnUid(9_999_990)));
+        assert!(matches!(
+            program.validate(),
+            Err(ProgramError::BadCdpCover { covered: 12, .. })
+        ));
     }
 
     #[test]
     fn cdp_off_the_block_end_is_caught() {
         let mut program = generated();
         let block = &mut program.blocks[0];
-        block.insns.push(TaggedInsn::new(Insn::cdp_raw(4), InsnUid(9_999_991)));
+        block
+            .insns
+            .push(TaggedInsn::new(Insn::cdp_raw(4), InsnUid(9_999_991)));
         assert!(matches!(
             program.validate(),
-            Err(ProgramError::CdpCoverRunsOffBlock { covered: 4, remaining: 0, .. })
+            Err(ProgramError::CdpCoverRunsOffBlock {
+                covered: 4,
+                remaining: 0,
+                ..
+            })
         ));
     }
 
@@ -446,7 +508,10 @@ mod tests {
         program.blocks[block]
             .insns
             .insert(0, TaggedInsn::new(Insn::cdp_raw(1), InsnUid(9_999_992)));
-        assert!(matches!(program.validate(), Err(ProgramError::CdpCoversWideInsn { .. })));
+        assert!(matches!(
+            program.validate(),
+            Err(ProgramError::CdpCoversWideInsn { .. })
+        ));
     }
 
     #[test]
@@ -454,12 +519,18 @@ mod tests {
         let mut program = generated();
         program.blocks[0].insns.insert(
             0,
-            TaggedInsn::new(Insn::alu_imm(Opcode::Add, Reg::R0, Reg::R1, 100_000), InsnUid(9_999_993)),
+            TaggedInsn::new(
+                Insn::alu_imm(Opcode::Add, Reg::R0, Reg::R1, 100_000),
+                InsnUid(9_999_993),
+            ),
         );
         program.validate().expect("structurally fine");
         assert!(matches!(
             program.validate_encoding(),
-            Err(ProgramError::Unencodable { source: EncodeError::ImmOutOfRange(100_000), .. })
+            Err(ProgramError::Unencodable {
+                source: EncodeError::ImmOutOfRange(100_000),
+                ..
+            })
         ));
     }
 
@@ -485,13 +556,19 @@ mod tests {
         let path = ExecutionPath::generate(&program, 3, 2_000);
         let mut trace = Trace::expand(&program, &path);
         trace.entries[0].deps[0] = 5;
-        assert_eq!(trace.validate(&program), Err(TraceError::ForwardDep { step: 0, dep: 5 }));
+        assert_eq!(
+            trace.validate(&program),
+            Err(TraceError::ForwardDep { step: 0, dep: 5 })
+        );
     }
 
     #[test]
     fn errors_render_useful_messages() {
-        let message = ProgramError::DanglingTerminator { from: BlockId(3), target: BlockId(99) }
-            .to_string();
+        let message = ProgramError::DanglingTerminator {
+            from: BlockId(3),
+            target: BlockId(99),
+        }
+        .to_string();
         assert!(message.contains("bb3") && message.contains("bb99"));
         let message = TraceError::UidMismatch {
             step: 7,

@@ -13,7 +13,10 @@ fn main() {
         .unwrap_or(120_000);
     println!("running the CritIC design space over 10 mobile apps ({trace_len} insns each)…\n");
     let rows = experiments::fig10(trace_len, 10);
-    println!("{:12} {:>8} {:>8} {:>8} {:>14} {:>10} {:>10}", "app", "hoist", "critic", "ideal", "branch-switch", "cpu-E", "system-E");
+    println!(
+        "{:12} {:>8} {:>8} {:>8} {:>14} {:>10} {:>10}",
+        "app", "hoist", "critic", "ideal", "branch-switch", "cpu-E", "system-E"
+    );
     for r in &rows {
         println!(
             "{:12} {:>7.2}% {:>7.2}% {:>7.2}% {:>13.2}% {:>9.2}% {:>9.2}%",
@@ -26,9 +29,8 @@ fn main() {
             r.system_energy_saving * 100.0
         );
     }
-    let mean = |f: fn(&experiments::Fig10Row) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let mean =
+        |f: fn(&experiments::Fig10Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     println!(
         "\nmean: critic {:+.2}% (paper: +12.65%), system energy {:+.2}% (paper: +4.6%)",
         (mean(|r| r.critic) - 1.0) * 100.0,

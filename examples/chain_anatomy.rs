@@ -34,7 +34,11 @@ fn main() {
     let hist = GapHistogram::measure(&dfg, &fanout, 8);
     println!("gap histogram: none {:.2}, gaps 0..5+:", hist.none_frac());
     for g in 0..=5 {
-        println!("  {} low-fanout instructions in between: {:.1}%", g, hist.gap_frac(g) * 100.0);
+        println!(
+            "  {} low-fanout instructions in between: {:.1}%",
+            g,
+            hist.gap_frac(g) * 100.0
+        );
     }
 
     // Fig. 5a: dynamic ICs.
@@ -56,7 +60,10 @@ fn main() {
         profile.stats.convertible_frac * 100.0
     );
     if let Some(top) = profile.chains.first() {
-        println!("hottest CritIC (block {}, avg fanout {:.1}):", top.block, top.avg_fanout);
+        println!(
+            "hottest CritIC (block {}, avg fanout {:.1}):",
+            top.block, top.avg_fanout
+        );
         let block = program.block(top.block);
         for &uid in &top.uids {
             let pos = block.position_of(uid).expect("uid in block");

@@ -21,7 +21,11 @@ fn main() {
     let half = encode::encode(&add.to_thumb().expect("convertible")).expect("thumb encodes");
     println!("  16-bit Thumb {}  =>  {}", add, half);
     let cdp = Insn::cdp(5);
-    println!("  switch       {}  =>  {}", cdp, encode::encode(&cdp).expect("cdp encodes"));
+    println!(
+        "  switch       {}  =>  {}",
+        cdp,
+        encode::encode(&cdp).expect("cdp encodes")
+    );
 
     // Fig. 9: code generation on a profiled app.
     let app = &Suite::Mobile.apps()[0];
@@ -39,7 +43,10 @@ fn main() {
 
     let mut optimized = program.clone();
     let report = apply_critic_pass(&mut optimized, &profile, CriticPassOptions::default());
-    println!("\n== after the pass ({} chains applied overall) ==", report.chains_applied);
+    println!(
+        "\n== after the pass ({} chains applied overall) ==",
+        report.chains_applied
+    );
     for t in &optimized.block(spec.block).insns {
         let marker = if spec.uids.contains(&t.uid) {
             "*"

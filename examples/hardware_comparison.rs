@@ -14,7 +14,10 @@ fn main() {
         .unwrap_or(120_000);
     println!("comparing hardware fetch mechanisms on 5 mobile apps…\n");
     let rows = experiments::fig11(trace_len, 5);
-    println!("{:14} {:>9} {:>12} {:>12} {:>12}", "mechanism", "speedup", "with CritIC", "dStallForI", "dStallForR+D");
+    println!(
+        "{:14} {:>9} {:>12} {:>12} {:>12}",
+        "mechanism", "speedup", "with CritIC", "dStallForI", "dStallForR+D"
+    );
     for r in &rows {
         println!(
             "{:14} {:>8.2}% {:>11.2}% {:>11.2}pp {:>11.2}pp",

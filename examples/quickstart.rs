@@ -12,7 +12,10 @@ use critics::workloads::suite::Suite;
 fn main() {
     // 1. Pick a workload (Table II) and record one execution.
     let app = &Suite::Mobile.apps()[0]; // Acrobat
-    println!("workload: {} ({}, \"{}\")", app.name, app.domain, app.activity);
+    println!(
+        "workload: {} ({}, \"{}\")",
+        app.name, app.domain, app.activity
+    );
     let mut bench = Workbench::new(app, 120_000);
     println!(
         "binary: {} functions, {} static instructions, {} KB",

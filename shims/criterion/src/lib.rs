@@ -32,7 +32,11 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 
     /// Benchmarks a single function outside any group.
@@ -86,7 +90,10 @@ impl Bencher {
 }
 
 fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("{id}: no samples recorded");
@@ -95,7 +102,10 @@ fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) 
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().copied().unwrap_or_default();
-    println!("{id}: mean {mean:?}, min {min:?} over {} samples", bencher.samples.len());
+    println!(
+        "{id}: mean {mean:?}, min {min:?} over {} samples",
+        bencher.samples.len()
+    );
 }
 
 /// Collects benchmark functions into one runnable entry point.

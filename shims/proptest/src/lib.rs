@@ -24,7 +24,9 @@ pub mod test_runner {
     impl TestRng {
         /// A generator from an explicit seed.
         pub fn new(seed: u64) -> TestRng {
-            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
         }
 
         /// A generator seeded from the test name, so each property draws
@@ -269,29 +271,41 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { min: n, max_exclusive: n + 1 }
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
     /// A strategy for vectors whose elements come from `elem`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -33,7 +33,12 @@ pub mod rngs {
             for (i, chunk) in seed.chunks_exact(4).enumerate() {
                 key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
             }
-            StdRng { key, counter: 0, buf: [0; 64], index: 64 }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 64],
+                index: 64,
+            }
         }
 
         pub(crate) fn refill(&mut self) {
@@ -487,7 +492,10 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(0);
         let got32: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
-        assert_eq!(got32, [3_442_241_407, 3_140_108_210, 2_384_947_579, 3_321_986_196]);
+        assert_eq!(
+            got32,
+            [3_442_241_407, 3_140_108_210, 2_384_947_579, 3_321_986_196]
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl Value {
 
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Interprets a single-entry object as an externally-tagged enum
@@ -171,7 +174,9 @@ impl Error {
 
     /// "expected X while deserializing Y"-shaped error.
     pub fn expected(what: &str, context: &str) -> Error {
-        Error { msg: format!("expected {what} while deserializing {context}") }
+        Error {
+            msg: format!("expected {what} while deserializing {context}"),
+        }
     }
 }
 
@@ -203,15 +208,22 @@ impl<T: Deserialize> DeserializeOwned for T {}
 // Helpers the derive macros call (public, but not part of the facade API).
 
 /// Fetches and deserializes a named struct field.
+///
+/// A missing key falls back to deserializing from [`Value::Null`], so
+/// `Option<T>` fields added after data was written read back as `None`
+/// (serde's `#[serde(default)]`-for-`Option` convention); any type that
+/// rejects null still reports the field as missing.
 pub fn field<T: Deserialize>(
     entries: &[(String, Value)],
     name: &str,
     context: &str,
 ) -> Result<T, Error> {
     match entries.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| Error::custom(format!("{context}.{name}: {e}"))),
-        None => Err(Error::custom(format!("missing field `{name}` in {context}"))),
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("{context}.{name}: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}` in {context}"))),
     }
 }
 
@@ -313,7 +325,9 @@ impl Serialize for char {
 
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let s = v.as_str().ok_or_else(|| Error::expected("string", v.kind()))?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", v.kind()))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -330,7 +344,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::expected("string", v.kind()))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v.kind()))
     }
 }
 
@@ -444,8 +460,10 @@ ser_de_tuple! {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort for stable output; HashMap iteration order is arbitrary.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -463,7 +481,11 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

@@ -24,8 +24,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize)]
@@ -60,7 +66,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Cursor {
-        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -91,7 +100,9 @@ impl Cursor {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
                     let body = g.stream().to_string();
                     if body.starts_with("serde") {
-                        return Err("the serde shim does not support #[serde(...)] attributes".into());
+                        return Err(
+                            "the serde shim does not support #[serde(...)] attributes".into()
+                        );
                     }
                 }
                 _ => return Err("malformed attribute".into()),
@@ -145,7 +156,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     let name = cur.expect_ident("type name")?;
     if let Some(TokenTree::Punct(p)) = cur.peek() {
         if p.as_char() == '<' {
-            return Err(format!("the serde shim cannot derive for generic type `{name}`"));
+            return Err(format!(
+                "the serde shim cannot derive for generic type `{name}`"
+            ));
         }
     }
     match keyword.as_str() {
@@ -167,7 +180,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => return Err(format!("expected enum body, found {other:?}")),
             };
-            Ok(Item::Enum { name, variants: parse_variants(body)? })
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
         }
         other => Err(format!("cannot derive for `{other}` items")),
     }
@@ -185,7 +201,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         let field = cur.expect_ident("field name")?;
         match cur.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{field}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
         }
         cur.skip_until_comma();
         cur.next(); // the comma itself, if present
@@ -312,7 +332,10 @@ fn object_literal(fields: &[String], access: impl Fn(&str) -> String) -> String 
             )
         })
         .collect();
-    format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -332,9 +355,9 @@ fn gen_deserialize(item: &Item) -> String {
 fn de_struct_body(name: &str, shape: &Shape) -> String {
     match shape {
         Shape::Unit => format!("::std::result::Result::Ok({name})"),
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Shape::Tuple(n) => de_tuple_payload(name, *n, "__v", name),
         Shape::Named(fields) => de_named_payload(name, fields, "__v", name),
     }

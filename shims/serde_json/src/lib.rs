@@ -288,7 +288,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
                 // Consume one UTF-8 scalar (multi-byte safe).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().ok_or_else(|| Error::new("unterminated string"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::new("unterminated string"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -312,8 +315,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     if text.is_empty() || text == "-" {
         return Err(Error::new(format!("invalid number at byte {start}")));
     }

@@ -49,13 +49,19 @@ fn profile_compile_simulate_round_trip() {
     // The rewritten binary replays the identical input.
     let rewritten = Trace::expand(&optimized, &path);
     assert!(rewritten.len() >= trace.len(), "CDPs only add instructions");
-    assert!(rewritten.fetch_bytes() < trace.fetch_bytes(), "and yet fewer bytes");
+    assert!(
+        rewritten.fetch_bytes() < trace.fetch_bytes(),
+        "and yet fewer bytes"
+    );
 
     let fanout = rewritten.compute_fanout();
     let result = Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet())
         .run(&rewritten, &fanout);
     assert!(result.thumb_fetched > 0);
-    assert_eq!(result.cdp_switches as usize, rewritten.iter().filter(|e| e.is_cdp()).count());
+    assert_eq!(
+        result.cdp_switches as usize,
+        rewritten.iter().filter(|e| e.is_cdp()).count()
+    );
 }
 
 #[test]
@@ -68,7 +74,10 @@ fn workbench_matches_manual_composition() {
         Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet()).run(&trace, &fanout)
     };
     let base = bench.run(&DesignPoint::baseline());
-    assert_eq!(base.sim, manual, "the workbench adds nothing to a baseline run");
+    assert_eq!(
+        base.sim, manual,
+        "the workbench adds nothing to a baseline run"
+    );
 }
 
 #[test]
@@ -115,7 +124,11 @@ fn serde_round_trips_through_the_stack() {
     assert_eq!(program.load_hints, back.load_hints);
     assert_eq!(program.blocks.len(), back.blocks.len());
     for (a, b) in program.blocks.iter().zip(&back.blocks) {
-        assert_eq!(a.insns, b.insns, "instructions of {} must round-trip exactly", a.id);
+        assert_eq!(
+            a.insns, b.insns,
+            "instructions of {} must round-trip exactly",
+            a.id
+        );
     }
 
     let path = ExecutionPath::generate(&program, 3, 5_000);
@@ -125,6 +138,9 @@ fn serde_round_trips_through_the_stack() {
     let back: critics::profiler::Profile = serde_json::from_str(&json).expect("deserializes");
     assert_eq!(profile.chains.len(), back.chains.len());
     for (a, b) in profile.chains.iter().zip(&back.chains) {
-        assert_eq!((a.block, &a.uids, a.dynamic_count), (b.block, &b.uids, b.dynamic_count));
+        assert_eq!(
+            (a.block, &a.uids, a.dynamic_count),
+            (b.block, &b.uids, b.dynamic_count)
+        );
     }
 }

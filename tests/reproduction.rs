@@ -21,15 +21,24 @@ fn critic_beats_baseline_on_mobile_apps() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "CritIC should beat baseline on most apps, won {wins}/4");
+    assert!(
+        wins >= 3,
+        "CritIC should beat baseline on most apps, won {wins}/4"
+    );
 }
 
 #[test]
 fn prefetching_helps_spec_more_than_mobile() {
     // Paper Fig. 1a: critical-load prefetching is a SPEC optimization.
     let rows = experiments::fig1a(LEN, 2);
-    let mobile = rows.iter().find(|r| r.suite == "Android").expect("android row");
-    let float = rows.iter().find(|r| r.suite == "SPEC.float").expect("float row");
+    let mobile = rows
+        .iter()
+        .find(|r| r.suite == "Android")
+        .expect("android row");
+    let float = rows
+        .iter()
+        .find(|r| r.suite == "SPEC.float")
+        .expect("float row");
     assert!(
         float.prefetch_speedup > mobile.prefetch_speedup,
         "SPEC.float prefetch {:.4} should exceed Android {:.4}",
@@ -43,7 +52,10 @@ fn mobile_has_the_most_critical_instructions() {
     // Paper Fig. 1a right axis. Averaged over three apps per suite: single
     // hot loops can give one SPEC program an idiosyncratic critical spike.
     let rows = experiments::fig1a(LEN, 3);
-    let mobile = rows.iter().find(|r| r.suite == "Android").expect("android row");
+    let mobile = rows
+        .iter()
+        .find(|r| r.suite == "Android")
+        .expect("android row");
     for row in &rows {
         if row.suite != "Android" {
             assert!(
@@ -61,20 +73,38 @@ fn mobile_has_the_most_critical_instructions() {
 fn mobile_criticals_are_fetch_side_spec_backend_side() {
     // Paper Fig. 3a: the bottleneck shifts from rear to front.
     let rows = experiments::fig3(LEN, 2);
-    let mobile = rows.iter().find(|r| r.suite == "Android").expect("android row");
-    let int = rows.iter().find(|r| r.suite == "SPEC.int").expect("int row");
+    let mobile = rows
+        .iter()
+        .find(|r| r.suite == "Android")
+        .expect("android row");
+    let int = rows
+        .iter()
+        .find(|r| r.suite == "SPEC.int")
+        .expect("int row");
     let fetch = |r: &experiments::Fig3Row| r.stage_shares[0] + r.stage_shares[1];
     let backend = |r: &experiments::Fig3Row| r.stage_shares[3] + r.stage_shares[4];
-    assert!(fetch(mobile) > fetch(int), "mobile fetch share must exceed SPEC.int's");
-    assert!(backend(int) > backend(mobile), "SPEC.int backend share must exceed mobile's");
+    assert!(
+        fetch(mobile) > fetch(int),
+        "mobile fetch share must exceed SPEC.int's"
+    );
+    assert!(
+        backend(int) > backend(mobile),
+        "SPEC.int backend share must exceed mobile's"
+    );
 }
 
 #[test]
 fn spec_chains_dwarf_mobile_chains() {
     // Paper Fig. 5a: SPEC ICs reach kilo-instruction lengths.
     let rows = experiments::fig5a(LEN, 2);
-    let mobile = rows.iter().find(|r| r.suite == "Android").expect("android row");
-    let float = rows.iter().find(|r| r.suite == "SPEC.float").expect("float row");
+    let mobile = rows
+        .iter()
+        .find(|r| r.suite == "Android")
+        .expect("android row");
+    let float = rows
+        .iter()
+        .find(|r| r.suite == "SPEC.float")
+        .expect("float row");
     assert!(float.shape.max_len > 3 * mobile.shape.max_len);
 }
 
@@ -84,7 +114,10 @@ fn critic_converts_fewer_instructions_than_opp16() {
     let rows = experiments::fig13(LEN, 2);
     let critic = rows.iter().find(|r| r.scheme == "CritIC").expect("critic");
     let opp = rows.iter().find(|r| r.scheme == "OPP16").expect("opp16");
-    let compress = rows.iter().find(|r| r.scheme == "Compress").expect("compress");
+    let compress = rows
+        .iter()
+        .find(|r| r.scheme == "Compress")
+        .expect("compress");
     assert!(critic.converted_frac < opp.converted_frac);
     assert!(opp.converted_frac < compress.converted_frac);
 }
