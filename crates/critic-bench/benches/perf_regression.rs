@@ -1,0 +1,38 @@
+//! Perf-regression probes for the artifact store and the simulator hot
+//! loop: single-cell latency, and a cold vs warm campaign over one shared
+//! store. The `critic bench` subcommand measures the same pair and gates
+//! CI on it; this Criterion target exists so the numbers also show up in
+//! ordinary `cargo bench` sweeps.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use critic_bench::perf::{bench_campaign, time_single_cell, BenchSetup};
+use critic_core::{run_campaign_with_store, ArtifactStore};
+
+fn perf_regression(c: &mut Criterion) {
+    let setup = BenchSetup::smoke();
+    let spec = bench_campaign(&setup);
+
+    let mut group = c.benchmark_group("perf_regression");
+    group.sample_size(5);
+    group.bench_function("single_cell", |b| {
+        b.iter(|| time_single_cell(setup.trace_len).expect("cell runs"))
+    });
+    group.bench_function("campaign_cold", |b| {
+        b.iter(|| {
+            let store = Arc::new(ArtifactStore::new());
+            black_box(run_campaign_with_store(&spec, &store).expect("cold campaign"))
+        })
+    });
+    // One priming run, then every iteration is served from the warm store.
+    let store = Arc::new(ArtifactStore::new());
+    run_campaign_with_store(&spec, &store).expect("priming campaign");
+    group.bench_function("campaign_warm", |b| {
+        b.iter(|| black_box(run_campaign_with_store(&spec, &store).expect("warm campaign")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, perf_regression);
+criterion_main!(benches);

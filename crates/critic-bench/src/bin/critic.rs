@@ -9,6 +9,7 @@
 //! critic validate <app> [--scheme S] [--seed N] # differential oracle only
 //! critic disasm <app> [function]      # dump the generated binary
 //! critic campaign [--validate] [options]  # fault-tolerant app x scheme grid
+//! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -26,10 +27,12 @@
 //! | 5 | I/O error |
 //! | 6 | campaign finished with failed cells |
 //! | 7 | translation validation failed (divergence survived demotion) |
+//! | 8 | bench regression (warm-store speedup below the floor) |
 
 use std::fmt;
 use std::time::Duration;
 
+use critic_bench::perf::{self, BenchError, BenchSetup};
 use critic_core::campaign::{self, CampaignSpec, PlannedFault, Scheme};
 use critic_core::design::DesignPoint;
 use critic_core::runner::Workbench;
@@ -69,6 +72,11 @@ enum CliError {
         failed: usize,
         total: usize,
     },
+    BenchFailed(String),
+    BenchRegression {
+        speedup: f64,
+        floor: f64,
+    },
 }
 
 impl CliError {
@@ -82,9 +90,12 @@ impl CliError {
             // miscompile hunts can tell "oracle caught a divergence" (7)
             // apart from ordinary pipeline failures (1).
             CliError::Run(RunError::Validation(_)) => 7,
-            CliError::Run(_) => 1,
+            CliError::Run(_) | CliError::BenchFailed(_) => 1,
             CliError::CampaignFailed { .. } => 6,
             CliError::CampaignValidationFailed { .. } => 7,
+            // Its own code so CI can tell "the store got slower" apart
+            // from a pipeline failure.
+            CliError::BenchRegression { .. } => 8,
         }
     }
 }
@@ -130,6 +141,13 @@ impl fmt::Display for CliError {
                     "campaign finished with {failed}/{total} cells failing translation validation"
                 )
             }
+            CliError::BenchFailed(msg) => write!(f, "{msg}"),
+            CliError::BenchRegression { speedup, floor } => {
+                write!(
+                    f,
+                    "warm-store speedup {speedup:.2}x is below the {floor:.2}x floor"
+                )
+            }
         }
     }
 }
@@ -170,7 +188,7 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|validate|disasm|campaign> [app] [options]"
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench> [app] [options]"
             .to_string(),
     )
 }
@@ -310,6 +328,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "campaign" => run_campaign_command(args),
+        "bench" => run_bench_command(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; {}",
             usage()
@@ -419,5 +438,61 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
             failed: summary.failed().len(),
             total: summary.records.len(),
         })
+    }
+}
+
+/// `critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]`
+///
+/// Measures single-cell latency and a cold vs warm full-grid campaign over
+/// one shared artifact store; `--smoke` shrinks the grid for CI.
+/// `--min-warm-speedup` turns the report into a gate: exit code 8 when the
+/// measured warm speedup falls below the floor.
+fn run_bench_command(args: &[String]) -> Result<(), CliError> {
+    let setup = if args.iter().any(|a| a == "--smoke") {
+        BenchSetup::smoke()
+    } else {
+        BenchSetup::full()
+    };
+    let floor = match arg_after(args, "--min-warm-speedup") {
+        None => None,
+        Some(v) => Some(v.parse::<f64>().map_err(|_| {
+            CliError::Usage(format!("--min-warm-speedup expects a number, got `{v}`"))
+        })?),
+    };
+
+    let report = perf::run_perf_bench(&setup).map_err(|e| match e {
+        BenchError::Run(e) => CliError::Run(e),
+        BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
+    })?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise bench report: {e}")))?;
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{json}");
+    } else {
+        println!(
+            "single cell: {:.0} ms | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
+             {} worlds, {} profiles, {} baselines built; {} store hits",
+            report.single_cell_millis,
+            report.cold_campaign_millis,
+            report.warm_campaign_millis,
+            report.warm_speedup,
+            report.store.worlds_built,
+            report.store.profiles_built,
+            report.store.baselines_built,
+            report.store.hits
+        );
+    }
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    match floor {
+        Some(floor) if report.warm_speedup < floor => Err(CliError::BenchRegression {
+            speedup: report.warm_speedup,
+            floor,
+        }),
+        _ => Ok(()),
     }
 }

@@ -1,8 +1,11 @@
 //! Shared scaffolding for the benchmark harness: scaled-down experiment
-//! parameters used by both the Criterion benches and smoke tests.
+//! parameters used by both the Criterion benches and smoke tests, plus the
+//! perf-regression harness behind `critic bench` (see [`perf`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod perf;
 
 /// Trace length used by Criterion benches (small enough for statistics).
 pub const BENCH_TRACE_LEN: usize = 60_000;

@@ -1,0 +1,215 @@
+//! The perf-regression harness behind `critic bench` and the
+//! `perf_regression` Criterion suite.
+//!
+//! Two measurements, chosen to bracket the hot paths this workspace
+//! optimises:
+//!
+//! * **single-cell latency** — one app, cold: generate, profile, simulate
+//!   baseline and the CritIC scheme. Covers the simulator's scratch-buffer
+//!   reuse and the single-pass fanout computation.
+//! * **cold vs warm campaign** — the same full grid run twice against one
+//!   [`ArtifactStore`]: the first (cold) run populates the store, the
+//!   second (warm) run is served worlds, profiles, and baseline
+//!   simulations from it. The ratio is the store's leverage; a warm run
+//!   slower than cold is a memoization regression.
+//!
+//! [`run_perf_bench`] packages both into a serialisable [`BenchReport`]
+//! that the CLI writes as `BENCH_*.json` and CI gates on.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use critic_core::campaign::{run_campaign_with_store, CampaignSpec, Scheme};
+use critic_core::design::DesignPoint;
+use critic_core::runner::Workbench;
+use critic_core::store::{ArtifactStore, StoreStats};
+use critic_core::RunError;
+use critic_workloads::suite::Suite;
+use serde::Serialize;
+
+/// Why a bench measurement could not produce a number.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The pipeline itself failed.
+    Run(RunError),
+    /// The grid ran but some cells failed; a perf number over a
+    /// half-failed grid is meaningless, so the harness refuses to report
+    /// one. Carries the campaign's rendered summary.
+    FailedCells(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Run(e) => write!(f, "{e}"),
+            BenchError::FailedCells(summary) => {
+                write!(f, "bench grid had failing cells:\n{summary}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<RunError> for BenchError {
+    fn from(e: RunError) -> Self {
+        BenchError::Run(e)
+    }
+}
+
+/// Grid parameters for one perf measurement.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BenchSetup {
+    /// Apps in the campaign grid (taken from the Mobile suite in order).
+    pub apps: usize,
+    /// Schemes in the campaign grid (taken from `critic`, `opp16`,
+    /// `hoist` in order).
+    pub schemes: usize,
+    /// Dynamic instructions per trace.
+    pub trace_len: usize,
+    /// Cold/warm pairs measured; the report keeps the best of each.
+    pub reps: usize,
+}
+
+impl BenchSetup {
+    /// The full measurement the committed `BENCH_*.json` files record.
+    pub fn full() -> BenchSetup {
+        BenchSetup {
+            apps: 4,
+            schemes: 3,
+            trace_len: 40_000,
+            reps: 3,
+        }
+    }
+
+    /// A scaled-down grid for CI smoke runs: same shape, small enough to
+    /// finish in seconds.
+    pub fn smoke() -> BenchSetup {
+        BenchSetup {
+            apps: 2,
+            schemes: 2,
+            trace_len: 10_000,
+            reps: 1,
+        }
+    }
+}
+
+/// One measured bench run, serialised to `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// The grid that was measured.
+    pub setup: BenchSetup,
+    /// One cold cell end-to-end: generate, profile, baseline + CritIC runs.
+    pub single_cell_millis: f64,
+    /// Full-grid campaign against an empty store (best of `reps`).
+    pub cold_campaign_millis: f64,
+    /// The same campaign re-run against the populated store (best of
+    /// `reps`).
+    pub warm_campaign_millis: f64,
+    /// `cold_campaign_millis / warm_campaign_millis`.
+    pub warm_speedup: f64,
+    /// Store counters after the last cold/warm pair: how much was built
+    /// versus served from cache.
+    pub store: StoreStats,
+}
+
+/// The campaign grid a bench run measures.
+pub fn bench_campaign(setup: &BenchSetup) -> CampaignSpec {
+    let apps = Suite::Mobile.apps().into_iter().take(setup.apps).collect();
+    let schemes = [
+        Scheme::new("critic", DesignPoint::critic()),
+        Scheme::new("opp16", DesignPoint::opp16()),
+        Scheme::new("hoist", DesignPoint::hoist()),
+    ]
+    .into_iter()
+    .take(setup.schemes)
+    .collect();
+    CampaignSpec::new(apps, schemes, setup.trace_len)
+}
+
+/// Times one cold cell end-to-end: world generation, profiling, and the
+/// baseline + CritIC simulations.
+///
+/// # Errors
+///
+/// Propagates any pipeline failure as [`BenchError::Run`].
+pub fn time_single_cell(trace_len: usize) -> Result<Duration, BenchError> {
+    let app = &Suite::Mobile.apps()[0];
+    let started = Instant::now();
+    let mut bench = Workbench::try_new(app, trace_len)?;
+    let base = bench.try_run(&DesignPoint::baseline())?;
+    let run = bench.try_run(&DesignPoint::critic())?;
+    assert!(run.sim.speedup_over(&base.sim) > 0.0);
+    Ok(started.elapsed())
+}
+
+/// Times a cold campaign and a warm re-run over one shared store.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Run`] on campaign-level failures and
+/// [`BenchError::FailedCells`] when any cell of either run failed.
+pub fn time_cold_warm(spec: &CampaignSpec) -> Result<(Duration, Duration, StoreStats), BenchError> {
+    let store = Arc::new(ArtifactStore::new());
+    let started = Instant::now();
+    let cold_summary = run_campaign_with_store(spec, &store)?;
+    let cold = started.elapsed();
+    let started = Instant::now();
+    let warm_summary = run_campaign_with_store(spec, &store)?;
+    let warm = started.elapsed();
+    for summary in [&cold_summary, &warm_summary] {
+        if !summary.all_ok() {
+            return Err(BenchError::FailedCells(summary.render()));
+        }
+    }
+    Ok((cold, warm, store.stats()))
+}
+
+/// Runs the full measurement: the single-cell probe plus `reps` cold/warm
+/// campaign pairs (keeping the fastest of each, standard practice for
+/// wall-clock benchmarks on noisy machines).
+///
+/// # Errors
+///
+/// Propagates any pipeline or campaign failure as a [`BenchError`].
+pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
+    let single = time_single_cell(setup.trace_len)?;
+    let spec = bench_campaign(setup);
+    let mut best_cold = Duration::MAX;
+    let mut best_warm = Duration::MAX;
+    let mut last_stats = StoreStats::default();
+    for _ in 0..setup.reps.max(1) {
+        let (cold, warm, stats) = time_cold_warm(&spec)?;
+        best_cold = best_cold.min(cold);
+        best_warm = best_warm.min(warm);
+        last_stats = stats;
+    }
+    let cold_ms = best_cold.as_secs_f64() * 1e3;
+    let warm_ms = best_warm.as_secs_f64() * 1e3;
+    Ok(BenchReport {
+        setup: *setup,
+        single_cell_millis: single.as_secs_f64() * 1e3,
+        cold_campaign_millis: cold_ms,
+        warm_campaign_millis: warm_ms,
+        warm_speedup: cold_ms / warm_ms,
+        store: last_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_produces_a_sane_report() {
+        let report = run_perf_bench(&BenchSetup::smoke()).expect("bench runs");
+        assert!(report.single_cell_millis > 0.0);
+        assert!(report.cold_campaign_millis > 0.0);
+        assert!(report.warm_campaign_millis > 0.0);
+        assert!(report.warm_speedup > 0.0);
+        assert!(report.store.hits > 0, "warm run must hit the store");
+        let json = serde_json::to_string_pretty(&report).expect("serialises");
+        assert!(json.contains("warm_speedup"), "{json}");
+    }
+}

@@ -66,4 +66,6 @@ pub use error::PassError;
 pub use opp16::{apply_opp16, try_apply_opp16};
 pub use report::PassReport;
 pub use uid::UidAllocator;
-pub use validate::{validate_transform, DivergenceKind, ValidationError, ValidationReport};
+pub use validate::{
+    validate_transform, BaselineExecution, DivergenceKind, ValidationError, ValidationReport,
+};

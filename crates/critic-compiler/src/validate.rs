@@ -208,6 +208,77 @@ struct Execution {
     steps: u64,
 }
 
+/// A baseline execution captured once and replayed against many variants.
+///
+/// The demotion loop of a validated run re-validates after every demoted
+/// chain, and a campaign validates every scheme of an app against the same
+/// baseline — re-interpreting the (identical) baseline each time is pure
+/// waste. Capture it once with [`BaselineExecution::capture`], then call
+/// [`BaselineExecution::validate_variant`] per variant.
+pub struct BaselineExecution {
+    exec: Execution,
+    /// Uids present in the baseline *program* (executed or not). A variant
+    /// write from a uid outside this set comes from a pass-inserted helper
+    /// (e.g. Compress's two-address `mov` expansion); such a write is not a
+    /// divergence in itself — any observable effect it has flows through an
+    /// original instruction's write stream, a store sequence, or the final
+    /// state, all of which are still compared.
+    program_uids: std::collections::HashSet<InsnUid>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for BaselineExecution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BaselineExecution(seed={}, steps={})",
+            self.seed, self.exec.steps
+        )
+    }
+}
+
+impl BaselineExecution {
+    /// Interprets `baseline` over the path with inputs seeded from `seed`,
+    /// recording every observable effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] with `internal` set if the oracle
+    /// itself cannot step an instruction — a harness bug, not a miscompile.
+    pub fn capture(
+        baseline: &Program,
+        path: &ExecutionPath,
+        seed: u64,
+    ) -> Result<BaselineExecution, ValidationError> {
+        let exec = execute(baseline, path, seed).map_err(|(uid, e)| internal_error(uid, e))?;
+        let program_uids = baseline
+            .blocks
+            .iter()
+            .flat_map(|b| b.insns.iter().map(|t| t.uid))
+            .collect();
+        Ok(BaselineExecution {
+            exec,
+            program_uids,
+            seed,
+        })
+    }
+
+    /// Validates `variant` against this captured baseline; see
+    /// [`validate_transform`] for the comparison and error-selection rules.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`validate_transform`].
+    pub fn validate_variant(
+        &self,
+        variant: &Program,
+        path: &ExecutionPath,
+        chains: &[ChainSpec],
+    ) -> Result<ValidationReport, ValidationError> {
+        validate_against(self, variant, path, chains)
+    }
+}
+
 /// Validates that `variant` computes the same thing as `baseline` over the
 /// recorded execution path, using inputs seeded from `seed`.
 ///
@@ -232,11 +303,23 @@ pub fn validate_transform(
     chains: &[ChainSpec],
     seed: u64,
 ) -> Result<ValidationReport, ValidationError> {
+    let base = BaselineExecution::capture(baseline, path, seed)?;
+    validate_against(&base, variant, path, chains)
+}
+
+/// The comparison proper, against an already-captured baseline.
+fn validate_against(
+    baseline: &BaselineExecution,
+    variant: &Program,
+    path: &ExecutionPath,
+    chains: &[ChainSpec],
+) -> Result<ValidationReport, ValidationError> {
     // Decode coverage is static and is the only detector for a CDP whose
     // cover count undershoots its chain, so it runs first.
     check_decode_coverage(variant, chains)?;
 
-    let base = execute(baseline, path, seed).map_err(|(uid, e)| internal_error(uid, e))?;
+    let base = &baseline.exec;
+    let seed = baseline.seed;
     let var = execute(variant, path, seed).map_err(|(uid, e)| internal_error(uid, e))?;
 
     // Collect the execution-earliest divergence across register dataflow
@@ -247,17 +330,7 @@ pub fn validate_transform(
     // in a chain-less block and defeat attribution.
     let mut earliest: Option<(u64, Option<InsnUid>, DivergenceKind)> = None;
 
-    // Uids present in the baseline *program* (executed or not). A variant
-    // write from a uid outside this set comes from a pass-inserted helper
-    // (e.g. Compress's two-address `mov` expansion); such a write is not a
-    // divergence in itself — any observable effect it has flows through an
-    // original instruction's write stream, a store sequence, or the final
-    // state, all of which are still compared.
-    let baseline_uids: std::collections::HashSet<InsnUid> = baseline
-        .blocks
-        .iter()
-        .flat_map(|b| b.insns.iter().map(|t| t.uid))
-        .collect();
+    let baseline_uids = &baseline.program_uids;
 
     // Per-uid register dataflow.
     let mut uids: Vec<InsnUid> = base
@@ -378,18 +451,12 @@ pub fn validate_transform(
         }
     }
     if base.state.mem != var.state.mem {
-        let mut keys: Vec<u64> = base
-            .state
-            .mem
-            .keys()
-            .chain(var.state.mem.keys())
-            .copied()
-            .collect();
+        let mut keys: Vec<u64> = base.state.mem.keys().chain(var.state.mem.keys()).collect();
         keys.sort_unstable();
         keys.dedup();
         for addr in keys {
-            let b = base.state.mem.get(&addr).copied();
-            let v = var.state.mem.get(&addr).copied();
+            let b = base.state.mem.get(addr);
+            let v = var.state.mem.get(addr);
             if b != v {
                 return Err(attribute(
                     variant,

@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use crate::design::DesignPoint;
 use crate::error::RunError;
 use crate::runner::{ValidationStats, Workbench};
+use crate::store::ArtifactStore;
 
 /// One named software/hardware configuration of the campaign grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -289,6 +290,22 @@ struct Cell {
 /// the grid; they are journaled and reported in the summary. The only
 /// campaign-level error is an unusable journal.
 pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
+    run_campaign_with_store(spec, &Arc::new(ArtifactStore::new()))
+}
+
+/// [`run_campaign`] over a caller-owned [`ArtifactStore`].
+///
+/// Cells share generated worlds, cone fanouts, profiles, baseline
+/// simulations, and baseline oracle executions through the store, each
+/// computed exactly once per key; fault-injected cells bypass it entirely
+/// (they must neither consume pristine artifacts nor contribute corrupted
+/// ones). Passing the same store to a second run makes it a *warm* run:
+/// results are bit-identical, only faster — the bench harness measures
+/// exactly this cold/warm pair.
+pub fn run_campaign_with_store(
+    spec: &CampaignSpec,
+    store: &Arc<ArtifactStore>,
+) -> Result<CampaignSummary, RunError> {
     // A planned fault that matches no grid cell is a spec typo: the
     // campaign would run clean while the caller believes it injected.
     for fault in &spec.faults {
@@ -365,9 +382,14 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
         None => None,
     };
 
+    // Scheme-major order: the first |apps| cells each touch a *different*
+    // app, so the initial wave of workers seeds the store with every app's
+    // world and baseline in parallel instead of piling up behind one
+    // app's cold artifacts (the summary is still reported in app-major
+    // grid order below).
     let mut cells: VecDeque<Cell> = VecDeque::new();
-    for app in &spec.apps {
-        for scheme in &spec.schemes {
+    for scheme in &spec.schemes {
+        for app in &spec.apps {
             if done.contains(&(app.name.clone(), scheme.name.clone())) {
                 continue;
             }
@@ -402,7 +424,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(cell) = queue.lock().ok().and_then(|mut q| q.pop_front()) {
-                    let record = run_cell(&cell, spec);
+                    let record = run_cell(&cell, spec, store);
                     if let Some(journal) = &journal {
                         if let Ok(mut file) = journal.lock() {
                             // Journal full lines only; flush + fsync so a
@@ -448,13 +470,13 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
 }
 
 /// Runs one cell with its retry budget; always returns a terminal record.
-fn run_cell(cell: &Cell, spec: &CampaignSpec) -> CellRecord {
+fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> CellRecord {
     let attempts_allowed = spec.retries + 1;
     let mut attempt = 0;
     loop {
         attempt += 1;
         let started = Instant::now();
-        let result = run_attempt(cell, spec.trace_len, spec.validate, spec.deadline);
+        let result = run_attempt(cell, spec.trace_len, spec.validate, spec.deadline, store);
         let millis = started.elapsed().as_millis() as u64;
         let fault = cell.fault.map(|(f, _)| f);
         match result {
@@ -507,6 +529,7 @@ fn run_attempt(
     trace_len: usize,
     validate: bool,
     deadline: Option<Duration>,
+    store: &Arc<ArtifactStore>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     match deadline {
         Some(deadline) => {
@@ -514,8 +537,9 @@ fn run_attempt(
             let cancel = Arc::new(AtomicBool::new(false));
             let flag = Arc::clone(&cancel);
             let cell = cell.clone();
+            let store = Arc::clone(store);
             thread::spawn(move || {
-                let _ = tx.send(run_isolated(&cell, trace_len, validate, &flag));
+                let _ = tx.send(run_isolated(&cell, trace_len, validate, &flag, &store));
             });
             match rx.recv_timeout(deadline) {
                 Ok(result) => result,
@@ -527,7 +551,7 @@ fn run_attempt(
                 }
             }
         }
-        None => run_isolated(cell, trace_len, validate, &AtomicBool::new(false)),
+        None => run_isolated(cell, trace_len, validate, &AtomicBool::new(false), store),
     }
 }
 
@@ -538,9 +562,10 @@ fn run_isolated(
     trace_len: usize,
     validate: bool,
     cancel: &AtomicBool,
+    store: &Arc<ArtifactStore>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_cell_body(cell, trace_len, validate, cancel)
+        run_cell_body(cell, trace_len, validate, cancel, store)
     }))
     .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
 }
@@ -556,35 +581,51 @@ fn checkpoint(cancel: &AtomicBool) -> Result<(), RunError> {
     }
 }
 
-/// The cell proper: generate, inject the planned fault (if any), validate,
-/// profile/compile/simulate baseline and scheme, reduce to metrics.
+/// The cell proper: generate (or fetch the shared world), inject the
+/// planned fault (if any), validate, profile/compile/simulate baseline and
+/// scheme, reduce to metrics.
 fn run_cell_body(
     cell: &Cell,
     trace_len: usize,
     validate: bool,
     cancel: &AtomicBool,
+    store: &Arc<ArtifactStore>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     let app = &cell.app;
-    let mut program = app.generate_program();
-    if let Some((fault, seed)) = cell.fault {
-        if fault.target() == FaultTarget::Program {
-            inject_program(&mut program, fault, seed)
-                .map_err(|e| RunError::Inject(e.to_string()))?;
+    let mut bench = if cell.fault.is_none() {
+        // Clean cell: share the generated world (and downstream artifacts)
+        // with every sibling cell of the app through the store.
+        let world = store.world(app, trace_len)?;
+        checkpoint(cancel)?;
+        Workbench::from_world(app, world, Arc::clone(store))
+    } else {
+        // Fault-injected cell: build everything privately. A corrupted
+        // program/trace must never be published to the store, and even the
+        // cell's *pristine* stages stay private so a fault drill measures
+        // the uncached pipeline it is drilling.
+        let mut program = app.generate_program();
+        if let Some((fault, seed)) = cell.fault {
+            if fault.target() == FaultTarget::Program {
+                inject_program(&mut program, fault, seed)
+                    .map_err(|e| RunError::Inject(e.to_string()))?;
+            }
         }
-    }
-    // Validate before walking the CFG: path generation and trace expansion
-    // index blocks by id and would panic on e.g. a dangling terminator.
-    program.validate()?;
-    checkpoint(cancel)?;
-    let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
-    let mut trace = Trace::expand(&program, &path);
-    if let Some((fault, seed)) = cell.fault {
-        if fault.target() == FaultTarget::Trace {
-            inject_trace(&mut trace, fault, seed).map_err(|e| RunError::Inject(e.to_string()))?;
+        // Validate before walking the CFG: path generation and trace
+        // expansion index blocks by id and would panic on e.g. a dangling
+        // terminator.
+        program.validate()?;
+        checkpoint(cancel)?;
+        let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
+        let mut trace = Trace::expand(&program, &path);
+        if let Some((fault, seed)) = cell.fault {
+            if fault.target() == FaultTarget::Trace {
+                inject_trace(&mut trace, fault, seed)
+                    .map_err(|e| RunError::Inject(e.to_string()))?;
+            }
         }
-    }
-    checkpoint(cancel)?;
-    let mut bench = Workbench::try_assemble(app, program, path, trace)?;
+        checkpoint(cancel)?;
+        Workbench::try_assemble(app, program, path, trace)?
+    };
     if let Some((fault, seed)) = cell.fault {
         // Miscompile faults corrupt the *rewritten* variant, so they are
         // armed on the workbench: the baseline design point is never
@@ -969,5 +1010,101 @@ mod tests {
         assert!(text.contains("PANICKED"), "{text}");
         assert!(text.contains("acrobat:critic"), "{text}");
         assert!(text.contains("1/1 cells FAILED"), "{text}");
+    }
+
+    /// The warm-store guarantee: re-running a campaign against an already
+    /// populated store must change *nothing* about the results — speedups,
+    /// energy savings, validation stats, and journal-visible fields are
+    /// bit-identical; only `millis`/`attempts` (wall-clock artifacts) may
+    /// differ. Includes a silently-miscompiled cell so the comparison also
+    /// covers demotion stats, and checks the store actually served the
+    /// warm run from cache.
+    #[test]
+    fn warm_store_campaign_is_bit_identical_to_cold() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        spec.validate = true;
+        // A miscompile fault in one cell: it must neither poison the store
+        // nor change the warm/cold equivalence of any cell.
+        spec.faults.push(PlannedFault {
+            app: spec.apps[1].name.clone(),
+            scheme: "opp16".into(),
+            fault: Fault::ClobberedDestination,
+            seed: 11,
+        });
+
+        let store = Arc::new(ArtifactStore::new());
+        let cold = run_campaign_with_store(&spec, &store).expect("cold run");
+        let cold_stats = store.stats();
+        let warm = run_campaign_with_store(&spec, &store).expect("warm run");
+        let warm_stats = store.stats();
+
+        assert_eq!(cold.records.len(), 4);
+        assert_eq!(cold.records.len(), warm.records.len());
+        for (c, w) in cold.records.iter().zip(&warm.records) {
+            assert_eq!(c.app, w.app);
+            assert_eq!(c.scheme, w.scheme);
+            assert_eq!(c.status, w.status, "{}:{}", c.app, c.scheme);
+            assert_eq!(c.fault, w.fault);
+            // PartialEq on CellMetrics compares the f64s exactly: the warm
+            // run must reproduce every bit of speedup/energy/thumb-frac.
+            assert_eq!(c.metrics, w.metrics, "{}:{}", c.app, c.scheme);
+            assert_eq!(c.error, w.error, "{}:{}", c.app, c.scheme);
+            assert_eq!(c.validation, w.validation, "{}:{}", c.app, c.scheme);
+        }
+
+        // The cold run built each app's world exactly once; the warm run
+        // built nothing new and was served from cache.
+        assert_eq!(cold_stats.worlds_built, 2, "one world per app");
+        assert_eq!(warm_stats.worlds_built, cold_stats.worlds_built);
+        assert_eq!(warm_stats.profiles_built, cold_stats.profiles_built);
+        assert_eq!(warm_stats.baselines_built, cold_stats.baselines_built);
+        assert_eq!(
+            warm_stats.baseline_execs_built,
+            cold_stats.baseline_execs_built
+        );
+        assert!(
+            warm_stats.hits > cold_stats.hits,
+            "warm run must hit the store ({} -> {})",
+            cold_stats.hits,
+            warm_stats.hits
+        );
+    }
+
+    /// Fault-injected cells bypass the store entirely: they must not consume
+    /// shared artifacts (a drill measures the uncached pipeline) and must
+    /// not contribute any (a corrupted program/trace would poison every
+    /// sibling cell).
+    #[test]
+    fn fault_cells_never_touch_the_store() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.validate = true;
+        spec.faults.push(PlannedFault {
+            app: spec.apps[0].name.clone(),
+            scheme: "critic".into(),
+            fault: Fault::ClobberedDestination,
+            seed: 11,
+        });
+        let store = Arc::new(ArtifactStore::new());
+        let summary = run_campaign_with_store(&spec, &store).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+
+        let stats = store.stats();
+        assert_eq!(stats.worlds_built, 0);
+        assert_eq!(stats.cones_built, 0);
+        assert_eq!(stats.profiles_built, 0);
+        assert_eq!(stats.baselines_built, 0);
+        assert_eq!(stats.baseline_execs_built, 0);
+        assert_eq!(stats.hits, 0);
     }
 }

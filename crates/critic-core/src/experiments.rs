@@ -120,8 +120,8 @@ pub fn fig1a(trace_len: usize, apps_per_suite: usize) -> Vec<Fig1aRow> {
                 let pr = bench.run(&DesignPoint::critical_prioritization());
                 prefetch.push(pf.sim.speedup_over(&base.sim));
                 prioritize.push(pr.sim.speedup_over(&base.sim));
-                let fanout = bench.baseline_trace().compute_fanout();
-                let summary = CriticalitySummary::measure(bench.baseline_trace(), &fanout, 8);
+                let summary =
+                    CriticalitySummary::measure(bench.baseline_trace(), bench.baseline_fanout(), 8);
                 critical.push(summary.critical_frac());
             }
             Fig1aRow {
@@ -155,9 +155,8 @@ pub fn fig1b(trace_len: usize, apps_per_suite: usize) -> Vec<Fig1bRow> {
             for app in suite_apps(suite, apps_per_suite) {
                 let bench = Workbench::new(&app, trace_len);
                 let trace = bench.baseline_trace();
-                let fanout = trace.compute_fanout();
                 let dfg = Dfg::build(trace);
-                let hist = GapHistogram::measure(&dfg, &fanout, 8);
+                let hist = GapHistogram::measure(&dfg, bench.baseline_fanout(), 8);
                 none.push(hist.none_frac());
                 for (g, bucket) in gaps.iter_mut().enumerate() {
                     bucket.push(hist.gap_frac(g));
@@ -216,7 +215,7 @@ pub fn fig3(trace_len: usize, apps_per_suite: usize) -> Vec<Fig3Row> {
                 ];
                 // Latency-class mix of critical instructions.
                 let trace = bench.baseline_trace();
-                let fanout = trace.compute_fanout();
+                let fanout = bench.baseline_fanout();
                 let mut mix = [0u64; 3];
                 for (i, e) in trace.iter().enumerate() {
                     if fanout[i] >= 8 {
@@ -285,9 +284,8 @@ pub fn fig5a(trace_len: usize, apps_per_suite: usize) -> Vec<Fig5aRow> {
             for app in suite_apps(suite, apps_per_suite) {
                 let bench = Workbench::new(&app, trace_len);
                 let trace = bench.baseline_trace();
-                let fanout = trace.compute_fanout();
                 let dfg = Dfg::build(trace);
-                let chains = extract_dynamic_ics(trace, &dfg, &fanout, 8192, 4096);
+                let chains = extract_dynamic_ics(trace, &dfg, bench.baseline_fanout(), 8192, 4096);
                 shapes.push(ChainShape::measure(&chains));
             }
             // Merge by taking maxima of maxima and means of means.

@@ -39,14 +39,16 @@ pub mod design;
 pub mod error;
 pub mod experiments;
 pub mod runner;
+pub mod store;
 
 pub use campaign::{
-    run_campaign, CampaignSpec, CampaignSummary, CellMetrics, CellRecord, CellStatus, PlannedFault,
-    Scheme,
+    run_campaign, run_campaign_with_store, CampaignSpec, CampaignSummary, CellMetrics, CellRecord,
+    CellStatus, PlannedFault, Scheme,
 };
 pub use design::{DesignPoint, Software};
 pub use error::RunError;
 pub use runner::{RunOutcome, ValidationStats, Workbench};
+pub use store::{ArtifactStore, StoreStats, World, WorldKey};
 
 /// Default dynamic instructions per app for full experiments (the paper
 /// samples ~50M over 100 samples; we use one contiguous window per app,

@@ -1,19 +1,21 @@
 //! The experiment workbench: one app, one recorded input, many variants.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use critic_compiler::{
-    try_apply_compress, try_apply_critic_pass, try_apply_opp16, validate_transform,
+    try_apply_compress, try_apply_critic_pass, try_apply_opp16, BaselineExecution,
     CriticPassOptions, PassReport,
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
-use critic_pipeline::{SimResult, Simulator};
+use critic_pipeline::{SimResult, SimScratch, Simulator};
 use critic_profiler::{ChainSpec, Profile, Profiler, ProfilerConfig};
 use critic_workloads::{inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{DesignPoint, Software};
 use crate::error::RunError;
+use crate::store::{ArtifactStore, World};
 
 /// Per-run translation-validation accounting, journaled per campaign cell.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,11 +58,21 @@ pub struct Workbench {
     pub program: Program,
     /// The recorded block-level input.
     pub path: ExecutionPath,
-    base_trace: Trace,
+    base_trace: Arc<Trace>,
+    /// `base_trace.compute_fanout()`, computed once at assembly and
+    /// threaded through every consumer (simulation, figures, training).
+    base_fanout: Arc<Vec<u32>>,
+    /// Lazily-computed ROB-cone fanout shared by every profiler config.
+    cone_fanout: Option<Arc<Vec<u32>>>,
     energy_model: EnergyModel,
-    profiles: HashMap<String, Profile>,
+    profiles: HashMap<String, Arc<Profile>>,
     variants: HashMap<String, (Program, PassReport)>,
     variant_fault: Option<(Fault, u64)>,
+    /// Campaign-wide artifact store this workbench reads and feeds, plus
+    /// the shared world it was built over.
+    store: Option<(Arc<ArtifactStore>, Arc<World>)>,
+    /// Recycled simulator working memory.
+    scratch: SimScratch,
 }
 
 impl Workbench {
@@ -102,16 +114,43 @@ impl Workbench {
     ) -> Result<Workbench, RunError> {
         program.validate_encoding()?;
         base_trace.validate(&program)?;
+        let base_fanout = base_trace.compute_fanout();
         Ok(Workbench {
             app: app.clone(),
             program,
             path,
-            base_trace,
+            base_trace: Arc::new(base_trace),
+            base_fanout: Arc::new(base_fanout),
+            cone_fanout: None,
             energy_model: EnergyModel::default(),
             profiles: HashMap::new(),
             variants: HashMap::new(),
             variant_fault: None,
+            store: None,
+            scratch: SimScratch::new(),
         })
+    }
+
+    /// Builds a workbench over a store-shared [`World`]: the generated
+    /// program, path, trace, and fanout are reused as-is (they were
+    /// validated when the world was built), and profiles, cone fanouts,
+    /// baseline simulations, and baseline oracle executions are served
+    /// from — and contributed to — `store`.
+    pub fn from_world(app: &AppSpec, world: Arc<World>, store: Arc<ArtifactStore>) -> Workbench {
+        Workbench {
+            app: app.clone(),
+            program: (*world.program).clone(),
+            path: (*world.path).clone(),
+            base_trace: Arc::clone(&world.trace),
+            base_fanout: Arc::clone(&world.fanout),
+            cone_fanout: None,
+            energy_model: EnergyModel::default(),
+            profiles: HashMap::new(),
+            variants: HashMap::new(),
+            variant_fault: None,
+            store: Some((store, world)),
+            scratch: SimScratch::new(),
+        }
     }
 
     /// Arms a deterministic miscompile: the next non-baseline variant built
@@ -127,6 +166,27 @@ impl Workbench {
     /// The baseline dynamic trace.
     pub fn baseline_trace(&self) -> &Trace {
         &self.base_trace
+    }
+
+    /// The baseline trace's direct-fanout vector
+    /// ([`Trace::compute_fanout`]), computed once at assembly.
+    pub fn baseline_fanout(&self) -> &[u32] {
+        &self.base_fanout
+    }
+
+    /// The baseline trace's ROB-cone fanout (window 128), computed at
+    /// most once — campaign-wide when store-backed, per-workbench
+    /// otherwise.
+    fn cone(&mut self) -> Arc<Vec<u32>> {
+        if let Some(cone) = &self.cone_fanout {
+            return Arc::clone(cone);
+        }
+        let cone = match &self.store {
+            Some((store, world)) => store.cone_fanout(world),
+            None => Arc::new(self.base_trace.compute_cone_fanout(128)),
+        };
+        self.cone_fanout = Some(Arc::clone(&cone));
+        cone
     }
 
     /// Builds (or returns the cached) profile for a profiler configuration.
@@ -152,8 +212,16 @@ impl Workbench {
     fn ensure_profile(&mut self, config: &ProfilerConfig) -> Result<String, RunError> {
         let key = format!("{config:?}");
         if !self.profiles.contains_key(&key) {
-            let profile =
-                Profiler::new(config.clone()).try_build_profile(&self.program, &self.base_trace)?;
+            let profile = if let Some((store, world)) = self.store.clone() {
+                store.profile(&world, config)?
+            } else {
+                let cone = self.cone();
+                Arc::new(Profiler::new(config.clone()).try_build_profile_with_cone(
+                    &self.program,
+                    &self.base_trace,
+                    &cone,
+                )?)
+            };
             self.profiles.insert(key.clone(), profile);
         }
         Ok(key)
@@ -301,10 +369,29 @@ impl Workbench {
             ..Default::default()
         };
         let mut demoted: HashSet<usize> = HashSet::new();
+        // The baseline's oracle execution is identical across demotion
+        // iterations (and across every scheme of the app), so it is
+        // captured once — from the campaign store when available.
+        let baseline_exec = match &self.store {
+            Some((store, world)) => store.baseline_execution(world, seed),
+            None => BaselineExecution::capture(&self.program, &self.path, seed)
+                .map(Arc::new)
+                .map_err(|e| RunError::Validation(e.to_string())),
+        };
+        let baseline_exec = match baseline_exec {
+            Ok(exec) => exec,
+            Err(e) => {
+                stats.failed += 1;
+                return Err(RunError::Validation(format!(
+                    "baseline capture failed: {e} ({} chains checked, {} demoted, {} unresolved)",
+                    stats.chains_checked, stats.chains_demoted, stats.failed
+                )));
+            }
+        };
         loop {
             // Attribution ranks refer to the *original* chain list, so the
             // full list is passed on every iteration.
-            match validate_transform(&self.program, &program, &self.path, &chains, seed) {
+            match baseline_exec.validate_variant(&program, &self.path, &chains) {
                 Ok(_) => break,
                 Err(e) => {
                     let Some(rank) = e.chain else {
@@ -355,13 +442,26 @@ impl Workbench {
         program: Program,
         pass: PassReport,
     ) -> Result<RunOutcome, RunError> {
-        let trace = if matches!(point.software, Software::Baseline) {
-            self.base_trace.clone()
-        } else {
-            Trace::expand(&program, &self.path)
+        let baseline = matches!(point.software, Software::Baseline);
+        if baseline {
+            // Baselines are hardware-keyed and variant-independent: a
+            // store-backed workbench shares one simulation per (world,
+            // cpu+mem config) with every sibling cell.
+            if let Some((store, world)) = self.store.clone() {
+                return Ok((*store.baseline(&world, point)?).clone());
+            }
+        }
+        let expanded = (!baseline).then(|| Trace::expand(&program, &self.path));
+        let variant_fanout = expanded.as_ref().map(Trace::compute_fanout);
+        let (trace, fanout): (&Trace, &[u32]) = match (&expanded, &variant_fanout) {
+            (Some(t), Some(f)) => (t, f),
+            _ => (&self.base_trace, &self.base_fanout),
         };
-        let fanout = trace.compute_fanout();
-        let sim = Simulator::new(point.cpu_config(), point.mem_config()).run(&trace, &fanout);
+        let sim = Simulator::new(point.cpu_config(), point.mem_config()).run_with_scratch(
+            trace,
+            fanout,
+            &mut self.scratch,
+        );
         let energy = self.energy_model.evaluate(&sim);
         Ok(RunOutcome {
             design: point.label(),

@@ -1,0 +1,434 @@
+//! Campaign-wide content-addressed artifact store.
+//!
+//! A campaign grid shares enormous amounts of work between cells: every
+//! cell of one app regenerates the same program, re-records the same
+//! execution path, re-expands the same trace, recomputes the same fanout
+//! vectors, rebuilds the same profiles, and re-simulates the same baseline.
+//! The store memoizes those stages *across* cells so each artifact is
+//! computed exactly once per campaign:
+//!
+//! * a [`World`] (program + path + trace + fanout) is keyed by the app
+//!   spec's content hash and the trace length;
+//! * a ROB-cone fanout vector is keyed by the world (it is profiler-config
+//!   independent);
+//! * a [`Profile`] is keyed by the world plus the profiler configuration;
+//! * a baseline [`RunOutcome`] is keyed by the world plus the CPU and
+//!   memory configurations it was simulated under.
+//!
+//! Concurrency uses a per-key slot: the key map is held only long enough
+//! to clone out an `Arc` to the key's slot, and the computation runs under
+//! the *slot's* lock — so two cells needing different artifacts never block
+//! each other, and two cells needing the same artifact compute it once
+//! (the second blocks until the first finishes, then shares the result).
+//! A failed computation leaves the slot empty: errors are never cached, so
+//! a faulted or cancelled attempt cannot poison siblings, and a retry
+//! recomputes from scratch.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use critic_compiler::BaselineExecution;
+use critic_energy::EnergyModel;
+use critic_pipeline::Simulator;
+use critic_profiler::{Profile, Profiler, ProfilerConfig};
+use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
+use serde::Serialize;
+
+use crate::design::DesignPoint;
+use crate::error::RunError;
+use crate::runner::RunOutcome;
+
+/// FNV-1a over a byte string: a stable, dependency-free content hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of any `Debug`-printable configuration. The structs being
+/// keyed (app specs, profiler/CPU/memory configs) carry `f64` fields and so
+/// cannot derive `Hash`; their `Debug` form round-trips every field at full
+/// precision, which makes it a faithful content address.
+fn debug_hash(value: &impl std::fmt::Debug) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+/// Identity of one generated world: app content hash × trace length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorldKey {
+    app: u64,
+    trace_len: usize,
+}
+
+impl WorldKey {
+    /// The key for `app` at `trace_len` dynamic instructions.
+    pub fn new(app: &AppSpec, trace_len: usize) -> WorldKey {
+        WorldKey {
+            app: debug_hash(app),
+            trace_len,
+        }
+    }
+}
+
+/// Everything deterministic generation produces for one app: the binary,
+/// the recorded input, the expanded baseline trace, and its direct-fanout
+/// vector. Shared read-only between every cell of the app.
+#[derive(Debug)]
+pub struct World {
+    /// The store key this world was built under.
+    pub key: WorldKey,
+    /// The original (baseline) binary.
+    pub program: Arc<Program>,
+    /// The recorded block-level input.
+    pub path: Arc<ExecutionPath>,
+    /// The baseline dynamic trace.
+    pub trace: Arc<Trace>,
+    /// `trace.compute_fanout()`, computed once at build time.
+    pub fanout: Arc<Vec<u32>>,
+}
+
+/// A single-key memoization slot map. See the module docs for the locking
+/// discipline; `lock_clean` recovers from poisoning because a panic inside
+/// a computation leaves the slot value `None` (the value is only written on
+/// success), so the slot is still in a consistent "recompute me" state.
+/// One artifact's slot: taken for the duration of its (single) build,
+/// then holding the shared value.
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+struct Memo<K, V> {
+    map: Mutex<HashMap<K, Slot<V>>>,
+    computed: AtomicU64,
+    hits: AtomicU64,
+}
+
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    fn new() -> Memo<K, V> {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+            computed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, or computes it with `build`.
+    /// Exactly one caller computes; concurrent callers for the same key
+    /// block on the slot and share the result. `Err` is never cached.
+    fn get_or_try_build<E>(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot = {
+            let mut map = lock_clean(&self.map);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = lock_clean(&slot);
+        if let Some(value) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(value));
+        }
+        let value = Arc::new(build()?);
+        *guard = Some(Arc::clone(&value));
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        Ok(value)
+    }
+}
+
+/// Counters describing what a store computed and what it served from
+/// cache; the memoization-correctness tests and the bench harness read
+/// these to prove each artifact was built exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StoreStats {
+    /// Worlds generated (program + path + trace + fanout).
+    pub worlds_built: u64,
+    /// ROB-cone fanout vectors computed.
+    pub cones_built: u64,
+    /// Profiles built.
+    pub profiles_built: u64,
+    /// Baseline simulations run.
+    pub baselines_built: u64,
+    /// Baseline oracle executions captured (for translation validation).
+    pub baseline_execs_built: u64,
+    /// Requests served from cache across all artifact classes.
+    pub hits: u64,
+}
+
+/// The campaign-wide artifact store. Cheap to share: wrap in an [`Arc`]
+/// and clone the handle into every worker.
+pub struct ArtifactStore {
+    worlds: Memo<WorldKey, World>,
+    cones: Memo<WorldKey, Vec<u32>>,
+    profiles: Memo<(WorldKey, u64), Profile>,
+    baselines: Memo<(WorldKey, u64), RunOutcome>,
+    baseline_execs: Memo<(WorldKey, u64), BaselineExecution>,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> ArtifactStore {
+        ArtifactStore::new()
+    }
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ArtifactStore({:?})", self.stats())
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore {
+            worlds: Memo::new(),
+            cones: Memo::new(),
+            profiles: Memo::new(),
+            baselines: Memo::new(),
+            baseline_execs: Memo::new(),
+        }
+    }
+
+    /// The world for `app` at `trace_len`, generated at most once.
+    ///
+    /// Generation and validation mirror `Workbench::try_new` exactly, so a
+    /// store-backed cell fails with the same typed error a store-less cell
+    /// would.
+    pub fn world(&self, app: &AppSpec, trace_len: usize) -> Result<Arc<World>, RunError> {
+        let key = WorldKey::new(app, trace_len);
+        self.worlds.get_or_try_build(key, || {
+            let program = app.generate_program();
+            program.validate()?;
+            let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
+            let trace = Trace::expand(&program, &path);
+            program.validate_encoding()?;
+            trace.validate(&program)?;
+            let fanout = trace.compute_fanout();
+            Ok(World {
+                key,
+                program: Arc::new(program),
+                path: Arc::new(path),
+                trace: Arc::new(trace),
+                fanout: Arc::new(fanout),
+            })
+        })
+    }
+
+    /// The ROB-cone fanout vector of a world's baseline trace (horizon =
+    /// the Table I ROB size), computed at most once; every profiler
+    /// configuration shares it.
+    pub fn cone_fanout(&self, world: &World) -> Arc<Vec<u32>> {
+        let result: Result<Arc<Vec<u32>>, RunError> = self
+            .cones
+            .get_or_try_build(world.key, || Ok(world.trace.compute_cone_fanout(128)));
+        match result {
+            Ok(cone) => cone,
+            Err(never) => unreachable!("infallible cone build failed: {never}"),
+        }
+    }
+
+    /// The profile of a world under `config`, built at most once per
+    /// distinct configuration.
+    pub fn profile(
+        &self,
+        world: &World,
+        config: &ProfilerConfig,
+    ) -> Result<Arc<Profile>, RunError> {
+        let key = (world.key, debug_hash(config));
+        self.profiles.get_or_try_build(key, || {
+            let cone = self.cone_fanout(world);
+            Ok(Profiler::new(config.clone()).try_build_profile_with_cone(
+                &world.program,
+                &world.trace,
+                &cone,
+            )?)
+        })
+    }
+
+    /// The baseline run outcome of a world under `point`'s hardware
+    /// configuration, simulated at most once. `point`'s software must be
+    /// the baseline binary (the world's own trace is simulated as-is).
+    pub fn baseline(
+        &self,
+        world: &World,
+        point: &DesignPoint,
+    ) -> Result<Arc<RunOutcome>, RunError> {
+        let cpu = point.cpu_config();
+        let mem = point.mem_config();
+        let key = (world.key, debug_hash(&(&cpu, &mem)));
+        self.baselines.get_or_try_build(key, || {
+            let sim = Simulator::new(cpu, mem).run(&world.trace, &world.fanout);
+            let energy = EnergyModel::default().evaluate(&sim);
+            Ok(RunOutcome {
+                design: point.label(),
+                thumb_dyn_frac: world.trace.thumb_fraction(),
+                dyn_insns: world.trace.len(),
+                sim,
+                energy,
+                pass: Default::default(),
+            })
+        })
+    }
+
+    /// The captured baseline oracle execution of a world under `seed`,
+    /// interpreted at most once; every validated scheme of the app replays
+    /// its variants against it.
+    pub fn baseline_execution(
+        &self,
+        world: &World,
+        seed: u64,
+    ) -> Result<Arc<BaselineExecution>, RunError> {
+        self.baseline_execs.get_or_try_build((world.key, seed), || {
+            BaselineExecution::capture(&world.program, &world.path, seed)
+                .map_err(|e| RunError::Validation(e.to_string()))
+        })
+    }
+
+    /// Snapshot of the build/hit counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            worlds_built: self.worlds.computed.load(Ordering::Relaxed),
+            cones_built: self.cones.computed.load(Ordering::Relaxed),
+            profiles_built: self.profiles.computed.load(Ordering::Relaxed),
+            baselines_built: self.baselines.computed.load(Ordering::Relaxed),
+            baseline_execs_built: self.baseline_execs.computed.load(Ordering::Relaxed),
+            hits: self.worlds.hits.load(Ordering::Relaxed)
+                + self.cones.hits.load(Ordering::Relaxed)
+                + self.profiles.hits.load(Ordering::Relaxed)
+                + self.baselines.hits.load(Ordering::Relaxed)
+                + self.baseline_execs.hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::AtomicUsize;
+
+    use critic_workloads::Suite;
+
+    use super::*;
+
+    fn small_app(index: usize) -> AppSpec {
+        let mut app = Suite::Mobile.apps()[index].clone();
+        app.params.num_functions = 24;
+        app
+    }
+
+    #[test]
+    fn memo_computes_once_and_then_hits() {
+        let memo: Memo<u32, u32> = Memo::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = memo
+                .get_or_try_build(7, || -> Result<u32, RunError> {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Ok(42)
+                })
+                .expect("build succeeds");
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.computed.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn memo_does_not_cache_errors() {
+        let memo: Memo<u32, u32> = Memo::new();
+        let err = memo.get_or_try_build(1, || Err(RunError::Inject("boom".into())));
+        assert!(err.is_err());
+        // The failed slot must recompute, not replay the error.
+        let ok = memo.get_or_try_build(1, || -> Result<u32, RunError> { Ok(9) });
+        assert_eq!(*ok.expect("retry succeeds"), 9);
+    }
+
+    #[test]
+    fn memo_survives_a_panicking_build() {
+        let memo = Arc::new(Memo::<u32, u32>::new());
+        let inner = Arc::clone(&memo);
+        let panicked = std::thread::spawn(move || {
+            let _ = inner.get_or_try_build(5, || -> Result<u32, RunError> {
+                panic!("injected build panic")
+            });
+        })
+        .join();
+        assert!(panicked.is_err(), "the build must have panicked");
+        // The poisoned slot self-heals: the value was never written, so the
+        // next caller recomputes.
+        let v = memo
+            .get_or_try_build(5, || -> Result<u32, RunError> { Ok(11) })
+            .expect("recompute succeeds");
+        assert_eq!(*v, 11);
+    }
+
+    #[test]
+    fn concurrent_world_requests_build_once() {
+        let store = Arc::new(ArtifactStore::new());
+        let app = small_app(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = Arc::clone(&store);
+                let app = app.clone();
+                scope.spawn(move || {
+                    let world = store.world(&app, 6_000).expect("world builds");
+                    assert_eq!(world.fanout.len(), world.trace.len());
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.worlds_built, 1, "{stats:?}");
+        assert_eq!(stats.hits, 3, "{stats:?}");
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_artifacts() {
+        let store = ArtifactStore::new();
+        let a = store.world(&small_app(0), 6_000).expect("world a");
+        let b = store.world(&small_app(1), 6_000).expect("world b");
+        let a_short = store.world(&small_app(0), 3_000).expect("world a short");
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, a_short.key);
+        assert_eq!(store.stats().worlds_built, 3);
+        // Same app + length hits the cache.
+        let again = store.world(&small_app(0), 6_000).expect("cached world");
+        assert!(Arc::ptr_eq(&a.program, &again.program));
+    }
+
+    #[test]
+    fn profiles_and_baselines_are_shared_per_config() {
+        let store = ArtifactStore::new();
+        let world = store.world(&small_app(0), 8_000).expect("world");
+        let p1 = store
+            .profile(&world, &ProfilerConfig::default())
+            .expect("profile");
+        let p2 = store
+            .profile(&world, &ProfilerConfig::default())
+            .expect("profile again");
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let ideal = store
+            .profile(&world, &ProfilerConfig::ideal())
+            .expect("ideal profile");
+        assert!(!Arc::ptr_eq(&p1, &ideal));
+        let b1 = store
+            .baseline(&world, &DesignPoint::baseline())
+            .expect("baseline");
+        let b2 = store
+            .baseline(&world, &DesignPoint::baseline())
+            .expect("baseline again");
+        assert!(Arc::ptr_eq(&b1, &b2));
+        let stats = store.stats();
+        assert_eq!(stats.profiles_built, 2, "{stats:?}");
+        assert_eq!(stats.cones_built, 1, "cone shared across configs");
+        assert_eq!(stats.baselines_built, 1, "{stats:?}");
+    }
+}

@@ -180,6 +180,89 @@ pub fn seeded_input(seed: u64, uid: u64, visit: u64) -> u32 {
     (z >> 16) as u32
 }
 
+/// Sparse byte-granular memory image organised as aligned 64-byte pages.
+///
+/// The interpreter's hot path executes a store every few steps, and a flat
+/// `BTreeMap<u64, u8>` pays a tree probe (and a possible node allocation)
+/// per *byte*. Pages amortise that to one probe per store — consecutive
+/// stores overwhelmingly hit an already-allocated page, making the common
+/// case allocation-free — while a `written` bitmask per page distinguishes
+/// "never stored" from "stored zero", preserving exact byte-map semantics
+/// for equality and lookups.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct SparseMem {
+    pages: BTreeMap<u64, Page>,
+}
+
+/// One aligned 64-byte region. Unwritten bytes stay zero forever, so the
+/// derived equality over `(written, data)` matches byte-map equality: two
+/// pages are equal exactly when the same bytes were stored with the same
+/// values.
+#[derive(Clone, PartialEq, Eq)]
+struct Page {
+    written: u64,
+    data: [u8; 64],
+}
+
+impl SparseMem {
+    const PAGE: u64 = 64;
+
+    /// The byte stored at `addr`, or `None` if nothing was ever stored there.
+    #[must_use]
+    pub fn get(&self, addr: u64) -> Option<u8> {
+        let page = self.pages.get(&(addr & !(Self::PAGE - 1)))?;
+        let bit = addr % Self::PAGE;
+        ((page.written >> bit) & 1 == 1).then_some(page.data[bit as usize])
+    }
+
+    /// Stores one byte at `addr`.
+    pub fn insert(&mut self, addr: u64, byte: u8) {
+        let page = self.pages.entry(addr & !(Self::PAGE - 1)).or_insert(Page {
+            written: 0,
+            data: [0; 64],
+        });
+        let bit = addr % Self::PAGE;
+        page.written |= 1 << bit;
+        page.data[bit as usize] = byte;
+    }
+
+    /// Number of distinct addresses ever stored to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pages
+            .values()
+            .map(|p| p.written.count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether no byte was ever stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        // Pages are only created by `insert`, which always sets a bit.
+        self.pages.is_empty()
+    }
+
+    /// Written addresses in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(addr, _)| addr)
+    }
+
+    /// `(address, byte)` pairs in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.pages.iter().flat_map(|(base, page)| {
+            (0..Self::PAGE).filter_map(move |i| {
+                ((page.written >> i) & 1 == 1).then_some((base + i, page.data[i as usize]))
+            })
+        })
+    }
+}
+
+impl fmt::Debug for SparseMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
 /// Architectural state: 16 registers, NZCV flags, and a sparse byte-granular
 /// memory image populated by stores.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -189,7 +272,7 @@ pub struct MachineState {
     /// The condition flags.
     pub flags: Flags,
     /// Sparse memory: only bytes that stores have written are present.
-    pub mem: BTreeMap<u64, u8>,
+    pub mem: SparseMem,
 }
 
 impl MachineState {
@@ -202,7 +285,7 @@ impl MachineState {
         MachineState {
             regs,
             flags: Flags::default(),
-            mem: BTreeMap::new(),
+            mem: SparseMem::default(),
         }
     }
 
@@ -568,8 +651,8 @@ mod tests {
                 bytes: 4
             })
         );
-        assert_eq!(m.mem.get(&0x1000), Some(&0xDD));
-        assert_eq!(m.mem.get(&0x1003), Some(&0xAA));
+        assert_eq!(m.mem.get(0x1000), Some(0xDD));
+        assert_eq!(m.mem.get(0x1003), Some(0xAA));
 
         let stb = Insn::store(Opcode::Strb, Reg::R1, Reg::R2, 0);
         let io2 = StepIo {
@@ -582,6 +665,37 @@ mod tests {
             Some((0xDD, 1))
         );
         assert_eq!(m.mem.len(), 5);
+    }
+
+    #[test]
+    fn sparse_mem_distinguishes_stored_zero_from_never_stored() {
+        let mut a = SparseMem::default();
+        let b = SparseMem::default();
+        a.insert(0x40, 0);
+        assert_eq!(a.get(0x40), Some(0));
+        assert_eq!(b.get(0x40), None);
+        assert_ne!(a, b, "a stored zero; b stored nothing");
+        assert_eq!(a.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sparse_mem_iterates_in_address_order_across_pages() {
+        let mut m = SparseMem::default();
+        for addr in [0x203, 0x13F, 0x200, 0x07] {
+            m.insert(addr, (addr & 0xFF) as u8);
+        }
+        m.insert(0x200, 0xEE); // overwrite keeps one entry
+        let pairs: Vec<(u64, u8)> = m.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(0x07, 0x07), (0x13F, 0x3F), (0x200, 0xEE), (0x203, 0x03)]
+        );
+        assert_eq!(
+            m.keys().collect::<Vec<u64>>(),
+            vec![0x07, 0x13F, 0x200, 0x203]
+        );
+        assert_eq!(m.len(), 4);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use asm::{parse_insn, parse_listing, AsmError};
 pub use cond::Cond;
 pub use encode::{decode_arm32, decode_thumb16, encode, DecodeError, EncodeError, Encoded};
 pub use insn::{Insn, InsnBuilder, TooManySources, Width};
-pub use interp::{seeded_input, Flags, MachineState, MemWrite, StepEffect, StepError, StepIo};
+pub use interp::{
+    seeded_input, Flags, MachineState, MemWrite, SparseMem, StepEffect, StepError, StepIo,
+};
 pub use op::{FuKind, LatencyClass, Opcode};
 pub use reg::Reg;
 pub use thumb::{ThumbIncompatibility, MAX_CDP_CHAIN_LEN, THUMB_REG_LIMIT};

@@ -112,8 +112,13 @@ impl MemSystem {
         };
         if let Some(predicted) = efetch.observe_call(target) {
             self.efetch_prefetches += 1;
-            let lines: Vec<u64> = efetch.prefetch_lines(predicted).collect();
-            for line in lines {
+            // Iterate the line addresses directly instead of collecting into
+            // a Vec: this runs once per dynamic call instruction, and the
+            // borrow on `efetch` ends here because the line arithmetic only
+            // needs the depth.
+            let depth = efetch.lines_ahead;
+            let base = predicted & !63;
+            for line in (0..u64::from(depth)).map(|i| base + i * 64) {
                 if !self.l2.contains(line) {
                     let _ = self.dram.access(line, now);
                     self.l2.prefetch_fill(line);

@@ -61,5 +61,5 @@ pub mod stats;
 pub use bpu::{Bpu, BpuStats};
 pub use config::{CpuConfig, FuPool};
 pub use crit::CritTable;
-pub use sim::Simulator;
+pub use sim::{SimScratch, Simulator};
 pub use stats::{FetchStalls, SimResult, StageBreakdown};

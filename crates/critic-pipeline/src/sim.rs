@@ -28,6 +28,63 @@ enum SupplyStall {
 
 const UNSET: u64 = u64::MAX;
 
+/// Reusable per-run working memory for the cycle loop.
+///
+/// One `run` allocates seven per-instruction timestamp tables plus the
+/// fetch/issue/reorder queues; across a campaign the simulator runs
+/// thousands of times on same-length traces, so callers on the hot path
+/// keep one `SimScratch` per worker and pass it to
+/// [`Simulator::run_with_scratch`] — every table is then recycled
+/// (cleared and refilled, never reallocated once warm).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    fetched_at: Vec<u64>,
+    supply_stall: Vec<u32>,
+    blocked_at_fetch: Vec<u64>,
+    blocked_at_decode: Vec<u64>,
+    decoded_at: Vec<u64>,
+    issued_at: Vec<u64>,
+    done_at: Vec<u64>,
+    fetch_queue: VecDeque<u32>,
+    iq: Vec<u32>,
+    rob: VecDeque<u32>,
+    ready: Vec<u32>,
+    issued_set: Vec<u32>,
+    int_div_free: Vec<u64>,
+    float_div_free: Vec<u64>,
+}
+
+impl SimScratch {
+    /// Empty scratch; buffers grow on first use and are then recycled.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Re-initializes every table for an `n`-instruction run.
+    fn reset(&mut self, n: usize, cfg: &CpuConfig) {
+        fill(&mut self.fetched_at, n, UNSET);
+        fill(&mut self.supply_stall, n, 0);
+        fill(&mut self.blocked_at_fetch, n, 0);
+        fill(&mut self.blocked_at_decode, n, 0);
+        fill(&mut self.decoded_at, n, UNSET);
+        fill(&mut self.issued_at, n, UNSET);
+        fill(&mut self.done_at, n, UNSET);
+        self.fetch_queue.clear();
+        self.iq.clear();
+        self.rob.clear();
+        self.ready.clear();
+        self.issued_set.clear();
+        fill(&mut self.int_div_free, cfg.fu.int_div as usize, 0);
+        fill(&mut self.float_div_free, cfg.fu.float_div as usize, 0);
+    }
+}
+
+/// `clear` + `resize`: refills in place, reallocating only to grow.
+fn fill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
+    v.clear();
+    v.resize(n, value);
+}
+
 /// A configured simulator; call [`Simulator::run`] per trace.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -57,6 +114,22 @@ impl Simulator {
     ///
     /// Panics if `fanout.len() != trace.len()`.
     pub fn run(&self, trace: &Trace, fanout: &[u32]) -> SimResult {
+        self.run_with_scratch(trace, fanout, &mut SimScratch::new())
+    }
+
+    /// [`Simulator::run`] with caller-owned working memory: behaviour and
+    /// results are identical, but the per-instruction tables and pipeline
+    /// queues are recycled from `scratch` instead of allocated per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout.len() != trace.len()`.
+    pub fn run_with_scratch(
+        &self,
+        trace: &Trace,
+        fanout: &[u32],
+        scratch: &mut SimScratch,
+    ) -> SimResult {
         assert_eq!(
             trace.len(),
             fanout.len(),
@@ -69,21 +142,28 @@ impl Simulator {
 
         let n = trace.len();
         let entries = &trace.entries;
-        let mut fetched_at = vec![UNSET; n];
-        let mut supply_stall = vec![0u32; n];
+        scratch.reset(n, cfg);
+        // Destructure for disjoint borrows across the stage loops.
+        let SimScratch {
+            fetched_at,
+            supply_stall,
+            blocked_at_fetch,
+            blocked_at_decode,
+            decoded_at,
+            issued_at,
+            done_at,
+            fetch_queue,
+            iq,
+            rob,
+            ready,
+            issued_set,
+            int_div_free,
+            float_div_free,
+        } = scratch;
         // Cumulative count of backend-blocked cycles, sampled at fetch time;
         // lets commit attribute each instruction's buffer time between
         // "genuine fetch residency" and "ROB back-pressure".
         let mut blocked_cum = 0u64;
-        let mut blocked_at_fetch = vec![0u64; n];
-        let mut blocked_at_decode = vec![0u64; n];
-        let mut decoded_at = vec![UNSET; n];
-        let mut issued_at = vec![UNSET; n];
-        let mut done_at = vec![UNSET; n];
-
-        let mut fetch_queue: VecDeque<u32> = VecDeque::with_capacity(cfg.fetch_buffer);
-        let mut iq: Vec<u32> = Vec::with_capacity(cfg.iq_entries);
-        let mut rob: VecDeque<u32> = VecDeque::with_capacity(cfg.rob_entries);
 
         let mut fetch_idx = 0usize;
         let mut current_line: Option<u64> = None;
@@ -101,10 +181,6 @@ impl Simulator {
         let mut committed = 0u64;
         let mut cdp_switches = 0u64;
         let mut thumb_fetched = 0u64;
-
-        // Per-kind unpipelined unit free times.
-        let mut int_div_free = vec![0u64; cfg.fu.int_div as usize];
-        let mut float_div_free = vec![0u64; cfg.fu.float_div as usize];
 
         let hard_cap = (n as u64).saturating_mul(1000).max(1_000_000);
 
@@ -172,23 +248,20 @@ impl Simulator {
 
             // ---- issue ----
             if !iq.is_empty() {
-                let mut ready: Vec<u32> = iq
-                    .iter()
-                    .copied()
-                    .filter(|&i| {
-                        entries[i as usize]
-                            .deps_iter()
-                            .all(|d| done_at[d as usize] != UNSET && done_at[d as usize] <= now)
-                    })
-                    .collect();
+                ready.clear();
+                ready.extend(iq.iter().copied().filter(|&i| {
+                    entries[i as usize]
+                        .deps_iter()
+                        .all(|d| done_at[d as usize] != UNSET && done_at[d as usize] <= now)
+                }));
                 if cfg.prioritize_critical {
                     // Critical-first, stable within each class (program order).
                     ready.sort_by_key(|&i| !crit_table.is_critical(entries[i as usize].pc));
                 }
                 let mut issued_count = 0u32;
                 let mut used = FuUse::default();
-                let mut issued_set: Vec<u32> = Vec::new();
-                for &i in &ready {
+                issued_set.clear();
+                for &i in ready.iter() {
                     if issued_count >= cfg.width {
                         break;
                     }
@@ -204,7 +277,7 @@ impl Simulator {
                             }
                         }
                     }
-                    if !used.try_take(kind, &cfg.fu, now, &int_div_free, &float_div_free) {
+                    if !used.try_take(kind, &cfg.fu, now, int_div_free, float_div_free) {
                         continue;
                     }
                     // Latency.
@@ -327,9 +400,9 @@ impl Simulator {
                         now,
                         &mut mem,
                         &mut bpu,
-                        &mut fetch_queue,
-                        &mut fetched_at,
-                        &mut supply_stall,
+                        fetch_queue,
+                        fetched_at,
+                        supply_stall,
                         &mut pending_supply,
                         &mut current_line,
                         &mut fetch_resume_at,
@@ -339,7 +412,7 @@ impl Simulator {
                         &mut thumb_fetched,
                         dispatched_this_cycle,
                         blocked_cum,
-                        &mut blocked_at_fetch,
+                        blocked_at_fetch,
                     );
                 }
             }

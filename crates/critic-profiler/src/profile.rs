@@ -193,18 +193,43 @@ impl Profiler {
     ) -> Result<Profile, ProfileError> {
         program.validate()?;
         trace.validate(program)?;
-        Ok(self.build_validated(program, trace))
+        let cone = trace.compute_cone_fanout(128);
+        Ok(self.build_validated(program, trace, &cone))
+    }
+
+    /// Like [`Profiler::try_build_profile`] but consumes a precomputed
+    /// ROB-cone fanout vector (`trace.compute_cone_fanout(128)`). The cone
+    /// is configuration-independent, so callers profiling one trace under
+    /// several configurations compute it once and share it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cone.len() != trace.len()` — the cone was computed from a
+    /// different trace.
+    pub fn try_build_profile_with_cone(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        cone: &[u32],
+    ) -> Result<Profile, ProfileError> {
+        assert_eq!(
+            cone.len(),
+            trace.len(),
+            "cone fanout does not match the trace"
+        );
+        program.validate()?;
+        trace.validate(program)?;
+        Ok(self.build_validated(program, trace, cone))
     }
 
     /// The analysis proper; every trace-side reference is known to resolve.
-    fn build_validated(&self, program: &Program, trace: &Trace) -> Profile {
+    fn build_validated(&self, program: &Program, trace: &Trace, fanout: &[u32]) -> Profile {
         let cfg = &self.config;
         let window = ((trace.len() as f64) * cfg.profile_fraction.clamp(0.0, 1.0)) as usize;
 
         // Per-uid average dynamic cone fanout and per-block execution
         // counts, observed over the profiled window. The cone horizon is
         // the Table I ROB size.
-        let fanout = trace.compute_cone_fanout(128);
         let mut uid_fanout: HashMap<InsnUid, (u64, u64)> = HashMap::new();
         let mut block_visits: HashMap<BlockId, u64> = HashMap::new();
         for (i, entry) in trace.iter().enumerate().take(window) {

@@ -98,8 +98,10 @@ impl Trace {
         // Last dynamic writer of each architected register, plus the flags.
         let mut last_writer = [NO_DEP; 16];
         let mut flags_writer = NO_DEP;
-        // Per-uid visit counters drive the memory address streams.
-        let mut visits: std::collections::HashMap<InsnUid, u64> = std::collections::HashMap::new();
+        // Per-uid visit counters drive the memory address streams. Uids are
+        // dense program-wide indices, so a lazily-grown flat vector replaces
+        // hashing on this hottest expansion path.
+        let mut visits: Vec<u64> = Vec::new();
 
         for (step, &bid) in path.blocks.iter().enumerate() {
             let block = program.block(bid);
@@ -135,10 +137,13 @@ impl Trace {
 
                 // Memory address stream, keyed on the stable uid.
                 let mem_addr = if op.is_mem() {
-                    let visit = visits.entry(tagged.uid).or_insert(0);
+                    let slot = tagged.uid.0 as usize;
+                    if visits.len() <= slot {
+                        visits.resize(slot + 1, 0);
+                    }
                     let hinted = program.load_hints.contains(&tagged.uid.0);
-                    let addr = mem_address(&program.mem, tagged.uid, *visit, hinted);
-                    *visit += 1;
+                    let addr = mem_address(&program.mem, tagged.uid, visits[slot], hinted);
+                    visits[slot] += 1;
                     Some(addr)
                 } else {
                     None
@@ -219,20 +224,27 @@ impl Trace {
     /// This is the criticality raw material of the paper (Sec. II-A):
     /// instructions whose fanout exceeds a threshold get marked critical.
     pub fn compute_fanout(&self) -> Vec<u32> {
-        let mut fanout = vec![0u32; self.entries.len()];
-        for entry in &self.entries {
+        let n = self.entries.len();
+        let mut fanout = vec![0u32; n];
+        // Flag-setting compares produce no forwardable value; their
+        // predication "readers" are control, not dataflow, so they do not
+        // make a compare critical (Sec. II-A reasons about value fan-out).
+        // Dependences point strictly backwards, so the compare flags can be
+        // forward-filled in the same pass: by the time an entry consults
+        // `is_compare[dep]` its producer has already been classified. That
+        // keeps each dep lookup inside a dense bit table instead of
+        // random-accessing the much larger `DynInsn` records.
+        let mut is_compare = vec![false; n];
+        for (i, entry) in self.entries.iter().enumerate() {
             for dep in entry.deps_iter() {
-                // Flag-setting compares produce no forwardable value; their
-                // predication "readers" are control, not dataflow, so they
-                // do not make a compare critical (Sec. II-A reasons about
-                // value fan-out).
-                if !matches!(
-                    self.entries[dep as usize].op,
-                    Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
-                ) {
+                if !is_compare[dep as usize] {
                     fanout[dep as usize] += 1;
                 }
             }
+            is_compare[i] = matches!(
+                entry.op,
+                Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
+            );
         }
         fanout
     }
