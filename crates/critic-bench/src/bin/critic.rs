@@ -8,8 +8,9 @@
 //! critic run <app> [--scheme S] [--validate]   # simulate baseline vs scheme
 //! critic validate <app> [--scheme S] [--seed N] # differential oracle only
 //! critic disasm <app> [function]      # dump the generated binary
-//! critic campaign [--validate] [options]  # fault-tolerant app x scheme grid
+//! critic campaign [--validate] [--stats] [options]  # fault-tolerant app x scheme grid
 //! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
+//! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -33,7 +34,9 @@ use std::fmt;
 use std::time::Duration;
 
 use critic_bench::perf::{self, BenchError, BenchSetup};
-use critic_core::campaign::{self, CampaignSpec, PlannedFault, Scheme};
+use critic_core::campaign::{
+    self, CampaignSpec, CampaignTelemetryRecord, CellRecord, CellStatus, PlannedFault, Scheme,
+};
 use critic_core::design::DesignPoint;
 use critic_core::runner::Workbench;
 use critic_core::RunError;
@@ -188,7 +191,8 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench> [app] [options]"
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats> \
+         [app] [options]"
             .to_string(),
     )
 }
@@ -329,6 +333,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         }
         "campaign" => run_campaign_command(args),
         "bench" => run_bench_command(args),
+        "stats" => run_stats_command(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; {}",
             usage()
@@ -337,8 +342,12 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `critic campaign [--suite S] [--schemes a,b,..] [--trace-len N]
-/// [--journal FILE] [--resume] [--validate] [--deadline-secs N]
+/// [--journal FILE] [--resume] [--validate] [--stats] [--deadline-secs N]
 /// [--retries N] [--workers N] [--inject app:scheme:fault[:seed]]...`
+///
+/// `--stats` forces telemetry on for this run (regardless of
+/// `CRITIC_TELEMETRY`): per-cell spans are journaled, and the summary ends
+/// with the campaign-wide telemetry table.
 fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     let apps: Vec<AppSpec> = match arg_after(args, "--suite").as_deref() {
         None | Some("mobile") => Suite::Mobile.apps(),
@@ -386,6 +395,9 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     spec.journal = arg_after(args, "--journal").map(std::path::PathBuf::from);
     spec.resume = args.iter().any(|a| a == "--resume");
     spec.validate = args.iter().any(|a| a == "--validate");
+    if args.iter().any(|a| a == "--stats") {
+        spec.telemetry = critic_obs::Telemetry::enabled();
+    }
     if spec.resume && spec.journal.is_none() {
         return Err(CliError::Usage(
             "--resume requires --journal FILE".to_string(),
@@ -463,6 +475,7 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     let report = perf::run_perf_bench(&setup).map_err(|e| match e {
         BenchError::Run(e) => CliError::Run(e),
         BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
+        BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
     })?;
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| CliError::Io(format!("cannot serialise bench report: {e}")))?;
@@ -472,15 +485,18 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     } else {
         println!(
             "single cell: {:.0} ms | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
-             {} worlds, {} profiles, {} baselines built; {} store hits",
+             telemetry overhead {:+.1}% | {} worlds, {} profiles, {} baselines built; \
+             {} store hits | ledger {} cycles audited",
             report.single_cell_millis,
             report.cold_campaign_millis,
             report.warm_campaign_millis,
             report.warm_speedup,
+            report.telemetry_overhead_frac * 100.0,
             report.store.worlds_built,
             report.store.profiles_built,
             report.store.baselines_built,
-            report.store.hits
+            report.store.hits,
+            report.ledger.total()
         );
     }
     if let Some(path) = arg_after(args, "-o") {
@@ -495,4 +511,98 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
         }),
         _ => Ok(()),
     }
+}
+
+/// The roll-up `critic stats` prints: cell counts, wall-clock, and the
+/// campaign-wide telemetry aggregate.
+#[derive(Debug, serde::Serialize)]
+struct StatsReport {
+    /// Journalled cells after newest-wins dedup on (app, scheme).
+    cells: usize,
+    /// Cells whose terminal status is `Ok`.
+    ok: usize,
+    /// Cells that failed, timed out, or panicked.
+    failed: usize,
+    /// Sum of final-attempt wall-clock across cells, in milliseconds.
+    total_millis: u64,
+    /// Campaign-wide telemetry: the journal's trailer line when present,
+    /// otherwise re-aggregated from per-cell spans.
+    telemetry: critic_obs::TelemetrySnapshot,
+}
+
+/// `critic stats --journal FILE [--json]`
+///
+/// Reads a campaign journal (JSONL of [`CellRecord`]s, optionally followed
+/// by a [`CampaignTelemetryRecord`] trailer), dedups cells newest-wins on
+/// (app, scheme) — the same rule `--resume` applies — and prints the
+/// telemetry roll-up.
+fn run_stats_command(args: &[String]) -> Result<(), CliError> {
+    let Some(path) = arg_after(args, "--journal") else {
+        return Err(CliError::Usage(
+            "usage: critic stats --journal FILE [--json]".to_string(),
+        ));
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+
+    let mut cells: std::collections::BTreeMap<(String, String), CellRecord> =
+        std::collections::BTreeMap::new();
+    let mut trailer: Option<CampaignTelemetryRecord> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Ok(record) = serde_json::from_str::<CellRecord>(line) {
+            cells.insert((record.app.clone(), record.scheme.clone()), record);
+        } else if let Ok(record) = serde_json::from_str::<CampaignTelemetryRecord>(line) {
+            trailer = Some(record);
+        } else {
+            return Err(CliError::Io(format!(
+                "{path}:{}: not a cell record or telemetry trailer",
+                lineno + 1
+            )));
+        }
+    }
+
+    let telemetry = match trailer {
+        Some(record) => record.campaign_telemetry,
+        None => {
+            let mut aggregate = critic_obs::TelemetrySnapshot::default();
+            for record in cells.values() {
+                if let Some(spans) = &record.spans {
+                    aggregate.absorb(spans);
+                }
+            }
+            aggregate
+        }
+    };
+    let ok = cells
+        .values()
+        .filter(|r| r.status == CellStatus::Ok)
+        .count();
+    let report = StatsReport {
+        cells: cells.len(),
+        ok,
+        failed: cells.len() - ok,
+        total_millis: cells.values().map(|r| r.millis).sum(),
+        telemetry,
+    };
+
+    if args.iter().any(|a| a == "--json") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::Io(format!("cannot serialise stats report: {e}")))?;
+        println!("{json}");
+    } else {
+        println!(
+            "{} cells ({} ok, {} failed), {} ms total",
+            report.cells, report.ok, report.failed, report.total_millis
+        );
+        if report.telemetry.is_empty() {
+            println!("no telemetry in journal (campaign ran without --stats)");
+        } else {
+            println!("{}", report.telemetry.render());
+        }
+    }
+    Ok(())
 }

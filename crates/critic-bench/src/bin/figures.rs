@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--quick] [--json] [TARGET...]
 //! TARGET: table1 table2 fig1a fig1b fig3 fig5a fig5b fig8 fig10 fig11
-//!         fig12a fig12b fig13 all   (default: all)
+//!         fig12a fig12b fig13 ledger all   (default: all)
 //! ```
 //!
 //! `--quick` runs 3 apps per suite on 100k-instruction traces; the default
@@ -18,9 +18,9 @@ struct Opts {
     targets: Vec<String>,
 }
 
-const TARGETS: [&str; 14] = [
+const TARGETS: [&str; 15] = [
     "table1", "table2", "fig1a", "fig1b", "fig3", "fig5a", "fig5b", "fig8", "fig10", "fig11",
-    "fig12a", "fig12b", "fig13", "all",
+    "fig12a", "fig12b", "fig13", "ledger", "all",
 ];
 
 fn parse_args() -> Opts {
@@ -312,6 +312,43 @@ fn main() {
                     "Fig. 13: criticality-aware vs opportunistic conversion",
                 ),
             );
+        });
+    }
+
+    if wants("ledger") {
+        isolate_target(&mut failures, "ledger", || {
+            let rows = exp::ledger_audit(len, apps);
+            emit(
+                "ledger",
+                &rows_wrap(
+                    &rows,
+                    |r: &exp::LedgerRow| {
+                        format!(
+                            "  {:12} {:10} {:>9} cycles = I {:>7} + R+D {:>7} + dec {:>6} + iss {:>6} \
+                             + exe {:>7} + mem {:>7} + com {:>7} + idle {:>6}  [{}]",
+                            r.app,
+                            r.suite,
+                            r.cycles,
+                            r.ledger.stall_for_i(),
+                            r.ledger.stall_for_rd(),
+                            r.ledger.decode,
+                            r.ledger.issue,
+                            r.ledger.execute,
+                            r.ledger.mem,
+                            r.ledger.commit,
+                            r.ledger.squash_idle,
+                            if r.balanced { "balanced" } else { "UNBALANCED" }
+                        )
+                    },
+                    "Cycle-accounting audit: every cycle in exactly one bucket",
+                ),
+            );
+            let broken: Vec<&str> = rows
+                .iter()
+                .filter(|r| !r.balanced)
+                .map(|r| r.app.as_str())
+                .collect();
+            assert!(broken.is_empty(), "unbalanced ledgers: {broken:?}");
         });
     }
 

@@ -1,0 +1,45 @@
+//! A/B microbench: raw simulator throughput on one baseline trace.
+use std::time::Instant;
+
+use critic_core::design::DesignPoint;
+use critic_core::runner::Workbench;
+use critic_pipeline::{SimScratch, Simulator};
+use critic_workloads::suite::Suite;
+
+fn main() {
+    let app = &Suite::Mobile.apps()[0];
+    let bench = Workbench::new(app, 200_000);
+    let point = DesignPoint::baseline();
+    let sim = Simulator::new(point.cpu_config(), point.mem_config());
+    let mut scratch = SimScratch::new();
+    let mut cycles = 0u64;
+    for _ in 0..3 {
+        cycles = sim
+            .run_with_scratch(
+                bench.baseline_trace(),
+                bench.baseline_fanout(),
+                &mut scratch,
+            )
+            .cycles;
+    }
+    let reps = 30;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = sim.run_with_scratch(
+            bench.baseline_trace(),
+            bench.baseline_fanout(),
+            &mut scratch,
+        );
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(r.cycles, cycles);
+        if dt < best {
+            best = dt;
+        }
+    }
+    println!(
+        "{cycles} cycles, best {:.3} ms, {:.2} ns/cycle",
+        best * 1e3,
+        best * 1e9 / cycles as f64
+    );
+}

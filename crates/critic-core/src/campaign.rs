@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use critic_obs::{EventKind, SpanKind, Telemetry, TelemetrySnapshot};
 use critic_workloads::{
     inject_program, inject_trace, AppSpec, ExecutionPath, Fault, FaultTarget, Trace,
 };
@@ -94,6 +95,13 @@ pub struct CampaignSpec {
     /// and counted in the cell's [`ValidationStats`]; divergences that
     /// survive demotion fail the cell with [`RunError::Validation`].
     pub validate: bool,
+    /// Campaign-wide telemetry sink. [`CampaignSpec::new`] seeds it from
+    /// the `CRITIC_TELEMETRY` environment variable; when enabled, every
+    /// cell records its stage spans into a private recorder (journaled on
+    /// its [`CellRecord`]) and the campaign aggregate lands on the
+    /// [`CampaignSummary`] and as a trailing journal line. When disabled
+    /// (the default) the instrumented paths reduce to one branch per span.
+    pub telemetry: Telemetry,
 }
 
 impl CampaignSpec {
@@ -111,6 +119,7 @@ impl CampaignSpec {
             journal: None,
             resume: false,
             validate: false,
+            telemetry: Telemetry::from_env(),
         }
     }
 }
@@ -169,6 +178,11 @@ pub struct CellRecord {
     /// validation existed (and when validation is off), so old journals
     /// still resume.
     pub validation: Option<ValidationStats>,
+    /// Per-cell telemetry (stage spans and fault/retry/demotion events),
+    /// when the campaign ran with telemetry enabled. Absent otherwise and
+    /// in journals written before telemetry existed, so old journals still
+    /// resume.
+    pub spans: Option<TelemetrySnapshot>,
 }
 
 impl CellRecord {
@@ -185,6 +199,9 @@ pub struct CampaignSummary {
     pub records: Vec<CellRecord>,
     /// Cells replayed from the journal rather than run this invocation.
     pub resumed: usize,
+    /// Campaign-wide telemetry aggregate (the sum of every fresh cell's
+    /// spans and events), when the campaign ran with telemetry enabled.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl CampaignSummary {
@@ -274,8 +291,21 @@ impl CampaignSummary {
         if self.resumed > 0 {
             out.push_str(&format!("\n({} cells resumed from journal)", self.resumed));
         }
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str("\ntelemetry:\n");
+            out.push_str(&telemetry.render());
+        }
         out
     }
+}
+
+/// The trailing journal line a telemetry-enabled campaign appends after
+/// its cell records: the campaign-wide aggregate under a key no
+/// [`CellRecord`] has, so resume skips it and `critic stats` finds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignTelemetryRecord {
+    /// The aggregate snapshot.
+    pub campaign_telemetry: TelemetrySnapshot,
 }
 
 /// One unit of work: an app × scheme pair plus its planned fault.
@@ -466,19 +496,66 @@ pub fn run_campaign_with_store(
             .position(|k| *k == r.key())
             .unwrap_or(usize::MAX)
     });
-    Ok(CampaignSummary { records, resumed })
+    let telemetry = spec.telemetry.snapshot();
+    if let (Some(journal), Some(snapshot)) = (&journal, &telemetry) {
+        // The aggregate rides in the journal after the cell records. Its
+        // key matches no CellRecord field, so resume skips the line the
+        // same way it skips a torn tail.
+        if let Ok(mut file) = journal.lock() {
+            let record = CampaignTelemetryRecord {
+                campaign_telemetry: *snapshot,
+            };
+            if let Ok(line) = serde_json::to_string(&record) {
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+                let _ = file.sync_all();
+            }
+        }
+    }
+    Ok(CampaignSummary {
+        records,
+        resumed,
+        telemetry,
+    })
 }
 
 /// Runs one cell with its retry budget; always returns a terminal record.
+///
+/// When campaign telemetry is enabled the cell gets a *private* recorder:
+/// its spans/events are journaled on the record, then absorbed into the
+/// campaign-wide aggregate, so concurrent cells never interleave into each
+/// other's snapshots.
 fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> CellRecord {
+    let telemetry = if spec.telemetry.is_enabled() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::off()
+    };
+    if cell.fault.is_some() {
+        telemetry.event(EventKind::Fault);
+    }
     let attempts_allowed = spec.retries + 1;
     let mut attempt = 0;
     loop {
         attempt += 1;
         let started = Instant::now();
-        let result = run_attempt(cell, spec.trace_len, spec.validate, spec.deadline, store);
+        let result = run_attempt(
+            cell,
+            spec.trace_len,
+            spec.validate,
+            spec.deadline,
+            store,
+            &telemetry,
+        );
         let millis = started.elapsed().as_millis() as u64;
         let fault = cell.fault.map(|(f, _)| f);
+        let finish = |telemetry: &Telemetry| {
+            let spans = telemetry.snapshot();
+            if let Some(snapshot) = &spans {
+                spec.telemetry.absorb(snapshot);
+            }
+            spans
+        };
         match result {
             Ok((metrics, validation)) => {
                 return CellRecord {
@@ -491,6 +568,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
                     metrics: Some(metrics),
                     error: None,
                     validation,
+                    spans: finish(&telemetry),
                 };
             }
             Err(error) if attempt >= attempts_allowed => {
@@ -509,9 +587,13 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
                     metrics: None,
                     error: Some(error),
                     validation: None,
+                    spans: finish(&telemetry),
                 };
             }
-            Err(_) => continue,
+            Err(_) => {
+                telemetry.event(EventKind::Retry);
+                continue;
+            }
         }
     }
 }
@@ -530,6 +612,7 @@ fn run_attempt(
     validate: bool,
     deadline: Option<Duration>,
     store: &Arc<ArtifactStore>,
+    telemetry: &Telemetry,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     match deadline {
         Some(deadline) => {
@@ -538,8 +621,11 @@ fn run_attempt(
             let flag = Arc::clone(&cancel);
             let cell = cell.clone();
             let store = Arc::clone(store);
+            let telemetry = telemetry.clone();
             thread::spawn(move || {
-                let _ = tx.send(run_isolated(&cell, trace_len, validate, &flag, &store));
+                let _ = tx.send(run_isolated(
+                    &cell, trace_len, validate, &flag, &store, &telemetry,
+                ));
             });
             match rx.recv_timeout(deadline) {
                 Ok(result) => result,
@@ -551,7 +637,14 @@ fn run_attempt(
                 }
             }
         }
-        None => run_isolated(cell, trace_len, validate, &AtomicBool::new(false), store),
+        None => run_isolated(
+            cell,
+            trace_len,
+            validate,
+            &AtomicBool::new(false),
+            store,
+            telemetry,
+        ),
     }
 }
 
@@ -563,9 +656,10 @@ fn run_isolated(
     validate: bool,
     cancel: &AtomicBool,
     store: &Arc<ArtifactStore>,
+    telemetry: &Telemetry,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_cell_body(cell, trace_len, validate, cancel, store)
+        run_cell_body(cell, trace_len, validate, cancel, store, telemetry)
     }))
     .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
 }
@@ -590,12 +684,13 @@ fn run_cell_body(
     validate: bool,
     cancel: &AtomicBool,
     store: &Arc<ArtifactStore>,
+    telemetry: &Telemetry,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     let app = &cell.app;
     let mut bench = if cell.fault.is_none() {
         // Clean cell: share the generated world (and downstream artifacts)
         // with every sibling cell of the app through the store.
-        let world = store.world(app, trace_len)?;
+        let world = telemetry.time(SpanKind::WorldBuild, || store.world(app, trace_len))?;
         checkpoint(cancel)?;
         Workbench::from_world(app, world, Arc::clone(store))
     } else {
@@ -603,29 +698,32 @@ fn run_cell_body(
         // program/trace must never be published to the store, and even the
         // cell's *pristine* stages stay private so a fault drill measures
         // the uncached pipeline it is drilling.
-        let mut program = app.generate_program();
-        if let Some((fault, seed)) = cell.fault {
-            if fault.target() == FaultTarget::Program {
-                inject_program(&mut program, fault, seed)
-                    .map_err(|e| RunError::Inject(e.to_string()))?;
+        telemetry.time(SpanKind::WorldBuild, || {
+            let mut program = app.generate_program();
+            if let Some((fault, seed)) = cell.fault {
+                if fault.target() == FaultTarget::Program {
+                    inject_program(&mut program, fault, seed)
+                        .map_err(|e| RunError::Inject(e.to_string()))?;
+                }
             }
-        }
-        // Validate before walking the CFG: path generation and trace
-        // expansion index blocks by id and would panic on e.g. a dangling
-        // terminator.
-        program.validate()?;
-        checkpoint(cancel)?;
-        let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
-        let mut trace = Trace::expand(&program, &path);
-        if let Some((fault, seed)) = cell.fault {
-            if fault.target() == FaultTarget::Trace {
-                inject_trace(&mut trace, fault, seed)
-                    .map_err(|e| RunError::Inject(e.to_string()))?;
+            // Validate before walking the CFG: path generation and trace
+            // expansion index blocks by id and would panic on e.g. a
+            // dangling terminator.
+            program.validate()?;
+            checkpoint(cancel)?;
+            let path = ExecutionPath::generate(&program, app.path_seed(), trace_len);
+            let mut trace = Trace::expand(&program, &path);
+            if let Some((fault, seed)) = cell.fault {
+                if fault.target() == FaultTarget::Trace {
+                    inject_trace(&mut trace, fault, seed)
+                        .map_err(|e| RunError::Inject(e.to_string()))?;
+                }
             }
-        }
-        checkpoint(cancel)?;
-        Workbench::try_assemble(app, program, path, trace)?
+            checkpoint(cancel)?;
+            Workbench::try_assemble(app, program, path, trace)
+        })?
     };
+    bench.set_telemetry(telemetry.clone());
     if let Some((fault, seed)) = cell.fault {
         // Miscompile faults corrupt the *rewritten* variant, so they are
         // armed on the workbench: the baseline design point is never
@@ -1003,8 +1101,10 @@ mod tests {
                 metrics: None,
                 error: Some(RunError::Panic("index out of bounds".into())),
                 validation: None,
+                spans: None,
             }],
             resumed: 0,
+            telemetry: None,
         };
         let text = summary.render();
         assert!(text.contains("PANICKED"), "{text}");
@@ -1075,6 +1175,132 @@ mod tests {
             cold_stats.hits,
             warm_stats.hits
         );
+    }
+
+    /// The warm-pass telemetry guarantee: a second campaign over a
+    /// populated store builds nothing and reports a 100% hit rate on the
+    /// memoizable artifact classes.
+    #[test]
+    fn warm_pass_reports_full_hit_rate() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        spec.validate = true;
+        let store = Arc::new(ArtifactStore::new());
+        let _ = run_campaign_with_store(&spec, &store).expect("cold run");
+        let cold_stats = store.stats();
+        let _ = run_campaign_with_store(&spec, &store).expect("warm run");
+        let warm_stats = store.stats();
+
+        assert_eq!(
+            warm_stats.built(),
+            cold_stats.built(),
+            "the warm pass must build nothing: {warm_stats:?}"
+        );
+        let warm_requests = warm_stats.requests() - cold_stats.requests();
+        let warm_hits = warm_stats.hits - cold_stats.hits;
+        assert!(warm_requests > 0, "the warm pass must use the store");
+        assert_eq!(
+            warm_hits, warm_requests,
+            "every warm request is served from cache"
+        );
+        assert!(warm_stats.hit_rate() > cold_stats.hit_rate());
+        assert_eq!(
+            warm_stats.build_nanos, cold_stats.build_nanos,
+            "no build latency accrues on the warm pass"
+        );
+    }
+
+    /// Telemetry-enabled campaigns journal per-cell spans, aggregate them
+    /// on the summary, append the aggregate as a trailing journal line —
+    /// and that line must not confuse resume.
+    #[test]
+    fn telemetry_campaign_journals_spans_and_aggregate() {
+        let dir = std::env::temp_dir().join("critic_campaign_telemetry_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.validate = true;
+        spec.journal = Some(journal.clone());
+        spec.telemetry = Telemetry::enabled();
+        spec.faults.push(PlannedFault {
+            app: spec.apps[0].name.clone(),
+            scheme: "critic".into(),
+            fault: Fault::ClobberedDestination,
+            seed: 33,
+        });
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+
+        // Every fresh cell carries a snapshot with real work in it.
+        for r in &summary.records {
+            let spans = r.spans.expect("telemetry-enabled cells record spans");
+            assert!(spans.world_build.count >= 1, "{}: {spans:?}", r.app);
+            assert!(spans.sim.count >= 1, "{}: {spans:?}", r.app);
+        }
+        // The aggregate sums the cells: one Fault event for the injected
+        // cell, at least one demotion from its miscompile.
+        let aggregate = summary.telemetry.expect("campaign aggregate");
+        assert_eq!(aggregate.faults, 1, "{aggregate:?}");
+        assert!(aggregate.demotions >= 1, "{aggregate:?}");
+        assert!(aggregate.sim.total_nanos > 0);
+        let text = summary.render();
+        assert!(text.contains("telemetry:"), "{text}");
+
+        // The trailing aggregate line exists and round-trips.
+        let content = std::fs::read_to_string(&journal).expect("journal readable");
+        let last = content.lines().last().expect("journal non-empty");
+        let parsed: CampaignTelemetryRecord =
+            serde_json::from_str(last).expect("trailing line is the aggregate");
+        assert_eq!(parsed.campaign_telemetry.faults, aggregate.faults);
+
+        // Resume replays the cells and ignores the aggregate line.
+        let mut resumed_spec = spec.clone();
+        resumed_spec.resume = true;
+        resumed_spec.faults.clear();
+        let second = run_campaign(&resumed_spec).expect("resumed run");
+        assert_eq!(second.records.len(), 2);
+        assert_eq!(second.resumed, 2, "{}", second.render());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    /// Telemetry must observe, never perturb: the same campaign with
+    /// telemetry on and off produces bit-identical metrics.
+    #[test]
+    fn telemetry_does_not_perturb_results() {
+        let mut off_spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        off_spec.validate = true;
+        off_spec.telemetry = Telemetry::off();
+        let mut on_spec = off_spec.clone();
+        on_spec.telemetry = Telemetry::enabled();
+
+        let off = run_campaign(&off_spec).expect("telemetry-off run");
+        let on = run_campaign(&on_spec).expect("telemetry-on run");
+        assert!(off.telemetry.is_none());
+        assert!(on.telemetry.is_some());
+        for (a, b) in off.records.iter().zip(&on.records) {
+            assert_eq!(a.metrics, b.metrics, "{}:{}", a.app, a.scheme);
+            assert_eq!(a.validation, b.validation, "{}:{}", a.app, a.scheme);
+            assert_eq!(a.status, b.status);
+        }
     }
 
     /// Fault-injected cells bypass the store entirely: they must not consume

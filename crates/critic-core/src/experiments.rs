@@ -598,6 +598,54 @@ pub fn fig13(trace_len: usize, apps: usize) -> Vec<Fig13Row> {
         .collect()
 }
 
+// ------------------------------------------------------------ Ledger audit
+
+/// One row of the cycle-accounting audit: an app's baseline simulation and
+/// the ledger that partitions every one of its cycles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LedgerRow {
+    /// App name.
+    pub app: String,
+    /// Suite label.
+    pub suite: String,
+    /// Total simulated cycles of the baseline run.
+    pub cycles: u64,
+    /// Per-bucket cycle attribution (see [`critic_pipeline::CycleLedger`]).
+    pub ledger: critic_pipeline::CycleLedger,
+    /// Whether the ledger's buckets sum to exactly `cycles`. Always `true`
+    /// unless the simulator's attribution is broken; the `figures` binary
+    /// and the experiments test suite both fail when any row is unbalanced.
+    pub balanced: bool,
+}
+
+/// Cycle-accounting audit: re-simulates every workload's baseline through
+/// [`critic_pipeline::Simulator::run_with_ledger`] and checks the
+/// single-attribution invariant (bucket sum == total cycles) per app.
+pub fn ledger_audit(trace_len: usize, apps_per_suite: usize) -> Vec<LedgerRow> {
+    let point = DesignPoint::baseline();
+    let mut scratch = critic_pipeline::SimScratch::new();
+    let mut rows = Vec::new();
+    for &suite in Suite::ALL.iter() {
+        for app in suite_apps(suite, apps_per_suite) {
+            let bench = Workbench::new(&app, trace_len);
+            let sim = critic_pipeline::Simulator::new(point.cpu_config(), point.mem_config());
+            let (result, ledger) = sim.run_with_ledger(
+                bench.baseline_trace(),
+                bench.baseline_fanout(),
+                &mut scratch,
+            );
+            rows.push(LedgerRow {
+                app: app.name.to_string(),
+                suite: suite.label().to_string(),
+                cycles: result.cycles,
+                balanced: ledger.check(result.cycles).is_ok(),
+                ledger,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -660,5 +708,23 @@ mod tests {
             critic.converted_frac < opp.converted_frac,
             "CritIC converts fewer instructions (Fig. 13b)"
         );
+    }
+
+    /// The acceptance gate of the observability layer: the cycle ledger
+    /// partitions every simulated cycle for every one of the 26 Table II
+    /// workloads (bucket sum == total cycles, exactly).
+    #[test]
+    fn ledger_audit_balances_for_all_26_workloads() {
+        let rows = ledger_audit(LEN, 10);
+        assert_eq!(rows.len(), 26, "one row per Table II workload");
+        for row in &rows {
+            assert!(
+                row.balanced,
+                "{}: ledger {:?} does not sum to {} cycles",
+                row.app, row.ledger, row.cycles
+            );
+            assert_eq!(row.ledger.total(), row.cycles, "{}", row.app);
+            assert!(row.cycles > 0, "{}: empty simulation", row.app);
+        }
     }
 }

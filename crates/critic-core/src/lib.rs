@@ -42,8 +42,8 @@ pub mod runner;
 pub mod store;
 
 pub use campaign::{
-    run_campaign, run_campaign_with_store, CampaignSpec, CampaignSummary, CellMetrics, CellRecord,
-    CellStatus, PlannedFault, Scheme,
+    run_campaign, run_campaign_with_store, CampaignSpec, CampaignSummary, CampaignTelemetryRecord,
+    CellMetrics, CellRecord, CellStatus, PlannedFault, Scheme,
 };
 pub use design::{DesignPoint, Software};
 pub use error::RunError;

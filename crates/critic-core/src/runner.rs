@@ -8,6 +8,7 @@ use critic_compiler::{
     CriticPassOptions, PassReport,
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
+use critic_obs::{EventKind, SpanKind, Telemetry};
 use critic_pipeline::{SimResult, SimScratch, Simulator};
 use critic_profiler::{ChainSpec, Profile, Profiler, ProfilerConfig};
 use critic_workloads::{inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, Trace};
@@ -73,6 +74,9 @@ pub struct Workbench {
     store: Option<(Arc<ArtifactStore>, Arc<World>)>,
     /// Recycled simulator working memory.
     scratch: SimScratch,
+    /// Span/event sink; [`Telemetry::off`] by default, so the instrumented
+    /// paths cost one branch per span when telemetry is disabled.
+    telemetry: Telemetry,
 }
 
 impl Workbench {
@@ -128,6 +132,7 @@ impl Workbench {
             variant_fault: None,
             store: None,
             scratch: SimScratch::new(),
+            telemetry: Telemetry::off(),
         })
     }
 
@@ -150,7 +155,14 @@ impl Workbench {
             variant_fault: None,
             store: Some((store, world)),
             scratch: SimScratch::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Routes this workbench's spans (profile, passes, validate, sim) and
+    /// demotion events into `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Arms a deterministic miscompile: the next non-baseline variant built
@@ -212,16 +224,21 @@ impl Workbench {
     fn ensure_profile(&mut self, config: &ProfilerConfig) -> Result<String, RunError> {
         let key = format!("{config:?}");
         if !self.profiles.contains_key(&key) {
-            let profile = if let Some((store, world)) = self.store.clone() {
-                store.profile(&world, config)?
-            } else {
-                let cone = self.cone();
-                Arc::new(Profiler::new(config.clone()).try_build_profile_with_cone(
-                    &self.program,
-                    &self.base_trace,
-                    &cone,
-                )?)
-            };
+            let telemetry = self.telemetry.clone();
+            let profile = telemetry.time(SpanKind::Profile, || {
+                if let Some((store, world)) = self.store.clone() {
+                    store.profile(&world, config)
+                } else {
+                    let cone = self.cone();
+                    Ok(Arc::new(
+                        Profiler::new(config.clone()).try_build_profile_with_cone(
+                            &self.program,
+                            &self.base_trace,
+                            &cone,
+                        )?,
+                    ))
+                }
+            })?;
             self.profiles.insert(key.clone(), profile);
         }
         Ok(key)
@@ -306,16 +323,19 @@ impl Workbench {
 
     fn build_variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
         let profile = self.software_profile(software)?;
-        let mut program = self.program.clone();
-        let report = Self::apply_software(&mut program, software, profile.as_ref())?;
-        if let Some((fault, seed)) = self.variant_fault {
-            if !matches!(software, Software::Baseline) {
-                let executed: HashSet<BlockId> = self.path.blocks.iter().copied().collect();
-                inject_variant(&mut program, fault, seed, &executed)
-                    .map_err(|e| RunError::Inject(e.to_string()))?;
+        let telemetry = self.telemetry.clone();
+        telemetry.time(SpanKind::Passes, || {
+            let mut program = self.program.clone();
+            let report = Self::apply_software(&mut program, software, profile.as_ref())?;
+            if let Some((fault, seed)) = self.variant_fault {
+                if !matches!(software, Software::Baseline) {
+                    let executed: HashSet<BlockId> = self.path.blocks.iter().copied().collect();
+                    inject_variant(&mut program, fault, seed, &executed)
+                        .map_err(|e| RunError::Inject(e.to_string()))?;
+                }
             }
-        }
-        Ok((program, report))
+            Ok((program, report))
+        })
     }
 
     /// Runs one design point over the recorded input.
@@ -388,49 +408,53 @@ impl Workbench {
                 )));
             }
         };
-        loop {
-            // Attribution ranks refer to the *original* chain list, so the
-            // full list is passed on every iteration.
-            match baseline_exec.validate_variant(&program, &self.path, &chains) {
-                Ok(_) => break,
-                Err(e) => {
-                    let Some(rank) = e.chain else {
-                        stats.failed += 1;
-                        return Err(RunError::Validation(format!(
-                            "{e} ({} chains checked, {} demoted, {} unresolved)",
-                            stats.chains_checked, stats.chains_demoted, stats.failed
-                        )));
-                    };
-                    if !demoted.insert(rank) {
-                        stats.failed += 1;
-                        return Err(RunError::Validation(format!(
-                            "divergence survives demotion of chain #{rank}: {e} \
-                             ({} chains checked, {} demoted, {} unresolved)",
-                            stats.chains_checked, stats.chains_demoted, stats.failed
-                        )));
+        let telemetry = self.telemetry.clone();
+        telemetry.time(SpanKind::Validate, || -> Result<(), RunError> {
+            loop {
+                // Attribution ranks refer to the *original* chain list, so
+                // the full list is passed on every iteration.
+                match baseline_exec.validate_variant(&program, &self.path, &chains) {
+                    Ok(_) => break Ok(()),
+                    Err(e) => {
+                        let Some(rank) = e.chain else {
+                            stats.failed += 1;
+                            return Err(RunError::Validation(format!(
+                                "{e} ({} chains checked, {} demoted, {} unresolved)",
+                                stats.chains_checked, stats.chains_demoted, stats.failed
+                            )));
+                        };
+                        if !demoted.insert(rank) {
+                            stats.failed += 1;
+                            return Err(RunError::Validation(format!(
+                                "divergence survives demotion of chain #{rank}: {e} \
+                                 ({} chains checked, {} demoted, {} unresolved)",
+                                stats.chains_checked, stats.chains_demoted, stats.failed
+                            )));
+                        }
+                        stats.chains_demoted += 1;
+                        telemetry.event(EventKind::Demotion);
+                        // Rebuild from the pristine binary with the demoted
+                        // chains withheld from the profile. The armed
+                        // miscompile (if any) is *not* re-injected: demotion
+                        // models the pass backing out one chain, not the
+                        // corruption recurring.
+                        let mut filtered = full_profile.clone().unwrap_or_else(Profile::empty);
+                        let kept: Vec<ChainSpec> = filtered
+                            .chains
+                            .iter()
+                            .enumerate()
+                            .filter(|(rank, _)| !demoted.contains(rank))
+                            .map(|(_, c)| c.clone())
+                            .collect();
+                        filtered.chains = kept;
+                        let mut rebuilt = self.program.clone();
+                        pass = Self::apply_software(&mut rebuilt, software, Some(&filtered))?;
+                        pass.chains_demoted += demoted.len() as u64;
+                        program = rebuilt;
                     }
-                    stats.chains_demoted += 1;
-                    // Rebuild from the pristine binary with the demoted
-                    // chains withheld from the profile. The armed
-                    // miscompile (if any) is *not* re-injected: demotion
-                    // models the pass backing out one chain, not the
-                    // corruption recurring.
-                    let mut filtered = full_profile.clone().unwrap_or_else(Profile::empty);
-                    let kept: Vec<ChainSpec> = filtered
-                        .chains
-                        .iter()
-                        .enumerate()
-                        .filter(|(rank, _)| !demoted.contains(rank))
-                        .map(|(_, c)| c.clone())
-                        .collect();
-                    filtered.chains = kept;
-                    let mut rebuilt = self.program.clone();
-                    pass = Self::apply_software(&mut rebuilt, software, Some(&filtered))?;
-                    pass.chains_demoted += demoted.len() as u64;
-                    program = rebuilt;
                 }
             }
-        }
+        })?;
         let outcome = self.simulate(point, program, pass)?;
         Ok((outcome, stats))
     }
@@ -443,12 +467,15 @@ impl Workbench {
         pass: PassReport,
     ) -> Result<RunOutcome, RunError> {
         let baseline = matches!(point.software, Software::Baseline);
+        let telemetry = self.telemetry.clone();
         if baseline {
             // Baselines are hardware-keyed and variant-independent: a
             // store-backed workbench shares one simulation per (world,
             // cpu+mem config) with every sibling cell.
             if let Some((store, world)) = self.store.clone() {
-                return Ok((*store.baseline(&world, point)?).clone());
+                return telemetry.time(SpanKind::Sim, || {
+                    Ok((*store.baseline(&world, point)?).clone())
+                });
             }
         }
         let expanded = (!baseline).then(|| Trace::expand(&program, &self.path));
@@ -457,11 +484,13 @@ impl Workbench {
             (Some(t), Some(f)) => (t, f),
             _ => (&self.base_trace, &self.base_fanout),
         };
-        let sim = Simulator::new(point.cpu_config(), point.mem_config()).run_with_scratch(
-            trace,
-            fanout,
-            &mut self.scratch,
-        );
+        let sim = telemetry.time(SpanKind::Sim, || {
+            Simulator::new(point.cpu_config(), point.mem_config()).run_with_scratch(
+                trace,
+                fanout,
+                &mut self.scratch,
+            )
+        });
         let energy = self.energy_model.evaluate(&sim);
         Ok(RunOutcome {
             design: point.label(),

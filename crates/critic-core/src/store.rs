@@ -34,7 +34,7 @@ use critic_energy::EnergyModel;
 use critic_pipeline::Simulator;
 use critic_profiler::{Profile, Profiler, ProfilerConfig};
 use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
 use crate::error::RunError;
@@ -104,6 +104,7 @@ struct Memo<K, V> {
     map: Mutex<HashMap<K, Slot<V>>>,
     computed: AtomicU64,
     hits: AtomicU64,
+    build_nanos: AtomicU64,
 }
 
 fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -118,6 +119,7 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             map: Mutex::new(HashMap::new()),
             computed: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
         }
     }
 
@@ -138,17 +140,20 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(value));
         }
+        let start = std::time::Instant::now();
         let value = Arc::new(build()?);
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         *guard = Some(Arc::clone(&value));
         self.computed.fetch_add(1, Ordering::Relaxed);
+        self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
         Ok(value)
     }
 }
 
 /// Counters describing what a store computed and what it served from
-/// cache; the memoization-correctness tests and the bench harness read
-/// these to prove each artifact was built exactly once.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+/// cache; the memoization-correctness tests, the telemetry layer, and the
+/// bench harness read these to prove each artifact was built exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Worlds generated (program + path + trace + fanout).
     pub worlds_built: u64,
@@ -160,8 +165,51 @@ pub struct StoreStats {
     pub baselines_built: u64,
     /// Baseline oracle executions captured (for translation validation).
     pub baseline_execs_built: u64,
+    /// World requests served from cache.
+    pub worlds_hit: u64,
+    /// Cone-fanout requests served from cache.
+    pub cones_hit: u64,
+    /// Profile requests served from cache.
+    pub profiles_hit: u64,
+    /// Baseline-simulation requests served from cache.
+    pub baselines_hit: u64,
+    /// Baseline-execution requests served from cache.
+    pub baseline_execs_hit: u64,
     /// Requests served from cache across all artifact classes.
     pub hits: u64,
+    /// Wall-clock nanoseconds spent inside build closures (cache misses).
+    pub build_nanos: u64,
+}
+
+impl StoreStats {
+    /// Total artifacts built across every class.
+    pub fn built(&self) -> u64 {
+        self.worlds_built
+            + self.cones_built
+            + self.profiles_built
+            + self.baselines_built
+            + self.baseline_execs_built
+    }
+
+    /// Total requests (builds + cache hits) across every class.
+    pub fn requests(&self) -> u64 {
+        self.built() + self.hits
+    }
+
+    /// Fraction of requests served from cache, 0 when the store is idle.
+    pub fn hit_rate(&self) -> f64 {
+        let requests = self.requests();
+        if requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / requests as f64
+        }
+    }
+
+    /// Milliseconds spent building artifacts (cache misses only).
+    pub fn build_millis(&self) -> f64 {
+        self.build_nanos as f64 / 1e6
+    }
 }
 
 /// The campaign-wide artifact store. Cheap to share: wrap in an [`Arc`]
@@ -295,17 +343,28 @@ impl ArtifactStore {
 
     /// Snapshot of the build/hit counters.
     pub fn stats(&self) -> StoreStats {
+        let worlds_hit = self.worlds.hits.load(Ordering::Relaxed);
+        let cones_hit = self.cones.hits.load(Ordering::Relaxed);
+        let profiles_hit = self.profiles.hits.load(Ordering::Relaxed);
+        let baselines_hit = self.baselines.hits.load(Ordering::Relaxed);
+        let baseline_execs_hit = self.baseline_execs.hits.load(Ordering::Relaxed);
         StoreStats {
             worlds_built: self.worlds.computed.load(Ordering::Relaxed),
             cones_built: self.cones.computed.load(Ordering::Relaxed),
             profiles_built: self.profiles.computed.load(Ordering::Relaxed),
             baselines_built: self.baselines.computed.load(Ordering::Relaxed),
             baseline_execs_built: self.baseline_execs.computed.load(Ordering::Relaxed),
-            hits: self.worlds.hits.load(Ordering::Relaxed)
-                + self.cones.hits.load(Ordering::Relaxed)
-                + self.profiles.hits.load(Ordering::Relaxed)
-                + self.baselines.hits.load(Ordering::Relaxed)
-                + self.baseline_execs.hits.load(Ordering::Relaxed),
+            worlds_hit,
+            cones_hit,
+            profiles_hit,
+            baselines_hit,
+            baseline_execs_hit,
+            hits: worlds_hit + cones_hit + profiles_hit + baselines_hit + baseline_execs_hit,
+            build_nanos: self.worlds.build_nanos.load(Ordering::Relaxed)
+                + self.cones.build_nanos.load(Ordering::Relaxed)
+                + self.profiles.build_nanos.load(Ordering::Relaxed)
+                + self.baselines.build_nanos.load(Ordering::Relaxed)
+                + self.baseline_execs.build_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -430,5 +489,34 @@ mod tests {
         assert_eq!(stats.profiles_built, 2, "{stats:?}");
         assert_eq!(stats.cones_built, 1, "cone shared across configs");
         assert_eq!(stats.baselines_built, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn per_class_counters_partition_the_totals() {
+        let store = ArtifactStore::new();
+        let world = store.world(&small_app(0), 6_000).expect("world");
+        let _ = store.world(&small_app(0), 6_000).expect("cached world");
+        let _ = store
+            .profile(&world, &ProfilerConfig::default())
+            .expect("profile");
+        let _ = store
+            .profile(&world, &ProfilerConfig::default())
+            .expect("cached profile");
+        let stats = store.stats();
+        assert_eq!(stats.worlds_hit, 1, "{stats:?}");
+        assert_eq!(stats.profiles_hit, 1, "{stats:?}");
+        assert_eq!(
+            stats.hits,
+            stats.worlds_hit
+                + stats.cones_hit
+                + stats.profiles_hit
+                + stats.baselines_hit
+                + stats.baseline_execs_hit,
+            "the rollup must equal the per-class sum"
+        );
+        assert_eq!(stats.built(), 3, "world + cone + profile, {stats:?}");
+        assert_eq!(stats.requests(), stats.built() + stats.hits);
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+        assert!(stats.build_nanos > 0, "builds take measurable time");
     }
 }

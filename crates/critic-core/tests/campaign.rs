@@ -47,10 +47,11 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     // Every cell of the grid is accounted for and journaled.
     assert_eq!(summary.records.len(), n_apps * schemes.len());
     let journaled = fs::read_to_string(&journal).expect("journal exists");
+    let trailer = usize::from(spec.telemetry.is_enabled());
     assert_eq!(
         journaled.lines().count(),
-        n_apps * schemes.len(),
-        "one line per cell"
+        n_apps * schemes.len() + trailer,
+        "one line per cell, plus the telemetry trailer when CRITIC_TELEMETRY is set"
     );
 
     // Exactly the fault-injected cell failed, with a typed error — the
@@ -70,9 +71,13 @@ fn full_mobile_suite_campaign_with_fault_injection() {
     assert!(!summary.all_ok());
     assert!(summary.render().contains("FAILED"));
 
-    // Kill/restart: drop the journal's last full line (as if the process
-    // died before finishing that cell), append a torn line, resume.
-    let mut lines: Vec<&str> = journaled.lines().collect();
+    // Kill/restart: drop the journal's last full cell line (as if the
+    // process died before finishing that cell — the telemetry trailer,
+    // when present, dies with it), append a torn line, resume.
+    let mut lines: Vec<&str> = journaled
+        .lines()
+        .filter(|l| !l.contains("campaign_telemetry"))
+        .collect();
     lines.pop();
     let mut truncated = lines.join("\n");
     truncated.push('\n');

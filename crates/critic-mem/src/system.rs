@@ -24,6 +24,23 @@ pub struct MemStats {
     pub efetch_prefetches: u64,
 }
 
+impl MemStats {
+    /// Projects the per-level demand counters into the observability
+    /// layer's [`critic_obs::MemLevelCounters`] shape, so the cycle ledger
+    /// and its memory-side causes travel together in one snapshot.
+    pub fn level_counters(&self) -> critic_obs::MemLevelCounters {
+        critic_obs::MemLevelCounters {
+            l1i_accesses: self.icache.accesses,
+            l1i_misses: self.icache.misses,
+            l1d_accesses: self.dcache.accesses,
+            l1d_misses: self.dcache.misses,
+            l2_accesses: self.l2.accesses,
+            l2_misses: self.l2.misses,
+            dram_accesses: self.dram.accesses,
+        }
+    }
+}
+
 /// The memory hierarchy the pipeline talks to.
 ///
 /// Latency composition: an L1 miss pays the L1 latency, then the L2 latency;
@@ -241,5 +258,22 @@ mod tests {
         assert_eq!(s.dcache.accesses, 1);
         assert_eq!(s.l2.accesses, 2);
         assert_eq!(s.dram.accesses, 2);
+    }
+
+    #[test]
+    fn level_counters_mirror_the_raw_stats() {
+        let mut mem = system();
+        let _ = mem.ifetch(0, 0);
+        let _ = mem.ifetch(0, 10);
+        let _ = mem.data_access(1 << 20, 20);
+        let s = mem.stats();
+        let levels = s.level_counters();
+        assert_eq!(levels.l1i_accesses, s.icache.accesses);
+        assert_eq!(levels.l1i_misses, s.icache.misses);
+        assert_eq!(levels.l1d_accesses, s.dcache.accesses);
+        assert_eq!(levels.l1d_misses, s.dcache.misses);
+        assert_eq!(levels.l2_accesses, s.l2.accesses);
+        assert_eq!(levels.l2_misses, s.l2.misses);
+        assert_eq!(levels.dram_accesses, s.dram.accesses);
     }
 }

@@ -1,0 +1,278 @@
+//! The cycle-accounting ledger: every simulated cycle lands in exactly one
+//! bucket.
+//!
+//! # Attribution order
+//!
+//! The simulator classifies each cycle at a single decision point, in this
+//! priority order (first match wins):
+//!
+//! 1. **F.StallForI** ([`CycleClass::FetchStallICache`],
+//!    [`CycleClass::FetchStallBranch`]) — fetch is supply-stalled: an
+//!    i-cache miss is in flight, a mispredicted branch is unresolved, or a
+//!    redirect/taken-branch bubble is draining. When a supply stall and
+//!    back-pressure co-occur (the miss window overlaps a full fetch
+//!    buffer), the cycle is charged to the *supply* stall: it is the
+//!    upstream cause, and the paper's Fig. 3b counts it under F.StallForI.
+//! 2. **F.StallForR+D** ([`CycleClass::FetchStallBackpressure`]) — fetch
+//!    was able to attempt supply but the fetch buffer was full and decode
+//!    moved nothing, so the only limiter was downstream back-pressure.
+//! 3. **Backend classes** — fetch was not stalled (or the trace is fully
+//!    fetched); the cycle is charged to what the backend retired or was
+//!    blocked on: [`CycleClass::Commit`] when instructions committed,
+//!    [`CycleClass::Mem`]/[`CycleClass::Execute`] when the ROB head was
+//!    executing a memory/non-memory op, [`CycleClass::Issue`] when the ROB
+//!    head was dispatched but not yet issued, [`CycleClass::Decode`] when
+//!    instructions were only in the front-end queues, and
+//!    [`CycleClass::SquashIdle`] for anything else (drained windows).
+//!
+//! The invariant `sum(buckets) == total cycles` is enforced by a
+//! `debug_assert` in the simulator and by the property/figures test suites.
+
+use serde::{Deserialize, Serialize};
+
+/// The exhaustive classification of one simulated cycle.
+///
+/// See the [module docs](self) for the attribution priority when several
+/// conditions co-occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CycleClass {
+    /// Fetch supply-stalled on an i-cache miss (F.StallForI, i-cache).
+    FetchStallICache,
+    /// Fetch supply-stalled on branch redirect or misprediction recovery
+    /// (F.StallForI, branch).
+    FetchStallBranch,
+    /// Fetch blocked by a full fetch buffer with decode making no progress
+    /// (F.StallForR+D).
+    FetchStallBackpressure,
+    /// Front-end progress only: instructions in the fetch/decode queues,
+    /// nothing committed or executing at the ROB head.
+    Decode,
+    /// The ROB head is dispatched but waiting to issue (operands/ports).
+    Issue,
+    /// The ROB head is executing a non-memory operation.
+    Execute,
+    /// The ROB head is executing a memory operation.
+    Mem,
+    /// At least one instruction committed this cycle.
+    Commit,
+    /// Nothing in flight made attributable progress (pipeline-drain and
+    /// squash windows).
+    SquashIdle,
+}
+
+impl CycleClass {
+    /// Every class, in attribution-priority order.
+    pub const ALL: [CycleClass; 9] = [
+        CycleClass::FetchStallICache,
+        CycleClass::FetchStallBranch,
+        CycleClass::FetchStallBackpressure,
+        CycleClass::Decode,
+        CycleClass::Issue,
+        CycleClass::Execute,
+        CycleClass::Mem,
+        CycleClass::Commit,
+        CycleClass::SquashIdle,
+    ];
+
+    /// Short human-readable label (stats tables, figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleClass::FetchStallICache => "fetch-stall-I(icache)",
+            CycleClass::FetchStallBranch => "fetch-stall-I(branch)",
+            CycleClass::FetchStallBackpressure => "fetch-stall-R+D",
+            CycleClass::Decode => "decode",
+            CycleClass::Issue => "issue",
+            CycleClass::Execute => "execute",
+            CycleClass::Mem => "mem",
+            CycleClass::Commit => "commit",
+            CycleClass::SquashIdle => "squash/idle",
+        }
+    }
+}
+
+/// Per-class cycle counts for one simulation run.
+///
+/// [`CycleLedger::charge`] is the only mutation path and takes exactly one
+/// [`CycleClass`], so a cycle cannot be double-counted by construction;
+/// [`CycleLedger::total`] must equal the run's total cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleLedger {
+    /// Cycles charged to [`CycleClass::FetchStallICache`].
+    pub fetch_stall_icache: u64,
+    /// Cycles charged to [`CycleClass::FetchStallBranch`].
+    pub fetch_stall_branch: u64,
+    /// Cycles charged to [`CycleClass::FetchStallBackpressure`].
+    pub fetch_stall_backpressure: u64,
+    /// Cycles charged to [`CycleClass::Decode`].
+    pub decode: u64,
+    /// Cycles charged to [`CycleClass::Issue`].
+    pub issue: u64,
+    /// Cycles charged to [`CycleClass::Execute`].
+    pub execute: u64,
+    /// Cycles charged to [`CycleClass::Mem`].
+    pub mem: u64,
+    /// Cycles charged to [`CycleClass::Commit`].
+    pub commit: u64,
+    /// Cycles charged to [`CycleClass::SquashIdle`].
+    pub squash_idle: u64,
+}
+
+impl CycleLedger {
+    /// An empty ledger.
+    pub fn new() -> CycleLedger {
+        CycleLedger::default()
+    }
+
+    /// Charges one cycle to `class`. The single mutation path: callers
+    /// classify each cycle once, so buckets partition the run.
+    #[inline]
+    pub fn charge(&mut self, class: CycleClass) {
+        *self.bucket_mut(class) += 1;
+    }
+
+    fn bucket_mut(&mut self, class: CycleClass) -> &mut u64 {
+        match class {
+            CycleClass::FetchStallICache => &mut self.fetch_stall_icache,
+            CycleClass::FetchStallBranch => &mut self.fetch_stall_branch,
+            CycleClass::FetchStallBackpressure => &mut self.fetch_stall_backpressure,
+            CycleClass::Decode => &mut self.decode,
+            CycleClass::Issue => &mut self.issue,
+            CycleClass::Execute => &mut self.execute,
+            CycleClass::Mem => &mut self.mem,
+            CycleClass::Commit => &mut self.commit,
+            CycleClass::SquashIdle => &mut self.squash_idle,
+        }
+    }
+
+    /// The count in one bucket.
+    pub fn bucket(&self, class: CycleClass) -> u64 {
+        match class {
+            CycleClass::FetchStallICache => self.fetch_stall_icache,
+            CycleClass::FetchStallBranch => self.fetch_stall_branch,
+            CycleClass::FetchStallBackpressure => self.fetch_stall_backpressure,
+            CycleClass::Decode => self.decode,
+            CycleClass::Issue => self.issue,
+            CycleClass::Execute => self.execute,
+            CycleClass::Mem => self.mem,
+            CycleClass::Commit => self.commit,
+            CycleClass::SquashIdle => self.squash_idle,
+        }
+    }
+
+    /// Sum of every bucket; the ledger invariant is
+    /// `total() == SimResult::cycles` for the run that produced it.
+    pub fn total(&self) -> u64 {
+        CycleClass::ALL.iter().map(|&c| self.bucket(c)).sum()
+    }
+
+    /// Total F.StallForI cycles (i-cache + branch supply stalls).
+    pub fn stall_for_i(&self) -> u64 {
+        self.fetch_stall_icache + self.fetch_stall_branch
+    }
+
+    /// Total F.StallForR+D cycles (fetch-buffer back-pressure).
+    pub fn stall_for_rd(&self) -> u64 {
+        self.fetch_stall_backpressure
+    }
+
+    /// Checks the partition invariant against the run's cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the mismatch when the
+    /// bucket sum differs from `cycles`.
+    pub fn check(&self, cycles: u64) -> Result<(), String> {
+        let total = self.total();
+        if total == cycles {
+            Ok(())
+        } else {
+            Err(format!(
+                "ledger invariant violated: buckets sum to {total} but the run took \
+                 {cycles} cycles ({self:?})"
+            ))
+        }
+    }
+}
+
+/// Per-level memory-hierarchy demand counters, surfaced alongside the
+/// ledger so stats consumers see cycle attribution and its memory causes
+/// from one audited snapshot. Built by `MemStats::level_counters()` in
+/// `critic-mem`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemLevelCounters {
+    /// L1 instruction-cache demand accesses.
+    pub l1i_accesses: u64,
+    /// L1 instruction-cache demand misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache demand accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache demand misses.
+    pub l1d_misses: u64,
+    /// Shared-L2 demand accesses.
+    pub l2_accesses: u64,
+    /// Shared-L2 demand misses.
+    pub l2_misses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+impl MemLevelCounters {
+    /// Miss ratio of one (accesses, misses) pair, 0 when idle.
+    pub fn ratio(accesses: u64, misses: u64) -> f64 {
+        if accesses == 0 {
+            0.0
+        } else {
+            misses as f64 / accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_partitions_exactly() {
+        let mut ledger = CycleLedger::new();
+        for (i, &class) in CycleClass::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                ledger.charge(class);
+            }
+        }
+        // 1 + 2 + ... + 9 charges in total.
+        assert_eq!(ledger.total(), 45);
+        for (i, &class) in CycleClass::ALL.iter().enumerate() {
+            assert_eq!(ledger.bucket(class), i as u64 + 1, "{}", class.label());
+        }
+        assert!(ledger.check(45).is_ok());
+        let err = ledger.check(44).expect_err("mismatch must be reported");
+        assert!(err.contains("45") && err.contains("44"), "{err}");
+    }
+
+    #[test]
+    fn stall_rollups_match_the_paper_taxonomy() {
+        let ledger = CycleLedger {
+            fetch_stall_icache: 10,
+            fetch_stall_branch: 5,
+            fetch_stall_backpressure: 7,
+            commit: 78,
+            ..Default::default()
+        };
+        assert_eq!(ledger.stall_for_i(), 15);
+        assert_eq!(ledger.stall_for_rd(), 7);
+        assert_eq!(ledger.total(), 100);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            CycleClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), CycleClass::ALL.len());
+    }
+
+    #[test]
+    fn mem_ratio_handles_idle_levels() {
+        assert_eq!(MemLevelCounters::ratio(0, 0), 0.0);
+        assert!((MemLevelCounters::ratio(10, 3) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! Observability: the cycle-accounting ledger and campaign telemetry.
+//!
+//! Two measurement layers with one design rule — *numbers that tests can
+//! prove consistent, not trust*:
+//!
+//! * [`CycleLedger`] attributes every simulated cycle to exactly one
+//!   exhaustive bucket ([`CycleClass`]). The pipeline simulator charges one
+//!   class per cycle at a single decision point, so the bucket sum equals
+//!   total cycles *by construction* and the paper's Fig. 3 stall taxonomy
+//!   (F.StallForI vs F.StallForR+D) is derived from an audited partition
+//!   instead of loose counters.
+//! * [`Telemetry`] is a cloneable handle over an optional [`Recorder`]:
+//!   span timings (world build, profile, passes, validate, sim) and
+//!   fault/retry/demotion event counts. Disabled is the default and is
+//!   zero-cost — [`Telemetry::time`] runs the closure directly without
+//!   reading the clock — so the campaign hot path is unchanged unless a
+//!   caller opts in.
+//!
+//! This crate is a leaf (serde only): every subsystem can report into it
+//! without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod span;
+
+pub use ledger::{CycleClass, CycleLedger, MemLevelCounters};
+pub use span::{EventKind, Recorder, SpanKind, SpanStats, Telemetry, TelemetrySnapshot};

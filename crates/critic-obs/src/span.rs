@@ -1,0 +1,464 @@
+//! Span-based campaign telemetry: timed pipeline stages and structured
+//! event counts, behind a zero-cost-when-disabled handle.
+//!
+//! The design is a sink with a no-op default: [`Telemetry`] wraps an
+//! `Option<Arc<Recorder>>`. Disabled (the default) every call is a branch
+//! on `None` — [`Telemetry::time`] runs its closure without touching the
+//! clock, so instrumented hot paths (the PR-3 warm campaign) are
+//! unperturbed. Enabled, spans and events accumulate into relaxed atomics
+//! and snapshot into the serializable [`TelemetrySnapshot`] that campaign
+//! journals and `critic stats` consume.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// The timed stages of one campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// World generation: program + path + trace + fanout.
+    WorldBuild,
+    /// Profiler runs (chain selection).
+    Profile,
+    /// Compiler passes building a scheme variant.
+    Passes,
+    /// Translation validation (oracle capture, replay, demotion loop).
+    Validate,
+    /// Pipeline simulation.
+    Sim,
+}
+
+impl SpanKind {
+    /// Every span kind, in pipeline order.
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::WorldBuild,
+        SpanKind::Profile,
+        SpanKind::Passes,
+        SpanKind::Validate,
+        SpanKind::Sim,
+    ];
+
+    /// Short human-readable label (stats tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::WorldBuild => "world-build",
+            SpanKind::Profile => "profile",
+            SpanKind::Passes => "passes",
+            SpanKind::Validate => "validate",
+            SpanKind::Sim => "sim",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::WorldBuild => 0,
+            SpanKind::Profile => 1,
+            SpanKind::Passes => 2,
+            SpanKind::Validate => 3,
+            SpanKind::Sim => 4,
+        }
+    }
+}
+
+/// Counted campaign events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A planned fault was injected into a cell.
+    Fault,
+    /// A cell attempt failed and was retried.
+    Retry,
+    /// The validation oracle demoted a miscompiled chain.
+    Demotion,
+}
+
+impl EventKind {
+    /// Every event kind.
+    pub const ALL: [EventKind; 3] = [EventKind::Fault, EventKind::Retry, EventKind::Demotion];
+
+    /// Short human-readable label (stats tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Fault => "faults",
+            EventKind::Retry => "retries",
+            EventKind::Demotion => "demotions",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EventKind::Fault => 0,
+            EventKind::Retry => 1,
+            EventKind::Demotion => 2,
+        }
+    }
+}
+
+/// Aggregate of one span kind: how many times it ran and for how long.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// Spans recorded.
+    pub count: u64,
+    /// Summed wall-clock, nanoseconds.
+    pub total_nanos: u64,
+    /// Longest single span, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Mean span duration in milliseconds (0 when nothing was recorded).
+    pub fn mean_millis(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64 / 1e6
+        }
+    }
+
+    /// Summed wall-clock in milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.total_nanos as f64 / 1e6
+    }
+
+    fn absorb(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+/// The mutable accumulation point behind an enabled [`Telemetry`] handle.
+///
+/// All counters are relaxed atomics: spans from concurrent campaign
+/// workers interleave without locks, and the snapshot is a plain read
+/// (exact once the workers have joined, which is when campaigns read it).
+#[derive(Debug, Default)]
+pub struct Recorder {
+    span_count: [AtomicU64; 5],
+    span_total: [AtomicU64; 5],
+    span_max: [AtomicU64; 5],
+    events: [AtomicU64; 3],
+}
+
+impl Recorder {
+    /// A zeroed recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records one completed span of `kind`.
+    pub fn record_span(&self, kind: SpanKind, nanos: u64) {
+        let i = kind.index();
+        self.span_count[i].fetch_add(1, Ordering::Relaxed);
+        self.span_total[i].fetch_add(nanos, Ordering::Relaxed);
+        self.span_max[i].fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Counts `n` occurrences of `kind`.
+    pub fn count_events(&self, kind: EventKind, n: u64) {
+        self.events[kind.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads every counter into a serializable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let span = |kind: SpanKind| {
+            let i = kind.index();
+            SpanStats {
+                count: self.span_count[i].load(Ordering::Relaxed),
+                total_nanos: self.span_total[i].load(Ordering::Relaxed),
+                max_nanos: self.span_max[i].load(Ordering::Relaxed),
+            }
+        };
+        TelemetrySnapshot {
+            world_build: span(SpanKind::WorldBuild),
+            profile: span(SpanKind::Profile),
+            passes: span(SpanKind::Passes),
+            validate: span(SpanKind::Validate),
+            sim: span(SpanKind::Sim),
+            faults: self.events[EventKind::Fault.index()].load(Ordering::Relaxed),
+            retries: self.events[EventKind::Retry.index()].load(Ordering::Relaxed),
+            demotions: self.events[EventKind::Demotion.index()].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A serializable point-in-time read of a [`Recorder`]: per-stage span
+/// aggregates plus event counts. Journaled per campaign cell and as the
+/// campaign-level trailer line; `critic stats` re-aggregates them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// World-generation spans.
+    pub world_build: SpanStats,
+    /// Profiler spans.
+    pub profile: SpanStats,
+    /// Compiler-pass spans.
+    pub passes: SpanStats,
+    /// Translation-validation spans.
+    pub validate: SpanStats,
+    /// Simulation spans.
+    pub sim: SpanStats,
+    /// Planned faults injected.
+    pub faults: u64,
+    /// Attempt retries consumed.
+    pub retries: u64,
+    /// Chains demoted by the validation oracle.
+    pub demotions: u64,
+}
+
+impl TelemetrySnapshot {
+    /// The span aggregate for `kind`.
+    pub fn span(&self, kind: SpanKind) -> SpanStats {
+        match kind {
+            SpanKind::WorldBuild => self.world_build,
+            SpanKind::Profile => self.profile,
+            SpanKind::Passes => self.passes,
+            SpanKind::Validate => self.validate,
+            SpanKind::Sim => self.sim,
+        }
+    }
+
+    /// The event count for `kind`.
+    pub fn events(&self, kind: EventKind) -> u64 {
+        match kind {
+            EventKind::Fault => self.faults,
+            EventKind::Retry => self.retries,
+            EventKind::Demotion => self.demotions,
+        }
+    }
+
+    /// Whether anything at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        SpanKind::ALL.iter().all(|&k| self.span(k).count == 0)
+            && EventKind::ALL.iter().all(|&k| self.events(k) == 0)
+    }
+
+    /// Merges another snapshot into this one (summing counts and totals,
+    /// taking the max of maxima) — how per-cell snapshots roll up into a
+    /// campaign aggregate.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        self.world_build.absorb(&other.world_build);
+        self.profile.absorb(&other.profile);
+        self.passes.absorb(&other.passes);
+        self.validate.absorb(&other.validate);
+        self.sim.absorb(&other.sim);
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.demotions += other.demotions;
+    }
+
+    /// Renders the fixed-width human table `critic stats` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  span          count   total ms    mean ms     max ms\n");
+        for kind in SpanKind::ALL {
+            let s = self.span(kind);
+            out.push_str(&format!(
+                "  {:<12} {:>6} {:>10.2} {:>10.3} {:>10.3}\n",
+                kind.label(),
+                s.count,
+                s.total_millis(),
+                s.mean_millis(),
+                s.max_nanos as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!(
+            "  events: {} faults, {} retries, {} demotions",
+            self.faults, self.retries, self.demotions
+        ));
+        out
+    }
+}
+
+/// The cloneable telemetry handle threaded through campaigns, workbenches,
+/// and the store. Disabled by default; every clone shares one recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: nothing is recorded, nothing is timed.
+    pub fn off() -> Telemetry {
+        Telemetry { recorder: None }
+    }
+
+    /// A live handle over a fresh recorder.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            recorder: Some(Arc::new(Recorder::new())),
+        }
+    }
+
+    /// Enabled iff the `CRITIC_TELEMETRY` environment variable is set to a
+    /// non-empty value other than `0` — how CI runs the whole tier-1 suite
+    /// with telemetry on without touching every call site.
+    pub fn from_env() -> Telemetry {
+        match std::env::var("CRITIC_TELEMETRY") {
+            Ok(v) if !v.is_empty() && v != "0" => Telemetry::enabled(),
+            _ => Telemetry::off(),
+        }
+    }
+
+    /// Whether a recorder is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Runs `f`, recording its wall-clock as one span of `kind` when
+    /// enabled. Disabled, this is a direct call: no clock read, no
+    /// recording — the zero-cost path the bench harness verifies.
+    #[inline]
+    pub fn time<T>(&self, kind: SpanKind, f: impl FnOnce() -> T) -> T {
+        match &self.recorder {
+            None => f(),
+            Some(recorder) => {
+                let started = Instant::now();
+                let result = f();
+                recorder.record_span(kind, started.elapsed().as_nanos() as u64);
+                result
+            }
+        }
+    }
+
+    /// Counts one event of `kind` (no-op when disabled).
+    pub fn event(&self, kind: EventKind) {
+        self.events(kind, 1);
+    }
+
+    /// Counts `n` events of `kind` (no-op when disabled).
+    pub fn events(&self, kind: EventKind, n: u64) {
+        if let Some(recorder) = &self.recorder {
+            if n > 0 {
+                recorder.count_events(kind, n);
+            }
+        }
+    }
+
+    /// Merges a finished snapshot into this handle's recorder (no-op when
+    /// disabled) — campaigns roll per-cell telemetry up this way.
+    pub fn absorb(&self, snapshot: &TelemetrySnapshot) {
+        if let Some(recorder) = &self.recorder {
+            for kind in SpanKind::ALL {
+                let s = snapshot.span(kind);
+                if s.count > 0 {
+                    let i = kind.index();
+                    recorder.span_count[i].fetch_add(s.count, Ordering::Relaxed);
+                    recorder.span_total[i].fetch_add(s.total_nanos, Ordering::Relaxed);
+                    recorder.span_max[i].fetch_max(s.max_nanos, Ordering::Relaxed);
+                }
+            }
+            for kind in EventKind::ALL {
+                recorder.count_events(kind, snapshot.events(kind));
+            }
+        }
+    }
+
+    /// Reads the current counters; `None` when disabled.
+    pub fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.recorder.as_ref().map(|r| r.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let telemetry = Telemetry::off();
+        assert!(!telemetry.is_enabled());
+        let out = telemetry.time(SpanKind::Sim, || 41 + 1);
+        assert_eq!(out, 42);
+        telemetry.event(EventKind::Fault);
+        assert!(telemetry.snapshot().is_none());
+    }
+
+    #[test]
+    fn enabled_handle_times_spans_and_counts_events() {
+        let telemetry = Telemetry::enabled();
+        assert!(telemetry.is_enabled());
+        for _ in 0..3 {
+            telemetry.time(SpanKind::Profile, || std::hint::black_box(7u64.pow(5)));
+        }
+        telemetry.event(EventKind::Retry);
+        telemetry.events(EventKind::Demotion, 4);
+        let snap = telemetry.snapshot().expect("enabled handles snapshot");
+        assert_eq!(snap.profile.count, 3);
+        assert!(snap.profile.max_nanos <= snap.profile.total_nanos);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.demotions, 4);
+        assert_eq!(snap.sim.count, 0);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let telemetry = Telemetry::enabled();
+        let clone = telemetry.clone();
+        clone.time(SpanKind::Sim, || ());
+        clone.event(EventKind::Fault);
+        let snap = telemetry.snapshot().expect("snapshot");
+        assert_eq!(snap.sim.count, 1);
+        assert_eq!(snap.faults, 1);
+    }
+
+    #[test]
+    fn snapshots_absorb_into_aggregates() {
+        let a = TelemetrySnapshot {
+            sim: SpanStats {
+                count: 2,
+                total_nanos: 100,
+                max_nanos: 70,
+            },
+            faults: 1,
+            ..Default::default()
+        };
+        let b = TelemetrySnapshot {
+            sim: SpanStats {
+                count: 1,
+                total_nanos: 50,
+                max_nanos: 50,
+            },
+            demotions: 2,
+            ..Default::default()
+        };
+        let mut sum = a;
+        sum.absorb(&b);
+        assert_eq!(sum.sim.count, 3);
+        assert_eq!(sum.sim.total_nanos, 150);
+        assert_eq!(sum.sim.max_nanos, 70);
+        assert_eq!(sum.faults, 1);
+        assert_eq!(sum.demotions, 2);
+
+        let campaign = Telemetry::enabled();
+        campaign.absorb(&sum);
+        let snap = campaign.snapshot().expect("snapshot");
+        assert_eq!(snap.sim.count, 3);
+        assert_eq!(snap.sim.max_nanos, 70);
+        assert_eq!(snap.demotions, 2);
+    }
+
+    #[test]
+    fn render_lists_every_span_and_event() {
+        let telemetry = Telemetry::enabled();
+        telemetry.time(SpanKind::WorldBuild, || ());
+        telemetry.event(EventKind::Fault);
+        let text = telemetry.snapshot().expect("snapshot").render();
+        for kind in SpanKind::ALL {
+            assert!(text.contains(kind.label()), "{text}");
+        }
+        assert!(text.contains("1 faults"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let telemetry = Telemetry::enabled();
+        telemetry.time(SpanKind::Validate, || ());
+        telemetry.events(EventKind::Demotion, 3);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let value = serde::Serialize::to_value(&snap);
+        let back: TelemetrySnapshot = serde::Deserialize::from_value(&value).expect("round trips");
+        assert_eq!(back, snap);
+    }
+}

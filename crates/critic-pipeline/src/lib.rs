@@ -61,5 +61,6 @@ pub mod stats;
 pub use bpu::{Bpu, BpuStats};
 pub use config::{CpuConfig, FuPool};
 pub use crit::CritTable;
+pub use critic_obs::{CycleClass, CycleLedger};
 pub use sim::{SimScratch, Simulator};
 pub use stats::{FetchStalls, SimResult, StageBreakdown};

@@ -6,6 +6,12 @@ use serde::{Deserialize, Serialize};
 use crate::bpu::BpuStats;
 
 /// Fetch-stall cycle attribution (paper Fig. 3b).
+///
+/// Derived from the simulator's [`critic_obs::CycleLedger`] — each field is
+/// a projection of one ledger bucket, so the counts inherit the ledger's
+/// single-attribution guarantee: a cycle stalled for both instruction
+/// supply and back-pressure is charged once, to the supply stall (the
+/// upstream cause). See `critic_obs::ledger` for the full priority order.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FetchStalls {
     /// Cycles fetch supplied nothing because of an i-cache miss

@@ -171,6 +171,29 @@ pub mod strategy {
 
     strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! strategy_for_tuples {
+        ($(($($S:ident . $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.pick(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    strategy_for_tuples! {
+        (S0.0, S1.1);
+        (S0.0, S1.1, S2.2);
+        (S0.0, S1.1, S2.2, S3.3);
+        (S0.0, S1.1, S2.2, S3.3, S4.4);
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+        (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
+    }
+
     impl Strategy for std::ops::Range<f64> {
         type Value = f64;
 

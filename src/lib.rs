@@ -11,6 +11,7 @@ pub use critic_core as core;
 pub use critic_energy as energy;
 pub use critic_isa as isa;
 pub use critic_mem as mem;
+pub use critic_obs as obs;
 pub use critic_pipeline as pipeline;
 pub use critic_profiler as profiler;
 pub use critic_workloads as workloads;

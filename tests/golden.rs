@@ -1,0 +1,138 @@
+//! Golden snapshot tests for the `figures` outputs: the Fig. 3
+//! critical-instruction breakdown and the Fig. 13 headline speedup table,
+//! rendered from fixed-seed runs and compared byte-for-byte against
+//! committed fixtures.
+//!
+//! When a change legitimately moves the numbers, regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use critics::core::experiments as exp;
+
+const TRACE_LEN: usize = 10_000;
+const APPS: usize = 2;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed fixture, printing the first
+/// diverging line on mismatch; `UPDATE_GOLDEN=1` rewrites the fixture
+/// instead.
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, rendered).expect("write golden fixture");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden to create it",
+            path.display()
+        )
+    });
+    if rendered == expected {
+        return;
+    }
+    for (lineno, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "{name}:{}: first diverging line (got vs golden); \
+             rerun with UPDATE_GOLDEN=1 if the change is intended",
+            lineno + 1
+        );
+    }
+    panic!(
+        "{name}: line count changed ({} vs {} lines); \
+         rerun with UPDATE_GOLDEN=1 if the change is intended",
+        rendered.lines().count(),
+        expected.lines().count()
+    );
+}
+
+/// Fig. 3a/3b: where critical instructions spend their time, per suite.
+#[test]
+fn fig3_breakdown_matches_golden() {
+    let rows = exp::fig3(TRACE_LEN, APPS);
+    let mut out = String::new();
+    writeln!(out, "fig3 trace_len={TRACE_LEN} apps_per_suite={APPS}").unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:10} fetch {:.4} decode {:.4} issue {:.4} execute {:.4} rob {:.4} | \
+             stall_for_i {:.4} stall_for_rd {:.4} | latency {:.4}/{:.4}/{:.4}",
+            r.suite,
+            r.stage_shares[0],
+            r.stage_shares[1],
+            r.stage_shares[2],
+            r.stage_shares[3],
+            r.stage_shares[4],
+            r.stall_for_i,
+            r.stall_for_rd,
+            r.latency_mix[0],
+            r.latency_mix[1],
+            r.latency_mix[2],
+        )
+        .unwrap();
+    }
+    assert_matches_golden("fig3.golden", &out);
+}
+
+/// Fig. 13: the headline speedup table — conversion schemes vs baseline.
+#[test]
+fn fig13_speedup_table_matches_golden() {
+    let rows = exp::fig13(TRACE_LEN, APPS);
+    let mut out = String::new();
+    writeln!(out, "fig13 trace_len={TRACE_LEN} apps={APPS}").unwrap();
+    for r in &rows {
+        writeln!(
+            out,
+            "{:14} speedup {:.4} converted_frac {:.4}",
+            r.scheme, r.speedup, r.converted_frac
+        )
+        .unwrap();
+    }
+    assert_matches_golden("fig13.golden", &out);
+}
+
+/// The cycle ledger itself is part of the snapshot: exact per-bucket
+/// counts for the mobile suite's first apps, so any attribution change is
+/// visible in review rather than silently reshaping Fig. 3.
+#[test]
+fn ledger_audit_matches_golden() {
+    let rows = exp::ledger_audit(TRACE_LEN, APPS);
+    let mut out = String::new();
+    writeln!(out, "ledger trace_len={TRACE_LEN} apps_per_suite={APPS}").unwrap();
+    for r in &rows {
+        assert!(r.balanced, "{}: unbalanced ledger", r.app);
+        writeln!(
+            out,
+            "{:12} {:10} cycles {} i {} br {} bp {} dec {} iss {} exe {} mem {} com {} idle {}",
+            r.app,
+            r.suite,
+            r.cycles,
+            r.ledger.fetch_stall_icache,
+            r.ledger.fetch_stall_branch,
+            r.ledger.fetch_stall_backpressure,
+            r.ledger.decode,
+            r.ledger.issue,
+            r.ledger.execute,
+            r.ledger.mem,
+            r.ledger.commit,
+            r.ledger.squash_idle,
+        )
+        .unwrap();
+    }
+    assert_matches_golden("ledger.golden", &out);
+}
