@@ -11,6 +11,7 @@
 //! critic campaign [--validate] [--stats] [options]  # fault-tolerant app x scheme grid
 //! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
+//! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -29,11 +30,16 @@
 //! | 6 | campaign finished with failed cells |
 //! | 7 | translation validation failed (divergence survived demotion) |
 //! | 8 | bench regression (warm-store speedup below the floor) |
+//! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) |
+//! | 10 | chaos invariant violation (schedule JSON printed) |
 
 use std::fmt;
 use std::time::Duration;
 
+use critic_bench::chaos::{self, ChaosConfig};
 use critic_bench::perf::{self, BenchError, BenchSetup};
+use std::sync::Arc;
+
 use critic_core::campaign::{
     self, CampaignSpec, CampaignTelemetryRecord, CellRecord, CellStatus, PlannedFault, Scheme,
 };
@@ -42,7 +48,7 @@ use critic_core::runner::Workbench;
 use critic_core::RunError;
 use critic_profiler::{save_profile, ProfilerConfig};
 use critic_workloads::suite::Suite;
-use critic_workloads::{AppSpec, Fault};
+use critic_workloads::{AppSpec, Fault, SysFault, SysFaultSpec, SysInjector};
 
 const TRACE_LEN: usize = 120_000;
 
@@ -80,6 +86,13 @@ enum CliError {
         speedup: f64,
         floor: f64,
     },
+    CampaignInterrupted {
+        shed: usize,
+        total: usize,
+    },
+    ChaosViolation {
+        violations: usize,
+    },
 }
 
 impl CliError {
@@ -99,6 +112,13 @@ impl CliError {
             // Its own code so CI can tell "the store got slower" apart
             // from a pipeline failure.
             CliError::BenchRegression { .. } => 8,
+            // A graceful shutdown is not a failure: the journal is intact
+            // and --resume finishes the grid. Scripts need to tell it
+            // apart from both success and failed cells.
+            CliError::CampaignInterrupted { .. } => 9,
+            // A chaos invariant violation means the *runner* broke under
+            // faults — the highest-severity signal this binary can emit.
+            CliError::ChaosViolation { .. } => 10,
         }
     }
 }
@@ -151,6 +171,19 @@ impl fmt::Display for CliError {
                     "warm-store speedup {speedup:.2}x is below the {floor:.2}x floor"
                 )
             }
+            CliError::CampaignInterrupted { shed, total } => {
+                write!(
+                    f,
+                    "campaign interrupted by graceful shutdown ({shed}/{total} cells shed; \
+                     --resume finishes them)"
+                )
+            }
+            CliError::ChaosViolation { violations } => {
+                write!(
+                    f,
+                    "chaos run broke {violations} invariant(s); schedule JSON printed above"
+                )
+            }
         }
     }
 }
@@ -191,7 +224,7 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats> \
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos> \
          [app] [options]"
             .to_string(),
     )
@@ -334,6 +367,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "campaign" => run_campaign_command(args),
         "bench" => run_bench_command(args),
         "stats" => run_stats_command(args),
+        "chaos" => run_chaos_command(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; {}",
             usage()
@@ -341,15 +375,58 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// `critic campaign [--suite S] [--schemes a,b,..] [--trace-len N]
-/// [--journal FILE] [--resume] [--validate] [--stats] [--deadline-secs N]
-/// [--retries N] [--workers N] [--inject app:scheme:fault[:seed]]...`
+/// Parses one `--sys` value: `NAME[:PARAM]@AT`, e.g. `journal-write@0`,
+/// `store-read@3`, `alloc-budget:65536@1`, `worker-stall:200@0`, `kill@2`.
+fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "--sys expects NAME[:PARAM]@AT (e.g. store-read@3, alloc-budget:65536@1), \
+             got `{value}`"
+        ))
+    };
+    let (head, at) = value.rsplit_once('@').ok_or_else(bad)?;
+    let at: u64 = at.parse().map_err(|_| bad())?;
+    let (name, param) = match head.split_once(':') {
+        Some((name, param)) => (name, Some(param)),
+        None => (head, None),
+    };
+    let fault = match (name, param) {
+        ("journal-write", None) => SysFault::JournalWrite,
+        ("journal-fsync", None) => SysFault::JournalFsync,
+        ("journal-torn", None) => SysFault::JournalTorn,
+        ("store-read", None) => SysFault::StoreRead,
+        ("store-write", None) => SysFault::StoreWrite,
+        ("kill", None) => SysFault::Kill,
+        ("alloc-budget", Some(bytes)) => SysFault::AllocBudget {
+            bytes: bytes.parse().map_err(|_| bad())?,
+        },
+        ("worker-stall", Some(millis)) => SysFault::WorkerStall {
+            millis: millis.parse().map_err(|_| bad())?,
+        },
+        _ => return Err(bad()),
+    };
+    Ok(SysFaultSpec { fault, at })
+}
+
+/// `critic campaign [--suite S] [--apps N] [--schemes a,b,..]
+/// [--trace-len N] [--journal FILE] [--resume] [--validate] [--stats]
+/// [--deadline-secs N] [--retries N] [--workers N]
+/// [--inject app:scheme:fault[:seed]]... [--sys NAME[:PARAM]@AT]...
+/// [--breaker K] [--degrade] [--backoff-base-ms N] [--backoff-cap-ms N]
+/// [--backoff-seed N]`
+///
+/// `--apps N` truncates the suite to its first `N` apps — small grids for
+/// drills, CI steps, and tests.
 ///
 /// `--stats` forces telemetry on for this run (regardless of
 /// `CRITIC_TELEMETRY`): per-cell spans are journaled, and the summary ends
 /// with the campaign-wide telemetry table.
+///
+/// `--sys` arms deterministic systemic faults (the chaos harness's
+/// [`SysFault`] family) on the run; `--breaker`, `--degrade`, and the
+/// backoff flags configure the supervision policy that absorbs them.
 fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
-    let apps: Vec<AppSpec> = match arg_after(args, "--suite").as_deref() {
+    let mut apps: Vec<AppSpec> = match arg_after(args, "--suite").as_deref() {
         None | Some("mobile") => Suite::Mobile.apps(),
         Some("spec-int") => Suite::SpecInt.apps(),
         Some("spec-float") => Suite::SpecFloat.apps(),
@@ -382,6 +459,13 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
         }
     };
 
+    if let Some(n) = parse_num("--apps")? {
+        if n == 0 {
+            return Err(CliError::Usage("--apps must be at least 1".to_string()));
+        }
+        apps.truncate(n as usize);
+    }
+
     let mut spec = CampaignSpec::new(
         apps,
         schemes,
@@ -402,6 +486,24 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "--resume requires --journal FILE".to_string(),
         ));
+    }
+    spec.supervision.breaker_threshold = parse_num("--breaker")?.map(|n| n as u32).unwrap_or(0);
+    spec.supervision.degrade = args.iter().any(|a| a == "--degrade");
+    spec.supervision.backoff_base_millis = parse_num("--backoff-base-ms")?.unwrap_or(0);
+    spec.supervision.backoff_cap_millis = parse_num("--backoff-cap-ms")?
+        .unwrap_or(spec.supervision.backoff_base_millis.saturating_mul(64));
+    spec.supervision.backoff_seed = parse_num("--backoff-seed")?.unwrap_or(0);
+    let mut sys_specs = Vec::new();
+    let mut idx = 0;
+    while let Some(pos) = args[idx..].iter().position(|a| a == "--sys") {
+        idx += pos + 1;
+        let Some(value) = args.get(idx) else {
+            return Err(CliError::Usage("--sys expects NAME[:PARAM]@AT".to_string()));
+        };
+        sys_specs.push(parse_sys_spec(value)?);
+    }
+    if !sys_specs.is_empty() {
+        spec.sys = Some(Arc::new(SysInjector::new(sys_specs)));
     }
 
     let mut idx = 0;
@@ -435,7 +537,14 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
 
     let summary = campaign::run_campaign(&spec)?;
     println!("{}", summary.render());
-    if summary.all_ok() {
+    if summary.interrupted {
+        // Shed cells are expected bookkeeping here, not failures: the
+        // journal is intact and --resume finishes them.
+        Err(CliError::CampaignInterrupted {
+            shed: summary.shed().len(),
+            total: summary.records.len(),
+        })
+    } else if summary.all_ok() {
         Ok(())
     } else if !summary.validation_failures().is_empty() {
         // Validation failures outrank generic cell failures: a surviving
@@ -513,6 +622,93 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// `critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]`
+///
+/// Seeds a random schedule of systemic + data faults, drills a smoke
+/// campaign under it with the supervision policy armed, and asserts the
+/// runner's invariants (accounting, journal-resumable, warm-unfaulted,
+/// ledger). On violation the full report — schedule included — is printed
+/// as JSON and the exit code is 10; `--minimize` first delta-debugs the
+/// schedule to a minimal subset reproducing the violation.
+fn run_chaos_command(args: &[String]) -> Result<(), CliError> {
+    let mut config = ChaosConfig::default();
+    match arg_after(args, "--seed") {
+        None => {
+            return Err(CliError::Usage(
+                "usage: critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]"
+                    .to_string(),
+            ))
+        }
+        Some(v) => {
+            config.seed = v
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("--seed expects a number, got `{v}`")))?;
+        }
+    }
+    if let Some(v) = arg_after(args, "--cells") {
+        config.cells = v
+            .parse::<usize>()
+            .map_err(|_| CliError::Usage(format!("--cells expects a number, got `{v}`")))?;
+        if config.cells == 0 {
+            return Err(CliError::Usage("--cells must be at least 1".to_string()));
+        }
+    }
+    config.smoke = args.iter().any(|a| a == "--smoke");
+    config.minimize = args.iter().any(|a| a == "--minimize");
+
+    let report = chaos::run_chaos(&config).map_err(|e| match e {
+        BenchError::Run(e) => CliError::Run(e),
+        BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
+        BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
+    })?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise chaos report: {e}")))?;
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+
+    if report.ok() {
+        println!(
+            "chaos seed {}: {} schedule entries over {} cells — all invariants held{}",
+            report.seed,
+            report.schedule.len(),
+            report.cells.len(),
+            if report.interrupted {
+                " (campaign interrupted and shed as designed)"
+            } else {
+                ""
+            }
+        );
+        for entry in &report.schedule {
+            println!("  {entry}");
+        }
+        Ok(())
+    } else {
+        println!("{json}");
+        for v in &report.violations {
+            eprintln!(
+                "critic: chaos invariant `{}` broken: {}",
+                v.invariant, v.detail
+            );
+        }
+        if let Some(minimal) = &report.minimized {
+            eprintln!(
+                "critic: minimal reproducing schedule ({} of {} entries):",
+                minimal.len(),
+                report.schedule.len()
+            );
+            for entry in minimal {
+                eprintln!("critic:   {entry}");
+            }
+        }
+        Err(CliError::ChaosViolation {
+            violations: report.violations.len(),
+        })
+    }
+}
+
 /// The roll-up `critic stats` prints: cell counts, wall-clock, and the
 /// campaign-wide telemetry aggregate.
 #[derive(Debug, serde::Serialize)]
@@ -521,8 +717,13 @@ struct StatsReport {
     cells: usize,
     /// Cells whose terminal status is `Ok`.
     ok: usize,
-    /// Cells that failed, timed out, or panicked.
+    /// Cells that failed, timed out, panicked, or were shed.
     failed: usize,
+    /// Journal lines that parsed as neither a cell record nor the
+    /// telemetry trailer — torn tails and fault-merged lines. Counted, not
+    /// fatal: a journal that survived a kill or a chaos drill must still
+    /// roll up.
+    skipped_lines: usize,
     /// Sum of final-attempt wall-clock across cells, in milliseconds.
     total_millis: u64,
     /// Campaign-wide telemetry: the journal's trailer line when present,
@@ -548,7 +749,8 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
     let mut cells: std::collections::BTreeMap<(String, String), CellRecord> =
         std::collections::BTreeMap::new();
     let mut trailer: Option<CampaignTelemetryRecord> = None;
-    for (lineno, line) in text.lines().enumerate() {
+    let mut skipped_lines = 0;
+    for line in text.lines() {
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -558,10 +760,10 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         } else if let Ok(record) = serde_json::from_str::<CampaignTelemetryRecord>(line) {
             trailer = Some(record);
         } else {
-            return Err(CliError::Io(format!(
-                "{path}:{}: not a cell record or telemetry trailer",
-                lineno + 1
-            )));
+            // Torn tails (a kill mid-write) and fault-merged lines are
+            // exactly what a post-incident roll-up runs into; resume
+            // ignores them, so stats does too — but says so.
+            skipped_lines += 1;
         }
     }
 
@@ -585,6 +787,7 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         cells: cells.len(),
         ok,
         failed: cells.len() - ok,
+        skipped_lines,
         total_millis: cells.values().map(|r| r.millis).sum(),
         telemetry,
     };
@@ -598,6 +801,12 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
             "{} cells ({} ok, {} failed), {} ms total",
             report.cells, report.ok, report.failed, report.total_millis
         );
+        if report.skipped_lines > 0 {
+            println!(
+                "({} unparseable journal line(s) skipped — torn tail or fault-merged)",
+                report.skipped_lines
+            );
+        }
         if report.telemetry.is_empty() {
             println!("no telemetry in journal (campaign ran without --stats)");
         } else {

@@ -1,10 +1,12 @@
 //! Shared scaffolding for the benchmark harness: scaled-down experiment
-//! parameters used by both the Criterion benches and smoke tests, plus the
-//! perf-regression harness behind `critic bench` (see [`perf`]).
+//! parameters used by both the Criterion benches and smoke tests, the
+//! perf-regression harness behind `critic bench` (see [`perf`]), and the
+//! chaos harness behind `critic chaos` (see [`chaos`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod perf;
 
 /// Trace length used by Criterion benches (small enough for statistics).

@@ -12,12 +12,12 @@
 //! journal is replayed on `--resume`, so a killed campaign continues where
 //! it stopped instead of starting over.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -25,8 +25,11 @@ use std::time::{Duration, Instant};
 
 use critic_obs::{EventKind, SpanKind, Telemetry, TelemetrySnapshot};
 use critic_workloads::{
-    inject_program, inject_trace, AppSpec, ExecutionPath, Fault, FaultTarget, Trace,
+    inject_program, inject_trace, AppSpec, ExecutionPath, Fault, FaultTarget, SysFault,
+    SysInjector, SysOp, Trace,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
@@ -67,6 +70,84 @@ pub struct PlannedFault {
     pub seed: u64,
 }
 
+/// The supervision policy a campaign runs its retry loop under. The
+/// default is a strict no-op — no backoff, no breaker, no degradation —
+/// so existing campaigns behave exactly as before opting in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// First-retry backoff in milliseconds; doubles per retry. 0 disables
+    /// backoff entirely.
+    pub backoff_base_millis: u64,
+    /// Hard upper bound on any single backoff delay (jitter included).
+    pub backoff_cap_millis: u64,
+    /// Seed for the deterministic backoff jitter. The same seed, app, and
+    /// scheme always produce the same delay schedule.
+    pub backoff_seed: u64,
+    /// Consecutive terminal cell failures of one *app* that trip its
+    /// circuit breaker; once open, the app's remaining cells are shed
+    /// with [`CellStatus::Shed`] records. 0 disables the breaker.
+    ///
+    /// The grid has exactly one cell per (app, scheme), so a pair-keyed
+    /// breaker could never see two consecutive failures; the app is the
+    /// shared resource (its generated world) and is the breaker key.
+    pub breaker_threshold: u32,
+    /// Walk the degradation ladder between failed attempts: first drop
+    /// validation, then drop telemetry, then fall back to the baseline
+    /// scheme. Each step is counted as an [`EventKind::Degrade`] and the
+    /// final level is recorded on the cell.
+    pub degrade: bool,
+}
+
+impl SupervisionPolicy {
+    /// The exponential-backoff delay (milliseconds) before each of the
+    /// cell's `retries` retry attempts: `min(cap, base * 2^k)` jittered
+    /// deterministically into `[delay/2, delay]` by a [`StdRng`] seeded
+    /// from `(backoff_seed, app, scheme)`. Every delay is `<= cap`, and
+    /// the same inputs always produce the same schedule.
+    pub fn backoff_schedule(&self, app: &str, scheme: &str, retries: u32) -> Vec<u64> {
+        if self.backoff_base_millis == 0 || retries == 0 {
+            return vec![0; retries as usize];
+        }
+        let key = fnv1a(format!("{app}:{scheme}").as_bytes());
+        let mut rng = StdRng::seed_from_u64(self.backoff_seed ^ key);
+        (0..retries)
+            .map(|k| {
+                let raw = self
+                    .backoff_base_millis
+                    .saturating_mul(1u64 << k.min(20) as u64);
+                let delay = raw.min(self.backoff_cap_millis);
+                if delay == 0 {
+                    0
+                } else {
+                    delay / 2 + rng.gen_range(0..=delay - delay / 2)
+                }
+            })
+            .collect()
+    }
+}
+
+/// FNV-1a (the store's content hash) over a byte string — used here to
+/// fold cell identity into the backoff jitter seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Recovers the guard from a poisoned lock. Campaign state behind these
+/// locks (queue, record list, journal file) is only mutated by whole-value
+/// pushes/pops, so a worker that panicked mid-cell cannot leave it halfway
+/// written; discarding records because a *sibling* panicked would be a
+/// silent drop.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The full description of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
@@ -102,6 +183,13 @@ pub struct CampaignSpec {
     /// [`CampaignSummary`] and as a trailing journal line. When disabled
     /// (the default) the instrumented paths reduce to one branch per span.
     pub telemetry: Telemetry,
+    /// Supervision policy: backoff between retries, circuit breaker,
+    /// degradation ladder. The default is a no-op.
+    pub supervision: SupervisionPolicy,
+    /// Systemic-fault injector (chaos harness). When armed, the campaign's
+    /// tap points — journal appends, store requests, attempt starts, cell
+    /// completions — consult it; `None` (the default) costs one branch.
+    pub sys: Option<Arc<SysInjector>>,
 }
 
 impl CampaignSpec {
@@ -120,6 +208,8 @@ impl CampaignSpec {
             resume: false,
             validate: false,
             telemetry: Telemetry::from_env(),
+            supervision: SupervisionPolicy::default(),
+            sys: None,
         }
     }
 }
@@ -135,6 +225,9 @@ pub enum CellStatus {
     TimedOut,
     /// The final attempt panicked (trapped at the isolation boundary).
     Panicked,
+    /// The cell never ran: its app's circuit breaker was open, or a
+    /// graceful shutdown drained the queue. Resume reruns shed cells.
+    Shed,
 }
 
 /// The metrics a successful cell contributes (the campaign-level subset of
@@ -183,6 +276,11 @@ pub struct CellRecord {
     /// in journals written before telemetry existed, so old journals still
     /// resume.
     pub spans: Option<TelemetrySnapshot>,
+    /// The degradation-ladder level the cell finished at (1 = validation
+    /// dropped, 2 = telemetry also dropped, 3 = baseline-scheme fallback),
+    /// when the supervisor degraded it. `None` for undegraded cells and in
+    /// journals written before the supervision layer existed.
+    pub degraded: Option<u8>,
 }
 
 impl CellRecord {
@@ -202,6 +300,11 @@ pub struct CampaignSummary {
     /// Campaign-wide telemetry aggregate (the sum of every fresh cell's
     /// spans and events), when the campaign ran with telemetry enabled.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Whether a graceful shutdown (an injected [`SysFault::Kill`]) drained
+    /// the campaign before every cell ran. Shed cells still appear in
+    /// `records`, and the CLI maps this flag to its own exit code so
+    /// scripts can tell an interrupted grid from a completed one.
+    pub interrupted: bool,
 }
 
 impl CampaignSummary {
@@ -210,6 +313,14 @@ impl CampaignSummary {
         self.records
             .iter()
             .filter(|r| r.status != CellStatus::Ok)
+            .collect()
+    }
+
+    /// Cells shed without running (open breaker or graceful shutdown).
+    pub fn shed(&self) -> Vec<&CellRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.status == CellStatus::Shed)
             .collect()
     }
 
@@ -237,6 +348,7 @@ impl CampaignSummary {
                 CellStatus::Failed => "FAILED",
                 CellStatus::TimedOut => "TIMEOUT",
                 CellStatus::Panicked => "PANICKED",
+                CellStatus::Shed => "SHED",
             };
             let validation = match &r.validation {
                 Some(v) if v.chains_demoted > 0 => {
@@ -247,6 +359,10 @@ impl CampaignSummary {
                 }
                 Some(v) => format!("  [validated: {} chains]", v.chains_checked),
                 None => String::new(),
+            };
+            let validation = match r.degraded {
+                Some(level) => format!("{validation}  [degraded: level {level}]"),
+                None => validation,
             };
             match (&r.metrics, &r.error) {
                 (Some(m), _) => out.push_str(&format!(
@@ -291,6 +407,9 @@ impl CampaignSummary {
         if self.resumed > 0 {
             out.push_str(&format!("\n({} cells resumed from journal)", self.resumed));
         }
+        if self.interrupted {
+            out.push_str("\n(campaign interrupted by graceful shutdown; resume to finish)");
+        }
         if let Some(telemetry) = &self.telemetry {
             out.push_str("\ntelemetry:\n");
             out.push_str(&telemetry.render());
@@ -314,6 +433,144 @@ struct Cell {
     app: AppSpec,
     scheme: Scheme,
     fault: Option<(Fault, u64)>,
+}
+
+/// Per-app circuit breaker: `threshold` consecutive terminal failures of
+/// one app's cells open its breaker; the app's remaining cells are then
+/// shed instead of run. Exactly one [`EventKind::Trip`] is counted per
+/// opened breaker, however many cells it sheds afterwards.
+struct Breaker {
+    threshold: u32,
+    /// app name -> (consecutive terminal failures, tripped).
+    state: Mutex<HashMap<String, (u32, bool)>>,
+}
+
+impl Breaker {
+    fn new(threshold: u32) -> Breaker {
+        Breaker {
+            threshold,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn is_open(&self, app: &str) -> bool {
+        self.threshold > 0
+            && lock_clean(&self.state)
+                .get(app)
+                .is_some_and(|(_, tripped)| *tripped)
+    }
+
+    /// Feeds one finished cell into the breaker. Shed records are not
+    /// evidence either way (the cell never ran); Ok closes the window.
+    fn on_record(&self, record: &CellRecord, telemetry: &Telemetry) {
+        if self.threshold == 0 || record.status == CellStatus::Shed {
+            return;
+        }
+        let mut state = lock_clean(&self.state);
+        let entry = state.entry(record.app.clone()).or_insert((0, false));
+        if record.status == CellStatus::Ok {
+            entry.0 = 0;
+            return;
+        }
+        entry.0 += 1;
+        if entry.0 >= self.threshold && !entry.1 {
+            entry.1 = true;
+            telemetry.event(EventKind::Trip);
+        }
+    }
+}
+
+/// Per-attempt allocation budget (an injected [`SysFault::AllocBudget`]).
+/// Pipeline stages charge their dominant allocations against it; the
+/// charge that crosses the budget fails the attempt with
+/// [`RunError::Sys`], modelling an OOM kill without actually exhausting
+/// the host.
+struct AllocMeter {
+    budget: u64,
+    charged: AtomicU64,
+}
+
+impl AllocMeter {
+    fn new(budget: u64) -> AllocMeter {
+        AllocMeter {
+            budget,
+            charged: AtomicU64::new(0),
+        }
+    }
+
+    fn charge(&self, bytes: u64) -> Result<(), RunError> {
+        let total = self.charged.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if total > self.budget {
+            Err(RunError::Sys(SysFault::AllocBudget { bytes: self.budget }))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A [`CellStatus::Shed`] record for a cell that never ran. The record
+/// carries the reason as [`RunError::Shed`] so nothing is silently
+/// dropped: Ok + Failed + Shed always sums to the grid.
+fn shed_record(cell: &Cell, reason: String) -> CellRecord {
+    CellRecord {
+        app: cell.app.name.clone(),
+        scheme: cell.scheme.name.clone(),
+        status: CellStatus::Shed,
+        attempts: 0,
+        millis: 0,
+        fault: cell.fault.map(|(f, _)| f),
+        metrics: None,
+        error: Some(RunError::Shed(reason)),
+        validation: None,
+        spans: None,
+        degraded: None,
+    }
+}
+
+/// Appends one JSONL line to the journal through the systemic-fault tap.
+/// An injected `JournalWrite` drops the line, `JournalFsync` skips the
+/// durability sync, and `JournalTorn` writes only a prefix with no
+/// newline — the torn prefix merges with the next appended line, which
+/// resume then fails to parse and reruns both cells (exactly the torn-tail
+/// tolerance the journal format guarantees).
+fn journal_append(
+    journal: &Mutex<File>,
+    line: &str,
+    sys: Option<&Arc<SysInjector>>,
+    telemetry: &Telemetry,
+) {
+    let mut write_line = true;
+    let mut fsync = true;
+    let mut torn = false;
+    if let Some(sys) = sys {
+        for fault in sys.advance(SysOp::JournalAppend) {
+            telemetry.event(EventKind::SysFault);
+            match fault {
+                SysFault::JournalWrite => write_line = false,
+                SysFault::JournalFsync => fsync = false,
+                SysFault::JournalTorn => torn = true,
+                _ => {}
+            }
+        }
+    }
+    if !write_line {
+        return;
+    }
+    let mut file = lock_clean(journal);
+    if torn {
+        let mut half = line.len() / 2;
+        while half > 0 && !line.is_char_boundary(half) {
+            half -= 1;
+        }
+        let _ = file.write_all(&line.as_bytes()[..half]);
+        let _ = file.flush();
+        return;
+    }
+    let _ = writeln!(file, "{line}");
+    let _ = file.flush();
+    if fsync {
+        let _ = file.sync_all();
+    }
 }
 
 /// Runs the campaign to completion. Individual cell failures never abort
@@ -400,6 +657,15 @@ pub fn run_campaign_with_store(
         .filter(|r| r.status == CellStatus::Ok)
         .collect();
     let done: BTreeSet<(String, String)> = resumed_records.iter().map(CellRecord::key).collect();
+    // Fold replayed cells' spans back into the campaign aggregate: the
+    // telemetry trailer is recomputed from cell records on resume, so a
+    // torn or absent trailer (the process died before appending it) still
+    // yields a complete aggregate for the resumed run's own trailer.
+    for record in &resumed_records {
+        if let Some(spans) = &record.spans {
+            spec.telemetry.absorb(spans);
+        }
+    }
 
     let journal: Option<Mutex<File>> = match &spec.journal {
         Some(path) => Some(Mutex::new(
@@ -448,38 +714,81 @@ pub fn run_campaign_with_store(
     }
     .min(cells.len().max(1));
 
+    // Arm the store's systemic-fault tap for the duration of this run.
+    // The guard below disarms it on every exit path so a caller-owned
+    // store passed to a later (warm) campaign is clean again.
+    if spec.sys.is_some() {
+        store.set_sys_injector(spec.sys.clone());
+    }
+
+    let shutdown = AtomicBool::new(false);
+    let breaker = Breaker::new(spec.supervision.breaker_threshold);
     let queue = Mutex::new(cells);
     let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                while let Some(cell) = queue.lock().ok().and_then(|mut q| q.pop_front()) {
-                    let record = run_cell(&cell, spec, store);
-                    if let Some(journal) = &journal {
-                        if let Ok(mut file) = journal.lock() {
-                            // Journal full lines only; flush + fsync so a
-                            // kill -9 (or power loss) loses at most the
-                            // cell in flight, never an already-reported
-                            // one. Resume tolerates the torn tail such a
-                            // kill can still leave.
-                            if let Ok(line) = serde_json::to_string(&record) {
-                                let _ = writeln!(file, "{line}");
-                                let _ = file.flush();
-                                let _ = file.sync_all();
+                // The guard is dropped before the loop body runs; holding
+                // it across run_cell would serialize the workers.
+                let next = || lock_clean(&queue).pop_front();
+                while let Some(cell) = next() {
+                    let record = if shutdown.load(Ordering::Relaxed) {
+                        // Graceful shutdown: drain the queue with Shed
+                        // records (in-flight siblings finish normally).
+                        spec.telemetry.event(EventKind::Shed);
+                        shed_record(&cell, "graceful shutdown: queue drained".to_string())
+                    } else if breaker.is_open(&cell.app.name) {
+                        spec.telemetry.event(EventKind::Shed);
+                        shed_record(
+                            &cell,
+                            format!("circuit breaker open for app `{}`", cell.app.name),
+                        )
+                    } else {
+                        let (record, saw_store_write) = run_cell(&cell, spec, store);
+                        // The planted supervision bug the chaos minimizer
+                        // must isolate: a store-write fault makes the
+                        // worker drop the finished record on the floor.
+                        if cfg!(feature = "chaos-planted-bug") && saw_store_write {
+                            continue;
+                        }
+                        record
+                    };
+                    breaker.on_record(&record, &spec.telemetry);
+                    if let Some(sys) = &spec.sys {
+                        for fault in sys.advance(SysOp::CellDone) {
+                            spec.telemetry.event(EventKind::SysFault);
+                            if fault == SysFault::Kill {
+                                shutdown.store(true, Ordering::Relaxed);
                             }
                         }
                     }
-                    if let Ok(mut records) = fresh.lock() {
-                        records.push(record);
+                    if let Some(journal) = &journal {
+                        // Journal full lines only; flush + fsync so a
+                        // kill -9 (or power loss) loses at most the
+                        // cell in flight, never an already-reported
+                        // one. Resume tolerates the torn tail such a
+                        // kill can still leave.
+                        if let Ok(line) = serde_json::to_string(&record) {
+                            journal_append(journal, &line, spec.sys.as_ref(), &spec.telemetry);
+                        }
                     }
+                    lock_clean(&fresh).push(record);
                 }
             });
         }
     });
+    if spec.sys.is_some() {
+        store.set_sys_injector(None);
+    }
+    let interrupted = shutdown.load(Ordering::Relaxed);
 
     let resumed = resumed_records.len();
     let mut records = resumed_records;
-    records.extend(fresh.into_inner().unwrap_or_default());
+    records.extend(
+        fresh
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
     // Grid order, independent of worker interleaving.
     let order: Vec<(String, String)> = spec
         .apps
@@ -498,34 +807,42 @@ pub fn run_campaign_with_store(
     });
     let telemetry = spec.telemetry.snapshot();
     if let (Some(journal), Some(snapshot)) = (&journal, &telemetry) {
-        // The aggregate rides in the journal after the cell records. Its
-        // key matches no CellRecord field, so resume skips the line the
-        // same way it skips a torn tail.
-        if let Ok(mut file) = journal.lock() {
-            let record = CampaignTelemetryRecord {
-                campaign_telemetry: *snapshot,
-            };
-            if let Ok(line) = serde_json::to_string(&record) {
-                let _ = writeln!(file, "{line}");
-                let _ = file.flush();
-                let _ = file.sync_all();
-            }
+        // The aggregate rides in the journal after the cell records — the
+        // crash-safe trailer. Its key matches no CellRecord field, so
+        // resume skips the line the same way it skips a torn tail; a
+        // resumed run recomputes the aggregate from the replayed records
+        // (absorbed above) and appends a fresh, complete trailer.
+        let record = CampaignTelemetryRecord {
+            campaign_telemetry: *snapshot,
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            journal_append(journal, &line, spec.sys.as_ref(), &spec.telemetry);
         }
     }
     Ok(CampaignSummary {
         records,
         resumed,
         telemetry,
+        interrupted,
     })
 }
 
-/// Runs one cell with its retry budget; always returns a terminal record.
+/// Runs one cell with its retry budget; always returns a terminal record,
+/// plus whether a [`SysFault::StoreWrite`] fired during the cell (the
+/// planted-bug hook in the worker loop keys on it).
 ///
 /// When campaign telemetry is enabled the cell gets a *private* recorder:
 /// its spans/events are journaled on the record, then absorbed into the
 /// campaign-wide aggregate, so concurrent cells never interleave into each
 /// other's snapshots.
-fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> CellRecord {
+///
+/// Between failed attempts the supervision policy applies: a deterministic
+/// jittered exponential backoff, and (when `degrade` is set) one step down
+/// the degradation ladder per failed attempt — drop validation, then drop
+/// per-stage telemetry, then fall back to the baseline scheme — each step
+/// counted as [`EventKind::Degrade`] and the final level recorded on the
+/// cell so a degraded result is never mistaken for a full-fidelity one.
+fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (CellRecord, bool) {
     let telemetry = if spec.telemetry.is_enabled() {
         Telemetry::enabled()
     } else {
@@ -534,21 +851,72 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
     if cell.fault.is_some() {
         telemetry.event(EventKind::Fault);
     }
+    let backoff =
+        spec.supervision
+            .backoff_schedule(&cell.app.name, &cell.scheme.name, spec.retries);
     let attempts_allowed = spec.retries + 1;
     let mut attempt = 0;
+    let mut level: u8 = 0;
+    let mut saw_store_write = false;
     loop {
         attempt += 1;
+        let mut meter = None;
+        let mut stall = None;
+        if let Some(sys) = &spec.sys {
+            for fault in sys.advance(SysOp::AttemptStart) {
+                telemetry.event(EventKind::SysFault);
+                match fault {
+                    SysFault::AllocBudget { bytes } => {
+                        meter = Some(Arc::new(AllocMeter::new(bytes)))
+                    }
+                    SysFault::WorkerStall { millis } => stall = Some(Duration::from_millis(millis)),
+                    _ => {}
+                }
+            }
+        }
+        let validate = spec.validate && level < 1;
+        let attempt_telemetry = if level >= 2 {
+            Telemetry::off()
+        } else {
+            telemetry.clone()
+        };
+        let fallback;
+        let target = if level >= 3 {
+            // Last rung: keep the cell's name (the grid key must stay
+            // stable) but run the baseline design point.
+            let mut cell = cell.clone();
+            cell.scheme.point = DesignPoint::baseline();
+            fallback = cell;
+            &fallback
+        } else {
+            cell
+        };
         let started = Instant::now();
         let result = run_attempt(
-            cell,
+            target,
             spec.trace_len,
-            spec.validate,
+            validate,
             spec.deadline,
             store,
-            &telemetry,
+            &attempt_telemetry,
+            meter,
+            stall,
         );
         let millis = started.elapsed().as_millis() as u64;
         let fault = cell.fault.map(|(f, _)| f);
+        if let Err(RunError::Sys(fault)) = &result {
+            // Store faults surface here (the store has no access to the
+            // cell's recorder); alloc-budget and stall faults were already
+            // counted when the injector fired at attempt start.
+            match fault {
+                SysFault::StoreRead => telemetry.event(EventKind::SysFault),
+                SysFault::StoreWrite => {
+                    telemetry.event(EventKind::SysFault);
+                    saw_store_write = true;
+                }
+                _ => {}
+            }
+        }
         let finish = |telemetry: &Telemetry| {
             let spans = telemetry.snapshot();
             if let Some(snapshot) = &spans {
@@ -556,20 +924,25 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
             }
             spans
         };
+        let degraded = (level > 0).then_some(level);
         match result {
             Ok((metrics, validation)) => {
-                return CellRecord {
-                    app: cell.app.name.clone(),
-                    scheme: cell.scheme.name.clone(),
-                    status: CellStatus::Ok,
-                    attempts: attempt,
-                    millis,
-                    fault,
-                    metrics: Some(metrics),
-                    error: None,
-                    validation,
-                    spans: finish(&telemetry),
-                };
+                return (
+                    CellRecord {
+                        app: cell.app.name.clone(),
+                        scheme: cell.scheme.name.clone(),
+                        status: CellStatus::Ok,
+                        attempts: attempt,
+                        millis,
+                        fault,
+                        metrics: Some(metrics),
+                        error: None,
+                        validation,
+                        spans: finish(&telemetry),
+                        degraded,
+                    },
+                    saw_store_write,
+                );
             }
             Err(error) if attempt >= attempts_allowed => {
                 let status = match error {
@@ -577,21 +950,33 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
                     RunError::DeadlineExceeded { .. } => CellStatus::TimedOut,
                     _ => CellStatus::Failed,
                 };
-                return CellRecord {
-                    app: cell.app.name.clone(),
-                    scheme: cell.scheme.name.clone(),
-                    status,
-                    attempts: attempt,
-                    millis,
-                    fault,
-                    metrics: None,
-                    error: Some(error),
-                    validation: None,
-                    spans: finish(&telemetry),
-                };
+                return (
+                    CellRecord {
+                        app: cell.app.name.clone(),
+                        scheme: cell.scheme.name.clone(),
+                        status,
+                        attempts: attempt,
+                        millis,
+                        fault,
+                        metrics: None,
+                        error: Some(error),
+                        validation: None,
+                        spans: finish(&telemetry),
+                        degraded,
+                    },
+                    saw_store_write,
+                );
             }
             Err(_) => {
                 telemetry.event(EventKind::Retry);
+                if spec.supervision.degrade && level < 3 {
+                    level += 1;
+                    telemetry.event(EventKind::Degrade);
+                }
+                let delay = backoff.get((attempt - 1) as usize).copied().unwrap_or(0);
+                if delay > 0 {
+                    thread::sleep(Duration::from_millis(delay));
+                }
                 continue;
             }
         }
@@ -606,6 +991,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> Cel
 /// computing the whole cell in the background. The stage already in flight
 /// runs to completion — cancellation is cooperative, not preemptive — so an
 /// abandoned attempt can outlive its deadline by at most one stage.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     cell: &Cell,
     trace_len: usize,
@@ -613,6 +999,8 @@ fn run_attempt(
     deadline: Option<Duration>,
     store: &Arc<ArtifactStore>,
     telemetry: &Telemetry,
+    meter: Option<Arc<AllocMeter>>,
+    stall: Option<Duration>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     match deadline {
         Some(deadline) => {
@@ -623,8 +1011,20 @@ fn run_attempt(
             let store = Arc::clone(store);
             let telemetry = telemetry.clone();
             thread::spawn(move || {
+                // An injected worker stall burns attempt time *inside* the
+                // deadline window: a long enough stall manifests as a
+                // DeadlineExceeded, exactly like a wedged host thread.
+                if let Some(stall) = stall {
+                    thread::sleep(stall);
+                }
                 let _ = tx.send(run_isolated(
-                    &cell, trace_len, validate, &flag, &store, &telemetry,
+                    &cell,
+                    trace_len,
+                    validate,
+                    &flag,
+                    &store,
+                    &telemetry,
+                    meter.as_deref(),
                 ));
             });
             match rx.recv_timeout(deadline) {
@@ -637,14 +1037,20 @@ fn run_attempt(
                 }
             }
         }
-        None => run_isolated(
-            cell,
-            trace_len,
-            validate,
-            &AtomicBool::new(false),
-            store,
-            telemetry,
-        ),
+        None => {
+            if let Some(stall) = stall {
+                thread::sleep(stall);
+            }
+            run_isolated(
+                cell,
+                trace_len,
+                validate,
+                &AtomicBool::new(false),
+                store,
+                telemetry,
+                meter.as_deref(),
+            )
+        }
     }
 }
 
@@ -657,9 +1063,10 @@ fn run_isolated(
     cancel: &AtomicBool,
     store: &Arc<ArtifactStore>,
     telemetry: &Telemetry,
+    meter: Option<&AllocMeter>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_cell_body(cell, trace_len, validate, cancel, store, telemetry)
+        run_cell_body(cell, trace_len, validate, cancel, store, telemetry, meter)
     }))
     .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
 }
@@ -678,6 +1085,7 @@ fn checkpoint(cancel: &AtomicBool) -> Result<(), RunError> {
 /// The cell proper: generate (or fetch the shared world), inject the
 /// planned fault (if any), validate, profile/compile/simulate baseline and
 /// scheme, reduce to metrics.
+#[allow(clippy::too_many_arguments)]
 fn run_cell_body(
     cell: &Cell,
     trace_len: usize,
@@ -685,7 +1093,19 @@ fn run_cell_body(
     cancel: &AtomicBool,
     store: &Arc<ArtifactStore>,
     telemetry: &Telemetry,
+    meter: Option<&AllocMeter>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
+    // Charges against an injected per-attempt allocation budget. The
+    // figures are the stages' dominant allocations in bytes — the expanded
+    // trace (one ~64-byte record per dynamic instruction) and each
+    // simulation's per-instruction bookkeeping — deterministic in
+    // trace_len, so the same budget always fails at the same stage.
+    let charge = |bytes: u64| -> Result<(), RunError> {
+        match meter {
+            Some(meter) => meter.charge(bytes),
+            None => Ok(()),
+        }
+    };
     let app = &cell.app;
     let mut bench = if cell.fault.is_none() {
         // Clean cell: share the generated world (and downstream artifacts)
@@ -723,6 +1143,7 @@ fn run_cell_body(
             Workbench::try_assemble(app, program, path, trace)
         })?
     };
+    charge(trace_len as u64 * 64)?;
     bench.set_telemetry(telemetry.clone());
     if let Some((fault, seed)) = cell.fault {
         // Miscompile faults corrupt the *rewritten* variant, so they are
@@ -734,8 +1155,10 @@ fn run_cell_body(
         }
     }
     checkpoint(cancel)?;
+    charge(trace_len as u64 * 16)?;
     let base = bench.try_run(&DesignPoint::baseline())?;
     checkpoint(cancel)?;
+    charge(trace_len as u64 * 16)?;
     let (outcome, validation) = if validate {
         let (outcome, stats) = bench.try_run_validated(&cell.scheme.point, app.path_seed())?;
         (outcome, Some(stats))
@@ -788,7 +1211,7 @@ pub fn default_schemes() -> Vec<Scheme> {
 
 #[cfg(test)]
 mod tests {
-    use critic_workloads::Suite;
+    use critic_workloads::{Suite, SysFaultSpec};
 
     use super::*;
 
@@ -1102,9 +1525,11 @@ mod tests {
                 error: Some(RunError::Panic("index out of bounds".into())),
                 validation: None,
                 spans: None,
+                degraded: None,
             }],
             resumed: 0,
             telemetry: None,
+            interrupted: false,
         };
         let text = summary.render();
         assert!(text.contains("PANICKED"), "{text}");
@@ -1332,5 +1757,249 @@ mod tests {
         assert_eq!(stats.baselines_built, 0);
         assert_eq!(stats.baseline_execs_built, 0);
         assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = SupervisionPolicy {
+            backoff_base_millis: 10,
+            backoff_cap_millis: 35,
+            backoff_seed: 42,
+            ..SupervisionPolicy::default()
+        };
+        let a = policy.backoff_schedule("acrobat", "critic", 5);
+        let b = policy.backoff_schedule("acrobat", "critic", 5);
+        assert_eq!(a, b, "same (seed, app, scheme) => same schedule");
+        assert!(a.iter().all(|&d| d <= 35), "{a:?}");
+        // Delays grow (until the cap flattens them) and stay >= delay/2.
+        assert!(a[0] >= 5 && a[0] <= 10, "{a:?}");
+        let other = policy.backoff_schedule("acrobat", "opp16", 5);
+        assert_ne!(a, other, "different cells get decorrelated jitter");
+        let off = SupervisionPolicy::default().backoff_schedule("acrobat", "critic", 3);
+        assert_eq!(off, vec![0, 0, 0], "disabled policy sleeps nowhere");
+    }
+
+    #[test]
+    fn alloc_meter_fails_the_charge_that_crosses_the_budget() {
+        let meter = AllocMeter::new(100);
+        assert!(meter.charge(60).is_ok());
+        assert!(meter.charge(40).is_ok());
+        match meter.charge(1) {
+            Err(RunError::Sys(SysFault::AllocBudget { bytes })) => assert_eq!(bytes, 100),
+            other => panic!("wrong result: {other:?}"),
+        }
+    }
+
+    /// A store-read systemic fault fails exactly one attempt; the injector
+    /// is consume-once, so the retry sees a healed store and succeeds.
+    #[test]
+    fn store_fault_fails_one_attempt_then_heals() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.workers = 1;
+        spec.retries = 1;
+        spec.telemetry = Telemetry::enabled();
+        spec.sys = Some(Arc::new(SysInjector::new(vec![SysFaultSpec {
+            fault: SysFault::StoreRead,
+            at: 0,
+        }])));
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+        assert_eq!(summary.records[0].attempts, 2, "{}", summary.render());
+        let aggregate = summary.telemetry.expect("aggregate");
+        assert_eq!(aggregate.supervision().sys_faults, 1, "{aggregate:?}");
+        assert_eq!(aggregate.retries, 1, "{aggregate:?}");
+    }
+
+    /// An injected per-attempt allocation budget fails the first attempt
+    /// as an OOM; with `degrade` set the retry walks one rung down the
+    /// ladder and the record says so.
+    #[test]
+    fn alloc_budget_fault_degrades_then_recovers() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(1),
+            vec![Scheme::new("critic", DesignPoint::critic())],
+            8_000,
+        );
+        spec.workers = 1;
+        spec.retries = 1;
+        spec.validate = true;
+        spec.telemetry = Telemetry::enabled();
+        spec.supervision.degrade = true;
+        spec.sys = Some(Arc::new(SysInjector::new(vec![SysFaultSpec {
+            fault: SysFault::AllocBudget { bytes: 1_000 },
+            at: 0,
+        }])));
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+        let record = &summary.records[0];
+        assert_eq!(record.attempts, 2);
+        assert_eq!(record.degraded, Some(1), "ladder rung recorded");
+        assert!(
+            record.validation.is_none(),
+            "level 1 drops validation: {record:?}"
+        );
+        let aggregate = summary.telemetry.expect("aggregate");
+        assert_eq!(aggregate.supervision().degrades, 1, "{aggregate:?}");
+        assert_eq!(aggregate.supervision().sys_faults, 1, "{aggregate:?}");
+        let text = summary.render();
+        assert!(text.contains("[degraded: level 1]"), "{text}");
+    }
+
+    /// A Kill systemic fault triggers graceful shutdown: in-flight work
+    /// finishes, the rest of the queue drains as Shed records, nothing is
+    /// silently dropped, and resume finishes the grid.
+    #[test]
+    fn kill_fault_drains_queue_with_shed_records_and_resumes() {
+        let dir = std::env::temp_dir().join("critic_campaign_kill_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        spec.workers = 1;
+        spec.journal = Some(journal.clone());
+        spec.telemetry = Telemetry::enabled();
+        spec.sys = Some(Arc::new(SysInjector::new(vec![SysFaultSpec {
+            fault: SysFault::Kill,
+            at: 0,
+        }])));
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.interrupted, "{}", summary.render());
+        assert_eq!(summary.records.len(), 4, "every cell accounted");
+        let shed = summary.shed();
+        assert_eq!(shed.len(), 3, "{}", summary.render());
+        for r in &shed {
+            assert_eq!(r.attempts, 0);
+            assert!(matches!(&r.error, Some(RunError::Shed(_))), "{r:?}");
+        }
+        let aggregate = summary.telemetry.expect("aggregate");
+        assert_eq!(aggregate.supervision().sheds, 3, "{aggregate:?}");
+        assert_eq!(aggregate.supervision().sys_faults, 1, "{aggregate:?}");
+        let text = summary.render();
+        assert!(text.contains("SHED"), "{text}");
+        assert!(text.contains("graceful shutdown"), "{text}");
+
+        // Resume (no injector): shed cells rerun, the finished one replays.
+        let mut resumed_spec = spec.clone();
+        resumed_spec.sys = None;
+        resumed_spec.resume = true;
+        let second = run_campaign(&resumed_spec).expect("resumed run");
+        assert!(!second.interrupted);
+        assert_eq!(second.records.len(), 4);
+        assert_eq!(second.resumed, 1, "{}", second.render());
+        assert!(second.all_ok(), "{}", second.render());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    /// K consecutive terminal failures of one app trip its breaker: the
+    /// app's remaining cells shed with exactly one Trip event, and a
+    /// healthy sibling app is untouched.
+    #[test]
+    fn breaker_trips_and_sheds_remaining_cells_of_the_app() {
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+                Scheme::new("hoist", DesignPoint::hoist()),
+            ],
+            8_000,
+        );
+        spec.workers = 1;
+        spec.telemetry = Telemetry::enabled();
+        spec.supervision.breaker_threshold = 2;
+        let victim = spec.apps[0].name.clone();
+        for scheme in ["critic", "opp16", "hoist"] {
+            spec.faults.push(PlannedFault {
+                app: victim.clone(),
+                scheme: scheme.into(),
+                fault: Fault::DanglingTerminator,
+                seed: 7,
+            });
+        }
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert_eq!(summary.records.len(), 6, "every cell accounted");
+        let failed: Vec<_> = summary
+            .records
+            .iter()
+            .filter(|r| r.status == CellStatus::Failed)
+            .collect();
+        assert_eq!(failed.len(), 2, "{}", summary.render());
+        let shed = summary.shed();
+        assert_eq!(shed.len(), 1, "{}", summary.render());
+        assert_eq!(shed[0].app, victim);
+        assert!(
+            matches!(&shed[0].error, Some(RunError::Shed(msg)) if msg.contains("breaker")),
+            "{:?}",
+            shed[0].error
+        );
+        // The healthy app's three cells all ran.
+        let healthy_ok = summary
+            .records
+            .iter()
+            .filter(|r| r.app != victim && r.status == CellStatus::Ok)
+            .count();
+        assert_eq!(healthy_ok, 3, "{}", summary.render());
+        let aggregate = summary.telemetry.expect("aggregate");
+        assert_eq!(aggregate.supervision().trips, 1, "{aggregate:?}");
+        assert_eq!(aggregate.supervision().sheds, 1, "{aggregate:?}");
+    }
+
+    /// Journal-append systemic faults: a dropped line reruns its cell on
+    /// resume, a torn line merges with (and invalidates) the next line,
+    /// and both resumes still complete the grid — the journal-resumable
+    /// invariant the chaos harness asserts.
+    #[test]
+    fn journal_faults_keep_the_journal_resumable() {
+        let dir = std::env::temp_dir().join("critic_campaign_journal_fault_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let mut spec = CampaignSpec::new(
+            tiny_apps(2),
+            vec![
+                Scheme::new("critic", DesignPoint::critic()),
+                Scheme::new("opp16", DesignPoint::opp16()),
+            ],
+            8_000,
+        );
+        spec.workers = 1;
+        spec.journal = Some(journal.clone());
+        spec.sys = Some(Arc::new(SysInjector::new(vec![
+            SysFaultSpec {
+                fault: SysFault::JournalWrite,
+                at: 0,
+            },
+            SysFaultSpec {
+                fault: SysFault::JournalTorn,
+                at: 1,
+            },
+        ])));
+        let summary = run_campaign(&spec).expect("campaign runs");
+        assert!(summary.all_ok(), "{}", summary.render());
+        assert_eq!(summary.records.len(), 4);
+
+        // The dropped line's cell and both halves of the torn merge are
+        // missing from the journal; resume reruns exactly those.
+        let mut resumed_spec = spec.clone();
+        resumed_spec.sys = None;
+        resumed_spec.resume = true;
+        let second = run_campaign(&resumed_spec).expect("resumed run");
+        assert!(second.all_ok(), "{}", second.render());
+        assert_eq!(second.records.len(), 4, "grid completes after resume");
+        assert!(second.resumed < 4, "faulted lines forced reruns");
+        let _ = std::fs::remove_file(&journal);
     }
 }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use critic_compiler::PassError;
 use critic_profiler::ProfileError;
-use critic_workloads::{ProgramError, TraceError};
+use critic_workloads::{ProgramError, SysFault, TraceError};
 use serde::{Deserialize, Serialize};
 
 /// Why one experiment run (one cell of a campaign) failed.
@@ -41,6 +41,13 @@ pub enum RunError {
     /// The differential oracle found a divergence that could not be
     /// resolved by demoting the offending chain.
     Validation(String),
+    /// An injected systemic fault fired at one of the campaign's
+    /// instrumented tap points (store request, attempt start, ...).
+    Sys(SysFault),
+    /// The cell was shed without running — its circuit breaker was open,
+    /// or a graceful shutdown drained the queue. Never a silent drop: the
+    /// record carries this error so every grid cell stays accounted for.
+    Shed(String),
 }
 
 impl fmt::Display for RunError {
@@ -58,6 +65,8 @@ impl fmt::Display for RunError {
             RunError::Cancelled => write!(f, "attempt cancelled after its deadline expired"),
             RunError::Journal(msg) => write!(f, "journal error: {msg}"),
             RunError::Validation(msg) => write!(f, "translation validation failed: {msg}"),
+            RunError::Sys(fault) => write!(f, "systemic fault fired: {fault}"),
+            RunError::Shed(msg) => write!(f, "cell shed: {msg}"),
         }
     }
 }

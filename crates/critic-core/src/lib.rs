@@ -43,7 +43,7 @@ pub mod store;
 
 pub use campaign::{
     run_campaign, run_campaign_with_store, CampaignSpec, CampaignSummary, CampaignTelemetryRecord,
-    CellMetrics, CellRecord, CellStatus, PlannedFault, Scheme,
+    CellMetrics, CellRecord, CellStatus, PlannedFault, Scheme, SupervisionPolicy,
 };
 pub use design::{DesignPoint, Software};
 pub use error::RunError;

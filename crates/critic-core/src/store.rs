@@ -33,7 +33,7 @@ use critic_compiler::BaselineExecution;
 use critic_energy::EnergyModel;
 use critic_pipeline::Simulator;
 use critic_profiler::{Profile, Profiler, ProfilerConfig};
-use critic_workloads::{AppSpec, ExecutionPath, Program, Trace};
+use critic_workloads::{AppSpec, ExecutionPath, Program, SysFault, SysInjector, SysOp, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
@@ -220,6 +220,10 @@ pub struct ArtifactStore {
     profiles: Memo<(WorldKey, u64), Profile>,
     baselines: Memo<(WorldKey, u64), RunOutcome>,
     baseline_execs: Memo<(WorldKey, u64), BaselineExecution>,
+    /// Chaos tap: when armed, every public store request advances the
+    /// injector's `StoreRequest` counter and may fail with an injected
+    /// I/O error. `None` (the default) is a branch and nothing more.
+    injector: Mutex<Option<Arc<SysInjector>>>,
 }
 
 impl Default for ArtifactStore {
@@ -243,7 +247,32 @@ impl ArtifactStore {
             profiles: Memo::new(),
             baselines: Memo::new(),
             baseline_execs: Memo::new(),
+            injector: Mutex::new(None),
         }
+    }
+
+    /// Arms (or clears) the systemic-fault injector consulted on every
+    /// public store request. The campaign runner arms it for the duration
+    /// of a chaos run and clears it afterwards, so a store outlives the
+    /// faults injected into one campaign.
+    pub fn set_sys_injector(&self, injector: Option<Arc<SysInjector>>) {
+        *lock_clean(&self.injector) = injector;
+    }
+
+    /// The chaos tap on the store's request path: advances the injector's
+    /// `StoreRequest` counter and fails the request when a store fault
+    /// fires at this index. Faults are consume-once, so the retry that
+    /// follows observes a healed store.
+    fn sys_tap(&self) -> Result<(), RunError> {
+        let injector = lock_clean(&self.injector).clone();
+        if let Some(injector) = injector {
+            for fault in injector.advance(SysOp::StoreRequest) {
+                if matches!(fault, SysFault::StoreRead | SysFault::StoreWrite) {
+                    return Err(RunError::Sys(fault));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The world for `app` at `trace_len`, generated at most once.
@@ -252,6 +281,7 @@ impl ArtifactStore {
     /// store-backed cell fails with the same typed error a store-less cell
     /// would.
     pub fn world(&self, app: &AppSpec, trace_len: usize) -> Result<Arc<World>, RunError> {
+        self.sys_tap()?;
         let key = WorldKey::new(app, trace_len);
         self.worlds.get_or_try_build(key, || {
             let program = app.generate_program();
@@ -291,6 +321,7 @@ impl ArtifactStore {
         world: &World,
         config: &ProfilerConfig,
     ) -> Result<Arc<Profile>, RunError> {
+        self.sys_tap()?;
         let key = (world.key, debug_hash(config));
         self.profiles.get_or_try_build(key, || {
             let cone = self.cone_fanout(world);
@@ -310,6 +341,7 @@ impl ArtifactStore {
         world: &World,
         point: &DesignPoint,
     ) -> Result<Arc<RunOutcome>, RunError> {
+        self.sys_tap()?;
         let cpu = point.cpu_config();
         let mem = point.mem_config();
         let key = (world.key, debug_hash(&(&cpu, &mem)));
@@ -335,6 +367,7 @@ impl ArtifactStore {
         world: &World,
         seed: u64,
     ) -> Result<Arc<BaselineExecution>, RunError> {
+        self.sys_tap()?;
         self.baseline_execs.get_or_try_build((world.key, seed), || {
             BaselineExecution::capture(&world.program, &world.path, seed)
                 .map_err(|e| RunError::Validation(e.to_string()))

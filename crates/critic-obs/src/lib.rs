@@ -26,4 +26,6 @@ pub mod ledger;
 pub mod span;
 
 pub use ledger::{CycleClass, CycleLedger, MemLevelCounters};
-pub use span::{EventKind, Recorder, SpanKind, SpanStats, Telemetry, TelemetrySnapshot};
+pub use span::{
+    EventKind, Recorder, SpanKind, SpanStats, SupervisionEvents, Telemetry, TelemetrySnapshot,
+};

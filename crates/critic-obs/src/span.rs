@@ -71,11 +71,28 @@ pub enum EventKind {
     Retry,
     /// The validation oracle demoted a miscompiled chain.
     Demotion,
+    /// A systemic fault (journal/store/alloc/stall/kill) fired.
+    SysFault,
+    /// The supervisor degraded a cell one ladder step before retrying.
+    Degrade,
+    /// A circuit breaker tripped (once per breaker key).
+    Trip,
+    /// A cell was shed — by an open breaker or a draining shutdown —
+    /// instead of run.
+    Shed,
 }
 
 impl EventKind {
     /// Every event kind.
-    pub const ALL: [EventKind; 3] = [EventKind::Fault, EventKind::Retry, EventKind::Demotion];
+    pub const ALL: [EventKind; 7] = [
+        EventKind::Fault,
+        EventKind::Retry,
+        EventKind::Demotion,
+        EventKind::SysFault,
+        EventKind::Degrade,
+        EventKind::Trip,
+        EventKind::Shed,
+    ];
 
     /// Short human-readable label (stats tables).
     pub fn label(self) -> &'static str {
@@ -83,6 +100,10 @@ impl EventKind {
             EventKind::Fault => "faults",
             EventKind::Retry => "retries",
             EventKind::Demotion => "demotions",
+            EventKind::SysFault => "sys-faults",
+            EventKind::Degrade => "degrades",
+            EventKind::Trip => "trips",
+            EventKind::Shed => "sheds",
         }
     }
 
@@ -91,7 +112,40 @@ impl EventKind {
             EventKind::Fault => 0,
             EventKind::Retry => 1,
             EventKind::Demotion => 2,
+            EventKind::SysFault => 3,
+            EventKind::Degrade => 4,
+            EventKind::Trip => 5,
+            EventKind::Shed => 6,
         }
+    }
+}
+
+/// Supervision-layer event counts — the PR-5 additions to
+/// [`TelemetrySnapshot`], grouped in one optional struct so journals
+/// written before the supervision layer existed (no `supervision` key)
+/// still deserialize (`None`) instead of rejecting the whole line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisionEvents {
+    /// Systemic faults fired (journal/store/alloc/stall/kill).
+    pub sys_faults: u64,
+    /// Degradation-ladder steps taken before retries.
+    pub degrades: u64,
+    /// Circuit-breaker trips.
+    pub trips: u64,
+    /// Cells shed by an open breaker or a draining shutdown.
+    pub sheds: u64,
+}
+
+impl SupervisionEvents {
+    fn absorb(&mut self, other: &SupervisionEvents) {
+        self.sys_faults += other.sys_faults;
+        self.degrades += other.degrades;
+        self.trips += other.trips;
+        self.sheds += other.sheds;
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == SupervisionEvents::default()
     }
 }
 
@@ -138,7 +192,7 @@ pub struct Recorder {
     span_count: [AtomicU64; 5],
     span_total: [AtomicU64; 5],
     span_max: [AtomicU64; 5],
-    events: [AtomicU64; 3],
+    events: [AtomicU64; 7],
 }
 
 impl Recorder {
@@ -179,6 +233,12 @@ impl Recorder {
             faults: self.events[EventKind::Fault.index()].load(Ordering::Relaxed),
             retries: self.events[EventKind::Retry.index()].load(Ordering::Relaxed),
             demotions: self.events[EventKind::Demotion.index()].load(Ordering::Relaxed),
+            supervision: Some(SupervisionEvents {
+                sys_faults: self.events[EventKind::SysFault.index()].load(Ordering::Relaxed),
+                degrades: self.events[EventKind::Degrade.index()].load(Ordering::Relaxed),
+                trips: self.events[EventKind::Trip.index()].load(Ordering::Relaxed),
+                sheds: self.events[EventKind::Shed.index()].load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -204,6 +264,10 @@ pub struct TelemetrySnapshot {
     pub retries: u64,
     /// Chains demoted by the validation oracle.
     pub demotions: u64,
+    /// Supervision-layer event counts. `None` when the snapshot was read
+    /// from a journal written before the supervision layer existed; use
+    /// [`TelemetrySnapshot::supervision`] for a zero-defaulted view.
+    pub supervision: Option<SupervisionEvents>,
 }
 
 impl TelemetrySnapshot {
@@ -220,11 +284,22 @@ impl TelemetrySnapshot {
 
     /// The event count for `kind`.
     pub fn events(&self, kind: EventKind) -> u64 {
+        let supervision = self.supervision();
         match kind {
             EventKind::Fault => self.faults,
             EventKind::Retry => self.retries,
             EventKind::Demotion => self.demotions,
+            EventKind::SysFault => supervision.sys_faults,
+            EventKind::Degrade => supervision.degrades,
+            EventKind::Trip => supervision.trips,
+            EventKind::Shed => supervision.sheds,
         }
+    }
+
+    /// The supervision-event counts, zero-defaulted when the snapshot
+    /// predates the supervision layer.
+    pub fn supervision(&self) -> SupervisionEvents {
+        self.supervision.unwrap_or_default()
     }
 
     /// Whether anything at all was recorded.
@@ -245,6 +320,14 @@ impl TelemetrySnapshot {
         self.faults += other.faults;
         self.retries += other.retries;
         self.demotions += other.demotions;
+        self.supervision = match (self.supervision, other.supervision) {
+            (None, None) => None,
+            (a, b) => {
+                let mut sum = a.unwrap_or_default();
+                sum.absorb(&b.unwrap_or_default());
+                Some(sum)
+            }
+        };
     }
 
     /// Renders the fixed-width human table `critic stats` prints.
@@ -266,6 +349,13 @@ impl TelemetrySnapshot {
             "  events: {} faults, {} retries, {} demotions",
             self.faults, self.retries, self.demotions
         ));
+        let supervision = self.supervision();
+        if !supervision.is_empty() {
+            out.push_str(&format!(
+                "\n  supervision: {} sys-faults, {} degrades, {} trips, {} sheds",
+                supervision.sys_faults, supervision.degrades, supervision.trips, supervision.sheds
+            ));
+        }
         out
     }
 }
@@ -449,6 +539,50 @@ mod tests {
             assert!(text.contains(kind.label()), "{text}");
         }
         assert!(text.contains("1 faults"), "{text}");
+    }
+
+    #[test]
+    fn pre_supervision_snapshots_still_deserialize() {
+        // A journal line written before the supervision counters existed
+        // has no `supervision` key; it must parse to `None` (reading 0 via
+        // the accessor), not reject the line.
+        let telemetry = Telemetry::enabled();
+        telemetry.event(EventKind::Retry);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let mut value = serde::Serialize::to_value(&snap);
+        if let serde::Value::Object(map) = &mut value {
+            map.retain(|(k, _)| k != "supervision");
+        }
+        let back: TelemetrySnapshot =
+            serde::Deserialize::from_value(&value).expect("old snapshot parses");
+        assert_eq!(back.supervision, None);
+        assert_eq!(back.events(EventKind::Trip), 0);
+        assert_eq!(back.retries, 1);
+
+        // Absorbing a modern snapshot revives the counters.
+        let mut sum = back;
+        telemetry.event(EventKind::Shed);
+        sum.absorb(&telemetry.snapshot().expect("snapshot"));
+        assert_eq!(sum.events(EventKind::Shed), 1);
+    }
+
+    #[test]
+    fn supervision_events_count_and_render() {
+        let telemetry = Telemetry::enabled();
+        telemetry.event(EventKind::SysFault);
+        telemetry.events(EventKind::Degrade, 2);
+        telemetry.event(EventKind::Trip);
+        telemetry.events(EventKind::Shed, 3);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let supervision = snap.supervision();
+        assert_eq!(supervision.sys_faults, 1);
+        assert_eq!(supervision.degrades, 2);
+        assert_eq!(supervision.trips, 1);
+        assert_eq!(supervision.sheds, 3);
+        assert!(!snap.is_empty());
+        let text = snap.render();
+        assert!(text.contains("1 sys-faults"), "{text}");
+        assert!(text.contains("3 sheds"), "{text}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod params;
 pub mod path;
 pub mod program;
 pub mod suite;
+pub mod sysfault;
 pub mod trace;
 pub mod validate;
 
@@ -55,5 +56,6 @@ pub use params::GenParams;
 pub use path::ExecutionPath;
 pub use program::{BasicBlock, Function, Layout, Program, TaggedInsn, Terminator};
 pub use suite::{AppSpec, Suite};
+pub use sysfault::{SysFault, SysFaultSpec, SysInjector, SysOp};
 pub use trace::{BranchOutcome, DynInsn, Trace, NO_DEP};
 pub use validate::{ProgramError, TraceError, MAX_TRACE_LEN};

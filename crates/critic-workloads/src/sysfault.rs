@@ -1,0 +1,309 @@
+//! Deterministic *systemic* fault injection for the campaign runner.
+//!
+//! [`crate::fault`] corrupts the data flowing through the pipeline —
+//! programs, traces, compiled variants. This module corrupts the *system
+//! around* the pipeline: journal writes, artifact-store requests, attempt
+//! scheduling, and campaign lifetime. Each [`SysFault`] is one
+//! environmental failure, armed at a deterministic operation index within
+//! its operation class ([`SysOp`]) so an entire chaos schedule replays
+//! bit-identically from its JSON form alone.
+//!
+//! | fault          | op class       | effect at the tap point               |
+//! |----------------|----------------|---------------------------------------|
+//! | `JournalWrite` | `JournalAppend`| the journal line is lost (write error)|
+//! | `JournalFsync` | `JournalAppend`| the fsync is skipped (durability loss)|
+//! | `JournalTorn`  | `JournalAppend`| only a line prefix reaches the file   |
+//! | `StoreRead`    | `StoreRequest` | the store request fails (read error)  |
+//! | `StoreWrite`   | `StoreRequest` | the store request fails (write error) |
+//! | `AllocBudget`  | `AttemptStart` | the attempt runs under a byte budget  |
+//! | `WorkerStall`  | `AttemptStart` | the attempt sleeps before starting    |
+//! | `Kill`         | `CellDone`     | graceful shutdown is requested        |
+//!
+//! The injector is *consume-once*: each armed spec fires at most one time,
+//! so a retried attempt observes a healed environment — exactly the
+//! transient-failure shape supervision policies exist to absorb.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// One kind of environmental failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SysFault {
+    /// A journal append fails: the cell's line never reaches the file.
+    JournalWrite,
+    /// A journal fsync fails: the line is written but not made durable.
+    JournalFsync,
+    /// A journal append is torn mid-line (the classic kill-during-write).
+    JournalTorn,
+    /// An artifact-store request fails on the read side.
+    StoreRead,
+    /// An artifact-store request fails on the publish side.
+    StoreWrite,
+    /// The attempt runs under an allocation budget of `bytes`; charging
+    /// past it aborts the attempt (an OOM in miniature).
+    AllocBudget {
+        /// Budget in bytes.
+        bytes: u64,
+    },
+    /// The worker stalls for `millis` before the attempt body starts —
+    /// under a deadline this manifests as a clock overrun.
+    WorkerStall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// A graceful-shutdown request lands mid-campaign: queued cells are
+    /// shed, in-flight attempts drain, the journal trailer still flushes.
+    Kill,
+}
+
+impl SysFault {
+    /// The operation class whose counter triggers this fault.
+    pub fn op(self) -> SysOp {
+        match self {
+            SysFault::JournalWrite | SysFault::JournalFsync | SysFault::JournalTorn => {
+                SysOp::JournalAppend
+            }
+            SysFault::StoreRead | SysFault::StoreWrite => SysOp::StoreRequest,
+            SysFault::AllocBudget { .. } | SysFault::WorkerStall { .. } => SysOp::AttemptStart,
+            SysFault::Kill => SysOp::CellDone,
+        }
+    }
+
+    /// The kebab-case name used in schedules, journals, and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysFault::JournalWrite => "journal-write",
+            SysFault::JournalFsync => "journal-fsync",
+            SysFault::JournalTorn => "journal-torn",
+            SysFault::StoreRead => "store-read",
+            SysFault::StoreWrite => "store-write",
+            SysFault::AllocBudget { .. } => "alloc-budget",
+            SysFault::WorkerStall { .. } => "worker-stall",
+            SysFault::Kill => "kill",
+        }
+    }
+}
+
+impl fmt::Display for SysFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysFault::AllocBudget { bytes } => write!(f, "alloc-budget({bytes}B)"),
+            SysFault::WorkerStall { millis } => write!(f, "worker-stall({millis}ms)"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The instrumented operation classes of the campaign runner. Each class
+/// has its own monotone counter in the [`SysInjector`], so a fault's
+/// trigger index is stable under schedule minimization: removing a journal
+/// fault never shifts when a store fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SysOp {
+    /// One cell line (or the trailer) appended to the campaign journal.
+    JournalAppend,
+    /// One artifact-store request (world / profile / baseline / oracle).
+    StoreRequest,
+    /// One cell attempt starting.
+    AttemptStart,
+    /// One cell finishing (any terminal status).
+    CellDone,
+}
+
+impl SysOp {
+    /// Every operation class.
+    pub const ALL: [SysOp; 4] = [
+        SysOp::JournalAppend,
+        SysOp::StoreRequest,
+        SysOp::AttemptStart,
+        SysOp::CellDone,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            SysOp::JournalAppend => 0,
+            SysOp::StoreRequest => 1,
+            SysOp::AttemptStart => 2,
+            SysOp::CellDone => 3,
+        }
+    }
+}
+
+/// One armed systemic fault: fire `fault` on the `at`-th operation
+/// (0-based) of its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SysFaultSpec {
+    /// What fails.
+    pub fault: SysFault,
+    /// The 0-based index within the fault's [`SysOp`] class at which it
+    /// fires.
+    pub at: u64,
+}
+
+impl fmt::Display for SysFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.fault, self.at)
+    }
+}
+
+/// The consume-once systemic fault injector threaded through a campaign.
+///
+/// Tap points call [`SysInjector::advance`] with their operation class;
+/// the injector increments that class's counter and returns whichever
+/// armed faults fire at the pre-increment index. Counters are atomics so
+/// concurrent workers stay safe; with a single worker the op sequence —
+/// and therefore the entire fault schedule — is fully deterministic.
+#[derive(Debug, Default)]
+pub struct SysInjector {
+    specs: Vec<SysFaultSpec>,
+    fired: Vec<AtomicBool>,
+    counters: [AtomicU64; 4],
+}
+
+impl SysInjector {
+    /// An injector armed with `specs`.
+    pub fn new(specs: Vec<SysFaultSpec>) -> SysInjector {
+        let fired = specs.iter().map(|_| AtomicBool::new(false)).collect();
+        SysInjector {
+            specs,
+            fired,
+            counters: Default::default(),
+        }
+    }
+
+    /// The armed specs, in arming order.
+    pub fn specs(&self) -> &[SysFaultSpec] {
+        &self.specs
+    }
+
+    /// Records one operation of class `op` and returns the faults firing
+    /// at it. Each spec fires at most once over the injector's lifetime.
+    pub fn advance(&self, op: SysOp) -> Vec<SysFault> {
+        let index = self.counters[op.index()].fetch_add(1, Ordering::Relaxed);
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(i, spec)| {
+                spec.fault.op() == op
+                    && spec.at == index
+                    && !self.fired[*i].swap(true, Ordering::Relaxed)
+            })
+            .map(|(_, spec)| spec.fault)
+            .collect()
+    }
+
+    /// How many armed specs have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.fired
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// How many operations of class `op` have been observed.
+    pub fn observed(&self, op: SysOp) -> u64 {
+        self.counters[op.index()].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_at_their_index_and_only_once() {
+        let injector = SysInjector::new(vec![
+            SysFaultSpec {
+                fault: SysFault::JournalWrite,
+                at: 1,
+            },
+            SysFaultSpec {
+                fault: SysFault::StoreRead,
+                at: 0,
+            },
+        ]);
+        assert!(injector.advance(SysOp::JournalAppend).is_empty());
+        assert_eq!(
+            injector.advance(SysOp::JournalAppend),
+            vec![SysFault::JournalWrite]
+        );
+        assert!(injector.advance(SysOp::JournalAppend).is_empty());
+        assert_eq!(
+            injector.advance(SysOp::StoreRequest),
+            vec![SysFault::StoreRead]
+        );
+        assert_eq!(injector.fired_count(), 2);
+        assert_eq!(injector.observed(SysOp::JournalAppend), 3);
+    }
+
+    #[test]
+    fn classes_count_independently() {
+        let injector = SysInjector::new(vec![SysFaultSpec {
+            fault: SysFault::Kill,
+            at: 2,
+        }]);
+        // Journal and store traffic never advance the CellDone counter.
+        for _ in 0..10 {
+            assert!(injector.advance(SysOp::JournalAppend).is_empty());
+            assert!(injector.advance(SysOp::StoreRequest).is_empty());
+        }
+        assert!(injector.advance(SysOp::CellDone).is_empty());
+        assert!(injector.advance(SysOp::CellDone).is_empty());
+        assert_eq!(injector.advance(SysOp::CellDone), vec![SysFault::Kill]);
+    }
+
+    #[test]
+    fn two_specs_may_share_an_index() {
+        let injector = SysInjector::new(vec![
+            SysFaultSpec {
+                fault: SysFault::JournalFsync,
+                at: 0,
+            },
+            SysFaultSpec {
+                fault: SysFault::JournalTorn,
+                at: 0,
+            },
+        ]);
+        let fired = injector.advance(SysOp::JournalAppend);
+        assert_eq!(fired, vec![SysFault::JournalFsync, SysFault::JournalTorn]);
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        let specs = vec![
+            SysFaultSpec {
+                fault: SysFault::AllocBudget { bytes: 65_536 },
+                at: 3,
+            },
+            SysFaultSpec {
+                fault: SysFault::WorkerStall { millis: 250 },
+                at: 0,
+            },
+            SysFaultSpec {
+                fault: SysFault::Kill,
+                at: 7,
+            },
+        ];
+        for spec in specs {
+            let value = serde::Serialize::to_value(&spec);
+            let back: SysFaultSpec = serde::Deserialize::from_value(&value).expect("round trips");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn names_and_display_are_stable() {
+        assert_eq!(SysFault::JournalTorn.name(), "journal-torn");
+        assert_eq!(SysFault::AllocBudget { bytes: 4096 }.name(), "alloc-budget");
+        assert_eq!(
+            SysFaultSpec {
+                fault: SysFault::WorkerStall { millis: 9 },
+                at: 4
+            }
+            .to_string(),
+            "worker-stall(9ms)@4"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the campaign supervision policy: the backoff
+//! schedule is a deterministic, cap-bounded function of its inputs, and a
+//! tripped circuit breaker produces exactly one `Trip` event plus one
+//! `Shed` record (and matching `Shed` event) per shed cell — never a
+//! silent drop.
+
+use critics::core::campaign::{
+    self, CampaignSpec, CellStatus, PlannedFault, Scheme, SupervisionPolicy,
+};
+use critics::core::design::DesignPoint;
+use critics::core::error::RunError;
+use critics::obs::Telemetry;
+use critics::workloads::suite::Suite;
+use critics::workloads::{AppSpec, Fault};
+use proptest::prelude::*;
+
+fn policy(base: u64, cap: u64, seed: u64) -> SupervisionPolicy {
+    SupervisionPolicy {
+        backoff_base_millis: base,
+        backoff_cap_millis: cap,
+        backoff_seed: seed,
+        ..SupervisionPolicy::default()
+    }
+}
+
+proptest! {
+    // Pure-function property: cheap, so sweep widely.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The backoff schedule is bit-deterministic per
+    /// `(seed, app, scheme)`, every delay (jitter included) stays at or
+    /// under the cap, and delays never undershoot half the nominal
+    /// exponential step — the jitter window is `[delay/2, delay]`.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_cap_bounded(
+        base in 1u64..=1_000,
+        cap in 1u64..=5_000,
+        seed in any::<u64>(),
+        retries in 0u32..=8,
+        app in prop::sample::select(vec!["Acrobat", "Angrybirds", "Chrome", "x"]),
+        scheme in prop::sample::select(vec!["critic", "opp16", "hoist", "baseline"]),
+    ) {
+        let policy = policy(base, cap, seed);
+        let first = policy.backoff_schedule(app, scheme, retries);
+        let second = policy.backoff_schedule(app, scheme, retries);
+        prop_assert_eq!(&first, &second, "same inputs, same schedule");
+        prop_assert_eq!(first.len(), retries as usize);
+        for (k, &delay) in first.iter().enumerate() {
+            let nominal = base.saturating_mul(1u64 << k.min(20)).min(cap);
+            prop_assert!(delay <= cap, "retry {k}: {delay} > cap {cap}");
+            prop_assert!(
+                delay >= nominal / 2,
+                "retry {k}: {delay} under jitter floor {}",
+                nominal / 2
+            );
+        }
+        // Draws happen in retry order, so a shorter schedule is a strict
+        // prefix of a longer one — retrying further never reshuffles the
+        // delays already served.
+        let longer = policy.backoff_schedule(app, scheme, retries + 2);
+        prop_assert_eq!(&first[..], &longer[..retries as usize]);
+    }
+
+    /// Different jitter seeds are actually different policies: across a
+    /// spread of seeds at least one schedule differs (the jitter is not a
+    /// constant function of the nominal delay).
+    #[test]
+    fn backoff_jitter_depends_on_the_seed(base in 3u64..=1_000) {
+        let cap = base * 64;
+        let schedules: Vec<_> = (0u64..16)
+            .map(|seed| policy(base, cap, seed).backoff_schedule("app", "scheme", 4))
+            .collect();
+        prop_assert!(
+            schedules.iter().any(|s| s != &schedules[0]),
+            "16 seeds, identical schedules: {:?}",
+            schedules[0]
+        );
+    }
+}
+
+fn breaker_spec(fault_seed: u64, trace_len: usize) -> (CampaignSpec, String) {
+    let apps: Vec<AppSpec> = Suite::Mobile.apps().into_iter().take(2).collect();
+    let schemes = vec![
+        Scheme::new("critic", DesignPoint::critic()),
+        Scheme::new("opp16", DesignPoint::opp16()),
+        Scheme::new("hoist", DesignPoint::hoist()),
+    ];
+    let victim = apps[0].name.clone();
+    let mut spec = CampaignSpec::new(apps, schemes, trace_len);
+    spec.workers = 1;
+    spec.telemetry = Telemetry::enabled();
+    spec.supervision.breaker_threshold = 2;
+    for scheme in ["critic", "opp16", "hoist"] {
+        spec.faults.push(PlannedFault {
+            app: victim.clone(),
+            scheme: scheme.into(),
+            fault: Fault::DanglingTerminator,
+            seed: fault_seed,
+        });
+    }
+    (spec, victim)
+}
+
+proptest! {
+    // Each case runs a six-cell campaign; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any fault seed and trace length, sabotaging every scheme of one
+    /// app trips that app's breaker exactly once, sheds exactly the cells
+    /// the breaker refused (one `Shed` record *and* one `Shed` event
+    /// each), and leaves the healthy app untouched.
+    #[test]
+    fn tripped_breaker_emits_one_trip_and_one_shed_per_shed_cell(
+        fault_seed in 0u64..=1_000,
+        trace_len in 2_000usize..6_000,
+    ) {
+        let (spec, victim) = breaker_spec(fault_seed, trace_len);
+        let summary = campaign::run_campaign(&spec).expect("campaign runs");
+        prop_assert_eq!(summary.records.len(), 6, "every cell accounted");
+
+        let failed = summary
+            .records
+            .iter()
+            .filter(|r| r.status == CellStatus::Failed)
+            .count();
+        prop_assert_eq!(failed, 2, "threshold failures precede the trip");
+
+        let shed = summary.shed();
+        prop_assert_eq!(shed.len(), 1, "{}", summary.render());
+        for record in &shed {
+            prop_assert_eq!(&record.app, &victim);
+            prop_assert_eq!(record.attempts, 0, "shed cells never run");
+            prop_assert!(
+                matches!(&record.error, Some(RunError::Shed(msg)) if msg.contains("breaker")),
+                "shed reason must name the breaker: {:?}",
+                record.error
+            );
+        }
+        let healthy_ok = summary
+            .records
+            .iter()
+            .filter(|r| r.app != victim && r.status == CellStatus::Ok)
+            .count();
+        prop_assert_eq!(healthy_ok, 3, "{}", summary.render());
+
+        let aggregate = summary.telemetry.as_ref().expect("telemetry aggregate");
+        prop_assert_eq!(aggregate.supervision().trips, 1, "exactly one trip");
+        prop_assert_eq!(
+            aggregate.supervision().sheds,
+            shed.len() as u64,
+            "one Shed event per shed record"
+        );
+    }
+}
