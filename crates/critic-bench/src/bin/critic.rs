@@ -12,6 +12,7 @@
 //! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
+//! critic drill --points N [--seed S] [--smoke] [--minimize] [-o FILE]
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -32,23 +33,26 @@
 //! | 8 | bench regression (warm-store speedup below the floor) |
 //! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) |
 //! | 10 | chaos invariant violation (schedule JSON printed) |
+//! | 11 | recovery-drill invariant violation (durable-warm / no-lost-ack; repro JSON printed) |
 
 use std::fmt;
 use std::time::Duration;
 
 use critic_bench::chaos::{self, ChaosConfig};
+use critic_bench::drill::{self, DrillConfig};
 use critic_bench::perf::{self, BenchError, BenchSetup};
 use std::sync::Arc;
 
-use critic_core::campaign::{
-    self, CampaignSpec, CampaignTelemetryRecord, CellRecord, CellStatus, PlannedFault, Scheme,
-};
+use critic_core::campaign::{self, CampaignSpec, CellStatus, PlannedFault, Scheme};
 use critic_core::design::DesignPoint;
+use critic_core::journal::Journal;
 use critic_core::runner::Workbench;
+use critic_core::store::StoreStats;
 use critic_core::RunError;
+use critic_obs::Telemetry;
 use critic_profiler::{save_profile, ProfilerConfig};
 use critic_workloads::suite::Suite;
-use critic_workloads::{AppSpec, Fault, SysFault, SysFaultSpec, SysInjector};
+use critic_workloads::{AppSpec, Fault, SysFault, SysFaultSpec, SysInjector, SysOp};
 
 const TRACE_LEN: usize = 120_000;
 
@@ -93,6 +97,9 @@ enum CliError {
     ChaosViolation {
         violations: usize,
     },
+    DrillViolation {
+        violations: usize,
+    },
 }
 
 impl CliError {
@@ -119,6 +126,10 @@ impl CliError {
             // A chaos invariant violation means the *runner* broke under
             // faults — the highest-severity signal this binary can emit.
             CliError::ChaosViolation { .. } => 10,
+            // A recovery-drill violation means the durability contract
+            // broke: a crash lost an acknowledged cell or the persistent
+            // store failed to serve a restarted campaign bit-identically.
+            CliError::DrillViolation { .. } => 11,
         }
     }
 }
@@ -184,6 +195,12 @@ impl fmt::Display for CliError {
                     "chaos run broke {violations} invariant(s); schedule JSON printed above"
                 )
             }
+            CliError::DrillViolation { violations } => {
+                write!(
+                    f,
+                    "recovery drill broke {violations} invariant(s); repro JSON printed above"
+                )
+            }
         }
     }
 }
@@ -224,10 +241,20 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos> \
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos|drill> \
          [app] [options]"
             .to_string(),
     )
+}
+
+/// Maps harness-level failures onto the CLI's exit-code taxonomy.
+fn bench_error(e: BenchError) -> CliError {
+    match e {
+        BenchError::Run(e) => CliError::Run(e),
+        BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
+        BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
+        BenchError::Io(msg) => CliError::Io(msg),
+    }
 }
 
 fn main() {
@@ -368,6 +395,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "bench" => run_bench_command(args),
         "stats" => run_stats_command(args),
         "chaos" => run_chaos_command(args),
+        "drill" => run_drill_command(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; {}",
             usage()
@@ -376,12 +404,13 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Parses one `--sys` value: `NAME[:PARAM]@AT`, e.g. `journal-write@0`,
-/// `store-read@3`, `alloc-budget:65536@1`, `worker-stall:200@0`, `kill@2`.
+/// `store-read@3`, `alloc-budget:65536@1`, `worker-stall:200@0`, `kill@2`,
+/// `disk-corrupt@1`, `crash:journal-append@4`.
 fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
     let bad = || {
         CliError::Usage(format!(
-            "--sys expects NAME[:PARAM]@AT (e.g. store-read@3, alloc-budget:65536@1), \
-             got `{value}`"
+            "--sys expects NAME[:PARAM]@AT (e.g. store-read@3, alloc-budget:65536@1, \
+             crash:journal-append@4), got `{value}`"
         ))
     };
     let (head, at) = value.rsplit_once('@').ok_or_else(bad)?;
@@ -397,6 +426,12 @@ fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
         ("store-read", None) => SysFault::StoreRead,
         ("store-write", None) => SysFault::StoreWrite,
         ("kill", None) => SysFault::Kill,
+        ("disk-read", None) => SysFault::DiskRead,
+        ("disk-write", None) => SysFault::DiskWrite,
+        ("disk-corrupt", None) => SysFault::DiskCorrupt,
+        ("crash", Some(op)) => SysFault::Crash {
+            op: SysOp::parse(op).ok_or_else(bad)?,
+        },
         ("alloc-budget", Some(bytes)) => SysFault::AllocBudget {
             bytes: bytes.parse().map_err(|_| bad())?,
         },
@@ -411,6 +446,8 @@ fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
 /// `critic campaign [--suite S] [--apps N] [--schemes a,b,..]
 /// [--trace-len N] [--journal FILE] [--resume] [--validate] [--stats]
 /// [--deadline-secs N] [--retries N] [--workers N]
+/// [--store-dir DIR] [--store-budget BYTES] [--segment-lines N]
+/// [--run-tag N]
 /// [--inject app:scheme:fault[:seed]]... [--sys NAME[:PARAM]@AT]...
 /// [--breaker K] [--degrade] [--backoff-base-ms N] [--backoff-cap-ms N]
 /// [--backoff-seed N]`
@@ -421,6 +458,15 @@ fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
 /// `--stats` forces telemetry on for this run (regardless of
 /// `CRITIC_TELEMETRY`): per-cell spans are journaled, and the summary ends
 /// with the campaign-wide telemetry table.
+///
+/// `--store-dir DIR` puts a persistent artifact store under the campaign:
+/// profiles and baseline runs spill to checksummed entries in `DIR` and
+/// are served from disk on restart; `--store-budget BYTES` caps the
+/// directory with LRU eviction. `--segment-lines N` rolls the journal into
+/// checkpointed segments every `N` cell records (0, the default, keeps the
+/// single-file format). `--run-tag N` stamps every journaled record with a
+/// run number so the recovery drill can prove acknowledged cells are never
+/// re-simulated.
 ///
 /// `--sys` arms deterministic systemic faults (the chaos harness's
 /// [`SysFault`] family) on the run; `--breaker`, `--degrade`, and the
@@ -479,6 +525,12 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     spec.journal = arg_after(args, "--journal").map(std::path::PathBuf::from);
     spec.resume = args.iter().any(|a| a == "--resume");
     spec.validate = args.iter().any(|a| a == "--validate");
+    spec.store_dir = arg_after(args, "--store-dir").map(std::path::PathBuf::from);
+    spec.store_budget = parse_num("--store-budget")?;
+    spec.segment_max_lines = parse_num("--segment-lines")?
+        .map(|n| n as usize)
+        .unwrap_or(0);
+    spec.run_tag = parse_num("--run-tag")?;
     if args.iter().any(|a| a == "--stats") {
         spec.telemetry = critic_obs::Telemetry::enabled();
     }
@@ -581,11 +633,7 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
         })?),
     };
 
-    let report = perf::run_perf_bench(&setup).map_err(|e| match e {
-        BenchError::Run(e) => CliError::Run(e),
-        BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
-        BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
-    })?;
+    let report = perf::run_perf_bench(&setup).map_err(bench_error)?;
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| CliError::Io(format!("cannot serialise bench report: {e}")))?;
 
@@ -594,12 +642,17 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     } else {
         println!(
             "single cell: {:.0} ms | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
+             restart cold {:.0} ms -> disk-warm {:.0} ms ({:.2}x, {} disk hits) | \
              telemetry overhead {:+.1}% | {} worlds, {} profiles, {} baselines built; \
              {} store hits | ledger {} cycles audited",
             report.single_cell_millis,
             report.cold_campaign_millis,
             report.warm_campaign_millis,
             report.warm_speedup,
+            report.restart_cold_campaign_millis,
+            report.restart_warm_campaign_millis,
+            report.restart_warm_speedup,
+            report.disk.disk_hits,
             report.telemetry_overhead_frac * 100.0,
             report.store.worlds_built,
             report.store.profiles_built,
@@ -656,11 +709,7 @@ fn run_chaos_command(args: &[String]) -> Result<(), CliError> {
     config.smoke = args.iter().any(|a| a == "--smoke");
     config.minimize = args.iter().any(|a| a == "--minimize");
 
-    let report = chaos::run_chaos(&config).map_err(|e| match e {
-        BenchError::Run(e) => CliError::Run(e),
-        BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
-        BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
-    })?;
+    let report = chaos::run_chaos(&config).map_err(bench_error)?;
     let json = serde_json::to_string_pretty(&report)
         .map_err(|e| CliError::Io(format!("cannot serialise chaos report: {e}")))?;
     if let Some(path) = arg_after(args, "-o") {
@@ -709,8 +758,82 @@ fn run_chaos_command(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// The roll-up `critic stats` prints: cell counts, wall-clock, and the
-/// campaign-wide telemetry aggregate.
+/// `critic drill --points N [--seed S] [--smoke] [--minimize] [-o FILE]`
+///
+/// The kill-anywhere recovery drill: for each seeded point, a child
+/// `critic campaign` run with a persistent store and a segmented journal
+/// is crashed at a planted operation (plus seeded fault noise), restarted
+/// with `--resume`, and checked against the durability invariants —
+/// accounting, journal-resumable, warm-unfaulted, ledger, **durable-warm**
+/// (a restarted campaign is served bit-identical artifacts from disk) and
+/// **no-lost-ack** (a cell journaled Ok before the kill is never
+/// re-simulated). On violation the report (with the minimal reproducing
+/// fault subset under `--minimize`) is printed as JSON and the exit code
+/// is 11.
+fn run_drill_command(args: &[String]) -> Result<(), CliError> {
+    let mut config = DrillConfig::default();
+    if let Some(v) = arg_after(args, "--seed") {
+        config.seed = v
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("--seed expects a number, got `{v}`")))?;
+    }
+    if let Some(v) = arg_after(args, "--points") {
+        config.points = v
+            .parse::<usize>()
+            .map_err(|_| CliError::Usage(format!("--points expects a number, got `{v}`")))?;
+        if config.points == 0 {
+            return Err(CliError::Usage("--points must be at least 1".to_string()));
+        }
+    }
+    config.smoke = args.iter().any(|a| a == "--smoke");
+    config.minimize = args.iter().any(|a| a == "--minimize");
+
+    let report = drill::run_drill(&config).map_err(bench_error)?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise drill report: {e}")))?;
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+
+    if report.ok() {
+        println!(
+            "drill seed {}: {} kill points ({} crashed, {} clean) — durable-warm and \
+             no-lost-ack held; {} acked cells preserved, {} disk hits on verification",
+            report.seed,
+            report.points.len(),
+            report.crashed,
+            report.clean,
+            report.acked_preserved,
+            report.disk_hits
+        );
+        Ok(())
+    } else {
+        println!("{json}");
+        for v in &report.violations {
+            eprintln!(
+                "critic: drill invariant `{}` broken at point {} ({}): {}",
+                v.invariant, v.point, v.crash, v.detail
+            );
+        }
+        if let Some(minimal) = &report.minimized {
+            eprintln!(
+                "critic: minimal reproducing fault set ({} spec(s)):",
+                minimal.len()
+            );
+            for spec in minimal {
+                eprintln!("critic:   {spec}");
+            }
+        }
+        Err(CliError::DrillViolation {
+            violations: report.violations.len(),
+        })
+    }
+}
+
+/// The roll-up `critic stats` prints: cell counts, wall-clock, the
+/// campaign-wide telemetry aggregate, and the persistent-store counters.
 #[derive(Debug, serde::Serialize)]
 struct StatsReport {
     /// Journalled cells after newest-wins dedup on (app, scheme).
@@ -719,59 +842,48 @@ struct StatsReport {
     ok: usize,
     /// Cells that failed, timed out, panicked, or were shed.
     failed: usize,
-    /// Journal lines that parsed as neither a cell record nor the
-    /// telemetry trailer — torn tails and fault-merged lines. Counted, not
-    /// fatal: a journal that survived a kill or a chaos drill must still
-    /// roll up.
+    /// Mid-file journal lines that classified as nothing — fault-merged
+    /// writes and checksum-failed corruption. Counted, not fatal: a journal
+    /// that survived a kill or a chaos drill must still roll up.
     skipped_lines: usize,
+    /// Checkpoint records replayed across the journal's segments.
+    checkpoints: usize,
+    /// Whether the active file ended in a torn (half-written) line.
+    torn_tail: bool,
     /// Sum of final-attempt wall-clock across cells, in milliseconds.
     total_millis: u64,
     /// Campaign-wide telemetry: the journal's trailer line when present,
     /// otherwise re-aggregated from per-cell spans.
     telemetry: critic_obs::TelemetrySnapshot,
+    /// Artifact-store counters from the journal's store trailer, when the
+    /// campaign ran one (`disk` holds the persistent tier's counters).
+    store: Option<StoreStats>,
 }
 
 /// `critic stats --journal FILE [--json]`
 ///
-/// Reads a campaign journal (JSONL of [`CellRecord`]s, optionally followed
-/// by a [`CampaignTelemetryRecord`] trailer), dedups cells newest-wins on
+/// Replays a campaign journal — segments, checkpoints, and the active file,
+/// with per-line checksum verification — dedups cells newest-wins on
 /// (app, scheme) — the same rule `--resume` applies — and prints the
-/// telemetry roll-up.
+/// telemetry and store roll-up.
 fn run_stats_command(args: &[String]) -> Result<(), CliError> {
     let Some(path) = arg_after(args, "--journal") else {
         return Err(CliError::Usage(
             "usage: critic stats --journal FILE [--json]".to_string(),
         ));
     };
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
-
-    let mut cells: std::collections::BTreeMap<(String, String), CellRecord> =
-        std::collections::BTreeMap::new();
-    let mut trailer: Option<CampaignTelemetryRecord> = None;
-    let mut skipped_lines = 0;
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Ok(record) = serde_json::from_str::<CellRecord>(line) {
-            cells.insert((record.app.clone(), record.scheme.clone()), record);
-        } else if let Ok(record) = serde_json::from_str::<CampaignTelemetryRecord>(line) {
-            trailer = Some(record);
-        } else {
-            // Torn tails (a kill mid-write) and fault-merged lines are
-            // exactly what a post-incident roll-up runs into; resume
-            // ignores them, so stats does too — but says so.
-            skipped_lines += 1;
-        }
+    let journal = std::path::Path::new(&path);
+    if !journal.exists() {
+        return Err(CliError::Io(format!("cannot read {path}: no such file")));
     }
+    let replayed =
+        Journal::replay(journal, &Telemetry::off()).map_err(|e| CliError::Io(e.to_string()))?;
 
-    let telemetry = match trailer {
+    let telemetry = match replayed.telemetry_trailer {
         Some(record) => record.campaign_telemetry,
         None => {
             let mut aggregate = critic_obs::TelemetrySnapshot::default();
-            for record in cells.values() {
+            for record in &replayed.records {
                 if let Some(spans) = &record.spans {
                     aggregate.absorb(spans);
                 }
@@ -779,17 +891,21 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
             aggregate
         }
     };
-    let ok = cells
-        .values()
+    let ok = replayed
+        .records
+        .iter()
         .filter(|r| r.status == CellStatus::Ok)
         .count();
     let report = StatsReport {
-        cells: cells.len(),
+        cells: replayed.records.len(),
         ok,
-        failed: cells.len() - ok,
-        skipped_lines,
-        total_millis: cells.values().map(|r| r.millis).sum(),
+        failed: replayed.records.len() - ok,
+        skipped_lines: replayed.skipped_lines,
+        checkpoints: replayed.checkpoints,
+        torn_tail: replayed.torn_tail,
+        total_millis: replayed.records.iter().map(|r| r.millis).sum(),
         telemetry,
+        store: replayed.store_trailer.map(|t| t.campaign_store),
     };
 
     if args.iter().any(|a| a == "--json") {
@@ -803,9 +919,30 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         );
         if report.skipped_lines > 0 {
             println!(
-                "({} unparseable journal line(s) skipped — torn tail or fault-merged)",
+                "({} unparseable journal line(s) skipped — torn merges or corruption)",
                 report.skipped_lines
             );
+        }
+        if report.torn_tail {
+            println!("(active file ends in a torn line — truncated on the next resume)");
+        }
+        if report.checkpoints > 0 {
+            println!("({} checkpoint(s) replayed)", report.checkpoints);
+        }
+        if let Some(store) = &report.store {
+            if let Some(disk) = &store.disk {
+                println!(
+                    "persistent store: {} entries ({} B), {} disk hits / {} misses, \
+                     {} saves, {} evictions, {} quarantines",
+                    disk.entries,
+                    disk.bytes,
+                    disk.disk_hits,
+                    disk.disk_misses,
+                    disk.saves,
+                    disk.evictions,
+                    disk.quarantines
+                );
+            }
         }
         if report.telemetry.is_empty() {
             println!("no telemetry in journal (campaign ran without --stats)");

@@ -1,0 +1,711 @@
+//! The kill-anywhere recovery drill behind `critic drill`: a supervisor
+//! that crashes real `critic campaign` child processes at seeded fault
+//! points, restarts them with `--resume` against the same journal and
+//! persistent store, and asserts the durability contract point by point.
+//!
+//! Each kill point plants one [`SysFault::Crash`] — an abort at the Nth
+//! occurrence of one instrumented operation (journal append, journal
+//! fsync, store request, disk request, attempt start, cell done) — plus a
+//! seeded handful of non-fatal fault noise (dropped journal writes, torn
+//! lines, disk read/write/corrupt failures). The supervisor then checks:
+//!
+//! * **accounting / grid-complete** — after the restart, the journal's
+//!   newest-wins replay covers every grid cell exactly once, all Ok;
+//! * **journal-resumable** — the restarted child exits 0 and the scarred
+//!   journal (segments, checkpoints, torn tail) replays cleanly;
+//! * **warm-unfaulted** — every cell's final metrics are bit-identical to
+//!   a fault-free in-process reference run;
+//! * **ledger** — the probe cell's cycle ledger still partitions its run
+//!   (schedule-independent, checked once per invocation);
+//! * **durable-warm** — a verification campaign over the *same store
+//!   directory* (fresh process-equivalent: new in-memory store, fresh
+//!   journal) is served from disk (`disk_hits > 0`) and reproduces the
+//!   reference metrics bit for bit;
+//! * **no-lost-ack** — every cell journaled `Ok` under run tag 0 before
+//!   the kill still carries run tag 0 (and the same metrics) after the
+//!   restart: an acknowledged cell is never re-simulated.
+//!
+//! Children are spawned from the current executable (`critic drill` runs
+//! inside the `critic` binary), crash via `std::process::abort` (SIGABRT),
+//! and restart with `--run-tag 1` so re-simulated cells are
+//! distinguishable from preserved ones in the journal itself. A violating
+//! point is delta-debugged (ddmin, reusing the chaos minimizer) down to a
+//! minimal fault subset that still reproduces it — the repro JSON the CLI
+//! prints on exit code 11.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitStatus, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use critic_core::campaign::{
+    run_campaign, run_campaign_with_store, CampaignSpec, CellMetrics, CellStatus, Scheme,
+};
+use critic_core::design::DesignPoint;
+use critic_core::journal::Journal;
+use critic_core::store::ArtifactStore;
+use critic_obs::Telemetry;
+use critic_workloads::suite::Suite;
+use critic_workloads::{SysFault, SysFaultSpec, SysOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::chaos::{minimize_schedule, ScheduleEntry};
+use crate::perf::{time_single_cell, BenchError};
+
+/// Distinguishes concurrently-running drill points' scratch directories.
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The exit signal `std::process::abort` raises: SIGABRT.
+#[cfg(unix)]
+const ABORT_SIGNAL: i32 = 6;
+
+/// Journal segment size drill children run with — small enough that a
+/// four-cell grid rolls and compacts at least once mid-campaign, so kill
+/// points land inside the roll protocol too.
+const SEGMENT_LINES: usize = 3;
+
+/// What `critic drill` runs.
+#[derive(Debug, Clone)]
+pub struct DrillConfig {
+    /// Seed for the fault-noise draws riding along each kill point.
+    pub seed: u64,
+    /// Kill points to drill: point `i` crashes at occurrence `i / 6` of
+    /// operation class `i % 6`, sweeping every class at every depth.
+    pub points: usize,
+    /// Smoke mode: shorter traces, for CI and tests.
+    pub smoke: bool,
+    /// Delta-debug a violating point's fault set to a minimal reproducer.
+    pub minimize: bool,
+    /// The `critic` binary to spawn children from; defaults to the current
+    /// executable (correct when invoked as `critic drill`).
+    pub binary: Option<PathBuf>,
+}
+
+impl Default for DrillConfig {
+    fn default() -> DrillConfig {
+        DrillConfig {
+            seed: 0,
+            points: 24,
+            smoke: false,
+            minimize: false,
+            binary: None,
+        }
+    }
+}
+
+/// One seeded kill point: the planted crash plus its fault noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KillPoint {
+    /// The planted crash: op class and occurrence index.
+    pub crash: SysFaultSpec,
+    /// Non-fatal faults armed alongside it.
+    pub noise: Vec<SysFaultSpec>,
+}
+
+impl KillPoint {
+    /// The full `--sys` spec list the child campaign runs under.
+    pub fn specs(&self) -> Vec<SysFaultSpec> {
+        let mut specs = vec![self.crash];
+        specs.extend(self.noise.iter().copied());
+        specs
+    }
+}
+
+/// One broken durability invariant, pinned to its kill point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrillViolation {
+    /// Index of the kill point in the report's `points`.
+    pub point: usize,
+    /// The crash spec that was planted there.
+    pub crash: SysFaultSpec,
+    /// Which invariant broke: `accounting`, `journal-resumable`,
+    /// `warm-unfaulted`, `ledger`, `durable-warm`, or `no-lost-ack`.
+    pub invariant: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The outcome `critic drill` reports (and serialises on violation).
+#[derive(Debug, Clone, Serialize)]
+pub struct DrillReport {
+    /// The driving seed.
+    pub seed: u64,
+    /// Grid cells each point's campaign covers.
+    pub cells: usize,
+    /// Every kill point drilled.
+    pub points: Vec<KillPoint>,
+    /// Points whose child actually died at the planted crash.
+    pub crashed: usize,
+    /// Points whose crash index lay beyond the ops the campaign executed
+    /// (the child finished; the restart path is verified regardless).
+    pub clean: usize,
+    /// Cells journaled Ok before a kill and verified untouched after the
+    /// restart, summed across points.
+    pub acked_preserved: u64,
+    /// Disk-store hits observed by the verification passes, summed across
+    /// points (durable-warm requires every point to contribute).
+    pub disk_hits: u64,
+    /// Broken invariants (empty on a passing drill).
+    pub violations: Vec<DrillViolation>,
+    /// The ddmin-minimized fault subset still reproducing the first
+    /// violation, when `--minimize` was requested and needed.
+    pub minimized: Option<Vec<SysFaultSpec>>,
+}
+
+impl DrillReport {
+    /// Whether every invariant held at every point.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Apps per drill grid: 2 apps x {critic, opp16} = 4 cells, small enough
+/// that each point's three campaign passes cost fractions of a second.
+const DRILL_APPS: usize = 2;
+
+fn drill_trace_len(config: &DrillConfig) -> usize {
+    if config.smoke {
+        2_000
+    } else {
+        4_000
+    }
+}
+
+/// The in-process twin of the child campaign's grid, used for the
+/// reference run and the durable-warm verification pass. Must match the
+/// child's flags exactly: `--suite mobile --apps 2 --schemes critic,opp16`.
+fn drill_spec(config: &DrillConfig) -> CampaignSpec {
+    let apps = Suite::Mobile.apps().into_iter().take(DRILL_APPS).collect();
+    let schemes = vec![
+        Scheme::new("critic", DesignPoint::critic()),
+        Scheme::new("opp16", DesignPoint::opp16()),
+    ];
+    let mut spec = CampaignSpec::new(apps, schemes, drill_trace_len(config));
+    spec.workers = 1;
+    spec.telemetry = Telemetry::off();
+    spec
+}
+
+/// Generates the seeded kill points: a round-robin sweep of every
+/// operation class at increasing occurrence indices, each with 0–2
+/// non-fatal noise faults drawn from the seed.
+pub fn generate_points(config: &DrillConfig) -> Vec<KillPoint> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let noise_pool = [
+        SysFault::JournalWrite,
+        SysFault::JournalFsync,
+        SysFault::JournalTorn,
+        SysFault::StoreRead,
+        SysFault::StoreWrite,
+        SysFault::DiskRead,
+        SysFault::DiskWrite,
+        SysFault::DiskCorrupt,
+    ];
+    (0..config.points)
+        .map(|i| {
+            let op = SysOp::ALL[i % SysOp::ALL.len()];
+            let at = (i / SysOp::ALL.len()) as u64;
+            let n = rng.gen_range(0..=2);
+            let noise = (0..n)
+                .map(|_| SysFaultSpec {
+                    fault: noise_pool[rng.gen_range(0..noise_pool.len())],
+                    at: rng.gen_range(0..12),
+                })
+                .collect();
+            KillPoint {
+                crash: SysFaultSpec {
+                    fault: SysFault::Crash { op },
+                    at,
+                },
+                noise,
+            }
+        })
+        .collect()
+}
+
+/// Renders one spec as the CLI's `--sys NAME[:PARAM]@AT` syntax.
+fn sys_arg(spec: &SysFaultSpec) -> String {
+    let head = match spec.fault {
+        SysFault::AllocBudget { bytes } => format!("alloc-budget:{bytes}"),
+        SysFault::WorkerStall { millis } => format!("worker-stall:{millis}"),
+        SysFault::Crash { op } => format!("crash:{}", op.name()),
+        other => other.name().to_string(),
+    };
+    format!("{head}@{}", spec.at)
+}
+
+/// Whether the child died at the planted crash (`std::process::abort` →
+/// SIGABRT on unix; any signal death elsewhere).
+fn crashed_by_abort(status: &ExitStatus) -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        status.signal() == Some(ABORT_SIGNAL)
+    }
+    #[cfg(not(unix))]
+    {
+        status.code().is_none()
+    }
+}
+
+/// The last few lines of a child's stderr, for violation details.
+fn stderr_tail(output: &Output) -> String {
+    let text = String::from_utf8_lossy(&output.stderr);
+    let lines: Vec<&str> = text.lines().collect();
+    let tail = lines.len().saturating_sub(4);
+    lines[tail..].join(" | ")
+}
+
+/// Spawns one child campaign over the point's journal and store.
+fn run_child(
+    binary: &Path,
+    config: &DrillConfig,
+    journal: &Path,
+    store_dir: &Path,
+    specs: &[SysFaultSpec],
+    resume: bool,
+    run_tag: u64,
+) -> Result<Output, BenchError> {
+    let mut cmd = Command::new(binary);
+    cmd.args([
+        "campaign",
+        "--suite",
+        "mobile",
+        "--apps",
+        &DRILL_APPS.to_string(),
+        "--schemes",
+        "critic,opp16",
+        "--trace-len",
+        &drill_trace_len(config).to_string(),
+        "--workers",
+        "1",
+        "--segment-lines",
+        &SEGMENT_LINES.to_string(),
+        "--run-tag",
+        &run_tag.to_string(),
+    ]);
+    cmd.arg("--journal").arg(journal);
+    cmd.arg("--store-dir").arg(store_dir);
+    if resume {
+        cmd.arg("--resume");
+    }
+    for spec in specs {
+        cmd.arg("--sys").arg(sys_arg(spec));
+    }
+    cmd.output().map_err(|e| {
+        BenchError::Io(format!(
+            "cannot spawn drill child {}: {e}",
+            binary.display()
+        ))
+    })
+}
+
+/// What one drilled point produced, before violations are pinned to it.
+struct PointOutcome {
+    crashed: bool,
+    acked_preserved: u64,
+    disk_hits: u64,
+    violations: Vec<(String, String)>,
+}
+
+/// The per-cell reference metrics every point's outcomes are compared
+/// against, from one fault-free in-process run of the drill grid.
+type Reference = BTreeMap<(String, String), CellMetrics>;
+
+fn reference_metrics(config: &DrillConfig) -> Result<Reference, BenchError> {
+    let spec = drill_spec(config);
+    let summary = run_campaign(&spec).map_err(BenchError::Run)?;
+    if !summary.all_ok() {
+        return Err(BenchError::FailedCells(summary.render()));
+    }
+    Ok(summary
+        .records
+        .into_iter()
+        .filter_map(|r| r.metrics.map(|m| ((r.app, r.scheme), m)))
+        .collect())
+}
+
+/// Drills one kill point end to end: crash the child, snapshot the acked
+/// set, restart with `--resume`, then check every schedule-dependent
+/// invariant.
+fn run_point(
+    config: &DrillConfig,
+    binary: &Path,
+    specs: &[SysFaultSpec],
+    reference: &Reference,
+) -> Result<PointOutcome, BenchError> {
+    let scratch = std::env::temp_dir().join("critic_drill").join(format!(
+        "point_{}_{}",
+        std::process::id(),
+        SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| BenchError::Io(format!("cannot create {}: {e}", scratch.display())))?;
+    let journal = scratch.join("journal.jsonl");
+    let store_dir = scratch.join("store");
+
+    let mut violations: Vec<(String, String)> = Vec::new();
+    let mut violate = |invariant: &str, detail: String| {
+        violations.push((invariant.to_string(), detail));
+    };
+
+    // Phase 1: the campaign under fire. Either it dies at the planted
+    // crash (SIGABRT) or the crash index lay beyond the executed ops and
+    // it finishes — success, failed cells from the noise, whatever.
+    let first = run_child(binary, config, &journal, &store_dir, specs, false, 0)?;
+    let crashed = crashed_by_abort(&first.status);
+    if !crashed && !matches!(first.status.code(), Some(0) | Some(6)) {
+        violate(
+            "journal-resumable",
+            format!(
+                "initial campaign neither crashed at the planted point nor exited \
+                 cleanly (status {:?}): {}",
+                first.status.code(),
+                stderr_tail(&first)
+            ),
+        );
+    }
+
+    // The acked set: cells the journal acknowledged Ok under run tag 0.
+    // no-lost-ack promises the restart never re-simulates any of them.
+    let grid: Vec<(String, String)> = {
+        let spec = drill_spec(config);
+        spec.apps
+            .iter()
+            .flat_map(|a| {
+                spec.schemes
+                    .iter()
+                    .map(move |s| (a.name.clone(), s.name.clone()))
+            })
+            .collect()
+    };
+    let acked: BTreeMap<(String, String), CellMetrics> =
+        match Journal::replay(&journal, &Telemetry::off()) {
+            Err(e) => {
+                violate(
+                    "journal-resumable",
+                    format!("replay after the kill failed: {e}"),
+                );
+                BTreeMap::new()
+            }
+            Ok(pre) => pre
+                .records
+                .into_iter()
+                .filter(|r| {
+                    r.status == CellStatus::Ok
+                        && r.run == Some(0)
+                        && grid.contains(&(r.app.clone(), r.scheme.clone()))
+                })
+                .filter_map(|r| r.metrics.clone().map(|m| ((r.app, r.scheme), m)))
+                .collect(),
+        };
+
+    // Phase 2: the restart. Same journal, same store, no faults, run tag 1.
+    let second = run_child(binary, config, &journal, &store_dir, &[], true, 1)?;
+    if second.status.code() != Some(0) {
+        violate(
+            "journal-resumable",
+            format!(
+                "resume exited with status {:?}: {}",
+                second.status.code(),
+                stderr_tail(&second)
+            ),
+        );
+    }
+
+    // Phase 3: replay the final journal and check accounting, bit-identity
+    // against the reference, and no-lost-ack.
+    match Journal::replay(&journal, &Telemetry::off()) {
+        Err(e) => violate(
+            "journal-resumable",
+            format!("replay after the resume failed: {e}"),
+        ),
+        Ok(post) => {
+            let newest: BTreeMap<(String, String), _> = post
+                .records
+                .into_iter()
+                .map(|r| ((r.app.clone(), r.scheme.clone()), r))
+                .collect();
+            for key in &grid {
+                match newest.get(key) {
+                    None => violate(
+                        "accounting",
+                        format!("cell {}:{} missing from the resumed journal", key.0, key.1),
+                    ),
+                    Some(r) if r.status != CellStatus::Ok => violate(
+                        "accounting",
+                        format!(
+                            "cell {}:{} ended {:?} after a faultless resume",
+                            key.0, key.1, r.status
+                        ),
+                    ),
+                    Some(r) => {
+                        if r.metrics.as_ref() != reference.get(key) {
+                            violate(
+                                "warm-unfaulted",
+                                format!(
+                                    "cell {}:{} diverged from the fault-free reference: \
+                                     {:?} vs {:?}",
+                                    key.0,
+                                    key.1,
+                                    r.metrics,
+                                    reference.get(key)
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            for (key, pre_metrics) in &acked {
+                match newest.get(key) {
+                    None => violate(
+                        "no-lost-ack",
+                        format!(
+                            "cell {}:{} was journaled Ok before the kill but vanished",
+                            key.0, key.1
+                        ),
+                    ),
+                    Some(r) if r.run != Some(0) => violate(
+                        "no-lost-ack",
+                        format!(
+                            "cell {}:{} was journaled Ok before the kill but re-simulated \
+                             (final run tag {:?})",
+                            key.0, key.1, r.run
+                        ),
+                    ),
+                    Some(r) if r.metrics.as_ref() != Some(pre_metrics) => violate(
+                        "no-lost-ack",
+                        format!(
+                            "cell {}:{} kept run tag 0 but its acked metrics changed",
+                            key.0, key.1
+                        ),
+                    ),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // Phase 4: durable-warm. A process-restart-equivalent verification
+    // pass — fresh in-memory store over the same directory, fresh journal
+    // — must be served from disk and reproduce the reference bit for bit.
+    let mut disk_hits = 0;
+    match ArtifactStore::persistent(&store_dir, None, Telemetry::off()) {
+        Err(e) => violate(
+            "durable-warm",
+            format!("store dir unusable after the drill: {e}"),
+        ),
+        Ok(store) => {
+            let store = Arc::new(store);
+            let spec = drill_spec(config);
+            match run_campaign_with_store(&spec, &store) {
+                Err(e) => violate("durable-warm", format!("verification campaign failed: {e}")),
+                Ok(summary) => {
+                    for r in &summary.records {
+                        let key = (r.app.clone(), r.scheme.clone());
+                        if r.status != CellStatus::Ok {
+                            violate(
+                                "durable-warm",
+                                format!(
+                                    "verification cell {}:{} ended {:?}",
+                                    r.app, r.scheme, r.status
+                                ),
+                            );
+                        } else if r.metrics.as_ref() != reference.get(&key) {
+                            violate(
+                                "durable-warm",
+                                format!(
+                                    "verification cell {}:{} is not bit-identical to the \
+                                     reference: {:?} vs {:?}",
+                                    r.app,
+                                    r.scheme,
+                                    r.metrics,
+                                    reference.get(&key)
+                                ),
+                            );
+                        }
+                    }
+                    disk_hits = store.stats().disk.map(|d| d.disk_hits).unwrap_or_default();
+                    if disk_hits == 0 {
+                        violate(
+                            "durable-warm",
+                            "verification campaign never hit the disk store — nothing \
+                             survived the restart"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(PointOutcome {
+        crashed,
+        acked_preserved: acked.len() as u64,
+        disk_hits,
+        violations,
+    })
+}
+
+/// Runs one full drill invocation: generate the kill points, drill each,
+/// check the schedule-independent ledger invariant, and (on violation,
+/// when asked) minimize the first violating point's fault set.
+///
+/// # Errors
+///
+/// Only infrastructure failures (an unusable scratch directory, a broken
+/// reference run, an unspawnable child) are errors; invariant violations
+/// are *data*, reported on the [`DrillReport`].
+pub fn run_drill(config: &DrillConfig) -> Result<DrillReport, BenchError> {
+    let binary = match &config.binary {
+        Some(path) => path.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| BenchError::Io(format!("cannot locate the critic binary: {e}")))?,
+    };
+    let points = generate_points(config);
+    let reference = reference_metrics(config)?;
+
+    let mut violations = Vec::new();
+    // The ledger invariant is schedule-independent: once per invocation.
+    if let Err(e) = time_single_cell(drill_trace_len(config)) {
+        violations.push(DrillViolation {
+            point: 0,
+            crash: points[0].crash,
+            invariant: "ledger".to_string(),
+            detail: e.to_string(),
+        });
+    }
+
+    let mut crashed = 0;
+    let mut clean = 0;
+    let mut acked_preserved = 0;
+    let mut disk_hits = 0;
+    for (i, point) in points.iter().enumerate() {
+        let outcome = run_point(config, &binary, &point.specs(), &reference)?;
+        if outcome.crashed {
+            crashed += 1;
+        } else {
+            clean += 1;
+        }
+        acked_preserved += outcome.acked_preserved;
+        disk_hits += outcome.disk_hits;
+        violations.extend(outcome.violations.into_iter().map(|(invariant, detail)| {
+            DrillViolation {
+                point: i,
+                crash: point.crash,
+                invariant,
+                detail,
+            }
+        }));
+    }
+
+    let minimized = match violations.first() {
+        Some(first) if config.minimize => {
+            let invariant = first.invariant.clone();
+            let point = &points[first.point];
+            let entries: Vec<ScheduleEntry> = point
+                .specs()
+                .iter()
+                .map(|s| ScheduleEntry::Sys(*s))
+                .collect();
+            let minimal = minimize_schedule(&entries, |subset| {
+                let specs: Vec<SysFaultSpec> = subset
+                    .iter()
+                    .filter_map(|e| match e {
+                        ScheduleEntry::Sys(s) => Some(*s),
+                        ScheduleEntry::Data(_) => None,
+                    })
+                    .collect();
+                run_point(config, &binary, &specs, &reference)
+                    .map(|o| o.violations.iter().any(|(inv, _)| *inv == invariant))
+                    .unwrap_or(false)
+            });
+            Some(
+                minimal
+                    .into_iter()
+                    .filter_map(|e| match e {
+                        ScheduleEntry::Sys(s) => Some(s),
+                        ScheduleEntry::Data(_) => None,
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+
+    Ok(DrillReport {
+        seed: config.seed,
+        cells: DRILL_APPS * 2,
+        points,
+        crashed,
+        clean,
+        acked_preserved,
+        disk_hits,
+        violations,
+        minimized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_deterministic_and_sweep_every_op_class() {
+        let config = DrillConfig {
+            seed: 9,
+            points: 13,
+            ..DrillConfig::default()
+        };
+        let a = generate_points(&config);
+        let b = generate_points(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 13);
+        for (i, point) in a.iter().enumerate() {
+            let SysFault::Crash { op } = point.crash.fault else {
+                panic!("point {i} is not a crash: {:?}", point.crash);
+            };
+            assert_eq!(op, SysOp::ALL[i % SysOp::ALL.len()]);
+            assert_eq!(point.crash.at, (i / SysOp::ALL.len()) as u64);
+            assert!(point.noise.len() <= 2);
+            for noise in &point.noise {
+                assert!(
+                    !matches!(noise.fault, SysFault::Crash { .. } | SysFault::Kill),
+                    "noise must be non-fatal: {:?}",
+                    noise.fault
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sys_args_render_in_cli_syntax() {
+        assert_eq!(
+            sys_arg(&SysFaultSpec {
+                fault: SysFault::Crash {
+                    op: SysOp::JournalAppend
+                },
+                at: 4,
+            }),
+            "crash:journal-append@4"
+        );
+        assert_eq!(
+            sys_arg(&SysFaultSpec {
+                fault: SysFault::DiskCorrupt,
+                at: 1,
+            }),
+            "disk-corrupt@1"
+        );
+        assert_eq!(
+            sys_arg(&SysFaultSpec {
+                fault: SysFault::AllocBudget { bytes: 64 },
+                at: 0,
+            }),
+            "alloc-budget:64@0"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod drill;
 pub mod perf;
 
 /// Trace length used by Criterion benches (small enough for statistics).

@@ -17,11 +17,13 @@
 //! that the CLI writes as `BENCH_*.json` and CI gates on.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use critic_core::campaign::{run_campaign_with_store, CampaignSpec, Scheme};
 use critic_core::design::DesignPoint;
+use critic_core::disk::DiskStoreStats;
 use critic_core::runner::Workbench;
 use critic_core::store::{ArtifactStore, StoreStats};
 use critic_core::RunError;
@@ -42,6 +44,9 @@ pub enum BenchError {
     /// The probe cell's cycle ledger did not partition the run — the
     /// observability invariant the bench-smoke CI job gates on.
     LedgerViolation(String),
+    /// Harness infrastructure failed: an unusable scratch directory or
+    /// store, an unspawnable drill child.
+    Io(String),
 }
 
 impl fmt::Display for BenchError {
@@ -52,6 +57,7 @@ impl fmt::Display for BenchError {
                 write!(f, "bench grid had failing cells:\n{summary}")
             }
             BenchError::LedgerViolation(msg) => write!(f, "{msg}"),
+            BenchError::Io(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -122,6 +128,19 @@ pub struct BenchReport {
     /// telemetry on the warm path, measured in-process so both sides see
     /// the same machine state. The observability layer's budget is <5%.
     pub telemetry_overhead_frac: f64,
+    /// Full-grid campaign against an empty *persistent* store (best of
+    /// `reps`): the cold half of the restart measurement.
+    pub restart_cold_campaign_millis: f64,
+    /// The same campaign re-run against a **fresh in-memory store over the
+    /// same directory** — the moral equivalent of a process restart: every
+    /// profile and baseline must come off disk (best of `reps`).
+    pub restart_warm_campaign_millis: f64,
+    /// `restart_cold_campaign_millis / restart_warm_campaign_millis`: the
+    /// durable tier's leverage across a restart.
+    pub restart_warm_speedup: f64,
+    /// Disk-tier counters after the restart-warm pass: hits must be
+    /// non-zero or the persistent store did nothing.
+    pub disk: DiskStoreStats,
     /// The probe cell's baseline cycle ledger; recorded so the report
     /// itself witnesses the partition invariant (`sum == cycles`), which
     /// [`run_perf_bench`] enforces before reporting.
@@ -130,6 +149,9 @@ pub struct BenchReport {
     /// versus served from cache.
     pub store: StoreStats,
 }
+
+/// Distinguishes concurrently-running restart measurements' store dirs.
+static STORE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// The campaign grid a bench run measures.
 pub fn bench_campaign(setup: &BenchSetup) -> CampaignSpec {
@@ -210,6 +232,50 @@ pub fn time_cold_warm(spec: &CampaignSpec) -> Result<(Duration, Duration, StoreS
     Ok((cold, warm, store.stats()))
 }
 
+/// Times a cold campaign against an empty persistent store, then — after
+/// dropping every in-memory artifact — a restart-warm campaign against a
+/// fresh store over the same directory. The second run can only be fast if
+/// the *disk* tier serves it: this is the committed report's witness that
+/// durability survives a process boundary.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the scratch store directory is
+/// unusable, [`BenchError::Run`] on campaign-level failures, and
+/// [`BenchError::FailedCells`] when any cell of either run failed.
+pub fn time_restart_warm(
+    spec: &CampaignSpec,
+) -> Result<(Duration, Duration, DiskStoreStats), BenchError> {
+    let dir = std::env::temp_dir().join(format!(
+        "critic_bench_store_{}_{}",
+        std::process::id(),
+        STORE_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let open = |dir: &std::path::Path| -> Result<Arc<ArtifactStore>, BenchError> {
+        ArtifactStore::persistent(dir, None, Telemetry::off())
+            .map(Arc::new)
+            .map_err(|e| BenchError::Io(e.to_string()))
+    };
+    let cold_store = open(&dir)?;
+    let started = Instant::now();
+    let cold_summary = run_campaign_with_store(spec, &cold_store)?;
+    let cold = started.elapsed();
+    drop(cold_store);
+
+    let warm_store = open(&dir)?;
+    let started = Instant::now();
+    let warm_summary = run_campaign_with_store(spec, &warm_store)?;
+    let warm = started.elapsed();
+    let disk = warm_store.stats().disk.unwrap_or_default();
+    let _ = std::fs::remove_dir_all(&dir);
+    for summary in [&cold_summary, &warm_summary] {
+        if !summary.all_ok() {
+            return Err(BenchError::FailedCells(summary.render()));
+        }
+    }
+    Ok((cold, warm, disk))
+}
+
 /// Times one warm campaign pass with telemetry enabled: the store is
 /// pre-warmed by a silent cold run (untimed), then the timed pass records
 /// spans on every cell. Comparing against the silent warm time from the
@@ -248,17 +314,26 @@ pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
     let mut best_cold = Duration::MAX;
     let mut best_warm = Duration::MAX;
     let mut best_warm_telemetry = Duration::MAX;
+    let mut best_restart_cold = Duration::MAX;
+    let mut best_restart_warm = Duration::MAX;
     let mut last_stats = StoreStats::default();
+    let mut last_disk = DiskStoreStats::default();
     for _ in 0..setup.reps.max(1) {
         let (cold, warm, stats) = time_cold_warm(&spec)?;
         best_cold = best_cold.min(cold);
         best_warm = best_warm.min(warm);
         best_warm_telemetry = best_warm_telemetry.min(time_warm_with_telemetry(&spec)?);
+        let (restart_cold, restart_warm, disk) = time_restart_warm(&spec)?;
+        best_restart_cold = best_restart_cold.min(restart_cold);
+        best_restart_warm = best_restart_warm.min(restart_warm);
         last_stats = stats;
+        last_disk = disk;
     }
     let cold_ms = best_cold.as_secs_f64() * 1e3;
     let warm_ms = best_warm.as_secs_f64() * 1e3;
     let warm_telemetry_ms = best_warm_telemetry.as_secs_f64() * 1e3;
+    let restart_cold_ms = best_restart_cold.as_secs_f64() * 1e3;
+    let restart_warm_ms = best_restart_warm.as_secs_f64() * 1e3;
     Ok(BenchReport {
         setup: *setup,
         single_cell_millis: single.as_secs_f64() * 1e3,
@@ -267,6 +342,10 @@ pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
         warm_speedup: cold_ms / warm_ms,
         warm_telemetry_campaign_millis: warm_telemetry_ms,
         telemetry_overhead_frac: (warm_telemetry_ms - warm_ms) / warm_ms,
+        restart_cold_campaign_millis: restart_cold_ms,
+        restart_warm_campaign_millis: restart_warm_ms,
+        restart_warm_speedup: restart_cold_ms / restart_warm_ms,
+        disk: last_disk,
         ledger,
         store: last_stats,
     })
@@ -284,6 +363,19 @@ mod tests {
         assert!(report.warm_campaign_millis > 0.0);
         assert!(report.warm_speedup > 0.0);
         assert!(report.store.hits > 0, "warm run must hit the store");
+        assert!(report.restart_cold_campaign_millis > 0.0);
+        assert!(report.restart_warm_campaign_millis > 0.0);
+        assert!(report.restart_warm_speedup > 0.0);
+        assert!(
+            report.disk.disk_hits > 0,
+            "the restart-warm run must be served from disk: {:?}",
+            report.disk
+        );
+        assert_eq!(
+            report.disk.saves, 0,
+            "a fully warmed disk store rebuilds nothing: {:?}",
+            report.disk
+        );
         // The audited probe ledger is non-degenerate and already verified
         // against the run's cycle count inside run_perf_bench.
         assert!(report.ledger.total() > 0);

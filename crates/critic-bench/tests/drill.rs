@@ -1,0 +1,54 @@
+//! End-to-end drill of the `critic drill` subcommand: a handful of seeded
+//! kill points must actually crash and restart child campaigns, hold the
+//! durable-warm and no-lost-ack invariants, and serialise a report.
+
+use std::process::Command;
+
+fn critic() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_critic"))
+}
+
+/// Pulls the integer after `"key":` out of the report JSON.
+fn field_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("`{key}` missing from drill JSON:\n{json}"));
+    let rest = json[at + needle.len()..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("`{key}` is not a number in drill JSON:\n{json}"))
+}
+
+#[test]
+fn drill_smoke_crashes_restarts_and_holds_the_durability_invariants() {
+    let out_path = std::env::temp_dir().join(format!("critic_drill_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out_path);
+
+    let mut cmd = critic();
+    cmd.args(["drill", "--seed", "3", "--points", "6", "--smoke"]);
+    cmd.arg("-o").arg(&out_path);
+    let run = cmd.output().expect("drill invocation runs");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert_eq!(
+        run.status.code(),
+        Some(0),
+        "a healthy runner passes the drill\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(
+        stdout.contains("durable-warm and no-lost-ack held"),
+        "{stdout}"
+    );
+
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    // Points 0..6 sweep all six op classes at occurrence 0 — every child
+    // must die at its planted crash, and every verification pass must be
+    // served from the surviving disk store.
+    assert_eq!(field_u64(&json, "crashed"), 6, "{json}");
+    assert_eq!(field_u64(&json, "clean"), 0, "{json}");
+    assert!(field_u64(&json, "disk_hits") > 0, "{json}");
+    assert!(json.contains("\"violations\": []"), "{json}");
+    let _ = std::fs::remove_file(&out_path);
+}

@@ -12,9 +12,7 @@
 //! journal is replayed on `--resume`, so a killed campaign continues where
 //! it stopped instead of starting over.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,8 +32,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
 use crate::error::RunError;
+use crate::journal::Journal;
 use crate::runner::{ValidationStats, Workbench};
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, StoreStats};
 
 /// One named software/hardware configuration of the campaign grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -190,6 +189,22 @@ pub struct CampaignSpec {
     /// tap points — journal appends, store requests, attempt starts, cell
     /// completions — consult it; `None` (the default) costs one branch.
     pub sys: Option<Arc<SysInjector>>,
+    /// Root of the persistent artifact store; `None` (the default) keeps
+    /// the store purely in-memory. [`run_campaign`] opens the disk tier
+    /// here, so a *restarted* campaign over the same directory is warm
+    /// from its first cell.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget for the persistent store's entries (`None` =
+    /// unbounded); the oldest entries are LRU-evicted over budget.
+    pub store_budget: Option<u64>,
+    /// Cell records per journal segment before it is rolled into a
+    /// checkpointed segment and compacted; `0` (the default) disables
+    /// segmentation — one unbounded journal file, the original format.
+    pub segment_max_lines: usize,
+    /// Tag stamped on every cell record this run journals (the recovery
+    /// drill uses monotonically increasing tags to prove a journaled-Ok
+    /// cell is never re-simulated after a crash). `None` journals no tag.
+    pub run_tag: Option<u64>,
 }
 
 impl CampaignSpec {
@@ -210,6 +225,10 @@ impl CampaignSpec {
             telemetry: Telemetry::from_env(),
             supervision: SupervisionPolicy::default(),
             sys: None,
+            store_dir: None,
+            store_budget: None,
+            segment_max_lines: 0,
+            run_tag: None,
         }
     }
 }
@@ -281,6 +300,10 @@ pub struct CellRecord {
     /// when the supervisor degraded it. `None` for undegraded cells and in
     /// journals written before the supervision layer existed.
     pub degraded: Option<u8>,
+    /// The [`CampaignSpec::run_tag`] of the invocation that produced this
+    /// record. `None` for untagged runs and in journals written before the
+    /// durability layer existed, so old journals still resume.
+    pub run: Option<u64>,
 }
 
 impl CellRecord {
@@ -427,6 +450,16 @@ pub struct CampaignTelemetryRecord {
     pub campaign_telemetry: TelemetrySnapshot,
 }
 
+/// The journal trailer a persistent-store campaign appends *before* the
+/// telemetry trailer (which stays the journal's last line): the final
+/// store counters, including the disk tier's, under a key no
+/// [`CellRecord`] has — resume skips it, `critic stats` reads it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStoreRecord {
+    /// The store counter snapshot at campaign end.
+    pub campaign_store: StoreStats,
+}
+
 /// One unit of work: an app × scheme pair plus its planned fault.
 #[derive(Debug, Clone)]
 struct Cell {
@@ -511,7 +544,7 @@ impl AllocMeter {
 /// A [`CellStatus::Shed`] record for a cell that never ran. The record
 /// carries the reason as [`RunError::Shed`] so nothing is silently
 /// dropped: Ok + Failed + Shed always sums to the grid.
-fn shed_record(cell: &Cell, reason: String) -> CellRecord {
+fn shed_record(cell: &Cell, reason: String, run: Option<u64>) -> CellRecord {
     CellRecord {
         app: cell.app.name.clone(),
         scheme: cell.scheme.name.clone(),
@@ -524,60 +557,27 @@ fn shed_record(cell: &Cell, reason: String) -> CellRecord {
         validation: None,
         spans: None,
         degraded: None,
-    }
-}
-
-/// Appends one JSONL line to the journal through the systemic-fault tap.
-/// An injected `JournalWrite` drops the line, `JournalFsync` skips the
-/// durability sync, and `JournalTorn` writes only a prefix with no
-/// newline — the torn prefix merges with the next appended line, which
-/// resume then fails to parse and reruns both cells (exactly the torn-tail
-/// tolerance the journal format guarantees).
-fn journal_append(
-    journal: &Mutex<File>,
-    line: &str,
-    sys: Option<&Arc<SysInjector>>,
-    telemetry: &Telemetry,
-) {
-    let mut write_line = true;
-    let mut fsync = true;
-    let mut torn = false;
-    if let Some(sys) = sys {
-        for fault in sys.advance(SysOp::JournalAppend) {
-            telemetry.event(EventKind::SysFault);
-            match fault {
-                SysFault::JournalWrite => write_line = false,
-                SysFault::JournalFsync => fsync = false,
-                SysFault::JournalTorn => torn = true,
-                _ => {}
-            }
-        }
-    }
-    if !write_line {
-        return;
-    }
-    let mut file = lock_clean(journal);
-    if torn {
-        let mut half = line.len() / 2;
-        while half > 0 && !line.is_char_boundary(half) {
-            half -= 1;
-        }
-        let _ = file.write_all(&line.as_bytes()[..half]);
-        let _ = file.flush();
-        return;
-    }
-    let _ = writeln!(file, "{line}");
-    let _ = file.flush();
-    if fsync {
-        let _ = file.sync_all();
+        run,
     }
 }
 
 /// Runs the campaign to completion. Individual cell failures never abort
 /// the grid; they are journaled and reported in the summary. The only
-/// campaign-level error is an unusable journal.
+/// campaign-level errors are an unusable journal or an unusable persistent
+/// store directory.
+///
+/// With [`CampaignSpec::store_dir`] set, the campaign runs over a
+/// [`ArtifactStore::persistent`] store rooted there: artifacts built this
+/// run spill to disk, and a restarted campaign (same directory) serves
+/// them back without re-simulating — the *durable-warm* property the
+/// recovery drill proves.
 pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignSummary, RunError> {
-    run_campaign_with_store(spec, &Arc::new(ArtifactStore::new()))
+    let store = match &spec.store_dir {
+        Some(dir) => ArtifactStore::persistent(dir, spec.store_budget, spec.telemetry.clone())
+            .map_err(|e| RunError::Store(e.to_string()))?,
+        None => ArtifactStore::new(),
+    };
+    run_campaign_with_store(spec, &Arc::new(store))
 }
 
 /// [`run_campaign`] over a caller-owned [`ArtifactStore`].
@@ -622,40 +622,39 @@ pub fn run_campaign_with_store(
         })
         .collect();
 
-    // Replay the journal. Only cells journaled Ok count as finished work:
-    // failed/timed-out/panicked cells rerun (so resuming after fixing a
-    // transient cause — e.g. a too-tight deadline — retries them rather
-    // than re-reporting the stale failure). Records are deduped by cell
-    // key with the newest line winning, and records for cells outside the
-    // current grid are dropped, so repeated or re-scoped runs against the
-    // same journal cannot inflate the summary past the grid size.
-    let mut replayed: BTreeMap<(String, String), CellRecord> = BTreeMap::new();
-    if spec.resume {
-        if let Some(path) = &spec.journal {
-            if path.exists() {
-                let file = File::open(path)
-                    .map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?;
-                for line in BufReader::new(file).lines() {
-                    let line =
-                        line.map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?;
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    // A torn final line (the process died mid-write) is
-                    // expected after a kill; ignore it and rerun that cell.
-                    if let Ok(record) = serde_json::from_str::<CellRecord>(&line) {
-                        if grid.contains(&record.key()) {
-                            replayed.insert(record.key(), record);
-                        }
-                    }
-                }
-            }
+    // Open the journal (creating it if absent). Opening runs recovery:
+    // segments, checkpoints, and the active file are replayed with
+    // per-line checksum verification, a torn final line (the process died
+    // mid-write) is truncated away, and the checkpoint state is seeded
+    // from every parseable record — grid-filtered or not — so a later
+    // compaction can never silently drop out-of-grid history.
+    let (journal, replayed) = match &spec.journal {
+        Some(path) => {
+            let (journal, replayed) =
+                Journal::open(path, spec.segment_max_lines, spec.telemetry.clone())
+                    .map_err(|e| RunError::Journal(e.to_string()))?;
+            (Some(journal), Some(replayed))
         }
-    }
-    let resumed_records: Vec<CellRecord> = replayed
-        .into_values()
-        .filter(|r| r.status == CellStatus::Ok)
-        .collect();
+        None => (None, None),
+    };
+
+    // Resume from the replayed records. Only cells journaled Ok count as
+    // finished work: failed/timed-out/panicked cells rerun (so resuming
+    // after fixing a transient cause — e.g. a too-tight deadline — retries
+    // them rather than re-reporting the stale failure). Replay already
+    // deduped by cell key with the newest record winning; records for
+    // cells outside the current grid are dropped here, so repeated or
+    // re-scoped runs against the same journal cannot inflate the summary
+    // past the grid size.
+    let resumed_records: Vec<CellRecord> = match (&replayed, spec.resume) {
+        (Some(replayed), true) => replayed
+            .records
+            .iter()
+            .filter(|r| r.status == CellStatus::Ok && grid.contains(&r.key()))
+            .cloned()
+            .collect(),
+        _ => Vec::new(),
+    };
     let done: BTreeSet<(String, String)> = resumed_records.iter().map(CellRecord::key).collect();
     // Fold replayed cells' spans back into the campaign aggregate: the
     // telemetry trailer is recomputed from cell records on resume, so a
@@ -666,17 +665,6 @@ pub fn run_campaign_with_store(
             spec.telemetry.absorb(spans);
         }
     }
-
-    let journal: Option<Mutex<File>> = match &spec.journal {
-        Some(path) => Some(Mutex::new(
-            OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .map_err(|e| RunError::Journal(format!("{}: {e}", path.display())))?,
-        )),
-        None => None,
-    };
 
     // Scheme-major order: the first |apps| cells each touch a *different*
     // app, so the initial wave of workers seeds the store with every app's
@@ -736,12 +724,17 @@ pub fn run_campaign_with_store(
                         // Graceful shutdown: drain the queue with Shed
                         // records (in-flight siblings finish normally).
                         spec.telemetry.event(EventKind::Shed);
-                        shed_record(&cell, "graceful shutdown: queue drained".to_string())
+                        shed_record(
+                            &cell,
+                            "graceful shutdown: queue drained".to_string(),
+                            spec.run_tag,
+                        )
                     } else if breaker.is_open(&cell.app.name) {
                         spec.telemetry.event(EventKind::Shed);
                         shed_record(
                             &cell,
                             format!("circuit breaker open for app `{}`", cell.app.name),
+                            spec.run_tag,
                         )
                     } else {
                         let (record, saw_store_write) = run_cell(&cell, spec, store);
@@ -755,7 +748,7 @@ pub fn run_campaign_with_store(
                     };
                     breaker.on_record(&record, &spec.telemetry);
                     if let Some(sys) = &spec.sys {
-                        for fault in sys.advance(SysOp::CellDone) {
+                        for fault in sys.advance_or_crash(SysOp::CellDone) {
                             spec.telemetry.event(EventKind::SysFault);
                             if fault == SysFault::Kill {
                                 shutdown.store(true, Ordering::Relaxed);
@@ -763,14 +756,12 @@ pub fn run_campaign_with_store(
                         }
                     }
                     if let Some(journal) = &journal {
-                        // Journal full lines only; flush + fsync so a
-                        // kill -9 (or power loss) loses at most the
-                        // cell in flight, never an already-reported
-                        // one. Resume tolerates the torn tail such a
-                        // kill can still leave.
-                        if let Ok(line) = serde_json::to_string(&record) {
-                            journal_append(journal, &line, spec.sys.as_ref(), &spec.telemetry);
-                        }
+                        // Journal full checksummed lines only; flush +
+                        // fsync so a kill -9 (or power loss) loses at
+                        // most the cell in flight, never an
+                        // already-acknowledged one. Recovery truncates
+                        // the torn tail such a kill can still leave.
+                        journal.append_cell(&record, spec.sys.as_ref());
                     }
                     lock_clean(&fresh).push(record);
                 }
@@ -806,17 +797,29 @@ pub fn run_campaign_with_store(
             .unwrap_or(usize::MAX)
     });
     let telemetry = spec.telemetry.snapshot();
-    if let (Some(journal), Some(snapshot)) = (&journal, &telemetry) {
-        // The aggregate rides in the journal after the cell records — the
-        // crash-safe trailer. Its key matches no CellRecord field, so
-        // resume skips the line the same way it skips a torn tail; a
-        // resumed run recomputes the aggregate from the replayed records
-        // (absorbed above) and appends a fresh, complete trailer.
-        let record = CampaignTelemetryRecord {
-            campaign_telemetry: *snapshot,
-        };
-        if let Ok(line) = serde_json::to_string(&record) {
-            journal_append(journal, &line, spec.sys.as_ref(), &spec.telemetry);
+    if let Some(journal) = &journal {
+        // Trailers ride in the journal after the cell records — the
+        // crash-safe aggregates. Their keys match no CellRecord field, so
+        // resume skips them the same way it skips a torn tail; a resumed
+        // run recomputes and appends fresh, complete trailers. The store
+        // trailer (persistent stores only) goes first: downstream tooling
+        // relies on the telemetry aggregate staying the last line.
+        let store_stats = store.stats();
+        if store_stats.disk.is_some() {
+            let record = CampaignStoreRecord {
+                campaign_store: store_stats,
+            };
+            if let Ok(line) = serde_json::to_string(&record) {
+                journal.append_trailer(&line, spec.sys.as_ref());
+            }
+        }
+        if let Some(snapshot) = &telemetry {
+            let record = CampaignTelemetryRecord {
+                campaign_telemetry: *snapshot,
+            };
+            if let Ok(line) = serde_json::to_string(&record) {
+                journal.append_trailer(&line, spec.sys.as_ref());
+            }
         }
     }
     Ok(CampaignSummary {
@@ -863,7 +866,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
         let mut meter = None;
         let mut stall = None;
         if let Some(sys) = &spec.sys {
-            for fault in sys.advance(SysOp::AttemptStart) {
+            for fault in sys.advance_or_crash(SysOp::AttemptStart) {
                 telemetry.event(EventKind::SysFault);
                 match fault {
                     SysFault::AllocBudget { bytes } => {
@@ -940,6 +943,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
                         validation,
                         spans: finish(&telemetry),
                         degraded,
+                        run: spec.run_tag,
                     },
                     saw_store_write,
                 );
@@ -963,6 +967,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
                         validation: None,
                         spans: finish(&telemetry),
                         degraded,
+                        run: spec.run_tag,
                     },
                     saw_store_write,
                 );
@@ -1211,6 +1216,9 @@ pub fn default_schemes() -> Vec<Scheme> {
 
 #[cfg(test)]
 mod tests {
+    use std::fs::OpenOptions;
+    use std::io::Write;
+
     use critic_workloads::{Suite, SysFaultSpec};
 
     use super::*;
@@ -1526,6 +1534,7 @@ mod tests {
                 validation: None,
                 spans: None,
                 degraded: None,
+                run: None,
             }],
             resumed: 0,
             telemetry: None,

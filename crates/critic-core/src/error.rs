@@ -38,6 +38,10 @@ pub enum RunError {
     Cancelled,
     /// The campaign journal could not be read or written.
     Journal(String),
+    /// The persistent artifact store could not be opened (its cache
+    /// directory is unusable). Per-entry corruption never raises this —
+    /// bad entries are quarantined and rebuilt.
+    Store(String),
     /// The differential oracle found a divergence that could not be
     /// resolved by demoting the offending chain.
     Validation(String),
@@ -64,6 +68,7 @@ impl fmt::Display for RunError {
             }
             RunError::Cancelled => write!(f, "attempt cancelled after its deadline expired"),
             RunError::Journal(msg) => write!(f, "journal error: {msg}"),
+            RunError::Store(msg) => write!(f, "persistent store error: {msg}"),
             RunError::Validation(msg) => write!(f, "translation validation failed: {msg}"),
             RunError::Sys(fault) => write!(f, "systemic fault fired: {fault}"),
             RunError::Shed(msg) => write!(f, "cell shed: {msg}"),

@@ -36,17 +36,24 @@
 
 pub mod campaign;
 pub mod design;
+pub mod disk;
 pub mod error;
 pub mod experiments;
+pub mod journal;
+pub mod keys;
 pub mod runner;
 pub mod store;
 
 pub use campaign::{
-    run_campaign, run_campaign_with_store, CampaignSpec, CampaignSummary, CampaignTelemetryRecord,
-    CellMetrics, CellRecord, CellStatus, PlannedFault, Scheme, SupervisionPolicy,
+    run_campaign, run_campaign_with_store, CampaignSpec, CampaignStoreRecord, CampaignSummary,
+    CampaignTelemetryRecord, CellMetrics, CellRecord, CellStatus, PlannedFault, Scheme,
+    SupervisionPolicy,
 };
 pub use design::{DesignPoint, Software};
+pub use disk::{DiskStore, DiskStoreStats, StoreError};
 pub use error::RunError;
+pub use journal::{Journal, JournalError, ReplayedJournal};
+pub use keys::{crc32, stable_key, KEY_FORMAT_VERSION};
 pub use runner::{RunOutcome, ValidationStats, Workbench};
 pub use store::{ArtifactStore, StoreStats, World, WorldKey};
 

@@ -23,40 +23,40 @@
 //! A failed computation leaves the slot empty: errors are never cached, so
 //! a faulted or cancelled attempt cannot poison siblings, and a retry
 //! recomputes from scratch.
+//!
+//! # The persistent tier
+//!
+//! [`ArtifactStore::persistent`] adds a disk tier ([`DiskStore`]) under
+//! the in-memory memo: profiles and baseline outcomes — the two classes
+//! whose builds dominate campaign time and whose values serialize
+//! losslessly — are saved on build and consulted on every in-memory miss,
+//! so a *restarted* campaign (fresh process, same `--store-dir`) is warm
+//! from its first cell. Disk keys come from [`stable_key`] — a versioned,
+//! canonical binary encoding of the serialized value — so they survive
+//! field reordering, process restarts, and struct derive churn, unlike the
+//! `Debug`-format hash this replaced. Disk entries are checksummed; a
+//! corrupt or torn entry is quarantined and rebuilt, never trusted and
+//! never fatal.
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use critic_compiler::BaselineExecution;
 use critic_energy::EnergyModel;
+use critic_obs::{EventKind, Telemetry};
 use critic_pipeline::Simulator;
 use critic_profiler::{Profile, Profiler, ProfilerConfig};
 use critic_workloads::{AppSpec, ExecutionPath, Program, SysFault, SysInjector, SysOp, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::design::DesignPoint;
+use crate::disk::{ArtifactClass, DiskStore, DiskStoreStats, StoreError};
 use crate::error::RunError;
+use crate::keys::stable_key;
 use crate::runner::RunOutcome;
-
-/// FNV-1a over a byte string: a stable, dependency-free content hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Content hash of any `Debug`-printable configuration. The structs being
-/// keyed (app specs, profiler/CPU/memory configs) carry `f64` fields and so
-/// cannot derive `Hash`; their `Debug` form round-trips every field at full
-/// precision, which makes it a faithful content address.
-fn debug_hash(value: &impl std::fmt::Debug) -> u64 {
-    fnv1a(format!("{value:?}").as_bytes())
-}
 
 /// Identity of one generated world: app content hash × trace length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,10 +66,12 @@ pub struct WorldKey {
 }
 
 impl WorldKey {
-    /// The key for `app` at `trace_len` dynamic instructions.
+    /// The key for `app` at `trace_len` dynamic instructions. The app
+    /// component is a [`stable_key`]: canonical (field-order independent)
+    /// and versioned, so it identifies the same content across processes.
     pub fn new(app: &AppSpec, trace_len: usize) -> WorldKey {
         WorldKey {
-            app: debug_hash(app),
+            app: stable_key(app),
             trace_len,
         }
     }
@@ -179,6 +181,10 @@ pub struct StoreStats {
     pub hits: u64,
     /// Wall-clock nanoseconds spent inside build closures (cache misses).
     pub build_nanos: u64,
+    /// The persistent tier's counters, when the store has one. Absent for
+    /// in-memory stores and in records written before the disk tier
+    /// existed, so old journals still parse.
+    pub disk: Option<DiskStoreStats>,
 }
 
 impl StoreStats {
@@ -224,6 +230,10 @@ pub struct ArtifactStore {
     /// injector's `StoreRequest` counter and may fail with an injected
     /// I/O error. `None` (the default) is a branch and nothing more.
     injector: Mutex<Option<Arc<SysInjector>>>,
+    /// The persistent tier; `None` for a purely in-memory store.
+    disk: Option<DiskStore>,
+    /// Sink for durability events (and absorbed disk chaos faults).
+    telemetry: Telemetry,
 }
 
 impl Default for ArtifactStore {
@@ -239,7 +249,7 @@ impl std::fmt::Debug for ArtifactStore {
 }
 
 impl ArtifactStore {
-    /// An empty store.
+    /// An empty in-memory store.
     pub fn new() -> ArtifactStore {
         ArtifactStore {
             worlds: Memo::new(),
@@ -248,7 +258,34 @@ impl ArtifactStore {
             baselines: Memo::new(),
             baseline_execs: Memo::new(),
             injector: Mutex::new(None),
+            disk: None,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// A store with a persistent tier rooted at `dir` (created if absent),
+    /// bounded to `budget` bytes of entries (`None` = unbounded, LRU
+    /// eviction otherwise). Profiles and baseline outcomes spill to disk
+    /// on build and are served from disk on in-memory misses, so a fresh
+    /// process over the same directory restarts warm. Durability events
+    /// (evictions, quarantines) land on `telemetry`.
+    pub fn persistent(
+        dir: &Path,
+        budget: Option<u64>,
+        telemetry: Telemetry,
+    ) -> Result<ArtifactStore, StoreError> {
+        let disk = DiskStore::open(dir, budget)?;
+        disk.set_telemetry(telemetry.clone());
+        let mut store = ArtifactStore::new();
+        store.disk = Some(disk);
+        store.telemetry = telemetry;
+        Ok(store)
+    }
+
+    /// Direct access to the persistent tier, when the store has one (the
+    /// chaos drill uses it to corrupt entries in place).
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
     }
 
     /// Arms (or clears) the systemic-fault injector consulted on every
@@ -266,13 +303,90 @@ impl ArtifactStore {
     fn sys_tap(&self) -> Result<(), RunError> {
         let injector = lock_clean(&self.injector).clone();
         if let Some(injector) = injector {
-            for fault in injector.advance(SysOp::StoreRequest) {
+            for fault in injector.advance_or_crash(SysOp::StoreRequest) {
                 if matches!(fault, SysFault::StoreRead | SysFault::StoreWrite) {
                     return Err(RunError::Sys(fault));
                 }
             }
         }
         Ok(())
+    }
+
+    /// The chaos tap on the persistent tier: advances the injector's
+    /// `DiskRequest` counter once per disk operation. Disk faults are
+    /// *absorbed*, never errors — a failed read is a miss (rebuild), a
+    /// failed write is a skipped save, a corruption lands in the entry for
+    /// the checksum layer to quarantine — because that is the store's real
+    /// contract with a flaky filesystem. Returns
+    /// `(skip_read, skip_write, corrupt)`.
+    fn disk_tap(&self) -> (bool, bool, bool) {
+        let (mut skip_read, mut skip_write, mut corrupt) = (false, false, false);
+        let injector = lock_clean(&self.injector).clone();
+        if let Some(injector) = injector {
+            for fault in injector.advance_or_crash(SysOp::DiskRequest) {
+                self.telemetry.event(EventKind::SysFault);
+                match fault {
+                    SysFault::DiskRead => skip_read = true,
+                    SysFault::DiskWrite => skip_write = true,
+                    SysFault::DiskCorrupt => corrupt = true,
+                    _ => {}
+                }
+            }
+        }
+        (skip_read, skip_write, corrupt)
+    }
+
+    /// Loads one artifact from the persistent tier, if present and intact.
+    /// Every failure mode — missing entry, injected read fault, I/O error,
+    /// checksum mismatch (quarantined inside [`DiskStore::load`]) — is a
+    /// miss: the caller rebuilds.
+    fn disk_load<T: serde::Deserialize>(&self, class: ArtifactClass, key: u64) -> Option<T> {
+        let disk = self.disk.as_ref()?;
+        let (skip_read, _, corrupt) = self.disk_tap();
+        if corrupt {
+            let _ = disk.corrupt_entry(class, key);
+        }
+        if skip_read {
+            return None;
+        }
+        match disk.load(class, key) {
+            Ok(Some(bytes)) => {
+                let text = String::from_utf8(bytes).ok()?;
+                serde_json::from_str(&text).ok()
+            }
+            // A miss, a quarantined entry, or an I/O error (all counted in
+            // the disk stats): rebuild.
+            _ => None,
+        }
+    }
+
+    /// Saves one artifact to the persistent tier, best-effort: a failed
+    /// save costs a future rebuild, never the current cell.
+    fn disk_save<T: serde::Serialize>(&self, class: ArtifactClass, key: u64, value: &T) {
+        let Some(disk) = self.disk.as_ref() else {
+            return;
+        };
+        let (_, skip_write, _) = self.disk_tap();
+        if skip_write {
+            return;
+        }
+        if let Ok(json) = serde_json::to_string(value) {
+            let _ = disk.save(class, key, json.as_bytes());
+        }
+    }
+
+    /// The disk key for one artifact: class name folded with the world
+    /// identity and the configuration's stable key, all through the
+    /// canonical encoder, so the same logical artifact maps to the same
+    /// file across processes and derive reorderings.
+    fn disk_key(&self, class: ArtifactClass, world: &World, config_key: u64) -> Option<u64> {
+        self.disk.as_ref()?;
+        Some(stable_key(&(
+            class.name(),
+            world.key.app,
+            world.key.trace_len as u64,
+            config_key,
+        )))
     }
 
     /// The world for `app` at `trace_len`, generated at most once.
@@ -322,14 +436,24 @@ impl ArtifactStore {
         config: &ProfilerConfig,
     ) -> Result<Arc<Profile>, RunError> {
         self.sys_tap()?;
-        let key = (world.key, debug_hash(config));
-        self.profiles.get_or_try_build(key, || {
+        let config_key = stable_key(config);
+        let disk_key = self.disk_key(ArtifactClass::Profile, world, config_key);
+        self.profiles.get_or_try_build((world.key, config_key), || {
+            if let Some(disk_key) = disk_key {
+                if let Some(profile) = self.disk_load::<Profile>(ArtifactClass::Profile, disk_key) {
+                    return Ok(profile);
+                }
+            }
             let cone = self.cone_fanout(world);
-            Ok(Profiler::new(config.clone()).try_build_profile_with_cone(
+            let profile = Profiler::new(config.clone()).try_build_profile_with_cone(
                 &world.program,
                 &world.trace,
                 &cone,
-            )?)
+            )?;
+            if let Some(disk_key) = disk_key {
+                self.disk_save(ArtifactClass::Profile, disk_key, &profile);
+            }
+            Ok(profile)
         })
     }
 
@@ -344,19 +468,32 @@ impl ArtifactStore {
         self.sys_tap()?;
         let cpu = point.cpu_config();
         let mem = point.mem_config();
-        let key = (world.key, debug_hash(&(&cpu, &mem)));
-        self.baselines.get_or_try_build(key, || {
-            let sim = Simulator::new(cpu, mem).run(&world.trace, &world.fanout);
-            let energy = EnergyModel::default().evaluate(&sim);
-            Ok(RunOutcome {
-                design: point.label(),
-                thumb_dyn_frac: world.trace.thumb_fraction(),
-                dyn_insns: world.trace.len(),
-                sim,
-                energy,
-                pass: Default::default(),
+        let config_key = stable_key(&(&cpu, &mem));
+        let disk_key = self.disk_key(ArtifactClass::Baseline, world, config_key);
+        self.baselines
+            .get_or_try_build((world.key, config_key), || {
+                if let Some(disk_key) = disk_key {
+                    if let Some(outcome) =
+                        self.disk_load::<RunOutcome>(ArtifactClass::Baseline, disk_key)
+                    {
+                        return Ok(outcome);
+                    }
+                }
+                let sim = Simulator::new(cpu, mem).run(&world.trace, &world.fanout);
+                let energy = EnergyModel::default().evaluate(&sim);
+                let outcome = RunOutcome {
+                    design: point.label(),
+                    thumb_dyn_frac: world.trace.thumb_fraction(),
+                    dyn_insns: world.trace.len(),
+                    sim,
+                    energy,
+                    pass: Default::default(),
+                };
+                if let Some(disk_key) = disk_key {
+                    self.disk_save(ArtifactClass::Baseline, disk_key, &outcome);
+                }
+                Ok(outcome)
             })
-        })
     }
 
     /// The captured baseline oracle execution of a world under `seed`,
@@ -398,6 +535,7 @@ impl ArtifactStore {
                 + self.profiles.build_nanos.load(Ordering::Relaxed)
                 + self.baselines.build_nanos.load(Ordering::Relaxed)
                 + self.baseline_execs.build_nanos.load(Ordering::Relaxed),
+            disk: self.disk.as_ref().map(DiskStore::stats),
         }
     }
 }
@@ -551,5 +689,43 @@ mod tests {
         assert_eq!(stats.requests(), stats.built() + stats.hits);
         assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
         assert!(stats.build_nanos > 0, "builds take measurable time");
+        assert!(stats.disk.is_none(), "in-memory store has no disk tier");
+    }
+
+    /// The durable-warm guarantee at store level: a *fresh process* (here,
+    /// a fresh store over the same directory) serves profiles and
+    /// baselines from disk, bit-identical to what the cold store built.
+    #[test]
+    fn persistent_store_restarts_warm_and_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("critic-store-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = small_app(0);
+        let cold = ArtifactStore::persistent(&dir, None, Telemetry::off()).expect("open");
+        let world = cold.world(&app, 6_000).expect("world");
+        let p_cold = cold
+            .profile(&world, &ProfilerConfig::default())
+            .expect("profile");
+        let b_cold = cold
+            .baseline(&world, &DesignPoint::baseline())
+            .expect("baseline");
+        let cold_disk = cold.stats().disk.expect("disk stats");
+        assert_eq!(cold_disk.saves, 2, "{cold_disk:?}");
+        assert_eq!(cold_disk.disk_hits, 0, "{cold_disk:?}");
+        drop(cold);
+
+        let warm = ArtifactStore::persistent(&dir, None, Telemetry::off()).expect("reopen");
+        let world = warm.world(&app, 6_000).expect("world rebuilt");
+        let p_warm = warm
+            .profile(&world, &ProfilerConfig::default())
+            .expect("disk profile");
+        let b_warm = warm
+            .baseline(&world, &DesignPoint::baseline())
+            .expect("disk baseline");
+        assert_eq!(*p_cold, *p_warm, "disk round-trip is lossless");
+        assert_eq!(*b_cold, *b_warm, "disk round-trip is lossless");
+        let warm_disk = warm.stats().disk.expect("disk stats");
+        assert_eq!(warm_disk.disk_hits, 2, "{warm_disk:?}");
+        assert_eq!(warm_disk.saves, 0, "nothing rebuilt, nothing saved");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,5 +27,6 @@ pub mod span;
 
 pub use ledger::{CycleClass, CycleLedger, MemLevelCounters};
 pub use span::{
-    EventKind, Recorder, SpanKind, SpanStats, SupervisionEvents, Telemetry, TelemetrySnapshot,
+    DurabilityEvents, EventKind, Recorder, SpanKind, SpanStats, SupervisionEvents, Telemetry,
+    TelemetrySnapshot,
 };

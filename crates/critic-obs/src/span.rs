@@ -80,11 +80,21 @@ pub enum EventKind {
     /// A cell was shed — by an open breaker or a draining shutdown —
     /// instead of run.
     Shed,
+    /// A disk-store entry was evicted by the LRU byte-budget policy.
+    Evict,
+    /// A corrupt or torn disk-store entry was quarantined (renamed aside
+    /// and rebuilt) instead of crashing the campaign.
+    Quarantine,
+    /// A journal checkpoint record was written at a segment roll.
+    Checkpoint,
+    /// A torn journal tail line was detected by its checksum and
+    /// truncated during resume.
+    TornRecovery,
 }
 
 impl EventKind {
     /// Every event kind.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Fault,
         EventKind::Retry,
         EventKind::Demotion,
@@ -92,6 +102,10 @@ impl EventKind {
         EventKind::Degrade,
         EventKind::Trip,
         EventKind::Shed,
+        EventKind::Evict,
+        EventKind::Quarantine,
+        EventKind::Checkpoint,
+        EventKind::TornRecovery,
     ];
 
     /// Short human-readable label (stats tables).
@@ -104,6 +118,10 @@ impl EventKind {
             EventKind::Degrade => "degrades",
             EventKind::Trip => "trips",
             EventKind::Shed => "sheds",
+            EventKind::Evict => "evictions",
+            EventKind::Quarantine => "quarantines",
+            EventKind::Checkpoint => "checkpoints",
+            EventKind::TornRecovery => "torn-recoveries",
         }
     }
 
@@ -116,6 +134,10 @@ impl EventKind {
             EventKind::Degrade => 4,
             EventKind::Trip => 5,
             EventKind::Shed => 6,
+            EventKind::Evict => 7,
+            EventKind::Quarantine => 8,
+            EventKind::Checkpoint => 9,
+            EventKind::TornRecovery => 10,
         }
     }
 }
@@ -146,6 +168,35 @@ impl SupervisionEvents {
 
     fn is_empty(&self) -> bool {
         *self == SupervisionEvents::default()
+    }
+}
+
+/// Durability-layer event counts — the PR-6 additions to
+/// [`TelemetrySnapshot`], grouped in one optional struct (the same
+/// back-compat shape as [`SupervisionEvents`]) so journals written before
+/// the persistent tier existed still deserialize (`None`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityEvents {
+    /// Disk-store entries evicted by the LRU byte-budget policy.
+    pub evictions: u64,
+    /// Corrupt or torn disk-store entries quarantined and rebuilt.
+    pub quarantines: u64,
+    /// Journal checkpoint records written at segment rolls.
+    pub checkpoints: u64,
+    /// Torn journal tail lines truncated during resume.
+    pub torn_recoveries: u64,
+}
+
+impl DurabilityEvents {
+    fn absorb(&mut self, other: &DurabilityEvents) {
+        self.evictions += other.evictions;
+        self.quarantines += other.quarantines;
+        self.checkpoints += other.checkpoints;
+        self.torn_recoveries += other.torn_recoveries;
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == DurabilityEvents::default()
     }
 }
 
@@ -192,7 +243,7 @@ pub struct Recorder {
     span_count: [AtomicU64; 5],
     span_total: [AtomicU64; 5],
     span_max: [AtomicU64; 5],
-    events: [AtomicU64; 7],
+    events: [AtomicU64; 11],
 }
 
 impl Recorder {
@@ -239,6 +290,13 @@ impl Recorder {
                 trips: self.events[EventKind::Trip.index()].load(Ordering::Relaxed),
                 sheds: self.events[EventKind::Shed.index()].load(Ordering::Relaxed),
             }),
+            durability: Some(DurabilityEvents {
+                evictions: self.events[EventKind::Evict.index()].load(Ordering::Relaxed),
+                quarantines: self.events[EventKind::Quarantine.index()].load(Ordering::Relaxed),
+                checkpoints: self.events[EventKind::Checkpoint.index()].load(Ordering::Relaxed),
+                torn_recoveries: self.events[EventKind::TornRecovery.index()]
+                    .load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -268,6 +326,10 @@ pub struct TelemetrySnapshot {
     /// from a journal written before the supervision layer existed; use
     /// [`TelemetrySnapshot::supervision`] for a zero-defaulted view.
     pub supervision: Option<SupervisionEvents>,
+    /// Durability-layer event counts. `None` when the snapshot was read
+    /// from a journal written before the persistent tier existed; use
+    /// [`TelemetrySnapshot::durability`] for a zero-defaulted view.
+    pub durability: Option<DurabilityEvents>,
 }
 
 impl TelemetrySnapshot {
@@ -285,6 +347,7 @@ impl TelemetrySnapshot {
     /// The event count for `kind`.
     pub fn events(&self, kind: EventKind) -> u64 {
         let supervision = self.supervision();
+        let durability = self.durability();
         match kind {
             EventKind::Fault => self.faults,
             EventKind::Retry => self.retries,
@@ -293,6 +356,10 @@ impl TelemetrySnapshot {
             EventKind::Degrade => supervision.degrades,
             EventKind::Trip => supervision.trips,
             EventKind::Shed => supervision.sheds,
+            EventKind::Evict => durability.evictions,
+            EventKind::Quarantine => durability.quarantines,
+            EventKind::Checkpoint => durability.checkpoints,
+            EventKind::TornRecovery => durability.torn_recoveries,
         }
     }
 
@@ -300,6 +367,12 @@ impl TelemetrySnapshot {
     /// predates the supervision layer.
     pub fn supervision(&self) -> SupervisionEvents {
         self.supervision.unwrap_or_default()
+    }
+
+    /// The durability-event counts, zero-defaulted when the snapshot
+    /// predates the persistent tier.
+    pub fn durability(&self) -> DurabilityEvents {
+        self.durability.unwrap_or_default()
     }
 
     /// Whether anything at all was recorded.
@@ -321,6 +394,14 @@ impl TelemetrySnapshot {
         self.retries += other.retries;
         self.demotions += other.demotions;
         self.supervision = match (self.supervision, other.supervision) {
+            (None, None) => None,
+            (a, b) => {
+                let mut sum = a.unwrap_or_default();
+                sum.absorb(&b.unwrap_or_default());
+                Some(sum)
+            }
+        };
+        self.durability = match (self.durability, other.durability) {
             (None, None) => None,
             (a, b) => {
                 let mut sum = a.unwrap_or_default();
@@ -354,6 +435,16 @@ impl TelemetrySnapshot {
             out.push_str(&format!(
                 "\n  supervision: {} sys-faults, {} degrades, {} trips, {} sheds",
                 supervision.sys_faults, supervision.degrades, supervision.trips, supervision.sheds
+            ));
+        }
+        let durability = self.durability();
+        if !durability.is_empty() {
+            out.push_str(&format!(
+                "\n  durability: {} evictions, {} quarantines, {} checkpoints, {} torn-recoveries",
+                durability.evictions,
+                durability.quarantines,
+                durability.checkpoints,
+                durability.torn_recoveries
             ));
         }
         out
@@ -583,6 +674,48 @@ mod tests {
         let text = snap.render();
         assert!(text.contains("1 sys-faults"), "{text}");
         assert!(text.contains("3 sheds"), "{text}");
+    }
+
+    #[test]
+    fn pre_durability_snapshots_still_deserialize() {
+        // A journal line written before the persistent tier existed has no
+        // `durability` key; it must parse to `None` (reading 0 via the
+        // accessor), not reject the line.
+        let telemetry = Telemetry::enabled();
+        telemetry.event(EventKind::Evict);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let mut value = serde::Serialize::to_value(&snap);
+        if let serde::Value::Object(map) = &mut value {
+            map.retain(|(k, _)| k != "durability");
+        }
+        let back: TelemetrySnapshot =
+            serde::Deserialize::from_value(&value).expect("old snapshot parses");
+        assert_eq!(back.durability, None);
+        assert_eq!(back.events(EventKind::Evict), 0);
+
+        // Absorbing a modern snapshot revives the counters.
+        let mut sum = back;
+        sum.absorb(&telemetry.snapshot().expect("snapshot"));
+        assert_eq!(sum.events(EventKind::Evict), 1);
+    }
+
+    #[test]
+    fn durability_events_count_and_render() {
+        let telemetry = Telemetry::enabled();
+        telemetry.events(EventKind::Evict, 2);
+        telemetry.event(EventKind::Quarantine);
+        telemetry.event(EventKind::Checkpoint);
+        telemetry.events(EventKind::TornRecovery, 3);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let durability = snap.durability();
+        assert_eq!(durability.evictions, 2);
+        assert_eq!(durability.quarantines, 1);
+        assert_eq!(durability.checkpoints, 1);
+        assert_eq!(durability.torn_recoveries, 3);
+        assert!(!snap.is_empty());
+        let text = snap.render();
+        assert!(text.contains("2 evictions"), "{text}");
+        assert!(text.contains("3 torn-recoveries"), "{text}");
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! | `AllocBudget`  | `AttemptStart` | the attempt runs under a byte budget  |
 //! | `WorkerStall`  | `AttemptStart` | the attempt sleeps before starting    |
 //! | `Kill`         | `CellDone`     | graceful shutdown is requested        |
+//! | `DiskRead`     | `DiskRequest`  | a disk-store load fails (read error)  |
+//! | `DiskWrite`    | `DiskRequest`  | a disk-store save fails (write error) |
+//! | `DiskCorrupt`  | `DiskRequest`  | the loaded entry arrives corrupted    |
+//! | `Crash`        | (embedded op)  | the process aborts at the tap point   |
 //!
 //! The injector is *consume-once*: each armed spec fires at most one time,
 //! so a retried attempt observes a healed environment — exactly the
@@ -56,6 +60,23 @@ pub enum SysFault {
     /// A graceful-shutdown request lands mid-campaign: queued cells are
     /// shed, in-flight attempts drain, the journal trailer still flushes.
     Kill,
+    /// A persistent-store load fails on the read side: the entry is
+    /// treated as a miss and rebuilt.
+    DiskRead,
+    /// A persistent-store save fails on the write side: the entry is not
+    /// persisted (the in-memory tier still serves it).
+    DiskWrite,
+    /// The next persistent-store entry loaded arrives bit-flipped: the
+    /// checksum must catch it and quarantine the entry.
+    DiskCorrupt,
+    /// The process aborts (`SIGABRT`) at the tap point of the embedded
+    /// operation class — the kill-anywhere drill's crash primitive. Unlike
+    /// [`SysFault::Kill`] nothing drains and nothing flushes: whatever is
+    /// durable at that instant is all a restart gets.
+    Crash {
+        /// The operation class at whose tap the process aborts.
+        op: SysOp,
+    },
 }
 
 impl SysFault {
@@ -68,6 +89,8 @@ impl SysFault {
             SysFault::StoreRead | SysFault::StoreWrite => SysOp::StoreRequest,
             SysFault::AllocBudget { .. } | SysFault::WorkerStall { .. } => SysOp::AttemptStart,
             SysFault::Kill => SysOp::CellDone,
+            SysFault::DiskRead | SysFault::DiskWrite | SysFault::DiskCorrupt => SysOp::DiskRequest,
+            SysFault::Crash { op } => op,
         }
     }
 
@@ -82,6 +105,10 @@ impl SysFault {
             SysFault::AllocBudget { .. } => "alloc-budget",
             SysFault::WorkerStall { .. } => "worker-stall",
             SysFault::Kill => "kill",
+            SysFault::DiskRead => "disk-read",
+            SysFault::DiskWrite => "disk-write",
+            SysFault::DiskCorrupt => "disk-corrupt",
+            SysFault::Crash { .. } => "crash",
         }
     }
 }
@@ -91,6 +118,7 @@ impl fmt::Display for SysFault {
         match self {
             SysFault::AllocBudget { bytes } => write!(f, "alloc-budget({bytes}B)"),
             SysFault::WorkerStall { millis } => write!(f, "worker-stall({millis}ms)"),
+            SysFault::Crash { op } => write!(f, "crash({})", op.name()),
             other => f.write_str(other.name()),
         }
     }
@@ -110,16 +138,41 @@ pub enum SysOp {
     AttemptStart,
     /// One cell finishing (any terminal status).
     CellDone,
+    /// One journal fsync, tapped *between* the write and the `sync_all`
+    /// — the window where a crash leaves a written-but-not-durable line.
+    JournalSync,
+    /// One persistent-store disk operation (load or save).
+    DiskRequest,
 }
 
 impl SysOp {
     /// Every operation class.
-    pub const ALL: [SysOp; 4] = [
+    pub const ALL: [SysOp; 6] = [
         SysOp::JournalAppend,
         SysOp::StoreRequest,
         SysOp::AttemptStart,
         SysOp::CellDone,
+        SysOp::JournalSync,
+        SysOp::DiskRequest,
     ];
+
+    /// The kebab-case name used in schedules and the `--sys crash:<op>@N`
+    /// CLI syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysOp::JournalAppend => "journal-append",
+            SysOp::StoreRequest => "store-request",
+            SysOp::AttemptStart => "attempt-start",
+            SysOp::CellDone => "cell-done",
+            SysOp::JournalSync => "journal-sync",
+            SysOp::DiskRequest => "disk-request",
+        }
+    }
+
+    /// Parses a [`SysOp::name`] back into the op class.
+    pub fn parse(name: &str) -> Option<SysOp> {
+        SysOp::ALL.into_iter().find(|op| op.name() == name)
+    }
 
     fn index(self) -> usize {
         match self {
@@ -127,6 +180,8 @@ impl SysOp {
             SysOp::StoreRequest => 1,
             SysOp::AttemptStart => 2,
             SysOp::CellDone => 3,
+            SysOp::JournalSync => 4,
+            SysOp::DiskRequest => 5,
         }
     }
 }
@@ -159,7 +214,7 @@ impl fmt::Display for SysFaultSpec {
 pub struct SysInjector {
     specs: Vec<SysFaultSpec>,
     fired: Vec<AtomicBool>,
-    counters: [AtomicU64; 4],
+    counters: [AtomicU64; 6],
 }
 
 impl SysInjector {
@@ -192,6 +247,19 @@ impl SysInjector {
             })
             .map(|(_, spec)| spec.fault)
             .collect()
+    }
+
+    /// [`SysInjector::advance`], with the kill-anywhere drill's crash
+    /// semantics on top: if a [`SysFault::Crash`] fires at this operation
+    /// the process aborts on the spot (`SIGABRT`, no unwinding, no
+    /// flushing) — the supervisor observes the signal and restarts.
+    /// Returns the non-crash faults for the tap site to apply.
+    pub fn advance_or_crash(&self, op: SysOp) -> Vec<SysFault> {
+        let fired = self.advance(op);
+        if fired.iter().any(|f| matches!(f, SysFault::Crash { .. })) {
+            std::process::abort();
+        }
+        fired
     }
 
     /// How many armed specs have fired so far.
@@ -305,5 +373,41 @@ mod tests {
             .to_string(),
             "worker-stall(9ms)@4"
         );
+        assert_eq!(SysFault::DiskCorrupt.name(), "disk-corrupt");
+        assert_eq!(
+            SysFaultSpec {
+                fault: SysFault::Crash {
+                    op: SysOp::JournalSync
+                },
+                at: 2
+            }
+            .to_string(),
+            "crash(journal-sync)@2"
+        );
+    }
+
+    #[test]
+    fn disk_and_crash_faults_map_to_their_op_classes() {
+        assert_eq!(SysFault::DiskRead.op(), SysOp::DiskRequest);
+        assert_eq!(SysFault::DiskWrite.op(), SysOp::DiskRequest);
+        assert_eq!(SysFault::DiskCorrupt.op(), SysOp::DiskRequest);
+        for op in SysOp::ALL {
+            assert_eq!(SysFault::Crash { op }.op(), op);
+            assert_eq!(SysOp::parse(op.name()), Some(op));
+        }
+        assert_eq!(SysOp::parse("no-such-op"), None);
+    }
+
+    #[test]
+    fn crash_specs_round_trip_through_serde() {
+        for op in SysOp::ALL {
+            let spec = SysFaultSpec {
+                fault: SysFault::Crash { op },
+                at: 5,
+            };
+            let value = serde::Serialize::to_value(&spec);
+            let back: SysFaultSpec = serde::Deserialize::from_value(&value).expect("round trips");
+            assert_eq!(back, spec);
+        }
     }
 }
