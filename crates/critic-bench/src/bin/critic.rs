@@ -10,9 +10,13 @@
 //! critic disasm <app> [function]      # dump the generated binary
 //! critic campaign [--validate] [--stats] [options]  # fault-tolerant app x scheme grid
 //! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
+//! critic bench --service [--smoke] [--json] [-o FILE] [--max-service-p99-ms X]
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
 //! critic drill --points N [--seed S] [--smoke] [--minimize] [-o FILE]
+//! critic serve [--port N] [--workers N] [--queue N] [--rate N] [options]
+//! critic loadgen --addr HOST:PORT [--clients N] [--requests N] [--rate X]
+//! critic soak [--seconds N] [--clients N] [--sys SPEC]... [--smoke] [-o FILE]
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -31,16 +35,20 @@
 //! | 6 | campaign finished with failed cells |
 //! | 7 | translation validation failed (divergence survived demotion) |
 //! | 8 | bench regression (warm-store speedup below the floor) |
-//! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) |
+//! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) — also `critic serve` after a graceful drain |
 //! | 10 | chaos invariant violation (schedule JSON printed) |
 //! | 11 | recovery-drill invariant violation (durable-warm / no-lost-ack; repro JSON printed) |
+//! | 12 | service-soak invariant violation (no-lost-ack / bounded-queue / overload-sheds / graceful-drain; report JSON printed) |
 
 use std::fmt;
 use std::time::Duration;
 
 use critic_bench::chaos::{self, ChaosConfig};
 use critic_bench::drill::{self, DrillConfig};
-use critic_bench::perf::{self, BenchError, BenchSetup};
+use critic_bench::loadgen::{self, LoadgenConfig};
+use critic_bench::perf::{self, BenchError, BenchSetup, ServiceBenchSetup};
+use critic_bench::serve;
+use critic_bench::soak::{self, SoakConfig};
 use std::sync::Arc;
 
 use critic_core::campaign::{self, CampaignSpec, CellStatus, PlannedFault, Scheme};
@@ -100,6 +108,17 @@ enum CliError {
     DrillViolation {
         violations: usize,
     },
+    ServeDrained {
+        connections: u64,
+        responded: u64,
+    },
+    ServiceRegression {
+        p99_ms: f64,
+        ceiling_ms: f64,
+    },
+    SoakViolation {
+        violations: usize,
+    },
 }
 
 impl CliError {
@@ -130,6 +149,14 @@ impl CliError {
             // broke: a crash lost an acknowledged cell or the persistent
             // store failed to serve a restarted campaign bit-identically.
             CliError::DrillViolation { .. } => 11,
+            // A drained server exits through the same code as an
+            // interrupted campaign: "shut down gracefully, state intact".
+            CliError::ServeDrained { .. } => 9,
+            // Service latency regressions share the bench-regression code.
+            CliError::ServiceRegression { .. } => 8,
+            // A soak violation means the *service* broke under load or
+            // kill — the service-layer counterpart of chaos's code 10.
+            CliError::SoakViolation { .. } => 12,
         }
     }
 }
@@ -201,6 +228,28 @@ impl fmt::Display for CliError {
                     "recovery drill broke {violations} invariant(s); repro JSON printed above"
                 )
             }
+            CliError::ServeDrained {
+                connections,
+                responded,
+            } => {
+                write!(
+                    f,
+                    "server drained gracefully ({connections} connection(s), \
+                     {responded} response(s) delivered)"
+                )
+            }
+            CliError::ServiceRegression { p99_ms, ceiling_ms } => {
+                write!(
+                    f,
+                    "service p99 latency {p99_ms:.1} ms is above the {ceiling_ms:.1} ms ceiling"
+                )
+            }
+            CliError::SoakViolation { violations } => {
+                write!(
+                    f,
+                    "service soak broke {violations} invariant(s); report JSON printed above"
+                )
+            }
         }
     }
 }
@@ -220,16 +269,9 @@ fn find_app(name: &str) -> Result<AppSpec, CliError> {
 }
 
 fn scheme_point(scheme: &str) -> Result<DesignPoint, CliError> {
-    Ok(match scheme {
-        "critic" => DesignPoint::critic(),
-        "hoist" => DesignPoint::hoist(),
-        "ideal" => DesignPoint::critic_ideal(),
-        "branch-switch" => DesignPoint::critic_branch_switch(),
-        "opp16" => DesignPoint::opp16(),
-        "compress" => DesignPoint::compress(),
-        "opp16+critic" => DesignPoint::opp16_plus_critic(),
-        other => return Err(CliError::UnknownScheme(other.to_string())),
-    })
+    // One naming authority: the same resolver the service's submission
+    // path uses, so the CLI and the wire protocol can never disagree.
+    DesignPoint::named(scheme).ok_or_else(|| CliError::UnknownScheme(scheme.to_string()))
 }
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
@@ -241,10 +283,40 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> CliError {
     CliError::Usage(
-        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos|drill> \
-         [app] [options]"
+        "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos|\
+         drill|serve|loadgen|soak> [app] [options]"
             .to_string(),
     )
+}
+
+/// Installs the `SIGTERM` handler behind `critic serve`'s graceful drain:
+/// the handler only flips [`critic_bench::serve::TERM`], which the accept
+/// loop polls — all the drain work happens on ordinary threads.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // The only async-signal-unsafe-free thing a handler may do: one
+        // atomic store.
+        critic_bench::serve::TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
 }
 
 /// Maps harness-level failures onto the CLI's exit-code taxonomy.
@@ -396,6 +468,9 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "stats" => run_stats_command(args),
         "chaos" => run_chaos_command(args),
         "drill" => run_drill_command(args),
+        "serve" => run_serve_command(args),
+        "loadgen" => run_loadgen_command(args),
+        "soak" => run_soak_command(args),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; {}",
             usage()
@@ -621,6 +696,9 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
 /// `--min-warm-speedup` turns the report into a gate: exit code 8 when the
 /// measured warm speedup falls below the floor.
 fn run_bench_command(args: &[String]) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--service") {
+        return run_service_bench_command(args);
+    }
     let setup = if args.iter().any(|a| a == "--smoke") {
         BenchSetup::smoke()
     } else {
@@ -672,6 +750,319 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
             floor,
         }),
         _ => Ok(()),
+    }
+}
+
+/// `critic bench --service [--smoke] [--json] [-o FILE]
+/// [--max-service-p99-ms X]`
+///
+/// Measures the campaign service end to end, in process: an
+/// ephemeral-port server, then 8-client, 64-client, and 2× overload
+/// loadgen phases against it. `--max-service-p99-ms` gates on the
+/// 64-client p99 with exit code 8.
+fn run_service_bench_command(args: &[String]) -> Result<(), CliError> {
+    let setup = if args.iter().any(|a| a == "--smoke") {
+        ServiceBenchSetup::smoke()
+    } else {
+        ServiceBenchSetup::full()
+    };
+    let ceiling = match arg_after(args, "--max-service-p99-ms") {
+        None => None,
+        Some(v) => Some(v.parse::<f64>().map_err(|_| {
+            CliError::Usage(format!("--max-service-p99-ms expects a number, got `{v}`"))
+        })?),
+    };
+    let report = perf::run_service_bench(&setup).map_err(bench_error)?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise service bench report: {e}")))?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{json}");
+    } else {
+        for (label, phase) in [
+            ("8 clients", &report.clients_8),
+            ("64 clients", &report.clients_64),
+            ("overload", &report.overload),
+        ] {
+            println!(
+                "{label}: {} done / {} rejected of {} sent | p50 {:.1} ms, p99 {:.1} ms, \
+                 p999 {:.1} ms | degraded {:?}",
+                phase.report.done,
+                phase.report.rejected,
+                phase.report.requests,
+                phase.report.p50_ms,
+                phase.report.p99_ms,
+                phase.report.p999_ms,
+                phase.report.degraded
+            );
+        }
+    }
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    match ceiling {
+        Some(ceiling) if report.clients_64.report.p99_ms > ceiling => {
+            Err(CliError::ServiceRegression {
+                p99_ms: report.clients_64.report.p99_ms,
+                ceiling_ms: ceiling,
+            })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// `critic serve [--port N] [--trace-len N] [--workers N] [--validate]
+/// [--deadline-ms N] [--queue N] [--watermarks A,B,C] [--rate N]
+/// [--burst N] [--window N] [--breaker K] [--journal FILE]
+/// [--segment-lines N] [--store-dir DIR] [--store-budget BYTES]
+/// [--run-tag N] [--stats] [--sys NAME[:PARAM]@AT]...`
+///
+/// The long-lived campaign service over line-delimited JSON on TCP.
+/// Prints `listening on 127.0.0.1:PORT` once bound (`--port 0` picks an
+/// ephemeral port a supervising parent reads back). Drains gracefully on
+/// `SIGTERM` or a wire `{"shutdown":true}` — finishes in-flight cells,
+/// checkpoints the journal — and exits through code 9.
+fn run_serve_command(args: &[String]) -> Result<(), CliError> {
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+    let mut config = critic_core::service::ServiceConfig::new(
+        parse_num("--trace-len")?
+            .map(|n| n as usize)
+            .unwrap_or(TRACE_LEN),
+    );
+    config.workers = parse_num("--workers")?.map(|n| n as usize).unwrap_or(0);
+    config.validate = args.iter().any(|a| a == "--validate");
+    config.deadline = parse_num("--deadline-ms")?.map(Duration::from_millis);
+    if let Some(n) = parse_num("--queue")? {
+        config.queue_capacity = n as usize;
+    }
+    if let Some(list) = arg_after(args, "--watermarks") {
+        let marks: Vec<usize> = list
+            .split(',')
+            .map(|v| v.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| {
+                CliError::Usage(format!("--watermarks expects A,B,C numbers, got `{list}`"))
+            })?;
+        if marks.len() != 3 {
+            return Err(CliError::Usage(
+                "--watermarks expects exactly three values A,B,C".to_string(),
+            ));
+        }
+        config.degrade_watermarks = [marks[0], marks[1], marks[2]];
+    }
+    if let Some(n) = parse_num("--rate")? {
+        config.admission_rate = n;
+    }
+    if let Some(n) = parse_num("--burst")? {
+        config.admission_burst = n;
+    }
+    if let Some(n) = parse_num("--window")? {
+        config.client_window = n as usize;
+    }
+    if let Some(n) = parse_num("--breaker")? {
+        config.breaker_threshold = n as u32;
+    }
+    config.journal = arg_after(args, "--journal").map(std::path::PathBuf::from);
+    config.segment_max_lines = parse_num("--segment-lines")?
+        .map(|n| n as usize)
+        .unwrap_or(0);
+    config.store_dir = arg_after(args, "--store-dir").map(std::path::PathBuf::from);
+    config.store_budget = parse_num("--store-budget")?;
+    config.run_tag = parse_num("--run-tag")?;
+    if args.iter().any(|a| a == "--stats") {
+        config.telemetry = critic_obs::Telemetry::enabled();
+    }
+    let mut sys_specs = Vec::new();
+    let mut idx = 0;
+    while let Some(pos) = args[idx..].iter().position(|a| a == "--sys") {
+        idx += pos + 1;
+        let Some(value) = args.get(idx) else {
+            return Err(CliError::Usage("--sys expects NAME[:PARAM]@AT".to_string()));
+        };
+        sys_specs.push(parse_sys_spec(value)?);
+    }
+    if !sys_specs.is_empty() {
+        config.sys = Some(Arc::new(SysInjector::new(sys_specs)));
+    }
+    let port = parse_num("--port")?.map(|n| n as u16).unwrap_or(0);
+
+    sigterm::install();
+    let service = critic_core::service::CampaignService::open(config)?;
+    let summary = serve::run_serve(port, &service)
+        .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
+    // A graceful drain is the server's one way out; code 9 tells the
+    // supervisor "state intact, journal checkpointed".
+    Err(CliError::ServeDrained {
+        connections: summary.connections,
+        responded: summary.responded,
+    })
+}
+
+/// `critic loadgen --addr HOST:PORT [--clients N] [--requests N]
+/// [--rate X] [--seed N] [--deadline-ms N] [--json] [-o FILE]`
+///
+/// Open-loop load against a running `critic serve`: N concurrent clients
+/// each sending `--requests` submissions from a seeded app × scheme mix at
+/// `--rate` per second, reporting latency percentiles, reject/shed counts,
+/// and degradation occupancy.
+fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
+    let Some(addr) = arg_after(args, "--addr") else {
+        return Err(CliError::Usage(
+            "usage: critic loadgen --addr HOST:PORT [--clients N] [--requests N] [--rate X] \
+             [--seed N] [--deadline-ms N] [--json] [-o FILE]"
+                .to_string(),
+        ));
+    };
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+    let mut config = LoadgenConfig::new(&addr);
+    if let Some(n) = parse_num("--clients")? {
+        config.clients = n as usize;
+    }
+    if let Some(n) = parse_num("--requests")? {
+        config.requests_per_client = n as usize;
+    }
+    if let Some(v) = arg_after(args, "--rate") {
+        config.rate = v
+            .parse::<f64>()
+            .map_err(|_| CliError::Usage(format!("--rate expects a number, got `{v}`")))?;
+    }
+    config.seed = parse_num("--seed")?.unwrap_or(0);
+    config.deadline_ms = parse_num("--deadline-ms")?;
+    let outcome = loadgen::run_loadgen(&config).map_err(bench_error)?;
+    let json = serde_json::to_string_pretty(&outcome.report)
+        .map_err(|e| CliError::Io(format!("cannot serialise loadgen report: {e}")))?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{json}");
+    } else {
+        println!(
+            "{} clients x {} requests: {} done ({} ok, {} shed, {} failed), {} rejected, \
+             {} unanswered | p50 {:.1} ms, p99 {:.1} ms, p999 {:.1} ms, max {:.1} ms | \
+             degraded {:?}",
+            outcome.report.clients,
+            config.requests_per_client,
+            outcome.report.done,
+            outcome.report.ok,
+            outcome.report.shed,
+            outcome.report.failed,
+            outcome.report.rejected,
+            outcome.report.unanswered,
+            outcome.report.p50_ms,
+            outcome.report.p99_ms,
+            outcome.report.p999_ms,
+            outcome.report.max_ms,
+            outcome.report.degraded
+        );
+    }
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `critic soak [--seconds N] [--clients N] [--rate X] [--seed N]
+/// [--no-kill] [--smoke] [--sys NAME[:PARAM]@AT]... [--json] [-o FILE]`
+///
+/// The supervised service soak: spawns a `critic serve` child under
+/// open-loop load and `--sys` fault noise, `SIGKILL`s it mid-load,
+/// audits no-lost-ack against the journal, restarts it, applies a 2×
+/// overload burst under a queue monitor, and drains it gracefully. Exit
+/// code 12 (report JSON printed) when any invariant broke.
+fn run_soak_command(args: &[String]) -> Result<(), CliError> {
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+    let mut config = SoakConfig {
+        smoke: args.iter().any(|a| a == "--smoke"),
+        kill: !args.iter().any(|a| a == "--no-kill"),
+        ..SoakConfig::default()
+    };
+    if let Some(n) = parse_num("--seconds")? {
+        config.seconds = n;
+    }
+    if let Some(n) = parse_num("--clients")? {
+        config.clients = (n as usize).max(1);
+    }
+    if let Some(v) = arg_after(args, "--rate") {
+        config.rate = v
+            .parse::<f64>()
+            .map_err(|_| CliError::Usage(format!("--rate expects a number, got `{v}`")))?;
+    }
+    config.seed = parse_num("--seed")?.unwrap_or(0);
+    let mut idx = 0;
+    while let Some(pos) = args[idx..].iter().position(|a| a == "--sys") {
+        idx += pos + 1;
+        let Some(value) = args.get(idx) else {
+            return Err(CliError::Usage("--sys expects NAME[:PARAM]@AT".to_string()));
+        };
+        // Validate now so a typo fails fast instead of inside the child.
+        parse_sys_spec(value)?;
+        config.sys.push(value.clone());
+    }
+
+    let report = soak::run_soak(&config).map_err(bench_error)?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise soak report: {e}")))?;
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    if report.ok() {
+        if args.iter().any(|a| a == "--json") {
+            println!("{json}");
+        } else {
+            println!(
+                "soak: {} acked before SIGKILL, all preserved; {} disk hits after restart; \
+                 overload rejected {} with retry hints (peak queue {} / cap {}); \
+                 server exited {}",
+                report.acked_before_kill,
+                report.disk_hits_after_restart,
+                report.phase_overload.rejected,
+                report.peak_queue_depth,
+                report.queue_capacity,
+                report
+                    .server_exit_code
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "by signal".to_string()),
+            );
+        }
+        Ok(())
+    } else {
+        println!("{json}");
+        for v in &report.violations {
+            eprintln!(
+                "critic: soak invariant `{}` broken: {}",
+                v.invariant, v.detail
+            );
+        }
+        Err(CliError::SoakViolation {
+            violations: report.violations.len(),
+        })
     }
 }
 
@@ -858,6 +1249,10 @@ struct StatsReport {
     /// Artifact-store counters from the journal's store trailer, when the
     /// campaign ran one (`disk` holds the persistent tier's counters).
     store: Option<StoreStats>,
+    /// Per-run-tag roll-ups: one entry per `--run-tag` found in the journal
+    /// (untagged records group under `null`), so a journal spanning server
+    /// restarts reports each incarnation separately.
+    runs: Vec<critic_core::journal::RunRollup>,
 }
 
 /// `critic stats --journal FILE [--json]`
@@ -879,6 +1274,8 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
     let replayed =
         Journal::replay(journal, &Telemetry::off()).map_err(|e| CliError::Io(e.to_string()))?;
 
+    // Before the trailer fields are moved out below.
+    let runs = replayed.run_rollups();
     let telemetry = match replayed.telemetry_trailer {
         Some(record) => record.campaign_telemetry,
         None => {
@@ -906,6 +1303,7 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         total_millis: replayed.records.iter().map(|r| r.millis).sum(),
         telemetry,
         store: replayed.store_trailer.map(|t| t.campaign_store),
+        runs,
     };
 
     if args.iter().any(|a| a == "--json") {
@@ -917,6 +1315,20 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
             "{} cells ({} ok, {} failed), {} ms total",
             report.cells, report.ok, report.failed, report.total_millis
         );
+        // One line per run tag only when tags actually partition the
+        // journal — a single-run journal would just repeat the total.
+        if report.runs.len() > 1 || report.runs.iter().any(|r| r.run.is_some()) {
+            for rollup in &report.runs {
+                let tag = match rollup.run {
+                    Some(tag) => format!("run {tag}"),
+                    None => "untagged".to_string(),
+                };
+                println!(
+                    "  {tag}: {} cells ({} ok, {} failed, {} shed), {} ms",
+                    rollup.cells, rollup.ok, rollup.failed, rollup.shed, rollup.total_millis
+                );
+            }
+        }
         if report.skipped_lines > 0 {
             println!(
                 "({} unparseable journal line(s) skipped — torn merges or corruption)",

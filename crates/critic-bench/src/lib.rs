@@ -1,14 +1,19 @@
 //! Shared scaffolding for the benchmark harness: scaled-down experiment
 //! parameters used by both the Criterion benches and smoke tests, the
-//! perf-regression harness behind `critic bench` (see [`perf`]), and the
-//! chaos harness behind `critic chaos` (see [`chaos`]).
+//! perf-regression harness behind `critic bench` (see [`perf`]), the
+//! chaos harness behind `critic chaos` (see [`chaos`]), and the service
+//! stack behind `critic serve` / `loadgen` / `soak` (see [`serve`],
+//! [`loadgen`], [`soak`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod drill;
+pub mod loadgen;
 pub mod perf;
+pub mod serve;
+pub mod soak;
 
 /// Trace length used by Criterion benches (small enough for statistics).
 pub const BENCH_TRACE_LEN: usize = 60_000;

@@ -1,0 +1,444 @@
+//! The load generator behind `critic loadgen`: N concurrent clients
+//! submitting a seeded app × scheme mix at an open-loop rate, reporting
+//! latency percentiles, shed/reject counts, and degradation occupancy.
+//!
+//! Open-loop means each client sends on its own schedule (`rate` requests
+//! per second from connect time) regardless of how fast the server
+//! answers — the standard way to expose queueing collapse, since a
+//! closed-loop client would politely slow down exactly when the server is
+//! drowning. A client that falls behind its schedule sends immediately
+//! without re-pacing.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use critic_core::campaign::CellStatus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::perf::BenchError;
+use crate::serve::{parse_reply, Reply, SubmitBody, SubmitRequest};
+
+/// One load-generation run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent clients (each on its own connection).
+    pub clients: usize,
+    /// Submissions per client.
+    pub requests_per_client: usize,
+    /// Open-loop submissions per second per client; 0 sends flat-out.
+    pub rate: f64,
+    /// Per-request deadline forwarded to the server, if any.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the app × scheme mix (client `i` derives `seed + i`).
+    pub seed: u64,
+    /// App-name pool for the mix.
+    pub apps: Vec<String>,
+    /// Scheme-name pool for the mix.
+    pub schemes: Vec<String>,
+    /// How long to wait for outstanding responses after the last send.
+    pub drain_timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// A small default mix against `addr`: 8 clients × 8 requests at
+    /// 16/s over the first four Mobile apps and three schemes.
+    pub fn new(addr: &str) -> LoadgenConfig {
+        LoadgenConfig {
+            addr: addr.to_string(),
+            clients: 8,
+            requests_per_client: 8,
+            rate: 16.0,
+            deadline_ms: None,
+            seed: 0,
+            apps: ["Acrobat", "Angrybirds", "Browser", "Facebook"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            schemes: ["critic", "opp16", "hoist"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            drain_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// One acknowledged (`done`) cell, as the client observed it. The soak
+/// compares this set against the journal after a `SIGKILL`: every entry
+/// here must have survived.
+#[derive(Debug, Clone, Serialize)]
+pub struct AckedCell {
+    /// The submission's correlation id.
+    pub id: u64,
+    /// App name as echoed in the record.
+    pub app: String,
+    /// Scheme name as echoed in the record.
+    pub scheme: String,
+    /// Terminal status.
+    pub status: CellStatus,
+}
+
+/// Aggregated latency and outcome counters for one loadgen run,
+/// serialised into `BENCH_pr7.json` and the soak report.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LoadgenReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Submissions actually written to a socket.
+    pub requests: u64,
+    /// `accepted` replies observed.
+    pub accepted: u64,
+    /// `rejected` replies observed.
+    pub rejected: u64,
+    /// `done` replies observed.
+    pub done: u64,
+    /// `done` records with `Ok` status.
+    pub ok: u64,
+    /// `done` records with `Shed` status (open breaker).
+    pub shed: u64,
+    /// `done` records that failed, timed out, or panicked.
+    pub failed: u64,
+    /// Submissions with neither a `rejected` nor a `done` by the drain
+    /// timeout (or before the connection was cut).
+    pub unanswered: u64,
+    /// Clients that could not connect at all.
+    pub connect_failures: u64,
+    /// Median submit→done latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst observed latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean `retry_after_ms` across rejections (0 when none).
+    pub mean_retry_after_ms: f64,
+    /// `done` records by degradation level 0..=3 — the ladder's occupancy
+    /// under this load.
+    pub degraded: [u64; 4],
+}
+
+/// What one run produced: the serialisable report plus the raw acked set
+/// (kept out of the JSON; the soak consumes it directly).
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenOutcome {
+    /// The aggregated report.
+    pub report: LoadgenReport,
+    /// Every `done` the clients observed.
+    pub acked: Vec<AckedCell>,
+}
+
+/// Per-client tallies merged into the final report.
+#[derive(Default)]
+struct ClientOutcome {
+    requests: u64,
+    accepted: u64,
+    rejected: u64,
+    retry_after_sum: u64,
+    unanswered: u64,
+    connect_failed: bool,
+    latencies_micros: Vec<u64>,
+    acked: Vec<AckedCell>,
+    degraded: [u64; 4],
+    shed: u64,
+    ok: u64,
+    failed: u64,
+}
+
+/// Shared between one client's writer (pacing) side and reader thread.
+#[derive(Default)]
+struct ClientState {
+    /// id -> send instant, removed on a terminal reply.
+    pending: HashMap<u64, Instant>,
+}
+
+fn percentile_ms(sorted_micros: &[u64], fraction: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_micros.len() as f64) * fraction).ceil() as usize;
+    let index = rank.clamp(1, sorted_micros.len()) - 1;
+    sorted_micros[index] as f64 / 1e3
+}
+
+/// One client's full run: connect, pace `requests_per_client` submissions,
+/// collect replies until everything is answered or the drain timeout
+/// passes.
+fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    // The server may still be mid-bind when the first client starts; a
+    // short retry loop absorbs that without hiding a dead server.
+    let mut stream = None;
+    for _ in 0..50 {
+        match TcpStream::connect(&config.addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let Some(stream) = stream else {
+        outcome.connect_failed = true;
+        return outcome;
+    };
+    let Ok(read_half) = stream.try_clone() else {
+        outcome.connect_failed = true;
+        return outcome;
+    };
+
+    let state = Arc::new(Mutex::new(ClientState::default()));
+    let results = Arc::new(Mutex::new(ClientOutcome::default()));
+    let reader_state = Arc::clone(&state);
+    let reader_results = Arc::clone(&results);
+    let reader = thread::spawn(move || {
+        use std::io::BufRead;
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let Some(reply) = parse_reply(&line) else {
+                continue;
+            };
+            let mut results = reader_results
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match reply {
+                Reply::Accepted(_) => results.accepted += 1,
+                Reply::Rejected(body) => {
+                    results.rejected += 1;
+                    results.retry_after_sum += body.retry_after_ms;
+                    reader_state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pending
+                        .remove(&body.id);
+                }
+                Reply::Done(body) => {
+                    let sent = reader_state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .pending
+                        .remove(&body.id);
+                    if let Some(sent) = sent {
+                        results
+                            .latencies_micros
+                            .push(sent.elapsed().as_micros() as u64);
+                    }
+                    let level = body.record.degraded.unwrap_or(0).min(3) as usize;
+                    results.degraded[level] += 1;
+                    match body.record.status {
+                        CellStatus::Ok => results.ok += 1,
+                        CellStatus::Shed => results.shed += 1,
+                        _ => results.failed += 1,
+                    }
+                    results.acked.push(AckedCell {
+                        id: body.id,
+                        app: body.record.app,
+                        scheme: body.record.scheme,
+                        status: body.record.status,
+                    });
+                }
+                _ => {}
+            }
+        }
+    });
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client_index as u64));
+    let mut writer = stream;
+    let start = Instant::now();
+    for k in 0..config.requests_per_client {
+        if config.rate > 0.0 {
+            let target = start + Duration::from_secs_f64(k as f64 / config.rate);
+            let now = Instant::now();
+            if now < target {
+                thread::sleep(target - now);
+            }
+        }
+        let app = config.apps[rng.gen_range(0..config.apps.len())].clone();
+        let scheme = config.schemes[rng.gen_range(0..config.schemes.len())].clone();
+        let id = (client_index as u64) * 1_000_000 + k as u64;
+        let request = SubmitRequest {
+            submit: SubmitBody {
+                id,
+                app,
+                scheme,
+                deadline_ms: config.deadline_ms,
+            },
+        };
+        let Ok(json) = serde_json::to_string(&request) else {
+            continue;
+        };
+        // Register before writing: the reply can beat the map update
+        // otherwise.
+        state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pending
+            .insert(id, Instant::now());
+        use std::io::Write;
+        let sent = writer
+            .write_all(json.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            // Server gone (soak SIGKILL): stop sending; whatever is
+            // pending becomes unanswered.
+            state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pending
+                .remove(&id);
+            break;
+        }
+        outcome.requests += 1;
+    }
+
+    // Wait out the in-flight tail, then cut the stream to free the reader.
+    let deadline = Instant::now() + config.drain_timeout;
+    loop {
+        let outstanding = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pending
+            .len();
+        if outstanding == 0 || Instant::now() >= deadline || reader.is_finished() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+    let _ = reader.join();
+
+    let mut results = results
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    outcome.accepted = results.accepted;
+    outcome.rejected = results.rejected;
+    outcome.retry_after_sum = results.retry_after_sum;
+    outcome.latencies_micros = std::mem::take(&mut results.latencies_micros);
+    outcome.acked = std::mem::take(&mut results.acked);
+    outcome.degraded = results.degraded;
+    outcome.shed = results.shed;
+    outcome.ok = results.ok;
+    outcome.failed = results.failed;
+    outcome.unanswered = state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .pending
+        .len() as u64;
+    outcome
+}
+
+/// Runs the full mix: `clients` threads, each its own connection, pacing
+/// and collecting independently; merges the tallies.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] only when the configuration is unusable
+/// (no apps/schemes in the mix); connection failures are counted in the
+/// report instead, because the soak *expects* them mid-kill.
+pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenOutcome, BenchError> {
+    if config.apps.is_empty() || config.schemes.is_empty() {
+        return Err(BenchError::Io(
+            "loadgen needs at least one app and one scheme in the mix".to_string(),
+        ));
+    }
+    let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|i| scope.spawn(move || run_client(config, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut report = LoadgenReport {
+        clients: config.clients.max(1),
+        ..LoadgenReport::default()
+    };
+    let mut all_latencies = Vec::new();
+    let mut acked = Vec::new();
+    for mut outcome in outcomes {
+        report.requests += outcome.requests;
+        report.accepted += outcome.accepted;
+        report.rejected += outcome.rejected;
+        report.ok += outcome.ok;
+        report.shed += outcome.shed;
+        report.failed += outcome.failed;
+        report.unanswered += outcome.unanswered;
+        report.connect_failures += u64::from(outcome.connect_failed);
+        report.mean_retry_after_ms += outcome.retry_after_sum as f64;
+        for (level, count) in outcome.degraded.iter().enumerate() {
+            report.degraded[level] += count;
+        }
+        all_latencies.append(&mut outcome.latencies_micros);
+        acked.append(&mut outcome.acked);
+    }
+    report.done = acked.len() as u64;
+    report.mean_retry_after_ms = if report.rejected > 0 {
+        report.mean_retry_after_ms / report.rejected as f64
+    } else {
+        0.0
+    };
+    all_latencies.sort_unstable();
+    report.p50_ms = percentile_ms(&all_latencies, 0.50);
+    report.p99_ms = percentile_ms(&all_latencies, 0.99);
+    report.p999_ms = percentile_ms(&all_latencies, 0.999);
+    report.max_ms = all_latencies.last().copied().unwrap_or(0) as f64 / 1e3;
+    Ok(LoadgenOutcome { report, acked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let micros: Vec<u64> = (1..=1000).map(|n| n * 1000).collect();
+        assert_eq!(percentile_ms(&micros, 0.50), 500.0);
+        assert_eq!(percentile_ms(&micros, 0.99), 990.0);
+        assert_eq!(percentile_ms(&micros, 0.999), 999.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[7_000], 0.999), 7.0);
+    }
+
+    #[test]
+    fn loadgen_against_nothing_counts_connect_failures() {
+        // Port 1 is essentially never listening; every client must fail
+        // to connect and the report must say so rather than error out.
+        let mut config = LoadgenConfig::new("127.0.0.1:1");
+        config.clients = 2;
+        config.requests_per_client = 1;
+        config.drain_timeout = Duration::from_millis(50);
+        let outcome = run_loadgen(&config).expect("report, not error");
+        assert_eq!(outcome.report.connect_failures, 2);
+        assert_eq!(outcome.report.done, 0);
+    }
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let config = LoadgenConfig::new("127.0.0.1:1");
+        let mut a = StdRng::seed_from_u64(config.seed.wrapping_add(3));
+        let mut b = StdRng::seed_from_u64(config.seed.wrapping_add(3));
+        for _ in 0..32 {
+            assert_eq!(
+                a.gen_range(0..config.apps.len()),
+                b.gen_range(0..config.apps.len())
+            );
+        }
+    }
+}

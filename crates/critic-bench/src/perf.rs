@@ -351,6 +351,145 @@ pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
     })
 }
 
+/// Parameters of the service-mode bench (`critic bench --service`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServiceBenchSetup {
+    /// Dynamic instructions per cell.
+    pub trace_len: usize,
+    /// Worker threads in the in-process server.
+    pub workers: usize,
+    /// Submissions per client in the 8- and 64-client phases.
+    pub requests_per_client: usize,
+    /// Open-loop submissions per second per client in the measured phases.
+    pub rate: f64,
+}
+
+impl ServiceBenchSetup {
+    /// The committed `BENCH_pr7.json` measurement.
+    pub fn full() -> ServiceBenchSetup {
+        ServiceBenchSetup {
+            trace_len: 8_000,
+            workers: 4,
+            requests_per_client: 8,
+            rate: 8.0,
+        }
+    }
+
+    /// Scaled down for CI smoke and tests.
+    pub fn smoke() -> ServiceBenchSetup {
+        ServiceBenchSetup {
+            trace_len: 2_000,
+            workers: 2,
+            requests_per_client: 3,
+            rate: 16.0,
+        }
+    }
+}
+
+/// One measured loadgen phase of the service bench.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServicePhase {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// The phase's full loadgen report (latency percentiles included).
+    pub report: crate::loadgen::LoadgenReport,
+}
+
+/// The service-mode bench report committed as `BENCH_pr7.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceBenchReport {
+    /// The parameters measured.
+    pub setup: ServiceBenchSetup,
+    /// 8 concurrent clients at the nominal rate.
+    pub clients_8: ServicePhase,
+    /// 64 concurrent clients at the nominal rate.
+    pub clients_64: ServicePhase,
+    /// A deliberate 2× overload burst: rejections with retry hints are the
+    /// *expected* outcome here, and their absence is the regression.
+    pub overload: ServicePhase,
+}
+
+/// Runs one loadgen phase against an in-process server on `addr`.
+fn service_phase(
+    addr: &str,
+    clients: usize,
+    requests_per_client: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<ServicePhase, BenchError> {
+    let mut config = crate::loadgen::LoadgenConfig::new(addr);
+    config.clients = clients;
+    config.requests_per_client = requests_per_client;
+    config.rate = rate;
+    config.seed = seed;
+    let outcome = crate::loadgen::run_loadgen(&config)?;
+    Ok(ServicePhase {
+        clients,
+        report: outcome.report,
+    })
+}
+
+/// Measures the campaign service end to end, in process: an ephemeral-port
+/// server over [`crate::serve::serve_on`], then 8-client, 64-client, and
+/// 2× overload loadgen phases against it.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the listener cannot bind or a phase's
+/// client mix is unusable.
+pub fn run_service_bench(setup: &ServiceBenchSetup) -> Result<ServiceBenchReport, BenchError> {
+    use critic_core::service::{CampaignService, ServiceConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let capacity = 64;
+    let rate = ((64.0 * setup.rate) as u64).max(8);
+    let config = ServiceConfig {
+        workers: setup.workers,
+        queue_capacity: capacity,
+        degrade_watermarks: [8, 24, 48],
+        admission_rate: rate,
+        admission_burst: rate,
+        client_window: 32,
+        breaker_threshold: 0,
+        telemetry: Telemetry::off(),
+        ..ServiceConfig::new(setup.trace_len)
+    };
+    let service = CampaignService::open(config).map_err(BenchError::Run)?;
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| BenchError::Io(format!("cannot bind service bench listener: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| BenchError::Io(e.to_string()))?
+        .to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let service = service.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || crate::serve::serve_on(listener, &service, &shutdown))
+    };
+
+    let clients_8 = service_phase(&addr, 8, setup.requests_per_client, setup.rate, 1)?;
+    let clients_64 = service_phase(&addr, 64, setup.requests_per_client, setup.rate, 2)?;
+    // Overload: 64 clients pushing 2x the token rate between them.
+    let overload_rate = (rate as f64 * 2.0) / 64.0;
+    let overload = service_phase(
+        &addr,
+        64,
+        setup.requests_per_client,
+        overload_rate.max(setup.rate * 2.0),
+        3,
+    )?;
+
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = server.join();
+    Ok(ServiceBenchReport {
+        setup: *setup,
+        clients_8,
+        clients_64,
+        overload,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +532,31 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).expect("serialises");
         assert!(json.contains("warm_speedup"), "{json}");
         assert!(json.contains("telemetry_overhead_frac"), "{json}");
+    }
+
+    #[test]
+    fn smoke_service_bench_measures_all_three_phases() {
+        let report = run_service_bench(&ServiceBenchSetup::smoke()).expect("service bench runs");
+        for phase in [&report.clients_8, &report.clients_64] {
+            assert!(
+                phase.report.done > 0,
+                "phase with {} clients completed nothing: {:?}",
+                phase.clients,
+                phase.report
+            );
+            assert_eq!(
+                phase.report.unanswered, 0,
+                "every submission must terminate: {:?}",
+                phase.report
+            );
+            assert!(phase.report.p50_ms > 0.0);
+            assert!(phase.report.p99_ms >= phase.report.p50_ms);
+        }
+        // The overload phase must have answered everything it admitted.
+        assert_eq!(report.overload.report.unanswered, 0);
+        let json = serde_json::to_string_pretty(&report).expect("serialises");
+        assert!(json.contains("p99_ms"), "{json}");
+        assert!(json.contains("overload"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! The line-delimited-JSON TCP front end behind `critic serve`: a thin,
+//! dependency-free wire layer over [`CampaignService`].
+//!
+//! One request or reply per line. Requests (disjoint top-level keys,
+//! which is how the parser classifies them):
+//!
+//! ```text
+//! {"submit":{"id":7,"app":"Acrobat","scheme":"critic","deadline_ms":2000}}
+//! {"stats":true}
+//! {"ping":true}
+//! {"shutdown":true}
+//! ```
+//!
+//! Replies:
+//!
+//! ```text
+//! {"accepted":{"id":7}}
+//! {"rejected":{"id":7,"reason":"rate limited","retry_after_ms":31}}
+//! {"done":{"id":7,"record":{...CellRecord...}}}
+//! {"stats_reply":{...}}
+//! {"pong":true}
+//! {"draining":true}
+//! {"error":"..."}
+//! ```
+//!
+//! Ordering: `accepted` is written after the submission is admitted, but
+//! the terminal `done` is written by a worker thread and may overtake it
+//! on a fast cell. Clients must correlate by `id`, not by line order.
+//!
+//! The `done` line is written only *after* the record's journal append has
+//! been fsynced ([`CampaignService`]'s ack-follows-fsync invariant), so
+//! every `done` a client observed survives a `SIGKILL` of the server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use critic_core::campaign::CellRecord;
+use critic_core::service::{CampaignService, SubmitOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Set by the binary's `SIGTERM` handler; the accept loop polls it and
+/// begins a graceful drain when it goes true.
+pub static TERM: AtomicBool = AtomicBool::new(false);
+
+/// `{"submit":{...}}` — submit one campaign cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// The submission body.
+    pub submit: SubmitBody,
+}
+
+/// The body of a [`SubmitRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitBody {
+    /// Client-chosen correlation id, echoed on every reply to this
+    /// submission.
+    pub id: u64,
+    /// App name (case-insensitive).
+    pub app: String,
+    /// Scheme name (`critic`, `opp16`, `hoist`, ...).
+    pub scheme: String,
+    /// Optional per-request deadline; the server clamps it against its own.
+    pub deadline_ms: Option<u64>,
+}
+
+/// `{"stats":true}` — ask for the server-side counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsRequest {
+    /// Always `true`; the key is the request.
+    pub stats: bool,
+}
+
+/// `{"ping":true}` — liveness probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PingRequest {
+    /// Always `true`; the key is the request.
+    pub ping: bool,
+}
+
+/// `{"shutdown":true}` — begin a graceful drain (same path as `SIGTERM`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShutdownRequest {
+    /// Always `true`; the key is the request.
+    pub shutdown: bool,
+}
+
+/// `{"accepted":{"id":N}}` — the submission passed admission control.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcceptedReply {
+    /// The echoed correlation id.
+    pub accepted: IdBody,
+}
+
+/// An id-only reply body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdBody {
+    /// The echoed correlation id.
+    pub id: u64,
+}
+
+/// `{"rejected":{...}}` — admission control refused the submission;
+/// nothing was queued and no `done` will follow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RejectedReply {
+    /// The rejection body.
+    pub rejected: RejectedBody,
+}
+
+/// The body of a [`RejectedReply`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RejectedBody {
+    /// The echoed correlation id.
+    pub id: u64,
+    /// Why admission control refused (`rate limited`, `queue full`, ...).
+    pub reason: String,
+    /// Earliest sensible retry, milliseconds (0 = don't retry as-is).
+    pub retry_after_ms: u64,
+}
+
+/// `{"done":{...}}` — the terminal result of an accepted submission,
+/// written after its journal fsync.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DoneReply {
+    /// The completion body.
+    pub done: DoneBody,
+}
+
+/// The body of a [`DoneReply`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DoneBody {
+    /// The echoed correlation id.
+    pub id: u64,
+    /// The terminal cell record (may be a `Shed` record from an open
+    /// breaker).
+    pub record: CellRecord,
+}
+
+/// `{"stats_reply":{...}}` — answer to a [`StatsRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// The counters body.
+    pub stats_reply: ServeStats,
+}
+
+/// Server-side counters, serialised on demand.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Cells queued but not yet claimed by a worker.
+    pub queue_depth: u64,
+    /// Cells currently executing.
+    pub in_flight: u64,
+    /// Requests accepted (admitted or synchronously shed) so far.
+    pub accepted: u64,
+    /// Terminal responses delivered so far.
+    pub responded: u64,
+    /// Whether a drain has begun.
+    pub draining: bool,
+    /// Persistent-store disk hits so far (0 without a `--store-dir`).
+    pub disk_hits: u64,
+}
+
+/// `{"pong":true}` — answer to a [`PingRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PongReply {
+    /// Always `true`.
+    pub pong: bool,
+}
+
+/// `{"draining":true}` — answer to a [`ShutdownRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrainingReply {
+    /// Always `true`.
+    pub draining: bool,
+}
+
+/// `{"error":"..."}` — the request line did not parse as any request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// What went wrong.
+    pub error: String,
+}
+
+/// What one serve session handled, returned by [`serve_on`] after the
+/// drain completes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ServeSummary {
+    /// Connections accepted over the session.
+    pub connections: u64,
+    /// Requests accepted (admitted or synchronously shed).
+    pub accepted: u64,
+    /// Terminal responses delivered.
+    pub responded: u64,
+}
+
+/// Serialises `reply` and writes it as one line under the stream lock.
+/// Write errors are swallowed: a client that hung up mid-reply is that
+/// client's problem, never the server's.
+fn write_line<T: Serialize>(stream: &Arc<Mutex<TcpStream>>, reply: &T) {
+    let Ok(json) = serde_json::to_string(reply) else {
+        return;
+    };
+    let mut guard = stream
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = guard.write_all(json.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+/// Snapshot of the service counters for a [`StatsReply`].
+fn serve_stats(service: &CampaignService) -> ServeStats {
+    ServeStats {
+        queue_depth: service.queue_depth() as u64,
+        in_flight: service.in_flight() as u64,
+        accepted: service.accepted(),
+        responded: service.responded(),
+        draining: service.is_draining(),
+        disk_hits: service.store_stats().disk.map(|d| d.disk_hits).unwrap_or(0),
+    }
+}
+
+/// One connection's request loop. Returns when the peer hangs up or the
+/// server cuts the stream after draining.
+fn handle_client(
+    stream: TcpStream,
+    service: CampaignService,
+    client: u64,
+    shutdown: Arc<AtomicBool>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Ok(request) = serde_json::from_str::<SubmitRequest>(text) {
+            let id = request.submit.id;
+            let done_writer = Arc::clone(&writer);
+            let outcome = service.submit(
+                client,
+                &request.submit.app,
+                &request.submit.scheme,
+                request.submit.deadline_ms,
+                move |record| {
+                    write_line(
+                        &done_writer,
+                        &DoneReply {
+                            done: DoneBody { id, record },
+                        },
+                    );
+                },
+            );
+            match outcome {
+                SubmitOutcome::Accepted => write_line(
+                    &writer,
+                    &AcceptedReply {
+                        accepted: IdBody { id },
+                    },
+                ),
+                SubmitOutcome::Rejected {
+                    reason,
+                    retry_after_ms,
+                } => write_line(
+                    &writer,
+                    &RejectedReply {
+                        rejected: RejectedBody {
+                            id,
+                            reason,
+                            retry_after_ms,
+                        },
+                    },
+                ),
+            }
+        } else if serde_json::from_str::<StatsRequest>(text).is_ok() {
+            write_line(
+                &writer,
+                &StatsReply {
+                    stats_reply: serve_stats(&service),
+                },
+            );
+        } else if serde_json::from_str::<PingRequest>(text).is_ok() {
+            write_line(&writer, &PongReply { pong: true });
+        } else if serde_json::from_str::<ShutdownRequest>(text).is_ok() {
+            shutdown.store(true, Ordering::SeqCst);
+            write_line(&writer, &DrainingReply { draining: true });
+        } else {
+            write_line(
+                &writer,
+                &ErrorReply {
+                    error: format!("unparseable request: {text}"),
+                },
+            );
+        }
+    }
+}
+
+/// Runs the accept loop over an already-bound listener until `shutdown`,
+/// [`static@TERM`], or an injected kill ([`CampaignService::is_draining`])
+/// asks for a drain; then drains the service (finishing every in-flight
+/// cell, checkpointing the journal) and cuts the client connections.
+///
+/// Split out from [`run_serve`] so tests and the in-process service bench
+/// can run a server on an ephemeral port without spawning a process.
+pub fn serve_on(
+    listener: TcpListener,
+    service: &CampaignService,
+    shutdown: &Arc<AtomicBool>,
+) -> ServeSummary {
+    let _ = listener.set_nonblocking(true);
+    let mut handles = Vec::new();
+    let mut raw_streams: Vec<TcpStream> = Vec::new();
+    let mut connections = 0u64;
+    loop {
+        if TERM.load(Ordering::SeqCst) || shutdown.load(Ordering::SeqCst) || service.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections += 1;
+                let client = connections;
+                if let Ok(raw) = stream.try_clone() {
+                    raw_streams.push(raw);
+                }
+                let service = service.clone();
+                let shutdown = Arc::clone(shutdown);
+                handles.push(thread::spawn(move || {
+                    handle_client(stream, service, client, shutdown);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Finish every queued and in-flight cell (their `done` lines are
+    // written by the drain), then cut the streams so client read loops
+    // observe EOF instead of hanging.
+    service.drain();
+    for stream in &raw_streams {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    ServeSummary {
+        connections,
+        accepted: service.accepted(),
+        responded: service.responded(),
+    }
+}
+
+/// Binds `127.0.0.1:port` (0 = ephemeral), prints
+/// `listening on 127.0.0.1:PORT` on stdout (the line a supervising parent
+/// reads to discover the port), and serves until shutdown.
+///
+/// # Errors
+///
+/// Returns the bind error verbatim; everything after the bind is
+/// best-effort and surfaces through the summary instead.
+pub fn run_serve(port: u16, service: &CampaignService) -> std::io::Result<ServeSummary> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let summary = serve_on(listener, service, &shutdown);
+    eprintln!(
+        "critic serve: drained after {} connection(s), {} accepted, {} responded",
+        summary.connections, summary.accepted, summary.responded
+    );
+    Ok(summary)
+}
+
+/// Reads reply lines off a client-side stream. Thin helper shared by
+/// `critic loadgen` and the soak: classifies one line into whichever reply
+/// type it is.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// `{"accepted":{...}}`.
+    Accepted(IdBody),
+    /// `{"rejected":{...}}`.
+    Rejected(RejectedBody),
+    /// `{"done":{...}}`.
+    Done(Box<DoneBody>),
+    /// `{"stats_reply":{...}}`.
+    Stats(ServeStats),
+    /// `{"pong":true}`.
+    Pong,
+    /// `{"draining":true}`.
+    Draining,
+    /// `{"error":"..."}`.
+    Error(String),
+}
+
+/// Classifies one reply line; `None` when it parses as nothing known.
+pub fn parse_reply(line: &str) -> Option<Reply> {
+    let text = line.trim();
+    if text.is_empty() {
+        return None;
+    }
+    if let Ok(reply) = serde_json::from_str::<DoneReply>(text) {
+        return Some(Reply::Done(Box::new(reply.done)));
+    }
+    if let Ok(reply) = serde_json::from_str::<AcceptedReply>(text) {
+        return Some(Reply::Accepted(reply.accepted));
+    }
+    if let Ok(reply) = serde_json::from_str::<RejectedReply>(text) {
+        return Some(Reply::Rejected(reply.rejected));
+    }
+    if let Ok(reply) = serde_json::from_str::<StatsReply>(text) {
+        return Some(Reply::Stats(reply.stats_reply));
+    }
+    if serde_json::from_str::<PongReply>(text).is_ok() {
+        return Some(Reply::Pong);
+    }
+    if serde_json::from_str::<DrainingReply>(text).is_ok() {
+        return Some(Reply::Draining);
+    }
+    if let Ok(reply) = serde_json::from_str::<ErrorReply>(text) {
+        return Some(Reply::Error(reply.error));
+    }
+    None
+}
+
+/// Blocking helper for request/reply exchanges on a client stream: writes
+/// one request line and reads lines until `want` picks a reply (skipping
+/// interleaved `done` lines, which the caller sees via `on_other`).
+///
+/// # Errors
+///
+/// Propagates stream I/O errors; EOF before a matching reply is
+/// `UnexpectedEof`.
+pub fn request_reply<R: Read, T: Serialize>(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<R>,
+    request: &T,
+    mut want: impl FnMut(&Reply) -> bool,
+    mut on_other: impl FnMut(Reply),
+) -> std::io::Result<Reply> {
+    let json = serde_json::to_string(request)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server hung up before replying",
+            ));
+        }
+        if let Some(reply) = parse_reply(&line) {
+            if want(&reply) {
+                return Ok(reply);
+            }
+            on_other(reply);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_types_round_trip_and_classify_disjointly() {
+        let submit = SubmitRequest {
+            submit: SubmitBody {
+                id: 7,
+                app: "Acrobat".into(),
+                scheme: "critic".into(),
+                deadline_ms: Some(2_000),
+            },
+        };
+        let line = serde_json::to_string(&submit).expect("serialise");
+        let back: SubmitRequest = serde_json::from_str(&line).expect("deserialise");
+        assert_eq!(back.submit.id, 7);
+        assert_eq!(back.submit.deadline_ms, Some(2_000));
+        // Disjoint top-level keys: a submit line is not any other request.
+        assert!(serde_json::from_str::<StatsRequest>(&line).is_err());
+        assert!(serde_json::from_str::<PingRequest>(&line).is_err());
+        assert!(serde_json::from_str::<ShutdownRequest>(&line).is_err());
+
+        let rejected = RejectedReply {
+            rejected: RejectedBody {
+                id: 9,
+                reason: "rate limited".into(),
+                retry_after_ms: 31,
+            },
+        };
+        let line = serde_json::to_string(&rejected).expect("serialise");
+        match parse_reply(&line) {
+            Some(Reply::Rejected(body)) => {
+                assert_eq!(body.id, 9);
+                assert_eq!(body.retry_after_ms, 31);
+            }
+            other => panic!("misclassified: {other:?}"),
+        }
+        assert!(matches!(parse_reply("{\"pong\":true}"), Some(Reply::Pong)));
+        assert!(parse_reply("not json at all").is_none());
+    }
+
+    #[test]
+    fn deadline_is_optional_on_the_wire() {
+        let line = "{\"submit\":{\"id\":1,\"app\":\"Maps\",\"scheme\":\"opp16\"}}";
+        let back: SubmitRequest = serde_json::from_str(line).expect("deserialise");
+        assert_eq!(back.submit.deadline_ms, None);
+    }
+}

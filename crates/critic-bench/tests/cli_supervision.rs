@@ -35,7 +35,7 @@ fn supervised_campaign_under_faults_is_accounted_and_visible_in_stats() {
     ));
     let _ = std::fs::remove_file(&journal);
 
-    // 2 apps x 3 schemes; every scheme of the first app is sabotaged with
+    // 2 apps x 4 schemes; every scheme of the first app is sabotaged with
     // a data fault, a journal-write fault eats the first journal line, and
     // a store-read fault fails one attempt mid-grid.
     let mut cmd = critic();
@@ -44,7 +44,7 @@ fn supervised_campaign_under_faults_is_accounted_and_visible_in_stats() {
         "--apps",
         "2",
         "--schemes",
-        "critic,opp16,hoist",
+        "critic,opp16,hoist,ideal",
         "--trace-len",
         "2500",
         "--workers",
@@ -61,7 +61,7 @@ fn supervised_campaign_under_faults_is_accounted_and_visible_in_stats() {
         "store-read@2",
     ]);
     cmd.args(["--journal", journal.to_str().expect("utf-8 temp path")]);
-    for scheme in ["critic", "opp16", "hoist"] {
+    for scheme in ["critic", "opp16", "hoist", "ideal"] {
         cmd.args([
             "--inject",
             &format!("{victim}:{scheme}:dangling-terminator"),
@@ -96,11 +96,13 @@ fn supervised_campaign_under_faults_is_accounted_and_visible_in_stats() {
         String::from_utf8_lossy(&stats.stderr)
     );
 
-    // The journal-write fault ate exactly one cell line; the other five
-    // cells and the telemetry trailer survived.
-    assert_eq!(field_u64(&json, "cells"), 5, "{json}");
-    assert_eq!(field_u64(&json, "ok"), 3, "{json}");
-    assert_eq!(field_u64(&json, "failed"), 2, "{json}");
+    // The journal-write fault ate exactly one cell line; the other seven
+    // cells and the telemetry trailer survived. Of the victim's four
+    // cells: two fail and trip the breaker, the third runs (and fails) as
+    // the half-open probe, the fourth sheds.
+    assert_eq!(field_u64(&json, "cells"), 7, "{json}");
+    assert_eq!(field_u64(&json, "ok"), 4, "{json}");
+    assert_eq!(field_u64(&json, "failed"), 3, "{json}");
 
     // Both systemic faults, the breaker trip, and its shed are visible.
     assert_eq!(field_u64(&json, "sys_faults"), 2, "{json}");

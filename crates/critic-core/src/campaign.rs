@@ -12,7 +12,7 @@
 //! journal is replayed on `--resume`, so a killed campaign continues where
 //! it stopped instead of starting over.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,6 +34,7 @@ use crate::design::DesignPoint;
 use crate::error::RunError;
 use crate::journal::Journal;
 use crate::runner::{ValidationStats, Workbench};
+use crate::service::{Breaker, BreakerDecision};
 use crate::store::{ArtifactStore, StoreStats};
 
 /// One named software/hardware configuration of the campaign grid.
@@ -468,51 +469,6 @@ struct Cell {
     fault: Option<(Fault, u64)>,
 }
 
-/// Per-app circuit breaker: `threshold` consecutive terminal failures of
-/// one app's cells open its breaker; the app's remaining cells are then
-/// shed instead of run. Exactly one [`EventKind::Trip`] is counted per
-/// opened breaker, however many cells it sheds afterwards.
-struct Breaker {
-    threshold: u32,
-    /// app name -> (consecutive terminal failures, tripped).
-    state: Mutex<HashMap<String, (u32, bool)>>,
-}
-
-impl Breaker {
-    fn new(threshold: u32) -> Breaker {
-        Breaker {
-            threshold,
-            state: Mutex::new(HashMap::new()),
-        }
-    }
-
-    fn is_open(&self, app: &str) -> bool {
-        self.threshold > 0
-            && lock_clean(&self.state)
-                .get(app)
-                .is_some_and(|(_, tripped)| *tripped)
-    }
-
-    /// Feeds one finished cell into the breaker. Shed records are not
-    /// evidence either way (the cell never ran); Ok closes the window.
-    fn on_record(&self, record: &CellRecord, telemetry: &Telemetry) {
-        if self.threshold == 0 || record.status == CellStatus::Shed {
-            return;
-        }
-        let mut state = lock_clean(&self.state);
-        let entry = state.entry(record.app.clone()).or_insert((0, false));
-        if record.status == CellStatus::Ok {
-            entry.0 = 0;
-            return;
-        }
-        entry.0 += 1;
-        if entry.0 >= self.threshold && !entry.1 {
-            entry.1 = true;
-            telemetry.event(EventKind::Trip);
-        }
-    }
-}
-
 /// Per-attempt allocation budget (an injected [`SysFault::AllocBudget`]).
 /// Pipeline stages charge their dominant allocations against it; the
 /// charge that crosses the budget fails the attempt with
@@ -729,22 +685,31 @@ pub fn run_campaign_with_store(
                             "graceful shutdown: queue drained".to_string(),
                             spec.run_tag,
                         )
-                    } else if breaker.is_open(&cell.app.name) {
-                        spec.telemetry.event(EventKind::Shed);
-                        shed_record(
-                            &cell,
-                            format!("circuit breaker open for app `{}`", cell.app.name),
-                            spec.run_tag,
-                        )
                     } else {
-                        let (record, saw_store_write) = run_cell(&cell, spec, store);
-                        // The planted supervision bug the chaos minimizer
-                        // must isolate: a store-write fault makes the
-                        // worker drop the finished record on the floor.
-                        if cfg!(feature = "chaos-planted-bug") && saw_store_write {
-                            continue;
+                        match breaker.admit(&cell.app.name) {
+                            BreakerDecision::Shed => {
+                                spec.telemetry.event(EventKind::Shed);
+                                shed_record(
+                                    &cell,
+                                    format!("circuit breaker open for app `{}`", cell.app.name),
+                                    spec.run_tag,
+                                )
+                            }
+                            decision => {
+                                if decision == BreakerDecision::Probe {
+                                    spec.telemetry.event(EventKind::Probe);
+                                }
+                                let (record, saw_store_write) = run_cell(&cell, spec, store);
+                                // The planted supervision bug the chaos
+                                // minimizer must isolate: a store-write
+                                // fault makes the worker drop the finished
+                                // record on the floor.
+                                if cfg!(feature = "chaos-planted-bug") && saw_store_write {
+                                    continue;
+                                }
+                                record
+                            }
                         }
-                        record
                     };
                     breaker.on_record(&record, &spec.telemetry);
                     if let Some(sys) = &spec.sys {
@@ -983,6 +948,111 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
                     thread::sleep(Duration::from_millis(delay));
                 }
                 continue;
+            }
+        }
+    }
+}
+
+/// One service-mode cell: a single attempt (the service retries nothing —
+/// the *client* owns retry policy, steered by the record it gets back)
+/// at an explicit degradation level, producing a terminal [`CellRecord`].
+///
+/// The level reuses the batch ladder's semantics: level >= 1 drops
+/// validation, >= 2 drops per-cell telemetry, >= 3 runs the baseline
+/// design point under the cell's scheme name. The level is stamped on the
+/// record (`degraded`), so a shed-load result is never mistaken for a
+/// full-fidelity one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_service_attempt(
+    app: &AppSpec,
+    scheme: &Scheme,
+    trace_len: usize,
+    validate: bool,
+    deadline: Option<Duration>,
+    level: u8,
+    store: &Arc<ArtifactStore>,
+    aggregate: &Telemetry,
+    sys: Option<&Arc<SysInjector>>,
+    run_tag: Option<u64>,
+) -> CellRecord {
+    let cell = Cell {
+        app: app.clone(),
+        scheme: scheme.clone(),
+        fault: None,
+    };
+    let telemetry = if aggregate.is_enabled() && level < 2 {
+        Telemetry::enabled()
+    } else {
+        Telemetry::off()
+    };
+    let mut meter = None;
+    let mut stall = None;
+    if let Some(sys) = sys {
+        for fault in sys.advance_or_crash(SysOp::AttemptStart) {
+            aggregate.event(EventKind::SysFault);
+            match fault {
+                SysFault::AllocBudget { bytes } => meter = Some(Arc::new(AllocMeter::new(bytes))),
+                SysFault::WorkerStall { millis } => stall = Some(Duration::from_millis(millis)),
+                _ => {}
+            }
+        }
+    }
+    let validate = validate && level < 1;
+    let fallback;
+    let target = if level >= 3 {
+        // Last rung: keep the cell's name (the journal key must stay
+        // stable) but run the baseline design point.
+        let mut cell = cell.clone();
+        cell.scheme.point = DesignPoint::baseline();
+        fallback = cell;
+        &fallback
+    } else {
+        &cell
+    };
+    let started = Instant::now();
+    let result = run_attempt(
+        target, trace_len, validate, deadline, store, &telemetry, meter, stall,
+    );
+    let millis = started.elapsed().as_millis() as u64;
+    let spans = telemetry.snapshot();
+    if let Some(snapshot) = &spans {
+        aggregate.absorb(snapshot);
+    }
+    let degraded = (level > 0).then_some(level.min(3));
+    match result {
+        Ok((metrics, validation)) => CellRecord {
+            app: cell.app.name.clone(),
+            scheme: cell.scheme.name.clone(),
+            status: CellStatus::Ok,
+            attempts: 1,
+            millis,
+            fault: None,
+            metrics: Some(metrics),
+            error: None,
+            validation,
+            spans,
+            degraded,
+            run: run_tag,
+        },
+        Err(error) => {
+            let status = match error {
+                RunError::Panic(_) => CellStatus::Panicked,
+                RunError::DeadlineExceeded { .. } => CellStatus::TimedOut,
+                _ => CellStatus::Failed,
+            };
+            CellRecord {
+                app: cell.app.name.clone(),
+                scheme: cell.scheme.name.clone(),
+                status,
+                attempts: 1,
+                millis,
+                fault: None,
+                metrics: None,
+                error: Some(error),
+                validation: None,
+                spans,
+                degraded,
+                run: run_tag,
             }
         }
     }
@@ -1911,17 +1981,19 @@ mod tests {
         let _ = std::fs::remove_file(&journal);
     }
 
-    /// K consecutive terminal failures of one app trip its breaker: the
-    /// app's remaining cells shed with exactly one Trip event, and a
-    /// healthy sibling app is untouched.
+    /// K consecutive terminal failures of one app trip its breaker; the
+    /// next submission runs as the half-open probe (which fails here and
+    /// silently re-opens), the one after that sheds with exactly one Trip
+    /// event, and a healthy sibling app is untouched.
     #[test]
-    fn breaker_trips_and_sheds_remaining_cells_of_the_app() {
+    fn breaker_trips_probes_and_sheds_remaining_cells_of_the_app() {
         let mut spec = CampaignSpec::new(
             tiny_apps(2),
             vec![
                 Scheme::new("critic", DesignPoint::critic()),
                 Scheme::new("opp16", DesignPoint::opp16()),
                 Scheme::new("hoist", DesignPoint::hoist()),
+                Scheme::new("ideal", DesignPoint::critic_ideal()),
             ],
             8_000,
         );
@@ -1929,7 +2001,7 @@ mod tests {
         spec.telemetry = Telemetry::enabled();
         spec.supervision.breaker_threshold = 2;
         let victim = spec.apps[0].name.clone();
-        for scheme in ["critic", "opp16", "hoist"] {
+        for scheme in ["critic", "opp16", "hoist", "ideal"] {
             spec.faults.push(PlannedFault {
                 app: victim.clone(),
                 scheme: scheme.into(),
@@ -1938,13 +2010,15 @@ mod tests {
             });
         }
         let summary = run_campaign(&spec).expect("campaign runs");
-        assert_eq!(summary.records.len(), 6, "every cell accounted");
+        assert_eq!(summary.records.len(), 8, "every cell accounted");
+        // Two failures trip the breaker; the third victim cell is the
+        // half-open probe (runs, fails, re-opens — no second Trip).
         let failed: Vec<_> = summary
             .records
             .iter()
             .filter(|r| r.status == CellStatus::Failed)
             .collect();
-        assert_eq!(failed.len(), 2, "{}", summary.render());
+        assert_eq!(failed.len(), 3, "{}", summary.render());
         let shed = summary.shed();
         assert_eq!(shed.len(), 1, "{}", summary.render());
         assert_eq!(shed[0].app, victim);
@@ -1953,16 +2027,18 @@ mod tests {
             "{:?}",
             shed[0].error
         );
-        // The healthy app's three cells all ran.
+        // The healthy app's four cells all ran.
         let healthy_ok = summary
             .records
             .iter()
             .filter(|r| r.app != victim && r.status == CellStatus::Ok)
             .count();
-        assert_eq!(healthy_ok, 3, "{}", summary.render());
+        assert_eq!(healthy_ok, 4, "{}", summary.render());
         let aggregate = summary.telemetry.expect("aggregate");
         assert_eq!(aggregate.supervision().trips, 1, "{aggregate:?}");
         assert_eq!(aggregate.supervision().sheds, 1, "{aggregate:?}");
+        assert_eq!(aggregate.service().probes, 1, "{aggregate:?}");
+        assert_eq!(aggregate.service().resets, 0, "{aggregate:?}");
     }
 
     /// Journal-append systemic faults: a dropped line reruns its cell on

@@ -212,6 +212,22 @@ impl DesignPoint {
         DesignPoint::plain(Software::Opp16PlusCritIc)
     }
 
+    /// Resolves a CLI/wire scheme name to its design point. `None` for an
+    /// unknown name — the single naming authority shared by the `critic`
+    /// CLI and the service submission path.
+    pub fn named(name: &str) -> Option<DesignPoint> {
+        Some(match name {
+            "critic" => DesignPoint::critic(),
+            "hoist" => DesignPoint::hoist(),
+            "ideal" => DesignPoint::critic_ideal(),
+            "branch-switch" => DesignPoint::critic_branch_switch(),
+            "opp16" => DesignPoint::opp16(),
+            "compress" => DesignPoint::compress(),
+            "opp16+critic" => DesignPoint::opp16_plus_critic(),
+            _ => return None,
+        })
+    }
+
     /// Adds the CritIC software on top of this (hardware) point — the
     /// "with CritIC" bars of Fig. 11.
     #[must_use]

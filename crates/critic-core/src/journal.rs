@@ -34,7 +34,7 @@ use critic_obs::{EventKind, Telemetry};
 use critic_workloads::{SysFault, SysInjector, SysOp};
 use serde::{Deserialize, Serialize};
 
-use crate::campaign::{CampaignStoreRecord, CampaignTelemetryRecord, CellRecord};
+use crate::campaign::{CampaignStoreRecord, CampaignTelemetryRecord, CellRecord, CellStatus};
 use crate::keys::crc32;
 
 /// A typed journal filesystem error. Replay *tolerates* corruption (bad
@@ -101,6 +101,30 @@ pub struct CheckpointBody {
     pub records: Vec<CellRecord>,
 }
 
+/// Per-run-tag summary of a replayed journal. Service-era journals
+/// interleave records from many invocations (the live server stamps its
+/// [`run_tag`] on every cell, a restarted server stamps the next); rolling
+/// them into one blended summary hides exactly the restart boundary the
+/// recovery story cares about, so `critic stats` reports one rollup per
+/// tag instead.
+///
+/// [`run_tag`]: crate::campaign::CampaignSpec::run_tag
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunRollup {
+    /// The run tag (`None` groups untagged/legacy records).
+    pub run: Option<u64>,
+    /// Newest-wins records carrying this tag.
+    pub cells: usize,
+    /// Of those, cells journaled Ok.
+    pub ok: usize,
+    /// Cells journaled Failed/TimedOut/Panicked.
+    pub failed: usize,
+    /// Cells journaled Shed.
+    pub shed: usize,
+    /// Summed final-attempt wall-clock, milliseconds.
+    pub total_millis: u64,
+}
+
 /// Everything a journal replay recovered, for resume and for `critic
 /// stats`.
 #[derive(Debug, Default)]
@@ -125,6 +149,32 @@ pub struct ReplayedJournal {
     /// Cell-record lines currently in the active file (internal: seeds the
     /// roll threshold).
     pub(crate) active_lines: usize,
+}
+
+impl ReplayedJournal {
+    /// Groups the newest-wins records by run tag: the untagged group
+    /// first, then ascending tags — one [`RunRollup`] per distinct tag.
+    pub fn run_rollups(&self) -> Vec<RunRollup> {
+        let mut groups: BTreeMap<Option<u64>, RunRollup> = BTreeMap::new();
+        for record in &self.records {
+            let rollup = groups.entry(record.run).or_insert_with(|| RunRollup {
+                run: record.run,
+                cells: 0,
+                ok: 0,
+                failed: 0,
+                shed: 0,
+                total_millis: 0,
+            });
+            rollup.cells += 1;
+            match record.status {
+                CellStatus::Ok => rollup.ok += 1,
+                CellStatus::Shed => rollup.shed += 1,
+                _ => rollup.failed += 1,
+            }
+            rollup.total_millis += record.millis;
+        }
+        groups.into_values().collect()
+    }
 }
 
 /// Internal classification of one journal line.
@@ -496,6 +546,33 @@ impl Journal {
         }
     }
 
+    /// Writes a durable checkpoint line into the active file without
+    /// rolling a segment — the graceful-drain hook: a draining server
+    /// checkpoints the newest record per cell so the replay after a
+    /// subsequent crash reads one line instead of the whole tail. Replay
+    /// accepts checkpoint lines anywhere in a file; only cell lines count
+    /// toward the roll threshold, so this never perturbs segmentation.
+    pub fn checkpoint(&self) {
+        let mut active = lock_clean(&self.active);
+        let body = CheckpointRecord {
+            checkpoint: CheckpointBody {
+                seq: active.seq,
+                records: active.newest.values().cloned().collect(),
+            },
+        };
+        let Ok(json) = serde_json::to_string(&body) else {
+            return;
+        };
+        let line = checksum_line(&json);
+        if writeln!(active.file, "{line}").is_err() {
+            return;
+        }
+        let _ = active.file.flush();
+        if active.file.sync_all().is_ok() {
+            self.telemetry.event(EventKind::Checkpoint);
+        }
+    }
+
     /// Rolls the active file into a segment and starts a fresh one headed
     /// by a checkpoint. Compaction (deleting covered segments) happens
     /// only after the checkpoint is durable, so a crash at any step leaves
@@ -752,6 +829,69 @@ mod tests {
                 "case {case}: segment_max={segment_max} diverged from the full history"
             );
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_rollups_group_by_tag() {
+        let dir = temp_dir("rollups");
+        let path = dir.join("j.jsonl");
+        let (journal, _) = Journal::open(&path, 0, Telemetry::off()).expect("open");
+        let mut r0 = record("a", "s1", 10);
+        r0.run = Some(0);
+        let mut r1 = record("b", "s1", 20);
+        r1.run = Some(1);
+        r1.status = CellStatus::Failed;
+        r1.metrics = None;
+        let mut r2 = record("c", "s1", 0);
+        r2.run = Some(1);
+        r2.status = CellStatus::Shed;
+        r2.metrics = None;
+        let mut legacy = record("d", "s1", 5);
+        legacy.run = None;
+        for r in [&r0, &r1, &r2, &legacy] {
+            journal.append_cell(r, None);
+        }
+        drop(journal);
+        let replayed = Journal::replay(&path, &Telemetry::off()).expect("replay");
+        let rollups = replayed.run_rollups();
+        assert_eq!(rollups.len(), 3);
+        // Untagged group first, then ascending tags.
+        assert_eq!(rollups[0].run, None);
+        assert_eq!(rollups[0].cells, 1);
+        assert_eq!(rollups[1].run, Some(0));
+        assert_eq!(rollups[1].ok, 1);
+        assert_eq!(rollups[1].total_millis, 10);
+        assert_eq!(rollups[2].run, Some(1));
+        assert_eq!(rollups[2].cells, 2);
+        assert_eq!(rollups[2].failed, 1);
+        assert_eq!(rollups[2].shed, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_checkpoint_is_replayable_midfile() {
+        let dir = temp_dir("drain-cp");
+        let path = dir.join("j.jsonl");
+        let telemetry = Telemetry::enabled();
+        let (journal, _) = Journal::open(&path, 0, telemetry.clone()).expect("open");
+        journal.append_cell(&record("a", "s1", 10), None);
+        journal.checkpoint();
+        journal.append_cell(&record("b", "s1", 20), None);
+        drop(journal);
+        let snapshot = telemetry.snapshot().expect("snapshot");
+        assert_eq!(snapshot.durability().checkpoints, 1);
+        let replayed = Journal::replay(&path, &Telemetry::off()).expect("replay");
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.checkpoints, 1);
+        assert_eq!(replayed.skipped_lines, 0);
+        // Reopen appends cleanly after the mid-file checkpoint.
+        let (journal, replayed) = Journal::open(&path, 0, Telemetry::off()).expect("reopen");
+        assert_eq!(replayed.records.len(), 2);
+        journal.append_cell(&record("c", "s1", 30), None);
+        drop(journal);
+        let replayed = Journal::replay(&path, &Telemetry::off()).expect("replay");
+        assert_eq!(replayed.records.len(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 

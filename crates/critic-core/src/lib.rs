@@ -42,6 +42,7 @@ pub mod experiments;
 pub mod journal;
 pub mod keys;
 pub mod runner;
+pub mod service;
 pub mod store;
 
 pub use campaign::{
@@ -52,9 +53,13 @@ pub use campaign::{
 pub use design::{DesignPoint, Software};
 pub use disk::{DiskStore, DiskStoreStats, StoreError};
 pub use error::RunError;
-pub use journal::{Journal, JournalError, ReplayedJournal};
+pub use journal::{Journal, JournalError, ReplayedJournal, RunRollup};
 pub use keys::{crc32, stable_key, KEY_FORMAT_VERSION};
 pub use runner::{RunOutcome, ValidationStats, Workbench};
+pub use service::{
+    Breaker, BreakerDecision, CampaignService, ClientWindows, ServiceConfig, SubmitOutcome,
+    TokenBucket, WorkPool,
+};
 pub use store::{ArtifactStore, StoreStats, World, WorldKey};
 
 /// Default dynamic instructions per app for full experiments (the paper

@@ -27,6 +27,6 @@ pub mod span;
 
 pub use ledger::{CycleClass, CycleLedger, MemLevelCounters};
 pub use span::{
-    DurabilityEvents, EventKind, Recorder, SpanKind, SpanStats, SupervisionEvents, Telemetry,
-    TelemetrySnapshot,
+    DurabilityEvents, EventKind, Recorder, ServiceEvents, SpanKind, SpanStats, SupervisionEvents,
+    Telemetry, TelemetrySnapshot,
 };

@@ -28,16 +28,19 @@ pub enum SpanKind {
     Validate,
     /// Pipeline simulation.
     Sim,
+    /// One service request, admission to final response (`critic serve`).
+    Request,
 }
 
 impl SpanKind {
     /// Every span kind, in pipeline order.
-    pub const ALL: [SpanKind; 5] = [
+    pub const ALL: [SpanKind; 6] = [
         SpanKind::WorldBuild,
         SpanKind::Profile,
         SpanKind::Passes,
         SpanKind::Validate,
         SpanKind::Sim,
+        SpanKind::Request,
     ];
 
     /// Short human-readable label (stats tables).
@@ -48,6 +51,7 @@ impl SpanKind {
             SpanKind::Passes => "passes",
             SpanKind::Validate => "validate",
             SpanKind::Sim => "sim",
+            SpanKind::Request => "request",
         }
     }
 
@@ -58,6 +62,7 @@ impl SpanKind {
             SpanKind::Passes => 2,
             SpanKind::Validate => 3,
             SpanKind::Sim => 4,
+            SpanKind::Request => 5,
         }
     }
 }
@@ -90,11 +95,20 @@ pub enum EventKind {
     /// A torn journal tail line was detected by its checksum and
     /// truncated during resume.
     TornRecovery,
+    /// A service request passed admission control and was queued.
+    Admit,
+    /// A service request was rejected by admission control (token bucket,
+    /// client window, or queue capacity) with a `retry_after` hint.
+    Reject,
+    /// An open circuit breaker let one half-open probe cell through.
+    Probe,
+    /// A half-open probe succeeded and closed its circuit breaker.
+    Reset,
 }
 
 impl EventKind {
     /// Every event kind.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Fault,
         EventKind::Retry,
         EventKind::Demotion,
@@ -106,6 +120,10 @@ impl EventKind {
         EventKind::Quarantine,
         EventKind::Checkpoint,
         EventKind::TornRecovery,
+        EventKind::Admit,
+        EventKind::Reject,
+        EventKind::Probe,
+        EventKind::Reset,
     ];
 
     /// Short human-readable label (stats tables).
@@ -122,6 +140,10 @@ impl EventKind {
             EventKind::Quarantine => "quarantines",
             EventKind::Checkpoint => "checkpoints",
             EventKind::TornRecovery => "torn-recoveries",
+            EventKind::Admit => "admits",
+            EventKind::Reject => "rejects",
+            EventKind::Probe => "probes",
+            EventKind::Reset => "resets",
         }
     }
 
@@ -138,6 +160,10 @@ impl EventKind {
             EventKind::Quarantine => 8,
             EventKind::Checkpoint => 9,
             EventKind::TornRecovery => 10,
+            EventKind::Admit => 11,
+            EventKind::Reject => 12,
+            EventKind::Probe => 13,
+            EventKind::Reset => 14,
         }
     }
 }
@@ -200,6 +226,43 @@ impl DurabilityEvents {
     }
 }
 
+/// Service-layer counters — the PR-7 additions to [`TelemetrySnapshot`]
+/// behind `critic serve`, grouped in one optional struct (the same
+/// back-compat shape as [`SupervisionEvents`]) so journals written before
+/// the service existed still deserialize (`None`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceEvents {
+    /// Per-request spans: admission to final response.
+    pub requests: SpanStats,
+    /// Requests that passed admission control and were queued.
+    pub admits: u64,
+    /// Requests rejected by admission control (token bucket, client
+    /// window, or queue capacity) with a `retry_after` hint.
+    pub rejects: u64,
+    /// Half-open breaker probe cells let through.
+    pub probes: u64,
+    /// Breakers closed again by a successful probe.
+    pub resets: u64,
+    /// Deepest work-pool queue observed (a high-water gauge, merged by
+    /// max, not sum).
+    pub peak_queue_depth: u64,
+}
+
+impl ServiceEvents {
+    fn absorb(&mut self, other: &ServiceEvents) {
+        self.requests.absorb(&other.requests);
+        self.admits += other.admits;
+        self.rejects += other.rejects;
+        self.probes += other.probes;
+        self.resets += other.resets;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == ServiceEvents::default()
+    }
+}
+
 /// Aggregate of one span kind: how many times it ran and for how long.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanStats {
@@ -240,10 +303,11 @@ impl SpanStats {
 /// (exact once the workers have joined, which is when campaigns read it).
 #[derive(Debug, Default)]
 pub struct Recorder {
-    span_count: [AtomicU64; 5],
-    span_total: [AtomicU64; 5],
-    span_max: [AtomicU64; 5],
-    events: [AtomicU64; 11],
+    span_count: [AtomicU64; 6],
+    span_total: [AtomicU64; 6],
+    span_max: [AtomicU64; 6],
+    events: [AtomicU64; 15],
+    peak_queue_depth: AtomicU64,
 }
 
 impl Recorder {
@@ -263,6 +327,11 @@ impl Recorder {
     /// Counts `n` occurrences of `kind`.
     pub fn count_events(&self, kind: EventKind, n: u64) {
         self.events[kind.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Updates the queue-depth high-water mark (a `fetch_max` gauge).
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Reads every counter into a serializable snapshot.
@@ -297,6 +366,14 @@ impl Recorder {
                 torn_recoveries: self.events[EventKind::TornRecovery.index()]
                     .load(Ordering::Relaxed),
             }),
+            service: Some(ServiceEvents {
+                requests: span(SpanKind::Request),
+                admits: self.events[EventKind::Admit.index()].load(Ordering::Relaxed),
+                rejects: self.events[EventKind::Reject.index()].load(Ordering::Relaxed),
+                probes: self.events[EventKind::Probe.index()].load(Ordering::Relaxed),
+                resets: self.events[EventKind::Reset.index()].load(Ordering::Relaxed),
+                peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -330,6 +407,10 @@ pub struct TelemetrySnapshot {
     /// from a journal written before the persistent tier existed; use
     /// [`TelemetrySnapshot::durability`] for a zero-defaulted view.
     pub durability: Option<DurabilityEvents>,
+    /// Service-layer counters. `None` when the snapshot was read from a
+    /// journal written before `critic serve` existed; use
+    /// [`TelemetrySnapshot::service`] for a zero-defaulted view.
+    pub service: Option<ServiceEvents>,
 }
 
 impl TelemetrySnapshot {
@@ -341,6 +422,7 @@ impl TelemetrySnapshot {
             SpanKind::Passes => self.passes,
             SpanKind::Validate => self.validate,
             SpanKind::Sim => self.sim,
+            SpanKind::Request => self.service().requests,
         }
     }
 
@@ -348,6 +430,7 @@ impl TelemetrySnapshot {
     pub fn events(&self, kind: EventKind) -> u64 {
         let supervision = self.supervision();
         let durability = self.durability();
+        let service = self.service();
         match kind {
             EventKind::Fault => self.faults,
             EventKind::Retry => self.retries,
@@ -360,6 +443,10 @@ impl TelemetrySnapshot {
             EventKind::Quarantine => durability.quarantines,
             EventKind::Checkpoint => durability.checkpoints,
             EventKind::TornRecovery => durability.torn_recoveries,
+            EventKind::Admit => service.admits,
+            EventKind::Reject => service.rejects,
+            EventKind::Probe => service.probes,
+            EventKind::Reset => service.resets,
         }
     }
 
@@ -373,6 +460,12 @@ impl TelemetrySnapshot {
     /// predates the persistent tier.
     pub fn durability(&self) -> DurabilityEvents {
         self.durability.unwrap_or_default()
+    }
+
+    /// The service-layer counters, zero-defaulted when the snapshot
+    /// predates `critic serve`.
+    pub fn service(&self) -> ServiceEvents {
+        self.service.unwrap_or_default()
     }
 
     /// Whether anything at all was recorded.
@@ -402,6 +495,14 @@ impl TelemetrySnapshot {
             }
         };
         self.durability = match (self.durability, other.durability) {
+            (None, None) => None,
+            (a, b) => {
+                let mut sum = a.unwrap_or_default();
+                sum.absorb(&b.unwrap_or_default());
+                Some(sum)
+            }
+        };
+        self.service = match (self.service, other.service) {
             (None, None) => None,
             (a, b) => {
                 let mut sum = a.unwrap_or_default();
@@ -445,6 +546,17 @@ impl TelemetrySnapshot {
                 durability.quarantines,
                 durability.checkpoints,
                 durability.torn_recoveries
+            ));
+        }
+        let service = self.service();
+        if !service.is_empty() {
+            out.push_str(&format!(
+                "\n  service: {} admits, {} rejects, {} probes, {} resets, peak queue {}",
+                service.admits,
+                service.rejects,
+                service.probes,
+                service.resets,
+                service.peak_queue_depth
             ));
         }
         out
@@ -516,6 +628,13 @@ impl Telemetry {
         }
     }
 
+    /// Updates the queue-depth high-water gauge (no-op when disabled).
+    pub fn queue_depth(&self, depth: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record_queue_depth(depth);
+        }
+    }
+
     /// Merges a finished snapshot into this handle's recorder (no-op when
     /// disabled) — campaigns roll per-cell telemetry up this way.
     pub fn absorb(&self, snapshot: &TelemetrySnapshot) {
@@ -530,8 +649,12 @@ impl Telemetry {
                 }
             }
             for kind in EventKind::ALL {
-                recorder.count_events(kind, snapshot.events(kind));
+                let n = snapshot.events(kind);
+                if n > 0 {
+                    recorder.count_events(kind, n);
+                }
             }
+            recorder.record_queue_depth(snapshot.service().peak_queue_depth);
         }
     }
 
@@ -716,6 +839,63 @@ mod tests {
         let text = snap.render();
         assert!(text.contains("2 evictions"), "{text}");
         assert!(text.contains("3 torn-recoveries"), "{text}");
+    }
+
+    #[test]
+    fn pre_service_snapshots_still_deserialize() {
+        // A journal line written before `critic serve` existed has no
+        // `service` key; it must parse to `None` (reading 0 via the
+        // accessor), not reject the line.
+        let telemetry = Telemetry::enabled();
+        telemetry.event(EventKind::Admit);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let mut value = serde::Serialize::to_value(&snap);
+        if let serde::Value::Object(map) = &mut value {
+            map.retain(|(k, _)| k != "service");
+        }
+        let back: TelemetrySnapshot =
+            serde::Deserialize::from_value(&value).expect("old snapshot parses");
+        assert_eq!(back.service, None);
+        assert_eq!(back.events(EventKind::Admit), 0);
+
+        // Absorbing a modern snapshot revives the counters.
+        let mut sum = back;
+        sum.absorb(&telemetry.snapshot().expect("snapshot"));
+        assert_eq!(sum.events(EventKind::Admit), 1);
+    }
+
+    #[test]
+    fn service_events_count_and_render() {
+        let telemetry = Telemetry::enabled();
+        telemetry.time(SpanKind::Request, || ());
+        telemetry.events(EventKind::Admit, 5);
+        telemetry.events(EventKind::Reject, 2);
+        telemetry.event(EventKind::Probe);
+        telemetry.event(EventKind::Reset);
+        telemetry.queue_depth(7);
+        telemetry.queue_depth(3);
+        let snap = telemetry.snapshot().expect("snapshot");
+        let service = snap.service();
+        assert_eq!(service.requests.count, 1);
+        assert_eq!(service.admits, 5);
+        assert_eq!(service.rejects, 2);
+        assert_eq!(service.probes, 1);
+        assert_eq!(service.resets, 1);
+        assert_eq!(service.peak_queue_depth, 7);
+        assert!(!snap.is_empty());
+        let text = snap.render();
+        assert!(text.contains("5 admits"), "{text}");
+        assert!(text.contains("2 rejects"), "{text}");
+        assert!(text.contains("peak queue 7"), "{text}");
+
+        // The high-water gauge survives a roll-up by max, not sum.
+        let aggregate = Telemetry::enabled();
+        aggregate.queue_depth(4);
+        aggregate.absorb(&snap);
+        aggregate.absorb(&snap);
+        let merged = aggregate.snapshot().expect("snapshot").service();
+        assert_eq!(merged.admits, 10);
+        assert_eq!(merged.peak_queue_depth, 7);
     }
 
     #[test]

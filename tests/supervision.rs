@@ -84,13 +84,14 @@ fn breaker_spec(fault_seed: u64, trace_len: usize) -> (CampaignSpec, String) {
         Scheme::new("critic", DesignPoint::critic()),
         Scheme::new("opp16", DesignPoint::opp16()),
         Scheme::new("hoist", DesignPoint::hoist()),
+        Scheme::new("ideal", DesignPoint::critic_ideal()),
     ];
     let victim = apps[0].name.clone();
     let mut spec = CampaignSpec::new(apps, schemes, trace_len);
     spec.workers = 1;
     spec.telemetry = Telemetry::enabled();
     spec.supervision.breaker_threshold = 2;
-    for scheme in ["critic", "opp16", "hoist"] {
+    for scheme in ["critic", "opp16", "hoist", "ideal"] {
         spec.faults.push(PlannedFault {
             app: victim.clone(),
             scheme: scheme.into(),
@@ -102,13 +103,14 @@ fn breaker_spec(fault_seed: u64, trace_len: usize) -> (CampaignSpec, String) {
 }
 
 proptest! {
-    // Each case runs a six-cell campaign; keep the count low.
+    // Each case runs an eight-cell campaign; keep the count low.
     #![proptest_config(ProptestConfig::with_cases(3))]
 
     /// For any fault seed and trace length, sabotaging every scheme of one
-    /// app trips that app's breaker exactly once, sheds exactly the cells
-    /// the breaker refused (one `Shed` record *and* one `Shed` event
-    /// each), and leaves the healthy app untouched.
+    /// app trips that app's breaker exactly once; the next submission runs
+    /// as the half-open probe (fails, silently re-opens), the one after
+    /// that sheds (one `Shed` record *and* one `Shed` event each), and the
+    /// healthy app is untouched.
     #[test]
     fn tripped_breaker_emits_one_trip_and_one_shed_per_shed_cell(
         fault_seed in 0u64..=1_000,
@@ -116,14 +118,18 @@ proptest! {
     ) {
         let (spec, victim) = breaker_spec(fault_seed, trace_len);
         let summary = campaign::run_campaign(&spec).expect("campaign runs");
-        prop_assert_eq!(summary.records.len(), 6, "every cell accounted");
+        prop_assert_eq!(summary.records.len(), 8, "every cell accounted");
 
         let failed = summary
             .records
             .iter()
             .filter(|r| r.status == CellStatus::Failed)
             .count();
-        prop_assert_eq!(failed, 2, "threshold failures precede the trip");
+        prop_assert_eq!(
+            failed,
+            3,
+            "threshold failures precede the trip, plus the failed probe"
+        );
 
         let shed = summary.shed();
         prop_assert_eq!(shed.len(), 1, "{}", summary.render());
@@ -141,7 +147,7 @@ proptest! {
             .iter()
             .filter(|r| r.app != victim && r.status == CellStatus::Ok)
             .count();
-        prop_assert_eq!(healthy_ok, 3, "{}", summary.render());
+        prop_assert_eq!(healthy_ok, 4, "{}", summary.render());
 
         let aggregate = summary.telemetry.as_ref().expect("telemetry aggregate");
         prop_assert_eq!(aggregate.supervision().trips, 1, "exactly one trip");
@@ -149,6 +155,11 @@ proptest! {
             aggregate.supervision().sheds,
             shed.len() as u64,
             "one Shed event per shed record"
+        );
+        prop_assert_eq!(
+            aggregate.service().probes,
+            1,
+            "the cell after the trip is the half-open probe"
         );
     }
 }
