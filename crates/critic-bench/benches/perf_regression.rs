@@ -7,7 +7,9 @@
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use critic_bench::perf::{bench_campaign, time_single_cell, BenchSetup};
+use critic_bench::perf::{
+    bench_campaign, sensitivity_campaign, time_cold_scalar, time_single_cell, BenchSetup,
+};
 use critic_core::{run_campaign_with_store, ArtifactStore};
 
 fn perf_regression(c: &mut Criterion) {
@@ -34,5 +36,28 @@ fn perf_regression(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, perf_regression);
+/// The cold path's two pipelines over the same sensitivity grid, as a
+/// Criterion comparison group: `batched` is the lockstep multi-scheme
+/// campaign (`critic bench`'s `cold_path.batched_millis`), `scalar` is the
+/// per-cell reference pipeline it is gated against. Their ratio here
+/// should track the committed report's `cold_speedup`.
+fn cold_path(c: &mut Criterion) {
+    let setup = BenchSetup::smoke();
+    let spec = sensitivity_campaign(&setup);
+
+    let mut group = c.benchmark_group("cold_path");
+    group.sample_size(10);
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let store = Arc::new(ArtifactStore::new());
+            black_box(run_campaign_with_store(&spec, &store).expect("batched campaign"))
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(time_cold_scalar(&spec).expect("scalar sweep")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, perf_regression, cold_path);
 criterion_main!(benches);

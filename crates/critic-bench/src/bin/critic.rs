@@ -9,7 +9,7 @@
 //! critic validate <app> [--scheme S] [--seed N] # differential oracle only
 //! critic disasm <app> [function]      # dump the generated binary
 //! critic campaign [--validate] [--stats] [options]  # fault-tolerant app x scheme grid
-//! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
+//! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X] [--min-cold-speedup X]
 //! critic bench --service [--smoke] [--json] [-o FILE] [--max-service-p99-ms X]
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
@@ -95,6 +95,7 @@ enum CliError {
     },
     BenchFailed(String),
     BenchRegression {
+        what: &'static str,
         speedup: f64,
         floor: f64,
     },
@@ -203,10 +204,14 @@ impl fmt::Display for CliError {
                 )
             }
             CliError::BenchFailed(msg) => write!(f, "{msg}"),
-            CliError::BenchRegression { speedup, floor } => {
+            CliError::BenchRegression {
+                what,
+                speedup,
+                floor,
+            } => {
                 write!(
                     f,
-                    "warm-store speedup {speedup:.2}x is below the {floor:.2}x floor"
+                    "{what} speedup {speedup:.2}x is below the {floor:.2}x floor"
                 )
             }
             CliError::CampaignInterrupted { shed, total } => {
@@ -325,6 +330,7 @@ fn bench_error(e: BenchError) -> CliError {
         BenchError::Run(e) => CliError::Run(e),
         BenchError::FailedCells(summary) => CliError::BenchFailed(summary),
         BenchError::LedgerViolation(msg) => CliError::BenchFailed(msg),
+        BenchError::Divergence(msg) => CliError::BenchFailed(msg),
         BenchError::Io(msg) => CliError::Io(msg),
     }
 }
@@ -689,12 +695,14 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// `critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]`
+/// `critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
+/// [--min-cold-speedup X]`
 ///
-/// Measures single-cell latency and a cold vs warm full-grid campaign over
-/// one shared artifact store; `--smoke` shrinks the grid for CI.
-/// `--min-warm-speedup` turns the report into a gate: exit code 8 when the
-/// measured warm speedup falls below the floor.
+/// Measures single-cell latency, the batched-vs-scalar cold path over the
+/// sensitivity grid, and a cold vs warm full-grid campaign over one shared
+/// artifact store; `--smoke` shrinks the grid for CI.
+/// `--min-warm-speedup` and `--min-cold-speedup` turn the report into a
+/// gate: exit code 8 when a measured speedup falls below its floor.
 fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--service") {
         return run_service_bench_command(args);
@@ -710,6 +718,12 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
             CliError::Usage(format!("--min-warm-speedup expects a number, got `{v}`"))
         })?),
     };
+    let cold_floor = match arg_after(args, "--min-cold-speedup") {
+        None => None,
+        Some(v) => Some(v.parse::<f64>().map_err(|_| {
+            CliError::Usage(format!("--min-cold-speedup expects a number, got `{v}`"))
+        })?),
+    };
 
     let report = perf::run_perf_bench(&setup).map_err(bench_error)?;
     let json = serde_json::to_string_pretty(&report)
@@ -719,11 +733,17 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
         println!("{json}");
     } else {
         println!(
-            "single cell: {:.0} ms | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
+            "single cell: {:.0} ms | cold path {} cells: scalar {:.0} ms -> batched {:.0} ms \
+             ({:.2}x, {:.2}M insts/s) | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
              restart cold {:.0} ms -> disk-warm {:.0} ms ({:.2}x, {} disk hits) | \
              telemetry overhead {:+.1}% | {} worlds, {} profiles, {} baselines built; \
              {} store hits | ledger {} cycles audited",
             report.single_cell_millis,
+            report.cold_path.cells,
+            report.cold_path.scalar_millis,
+            report.cold_path.batched_millis,
+            report.cold_path.cold_speedup,
+            report.cold_path.insts_per_sec / 1e6,
             report.cold_campaign_millis,
             report.warm_campaign_millis,
             report.warm_speedup,
@@ -744,8 +764,18 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote {path}");
     }
+    if let Some(floor) = cold_floor {
+        if report.cold_path.cold_speedup < floor {
+            return Err(CliError::BenchRegression {
+                what: "batched cold-path",
+                speedup: report.cold_path.cold_speedup,
+                floor,
+            });
+        }
+    }
     match floor {
         Some(floor) if report.warm_speedup < floor => Err(CliError::BenchRegression {
+            what: "warm-store",
             speedup: report.warm_speedup,
             floor,
         }),
@@ -1253,6 +1283,32 @@ struct StatsReport {
     /// (untagged records group under `null`), so a journal spanning server
     /// restarts reports each incarnation separately.
     runs: Vec<critic_core::journal::RunRollup>,
+    /// Per-cell stage timing from journaled span data — one entry per cell
+    /// that ran with telemetry enabled, in journal order. Empty for silent
+    /// campaigns.
+    cell_phases: Vec<CellPhases>,
+}
+
+/// How one cell's wall clock split across the pipeline stages, extracted
+/// from its journaled [`critic_obs::TelemetrySnapshot`].
+#[derive(Debug, serde::Serialize)]
+struct CellPhases {
+    /// App name.
+    app: String,
+    /// Scheme name.
+    scheme: String,
+    /// The cell's journaled final-attempt wall clock, in milliseconds.
+    millis: u64,
+    /// World-construction span total, in milliseconds.
+    world_build_millis: f64,
+    /// Profiler span total, in milliseconds.
+    profile_millis: f64,
+    /// Compiler-pass span total, in milliseconds.
+    passes_millis: f64,
+    /// Translation-validation span total, in milliseconds.
+    validate_millis: f64,
+    /// Simulation span total, in milliseconds.
+    sim_millis: f64,
 }
 
 /// `critic stats --journal FILE [--json]`
@@ -1293,6 +1349,24 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         .iter()
         .filter(|r| r.status == CellStatus::Ok)
         .count();
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let cell_phases = replayed
+        .records
+        .iter()
+        .filter_map(|r| {
+            let spans = r.spans.as_ref()?;
+            Some(CellPhases {
+                app: r.app.clone(),
+                scheme: r.scheme.clone(),
+                millis: r.millis,
+                world_build_millis: ms(spans.world_build.total_nanos),
+                profile_millis: ms(spans.profile.total_nanos),
+                passes_millis: ms(spans.passes.total_nanos),
+                validate_millis: ms(spans.validate.total_nanos),
+                sim_millis: ms(spans.sim.total_nanos),
+            })
+        })
+        .collect();
     let report = StatsReport {
         cells: replayed.records.len(),
         ok,
@@ -1304,6 +1378,7 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         telemetry,
         store: replayed.store_trailer.map(|t| t.campaign_store),
         runs,
+        cell_phases,
     };
 
     if args.iter().any(|a| a == "--json") {

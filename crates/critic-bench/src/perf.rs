@@ -21,15 +21,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use critic_core::campaign::{run_campaign_with_store, CampaignSpec, Scheme};
-use critic_core::design::DesignPoint;
+use critic_core::campaign::{
+    default_schemes, run_campaign_with_store, CampaignSpec, CampaignSummary, CellMetrics, Scheme,
+};
+use critic_core::design::{DesignPoint, Software};
 use critic_core::disk::DiskStoreStats;
 use critic_core::runner::Workbench;
 use critic_core::store::{ArtifactStore, StoreStats};
 use critic_core::RunError;
+use critic_energy::EnergyModel;
 use critic_obs::{CycleLedger, Telemetry};
 use critic_pipeline::{SimScratch, Simulator};
 use critic_workloads::suite::Suite;
+use critic_workloads::Trace;
 use serde::Serialize;
 
 /// Why a bench measurement could not produce a number.
@@ -44,6 +48,11 @@ pub enum BenchError {
     /// The probe cell's cycle ledger did not partition the run — the
     /// observability invariant the bench-smoke CI job gates on.
     LedgerViolation(String),
+    /// The batched cold campaign and the scalar reference pipeline
+    /// disagreed on a cell's metrics. The speedup number is meaningless if
+    /// the fast path computes something different, so the harness refuses
+    /// to report one.
+    Divergence(String),
     /// Harness infrastructure failed: an unusable scratch directory or
     /// store, an unspawnable drill child.
     Io(String),
@@ -57,6 +66,7 @@ impl fmt::Display for BenchError {
                 write!(f, "bench grid had failing cells:\n{summary}")
             }
             BenchError::LedgerViolation(msg) => write!(f, "{msg}"),
+            BenchError::Divergence(msg) => write!(f, "{msg}"),
             BenchError::Io(msg) => write!(f, "{msg}"),
         }
     }
@@ -80,6 +90,9 @@ pub struct BenchSetup {
     pub schemes: usize,
     /// Dynamic instructions per trace.
     pub trace_len: usize,
+    /// Schemes in the cold-path sensitivity grid (taken from
+    /// [`sensitivity_grid`] in order).
+    pub sensitivity_schemes: usize,
     /// Cold/warm pairs measured; the report keeps the best of each.
     pub reps: usize,
 }
@@ -91,6 +104,7 @@ impl BenchSetup {
             apps: 4,
             schemes: 3,
             trace_len: 40_000,
+            sensitivity_schemes: 18,
             reps: 3,
         }
     }
@@ -102,6 +116,7 @@ impl BenchSetup {
             apps: 2,
             schemes: 2,
             trace_len: 10_000,
+            sensitivity_schemes: 6,
             reps: 1,
         }
     }
@@ -114,6 +129,10 @@ pub struct BenchReport {
     pub setup: BenchSetup,
     /// One cold cell end-to-end: generate, profile, baseline + CritIC runs.
     pub single_cell_millis: f64,
+    /// Batched-versus-scalar cold-path measurement over the sensitivity
+    /// grid — the `cold_speedup` inside is what `critic bench
+    /// --min-cold-speedup` and CI gate on.
+    pub cold_path: ColdPathReport,
     /// Full-grid campaign against an empty store (best of `reps`).
     pub cold_campaign_millis: f64,
     /// The same campaign re-run against the populated store (best of
@@ -148,6 +167,250 @@ pub struct BenchReport {
     /// Store counters after the last cold/warm pair: how much was built
     /// versus served from cache.
     pub store: StoreStats,
+}
+
+/// Per-cell phase costs of the batched cold campaign, in milliseconds,
+/// taken from one telemetry-instrumented pass (span totals divided by the
+/// cell count). `other` is the wall clock the spans do not cover — trace
+/// expansion, decode, and record assembly.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ColdCellMillis {
+    /// World construction (program, path, trace, fan-out, validation).
+    pub world_build: f64,
+    /// Criticality profile construction.
+    pub profile: f64,
+    /// Compiler passes.
+    pub passes: f64,
+    /// Simulation (baseline + scheme).
+    pub sim: f64,
+    /// Unspanned remainder of the instrumented wall clock.
+    pub other: f64,
+    /// Instrumented wall clock per cell.
+    pub total: f64,
+}
+
+/// The cold-path measurement: one batched campaign versus the scalar
+/// per-cell reference pipeline over the same sensitivity grid, at
+/// bit-identical per-cell metrics.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ColdPathReport {
+    /// Cells in the sensitivity grid (`apps × sensitivity_schemes`).
+    pub cells: usize,
+    /// Batched cold campaign against a fresh store (best of `reps`).
+    pub batched_millis: f64,
+    /// The scalar reference pipeline over the same grid (best of `reps`):
+    /// per cell, a fresh workbench, a cloned variant, a fresh trace
+    /// expansion, and two `run_reference` walks.
+    pub scalar_millis: f64,
+    /// `scalar_millis / batched_millis` — the number the CI gate holds.
+    pub cold_speedup: f64,
+    /// Scheme-side dynamic instructions simulated per second of batched
+    /// cold wall clock (baseline walks, being store-shared, are excluded).
+    pub insts_per_sec: f64,
+    /// Per-cell phase breakdown of the batched cold path.
+    pub cold_cell_millis: ColdCellMillis,
+}
+
+/// The sensitivity sweep the cold-path measurement runs: the paper's
+/// software schemes (Figs. 10 and 12 — the default campaign grid plus the
+/// chain-length and profile-fraction sensitivity points) followed by the
+/// Fig. 11 hardware points (software stays baseline, so these cells
+/// exercise the store's hardware-keyed baseline sharing).
+pub fn sensitivity_grid() -> Vec<Scheme> {
+    let mut schemes = default_schemes();
+    for n in [2, 3, 4] {
+        schemes.push(Scheme::new(
+            &format!("critic-len{n}"),
+            DesignPoint::critic_exact_len(n),
+        ));
+    }
+    for f in [0.25, 0.5] {
+        schemes.push(Scheme::new(
+            &format!("critic-pf{f}"),
+            DesignPoint::critic_profile_fraction(f),
+        ));
+    }
+    schemes.push(Scheme::new("hw-2xfd", DesignPoint::double_fd()));
+    schemes.push(Scheme::new("hw-4xic", DesignPoint::quad_icache()));
+    schemes.push(Scheme::new("hw-efetch", DesignPoint::efetch()));
+    schemes.push(Scheme::new("hw-perfbr", DesignPoint::perfect_branch()));
+    schemes.push(Scheme::new("hw-prio", DesignPoint::backend_prio()));
+    schemes.push(Scheme::new("hw-all", DesignPoint::all_hw()));
+    schemes
+}
+
+/// The sensitivity-grid campaign the cold-path measurement runs: silent,
+/// single worker (the scalar reference loop is single-threaded, so the
+/// comparison must be too).
+pub fn sensitivity_campaign(setup: &BenchSetup) -> CampaignSpec {
+    let apps = Suite::Mobile.apps().into_iter().take(setup.apps).collect();
+    let schemes = sensitivity_grid()
+        .into_iter()
+        .take(setup.sensitivity_schemes)
+        .collect();
+    let mut spec = CampaignSpec::new(apps, schemes, setup.trace_len);
+    spec.telemetry = Telemetry::off();
+    spec.workers = 1;
+    spec
+}
+
+/// Runs the scalar per-cell reference pipeline over `spec`'s grid and
+/// returns its wall clock plus the per-cell metrics, in the campaign's
+/// (app, scheme) record order. Every cell pays what a pre-batching
+/// campaign cell paid: its own workbench (program generation, path,
+/// baseline trace), a cloned variant binary, a fresh trace expansion and
+/// fan-out, and two scalar [`Simulator::run_reference`] walks.
+///
+/// # Errors
+///
+/// Propagates any pipeline failure as [`BenchError::Run`].
+pub fn time_cold_scalar(spec: &CampaignSpec) -> Result<(Duration, Vec<CellMetrics>), BenchError> {
+    let energy = EnergyModel::default();
+    let mut metrics = Vec::with_capacity(spec.apps.len() * spec.schemes.len());
+    let started = Instant::now();
+    for app in &spec.apps {
+        for scheme in &spec.schemes {
+            let mut bench = Workbench::try_new(app, spec.trace_len)?;
+            let base_point = DesignPoint::baseline();
+            let base_sim = Simulator::new(base_point.cpu_config(), base_point.mem_config())
+                .run_reference(bench.baseline_trace(), bench.baseline_fanout())
+                .0;
+            let point = &scheme.point;
+            let (sim, thumb_dyn_frac, dyn_insns) = if matches!(point.software, Software::Baseline) {
+                // Hardware-only points replay the recorded baseline trace
+                // under the altered configuration.
+                let sim = Simulator::new(point.cpu_config(), point.mem_config())
+                    .run_reference(bench.baseline_trace(), bench.baseline_fanout())
+                    .0;
+                let trace = bench.baseline_trace();
+                (sim, trace.thumb_fraction(), trace.len())
+            } else {
+                let (program, _pass) = bench.try_variant(&point.software)?;
+                let trace = Trace::expand(&program, &bench.path);
+                let fanout = trace.compute_fanout();
+                let sim = Simulator::new(point.cpu_config(), point.mem_config())
+                    .run_reference(&trace, &fanout)
+                    .0;
+                (sim, trace.thumb_fraction(), trace.len())
+            };
+            metrics.push(CellMetrics {
+                speedup: sim.speedup_over(&base_sim),
+                cpu_energy_saving: energy
+                    .evaluate(&sim)
+                    .cpu_saving(&energy.evaluate(&base_sim)),
+                thumb_dyn_frac,
+                dyn_insns,
+            });
+        }
+    }
+    Ok((started.elapsed(), metrics))
+}
+
+/// Times one batched cold campaign over `spec` against a fresh store.
+fn time_cold_batched(spec: &CampaignSpec) -> Result<(Duration, CampaignSummary), BenchError> {
+    let store = Arc::new(ArtifactStore::new());
+    let started = Instant::now();
+    let summary = run_campaign_with_store(spec, &store)?;
+    let elapsed = started.elapsed();
+    if !summary.all_ok() {
+        return Err(BenchError::FailedCells(summary.render()));
+    }
+    Ok((elapsed, summary))
+}
+
+/// Runs the cold-path measurement: `reps` batched cold campaigns and
+/// `reps` scalar reference sweeps over the same sensitivity grid (keeping
+/// the fastest of each), one record-by-record equality check between the
+/// two pipelines' metrics, and one instrumented batched pass for the
+/// per-cell phase breakdown.
+///
+/// The equality check is exact (`f64` bit equality through
+/// [`CellMetrics`]'s `PartialEq`): both engines are required to be
+/// bit-identical, so *any* difference fails the measurement with
+/// [`BenchError::Divergence`] rather than reporting a speedup over a
+/// different computation.
+///
+/// # Errors
+///
+/// Propagates pipeline and campaign failures; metric divergence between
+/// the two pipelines is [`BenchError::Divergence`].
+pub fn time_cold_path(setup: &BenchSetup) -> Result<ColdPathReport, BenchError> {
+    let spec = sensitivity_campaign(setup);
+    let mut best_batched = Duration::MAX;
+    let mut batched_metrics: Vec<CellMetrics> = Vec::new();
+    let mut batched_insns = 0usize;
+    // The batched pass is ~3x shorter than the scalar one, so its best-of
+    // minimum sees proportionally fewer chances to dodge machine noise;
+    // two extra reps cost little and tighten it.
+    for _ in 0..setup.reps.max(1) + 2 {
+        let (elapsed, summary) = time_cold_batched(&spec)?;
+        best_batched = best_batched.min(elapsed);
+        batched_metrics = summary
+            .records
+            .iter()
+            .map(|r| r.metrics.clone().expect("all_ok summary has metrics"))
+            .collect();
+        batched_insns = batched_metrics.iter().map(|m| m.dyn_insns).sum();
+    }
+    let mut best_scalar = Duration::MAX;
+    let mut scalar_metrics: Vec<CellMetrics> = Vec::new();
+    for _ in 0..setup.reps.max(1) {
+        let (elapsed, metrics) = time_cold_scalar(&spec)?;
+        best_scalar = best_scalar.min(elapsed);
+        scalar_metrics = metrics;
+    }
+    if batched_metrics != scalar_metrics {
+        let detail = batched_metrics
+            .iter()
+            .zip(&scalar_metrics)
+            .position(|(b, s)| b != s)
+            .map(|i| format!("first divergent cell index {i}"))
+            .unwrap_or_else(|| "cell counts differ".to_string());
+        return Err(BenchError::Divergence(format!(
+            "batched campaign and scalar reference disagree ({detail}: \
+             {} batched vs {} scalar cells)",
+            batched_metrics.len(),
+            scalar_metrics.len()
+        )));
+    }
+
+    // One instrumented pass for the phase breakdown (outside the timed
+    // measurements, so the span cost never pollutes the speedup).
+    let mut instrumented = spec.clone();
+    instrumented.telemetry = Telemetry::enabled();
+    let store = Arc::new(ArtifactStore::new());
+    let started = Instant::now();
+    let summary = run_campaign_with_store(&instrumented, &store)?;
+    let instrumented_wall = started.elapsed().as_secs_f64() * 1e3;
+    if !summary.all_ok() {
+        return Err(BenchError::FailedCells(summary.render()));
+    }
+    let cells = summary.records.len().max(1);
+    let snap = summary.telemetry.unwrap_or_default();
+    let spanned = [&snap.world_build, &snap.profile, &snap.passes, &snap.sim]
+        .iter()
+        .map(|s| s.total_nanos as f64 / 1e6)
+        .sum::<f64>();
+    let per_cell = |nanos: u64| nanos as f64 / 1e6 / cells as f64;
+    let cold_cell_millis = ColdCellMillis {
+        world_build: per_cell(snap.world_build.total_nanos),
+        profile: per_cell(snap.profile.total_nanos),
+        passes: per_cell(snap.passes.total_nanos),
+        sim: per_cell(snap.sim.total_nanos),
+        other: (instrumented_wall - spanned).max(0.0) / cells as f64,
+        total: instrumented_wall / cells as f64,
+    };
+
+    let batched_ms = best_batched.as_secs_f64() * 1e3;
+    let scalar_ms = best_scalar.as_secs_f64() * 1e3;
+    Ok(ColdPathReport {
+        cells: batched_metrics.len(),
+        batched_millis: batched_ms,
+        scalar_millis: scalar_ms,
+        cold_speedup: scalar_ms / batched_ms,
+        insts_per_sec: batched_insns as f64 / best_batched.as_secs_f64(),
+        cold_cell_millis,
+    })
 }
 
 /// Distinguishes concurrently-running restart measurements' store dirs.
@@ -310,6 +573,7 @@ pub fn time_warm_with_telemetry(spec: &CampaignSpec) -> Result<Duration, BenchEr
 /// Propagates any pipeline or campaign failure as a [`BenchError`].
 pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
     let (single, ledger) = time_single_cell(setup.trace_len)?;
+    let cold_path = time_cold_path(setup)?;
     let spec = bench_campaign(setup);
     let mut best_cold = Duration::MAX;
     let mut best_warm = Duration::MAX;
@@ -337,6 +601,7 @@ pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
     Ok(BenchReport {
         setup: *setup,
         single_cell_millis: single.as_secs_f64() * 1e3,
+        cold_path,
         cold_campaign_millis: cold_ms,
         warm_campaign_millis: warm_ms,
         warm_speedup: cold_ms / warm_ms,
@@ -498,6 +763,15 @@ mod tests {
     fn smoke_bench_produces_a_sane_report() {
         let report = run_perf_bench(&BenchSetup::smoke()).expect("bench runs");
         assert!(report.single_cell_millis > 0.0);
+        // The cold-path measurement only reports after its internal
+        // batched-vs-scalar metric equality check passed.
+        assert_eq!(report.cold_path.cells, 2 * 6);
+        assert!(report.cold_path.batched_millis > 0.0);
+        assert!(report.cold_path.scalar_millis > 0.0);
+        assert!(report.cold_path.cold_speedup > 0.0);
+        assert!(report.cold_path.insts_per_sec > 0.0);
+        assert!(report.cold_path.cold_cell_millis.total > 0.0);
+        assert!(report.cold_path.cold_cell_millis.sim > 0.0);
         assert!(report.cold_campaign_millis > 0.0);
         assert!(report.warm_campaign_millis > 0.0);
         assert!(report.warm_speedup > 0.0);
@@ -532,6 +806,27 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).expect("serialises");
         assert!(json.contains("warm_speedup"), "{json}");
         assert!(json.contains("telemetry_overhead_frac"), "{json}");
+        assert!(json.contains("cold_speedup"), "{json}");
+        assert!(json.contains("insts_per_sec"), "{json}");
+        assert!(json.contains("cold_cell_millis"), "{json}");
+    }
+
+    #[test]
+    fn scalar_reference_and_batched_campaign_agree_exactly() {
+        let setup = BenchSetup {
+            apps: 2,
+            schemes: 2,
+            trace_len: 4_000,
+            // 14 reaches past the software schemes into the hardware
+            // points, so both cell kinds are differenced.
+            sensitivity_schemes: 14,
+            reps: 1,
+        };
+        // time_cold_path fails with BenchError::Divergence on any metric
+        // mismatch, so a clean return IS the equality assertion — over a
+        // grid slice that includes software and hardware schemes.
+        let report = time_cold_path(&setup).expect("pipelines agree");
+        assert_eq!(report.cells, 28);
     }
 
     #[test]

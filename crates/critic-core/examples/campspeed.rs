@@ -1,0 +1,147 @@
+//! Probe: cold batched campaign vs the seed's scalar per-cell pipeline.
+//!
+//! Dry-runs the `critic bench` cold-path measurement: a silent batched
+//! campaign over the sensitivity grid, a telemetry-enabled pass for the
+//! span breakdown, and the scalar reference loop (fresh workbench, cloned
+//! variant, fresh trace expansion, `run_reference` walk per cell).
+use std::sync::Arc;
+use std::time::Instant;
+
+use critic_core::campaign::{default_schemes, run_campaign_with_store, CampaignSpec, Scheme};
+use critic_core::design::{DesignPoint, Software};
+use critic_core::runner::Workbench;
+use critic_core::store::ArtifactStore;
+use critic_energy::EnergyModel;
+use critic_obs::Telemetry;
+use critic_pipeline::Simulator;
+use critic_workloads::suite::Suite;
+use critic_workloads::Trace;
+
+fn grid() -> Vec<Scheme> {
+    let mut schemes = default_schemes();
+    for n in [2, 3, 4] {
+        schemes.push(Scheme::new(
+            &format!("critic-len{n}"),
+            DesignPoint::critic_exact_len(n),
+        ));
+    }
+    for f in [0.25, 0.5] {
+        schemes.push(Scheme::new(
+            &format!("critic-pf{f}"),
+            DesignPoint::critic_profile_fraction(f),
+        ));
+    }
+    // Fig. 11's hardware sensitivity points (software stays baseline).
+    schemes.push(Scheme::new("hw-2xfd", DesignPoint::double_fd()));
+    schemes.push(Scheme::new("hw-4xic", DesignPoint::quad_icache()));
+    schemes.push(Scheme::new("hw-efetch", DesignPoint::efetch()));
+    schemes.push(Scheme::new("hw-perfbr", DesignPoint::perfect_branch()));
+    schemes.push(Scheme::new("hw-prio", DesignPoint::backend_prio()));
+    schemes.push(Scheme::new("hw-all", DesignPoint::all_hw()));
+    schemes
+}
+
+fn main() {
+    let apps = Suite::Mobile.apps().into_iter().take(4).collect::<Vec<_>>();
+    let trace_len: usize = std::env::var("TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let workers: usize = std::env::var("WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let reps: usize = std::env::var("REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut spec = CampaignSpec::new(apps.clone(), grid(), trace_len);
+    spec.telemetry = Telemetry::off();
+    spec.workers = workers;
+
+    // Batched cold campaign, silent, best of reps.
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let store = Arc::new(ArtifactStore::new());
+        let t = Instant::now();
+        let summary = run_campaign_with_store(&spec, &store).expect("campaign");
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        assert!(summary.all_ok(), "{}", summary.render());
+        println!(
+            "batched cold {wall:.1} ms  ({} cells)",
+            summary.records.len()
+        );
+        best = best.min(wall);
+    }
+
+    // One instrumented pass for the span breakdown.
+    let mut instrumented = spec.clone();
+    instrumented.telemetry = Telemetry::enabled();
+    let store = Arc::new(ArtifactStore::new());
+    let t = Instant::now();
+    let summary = run_campaign_with_store(&instrumented, &store).expect("campaign");
+    let wall = t.elapsed().as_secs_f64() * 1e3;
+    let snap = summary.telemetry.expect("telemetry on");
+    println!("instrumented {wall:.1} ms");
+    for (name, s) in [
+        ("world_build", snap.world_build),
+        ("profile", snap.profile),
+        ("passes", snap.passes),
+        ("validate", snap.validate),
+        ("sim", snap.sim),
+    ] {
+        println!(
+            "  {name:12} count {:3}  total {:8.2} ms  mean {:6.2} ms",
+            s.count,
+            s.total_nanos as f64 / 1e6,
+            s.mean_millis()
+        );
+    }
+
+    // The seed's scalar per-cell pipeline: every cell builds its own world,
+    // clones its variant, expands its trace fresh, and walks it with the
+    // reference engine (baseline + scheme), best of reps.
+    let energy = EnergyModel::default();
+    let mut best_scalar = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut cells = 0;
+        for app in &apps {
+            for scheme in grid() {
+                let mut bench = Workbench::try_new(app, trace_len).expect("workbench");
+                let base_point = DesignPoint::baseline();
+                let base_sim = Simulator::new(base_point.cpu_config(), base_point.mem_config())
+                    .run_reference(bench.baseline_trace(), bench.baseline_fanout())
+                    .0;
+                let point = &scheme.point;
+                let sim = if matches!(point.software, Software::Baseline) {
+                    // Hardware-only points replay the recorded baseline
+                    // trace under the altered configuration.
+                    Simulator::new(point.cpu_config(), point.mem_config())
+                        .run_reference(bench.baseline_trace(), bench.baseline_fanout())
+                        .0
+                } else {
+                    let (program, _pass) = bench.try_variant(&point.software).expect("variant");
+                    let trace = Trace::expand(&program, &bench.path);
+                    let fanout = trace.compute_fanout();
+                    Simulator::new(point.cpu_config(), point.mem_config())
+                        .run_reference(&trace, &fanout)
+                        .0
+                };
+                let speedup = sim.speedup_over(&base_sim);
+                let saving = energy
+                    .evaluate(&sim)
+                    .cpu_saving(&energy.evaluate(&base_sim));
+                assert!(speedup > 0.0 && saving.is_finite());
+                cells += 1;
+            }
+        }
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        println!("scalar percell {wall:.1} ms  ({cells} cells)");
+        best_scalar = best_scalar.min(wall);
+    }
+    println!(
+        "best batched {best:.1} ms  best scalar {best_scalar:.1} ms  ratio {:.2}x",
+        best_scalar / best
+    );
+}

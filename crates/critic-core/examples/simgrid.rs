@@ -1,0 +1,67 @@
+//! Probe: per-scheme sim cost under both engines, plus decode prefix
+//! sharing, for one app.
+use std::time::Instant;
+
+use critic_core::design::DesignPoint;
+use critic_core::runner::Workbench;
+use critic_pipeline::{BatchSimulator, Simulator};
+use critic_workloads::suite::Suite;
+use critic_workloads::Trace;
+
+fn ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn main() {
+    let trace_len: usize = std::env::var("TRACE_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    for app in Suite::Mobile.apps().iter().take(4) {
+        let bench = Workbench::new(app, trace_len);
+        let base = bench.baseline_trace().clone();
+        let base_fanout = bench.baseline_fanout().to_vec();
+        println!("app {} base len {}", app.name, base.len());
+        let mut batch = BatchSimulator::new();
+        for point in [
+            DesignPoint::baseline(),
+            DesignPoint::critic(),
+            DesignPoint::opp16(),
+            DesignPoint::hoist(),
+        ] {
+            // Build the variant trace via a throwaway workbench run.
+            let mut wb = Workbench::new(app, trace_len);
+            let outcome = wb.run(&point);
+            let sim = Simulator::new(point.cpu_config(), point.mem_config());
+            let label = point.label();
+            let baseline = label.contains("baseline");
+            let (trace, fanout) = if baseline {
+                (base.clone(), base_fanout.clone())
+            } else {
+                // Rebuild the variant program and trace privately.
+                let (program, _) = wb.try_variant(&point.software).expect("variant");
+                let t = Trace::expand(&program, &wb.path);
+                let f = t.compute_fanout();
+                (t, f)
+            };
+            let (t_ref, (r_ref, _)) = ms(|| sim.run_reference(&trace, &fanout));
+            let (t_batch, (r_b, _)) = ms(|| {
+                if baseline {
+                    batch.run_base(&sim, &base, &fanout)
+                } else {
+                    batch.run_variant(&sim, &trace, &base)
+                }
+            });
+            assert_eq!(r_ref, r_b);
+            assert_eq!(r_ref.cycles, outcome.sim.cycles, "{label}");
+            println!(
+                "  {label:30} len {:6}  cycles {:7}  ref {t_ref:6.2} ms  batch {t_batch:6.2} ms  prefix {:.2}",
+                trace.len(),
+                r_ref.cycles,
+                batch.stats().prefix_fraction(),
+            );
+        }
+    }
+}

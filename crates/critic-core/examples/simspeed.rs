@@ -1,45 +1,87 @@
 //! A/B microbench: raw simulator throughput on one baseline trace.
+//!
+//! Measures three paths over the same trace, in one process, so the
+//! numbers are comparable under identical machine conditions:
+//!
+//! * `reference` — the preserved scalar loop (`run_reference`), the
+//!   pre-data-oriented baseline;
+//! * `decode+run` — the struct-of-arrays core including its per-run trace
+//!   decode (`run_with_scratch`), the cold single-cell path;
+//! * `decoded` — the core over a prepared decode (`run_decoded`), the
+//!   batch path where the decode is shared across schemes.
 use std::time::Instant;
 
 use critic_core::design::DesignPoint;
 use critic_core::runner::Workbench;
-use critic_pipeline::{SimScratch, Simulator};
+use critic_pipeline::{DecodedTrace, SimScratch, Simulator};
 use critic_workloads::suite::Suite;
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        let dt = t.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
 
 fn main() {
     let app = &Suite::Mobile.apps()[0];
     let bench = Workbench::new(app, 200_000);
     let point = DesignPoint::baseline();
     let sim = Simulator::new(point.cpu_config(), point.mem_config());
+    let trace = bench.baseline_trace();
+    let fanout = bench.baseline_fanout();
     let mut scratch = SimScratch::new();
-    let mut cycles = 0u64;
-    for _ in 0..3 {
-        cycles = sim
-            .run_with_scratch(
-                bench.baseline_trace(),
-                bench.baseline_fanout(),
-                &mut scratch,
-            )
-            .cycles;
-    }
-    let reps = 30;
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        let r = sim.run_with_scratch(
-            bench.baseline_trace(),
-            bench.baseline_fanout(),
-            &mut scratch,
+    let mut decoded = DecodedTrace::new();
+    decoded.decode_into(trace);
+
+    // Warmup all paths.
+    let cycles = sim.run_with_scratch(trace, fanout, &mut scratch).cycles;
+    let _ = sim.run_decoded(&decoded, fanout, &mut scratch);
+    let _ = sim.run_reference(trace, fanout);
+
+    let reps = 20;
+    let (t_ref, (r_ref, l_ref)) = best_of(reps, || sim.run_reference(trace, fanout));
+    let (t_cold, r_cold) = best_of(reps, || sim.run_with_scratch(trace, fanout, &mut scratch));
+    let (t_dec, (r_dec, _)) = best_of(reps, || sim.run_decoded(&decoded, fanout, &mut scratch));
+    assert_eq!(r_ref.cycles, cycles);
+    assert_eq!(r_cold.cycles, cycles);
+    assert_eq!(r_dec.cycles, cycles);
+
+    let insns = trace.len() as f64;
+    println!("{cycles} cycles, {} insns", trace.len());
+    if std::env::var_os("SIMSPEED_STATS").is_some() {
+        println!(
+            "model calls: l1i {} ({} miss), l1d {} ({} miss), l2 {}, dram {}, bpu {} ({} misp)",
+            r_ref.mem.icache.accesses,
+            r_ref.mem.icache.misses,
+            r_ref.mem.dcache.accesses,
+            r_ref.mem.dcache.misses,
+            r_ref.mem.l2.accesses,
+            r_ref.mem.dram.accesses,
+            r_ref.bpu.lookups,
+            r_ref.bpu.mispredicts,
         );
-        let dt = t.elapsed().as_secs_f64();
-        assert_eq!(r.cycles, cycles);
-        if dt < best {
-            best = dt;
-        }
+        println!("ledger: {l_ref:?}");
     }
-    println!(
-        "{cycles} cycles, best {:.3} ms, {:.2} ns/cycle",
-        best * 1e3,
-        best * 1e9 / cycles as f64
-    );
+    for (name, t) in [
+        ("reference ", t_ref),
+        ("decode+run", t_cold),
+        ("decoded   ", t_dec),
+    ] {
+        println!(
+            "{name} best {:>7.3} ms, {:>6.2} ns/cycle, {:>5.1} M insts/s, {:.2}x vs reference",
+            t * 1e3,
+            t * 1e9 / cycles as f64,
+            insns / t / 1e6,
+            t_ref / t,
+        );
+    }
 }

@@ -469,6 +469,24 @@ struct Cell {
     fault: Option<(Fault, u64)>,
 }
 
+/// One queue entry a worker claims.
+///
+/// A *batch* is an app's full row of fault-free cells: the worker runs
+/// them over one shared [`Workbench`], so the app's base trace is decoded
+/// once and the simulator scratch/models recycle across every scheme —
+/// one trace-decode walk per app instead of one per (app, scheme) cell.
+/// Cells that need per-cell isolation machinery (planned faults, systemic
+/// fault injection, per-attempt deadlines) stay [`WorkItem::Single`] and
+/// run exactly as before batching existed.
+#[derive(Debug, Clone)]
+enum WorkItem {
+    /// One isolated cell with the full retry/degradation/deadline path.
+    /// Boxed so the queue's enum is as small as its `Batch` variant.
+    Single(Box<Cell>),
+    /// An app's fault-free cells, evaluated over one shared workbench.
+    Batch(Vec<Cell>),
+}
+
 /// Per-attempt allocation budget (an injected [`SysFault::AllocBudget`]).
 /// Pipeline stages charge their dominant allocations against it; the
 /// charge that crosses the budget fails the attempt with
@@ -622,14 +640,19 @@ pub fn run_campaign_with_store(
         }
     }
 
-    // Scheme-major order: the first |apps| cells each touch a *different*
-    // app, so the initial wave of workers seeds the store with every app's
-    // world and baseline in parallel instead of piling up behind one
-    // app's cold artifacts (the summary is still reported in app-major
-    // grid order below).
-    let mut cells: VecDeque<Cell> = VecDeque::new();
-    for scheme in &spec.schemes {
-        for app in &spec.apps {
+    // Batched queue order: one work item per app (its fault-free cells
+    // share a workbench — one base-trace decode per app), so the initial
+    // wave of workers still seeds the store with every app's world and
+    // baseline in parallel. Fault-injected cells, and every cell when the
+    // per-cell isolation machinery is armed (systemic faults, per-attempt
+    // deadlines), stay single items in scheme-major order (the summary is
+    // still reported in app-major grid order below).
+    let batchable = spec.sys.is_none() && spec.deadline.is_none();
+    let mut items: VecDeque<WorkItem> = VecDeque::new();
+    let mut singles: VecDeque<Cell> = VecDeque::new();
+    for app in &spec.apps {
+        let mut group: Vec<Cell> = Vec::new();
+        for scheme in &spec.schemes {
             if done.contains(&(app.name.clone(), scheme.name.clone())) {
                 continue;
             }
@@ -641,13 +664,30 @@ pub fn run_campaign_with_store(
                         && f.scheme.eq_ignore_ascii_case(&scheme.name)
                 })
                 .map(|f| (f.fault, f.seed));
-            cells.push_back(Cell {
+            let cell = Cell {
                 app: app.clone(),
                 scheme: scheme.clone(),
                 fault,
-            });
+            };
+            if batchable && fault.is_none() {
+                group.push(cell);
+            } else {
+                singles.push_back(cell);
+            }
+        }
+        if !group.is_empty() {
+            items.push_back(WorkItem::Batch(group));
         }
     }
+    // Singles after the batches, scheme-major across apps as before.
+    let mut by_scheme: Vec<Cell> = singles.into();
+    by_scheme.sort_by_key(|c| {
+        spec.schemes
+            .iter()
+            .position(|s| s.name == c.scheme.name)
+            .unwrap_or(usize::MAX)
+    });
+    items.extend(by_scheme.into_iter().map(|c| WorkItem::Single(Box::new(c))));
 
     let workers = if spec.workers > 0 {
         spec.workers
@@ -656,7 +696,7 @@ pub fn run_campaign_with_store(
             .map(|n| n.get())
             .unwrap_or(4)
     }
-    .min(cells.len().max(1));
+    .min(items.len().max(1));
 
     // Arm the store's systemic-fault tap for the duration of this run.
     // The guard below disarms it on every exit path so a caller-owned
@@ -667,7 +707,7 @@ pub fn run_campaign_with_store(
 
     let shutdown = AtomicBool::new(false);
     let breaker = Breaker::new(spec.supervision.breaker_threshold);
-    let queue = Mutex::new(cells);
+    let queue = Mutex::new(items);
     let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::new());
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -675,42 +715,10 @@ pub fn run_campaign_with_store(
                 // The guard is dropped before the loop body runs; holding
                 // it across run_cell would serialize the workers.
                 let next = || lock_clean(&queue).pop_front();
-                while let Some(cell) = next() {
-                    let record = if shutdown.load(Ordering::Relaxed) {
-                        // Graceful shutdown: drain the queue with Shed
-                        // records (in-flight siblings finish normally).
-                        spec.telemetry.event(EventKind::Shed);
-                        shed_record(
-                            &cell,
-                            "graceful shutdown: queue drained".to_string(),
-                            spec.run_tag,
-                        )
-                    } else {
-                        match breaker.admit(&cell.app.name) {
-                            BreakerDecision::Shed => {
-                                spec.telemetry.event(EventKind::Shed);
-                                shed_record(
-                                    &cell,
-                                    format!("circuit breaker open for app `{}`", cell.app.name),
-                                    spec.run_tag,
-                                )
-                            }
-                            decision => {
-                                if decision == BreakerDecision::Probe {
-                                    spec.telemetry.event(EventKind::Probe);
-                                }
-                                let (record, saw_store_write) = run_cell(&cell, spec, store);
-                                // The planted supervision bug the chaos
-                                // minimizer must isolate: a store-write
-                                // fault makes the worker drop the finished
-                                // record on the floor.
-                                if cfg!(feature = "chaos-planted-bug") && saw_store_write {
-                                    continue;
-                                }
-                                record
-                            }
-                        }
-                    };
+                // Shared post-cell bookkeeping for singles and batch
+                // members alike: breaker accounting, systemic-fault tap,
+                // journal append, record collection.
+                let commit = |record: CellRecord| {
                     breaker.on_record(&record, &spec.telemetry);
                     if let Some(sys) = &spec.sys {
                         for fault in sys.advance_or_crash(SysOp::CellDone) {
@@ -729,6 +737,70 @@ pub fn run_campaign_with_store(
                         journal.append_cell(&record, spec.sys.as_ref());
                     }
                     lock_clean(&fresh).push(record);
+                };
+                // Per-cell admission: graceful-shutdown drain and the
+                // app circuit breaker, identical for both item kinds.
+                let admit = |cell: &Cell| -> Result<(), Box<CellRecord>> {
+                    if shutdown.load(Ordering::Relaxed) {
+                        // Graceful shutdown: drain the queue with Shed
+                        // records (in-flight siblings finish normally).
+                        spec.telemetry.event(EventKind::Shed);
+                        return Err(Box::new(shed_record(
+                            cell,
+                            "graceful shutdown: queue drained".to_string(),
+                            spec.run_tag,
+                        )));
+                    }
+                    match breaker.admit(&cell.app.name) {
+                        BreakerDecision::Shed => {
+                            spec.telemetry.event(EventKind::Shed);
+                            Err(Box::new(shed_record(
+                                cell,
+                                format!("circuit breaker open for app `{}`", cell.app.name),
+                                spec.run_tag,
+                            )))
+                        }
+                        decision => {
+                            if decision == BreakerDecision::Probe {
+                                spec.telemetry.event(EventKind::Probe);
+                            }
+                            Ok(())
+                        }
+                    }
+                };
+                while let Some(item) = next() {
+                    match item {
+                        WorkItem::Single(cell) => {
+                            let record = match admit(&cell) {
+                                Err(shed) => *shed,
+                                Ok(()) => {
+                                    let (record, saw_store_write) = run_cell(&cell, spec, store);
+                                    // The planted supervision bug the chaos
+                                    // minimizer must isolate: a store-write
+                                    // fault makes the worker drop the
+                                    // finished record on the floor.
+                                    if cfg!(feature = "chaos-planted-bug") && saw_store_write {
+                                        continue;
+                                    }
+                                    record
+                                }
+                            };
+                            commit(record);
+                        }
+                        WorkItem::Batch(cells) => {
+                            // The app's shared workbench, built on first
+                            // admitted cell; discarded if a cell errors
+                            // (its fallback runs fully isolated).
+                            let mut bench: Option<Workbench> = None;
+                            for cell in cells {
+                                let record = match admit(&cell) {
+                                    Err(shed) => *shed,
+                                    Ok(()) => run_batch_cell(&mut bench, &cell, spec, store),
+                                };
+                                commit(record);
+                            }
+                        }
+                    }
                 }
             });
         }
@@ -949,6 +1021,105 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
                 }
                 continue;
             }
+        }
+    }
+}
+
+/// One cell of an app batch: a single attempt over the batch's shared
+/// [`Workbench`], so every scheme of the app reuses one base-trace decode
+/// and one set of recycled simulator scratch/models.
+///
+/// Batch cells run only when the per-cell isolation machinery is idle (no
+/// planned fault, no systemic injector, no per-attempt deadline — the
+/// queue builder guarantees it), so the fast path needs no attempt thread.
+/// Panic isolation still applies via [`isolate`]. On *any* failure —
+/// typed error or trapped panic — the shared workbench is discarded (a
+/// panic may have left it mid-update) and the cell falls back to the
+/// fully isolated per-cell path ([`run_cell`]) with its complete
+/// retry/degradation budget, so batch-mode failure semantics are a
+/// superset of single-cell semantics.
+///
+/// Each cell still records its own private telemetry: its world-build
+/// span re-reads the store-cached world (microseconds after the first
+/// cell), and its sim spans cover the baseline fetch and the scheme run,
+/// exactly like the single-cell path.
+fn run_batch_cell(
+    bench: &mut Option<Workbench>,
+    cell: &Cell,
+    spec: &CampaignSpec,
+    store: &Arc<ArtifactStore>,
+) -> CellRecord {
+    debug_assert!(cell.fault.is_none() && spec.sys.is_none() && spec.deadline.is_none());
+    let telemetry = if spec.telemetry.is_enabled() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::off()
+    };
+    let started = Instant::now();
+    let label = format!("{}:{}", cell.app.name, cell.scheme.name);
+    let attempt = isolate(&label, || -> Result<_, RunError> {
+        let bench = match bench {
+            Some(bench) => {
+                // The world is already resident in the batch workbench; the
+                // empty span still marks the stage so every record carries
+                // the full per-phase breakdown.
+                telemetry.time(SpanKind::WorldBuild, || ());
+                bench
+            }
+            None => {
+                let world = telemetry.time(SpanKind::WorldBuild, || {
+                    store.world(&cell.app, spec.trace_len)
+                })?;
+                bench.insert(Workbench::from_world(&cell.app, world, Arc::clone(store)))
+            }
+        };
+        bench.set_telemetry(telemetry.clone());
+        let base = bench.try_run(&DesignPoint::baseline())?;
+        let (outcome, validation) = if spec.validate {
+            let (outcome, stats) =
+                bench.try_run_validated(&cell.scheme.point, cell.app.path_seed())?;
+            (outcome, Some(stats))
+        } else {
+            (bench.try_run(&cell.scheme.point)?, None)
+        };
+        Ok((
+            CellMetrics {
+                speedup: outcome.sim.speedup_over(&base.sim),
+                cpu_energy_saving: outcome.energy.cpu_saving(&base.energy),
+                thumb_dyn_frac: outcome.thumb_dyn_frac,
+                dyn_insns: outcome.dyn_insns,
+            },
+            validation,
+        ))
+    });
+    let millis = started.elapsed().as_millis() as u64;
+    match attempt.and_then(|inner| inner) {
+        Ok((metrics, validation)) => {
+            let spans = telemetry.snapshot();
+            if let Some(snapshot) = &spans {
+                spec.telemetry.absorb(snapshot);
+            }
+            CellRecord {
+                app: cell.app.name.clone(),
+                scheme: cell.scheme.name.clone(),
+                status: CellStatus::Ok,
+                attempts: 1,
+                millis,
+                fault: None,
+                metrics: Some(metrics),
+                error: None,
+                validation,
+                spans,
+                degraded: None,
+                run: spec.run_tag,
+            }
+        }
+        Err(_) => {
+            // The failed batch attempt's recorder is dropped: the isolated
+            // fallback records its own spans, and its record (with the
+            // full retry accounting) is the one that stands.
+            *bench = None;
+            run_cell(cell, spec, store).0
         }
     }
 }

@@ -9,7 +9,7 @@ use critic_compiler::{
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
 use critic_obs::{EventKind, SpanKind, Telemetry};
-use critic_pipeline::{SimResult, SimScratch, Simulator};
+use critic_pipeline::{BatchSimulator, SimEngine, SimResult, Simulator};
 use critic_profiler::{ChainSpec, Profile, Profiler, ProfilerConfig};
 use critic_workloads::{inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, Trace};
 use serde::{Deserialize, Serialize};
@@ -72,8 +72,21 @@ pub struct Workbench {
     /// Campaign-wide artifact store this workbench reads and feeds, plus
     /// the shared world it was built over.
     store: Option<(Arc<ArtifactStore>, Arc<World>)>,
-    /// Recycled simulator working memory.
-    scratch: SimScratch,
+    /// Shared-decode simulation context: the base trace is decoded once
+    /// per workbench, every variant decode reuses its common prefix, and
+    /// the simulator scratch (tables, queues, models) is recycled across
+    /// all of this workbench's runs — one trace decode per app instead of
+    /// one per (app, scheme) cell.
+    batch: BatchSimulator,
+    /// Which simulation engine [`Workbench::simulate`] routes through.
+    /// Defaults to the data-oriented core; the bench harness switches to
+    /// [`SimEngine::Reference`] to measure the scalar baseline.
+    engine: SimEngine,
+    /// Reusable variant-expansion buffers: each non-baseline cell
+    /// re-expands its trace and fanout into these instead of allocating
+    /// multi-megabyte vectors per (app, scheme) cell.
+    variant_trace: Trace,
+    variant_fanout: Vec<u32>,
     /// Span/event sink; [`Telemetry::off`] by default, so the instrumented
     /// paths cost one branch per span when telemetry is disabled.
     telemetry: Telemetry,
@@ -131,7 +144,10 @@ impl Workbench {
             variants: HashMap::new(),
             variant_fault: None,
             store: None,
-            scratch: SimScratch::new(),
+            batch: BatchSimulator::new(),
+            engine: SimEngine::default(),
+            variant_trace: Trace::default(),
+            variant_fanout: Vec::new(),
             telemetry: Telemetry::off(),
         })
     }
@@ -154,7 +170,10 @@ impl Workbench {
             variants: HashMap::new(),
             variant_fault: None,
             store: Some((store, world)),
-            scratch: SimScratch::new(),
+            batch: BatchSimulator::new(),
+            engine: SimEngine::default(),
+            variant_trace: Trace::default(),
+            variant_fanout: Vec::new(),
             telemetry: Telemetry::off(),
         }
     }
@@ -163,6 +182,18 @@ impl Workbench {
     /// demotion events into `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Selects the simulation engine. Results are bit-identical across
+    /// engines; [`SimEngine::Reference`] exists for the bench harness's
+    /// scalar baseline and for differential checks.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+    }
+
+    /// Decode-sharing counters for this workbench's batch context.
+    pub fn batch_stats(&self) -> critic_pipeline::BatchStats {
+        self.batch.stats()
     }
 
     /// Arms a deterministic miscompile: the next non-baseline variant built
@@ -242,6 +273,13 @@ impl Workbench {
             self.profiles.insert(key.clone(), profile);
         }
         Ok(key)
+    }
+
+    /// Builds (or returns the cached) transformed binary for a software
+    /// scheme — the program [`Workbench::try_run`] would simulate for it.
+    /// Exposed for benches and probes that need the variant trace itself.
+    pub fn try_variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
+        self.variant(software)
     }
 
     fn variant(&mut self, software: &Software) -> Result<(Program, PassReport), RunError> {
@@ -354,8 +392,16 @@ impl Workbench {
     /// Fallible variant of [`Workbench::run`]: every rejection along the
     /// profile → pass → simulate pipeline surfaces as a typed [`RunError`].
     pub fn try_run(&mut self, point: &DesignPoint) -> Result<RunOutcome, RunError> {
-        let (program, pass) = self.variant(&point.software)?;
-        self.simulate(point, program, pass)
+        let key = point.software.label();
+        // Lend the cached variant to the simulator instead of cloning it:
+        // the binary is multi-megabyte and this runs once per cell.
+        let (program, pass) = match self.variants.remove(&key) {
+            Some(built) => built,
+            None => self.build_variant(&point.software)?,
+        };
+        let outcome = self.simulate(point, &program, pass);
+        self.variants.insert(key, (program, pass));
+        outcome
     }
 
     /// Runs one design point with the differential oracle in the loop.
@@ -455,7 +501,7 @@ impl Workbench {
                 }
             }
         })?;
-        let outcome = self.simulate(point, program, pass)?;
+        let outcome = self.simulate(point, &program, pass)?;
         Ok((outcome, stats))
     }
 
@@ -463,7 +509,7 @@ impl Workbench {
     fn simulate(
         &mut self,
         point: &DesignPoint,
-        program: Program,
+        program: &Program,
         pass: PassReport,
     ) -> Result<RunOutcome, RunError> {
         let baseline = matches!(point.software, Software::Baseline);
@@ -478,18 +524,41 @@ impl Workbench {
                 });
             }
         }
-        let expanded = (!baseline).then(|| Trace::expand(&program, &self.path));
-        let variant_fanout = expanded.as_ref().map(Trace::compute_fanout);
-        let (trace, fanout): (&Trace, &[u32]) = match (&expanded, &variant_fanout) {
-            (Some(t), Some(f)) => (t, f),
-            _ => (&self.base_trace, &self.base_fanout),
+        let engine = self.engine;
+        if !baseline {
+            Trace::expand_into(program, &self.path, &mut self.variant_trace);
+            if engine == SimEngine::Reference {
+                // The data-oriented path derives the fan-out from the
+                // decoded columns inside `run_variant`; only the reference
+                // walk needs the AoS computation.
+                self.variant_trace
+                    .compute_fanout_into(&mut self.variant_fanout);
+            }
+        }
+        let (trace, fanout): (&Trace, &[u32]) = if baseline {
+            (&self.base_trace, &self.base_fanout)
+        } else {
+            (&self.variant_trace, &self.variant_fanout)
         };
+        let batch = &mut self.batch;
+        let base = &self.base_trace;
         let sim = telemetry.time(SpanKind::Sim, || {
-            Simulator::new(point.cpu_config(), point.mem_config()).run_with_scratch(
-                trace,
-                fanout,
-                &mut self.scratch,
-            )
+            let simulator = Simulator::new(point.cpu_config(), point.mem_config());
+            match engine {
+                // The scalar baseline: a private decode-free walk with
+                // fresh working memory per run, preserved verbatim.
+                SimEngine::Reference => simulator.run_reference(trace, fanout).0,
+                // The data-oriented core over the workbench's shared batch
+                // context: the base trace decodes once, variants reuse its
+                // prefix, and scratch/models recycle across runs.
+                SimEngine::DataOriented => {
+                    if baseline {
+                        batch.run_base(&simulator, base, fanout).0
+                    } else {
+                        batch.run_variant(&simulator, trace, base).0
+                    }
+                }
+            }
         });
         let energy = self.energy_model.evaluate(&sim);
         Ok(RunOutcome {

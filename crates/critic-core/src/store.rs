@@ -445,11 +445,13 @@ impl ArtifactStore {
                 }
             }
             let cone = self.cone_fanout(world);
-            let profile = Profiler::new(config.clone()).try_build_profile_with_cone(
+            // The world's program/trace pair was validated when the world
+            // was built, so the per-config re-validation walk is skipped.
+            let profile = Profiler::new(config.clone()).build_profile_prevalidated(
                 &world.program,
                 &world.trace,
                 &cone,
-            )?;
+            );
             if let Some(disk_key) = disk_key {
                 self.disk_save(ArtifactClass::Profile, disk_key, &profile);
             }

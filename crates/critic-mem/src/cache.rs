@@ -79,8 +79,11 @@ impl CacheStats {
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
-    valid: bool,
     lru: u64,
+    /// Validity is epoch-tagged: a line is live iff its epoch matches the
+    /// cache's current epoch, so invalidating the whole cache is one
+    /// counter bump instead of a walk over every line.
+    epoch: u64,
     prefetched: bool,
 }
 
@@ -96,6 +99,8 @@ pub struct Cache {
     set_mask: u64,
     line_shift: u32,
     tick: u64,
+    /// Current validity epoch; lines whose epoch differs are invalid.
+    epoch: u64,
     stats: CacheStats,
 }
 
@@ -110,7 +115,23 @@ impl Cache {
             line_shift: config.line_bytes.trailing_zeros(),
             config,
             tick: 0,
+            // Default lines carry epoch 0, so starting at 1 makes the
+            // freshly-allocated cache all-invalid without touching it.
+            epoch: 1,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Re-initializes to the all-invalid state [`Cache::new`] produces,
+    /// recycling the line array when the geometry is unchanged. Behavior
+    /// after a reset is indistinguishable from a fresh cache.
+    pub fn reset_to(&mut self, config: CacheConfig) {
+        if config == self.config {
+            self.epoch += 1;
+            self.tick = 0;
+            self.stats = CacheStats::default();
+        } else {
+            *self = Cache::new(config);
         }
     }
 
@@ -136,9 +157,10 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (base, tag) = self.set_range(addr);
+        let epoch = self.epoch;
         for i in base..base + self.ways {
             let line = &mut self.sets[i];
-            if line.valid && line.tag == tag {
+            if line.epoch == epoch && line.tag == tag {
                 line.lru = self.tick;
                 if line.prefetched {
                     self.stats.prefetch_hits += 1;
@@ -157,7 +179,7 @@ impl Cache {
         self.tick += 1;
         let (base, tag) = self.set_range(addr);
         for i in base..base + self.ways {
-            if self.sets[i].valid && self.sets[i].tag == tag {
+            if self.sets[i].epoch == self.epoch && self.sets[i].tag == tag {
                 return; // already present
             }
         }
@@ -170,13 +192,13 @@ impl Cache {
         let (base, tag) = self.set_range(addr);
         self.sets[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|l| l.epoch == self.epoch && l.tag == tag)
     }
 
     fn fill(&mut self, base: usize, tag: u64, prefetched: bool) {
         let victim = (base..base + self.ways)
             .min_by_key(|&i| {
-                if self.sets[i].valid {
+                if self.sets[i].epoch == self.epoch {
                     self.sets[i].lru
                 } else {
                     0
@@ -185,17 +207,16 @@ impl Cache {
             .expect("ways >= 1");
         self.sets[victim] = Line {
             tag,
-            valid: true,
             lru: self.tick,
+            epoch: self.epoch,
             prefetched,
         };
     }
 
-    /// Invalidates everything (used between measurement samples).
+    /// Invalidates everything (used between measurement samples). O(1):
+    /// advancing the epoch strands every line in the past.
     pub fn flush(&mut self) {
-        for line in &mut self.sets {
-            *line = Line::default();
-        }
+        self.epoch += 1;
     }
 }
 

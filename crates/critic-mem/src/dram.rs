@@ -94,6 +94,17 @@ impl Dram {
         &self.config
     }
 
+    /// Re-initializes to the all-precharged state [`Dram::new`] produces,
+    /// recycling the bank array when the geometry is unchanged.
+    pub fn reset_to(&mut self, config: DramConfig) {
+        if config == self.config {
+            self.banks.fill(Bank::default());
+            self.stats = DramStats::default();
+        } else {
+            *self = Dram::new(config);
+        }
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> DramStats {
         self.stats

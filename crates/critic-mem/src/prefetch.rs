@@ -33,6 +33,14 @@ impl ClptPrefetcher {
         }
     }
 
+    /// Re-initializes to the empty state [`ClptPrefetcher::new`] produces,
+    /// recycling the table allocations.
+    pub fn reset(&mut self, threshold: u8) {
+        self.counters.fill(0);
+        self.last_addr.fill(0);
+        self.threshold = threshold;
+    }
+
     fn slot(pc: u64) -> usize {
         ((pc >> 2) as usize) % CLPT_ENTRIES
     }
@@ -108,6 +116,14 @@ impl EFetchPrefetcher {
             history: 0,
             lines_ahead,
         }
+    }
+
+    /// Re-initializes to the empty state [`EFetchPrefetcher::new`]
+    /// produces, recycling the table allocation.
+    pub fn reset(&mut self, lines_ahead: u32) {
+        self.table.fill(0);
+        self.history = 0;
+        self.lines_ahead = lines_ahead;
     }
 
     fn slot(history: u64) -> usize {

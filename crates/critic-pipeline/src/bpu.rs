@@ -69,6 +69,27 @@ impl Bpu {
         }
     }
 
+    /// Re-initializes to the untrained state [`Bpu::new`] produces,
+    /// recycling the table allocations when the size is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn reset_to(&mut self, entries: usize, history_bits: u32, ras_depth: usize) {
+        if self.bimodal.len() == entries {
+            self.bimodal.fill(2);
+            self.gshare.fill(2);
+            self.chooser.fill(1);
+            self.history = 0;
+            self.history_mask = (1u64 << history_bits) - 1;
+            self.ras.clear();
+            self.ras_depth = ras_depth;
+            self.stats = BpuStats::default();
+        } else {
+            *self = Bpu::new(entries, history_bits, ras_depth);
+        }
+    }
+
     fn pc_index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & self.index_mask
     }

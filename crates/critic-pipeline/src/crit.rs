@@ -38,6 +38,21 @@ impl CritTable {
         }
     }
 
+    /// Re-initializes to the all-zero state [`CritTable::new`] produces,
+    /// recycling the counter allocation when the size is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn reset_to(&mut self, entries: usize, threshold: u32) {
+        if self.counters.len() == entries {
+            self.counters.fill(0);
+            self.threshold = threshold;
+        } else {
+            *self = CritTable::new(entries, threshold);
+        }
+    }
+
     fn index(&self, pc: u64) -> usize {
         ((pc >> 2) as usize) & self.mask
     }

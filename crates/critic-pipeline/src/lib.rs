@@ -52,15 +52,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bpu;
 pub mod config;
 pub mod crit;
+pub mod reference;
 pub mod sim;
 pub mod stats;
 
+pub use batch::{BatchSimulator, BatchStats};
 pub use bpu::{Bpu, BpuStats};
 pub use config::{CpuConfig, FuPool};
 pub use crit::CritTable;
 pub use critic_obs::{CycleClass, CycleLedger};
-pub use sim::{SimScratch, Simulator};
+pub use reference::run_reference;
+pub use sim::{with_thread_scratch, DecodedTrace, SimEngine, SimScratch, Simulator};
 pub use stats::{FetchStalls, SimResult, StageBreakdown};

@@ -12,13 +12,34 @@
 //! in the returned [`SimResult`] is *derived* from that partition, so the
 //! stall counters cannot drift from (or double-count against) total
 //! cycles. See [`critic_obs::ledger`] for the attribution order.
+//!
+//! # Data-oriented core
+//!
+//! The cycle loop never touches [`critic_workloads::DynInsn`] records:
+//! a one-pass decode
+//! ([`DecodedTrace`]) folds every per-instruction fact the stages consume
+//! into flat struct-of-arrays columns — folded functional-unit kind,
+//! execution latency, a flag byte (load/CDP/branch/taken/sequential-
+//! target/call), padded dependence indices, pc, memory address, and branch
+//! target — so the hot loops are tight array walks with no enum matching
+//! or `Option` chasing. The decode is a pure function of the trace and is
+//! *shareable*: the baseline decode is computed once per app and every
+//! scheme variant copies the columns of its common prefix with the base
+//! trace ([`DecodedTrace::decode_with_base`]) instead of re-deriving them,
+//! which is the per-app "single shared trace decode" the batch runner
+//! builds on. Pipeline queues are index structures, not `VecDeque`s: the
+//! fetch queue is the contiguous index range `[fq_head, fetch_idx)` (fetch
+//! delivers trace order, so no buffer is needed at all) and the ROB is a
+//! power-of-two index ring (`IndexRing`).
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use critic_isa::{FuKind, Opcode};
 use critic_mem::{MemConfig, MemSystem};
 use critic_obs::{CycleClass, CycleLedger};
-use critic_workloads::{DynInsn, Trace};
+use critic_workloads::{Trace, NO_DEP};
 
 use crate::bpu::Bpu;
 use crate::config::CpuConfig;
@@ -35,12 +56,335 @@ enum SupplyStall {
 
 const UNSET: u64 = u64::MAX;
 
+/// Which simulation engine a harness routes its runs through. Both engines
+/// produce bit-identical [`SimResult`]s and [`CycleLedger`]s (asserted by
+/// the differential suites); they differ only in speed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The data-oriented core: struct-of-arrays decode (shareable across
+    /// schemes), recycled scratch and models, idle-window skipping.
+    #[default]
+    DataOriented,
+    /// The preserved scalar loop ([`Simulator::run_reference`]): the
+    /// differential oracle and the baseline `critic bench` measures the
+    /// cold-campaign speedup against. Deliberately not optimized.
+    Reference,
+}
+
+/// Flag bits of [`DecodedTrace::flags`].
+const F_LOAD: u8 = 1 << 0;
+const F_CDP: u8 = 1 << 1;
+const F_MEM: u8 = 1 << 2;
+const F_BRANCH: u8 = 1 << 3;
+const F_TAKEN: u8 = 1 << 4;
+/// Branch whose target is the next sequential pc (the Sec. IV-A format
+/// switch): folds to an ALU op at issue, ends the fetch group without a
+/// redirect bubble.
+const F_SEQ: u8 = 1 << 5;
+/// `Bl` with a recorded outcome: commit reports the call target to the
+/// EFetch hook.
+const F_CALL: u8 = 1 << 6;
+/// Flag-setting compare (`Cmp`/`Cmn`/`Tst`/`Vcmp`): produces no
+/// forwardable value, so it never accrues dataflow fan-out.
+const F_CMP: u8 = 1 << 7;
+
+/// Branch-prediction dispatch class of [`DecodedTrace::br_class`] (only
+/// meaningful when `F_BRANCH` is set).
+const BR_OTHER: u8 = 0;
+const BR_COND: u8 = 1;
+const BR_CALL: u8 = 2;
+const BR_RET: u8 = 3;
+
+fn fu_code(kind: FuKind) -> u8 {
+    match kind {
+        FuKind::IntAlu => 0,
+        FuKind::IntMult => 1,
+        FuKind::IntDiv => 2,
+        FuKind::Mem => 3,
+        FuKind::Branch => 4,
+        FuKind::FloatAdd => 5,
+        FuKind::FloatMul => 6,
+        FuKind::FloatDiv => 7,
+        FuKind::None => 8,
+    }
+}
+
+/// One-pass struct-of-arrays decode of a trace: every per-instruction fact
+/// the cycle loop consumes, precomputed into flat columns so the stage
+/// loops are branch-light array walks.
+///
+/// A `DecodedTrace` is a pure function of its [`Trace`] — no configuration
+/// leaks in — so one decode serves every simulator configuration of the
+/// same trace, and the baseline decode of an app is shared across all of
+/// its schemes' variant decodes through
+/// [`DecodedTrace::decode_with_base`].
+#[derive(Debug, Default, Clone)]
+pub struct DecodedTrace {
+    len: usize,
+    /// Folded functional-unit kind (`fu_code`): statically-sequential
+    /// switch branches already fold to `IntAlu` here, so issue never
+    /// re-derives it.
+    kind: Vec<u8>,
+    /// Execution latency for non-load kinds (stores carry the store-buffer
+    /// latency; loads resolve through the memory system at issue).
+    lat: Vec<u32>,
+    /// `F_*` flag bits.
+    flags: Vec<u8>,
+    /// Instruction size in bytes (2 = Thumb, 4 = ARM).
+    bytes: Vec<u8>,
+    /// Dependence indices *shifted by one* (`0` is the always-done
+    /// sentinel, insn `i` is slot `i + 1`), so the ready check is three
+    /// unconditional loads regardless of how many real deps exist — and
+    /// the encoding is independent of the trace length, which is what
+    /// makes prefix copying across differently-sized variants sound.
+    deps: Vec<[u32; 3]>,
+    /// Program counter.
+    pc: Vec<u64>,
+    /// Effective address for memory ops (0 otherwise).
+    mem_addr: Vec<u64>,
+    /// Branch target (0 when not a branch).
+    target: Vec<u64>,
+    /// Branch-prediction dispatch class (`BR_*`).
+    br_class: Vec<u8>,
+}
+
+impl DecodedTrace {
+    /// An empty decode; fill it with [`DecodedTrace::decode_into`].
+    pub fn new() -> DecodedTrace {
+        DecodedTrace::default()
+    }
+
+    /// The number of decoded instructions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the decode is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decodes `trace` from scratch, recycling this decode's buffers.
+    pub fn decode_into(&mut self, trace: &Trace) {
+        self.clear();
+        self.extend_from(trace, 0);
+    }
+
+    /// Decodes `trace` sharing work with an already-decoded base trace:
+    /// the columns of the longest common entry prefix are copied from
+    /// `base_decoded` (one memcpy per column) and only the divergent tail
+    /// — where a scheme's transformed program departs from the baseline at
+    /// its first hoisted/converted region — is decoded instruction by
+    /// instruction. Returns the number of instructions served from the
+    /// shared prefix.
+    ///
+    /// The dependence encoding is length-independent (see
+    /// `DecodedTrace::deps`), so sharing is sound even though variants
+    /// and base differ in length.
+    pub fn decode_with_base(
+        &mut self,
+        trace: &Trace,
+        base: &Trace,
+        base_decoded: &DecodedTrace,
+    ) -> usize {
+        let shared = trace
+            .entries
+            .iter()
+            .zip(&base.entries)
+            .take(base_decoded.len)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.clear();
+        self.kind.extend_from_slice(&base_decoded.kind[..shared]);
+        self.lat.extend_from_slice(&base_decoded.lat[..shared]);
+        self.flags.extend_from_slice(&base_decoded.flags[..shared]);
+        self.bytes.extend_from_slice(&base_decoded.bytes[..shared]);
+        self.deps.extend_from_slice(&base_decoded.deps[..shared]);
+        self.pc.extend_from_slice(&base_decoded.pc[..shared]);
+        self.mem_addr
+            .extend_from_slice(&base_decoded.mem_addr[..shared]);
+        self.target
+            .extend_from_slice(&base_decoded.target[..shared]);
+        self.br_class
+            .extend_from_slice(&base_decoded.br_class[..shared]);
+        self.len = shared;
+        self.extend_from(trace, shared);
+        shared
+    }
+
+    /// Computes the per-instruction direct fan-out from the decoded
+    /// columns, bit-identical to [`Trace::compute_fanout`] on the trace
+    /// this decode came from: dependences point strictly backwards and
+    /// the compare classification is a pure function of the opcode, so
+    /// checking the producer's `F_CMP` flag here matches the reference's
+    /// forward-filled `is_compare` table exactly. On the batched path
+    /// this replaces a second walk over the multi-megabyte `DynInsn`
+    /// records with a walk over two already-hot decoded columns.
+    pub fn compute_fanout_into(&self, fanout: &mut Vec<u32>) {
+        fanout.clear();
+        fanout.resize(self.len, 0u32);
+        for deps in &self.deps {
+            for &d in deps {
+                if d == 0 {
+                    continue;
+                }
+                let dep = (d - 1) as usize;
+                if self.flags[dep] & F_CMP == 0 {
+                    fanout[dep] += 1;
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.kind.clear();
+        self.lat.clear();
+        self.flags.clear();
+        self.bytes.clear();
+        self.deps.clear();
+        self.pc.clear();
+        self.mem_addr.clear();
+        self.target.clear();
+        self.br_class.clear();
+    }
+
+    /// Decodes `trace.entries[from..]`, appending to the columns.
+    fn extend_from(&mut self, trace: &Trace, from: usize) {
+        let n = trace.entries.len();
+        self.kind.reserve(n - from);
+        self.lat.reserve(n - from);
+        self.flags.reserve(n - from);
+        self.bytes.reserve(n - from);
+        self.deps.reserve(n - from);
+        self.pc.reserve(n - from);
+        self.mem_addr.reserve(n - from);
+        self.target.reserve(n - from);
+        self.br_class.reserve(n - from);
+        for e in &trace.entries[from..] {
+            let mut kind = e.op.fu_kind();
+            let mut flags = 0u8;
+            if e.op.is_load() {
+                flags |= F_LOAD;
+            }
+            if e.is_cdp() {
+                flags |= F_CDP;
+            }
+            if kind == FuKind::Mem {
+                flags |= F_MEM;
+            }
+            if matches!(e.op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp) {
+                flags |= F_CMP;
+            }
+            let mut target = 0u64;
+            let mut br_class = BR_OTHER;
+            if let Some(outcome) = e.branch {
+                flags |= F_BRANCH;
+                if outcome.taken {
+                    flags |= F_TAKEN;
+                }
+                if outcome.target_pc == e.pc + u64::from(e.bytes) {
+                    flags |= F_SEQ;
+                    if kind == FuKind::Branch {
+                        // Statically-sequential switch branches fold to
+                        // ALU no-ops; they never contend for the single
+                        // branch port.
+                        kind = FuKind::IntAlu;
+                    }
+                }
+                target = outcome.target_pc;
+                br_class = match e.op {
+                    Opcode::B if e.predicated => BR_COND,
+                    Opcode::Bl => {
+                        flags |= F_CALL;
+                        BR_CALL
+                    }
+                    Opcode::Bx => BR_RET,
+                    _ => BR_OTHER,
+                };
+            }
+            let lat = if kind == FuKind::Mem && !e.op.is_load() {
+                // Stores retire through the store buffer at L1 speed.
+                Opcode::Str.exec_latency()
+            } else {
+                e.op.exec_latency()
+            };
+            self.kind.push(fu_code(kind));
+            self.lat.push(lat);
+            self.flags.push(flags);
+            self.bytes.push(e.bytes);
+            self.deps
+                .push(e.deps.map(|d| if d == NO_DEP { 0 } else { d + 1 }));
+            self.pc.push(e.pc);
+            self.mem_addr.push(e.mem_addr.unwrap_or(0));
+            self.target.push(target);
+            self.br_class.push(br_class);
+        }
+        self.len = n;
+    }
+}
+
+/// A fixed-capacity power-of-two index ring — the reorder buffer. Pushes
+/// are guarded by the configured occupancy check before they happen, so
+/// the ring itself never has to grow or wrap-check beyond the mask.
+#[derive(Debug, Default)]
+struct IndexRing {
+    buf: Vec<u32>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl IndexRing {
+    /// Clears the ring, sizing it to hold at least `cap` entries.
+    fn reset(&mut self, cap: usize) {
+        let cap = cap.max(1).next_power_of_two();
+        if self.buf.len() != cap {
+            self.buf = vec![0; cap];
+        }
+        self.head = 0;
+        self.len = 0;
+        self.mask = cap - 1;
+    }
+
+    #[inline]
+    fn front(&self) -> Option<u32> {
+        if self.len > 0 {
+            Some(self.buf[self.head])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    #[inline]
+    fn push_back(&mut self, v: u32) {
+        self.buf[(self.head + self.len) & self.mask] = v;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Reusable per-run working memory for the cycle loop.
 ///
-/// One `run` allocates seven per-instruction timestamp tables plus the
-/// fetch/issue/reorder queues; across a campaign the simulator runs
-/// thousands of times on same-length traces, so callers on the hot path
-/// keep one `SimScratch` per worker and pass it to
+/// One `run` fills seven per-instruction timestamp tables plus the
+/// issue/reorder queues and a decoded-trace column set; across a campaign
+/// the simulator runs thousands of times on same-length traces, so callers
+/// on the hot path keep one `SimScratch` per worker and pass it to
 /// [`Simulator::run_with_scratch`] — every table is then recycled
 /// (cleared and refilled, never reallocated once warm).
 #[derive(Debug, Default)]
@@ -51,14 +395,33 @@ pub struct SimScratch {
     blocked_at_decode: Vec<u64>,
     decoded_at: Vec<u64>,
     issued_at: Vec<u64>,
+    /// Completion times, *shifted by one*: slot 0 is the always-done
+    /// sentinel the padded dependence encoding points at, insn `i` lives
+    /// in slot `i + 1`.
     done_at: Vec<u64>,
-    fetch_queue: VecDeque<u32>,
-    iq: Vec<u32>,
-    rob: VecDeque<u32>,
+    /// Issue-queue entries with at least one dependence still lacking a
+    /// completion time; rescanned each cycle (`UNSET` propagates through
+    /// the dependence `max` until every dep has issued).
+    waiting: Vec<u32>,
+    /// Issue-queue entries with a known future wakeup time, keyed by it:
+    /// popped — never rescanned — when their cycle arrives.
+    wake: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Issue-queue entries whose dependences have all completed, kept in
+    /// program order (ascending index); entries persist here across cycles
+    /// while blocked on functional units.
+    ready_pool: Vec<u32>,
+    rob: IndexRing,
     ready: Vec<u32>,
-    issued_set: Vec<u32>,
     int_div_free: Vec<u64>,
     float_div_free: Vec<u64>,
+    /// Owned decode for the entry points that take a plain [`Trace`];
+    /// `Option` so it can be moved out while the scratch is destructured.
+    decoded: Option<DecodedTrace>,
+    /// Recycled model state (memory hierarchy, branch predictor,
+    /// criticality table): each run resets them in place to the cold state
+    /// a fresh construction would produce, avoiding the ~1 MB of cache-line
+    /// allocation a `MemSystem::new` performs per run.
+    models: Option<(MemSystem, Bpu, CritTable)>,
 }
 
 impl SimScratch {
@@ -68,19 +431,28 @@ impl SimScratch {
     }
 
     /// Re-initializes every table for an `n`-instruction run.
+    ///
+    /// The timestamp tables are *not* bulk-filled: every slot is written
+    /// before it is read — fetch stamps `fetched_at`/`supply_stall`/
+    /// `blocked_at_fetch`, dispatch stamps `decoded_at`/`blocked_at_decode`
+    /// and seeds the `issued_at`/`done_at` slots with `UNSET` (dependences
+    /// always point at earlier instructions, which dispatch strictly in
+    /// order, so a dependence slot is seeded before any wakeup scan can
+    /// read it). A warm scratch therefore pays no O(n) memset per run.
     fn reset(&mut self, n: usize, cfg: &CpuConfig) {
-        fill(&mut self.fetched_at, n, UNSET);
-        fill(&mut self.supply_stall, n, 0);
-        fill(&mut self.blocked_at_fetch, n, 0);
-        fill(&mut self.blocked_at_decode, n, 0);
-        fill(&mut self.decoded_at, n, UNSET);
-        fill(&mut self.issued_at, n, UNSET);
-        fill(&mut self.done_at, n, UNSET);
-        self.fetch_queue.clear();
-        self.iq.clear();
-        self.rob.clear();
+        grow(&mut self.fetched_at, n);
+        grow(&mut self.supply_stall, n);
+        grow(&mut self.blocked_at_fetch, n);
+        grow(&mut self.blocked_at_decode, n);
+        grow(&mut self.decoded_at, n);
+        grow(&mut self.issued_at, n);
+        grow(&mut self.done_at, n + 1);
+        self.done_at[0] = 0;
+        self.waiting.clear();
+        self.wake.clear();
+        self.ready_pool.clear();
+        self.rob.reset(cfg.rob_entries);
         self.ready.clear();
-        self.issued_set.clear();
         fill(&mut self.int_div_free, cfg.fu.int_div as usize, 0);
         fill(&mut self.float_div_free, cfg.fu.float_div as usize, 0);
     }
@@ -90,6 +462,47 @@ impl SimScratch {
 fn fill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
     v.clear();
     v.resize(n, value);
+}
+
+/// Sets a table's length without initializing its contents: stale values
+/// from a previous run are deliberately left in place because every slot is
+/// written before it is read (see [`SimScratch::reset`]).
+fn grow<T: Default + Clone>(v: &mut Vec<T>, n: usize) {
+    if v.len() < n {
+        v.resize(n, T::default());
+    } else {
+        v.truncate(n);
+    }
+}
+
+/// Inserts `i` into an ascending index list (the ready pool stays in
+/// program order). The pool holds a handful of entries, so a binary search
+/// plus shift beats any cleverer structure.
+#[inline]
+fn insert_sorted(pool: &mut Vec<u32>, i: u32) {
+    let pos = pool.partition_point(|&x| x < i);
+    pool.insert(pos, i);
+}
+
+thread_local! {
+    /// Worker-owned scratch behind [`Simulator::run`]: every plain `run`
+    /// call on a thread recycles the same tables instead of allocating a
+    /// fresh `SimScratch` per call (the satellite audit found `figures`,
+    /// the validation oracle path, and the store's baseline builder all
+    /// paying that allocation).
+    static THREAD_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Runs `f` with this thread's recycled [`SimScratch`] — the worker-owned
+/// scratch used by [`Simulator::run`] and by call sites (store baseline
+/// builds, figure regeneration) that have no natural scratch owner.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut SimScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // Re-entrant use (a caller already holds the thread scratch):
+        // fall back to a fresh scratch rather than panicking.
+        Err(_) => f(&mut SimScratch::new()),
+    })
 }
 
 /// A configured simulator; call [`Simulator::run`] per trace.
@@ -117,11 +530,15 @@ impl Simulator {
     /// observations — the true dynamic fanout is the converged version of
     /// that) and the critical-instruction stage aggregation of Fig. 3a.
     ///
+    /// Working memory comes from the calling thread's recycled scratch
+    /// ([`with_thread_scratch`]), so repeated `run` calls on one thread
+    /// allocate nothing once warm.
+    ///
     /// # Panics
     ///
     /// Panics if `fanout.len() != trace.len()`.
     pub fn run(&self, trace: &Trace, fanout: &[u32]) -> SimResult {
-        self.run_with_scratch(trace, fanout, &mut SimScratch::new())
+        with_thread_scratch(|scratch| self.run_with_scratch(trace, fanout, scratch))
     }
 
     /// [`Simulator::run`] with caller-owned working memory: behaviour and
@@ -163,13 +580,56 @@ impl Simulator {
             fanout.len(),
             "fanout slice must match the trace"
         );
-        let cfg = &self.cpu;
-        let mut mem = MemSystem::new(&self.mem_config);
-        let mut bpu = Bpu::new(cfg.bpu_entries, cfg.bpu_history_bits, cfg.ras_depth);
-        let mut crit_table = CritTable::new(cfg.bpu_entries, cfg.crit_threshold);
+        // Move the owned decode out so the scratch can be destructured by
+        // the core loop while the decode is borrowed.
+        let mut decoded = scratch.decoded.take().unwrap_or_default();
+        decoded.decode_into(trace);
+        let out = self.run_decoded(&decoded, fanout, scratch);
+        scratch.decoded = Some(decoded);
+        out
+    }
 
-        let n = trace.len();
-        let entries = &trace.entries;
+    /// Runs the preserved scalar loop (see [`crate::reference`]): the
+    /// differential oracle the data-oriented core is diffed against, and
+    /// the baseline `critic bench` measures speedup from. Not a hot path.
+    pub fn run_reference(&self, trace: &Trace, fanout: &[u32]) -> (SimResult, CycleLedger) {
+        crate::reference::run_reference(&self.cpu, &self.mem_config, trace, fanout)
+    }
+
+    /// The data-oriented core: runs an already-decoded trace. This is the
+    /// batch entry point — the caller owns the decode and may share it (or
+    /// its common prefix) across schemes and configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout.len() != decoded.len()`.
+    pub fn run_decoded(
+        &self,
+        decoded: &DecodedTrace,
+        fanout: &[u32],
+        scratch: &mut SimScratch,
+    ) -> (SimResult, CycleLedger) {
+        assert_eq!(
+            decoded.len(),
+            fanout.len(),
+            "fanout slice must match the decoded trace"
+        );
+        let cfg = &self.cpu;
+        let (mut mem, mut bpu, mut crit_table) = match scratch.models.take() {
+            Some((mut mem, mut bpu, mut crit_table)) => {
+                mem.reset_to(&self.mem_config);
+                bpu.reset_to(cfg.bpu_entries, cfg.bpu_history_bits, cfg.ras_depth);
+                crit_table.reset_to(cfg.bpu_entries, cfg.crit_threshold);
+                (mem, bpu, crit_table)
+            }
+            None => (
+                MemSystem::new(&self.mem_config),
+                Bpu::new(cfg.bpu_entries, cfg.bpu_history_bits, cfg.ras_depth),
+                CritTable::new(cfg.bpu_entries, cfg.crit_threshold),
+            ),
+        };
+
+        let n = decoded.len();
         scratch.reset(n, cfg);
         // Destructure for disjoint borrows across the stage loops.
         let SimScratch {
@@ -180,20 +640,42 @@ impl Simulator {
             decoded_at,
             issued_at,
             done_at,
-            fetch_queue,
-            iq,
+            waiting,
+            wake,
+            ready_pool,
             rob,
             ready,
-            issued_set,
             int_div_free,
             float_div_free,
+            ..
         } = scratch;
+        // Hot columns and config, hoisted out of the cycle loop.
+        let kind_col = &decoded.kind[..n];
+        let lat_col = &decoded.lat[..n];
+        let flags_col = &decoded.flags[..n];
+        let deps_col = &decoded.deps[..n];
+        let pc_col = &decoded.pc[..n];
+        let addr_col = &decoded.mem_addr[..n];
+        let width = cfg.width;
+        let rob_cap = cfg.rob_entries;
+        let iq_cap = cfg.iq_entries;
+        let prioritize = cfg.prioritize_critical;
+        let crit_threshold = cfg.crit_threshold;
+        let redirect_penalty = u64::from(cfg.redirect_penalty);
+        let cdp_stall = u64::from(cfg.cdp_bubble.saturating_sub(1));
+        let pool = &cfg.fu;
+
         // Cumulative count of backend-blocked cycles, sampled at fetch time;
         // lets commit attribute each instruction's buffer time between
         // "genuine fetch residency" and "ROB back-pressure".
         let mut blocked_cum = 0u64;
 
+        // Issue-queue occupancy: waiting + wake + ready_pool entries.
+        let mut iq_len = 0usize;
         let mut fetch_idx = 0usize;
+        // The fetch queue is the contiguous range [fq_head, fetch_idx):
+        // fetch delivers trace order, so the "queue" is two counters.
+        let mut fq_head = 0usize;
         let mut current_line: Option<u64> = None;
         let mut fetch_resume_at = 0u64;
         let mut resume_reason = SupplyStall::None;
@@ -212,19 +694,20 @@ impl Simulator {
 
         let hard_cap = (n as u64).saturating_mul(1000).max(1_000_000);
 
-        while fetch_idx < n || !fetch_queue.is_empty() || !rob.is_empty() {
+        while fetch_idx < n || fq_head < fetch_idx || !rob.is_empty() {
             // ---- commit ----
             let mut commits = 0;
-            while commits < cfg.width {
-                let Some(&head) = rob.front() else { break };
+            while commits < width {
+                let Some(head) = rob.front() else { break };
                 let hi = head as usize;
-                if done_at[hi] > now {
+                let done = done_at[hi + 1];
+                if done > now {
                     break;
                 }
                 rob.pop_front();
                 commits += 1;
                 committed += 1;
-                let e = &entries[hi];
+                let flags = flags_col[hi];
                 // Aggregate stage residencies. Fetch-buffer time that passed
                 // while dispatch was blocked on a full ROB/IQ is *backend*
                 // back-pressure, not fetch-stage time — gem5 charges it to
@@ -237,11 +720,11 @@ impl Simulator {
                     (blocked_at_decode[hi] - blocked_at_fetch[hi]).min(buffer_total);
                 let buffer = buffer_total - buffer_blocked;
                 let issue_wait = issued_at[hi].saturating_sub(decoded_at[hi]);
-                let execute = done_at[hi].saturating_sub(issued_at[hi]);
+                let execute = done.saturating_sub(issued_at[hi]);
                 // Head-blocking time plus backend-blocked buffer time: the
                 // ROB bucket charges culprits and back-pressure, not every
                 // instruction queued behind them.
-                let commit_wait = now.saturating_sub(done_at[hi].max(head_since)) + buffer_blocked;
+                let commit_wait = now.saturating_sub(done.max(head_since)) + buffer_blocked;
                 head_since = now;
                 stage_all.add(
                     u64::from(supply_stall[hi]),
@@ -251,7 +734,7 @@ impl Simulator {
                     execute,
                     commit_wait,
                 );
-                if fanout[hi] >= cfg.crit_threshold {
+                if fanout[hi] >= crit_threshold {
                     stage_critical.add(
                         u64::from(supply_stall[hi]),
                         buffer,
@@ -262,116 +745,135 @@ impl Simulator {
                     );
                 }
                 // Criticality training (predictor-table hardware, Sec. II-A).
-                crit_table.train(e.pc, fanout[hi]);
-                if e.is_load() {
-                    mem.train_load_criticality(e.pc, fanout[hi]);
+                crit_table.train(pc_col[hi], fanout[hi]);
+                if flags & F_LOAD != 0 {
+                    mem.train_load_criticality(pc_col[hi], fanout[hi]);
                 }
                 // EFetch hook: observe committed calls.
-                if e.op == Opcode::Bl {
-                    if let Some(outcome) = e.branch {
-                        mem.observe_call(outcome.target_pc, now);
-                    }
+                if flags & F_CALL != 0 {
+                    mem.observe_call(decoded.target[hi], now);
                 }
             }
 
             // ---- issue ----
-            if !iq.is_empty() {
-                ready.clear();
-                ready.extend(iq.iter().copied().filter(|&i| {
-                    entries[i as usize]
-                        .deps_iter()
-                        .all(|d| done_at[d as usize] != UNSET && done_at[d as usize] <= now)
-                }));
-                if cfg.prioritize_critical {
-                    // Critical-first, stable within each class (program order).
-                    ready.sort_by_key(|&i| !crit_table.is_critical(entries[i as usize].pc));
+            let mut any_issued = false;
+            if iq_len > 0 {
+                // Wakeup scoreboard: entries whose dependences have all
+                // issued carry a fixed wakeup time (completion times are
+                // written once), so they are scheduled into a time-keyed
+                // heap exactly once and never rescanned. Only entries
+                // still waiting on an *unissued* dependence — `UNSET`
+                // propagates through the max — are rescanned per cycle.
+                if !waiting.is_empty() {
+                    waiting.retain(|&i| {
+                        let d = deps_col[i as usize];
+                        // Slot 0 is the always-done sentinel, so three
+                        // unconditional loads replace the variable-length
+                        // dependence walk.
+                        let ra = done_at[d[0] as usize]
+                            .max(done_at[d[1] as usize])
+                            .max(done_at[d[2] as usize]);
+                        if ra == UNSET {
+                            return true;
+                        }
+                        if ra <= now {
+                            insert_sorted(ready_pool, i);
+                        } else {
+                            wake.push(Reverse((ra, i)));
+                        }
+                        false
+                    });
                 }
-                let mut issued_count = 0u32;
-                let mut used = FuUse::default();
-                issued_set.clear();
-                for &i in ready.iter() {
-                    if issued_count >= cfg.width {
+                while let Some(&Reverse((ra, i))) = wake.peek() {
+                    if ra > now {
                         break;
                     }
-                    let e = &entries[i as usize];
-                    let mut kind = e.fu_kind();
-                    if kind == FuKind::Branch {
-                        if let Some(outcome) = e.branch {
-                            if outcome.target_pc == e.pc + u64::from(e.bytes) {
-                                // Statically-sequential switch branches fold
-                                // to ALU no-ops; they never contend for the
-                                // single branch port.
-                                kind = FuKind::IntAlu;
-                            }
-                        }
+                    wake.pop();
+                    insert_sorted(ready_pool, i);
+                }
+                // The pool is kept in ascending (program) order, matching
+                // the per-cycle rebuild of the scalar path; prioritization
+                // stable-sorts a scratch copy so the pool's canonical
+                // order survives for later cycles.
+                let selection: &[u32] = if prioritize {
+                    ready.clear();
+                    ready.extend_from_slice(ready_pool);
+                    // Critical-first, stable within each class (program order).
+                    ready.sort_by_key(|&i| !crit_table.is_critical(pc_col[i as usize]));
+                    ready
+                } else {
+                    ready_pool
+                };
+                let mut issued_count = 0u32;
+                let mut used = FuUse::default();
+                for &i in selection {
+                    if issued_count >= width {
+                        break;
                     }
-                    if !used.try_take(kind, &cfg.fu, now, int_div_free, float_div_free) {
+                    let hi = i as usize;
+                    let kind = kind_col[hi];
+                    if !used.try_take(kind, pool, now, int_div_free, float_div_free) {
                         continue;
                     }
                     // Latency.
-                    let latency = match kind {
-                        FuKind::Mem => {
-                            let addr = e.mem_addr.unwrap_or(0);
-                            if e.is_load() {
-                                let lat = mem.data_access(addr, now);
-                                mem.observe_load(e.pc, addr, now);
-                                lat
-                            } else {
-                                // Stores retire through the store buffer at
-                                // L1 speed; the access is still performed
-                                // for traffic/energy accounting.
-                                let _ = mem.data_access(addr, now);
-                                u64::from(Opcode::Str.exec_latency())
-                            }
+                    let latency = if kind == K_MEM {
+                        let addr = addr_col[hi];
+                        if flags_col[hi] & F_LOAD != 0 {
+                            let lat = mem.data_access(addr, now);
+                            mem.observe_load(pc_col[hi], addr, now);
+                            lat
+                        } else {
+                            // Stores retire through the store buffer at
+                            // L1 speed; the access is still performed
+                            // for traffic/energy accounting.
+                            let _ = mem.data_access(addr, now);
+                            u64::from(lat_col[hi])
                         }
-                        _ => u64::from(e.op.exec_latency()),
+                    } else {
+                        u64::from(lat_col[hi])
                     };
-                    issued_at[i as usize] = now;
+                    issued_at[hi] = now;
                     let done = now + latency;
-                    done_at[i as usize] = done;
+                    done_at[hi + 1] = done;
                     // Occupy unpipelined units.
-                    match kind {
-                        FuKind::IntDiv => {
-                            if let Some(free) = int_div_free.iter_mut().find(|f| **f <= now) {
-                                *free = done;
-                            }
+                    if kind == K_INT_DIV {
+                        if let Some(free) = int_div_free.iter_mut().find(|f| **f <= now) {
+                            *free = done;
                         }
-                        FuKind::FloatDiv => {
-                            if let Some(free) = float_div_free.iter_mut().find(|f| **f <= now) {
-                                *free = done;
-                            }
+                    } else if kind == K_FLOAT_DIV {
+                        if let Some(free) = float_div_free.iter_mut().find(|f| **f <= now) {
+                            *free = done;
                         }
-                        _ => {}
                     }
                     // Resolve a blocking mispredicted branch.
                     if fetch_blocked_on == Some(i) {
                         fetch_blocked_on = None;
-                        fetch_resume_at = done + u64::from(cfg.redirect_penalty);
+                        fetch_resume_at = done + redirect_penalty;
                         resume_reason = SupplyStall::Branch;
                     }
-                    issued_set.push(i);
+                    any_issued = true;
                     issued_count += 1;
                 }
-                if !issued_set.is_empty() {
-                    iq.retain(|i| !issued_set.contains(i));
+                if any_issued {
+                    // An entry issued this cycle iff its issue stamp is
+                    // set: the pool only ever holds unissued entries.
+                    ready_pool.retain(|&i| issued_at[i as usize] == UNSET);
+                    iq_len -= issued_count as usize;
                 }
             }
 
             // ---- dispatch (decode + rename) ----
+            let fq_was = fq_head;
             let mut dispatched_this_cycle = 0u32;
             let mut backend_blocked = false;
             if now >= dispatch_block_until {
                 let mut dispatched = 0;
-                while dispatched < cfg.width {
-                    let Some(&head) = fetch_queue.front() else {
-                        break;
-                    };
-                    let hi = head as usize;
+                while dispatched < width && fq_head < fetch_idx {
+                    let hi = fq_head;
                     if now < fetched_at[hi] + 1 {
                         break; // still in the decode pipe
                     }
-                    let e = &entries[hi];
-                    if e.is_cdp() {
+                    if flags_col[hi] & F_CDP != 0 {
                         // The format switch is a decoder *prefix*: the mode
                         // flip closed timing at 160 ps in the paper's 45 nm
                         // synthesis, so it is absorbed by the pipelined
@@ -380,27 +882,33 @@ impl Simulator {
                         // ROB (Sec. IV-B). The paper's conservative +1 decode
                         // cycle is a latency (pipeline-fill) effect with no
                         // steady-state bandwidth cost.
-                        fetch_queue.pop_front();
+                        fq_head += 1;
                         decoded_at[hi] = now;
                         blocked_at_decode[hi] = blocked_cum;
-                        done_at[hi] = now;
+                        done_at[hi + 1] = now;
                         cdp_switches += 1;
                         // The paper conservatively charges one extra decode
                         // cycle; a pipelined decoder hides it, so only the
                         // cycles *beyond* the first stall dispatch (the
                         // knob matters for the ablation sweep).
-                        dispatch_block_until = now + u64::from(cfg.cdp_bubble.saturating_sub(1));
+                        dispatch_block_until = now + cdp_stall;
                         continue;
                     }
-                    if rob.len() >= cfg.rob_entries || iq.len() >= cfg.iq_entries {
+                    if rob.len() >= rob_cap || iq_len >= iq_cap {
                         backend_blocked = dispatched == 0;
                         break;
                     }
-                    fetch_queue.pop_front();
+                    fq_head += 1;
                     decoded_at[hi] = now;
                     blocked_at_decode[hi] = blocked_cum;
-                    rob.push_back(head);
-                    iq.push(head);
+                    // Seed the lazily-initialized issue/completion slots
+                    // (the tables are not bulk-filled; see
+                    // `SimScratch::reset`).
+                    issued_at[hi] = UNSET;
+                    done_at[hi + 1] = UNSET;
+                    rob.push_back(hi as u32);
+                    waiting.push(hi as u32);
+                    iq_len += 1;
                     dispatched += 1;
                 }
                 dispatched_this_cycle = dispatched;
@@ -410,6 +918,7 @@ impl Simulator {
             }
 
             // ---- fetch ----
+            let fetch_was = fetch_idx;
             let fetch_stall: Option<CycleClass> = if fetch_idx < n {
                 if fetch_blocked_on.is_some() {
                     pending_supply += 1;
@@ -423,12 +932,12 @@ impl Simulator {
                     }
                 } else {
                     self.fetch_cycle(
-                        entries,
+                        decoded,
                         &mut fetch_idx,
+                        fq_head,
                         now,
                         &mut mem,
                         &mut bpu,
-                        fetch_queue,
                         fetched_at,
                         supply_stall,
                         &mut pending_supply,
@@ -454,10 +963,10 @@ impl Simulator {
                 stall
             } else if commits > 0 {
                 CycleClass::Commit
-            } else if let Some(&head) = rob.front() {
+            } else if let Some(head) = rob.front() {
                 let hi = head as usize;
                 if issued_at[hi] != UNSET {
-                    if entries[hi].fu_kind() == FuKind::Mem {
+                    if flags_col[hi] & F_MEM != 0 {
                         CycleClass::Mem
                     } else {
                         CycleClass::Execute
@@ -465,12 +974,76 @@ impl Simulator {
                 } else {
                     CycleClass::Issue
                 }
-            } else if !fetch_queue.is_empty() || dispatched_this_cycle > 0 {
+            } else if fq_head < fetch_idx || dispatched_this_cycle > 0 {
                 CycleClass::Decode
             } else {
                 CycleClass::SquashIdle
             };
             ledger.charge(class);
+
+            // ---- idle-window skip ----
+            // When a cycle made no progress at all (no commit, no issue, no
+            // dispatch or CDP consumption, no fetch delivery) and nothing is
+            // poised to become ready, the pipeline state is frozen: every
+            // following cycle repeats this one's classification verbatim
+            // until the next scheduled event. Jump straight to that event,
+            // bulk-charging the skipped cycles to the same ledger bucket —
+            // the partition is unchanged because each skipped cycle is
+            // counted exactly once, with the classification it would have
+            // received. Events that can end the window: the ROB head's
+            // completion, the wake heap's next ready time, fetch-supply
+            // resumption, the CDP dispatch stall expiring, and the decode
+            // pipe delivering the next fetch-queue entry. A non-empty ready
+            // pool disqualifies the window (a div-unit-blocked entry wakes
+            // on unit availability, which is not in the event set).
+            if commits == 0
+                && !any_issued
+                && dispatched_this_cycle == 0
+                && fq_head == fq_was
+                && fetch_idx == fetch_was
+                && ready_pool.is_empty()
+            {
+                let mut next = UNSET;
+                if let Some(head) = rob.front() {
+                    let done = done_at[head as usize + 1];
+                    if done != UNSET {
+                        next = next.min(done);
+                    }
+                }
+                if let Some(&Reverse((ra, _))) = wake.peek() {
+                    next = next.min(ra);
+                }
+                if fetch_idx < n && fetch_blocked_on.is_none() && fetch_resume_at > now {
+                    next = next.min(fetch_resume_at);
+                }
+                if now < dispatch_block_until {
+                    next = next.min(dispatch_block_until);
+                }
+                if fq_head < fetch_idx
+                    && rob.len() < rob_cap
+                    && iq_len < iq_cap
+                    && now >= dispatch_block_until
+                {
+                    // Dispatch is waiting only on the decode pipe.
+                    next = next.min(fetched_at[fq_head] + 1);
+                }
+                if next != UNSET && next > now + 1 {
+                    let skipped = next - now - 1;
+                    ledger.charge_many(class, skipped);
+                    // Replay the per-cycle side counters the skipped cycles
+                    // would have bumped: supply-stall residency while fetch
+                    // is branch-blocked or inside a miss/redirect window,
+                    // and the backend-blocked accumulator while dispatch is
+                    // stuck on a full ROB/IQ.
+                    if fetch_idx < n && (fetch_blocked_on.is_some() || now + 1 < fetch_resume_at) {
+                        pending_supply += skipped as u32;
+                    }
+                    if backend_blocked {
+                        blocked_cum += skipped;
+                    }
+                    now += skipped;
+                }
+            }
 
             now += 1;
             if now > hard_cap {
@@ -501,18 +1074,19 @@ impl Simulator {
             mem: mem.stats(),
             thumb_fetched,
         };
+        scratch.models = Some((mem, bpu, crit_table));
         (result, ledger)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn fetch_cycle(
         &self,
-        entries: &[DynInsn],
+        decoded: &DecodedTrace,
         fetch_idx: &mut usize,
+        fq_head: usize,
         now: u64,
         mem: &mut MemSystem,
         bpu: &mut Bpu,
-        fetch_queue: &mut VecDeque<u32>,
         fetched_at: &mut [u64],
         supply_stall: &mut [u32],
         pending_supply: &mut u32,
@@ -527,6 +1101,7 @@ impl Simulator {
     ) -> Option<CycleClass> {
         let mut stall: Option<CycleClass> = None;
         let cfg = &self.cpu;
+        let n = decoded.len;
         let icache_hit = 2u64; // L1I hit latency from MemConfig geometry
         let mut bytes = cfg.fetch_bytes_per_cycle;
         // Fetch is *byte*-limited: one 16-byte access per cycle delivers 4
@@ -535,9 +1110,11 @@ impl Simulator {
         // buys (Sec. III-B). The instruction cap models the fetch buffer's
         // half-word-granular write ports.
         let insn_cap = cfg.fetch_width * 2;
+        let fetch_buffer = cfg.fetch_buffer;
+        let taken_resume = 1 + u64::from(cfg.taken_bubble);
         let mut delivered = 0u32;
-        while delivered < insn_cap && *fetch_idx < entries.len() {
-            if fetch_queue.len() >= cfg.fetch_buffer {
+        while delivered < insn_cap && *fetch_idx < n {
+            if *fetch_idx - fq_head >= fetch_buffer {
                 // Count back-pressure only when the pipe is truly blocked:
                 // buffer full *and* decode moved nothing this cycle. A full
                 // buffer with decode draining at full width is steady-state
@@ -548,10 +1125,12 @@ impl Simulator {
                 break;
             }
             let idx = *fetch_idx;
-            let e = &entries[idx];
-            let line = e.pc & !63;
+            let pc = decoded.pc[idx];
+            let insn_bytes = decoded.bytes[idx];
+            let flags = decoded.flags[idx];
+            let line = pc & !63;
             if *current_line != Some(line) {
-                let latency = mem.ifetch(e.pc, now);
+                let latency = mem.ifetch(pc, now);
                 // The line will be resident once the miss returns; remember
                 // it so we do not re-access on resume.
                 *current_line = Some(line);
@@ -565,38 +1144,39 @@ impl Simulator {
                     break;
                 }
             }
-            if u64::from(e.bytes) > bytes {
+            if u64::from(insn_bytes) > bytes {
                 break; // per-cycle fetch bandwidth exhausted
             }
-            bytes -= u64::from(e.bytes);
+            bytes -= u64::from(insn_bytes);
             fetched_at[idx] = now;
             blocked_at_fetch[idx] = blocked_cum;
             // Every instruction delivered in this cycle waited out the same
             // supply stall (they sat in the missed line / post-redirect
             // shadow together); the counter clears at end of cycle.
             supply_stall[idx] = *pending_supply;
-            fetch_queue.push_back(idx as u32);
-            if e.bytes == 2 {
+            if insn_bytes == 2 {
                 *thumb_fetched += 1;
             }
             *fetch_idx += 1;
             delivered += 1;
 
-            let Some(outcome) = e.branch else { continue };
+            if flags & F_BRANCH == 0 {
+                continue;
+            }
+            let taken = flags & F_TAKEN != 0;
             if cfg.perfect_branch {
-                if outcome.taken {
+                if taken {
                     *current_line = None; // discontinuity, but no bubble
                 }
                 continue;
             }
-            let correct = match e.op {
-                Opcode::B if e.predicated => bpu.predict_conditional(e.pc, outcome.taken),
-                Opcode::B => true, // unconditional direct: BTB hit
-                Opcode::Bl => {
-                    bpu.push_return(e.pc + u64::from(e.bytes));
+            let correct = match decoded.br_class[idx] {
+                BR_COND => bpu.predict_conditional(pc, taken),
+                BR_CALL => {
+                    bpu.push_return(pc + u64::from(insn_bytes));
                     true
                 }
-                Opcode::Bx => bpu.predict_return(outcome.target_pc),
+                BR_RET => bpu.predict_return(decoded.target[idx]),
                 _ => true,
             };
             if !correct {
@@ -605,8 +1185,8 @@ impl Simulator {
                 *current_line = None;
                 break;
             }
-            if outcome.taken {
-                if outcome.target_pc == e.pc + u64::from(e.bytes) {
+            if taken {
+                if flags & F_SEQ != 0 {
                     // A branch to the very next instruction (the format
                     // switch of Sec. IV-A): the "redirect" is sequential, so
                     // the fetch group merely ends early — the branch still
@@ -614,7 +1194,7 @@ impl Simulator {
                     break;
                 }
                 // Correctly-predicted taken branch: redirect bubble.
-                *fetch_resume_at = now + 1 + u64::from(cfg.taken_bubble);
+                *fetch_resume_at = now + taken_resume;
                 *resume_reason = SupplyStall::Branch;
                 *current_line = None;
                 break;
@@ -626,6 +1206,16 @@ impl Simulator {
         stall
     }
 }
+
+/// Folded-kind byte constants the issue loop branches on.
+const K_INT_ALU: u8 = 0;
+const K_INT_MULT: u8 = 1;
+const K_INT_DIV: u8 = 2;
+const K_MEM: u8 = 3;
+const K_BRANCH: u8 = 4;
+const K_FLOAT_ADD: u8 = 5;
+const K_FLOAT_MUL: u8 = 6;
+const K_FLOAT_DIV: u8 = 7;
 
 /// Per-cycle functional-unit usage tracking.
 #[derive(Debug, Default)]
@@ -641,28 +1231,31 @@ struct FuUse {
 }
 
 impl FuUse {
+    #[inline]
     fn try_take(
         &mut self,
-        kind: FuKind,
+        kind: u8,
         pool: &crate::config::FuPool,
         now: u64,
         int_div_free: &[u64],
         float_div_free: &[u64],
     ) -> bool {
         match kind {
-            FuKind::IntAlu | FuKind::None => take(&mut self.int_alu, pool.int_alu),
-            FuKind::IntMult => take(&mut self.int_mult, pool.int_mult),
-            FuKind::IntDiv => {
+            K_INT_ALU => take(&mut self.int_alu, pool.int_alu),
+            K_INT_MULT => take(&mut self.int_mult, pool.int_mult),
+            K_INT_DIV => {
                 int_div_free.iter().any(|&f| f <= now) && take(&mut self.int_div, pool.int_div)
             }
-            FuKind::Mem => take(&mut self.mem, pool.mem_ports),
-            FuKind::Branch => take(&mut self.branch, pool.branch),
-            FuKind::FloatAdd => take(&mut self.float_add, pool.float_add),
-            FuKind::FloatMul => take(&mut self.float_mul, pool.float_mul),
-            FuKind::FloatDiv => {
+            K_MEM => take(&mut self.mem, pool.mem_ports),
+            K_BRANCH => take(&mut self.branch, pool.branch),
+            K_FLOAT_ADD => take(&mut self.float_add, pool.float_add),
+            K_FLOAT_MUL => take(&mut self.float_mul, pool.float_mul),
+            K_FLOAT_DIV => {
                 float_div_free.iter().any(|&f| f <= now)
                     && take(&mut self.float_div, pool.float_div)
             }
+            // FuKind::None issues on the integer ALU pool.
+            _ => take(&mut self.int_alu, pool.int_alu),
         }
     }
 }
@@ -728,6 +1321,78 @@ mod tests {
         let a = run(&trace, &fanout);
         let b = run(&trace, &fanout);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepared_decode_matches_fresh_decode() {
+        // run_decoded over a caller-owned decode is the same simulation as
+        // the trace entry points — bit for bit, ledger included.
+        let (trace, fanout) = mobile_trace(17, 10_000);
+        let sim = Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet());
+        let mut scratch = SimScratch::new();
+        let (fresh, fresh_ledger) = sim.run_with_ledger(&trace, &fanout, &mut scratch);
+        let mut decoded = DecodedTrace::new();
+        decoded.decode_into(&trace);
+        let (prepared, prepared_ledger) = sim.run_decoded(&decoded, &fanout, &mut scratch);
+        assert_eq!(fresh, prepared);
+        assert_eq!(fresh_ledger, prepared_ledger);
+    }
+
+    #[test]
+    fn prefix_shared_decode_is_bit_identical() {
+        // Decoding a trace against itself shares everything; against a
+        // different trace it shares the common prefix — either way the
+        // simulation must be bit-identical to a fresh decode.
+        let (base, base_fanout) = mobile_trace(18, 10_000);
+        let (other, other_fanout) = mobile_trace(19, 9_000);
+        let sim = Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet());
+        let mut scratch = SimScratch::new();
+        let mut base_decoded = DecodedTrace::new();
+        base_decoded.decode_into(&base);
+
+        let mut shared = DecodedTrace::new();
+        let full = shared.decode_with_base(&base, &base, &base_decoded);
+        assert_eq!(full, base.len(), "identical traces share every entry");
+        let (a, la) = sim.run_decoded(&shared, &base_fanout, &mut scratch);
+        let (b, lb) = sim.run_with_ledger(&base, &base_fanout, &mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+
+        let _ = shared.decode_with_base(&other, &base, &base_decoded);
+        let (c, lc) = sim.run_decoded(&shared, &other_fanout, &mut scratch);
+        let (d, ld) = sim.run_with_ledger(&other, &other_fanout, &mut scratch);
+        assert_eq!(c, d);
+        assert_eq!(lc, ld);
+    }
+
+    #[test]
+    fn data_oriented_core_matches_the_scalar_reference() {
+        // The scalar `VecDeque` loop preserved in `reference.rs` and the
+        // struct-of-arrays core must agree bit for bit — result and ledger
+        // — across workload families and scheme-relevant configs.
+        for (seed, len, spec) in [
+            (1u64, 8_000usize, false),
+            (23, 12_000, false),
+            (5, 9_000, true),
+        ] {
+            let (trace, fanout) = if spec {
+                spec_trace(seed, len)
+            } else {
+                mobile_trace(seed, len)
+            };
+            for cpu in [
+                CpuConfig::google_tablet(),
+                CpuConfig::google_tablet().with_critical_prioritization(),
+                CpuConfig::google_tablet().with_perfect_branch(),
+            ] {
+                let sim = Simulator::new(cpu, MemConfig::google_tablet());
+                let (want, want_ledger) = sim.run_reference(&trace, &fanout);
+                let mut scratch = SimScratch::new();
+                let (got, got_ledger) = sim.run_with_ledger(&trace, &fanout, &mut scratch);
+                assert_eq!(want, got, "SimResult diverged from the scalar path");
+                assert_eq!(want_ledger, got_ledger, "CycleLedger diverged");
+            }
+        }
     }
 
     #[test]

@@ -21,8 +21,6 @@
 //! * `profile_fraction` reproduces Fig. 12b's profiling-coverage
 //!   sensitivity; the paper's headline results profile 72% of execution.
 
-use std::collections::HashMap;
-
 use critic_workloads::{BasicBlock, BlockId, InsnUid, Program, Trace};
 
 use crate::error::ProfileError;
@@ -222,6 +220,31 @@ impl Profiler {
         Ok(self.build_validated(program, trace, cone))
     }
 
+    /// Like [`Profiler::try_build_profile_with_cone`] but skips the
+    /// program/trace re-validation. The caller guarantees that `trace` was
+    /// expanded from `program` and that both already passed validation —
+    /// the contract of a campaign store's shared world, whose parts are
+    /// validated once at construction and shared read-only. A
+    /// mismatched pair panics mid-analysis instead of returning an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cone.len() != trace.len()`, or (possibly) if the trace
+    /// was not expanded from the program.
+    pub fn build_profile_prevalidated(
+        &self,
+        program: &Program,
+        trace: &Trace,
+        cone: &[u32],
+    ) -> Profile {
+        assert_eq!(
+            cone.len(),
+            trace.len(),
+            "cone fanout does not match the trace"
+        );
+        self.build_validated(program, trace, cone)
+    }
+
     /// The analysis proper; every trace-side reference is known to resolve.
     fn build_validated(&self, program: &Program, trace: &Trace, fanout: &[u32]) -> Profile {
         let cfg = &self.config;
@@ -229,20 +252,31 @@ impl Profiler {
 
         // Per-uid average dynamic cone fanout and per-block execution
         // counts, observed over the profiled window. The cone horizon is
-        // the Table I ROB size.
-        let mut uid_fanout: HashMap<InsnUid, (u64, u64)> = HashMap::new();
-        let mut block_visits: HashMap<BlockId, u64> = HashMap::new();
+        // the Table I ROB size. Uids and block ids are dense program-wide
+        // indices, so lazily-grown flat vectors replace hashing on this
+        // hot aggregation pass (the scan visits every profiled dynamic
+        // instruction, and chain scoring re-queries the averages heavily).
+        let mut uid_fanout: Vec<(u64, u64)> = Vec::new();
+        let mut block_visits: Vec<u64> = Vec::new();
         for (i, entry) in trace.iter().enumerate().take(window) {
-            let agg = uid_fanout.entry(entry.uid).or_insert((0, 0));
+            let slot = entry.uid.0 as usize;
+            if uid_fanout.len() <= slot {
+                uid_fanout.resize(slot + 1, (0, 0));
+            }
+            let agg = &mut uid_fanout[slot];
             agg.0 += u64::from(fanout[i]);
             agg.1 += 1;
             if entry.at.index == 0 {
-                *block_visits.entry(entry.at.block).or_insert(0) += 1;
+                let bslot = entry.at.block.0 as usize;
+                if block_visits.len() <= bslot {
+                    block_visits.resize(bslot + 1, 0);
+                }
+                block_visits[bslot] += 1;
             }
         }
         let avg_of = |uid: InsnUid| -> f64 {
             uid_fanout
-                .get(&uid)
+                .get(uid.0 as usize)
                 .map_or(0.0, |&(sum, count)| sum as f64 / count.max(1) as f64)
         };
 
@@ -250,9 +284,13 @@ impl Profiler {
         let mut critical_chains = 0u64;
         let mut convertible_count = 0u64;
         let mut specs: Vec<ChainSpec> = Vec::new();
-        let mut blocks: Vec<(&BlockId, &u64)> = block_visits.iter().collect();
-        blocks.sort();
-        for (&block_id, &visits) in blocks {
+        // Index order over the dense table is ascending-BlockId order, the
+        // same deterministic iteration the sorted map produced.
+        for (bslot, &visits) in block_visits.iter().enumerate() {
+            if visits == 0 {
+                continue;
+            }
+            let block_id = BlockId(bslot as u32);
             let block = program.block(block_id);
             for chain in block_static_chains(block, &avg_of) {
                 unique_chains += 1;

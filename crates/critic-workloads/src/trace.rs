@@ -76,7 +76,7 @@ impl DynInsn {
 }
 
 /// A dynamic instruction stream plus bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     /// Workload name (copied from the program).
     pub name: String,
@@ -93,8 +93,25 @@ impl Trace {
     /// *distances* — while memory addresses and branch outcomes stay fixed,
     /// because they key on [`InsnUid`]s and the path respectively.
     pub fn expand(program: &Program, path: &ExecutionPath) -> Trace {
+        let mut trace = Trace {
+            name: String::new(),
+            entries: Vec::new(),
+        };
+        Trace::expand_into(program, path, &mut trace);
+        trace
+    }
+
+    /// Allocation-reusing form of [`Trace::expand`]: re-expands into `out`,
+    /// recycling its entry buffer. Campaign workbenches re-expand one
+    /// variant trace per (app, scheme) cell; reusing the multi-megabyte
+    /// entry vector keeps that off the allocator's hot path.
+    pub fn expand_into(program: &Program, path: &ExecutionPath, out: &mut Trace) {
+        out.name.clear();
+        out.name.push_str(&program.name);
         let layout = program.layout();
-        let mut entries: Vec<DynInsn> = Vec::with_capacity(path.dyn_insns(program));
+        let entries = &mut out.entries;
+        entries.clear();
+        entries.reserve(path.dyn_insns(program));
         // Last dynamic writer of each architected register, plus the flags.
         let mut last_writer = [NO_DEP; 16];
         let mut flags_writer = NO_DEP;
@@ -197,10 +214,6 @@ impl Trace {
                 }
             }
         }
-        Trace {
-            name: program.name.clone(),
-            entries,
-        }
     }
 
     /// Number of dynamic instructions.
@@ -224,8 +237,17 @@ impl Trace {
     /// This is the criticality raw material of the paper (Sec. II-A):
     /// instructions whose fanout exceeds a threshold get marked critical.
     pub fn compute_fanout(&self) -> Vec<u32> {
+        let mut fanout = Vec::new();
+        self.compute_fanout_into(&mut fanout);
+        fanout
+    }
+
+    /// Allocation-reusing form of [`Trace::compute_fanout`], paired with
+    /// [`Trace::expand_into`] on the per-cell campaign path.
+    pub fn compute_fanout_into(&self, fanout: &mut Vec<u32>) {
         let n = self.entries.len();
-        let mut fanout = vec![0u32; n];
+        fanout.clear();
+        fanout.resize(n, 0u32);
         // Flag-setting compares produce no forwardable value; their
         // predication "readers" are control, not dataflow, so they do not
         // make a compare critical (Sec. II-A reasons about value fan-out).
@@ -246,7 +268,6 @@ impl Trace {
                 Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
             );
         }
-        fanout
     }
 
     /// Computes each dynamic instruction's *cone* fanout: the number of

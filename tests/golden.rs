@@ -106,6 +106,99 @@ fn fig13_speedup_table_matches_golden() {
     assert_matches_golden("fig13.golden", &out);
 }
 
+/// Per-(app, scheme) [`SimResult`] and [`CycleLedger`] snapshot for the
+/// data-oriented/batched engine, with the scalar reference run in the loop
+/// as an oracle: every row is asserted bit-identical across all three
+/// paths (reference walk, data-oriented core, lockstep batch) *before* it
+/// is rendered, so the fixture can only ever record numbers all engines
+/// agree on — and any legitimate change to the model shows up as an exact
+/// integer diff in review.
+#[test]
+fn sim_engine_snapshot_matches_golden() {
+    use critics::core::{campaign::default_schemes, DesignPoint, Workbench};
+    use critics::pipeline::{BatchSimulator, SimScratch, Simulator};
+    use critics::workloads::{Suite, Trace};
+
+    let apps: Vec<_> = Suite::Mobile.apps().into_iter().take(APPS).collect();
+    let mut out = String::new();
+    writeln!(out, "engines trace_len={TRACE_LEN} apps={APPS}").unwrap();
+    for app in &apps {
+        let mut wb = Workbench::try_new(app, TRACE_LEN).expect("workbench");
+        let base_trace = wb.baseline_trace().clone();
+        let base_fanout = wb.baseline_fanout().to_vec();
+        let mut batch = BatchSimulator::new();
+        let mut scratch = SimScratch::new();
+        // Baseline plus every default scheme, plus one hardware-only
+        // point (2xFD) to pin the config-sensitive baseline replay.
+        let mut points = vec![("baseline".to_string(), DesignPoint::baseline())];
+        points.extend(default_schemes().into_iter().map(|s| (s.name, s.point)));
+        points.push(("hw-2xfd".to_string(), DesignPoint::double_fd()));
+        for (name, point) in points {
+            let is_baseline = matches!(point.software, critics::core::Software::Baseline);
+            let (trace, fanout) = if is_baseline {
+                (base_trace.clone(), base_fanout.clone())
+            } else {
+                let (program, _pass) = wb.try_variant(&point.software).expect("variant");
+                let trace = Trace::expand(&program, &wb.path);
+                let fanout = trace.compute_fanout();
+                (trace, fanout)
+            };
+            let sim = Simulator::new(point.cpu_config(), point.mem_config());
+            let (res_ref, led_ref) = sim.run_reference(&trace, &fanout);
+            let (res_dec, led_dec) = sim.run_with_ledger(&trace, &fanout, &mut scratch);
+            let (res_bat, led_bat) = if is_baseline {
+                batch.run_base(&sim, &trace, &fanout)
+            } else {
+                batch.run_variant(&sim, &trace, &base_trace)
+            };
+            led_ref
+                .check(res_ref.cycles)
+                .expect("ledger partitions the run");
+            assert_eq!(
+                res_dec, res_ref,
+                "{}/{name}: data-oriented diverges",
+                app.name
+            );
+            assert_eq!(
+                led_dec, led_ref,
+                "{}/{name}: data-oriented ledger diverges",
+                app.name
+            );
+            assert_eq!(res_bat, res_ref, "{}/{name}: batched diverges", app.name);
+            assert_eq!(
+                led_bat, led_ref,
+                "{}/{name}: batched ledger diverges",
+                app.name
+            );
+            writeln!(
+                out,
+                "{:12} {:14} cycles {} committed {} cdp {} thumb {} misp {} icm {} dcm {} | \
+                 ledger i {} br {} bp {} dec {} iss {} exe {} mem {} com {} idle {}",
+                app.name,
+                name,
+                res_bat.cycles,
+                res_bat.committed,
+                res_bat.cdp_switches,
+                res_bat.thumb_fetched,
+                res_bat.bpu.mispredicts,
+                res_bat.mem.icache.misses,
+                res_bat.mem.dcache.misses,
+                led_bat.fetch_stall_icache,
+                led_bat.fetch_stall_branch,
+                led_bat.fetch_stall_backpressure,
+                led_bat.decode,
+                led_bat.issue,
+                led_bat.execute,
+                led_bat.mem,
+                led_bat.commit,
+                led_bat.squash_idle,
+            )
+            .unwrap();
+        }
+    }
+    assert_matches_golden("engines.golden", &out);
+}
+
 /// The cycle ledger itself is part of the snapshot: exact per-bucket
 /// counts for the mobile suite's first apps, so any attribution change is
 /// visible in review rather than silently reshaping Fig. 3.
