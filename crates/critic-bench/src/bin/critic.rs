@@ -10,6 +10,7 @@
 //! critic disasm <app> [function]      # dump the generated binary
 //! critic campaign [--validate] [--stats] [options]  # fault-tolerant app x scheme grid
 //! critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X] [--min-cold-speedup X]
+//!              [--stream-window N] [--max-stream-peak-bytes N]
 //! critic bench --service [--smoke] [--json] [-o FILE] [--max-service-p99-ms X]
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
@@ -99,6 +100,10 @@ enum CliError {
         speedup: f64,
         floor: f64,
     },
+    StreamMemoryRegression {
+        peak: u64,
+        ceiling: u64,
+    },
     CampaignInterrupted {
         shed: usize,
         total: usize,
@@ -139,6 +144,9 @@ impl CliError {
             // Its own code so CI can tell "the store got slower" apart
             // from a pipeline failure.
             CliError::BenchRegression { .. } => 8,
+            // A streaming run that outgrew its memory ceiling is the same
+            // class of failure: the bench got worse, not wrong.
+            CliError::StreamMemoryRegression { .. } => 8,
             // A graceful shutdown is not a failure: the journal is intact
             // and --resume finishes the grid. Scripts need to tell it
             // apart from both success and failed cells.
@@ -212,6 +220,12 @@ impl fmt::Display for CliError {
                 write!(
                     f,
                     "{what} speedup {speedup:.2}x is below the {floor:.2}x floor"
+                )
+            }
+            CliError::StreamMemoryRegression { peak, ceiling } => {
+                write!(
+                    f,
+                    "streaming peak memory {peak} B is above the {ceiling} B ceiling"
                 )
             }
             CliError::CampaignInterrupted { shed, total } => {
@@ -528,7 +542,7 @@ fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
 /// [--trace-len N] [--journal FILE] [--resume] [--validate] [--stats]
 /// [--deadline-secs N] [--retries N] [--workers N]
 /// [--store-dir DIR] [--store-budget BYTES] [--segment-lines N]
-/// [--run-tag N]
+/// [--run-tag N] [--stream-window N]
 /// [--inject app:scheme:fault[:seed]]... [--sys NAME[:PARAM]@AT]...
 /// [--breaker K] [--degrade] [--backoff-base-ms N] [--backoff-cap-ms N]
 /// [--backoff-seed N]`
@@ -548,6 +562,13 @@ fn parse_sys_spec(value: &str) -> Result<SysFaultSpec, CliError> {
 /// single-file format). `--run-tag N` stamps every journaled record with a
 /// run number so the recovery drill can prove acknowledged cells are never
 /// re-simulated.
+///
+/// `--stream-window N` runs every cell's trace through the chunked
+/// streaming pipeline (N instructions per window) instead of materializing
+/// it — bit-identical results at O(window) instead of O(trace) memory per
+/// worker. Cells with an armed trace fault fall back to the materialized
+/// path (the fault corrupts the materialized trace, which a re-expansion
+/// would silently undo).
 ///
 /// `--sys` arms deterministic systemic faults (the chaos harness's
 /// [`SysFault`] family) on the run; `--breaker`, `--degrade`, and the
@@ -612,6 +633,14 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
         .map(|n| n as usize)
         .unwrap_or(0);
     spec.run_tag = parse_num("--run-tag")?;
+    spec.stream_window = match parse_num("--stream-window")? {
+        Some(0) => {
+            return Err(CliError::Usage(
+                "--stream-window must be at least 1".to_string(),
+            ))
+        }
+        other => other.map(|n| n as usize),
+    };
     if args.iter().any(|a| a == "--stats") {
         spec.telemetry = critic_obs::Telemetry::enabled();
     }
@@ -696,21 +725,44 @@ fn run_campaign_command(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `critic bench [--json] [--smoke] [-o FILE] [--min-warm-speedup X]
-/// [--min-cold-speedup X]`
+/// [--min-cold-speedup X] [--stream-window N] [--max-stream-peak-bytes N]`
 ///
 /// Measures single-cell latency, the batched-vs-scalar cold path over the
-/// sensitivity grid, and a cold vs warm full-grid campaign over one shared
-/// artifact store; `--smoke` shrinks the grid for CI.
+/// sensitivity grid, the streaming-vs-materialized long-trace probe, and a
+/// cold vs warm full-grid campaign over one shared artifact store;
+/// `--smoke` shrinks the grid for CI.
 /// `--min-warm-speedup` and `--min-cold-speedup` turn the report into a
 /// gate: exit code 8 when a measured speedup falls below its floor.
+/// `--stream-window N` overrides the probe's chunk size;
+/// `--max-stream-peak-bytes N` gates the streaming peak (exit code 8 when
+/// it is exceeded; `0` means "use the report's own O(window) ceiling").
 fn run_bench_command(args: &[String]) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--service") {
         return run_service_bench_command(args);
     }
-    let setup = if args.iter().any(|a| a == "--smoke") {
+    let mut setup = if args.iter().any(|a| a == "--smoke") {
         BenchSetup::smoke()
     } else {
         BenchSetup::full()
+    };
+    if let Some(v) = arg_after(args, "--stream-window") {
+        let window = v
+            .parse::<usize>()
+            .map_err(|_| CliError::Usage(format!("--stream-window expects a number, got `{v}`")))?;
+        if window == 0 {
+            return Err(CliError::Usage(
+                "--stream-window must be at least 1".to_string(),
+            ));
+        }
+        setup.stream_window = window;
+    }
+    let peak_cap = match arg_after(args, "--max-stream-peak-bytes") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!(
+                "--max-stream-peak-bytes expects a number, got `{v}`"
+            ))
+        })?),
     };
     let floor = match arg_after(args, "--min-warm-speedup") {
         None => None,
@@ -736,6 +788,8 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
             "single cell: {:.0} ms | cold path {} cells: scalar {:.0} ms -> batched {:.0} ms \
              ({:.2}x, {:.2}M insts/s) | campaign cold {:.0} ms -> warm {:.0} ms ({:.2}x) | \
              restart cold {:.0} ms -> disk-warm {:.0} ms ({:.2}x, {} disk hits) | \
+             stream {} insns @ window {}: {:.2}M insts/s ({:.2}x of materialized), \
+             peak {} KiB under {} KiB ceiling | \
              telemetry overhead {:+.1}% | {} worlds, {} profiles, {} baselines built; \
              {} store hits | ledger {} cycles audited",
             report.single_cell_millis,
@@ -751,6 +805,12 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
             report.restart_warm_campaign_millis,
             report.restart_warm_speedup,
             report.disk.disk_hits,
+            report.stream.trace_len,
+            report.stream.window,
+            report.stream.streamed_insts_per_sec / 1e6,
+            report.stream.throughput_ratio,
+            report.stream.peak_resident_bytes / 1024,
+            report.stream.peak_ceiling_bytes / 1024,
             report.telemetry_overhead_frac * 100.0,
             report.store.worlds_built,
             report.store.profiles_built,
@@ -770,6 +830,21 @@ fn run_bench_command(args: &[String]) -> Result<(), CliError> {
                 what: "batched cold-path",
                 speedup: report.cold_path.cold_speedup,
                 floor,
+            });
+        }
+    }
+    if let Some(cap) = peak_cap {
+        // 0 delegates to the report's own window-derived ceiling, so CI
+        // does not have to hard-code a byte count per window.
+        let ceiling = if cap == 0 {
+            report.stream.peak_ceiling_bytes
+        } else {
+            cap
+        };
+        if report.stream.peak_resident_bytes > ceiling {
+            return Err(CliError::StreamMemoryRegression {
+                peak: report.stream.peak_resident_bytes,
+                ceiling,
             });
         }
     }

@@ -33,7 +33,7 @@ use critic_energy::EnergyModel;
 use critic_obs::{CycleLedger, Telemetry};
 use critic_pipeline::{SimScratch, Simulator};
 use critic_workloads::suite::Suite;
-use critic_workloads::Trace;
+use critic_workloads::{DynInsn, Trace, DEFAULT_LOOKAHEAD, DEFAULT_STREAM_WINDOW};
 use serde::Serialize;
 
 /// Why a bench measurement could not produce a number.
@@ -95,6 +95,12 @@ pub struct BenchSetup {
     pub sensitivity_schemes: usize,
     /// Cold/warm pairs measured; the report keeps the best of each.
     pub reps: usize,
+    /// Dynamic instructions in the streaming-vs-materialized probe trace.
+    /// Deliberately much longer than `trace_len`: the point of the probe
+    /// is that streaming peak memory stays flat while this grows.
+    pub stream_trace_len: usize,
+    /// Streaming window (instructions per chunk) the probe runs with.
+    pub stream_window: usize,
 }
 
 impl BenchSetup {
@@ -106,6 +112,8 @@ impl BenchSetup {
             trace_len: 40_000,
             sensitivity_schemes: 18,
             reps: 3,
+            stream_trace_len: 400_000,
+            stream_window: DEFAULT_STREAM_WINDOW,
         }
     }
 
@@ -118,6 +126,8 @@ impl BenchSetup {
             trace_len: 10_000,
             sensitivity_schemes: 6,
             reps: 1,
+            stream_trace_len: 100_000,
+            stream_window: 1_024,
         }
     }
 }
@@ -160,6 +170,11 @@ pub struct BenchReport {
     /// Disk-tier counters after the restart-warm pass: hits must be
     /// non-zero or the persistent store did nothing.
     pub disk: DiskStoreStats,
+    /// The streaming-vs-materialized probe: throughput and peak-memory
+    /// comparison of the chunked trace pipeline against the fully
+    /// materialized one, reported only after their results matched
+    /// bit-for-bit.
+    pub stream: StreamReport,
     /// The probe cell's baseline cycle ledger; recorded so the report
     /// itself witnesses the partition invariant (`sum == cycles`), which
     /// [`run_perf_bench`] enforces before reporting.
@@ -209,6 +224,149 @@ pub struct ColdPathReport {
     pub insts_per_sec: f64,
     /// Per-cell phase breakdown of the batched cold path.
     pub cold_cell_millis: ColdCellMillis,
+}
+
+/// The streaming-vs-materialized probe measurement: one long-trace cell
+/// run through both engines at bit-identical results, with wall clock and
+/// peak resident bytes on each side.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StreamReport {
+    /// Streaming window, in instructions per chunk.
+    pub window: usize,
+    /// Dynamic instructions in the probe trace.
+    pub trace_len: usize,
+    /// Scheme-side run through the materialized path (best of `reps`).
+    pub materialized_millis: f64,
+    /// The same run through the streaming front-end (best of `reps`).
+    pub streamed_millis: f64,
+    /// `trace_len / materialized seconds`.
+    pub materialized_insts_per_sec: f64,
+    /// `trace_len / streamed seconds`.
+    pub streamed_insts_per_sec: f64,
+    /// `streamed_insts_per_sec / materialized_insts_per_sec` — the
+    /// acceptance bar is staying within 10% of the materialized path.
+    pub throughput_ratio: f64,
+    /// Peak bytes resident in the streaming run: simulator rings, pipeline
+    /// queues, and the expansion ring, sampled at every window feed.
+    pub peak_resident_bytes: u64,
+    /// Final simulator ring capacity, in slots.
+    pub ring_capacity: usize,
+    /// Mid-run ring doublings (non-zero only when a CDP-dense region
+    /// stretched the live span past the initial capacity).
+    pub ring_grows: u32,
+    /// The fixed O(window) ceiling [`stream_peak_ceiling`] computes —
+    /// independent of `trace_len`, which is the whole point.
+    pub peak_ceiling_bytes: u64,
+    /// What the materialized path holds for the same trace
+    /// ([`materialized_bytes_estimate`]): entries, decoded columns, and
+    /// timestamp arrays, all O(trace).
+    pub materialized_bytes_estimate: u64,
+}
+
+/// Bytes per instruction the materialized path keeps live: the expanded
+/// [`DynInsn`] entries plus the decoded columns and timestamp arrays
+/// (about 100 B/insn across the data-oriented simulator's vectors).
+const MATERIALIZED_COLUMN_BYTES: usize = 100;
+
+/// The fixed streaming-peak ceiling for a given window, in bytes. A
+/// generous multiple of `window + lookahead`: the simulator ring starts at
+/// `next_pow2(window + ROB + buffers)` slots of ~100 B and may double a
+/// few times over CDP-dense spans, and the expansion ring adds
+/// O(lookahead). 2 KiB per slot covers all of that with an order of
+/// magnitude to spare while staying independent of the trace length — a
+/// streaming run whose peak scales with the trace will cross this line
+/// long before the acceptance trace ends.
+pub fn stream_peak_ceiling(window: usize) -> u64 {
+    (window + DEFAULT_LOOKAHEAD) as u64 * 2048
+}
+
+/// What the materialized path holds resident for a `trace_len` trace.
+pub fn materialized_bytes_estimate(trace_len: usize) -> u64 {
+    (trace_len * (std::mem::size_of::<DynInsn>() + MATERIALIZED_COLUMN_BYTES)) as u64
+}
+
+/// Runs the streaming-vs-materialized probe: one cell on the longest
+/// trace in the setup, scheme-side simulation timed through both the
+/// materialized data-oriented path and the chunked streaming front-end
+/// (best of `reps` each), with the baseline and profile warmed untimed so
+/// both sides measure only expansion + simulation.
+///
+/// # Errors
+///
+/// Propagates pipeline failures; any mismatch between the two paths'
+/// results is [`BenchError::Divergence`] — the throughput and memory
+/// numbers are only reported over bit-identical computations.
+pub fn time_stream_path(setup: &BenchSetup) -> Result<StreamReport, BenchError> {
+    let app = &Suite::Mobile.apps()[0];
+    let trace_len = setup.stream_trace_len;
+    let window = setup.stream_window;
+    let point = DesignPoint::critic();
+    let mut bench = Workbench::try_new(app, trace_len)?;
+    // Untimed warmup: baseline run and profile build happen once here, so
+    // the timed passes below pay only variant expansion + simulation.
+    bench.try_run(&DesignPoint::baseline())?;
+    bench.try_run(&point)?;
+
+    let mut best_materialized = Duration::MAX;
+    let mut materialized = None;
+    bench.set_stream_window(None);
+    for _ in 0..setup.reps.max(1) {
+        let started = Instant::now();
+        let run = bench.try_run(&point)?;
+        best_materialized = best_materialized.min(started.elapsed());
+        materialized = Some(run);
+    }
+    let mut best_streamed = Duration::MAX;
+    let mut streamed = None;
+    let mut stats = None;
+    bench.set_stream_window(Some(window));
+    for _ in 0..setup.reps.max(1) {
+        let started = Instant::now();
+        let run = bench.try_run(&point)?;
+        best_streamed = best_streamed.min(started.elapsed());
+        stats = bench.stream_stats();
+        streamed = Some(run);
+    }
+    bench.set_stream_window(None);
+
+    let materialized = materialized.expect("reps >= 1");
+    let streamed = streamed.expect("reps >= 1");
+    let stats = stats
+        .ok_or_else(|| BenchError::Io("streamed bench run recorded no stream stats".to_string()))?;
+    if materialized.sim != streamed.sim
+        || materialized.dyn_insns != streamed.dyn_insns
+        || materialized.thumb_dyn_frac != streamed.thumb_dyn_frac
+    {
+        return Err(BenchError::Divergence(format!(
+            "streaming front-end diverged from the materialized path on \
+             {}/{}: {} vs {} cycles over {} vs {} insns",
+            app.name,
+            point.label(),
+            streamed.sim.cycles,
+            materialized.sim.cycles,
+            streamed.dyn_insns,
+            materialized.dyn_insns,
+        )));
+    }
+
+    let materialized_secs = best_materialized.as_secs_f64();
+    let streamed_secs = best_streamed.as_secs_f64();
+    let materialized_ips = streamed.dyn_insns as f64 / materialized_secs;
+    let streamed_ips = streamed.dyn_insns as f64 / streamed_secs;
+    Ok(StreamReport {
+        window,
+        trace_len,
+        materialized_millis: materialized_secs * 1e3,
+        streamed_millis: streamed_secs * 1e3,
+        materialized_insts_per_sec: materialized_ips,
+        streamed_insts_per_sec: streamed_ips,
+        throughput_ratio: streamed_ips / materialized_ips,
+        peak_resident_bytes: stats.peak_resident_bytes as u64,
+        ring_capacity: stats.ring_capacity,
+        ring_grows: stats.grows,
+        peak_ceiling_bytes: stream_peak_ceiling(window),
+        materialized_bytes_estimate: materialized_bytes_estimate(trace_len),
+    })
 }
 
 /// The sensitivity sweep the cold-path measurement runs: the paper's
@@ -574,6 +732,7 @@ pub fn time_warm_with_telemetry(spec: &CampaignSpec) -> Result<Duration, BenchEr
 pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
     let (single, ledger) = time_single_cell(setup.trace_len)?;
     let cold_path = time_cold_path(setup)?;
+    let stream = time_stream_path(setup)?;
     let spec = bench_campaign(setup);
     let mut best_cold = Duration::MAX;
     let mut best_warm = Duration::MAX;
@@ -611,6 +770,7 @@ pub fn run_perf_bench(setup: &BenchSetup) -> Result<BenchReport, BenchError> {
         restart_warm_campaign_millis: restart_warm_ms,
         restart_warm_speedup: restart_cold_ms / restart_warm_ms,
         disk: last_disk,
+        stream,
         ledger,
         store: last_stats,
     })
@@ -789,6 +949,24 @@ mod tests {
             "a fully warmed disk store rebuilds nothing: {:?}",
             report.disk
         );
+        // The stream probe only reports after bit-identity held, and its
+        // peak must sit under the trace-length-independent ceiling while
+        // the materialized footprint for the same trace sits well above.
+        assert_eq!(report.stream.trace_len, 100_000);
+        assert!(report.stream.peak_resident_bytes > 0);
+        assert!(
+            report.stream.peak_resident_bytes <= report.stream.peak_ceiling_bytes,
+            "streaming peak {} exceeds the O(window) ceiling {}",
+            report.stream.peak_resident_bytes,
+            report.stream.peak_ceiling_bytes
+        );
+        assert!(
+            report.stream.materialized_bytes_estimate > report.stream.peak_ceiling_bytes,
+            "the probe trace must be long enough that materializing it \
+             costs more than the whole streaming ceiling"
+        );
+        assert!(report.stream.throughput_ratio > 0.0);
+        assert!(report.stream.streamed_insts_per_sec > 0.0);
         // The audited probe ledger is non-degenerate and already verified
         // against the run's cycle count inside run_perf_bench.
         assert!(report.ledger.total() > 0);
@@ -809,6 +987,29 @@ mod tests {
         assert!(json.contains("cold_speedup"), "{json}");
         assert!(json.contains("insts_per_sec"), "{json}");
         assert!(json.contains("cold_cell_millis"), "{json}");
+        assert!(json.contains("peak_resident_bytes"), "{json}");
+        assert!(json.contains("throughput_ratio"), "{json}");
+    }
+
+    #[test]
+    fn stream_probe_reports_bounded_memory_across_windows() {
+        // Three windows over the same trace: the probe itself enforces
+        // bit-identity (it errors on divergence), so what is asserted here
+        // is the memory shape — peak under the per-window ceiling, and a
+        // bigger window allowed a bigger footprint.
+        let mut setup = BenchSetup::smoke();
+        setup.stream_trace_len = 30_000;
+        for window in [256, 1_024, 30_000] {
+            setup.stream_window = window;
+            let report = time_stream_path(&setup).expect("stream probe runs");
+            assert_eq!(report.window, window);
+            assert!(
+                report.peak_resident_bytes <= report.peak_ceiling_bytes,
+                "window {window}: peak {} over ceiling {}",
+                report.peak_resident_bytes,
+                report.peak_ceiling_bytes
+            );
+        }
     }
 
     #[test]
@@ -821,6 +1022,8 @@ mod tests {
             // points, so both cell kinds are differenced.
             sensitivity_schemes: 14,
             reps: 1,
+            stream_trace_len: 20_000,
+            stream_window: 512,
         };
         // time_cold_path fails with BenchError::Divergence on any metric
         // mismatch, so a clean return IS the equality assertion — over a

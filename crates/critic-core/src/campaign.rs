@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use critic_obs::{EventKind, SpanKind, Telemetry, TelemetrySnapshot};
 use critic_workloads::{
     inject_program, inject_trace, AppSpec, ExecutionPath, Fault, FaultTarget, SysFault,
-    SysInjector, SysOp, Trace,
+    SysInjector, SysOp, Trace, DEFAULT_LOOKAHEAD,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -206,6 +206,14 @@ pub struct CampaignSpec {
     /// drill uses monotonically increasing tags to prove a journaled-Ok
     /// cell is never re-simulated after a crash). `None` journals no tag.
     pub run_tag: Option<u64>,
+    /// When set, each cell's data-oriented simulations run through the
+    /// bounded-memory streaming trace pipeline with this window size
+    /// ([`Workbench::set_stream_window`]); results are bit-identical, the
+    /// cell's expansion/simulation allocations become O(window) instead of
+    /// O(trace_len), and the injected allocation budget is charged
+    /// accordingly. Trace-targeted fault cells always stay materialized
+    /// (the stream would re-expand past the injected corruption).
+    pub stream_window: Option<usize>,
 }
 
 impl CampaignSpec {
@@ -230,6 +238,7 @@ impl CampaignSpec {
             store_budget: None,
             segment_max_lines: 0,
             run_tag: None,
+            stream_window: None,
         }
     }
 }
@@ -941,6 +950,7 @@ fn run_cell(cell: &Cell, spec: &CampaignSpec, store: &Arc<ArtifactStore>) -> (Ce
             &attempt_telemetry,
             meter,
             stall,
+            spec.stream_window,
         );
         let millis = started.elapsed().as_millis() as u64;
         let fault = cell.fault.map(|(f, _)| f);
@@ -1074,6 +1084,7 @@ fn run_batch_cell(
             }
         };
         bench.set_telemetry(telemetry.clone());
+        bench.set_stream_window(spec.stream_window);
         let base = bench.try_run(&DesignPoint::baseline())?;
         let (outcome, validation) = if spec.validate {
             let (outcome, stats) =
@@ -1141,6 +1152,7 @@ pub(crate) fn run_service_attempt(
     validate: bool,
     deadline: Option<Duration>,
     level: u8,
+    stream_window: Option<usize>,
     store: &Arc<ArtifactStore>,
     aggregate: &Telemetry,
     sys: Option<&Arc<SysInjector>>,
@@ -1182,7 +1194,15 @@ pub(crate) fn run_service_attempt(
     };
     let started = Instant::now();
     let result = run_attempt(
-        target, trace_len, validate, deadline, store, &telemetry, meter, stall,
+        target,
+        trace_len,
+        validate,
+        deadline,
+        store,
+        &telemetry,
+        meter,
+        stall,
+        stream_window,
     );
     let millis = started.elapsed().as_millis() as u64;
     let spans = telemetry.snapshot();
@@ -1247,6 +1267,7 @@ fn run_attempt(
     telemetry: &Telemetry,
     meter: Option<Arc<AllocMeter>>,
     stall: Option<Duration>,
+    stream_window: Option<usize>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     match deadline {
         Some(deadline) => {
@@ -1271,6 +1292,7 @@ fn run_attempt(
                     &store,
                     &telemetry,
                     meter.as_deref(),
+                    stream_window,
                 ));
             });
             match rx.recv_timeout(deadline) {
@@ -1295,6 +1317,7 @@ fn run_attempt(
                 store,
                 telemetry,
                 meter.as_deref(),
+                stream_window,
             )
         }
     }
@@ -1302,6 +1325,7 @@ fn run_attempt(
 
 /// The panic isolation boundary: a panic anywhere below becomes
 /// [`RunError::Panic`].
+#[allow(clippy::too_many_arguments)]
 fn run_isolated(
     cell: &Cell,
     trace_len: usize,
@@ -1310,9 +1334,19 @@ fn run_isolated(
     store: &Arc<ArtifactStore>,
     telemetry: &Telemetry,
     meter: Option<&AllocMeter>,
+    stream_window: Option<usize>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     catch_unwind(AssertUnwindSafe(|| {
-        run_cell_body(cell, trace_len, validate, cancel, store, telemetry, meter)
+        run_cell_body(
+            cell,
+            trace_len,
+            validate,
+            cancel,
+            store,
+            telemetry,
+            meter,
+            stream_window,
+        )
     }))
     .unwrap_or_else(|payload| Err(RunError::Panic(panic_message(payload))))
 }
@@ -1340,17 +1374,39 @@ fn run_cell_body(
     store: &Arc<ArtifactStore>,
     telemetry: &Telemetry,
     meter: Option<&AllocMeter>,
+    stream_window: Option<usize>,
 ) -> Result<(CellMetrics, Option<ValidationStats>), RunError> {
     // Charges against an injected per-attempt allocation budget. The
     // figures are the stages' dominant allocations in bytes — the expanded
     // trace (one ~64-byte record per dynamic instruction) and each
     // simulation's per-instruction bookkeeping — deterministic in
-    // trace_len, so the same budget always fails at the same stage.
+    // trace_len, so the same budget always fails at the same stage. Under
+    // the streaming pipeline the attempt's expansion and simulation state
+    // are rings sized to the window, not the trace, and the charges say so:
+    // the same long-trace budget that kills a materialized attempt admits
+    // a streamed one (asserted by `tests/stream_memory.rs`).
     let charge = |bytes: u64| -> Result<(), RunError> {
         match meter {
             Some(meter) => meter.charge(bytes),
             None => Ok(()),
         }
+    };
+    // Trace-targeted faults corrupt the materialized trace; the stream
+    // would innocently re-expand (program, path) past the corruption, so
+    // those cells stay on the materialized path.
+    let stream_window = match cell.fault {
+        Some((fault, _)) if fault.target() == FaultTarget::Trace => None,
+        _ => stream_window,
+    };
+    // Dominant per-attempt bytes of one expansion and of one simulation's
+    // bookkeeping under the active pipeline.
+    let expansion_span = match stream_window {
+        Some(window) => (window + DEFAULT_LOOKAHEAD).min(trace_len),
+        None => trace_len,
+    };
+    let sim_span = match stream_window {
+        Some(window) => window.min(trace_len),
+        None => trace_len,
     };
     let app = &cell.app;
     let mut bench = if cell.fault.is_none() {
@@ -1389,8 +1445,9 @@ fn run_cell_body(
             Workbench::try_assemble(app, program, path, trace)
         })?
     };
-    charge(trace_len as u64 * 64)?;
+    charge(expansion_span as u64 * 64)?;
     bench.set_telemetry(telemetry.clone());
+    bench.set_stream_window(stream_window);
     if let Some((fault, seed)) = cell.fault {
         // Miscompile faults corrupt the *rewritten* variant, so they are
         // armed on the workbench: the baseline design point is never
@@ -1401,10 +1458,10 @@ fn run_cell_body(
         }
     }
     checkpoint(cancel)?;
-    charge(trace_len as u64 * 16)?;
+    charge(sim_span as u64 * 16)?;
     let base = bench.try_run(&DesignPoint::baseline())?;
     checkpoint(cancel)?;
-    charge(trace_len as u64 * 16)?;
+    charge(sim_span as u64 * 16)?;
     let (outcome, validation) = if validate {
         let (outcome, stats) = bench.try_run_validated(&cell.scheme.point, app.path_seed())?;
         (outcome, Some(stats))

@@ -9,9 +9,14 @@ use critic_compiler::{
 };
 use critic_energy::{EnergyBreakdown, EnergyModel};
 use critic_obs::{EventKind, SpanKind, Telemetry};
-use critic_pipeline::{BatchSimulator, SimEngine, SimResult, Simulator};
+use critic_pipeline::{
+    BatchSimulator, SimEngine, SimResult, Simulator, StreamRunStats, StreamScratch,
+};
 use critic_profiler::{ChainSpec, Profile, Profiler, ProfilerConfig};
-use critic_workloads::{inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, Trace};
+use critic_workloads::{
+    inject_variant, AppSpec, BlockId, ExecutionPath, Fault, Program, StreamConfig, Trace,
+    TraceStream,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::design::{DesignPoint, Software};
@@ -87,6 +92,15 @@ pub struct Workbench {
     /// multi-megabyte vectors per (app, scheme) cell.
     variant_trace: Trace,
     variant_fanout: Vec<u32>,
+    /// When set, [`Workbench::simulate`] routes data-oriented runs through
+    /// the bounded-memory streaming front-end with this window size
+    /// (bit-identical results; see `critic_pipeline::stream_sim`), and
+    /// storeless profiling folds the stream instead of materializing.
+    stream_window: Option<usize>,
+    /// Recycled ring scratch for the streaming front-end.
+    stream_scratch: StreamScratch,
+    /// Memory accounting of the most recent streamed simulation.
+    last_stream_stats: Option<StreamRunStats>,
     /// Span/event sink; [`Telemetry::off`] by default, so the instrumented
     /// paths cost one branch per span when telemetry is disabled.
     telemetry: Telemetry,
@@ -148,6 +162,9 @@ impl Workbench {
             engine: SimEngine::default(),
             variant_trace: Trace::default(),
             variant_fanout: Vec::new(),
+            stream_window: None,
+            stream_scratch: StreamScratch::new(),
+            last_stream_stats: None,
             telemetry: Telemetry::off(),
         })
     }
@@ -174,6 +191,9 @@ impl Workbench {
             engine: SimEngine::default(),
             variant_trace: Trace::default(),
             variant_fanout: Vec::new(),
+            stream_window: None,
+            stream_scratch: StreamScratch::new(),
+            last_stream_stats: None,
             telemetry: Telemetry::off(),
         }
     }
@@ -189,6 +209,24 @@ impl Workbench {
     /// scalar baseline and for differential checks.
     pub fn set_engine(&mut self, engine: SimEngine) {
         self.engine = engine;
+    }
+
+    /// Enables (`Some(window)`) or disables (`None`) the bounded-memory
+    /// streaming trace pipeline for data-oriented runs: the trace is
+    /// expanded, fanout-annotated, decoded, and simulated window-at-a-time
+    /// without ever materializing the dynamic stream. Results are
+    /// bit-identical to the materialized path (enforced by the
+    /// differential battery); only peak memory changes — O(window) instead
+    /// of O(trace). The reference engine ignores this and stays
+    /// materialized.
+    pub fn set_stream_window(&mut self, window: Option<usize>) {
+        self.stream_window = window;
+    }
+
+    /// Memory accounting of the most recent streamed simulation, if any
+    /// run has been routed through the streaming front-end.
+    pub fn stream_stats(&self) -> Option<StreamRunStats> {
+        self.last_stream_stats
     }
 
     /// Decode-sharing counters for this workbench's batch context.
@@ -259,6 +297,25 @@ impl Workbench {
             let profile = telemetry.time(SpanKind::Profile, || {
                 if let Some((store, world)) = self.store.clone() {
                     store.profile(&world, config)
+                } else if let Some(window) = self.stream_window {
+                    // Streamed profiling: fold chain statistics over a
+                    // cone-enabled stream without materializing the trace
+                    // or the cone vector. Bit-identical to the
+                    // materialized build (the fold is order-preserving
+                    // integer sums; see `critic-profiler`'s tests).
+                    let mut stream = TraceStream::new(
+                        &self.program,
+                        &self.path,
+                        StreamConfig {
+                            window,
+                            lookahead: critic_workloads::DEFAULT_LOOKAHEAD,
+                            cone_window: Some(128),
+                        },
+                    );
+                    Ok(Arc::new(
+                        Profiler::new(config.clone())
+                            .try_build_profile_streamed(&self.program, &mut stream)?,
+                    ))
                 } else {
                     let cone = self.cone();
                     Ok(Arc::new(
@@ -525,6 +582,37 @@ impl Workbench {
             }
         }
         let engine = self.engine;
+        if engine == SimEngine::DataOriented {
+            if let Some(window) = self.stream_window {
+                // Streaming route: expansion, fanout, decode, and the cycle
+                // loop all run window-at-a-time over (program, path) —
+                // nothing trace-length-sized is materialized. The stream is
+                // fully drained by the run, so the thumb fraction and
+                // dynamic length read back exactly what the materialized
+                // trace would report.
+                let prog: &Program = if baseline { &self.program } else { program };
+                let mut stream =
+                    TraceStream::new(prog, &self.path, StreamConfig::with_window(window));
+                let scratch = &mut self.stream_scratch;
+                let (sim, _, stream_stats) = telemetry.time(SpanKind::Sim, || {
+                    Simulator::new(point.cpu_config(), point.mem_config())
+                        .run_streamed(&mut stream, scratch)
+                });
+                let thumb_dyn_frac = stream.thumb_fraction();
+                let dyn_insns = stream.total_len();
+                drop(stream);
+                self.last_stream_stats = Some(stream_stats);
+                let energy = self.energy_model.evaluate(&sim);
+                return Ok(RunOutcome {
+                    design: point.label(),
+                    thumb_dyn_frac,
+                    dyn_insns,
+                    sim,
+                    energy,
+                    pass,
+                });
+            }
+        }
         if !baseline {
             Trace::expand_into(program, &self.path, &mut self.variant_trace);
             if engine == SimEngine::Reference {

@@ -802,6 +802,7 @@ fn run_submitted(
             inner.config.validate,
             deadline,
             level,
+            None,
             &inner.store,
             telemetry,
             inner.config.sys.as_ref(),

@@ -59,6 +59,7 @@ pub mod crit;
 pub mod reference;
 pub mod sim;
 pub mod stats;
+pub mod stream_sim;
 
 pub use batch::{BatchSimulator, BatchStats};
 pub use bpu::{Bpu, BpuStats};
@@ -68,3 +69,4 @@ pub use critic_obs::{CycleClass, CycleLedger};
 pub use reference::run_reference;
 pub use sim::{with_thread_scratch, DecodedTrace, SimEngine, SimScratch, Simulator};
 pub use stats::{FetchStalls, SimResult, StageBreakdown};
+pub use stream_sim::{StreamRunStats, StreamScratch};

@@ -39,7 +39,7 @@ use std::collections::BinaryHeap;
 use critic_isa::{FuKind, Opcode};
 use critic_mem::{MemConfig, MemSystem};
 use critic_obs::{CycleClass, CycleLedger};
-use critic_workloads::{Trace, NO_DEP};
+use critic_workloads::{DynInsn, Trace, NO_DEP};
 
 use crate::bpu::Bpu;
 use crate::config::CpuConfig;
@@ -48,13 +48,13 @@ use crate::stats::{FetchStalls, SimResult, StageBreakdown};
 
 /// Why the fetch stage is currently unable to supply instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SupplyStall {
+pub(crate) enum SupplyStall {
     None,
     ICacheMiss,
     Branch,
 }
 
-const UNSET: u64 = u64::MAX;
+pub(crate) const UNSET: u64 = u64::MAX;
 
 /// Which simulation engine a harness routes its runs through. Both engines
 /// produce bit-identical [`SimResult`]s and [`CycleLedger`]s (asserted by
@@ -72,28 +72,28 @@ pub enum SimEngine {
 }
 
 /// Flag bits of [`DecodedTrace::flags`].
-const F_LOAD: u8 = 1 << 0;
-const F_CDP: u8 = 1 << 1;
-const F_MEM: u8 = 1 << 2;
-const F_BRANCH: u8 = 1 << 3;
-const F_TAKEN: u8 = 1 << 4;
+pub(crate) const F_LOAD: u8 = 1 << 0;
+pub(crate) const F_CDP: u8 = 1 << 1;
+pub(crate) const F_MEM: u8 = 1 << 2;
+pub(crate) const F_BRANCH: u8 = 1 << 3;
+pub(crate) const F_TAKEN: u8 = 1 << 4;
 /// Branch whose target is the next sequential pc (the Sec. IV-A format
 /// switch): folds to an ALU op at issue, ends the fetch group without a
 /// redirect bubble.
-const F_SEQ: u8 = 1 << 5;
+pub(crate) const F_SEQ: u8 = 1 << 5;
 /// `Bl` with a recorded outcome: commit reports the call target to the
 /// EFetch hook.
-const F_CALL: u8 = 1 << 6;
+pub(crate) const F_CALL: u8 = 1 << 6;
 /// Flag-setting compare (`Cmp`/`Cmn`/`Tst`/`Vcmp`): produces no
 /// forwardable value, so it never accrues dataflow fan-out.
-const F_CMP: u8 = 1 << 7;
+pub(crate) const F_CMP: u8 = 1 << 7;
 
 /// Branch-prediction dispatch class of [`DecodedTrace::br_class`] (only
 /// meaningful when `F_BRANCH` is set).
-const BR_OTHER: u8 = 0;
-const BR_COND: u8 = 1;
-const BR_CALL: u8 = 2;
-const BR_RET: u8 = 3;
+pub(crate) const BR_OTHER: u8 = 0;
+pub(crate) const BR_COND: u8 = 1;
+pub(crate) const BR_CALL: u8 = 2;
+pub(crate) const BR_RET: u8 = 3;
 
 fn fu_code(kind: FuKind) -> u8 {
     match kind {
@@ -262,65 +262,99 @@ impl DecodedTrace {
         self.target.reserve(n - from);
         self.br_class.reserve(n - from);
         for e in &trace.entries[from..] {
-            let mut kind = e.op.fu_kind();
-            let mut flags = 0u8;
-            if e.op.is_load() {
-                flags |= F_LOAD;
-            }
-            if e.is_cdp() {
-                flags |= F_CDP;
-            }
-            if kind == FuKind::Mem {
-                flags |= F_MEM;
-            }
-            if matches!(e.op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp) {
-                flags |= F_CMP;
-            }
-            let mut target = 0u64;
-            let mut br_class = BR_OTHER;
-            if let Some(outcome) = e.branch {
-                flags |= F_BRANCH;
-                if outcome.taken {
-                    flags |= F_TAKEN;
-                }
-                if outcome.target_pc == e.pc + u64::from(e.bytes) {
-                    flags |= F_SEQ;
-                    if kind == FuKind::Branch {
-                        // Statically-sequential switch branches fold to
-                        // ALU no-ops; they never contend for the single
-                        // branch port.
-                        kind = FuKind::IntAlu;
-                    }
-                }
-                target = outcome.target_pc;
-                br_class = match e.op {
-                    Opcode::B if e.predicated => BR_COND,
-                    Opcode::Bl => {
-                        flags |= F_CALL;
-                        BR_CALL
-                    }
-                    Opcode::Bx => BR_RET,
-                    _ => BR_OTHER,
-                };
-            }
-            let lat = if kind == FuKind::Mem && !e.op.is_load() {
-                // Stores retire through the store buffer at L1 speed.
-                Opcode::Str.exec_latency()
-            } else {
-                e.op.exec_latency()
-            };
-            self.kind.push(fu_code(kind));
-            self.lat.push(lat);
-            self.flags.push(flags);
-            self.bytes.push(e.bytes);
-            self.deps
-                .push(e.deps.map(|d| if d == NO_DEP { 0 } else { d + 1 }));
-            self.pc.push(e.pc);
-            self.mem_addr.push(e.mem_addr.unwrap_or(0));
-            self.target.push(target);
-            self.br_class.push(br_class);
+            let d = decode_entry(e);
+            self.kind.push(d.kind);
+            self.lat.push(d.lat);
+            self.flags.push(d.flags);
+            self.bytes.push(d.bytes);
+            self.deps.push(d.deps);
+            self.pc.push(d.pc);
+            self.mem_addr.push(d.mem_addr);
+            self.target.push(d.target);
+            self.br_class.push(d.br_class);
         }
         self.len = n;
+    }
+}
+
+/// One instruction's decoded columns: the pure per-entry decode shared by
+/// the materialized struct-of-arrays decode ([`DecodedTrace`]) and the
+/// streaming ring decode ([`crate::stream_sim`]). Keeping the body in one
+/// place is what makes the streamed columns identical to the materialized
+/// ones by construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecodedInsn {
+    pub(crate) kind: u8,
+    pub(crate) lat: u32,
+    pub(crate) flags: u8,
+    pub(crate) bytes: u8,
+    pub(crate) deps: [u32; 3],
+    pub(crate) pc: u64,
+    pub(crate) mem_addr: u64,
+    pub(crate) target: u64,
+    pub(crate) br_class: u8,
+}
+
+/// Decodes one dynamic instruction into its column values.
+#[inline]
+pub(crate) fn decode_entry(e: &DynInsn) -> DecodedInsn {
+    let mut kind = e.op.fu_kind();
+    let mut flags = 0u8;
+    if e.op.is_load() {
+        flags |= F_LOAD;
+    }
+    if e.is_cdp() {
+        flags |= F_CDP;
+    }
+    if kind == FuKind::Mem {
+        flags |= F_MEM;
+    }
+    if matches!(e.op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp) {
+        flags |= F_CMP;
+    }
+    let mut target = 0u64;
+    let mut br_class = BR_OTHER;
+    if let Some(outcome) = e.branch {
+        flags |= F_BRANCH;
+        if outcome.taken {
+            flags |= F_TAKEN;
+        }
+        if outcome.target_pc == e.pc + u64::from(e.bytes) {
+            flags |= F_SEQ;
+            if kind == FuKind::Branch {
+                // Statically-sequential switch branches fold to
+                // ALU no-ops; they never contend for the single
+                // branch port.
+                kind = FuKind::IntAlu;
+            }
+        }
+        target = outcome.target_pc;
+        br_class = match e.op {
+            Opcode::B if e.predicated => BR_COND,
+            Opcode::Bl => {
+                flags |= F_CALL;
+                BR_CALL
+            }
+            Opcode::Bx => BR_RET,
+            _ => BR_OTHER,
+        };
+    }
+    let lat = if kind == FuKind::Mem && !e.op.is_load() {
+        // Stores retire through the store buffer at L1 speed.
+        Opcode::Str.exec_latency()
+    } else {
+        e.op.exec_latency()
+    };
+    DecodedInsn {
+        kind: fu_code(kind),
+        lat,
+        flags,
+        bytes: e.bytes,
+        deps: e.deps.map(|d| if d == NO_DEP { 0 } else { d + 1 }),
+        pc: e.pc,
+        mem_addr: e.mem_addr.unwrap_or(0),
+        target,
+        br_class,
     }
 }
 
@@ -328,7 +362,7 @@ impl DecodedTrace {
 /// are guarded by the configured occupancy check before they happen, so
 /// the ring itself never has to grow or wrap-check beyond the mask.
 #[derive(Debug, Default)]
-struct IndexRing {
+pub(crate) struct IndexRing {
     buf: Vec<u32>,
     head: usize,
     len: usize,
@@ -337,7 +371,7 @@ struct IndexRing {
 
 impl IndexRing {
     /// Clears the ring, sizing it to hold at least `cap` entries.
-    fn reset(&mut self, cap: usize) {
+    pub(crate) fn reset(&mut self, cap: usize) {
         let cap = cap.max(1).next_power_of_two();
         if self.buf.len() != cap {
             self.buf = vec![0; cap];
@@ -348,7 +382,7 @@ impl IndexRing {
     }
 
     #[inline]
-    fn front(&self) -> Option<u32> {
+    pub(crate) fn front(&self) -> Option<u32> {
         if self.len > 0 {
             Some(self.buf[self.head])
         } else {
@@ -357,25 +391,30 @@ impl IndexRing {
     }
 
     #[inline]
-    fn pop_front(&mut self) {
+    pub(crate) fn pop_front(&mut self) {
         self.head = (self.head + 1) & self.mask;
         self.len -= 1;
     }
 
     #[inline]
-    fn push_back(&mut self, v: u32) {
+    pub(crate) fn push_back(&mut self, v: u32) {
         self.buf[(self.head + self.len) & self.mask] = v;
         self.len += 1;
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 
     #[inline]
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Bytes held by the ring's backing storage.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -459,7 +498,7 @@ impl SimScratch {
 }
 
 /// `clear` + `resize`: refills in place, reallocating only to grow.
-fn fill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
+pub(crate) fn fill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
     v.clear();
     v.resize(n, value);
 }
@@ -479,7 +518,7 @@ fn grow<T: Default + Clone>(v: &mut Vec<T>, n: usize) {
 /// program order). The pool holds a handful of entries, so a binary search
 /// plus shift beats any cleverer structure.
 #[inline]
-fn insert_sorted(pool: &mut Vec<u32>, i: u32) {
+pub(crate) fn insert_sorted(pool: &mut Vec<u32>, i: u32) {
     let pos = pool.partition_point(|&x| x < i);
     pool.insert(pos, i);
 }
@@ -521,6 +560,12 @@ impl Simulator {
     /// The core configuration.
     pub fn cpu_config(&self) -> &CpuConfig {
         &self.cpu
+    }
+
+    /// The memory configuration (crate-internal: the streaming front-end
+    /// constructs its own model instances).
+    pub(crate) fn mem_config(&self) -> &MemConfig {
+        &self.mem_config
     }
 
     /// Runs the trace to completion and returns the timing result.
@@ -1210,16 +1255,16 @@ impl Simulator {
 /// Folded-kind byte constants the issue loop branches on.
 const K_INT_ALU: u8 = 0;
 const K_INT_MULT: u8 = 1;
-const K_INT_DIV: u8 = 2;
-const K_MEM: u8 = 3;
+pub(crate) const K_INT_DIV: u8 = 2;
+pub(crate) const K_MEM: u8 = 3;
 const K_BRANCH: u8 = 4;
 const K_FLOAT_ADD: u8 = 5;
 const K_FLOAT_MUL: u8 = 6;
-const K_FLOAT_DIV: u8 = 7;
+pub(crate) const K_FLOAT_DIV: u8 = 7;
 
 /// Per-cycle functional-unit usage tracking.
 #[derive(Debug, Default)]
-struct FuUse {
+pub(crate) struct FuUse {
     int_alu: u32,
     int_mult: u32,
     int_div: u32,
@@ -1232,7 +1277,7 @@ struct FuUse {
 
 impl FuUse {
     #[inline]
-    fn try_take(
+    pub(crate) fn try_take(
         &mut self,
         kind: u8,
         pool: &crate::config::FuPool,

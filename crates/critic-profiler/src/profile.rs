@@ -21,7 +21,7 @@
 //! * `profile_fraction` reproduces Fig. 12b's profiling-coverage
 //!   sensitivity; the paper's headline results profile 72% of execution.
 
-use critic_workloads::{BasicBlock, BlockId, InsnUid, Program, Trace};
+use critic_workloads::{BasicBlock, BlockId, DynInsn, InsnUid, Program, Trace, TraceStream};
 
 use crate::error::ProfileError;
 #[allow(unused_imports)]
@@ -245,35 +245,70 @@ impl Profiler {
         self.build_validated(program, trace, cone)
     }
 
+    /// Streaming variant of [`Profiler::try_build_profile`]: folds the
+    /// chain/CritIC statistics over a [`TraceStream`]'s windows without
+    /// ever holding the trace, and produces a bit-identical [`Profile`]
+    /// (the fold accumulates the same integer sums in the same order, and
+    /// the scoring tail is shared code).
+    ///
+    /// The stream must be fresh (nothing emitted yet) and cone-enabled
+    /// with the profiler's ROB horizon
+    /// (`StreamConfig::cone_window == Some(128)`); only the profiled
+    /// prefix is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already emitted entries or was opened
+    /// without a cone window.
+    pub fn try_build_profile_streamed(
+        &self,
+        program: &Program,
+        stream: &mut TraceStream<'_>,
+    ) -> Result<Profile, ProfileError> {
+        program.validate()?;
+        let cfg = &self.config;
+        let window = ((stream.total_len() as f64) * cfg.profile_fraction.clamp(0.0, 1.0)) as usize;
+        assert_eq!(stream.emitted(), 0, "profiling requires a fresh stream");
+        let mut agg = ProfileAggregate::default();
+        let mut seen = 0usize;
+        'fold: while seen < window {
+            let Some(w) = stream.next_window() else {
+                break;
+            };
+            assert_eq!(
+                w.cone.len(),
+                w.entries.len(),
+                "profiling requires a cone-enabled stream"
+            );
+            for (entry, &cone) in w.entries.iter().zip(w.cone) {
+                if seen >= window {
+                    break 'fold;
+                }
+                agg.observe(entry, cone);
+                seen += 1;
+            }
+        }
+        Ok(self.score(program, &agg, window))
+    }
+
     /// The analysis proper; every trace-side reference is known to resolve.
     fn build_validated(&self, program: &Program, trace: &Trace, fanout: &[u32]) -> Profile {
         let cfg = &self.config;
         let window = ((trace.len() as f64) * cfg.profile_fraction.clamp(0.0, 1.0)) as usize;
-
-        // Per-uid average dynamic cone fanout and per-block execution
-        // counts, observed over the profiled window. The cone horizon is
-        // the Table I ROB size. Uids and block ids are dense program-wide
-        // indices, so lazily-grown flat vectors replace hashing on this
-        // hot aggregation pass (the scan visits every profiled dynamic
-        // instruction, and chain scoring re-queries the averages heavily).
-        let mut uid_fanout: Vec<(u64, u64)> = Vec::new();
-        let mut block_visits: Vec<u64> = Vec::new();
+        let mut agg = ProfileAggregate::default();
         for (i, entry) in trace.iter().enumerate().take(window) {
-            let slot = entry.uid.0 as usize;
-            if uid_fanout.len() <= slot {
-                uid_fanout.resize(slot + 1, (0, 0));
-            }
-            let agg = &mut uid_fanout[slot];
-            agg.0 += u64::from(fanout[i]);
-            agg.1 += 1;
-            if entry.at.index == 0 {
-                let bslot = entry.at.block.0 as usize;
-                if block_visits.len() <= bslot {
-                    block_visits.resize(bslot + 1, 0);
-                }
-                block_visits[bslot] += 1;
-            }
+            agg.observe(entry, fanout[i]);
         }
+        self.score(program, &agg, window)
+    }
+
+    /// The selection/ranking tail, shared by the materialized and streaming
+    /// front-ends: scores each executed block's static chains against the
+    /// folded per-uid averages and assembles the ranked profile.
+    fn score(&self, program: &Program, agg: &ProfileAggregate, window: usize) -> Profile {
+        let cfg = &self.config;
+        let uid_fanout = &agg.uid_fanout;
+        let block_visits = &agg.block_visits;
         let avg_of = |uid: InsnUid| -> f64 {
             uid_fanout
                 .get(uid.0 as usize)
@@ -351,6 +386,40 @@ impl Profiler {
                 },
             },
             chains: specs,
+        }
+    }
+}
+
+/// The profiler's trace-side fold state: per-uid cone-fanout sums and
+/// per-block execution counts over the profiled window. Uids and block ids
+/// are dense program-wide indices, so lazily-grown flat vectors replace
+/// hashing on this hot aggregation pass. Both vectors are O(static
+/// program), which is what lets the streaming front-end profile without
+/// holding the trace; the sums are unsigned integers, so accumulation
+/// order cannot perturb the result.
+#[derive(Debug, Default)]
+struct ProfileAggregate {
+    uid_fanout: Vec<(u64, u64)>,
+    block_visits: Vec<u64>,
+}
+
+impl ProfileAggregate {
+    /// Folds one profiled dynamic instruction and its cone fanout.
+    #[inline]
+    fn observe(&mut self, entry: &DynInsn, cone: u32) {
+        let slot = entry.uid.0 as usize;
+        if self.uid_fanout.len() <= slot {
+            self.uid_fanout.resize(slot + 1, (0, 0));
+        }
+        let agg = &mut self.uid_fanout[slot];
+        agg.0 += u64::from(cone);
+        agg.1 += 1;
+        if entry.at.index == 0 {
+            let bslot = entry.at.block.0 as usize;
+            if self.block_visits.len() <= bslot {
+                self.block_visits.resize(bslot + 1, 0);
+            }
+            self.block_visits[bslot] += 1;
         }
     }
 }
@@ -586,6 +655,35 @@ mod tests {
                 for &m in chain {
                     assert!(seen.insert(m), "member {m} in two chains of {bid}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_profile_is_bit_identical() {
+        use critic_workloads::{StreamConfig, TraceStream};
+        let mut app = Suite::Mobile.apps()[0].clone();
+        app.params.num_functions = 40;
+        let program = app.generate_program();
+        let path = ExecutionPath::generate(&program, 21, 20_000);
+        let trace = Trace::expand(&program, &path);
+        for config in [ProfilerConfig::default(), ProfilerConfig::ideal()] {
+            let profiler = Profiler::new(config);
+            let materialized = profiler.build_profile(&program, &trace);
+            for window in [1usize, 777, 100_000] {
+                let mut stream = TraceStream::new(
+                    &program,
+                    &path,
+                    StreamConfig {
+                        window,
+                        lookahead: 128,
+                        cone_window: Some(128),
+                    },
+                );
+                let streamed = profiler
+                    .try_build_profile_streamed(&program, &mut stream)
+                    .expect("stream profiles");
+                assert_eq!(streamed, materialized, "window {window}");
             }
         }
     }

@@ -44,6 +44,7 @@ pub mod ids;
 pub mod params;
 pub mod path;
 pub mod program;
+pub mod stream;
 pub mod suite;
 pub mod sysfault;
 pub mod trace;
@@ -55,6 +56,9 @@ pub use ids::{BlockId, FuncId, InsnRef, InsnUid};
 pub use params::GenParams;
 pub use path::ExecutionPath;
 pub use program::{BasicBlock, Function, Layout, Program, TaggedInsn, Terminator};
+pub use stream::{
+    StreamConfig, StreamWindow, TraceStream, DEFAULT_LOOKAHEAD, DEFAULT_STREAM_WINDOW,
+};
 pub use suite::{AppSpec, Suite};
 pub use sysfault::{SysFault, SysFaultSpec, SysInjector, SysOp};
 pub use trace::{BranchOutcome, DynInsn, Trace, NO_DEP};

@@ -6,12 +6,12 @@
 //! and records branch outcomes. The result is the flat format every timing
 //! and profiling component consumes.
 
-use critic_isa::{FuKind, Opcode};
+use critic_isa::{FuKind, Insn, Opcode};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{InsnRef, InsnUid};
 use crate::path::ExecutionPath;
-use crate::program::Program;
+use crate::program::{Layout, Program};
 
 /// Sentinel dependence slot value: no producer.
 pub const NO_DEP: u32 = u32::MAX;
@@ -108,111 +108,15 @@ impl Trace {
     pub fn expand_into(program: &Program, path: &ExecutionPath, out: &mut Trace) {
         out.name.clear();
         out.name.push_str(&program.name);
-        let layout = program.layout();
         let entries = &mut out.entries;
         entries.clear();
         entries.reserve(path.dyn_insns(program));
-        // Last dynamic writer of each architected register, plus the flags.
-        let mut last_writer = [NO_DEP; 16];
-        let mut flags_writer = NO_DEP;
-        // Per-uid visit counters drive the memory address streams. Uids are
-        // dense program-wide indices, so a lazily-grown flat vector replaces
-        // hashing on this hottest expansion path.
-        let mut visits: Vec<u64> = Vec::new();
-
-        for (step, &bid) in path.blocks.iter().enumerate() {
-            let block = program.block(bid);
-            let next_block_pc = path
-                .blocks
-                .get(step + 1)
-                .map(|&next| layout.block_addr(next));
-            let last_index = block.insns.len().saturating_sub(1);
-            for (index, tagged) in block.insns.iter().enumerate() {
-                let insn = &tagged.insn;
-                let op = insn.op();
-                let idx = entries.len() as u32;
-                let pc = layout.insn_addr(InsnRef::new(bid, index as u32));
-
-                // Dependences: register sources, then flags for predicated
-                // instructions and conditional branches.
-                let mut deps = [NO_DEP; 3];
-                let mut nd = 0usize;
-                for src in insn.srcs().iter() {
-                    let producer = last_writer[src.index() as usize];
-                    if producer != NO_DEP && !deps[..nd].contains(&producer) && nd < 3 {
-                        deps[nd] = producer;
-                        nd += 1;
-                    }
-                }
-                if insn.is_predicated()
-                    && flags_writer != NO_DEP
-                    && nd < 3
-                    && !deps[..nd].contains(&flags_writer)
-                {
-                    deps[nd] = flags_writer;
-                }
-
-                // Memory address stream, keyed on the stable uid.
-                let mem_addr = if op.is_mem() {
-                    let slot = tagged.uid.0 as usize;
-                    if visits.len() <= slot {
-                        visits.resize(slot + 1, 0);
-                    }
-                    let hinted = program.load_hints.contains(&tagged.uid.0);
-                    let addr = mem_address(&program.mem, tagged.uid, visits[slot], hinted);
-                    visits[slot] += 1;
-                    Some(addr)
-                } else {
-                    None
-                };
-
-                // Branch outcome.
-                let branch = if op.is_branch() {
-                    let fallthrough_pc = pc + insn.fetch_bytes();
-                    if index == last_index {
-                        match next_block_pc {
-                            Some(target_pc) => Some(BranchOutcome {
-                                taken: target_pc != fallthrough_pc,
-                                target_pc,
-                            }),
-                            None => Some(BranchOutcome {
-                                taken: false,
-                                target_pc: fallthrough_pc,
-                            }),
-                        }
-                    } else {
-                        // Mid-block branch: a compiler-inserted format-switch
-                        // branch whose target is the next instruction
-                        // (paper Sec. IV-A).
-                        Some(BranchOutcome {
-                            taken: true,
-                            target_pc: fallthrough_pc,
-                        })
-                    }
-                } else {
-                    None
-                };
-
-                entries.push(DynInsn {
-                    uid: tagged.uid,
-                    at: InsnRef::new(bid, index as u32),
-                    pc,
-                    op,
-                    bytes: insn.fetch_bytes() as u8,
-                    predicated: insn.is_predicated(),
-                    deps,
-                    mem_addr,
-                    branch,
-                });
-
-                // Update writer tables.
-                if let Some(dst) = insn.dst() {
-                    last_writer[dst.index() as usize] = idx;
-                }
-                if matches!(op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp) {
-                    flags_writer = idx;
-                }
-            }
+        // The materialized expansion and the streaming expansion
+        // ([`crate::stream::TraceStream`]) share one cursor, so they are
+        // identical entry-for-entry by construction.
+        let mut cursor = ExpandCursor::new(program, path);
+        while let Some(entry) = cursor.next() {
+            entries.push(entry);
         }
     }
 
@@ -263,10 +167,7 @@ impl Trace {
                     fanout[dep as usize] += 1;
                 }
             }
-            is_compare[i] = matches!(
-                entry.op,
-                Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp
-            );
+            is_compare[i] = sets_flags(entry.op);
         }
     }
 
@@ -339,6 +240,182 @@ impl<'a> IntoIterator for &'a Trace {
 
     fn into_iter(self) -> Self::IntoIter {
         self.entries.iter()
+    }
+}
+
+/// Whether `op` is a flag-setting compare (produces no forwardable value;
+/// its predication readers are control, not dataflow).
+#[inline]
+pub(crate) fn sets_flags(op: Opcode) -> bool {
+    matches!(op, Opcode::Cmp | Opcode::Cmn | Opcode::Tst | Opcode::Vcmp)
+}
+
+/// Resolves one instruction's dependence slots against the current
+/// last-writer tables: register sources first, then the flags producer for
+/// predicated instructions and conditional branches. Shared verbatim by the
+/// materialized expansion, the streaming expansion, and the streaming
+/// fanout prepass, so all three resolve identical edges (including the
+/// dedupe and the 3-slot truncation quirks).
+#[inline]
+pub(crate) fn resolve_deps(insn: &Insn, last_writer: &[u32; 16], flags_writer: u32) -> [u32; 3] {
+    let mut deps = [NO_DEP; 3];
+    let mut nd = 0usize;
+    for src in insn.srcs().iter() {
+        let producer = last_writer[src.index() as usize];
+        if producer != NO_DEP && !deps[..nd].contains(&producer) && nd < 3 {
+            deps[nd] = producer;
+            nd += 1;
+        }
+    }
+    if insn.is_predicated()
+        && flags_writer != NO_DEP
+        && nd < 3
+        && !deps[..nd].contains(&flags_writer)
+    {
+        deps[nd] = flags_writer;
+    }
+    deps
+}
+
+/// The single-instruction expansion state machine both trace producers
+/// drive: [`Trace::expand_into`] materializes every yielded entry,
+/// [`crate::stream::TraceStream`] holds only a bounded ring of them.
+///
+/// The cursor owns all expansion state — last-writer tables, per-uid memory
+/// visit counters, and the block/instruction position — so one `next` call
+/// yields exactly the entry the materialized loop would have pushed next.
+pub(crate) struct ExpandCursor<'a> {
+    program: &'a Program,
+    path: &'a ExecutionPath,
+    layout: Layout,
+    // Last dynamic writer of each architected register, plus the flags.
+    last_writer: [u32; 16],
+    flags_writer: u32,
+    // Per-uid visit counters drive the memory address streams. Uids are
+    // dense program-wide indices, so a lazily-grown flat vector replaces
+    // hashing on this hottest expansion path.
+    visits: Vec<u64>,
+    step: usize,
+    index: usize,
+    next_block_pc: Option<u64>,
+    emitted: u32,
+}
+
+impl<'a> ExpandCursor<'a> {
+    pub(crate) fn new(program: &'a Program, path: &'a ExecutionPath) -> ExpandCursor<'a> {
+        let layout = program.layout();
+        let next_block_pc = path.blocks.get(1).map(|&next| layout.block_addr(next));
+        ExpandCursor {
+            program,
+            path,
+            layout,
+            last_writer: [NO_DEP; 16],
+            flags_writer: NO_DEP,
+            visits: Vec::new(),
+            step: 0,
+            index: 0,
+            next_block_pc,
+            emitted: 0,
+        }
+    }
+
+    /// Bytes resident in the cursor's own state (the visit counters are
+    /// O(static program), not O(trace)).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.visits.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Yields the next dynamic instruction, or `None` once the path is
+    /// exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub(crate) fn next(&mut self) -> Option<DynInsn> {
+        loop {
+            let &bid = self.path.blocks.get(self.step)?;
+            let block = self.program.block(bid);
+            if self.index >= block.insns.len() {
+                self.step += 1;
+                self.index = 0;
+                self.next_block_pc = self
+                    .path
+                    .blocks
+                    .get(self.step + 1)
+                    .map(|&next| self.layout.block_addr(next));
+                continue;
+            }
+            let last_index = block.insns.len() - 1;
+            let index = self.index;
+            let tagged = &block.insns[index];
+            let insn = &tagged.insn;
+            let op = insn.op();
+            let idx = self.emitted;
+            let pc = self.layout.insn_addr(InsnRef::new(bid, index as u32));
+
+            let deps = resolve_deps(insn, &self.last_writer, self.flags_writer);
+
+            // Memory address stream, keyed on the stable uid.
+            let mem_addr = if op.is_mem() {
+                let slot = tagged.uid.0 as usize;
+                if self.visits.len() <= slot {
+                    self.visits.resize(slot + 1, 0);
+                }
+                let hinted = self.program.load_hints.contains(&tagged.uid.0);
+                let addr = mem_address(&self.program.mem, tagged.uid, self.visits[slot], hinted);
+                self.visits[slot] += 1;
+                Some(addr)
+            } else {
+                None
+            };
+
+            // Branch outcome.
+            let branch = if op.is_branch() {
+                let fallthrough_pc = pc + insn.fetch_bytes();
+                if index == last_index {
+                    match self.next_block_pc {
+                        Some(target_pc) => Some(BranchOutcome {
+                            taken: target_pc != fallthrough_pc,
+                            target_pc,
+                        }),
+                        None => Some(BranchOutcome {
+                            taken: false,
+                            target_pc: fallthrough_pc,
+                        }),
+                    }
+                } else {
+                    // Mid-block branch: a compiler-inserted format-switch
+                    // branch whose target is the next instruction
+                    // (paper Sec. IV-A).
+                    Some(BranchOutcome {
+                        taken: true,
+                        target_pc: fallthrough_pc,
+                    })
+                }
+            } else {
+                None
+            };
+
+            let entry = DynInsn {
+                uid: tagged.uid,
+                at: InsnRef::new(bid, index as u32),
+                pc,
+                op,
+                bytes: insn.fetch_bytes() as u8,
+                predicated: insn.is_predicated(),
+                deps,
+                mem_addr,
+                branch,
+            };
+
+            // Update writer tables.
+            if let Some(dst) = insn.dst() {
+                self.last_writer[dst.index() as usize] = idx;
+            }
+            if sets_flags(op) {
+                self.flags_writer = idx;
+            }
+            self.emitted += 1;
+            self.index += 1;
+            return Some(entry);
+        }
     }
 }
 

@@ -108,16 +108,16 @@ fn fig13_speedup_table_matches_golden() {
 
 /// Per-(app, scheme) [`SimResult`] and [`CycleLedger`] snapshot for the
 /// data-oriented/batched engine, with the scalar reference run in the loop
-/// as an oracle: every row is asserted bit-identical across all three
-/// paths (reference walk, data-oriented core, lockstep batch) *before* it
-/// is rendered, so the fixture can only ever record numbers all engines
-/// agree on — and any legitimate change to the model shows up as an exact
-/// integer diff in review.
+/// as an oracle: every row is asserted bit-identical across all four
+/// paths (reference walk, data-oriented core, lockstep batch, and the
+/// chunked streaming front-end) *before* it is rendered, so the fixture
+/// can only ever record numbers all engines agree on — and any legitimate
+/// change to the model shows up as an exact integer diff in review.
 #[test]
 fn sim_engine_snapshot_matches_golden() {
     use critics::core::{campaign::default_schemes, DesignPoint, Workbench};
-    use critics::pipeline::{BatchSimulator, SimScratch, Simulator};
-    use critics::workloads::{Suite, Trace};
+    use critics::pipeline::{BatchSimulator, SimScratch, Simulator, StreamScratch};
+    use critics::workloads::{StreamConfig, Suite, Trace, TraceStream};
 
     let apps: Vec<_> = Suite::Mobile.apps().into_iter().take(APPS).collect();
     let mut out = String::new();
@@ -128,6 +128,7 @@ fn sim_engine_snapshot_matches_golden() {
         let base_fanout = wb.baseline_fanout().to_vec();
         let mut batch = BatchSimulator::new();
         let mut scratch = SimScratch::new();
+        let mut stream_scratch = StreamScratch::new();
         // Baseline plus every default scheme, plus one hardware-only
         // point (2xFD) to pin the config-sensitive baseline replay.
         let mut points = vec![("baseline".to_string(), DesignPoint::baseline())];
@@ -135,13 +136,13 @@ fn sim_engine_snapshot_matches_golden() {
         points.push(("hw-2xfd".to_string(), DesignPoint::double_fd()));
         for (name, point) in points {
             let is_baseline = matches!(point.software, critics::core::Software::Baseline);
-            let (trace, fanout) = if is_baseline {
-                (base_trace.clone(), base_fanout.clone())
+            let (program, trace, fanout) = if is_baseline {
+                (wb.program.clone(), base_trace.clone(), base_fanout.clone())
             } else {
                 let (program, _pass) = wb.try_variant(&point.software).expect("variant");
                 let trace = Trace::expand(&program, &wb.path);
                 let fanout = trace.compute_fanout();
-                (trace, fanout)
+                (program, trace, fanout)
             };
             let sim = Simulator::new(point.cpu_config(), point.mem_config());
             let (res_ref, led_ref) = sim.run_reference(&trace, &fanout);
@@ -168,6 +169,16 @@ fn sim_engine_snapshot_matches_golden() {
             assert_eq!(
                 led_bat, led_ref,
                 "{}/{name}: batched ledger diverges",
+                app.name
+            );
+            // Fourth engine: the bounded-memory streaming front-end,
+            // re-expanding (program, path) in 512-instruction windows.
+            let mut stream = TraceStream::new(&program, &wb.path, StreamConfig::with_window(512));
+            let (res_str, led_str, _) = sim.run_streamed(&mut stream, &mut stream_scratch);
+            assert_eq!(res_str, res_ref, "{}/{name}: streamed diverges", app.name);
+            assert_eq!(
+                led_str, led_ref,
+                "{}/{name}: streamed ledger diverges",
                 app.name
             );
             writeln!(
@@ -197,6 +208,93 @@ fn sim_engine_snapshot_matches_golden() {
         }
     }
     assert_matches_golden("engines.golden", &out);
+}
+
+/// Per-(app, scheme, window) snapshot of the streaming pipeline: each row
+/// is rendered only after the streamed run was asserted bit-identical to
+/// the materialized data-oriented run on both result and ledger, so the
+/// fixture records window-invariance as reviewable fact — every window of
+/// the same (app, scheme) must print the same numbers, and a windowing
+/// bug shows up as an exact integer diff.
+#[test]
+fn stream_snapshot_matches_golden() {
+    use critics::core::{campaign::default_schemes, DesignPoint, Workbench};
+    use critics::pipeline::{SimScratch, Simulator, StreamScratch};
+    use critics::workloads::{StreamConfig, Suite, Trace, TraceStream};
+
+    const WINDOWS: [usize; 3] = [64, 4_096, 2 * TRACE_LEN];
+
+    let apps: Vec<_> = Suite::Mobile.apps().into_iter().take(APPS).collect();
+    let mut out = String::new();
+    writeln!(out, "stream trace_len={TRACE_LEN} apps={APPS}").unwrap();
+    let mut scratch = SimScratch::new();
+    let mut stream_scratch = StreamScratch::new();
+    for app in &apps {
+        let mut wb = Workbench::try_new(app, TRACE_LEN).expect("workbench");
+        let mut points = vec![("baseline".to_string(), DesignPoint::baseline())];
+        points.extend(default_schemes().into_iter().map(|s| (s.name, s.point)));
+        for (name, point) in points {
+            let is_baseline = matches!(point.software, critics::core::Software::Baseline);
+            let (program, trace, fanout) = if is_baseline {
+                let trace = wb.baseline_trace().clone();
+                let fanout = wb.baseline_fanout().to_vec();
+                (wb.program.clone(), trace, fanout)
+            } else {
+                let (program, _pass) = wb.try_variant(&point.software).expect("variant");
+                let trace = Trace::expand(&program, &wb.path);
+                let fanout = trace.compute_fanout();
+                (program, trace, fanout)
+            };
+            let sim = Simulator::new(point.cpu_config(), point.mem_config());
+            let (mat, mat_ledger) = sim.run_with_ledger(&trace, &fanout, &mut scratch);
+            mat_ledger
+                .check(mat.cycles)
+                .expect("ledger partitions the run");
+            for window in WINDOWS {
+                let mut stream =
+                    TraceStream::new(&program, &wb.path, StreamConfig::with_window(window));
+                let (streamed, streamed_ledger, stats) =
+                    sim.run_streamed(&mut stream, &mut stream_scratch);
+                assert_eq!(
+                    streamed, mat,
+                    "{}/{name} w={window}: streamed diverges",
+                    app.name
+                );
+                assert_eq!(
+                    streamed_ledger, mat_ledger,
+                    "{}/{name} w={window}: streamed ledger diverges",
+                    app.name
+                );
+                writeln!(
+                    out,
+                    "{:12} {:14} window {:5} cycles {} committed {} thumb {} misp {} \
+                     icm {} dcm {} | i {} br {} bp {} dec {} iss {} exe {} mem {} com {} \
+                     idle {}",
+                    app.name,
+                    name,
+                    window,
+                    streamed.cycles,
+                    streamed.committed,
+                    streamed.thumb_fetched,
+                    streamed.bpu.mispredicts,
+                    streamed.mem.icache.misses,
+                    streamed.mem.dcache.misses,
+                    streamed_ledger.fetch_stall_icache,
+                    streamed_ledger.fetch_stall_branch,
+                    streamed_ledger.fetch_stall_backpressure,
+                    streamed_ledger.decode,
+                    streamed_ledger.issue,
+                    streamed_ledger.execute,
+                    streamed_ledger.mem,
+                    streamed_ledger.commit,
+                    streamed_ledger.squash_idle,
+                )
+                .unwrap();
+                assert_eq!(stats.ring_capacity.count_ones(), 1, "pow2 ring");
+            }
+        }
+    }
+    assert_matches_golden("stream.golden", &out);
 }
 
 /// The cycle ledger itself is part of the snapshot: exact per-bucket

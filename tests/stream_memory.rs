@@ -1,0 +1,134 @@
+//! Memory-regression battery for the streaming trace pipeline: the same
+//! long-trace allocation budget that kills a materialized campaign cell
+//! admits a streamed one, and the streaming simulator's *measured* peak is
+//! bounded by the window, not the trace.
+//!
+//! The campaign half rides the existing [`SysFault::AllocBudget`] meter:
+//! `run_cell_body` charges each attempt's dominant allocations against the
+//! injected budget (O(trace) bytes on the materialized path, O(window) on
+//! the streamed one), so a budget between the two footprints is a hard
+//! regression tripwire — if streaming ever rematerializes the trace, the
+//! charge model says so and the streamed cell starts failing here.
+
+use std::sync::Arc;
+
+use critics::core::campaign::{run_campaign, CampaignSpec, CellStatus, Scheme};
+use critics::core::design::DesignPoint;
+use critics::core::error::RunError;
+use critics::mem::MemConfig;
+use critics::pipeline::{CpuConfig, Simulator, StreamScratch};
+use critics::workloads::suite::Suite;
+use critics::workloads::{
+    AppSpec, ExecutionPath, StreamConfig, SysFault, SysFaultSpec, SysInjector, TraceStream,
+    DEFAULT_LOOKAHEAD,
+};
+
+/// Long enough that the materialized footprint dwarfs every windowed one:
+/// the charges are 64 B/insn for expansion plus 2 × 16 B/insn for the two
+/// simulations — ~11.5 MB here — while a 4 Ki window charges ~0.5 MB.
+const LONG_TRACE: usize = 120_000;
+
+/// Between the streamed footprint (~0.5 MB) and the materialized one
+/// (~11.5 MB), with an order of magnitude of slack on both sides.
+const BUDGET_BYTES: u64 = 2_000_000;
+
+const WINDOW: usize = 4_096;
+
+fn one_cell_spec(stream_window: Option<usize>) -> CampaignSpec {
+    let mut app: AppSpec = Suite::Mobile.apps().remove(0);
+    // A small static program keeps world generation fast; the *dynamic*
+    // trace stays long, which is what the budget meters.
+    app.params.num_functions = 16;
+    let mut spec = CampaignSpec::new(
+        vec![app],
+        vec![Scheme::new("critic", DesignPoint::critic())],
+        LONG_TRACE,
+    );
+    spec.workers = 1;
+    spec.stream_window = stream_window;
+    spec.sys = Some(Arc::new(SysInjector::new(vec![SysFaultSpec {
+        fault: SysFault::AllocBudget {
+            bytes: BUDGET_BYTES,
+        },
+        at: 0,
+    }])));
+    spec
+}
+
+/// The materialized path charges O(trace) bytes and blows the budget.
+#[test]
+fn materialized_long_trace_blows_the_alloc_budget() {
+    let summary = run_campaign(&one_cell_spec(None)).expect("campaign runs");
+    let record = &summary.records[0];
+    assert_eq!(record.status, CellStatus::Failed, "{}", summary.render());
+    match &record.error {
+        Some(RunError::Sys(SysFault::AllocBudget { bytes })) => {
+            assert_eq!(*bytes, BUDGET_BYTES)
+        }
+        other => panic!("expected an AllocBudget failure, got {other:?}"),
+    }
+}
+
+/// The streamed path charges O(window) bytes and sails under the same
+/// budget — producing a real result, not a degraded one.
+#[test]
+fn streamed_long_trace_fits_the_same_alloc_budget() {
+    let summary = run_campaign(&one_cell_spec(Some(WINDOW))).expect("campaign runs");
+    let record = &summary.records[0];
+    assert_eq!(record.status, CellStatus::Ok, "{}", summary.render());
+    assert_eq!(record.attempts, 1, "no retry/degradation was needed");
+    let metrics = record.metrics.as_ref().expect("ok cell has metrics");
+    assert!(metrics.dyn_insns >= LONG_TRACE / 2, "{metrics:?}");
+}
+
+/// The streamed and materialized campaign cells agree on the metrics when
+/// the budget is not in the way: same speedup, energy, and instruction
+/// counts, bit for bit.
+#[test]
+fn streamed_campaign_cell_is_bit_identical_to_materialized() {
+    let mut materialized = one_cell_spec(None);
+    materialized.sys = None;
+    let mut streamed = one_cell_spec(Some(WINDOW));
+    streamed.sys = None;
+    let a = run_campaign(&materialized).expect("materialized campaign");
+    let b = run_campaign(&streamed).expect("streamed campaign");
+    assert!(a.all_ok() && b.all_ok());
+    assert_eq!(
+        a.records[0].metrics, b.records[0].metrics,
+        "streaming changed a campaign cell's results"
+    );
+}
+
+/// The measured peak of a streamed long-trace simulation sits under a hard
+/// window-derived byte ceiling, far below what materializing the same
+/// trace costs — the direct (non-charge-model) half of the regression
+/// tripwire.
+#[test]
+fn streamed_peak_bytes_are_window_bounded_not_trace_bounded() {
+    let mut app: AppSpec = Suite::Mobile.apps().remove(0);
+    app.params.num_functions = 16;
+    let program = app.generate_program();
+    let path = ExecutionPath::generate(&program, app.path_seed(), LONG_TRACE);
+    let sim = Simulator::new(CpuConfig::google_tablet(), MemConfig::google_tablet());
+    let mut scratch = StreamScratch::new();
+    let mut stream = TraceStream::new(&program, &path, StreamConfig::with_window(WINDOW));
+    let (result, ledger, stats) = sim.run_streamed(&mut stream, &mut scratch);
+    ledger.check(result.cycles).expect("ledger partitions");
+
+    // The same fixed O(window) ceiling `critic bench` gates on: 2 KiB per
+    // (window + look-ahead) slot, independent of the trace length.
+    let ceiling = ((WINDOW + DEFAULT_LOOKAHEAD) * 2048) as u64;
+    let peak = stats.peak_resident_bytes as u64;
+    assert!(
+        peak <= ceiling,
+        "streamed peak {peak} B exceeds the O(window) ceiling {ceiling} B"
+    );
+    // Materializing holds ~164 B per dynamic instruction (entries plus
+    // decoded columns); the streamed peak must be far below that.
+    let materialized_estimate = (LONG_TRACE as u64) * 164;
+    assert!(
+        peak * 4 < materialized_estimate,
+        "streamed peak {peak} B is not clearly below the materialized \
+         footprint {materialized_estimate} B"
+    );
+}
