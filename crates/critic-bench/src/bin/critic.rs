@@ -15,9 +15,10 @@
 //! critic stats --journal FILE [--json] # telemetry roll-up of a campaign journal
 //! critic chaos --seed S [--cells N] [--smoke] [--minimize] [-o FILE]
 //! critic drill --points N [--seed S] [--smoke] [--minimize] [-o FILE]
-//! critic serve [--port N] [--workers N] [--queue N] [--rate N] [options]
-//! critic loadgen --addr HOST:PORT [--clients N] [--requests N] [--rate X]
-//! critic soak [--seconds N] [--clients N] [--sys SPEC]... [--smoke] [-o FILE]
+//! critic serve [--port N] [--workers N] [--queue N] [--rate N] [--shard N] [--peers A,B] [options]
+//! critic router --journal-dir DIR --store-dir DIR [--shards N] [options]
+//! critic loadgen --addr HOST:PORT [--addr HOST:PORT]... [--clients N] [--requests N] [--rate X] [--retries N]
+//! critic soak [--seconds N] [--clients N] [--sys SPEC]... [--shards N] [--smoke] [-o FILE]
 //! ```
 //!
 //! Schemes: critic (default), hoist, ideal, branch-switch, opp16, compress,
@@ -36,10 +37,11 @@
 //! | 6 | campaign finished with failed cells |
 //! | 7 | translation validation failed (divergence survived demotion) |
 //! | 8 | bench regression (warm-store speedup below the floor) |
-//! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) — also `critic serve` after a graceful drain |
+//! | 9 | campaign interrupted by graceful shutdown (shed cells; resume to finish) — also `critic serve` / `critic router` after a graceful drain |
 //! | 10 | chaos invariant violation (schedule JSON printed) |
 //! | 11 | recovery-drill invariant violation (durable-warm / no-lost-ack; repro JSON printed) |
 //! | 12 | service-soak invariant violation (no-lost-ack / bounded-queue / overload-sheds / graceful-drain; report JSON printed) |
+//! | 13 | sharded-soak invariant violation (no-lost-ack across shards / peer-rebuild / no-resimulation / bit-identical; report JSON printed) |
 
 use std::fmt;
 use std::time::Duration;
@@ -48,8 +50,9 @@ use critic_bench::chaos::{self, ChaosConfig};
 use critic_bench::drill::{self, DrillConfig};
 use critic_bench::loadgen::{self, LoadgenConfig};
 use critic_bench::perf::{self, BenchError, BenchSetup, ServiceBenchSetup};
+use critic_bench::router;
 use critic_bench::serve;
-use critic_bench::soak::{self, SoakConfig};
+use critic_bench::soak::{self, ShardedSoakConfig, SoakConfig};
 use std::sync::Arc;
 
 use critic_core::campaign::{self, CampaignSpec, CellStatus, PlannedFault, Scheme};
@@ -118,11 +121,19 @@ enum CliError {
         connections: u64,
         responded: u64,
     },
+    RouterDrained {
+        connections: u64,
+        forwarded: u64,
+        restarts: u64,
+    },
     ServiceRegression {
         p99_ms: f64,
         ceiling_ms: f64,
     },
     SoakViolation {
+        violations: usize,
+    },
+    ShardedSoakViolation {
         violations: usize,
     },
 }
@@ -161,11 +172,17 @@ impl CliError {
             // A drained server exits through the same code as an
             // interrupted campaign: "shut down gracefully, state intact".
             CliError::ServeDrained { .. } => 9,
+            // The router drains its whole fleet before exiting; same
+            // "graceful, state intact" contract as a single server.
+            CliError::RouterDrained { .. } => 9,
             // Service latency regressions share the bench-regression code.
             CliError::ServiceRegression { .. } => 8,
             // A soak violation means the *service* broke under load or
             // kill — the service-layer counterpart of chaos's code 10.
             CliError::SoakViolation { .. } => 12,
+            // The sharded soak gets its own code so CI can tell "one
+            // server broke" (12) apart from "the fleet broke" (13).
+            CliError::ShardedSoakViolation { .. } => 13,
         }
     }
 }
@@ -257,6 +274,17 @@ impl fmt::Display for CliError {
                      {responded} response(s) delivered)"
                 )
             }
+            CliError::RouterDrained {
+                connections,
+                forwarded,
+                restarts,
+            } => {
+                write!(
+                    f,
+                    "router drained its fleet gracefully ({connections} connection(s), \
+                     {forwarded} submission(s) forwarded, {restarts} shard restart(s))"
+                )
+            }
             CliError::ServiceRegression { p99_ms, ceiling_ms } => {
                 write!(
                     f,
@@ -267,6 +295,12 @@ impl fmt::Display for CliError {
                 write!(
                     f,
                     "service soak broke {violations} invariant(s); report JSON printed above"
+                )
+            }
+            CliError::ShardedSoakViolation { violations } => {
+                write!(
+                    f,
+                    "sharded soak broke {violations} invariant(s); report JSON printed above"
                 )
             }
         }
@@ -303,7 +337,7 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 fn usage() -> CliError {
     CliError::Usage(
         "usage: critic <list|profile|compile|run|validate|disasm|campaign|bench|stats|chaos|\
-         drill|serve|loadgen|soak> [app] [options]"
+         drill|serve|router|loadgen|soak> [app] [options]"
             .to_string(),
     )
 }
@@ -489,6 +523,7 @@ fn run_cli(args: &[String]) -> Result<(), CliError> {
         "chaos" => run_chaos_command(args),
         "drill" => run_drill_command(args),
         "serve" => run_serve_command(args),
+        "router" => run_router_command(args),
         "loadgen" => run_loadgen_command(args),
         "soak" => run_soak_command(args),
         other => Err(CliError::Usage(format!(
@@ -921,13 +956,21 @@ fn run_service_bench_command(args: &[String]) -> Result<(), CliError> {
 /// [--deadline-ms N] [--queue N] [--watermarks A,B,C] [--rate N]
 /// [--burst N] [--window N] [--breaker K] [--journal FILE]
 /// [--segment-lines N] [--store-dir DIR] [--store-budget BYTES]
-/// [--run-tag N] [--stats] [--sys NAME[:PARAM]@AT]...`
+/// [--stream-window N] [--run-tag N] [--shard N] [--peers A,B,..]
+/// [--stats] [--sys NAME[:PARAM]@AT]...`
 ///
 /// The long-lived campaign service over line-delimited JSON on TCP.
 /// Prints `listening on 127.0.0.1:PORT` once bound (`--port 0` picks an
 /// ephemeral port a supervising parent reads back). Drains gracefully on
 /// `SIGTERM` or a wire `{"shutdown":true}` — finishes in-flight cells,
 /// checkpoints the journal — and exits through code 9.
+///
+/// `--stream-window N` makes every worker simulate through the chunked
+/// streaming pipeline at O(window) memory. `--shard N` stamps the server's
+/// stats and heartbeat replies with its position in a router's fleet, and
+/// `--peers A,B` pulls missing profile/baseline artifacts from those
+/// addresses into the local store *before* binding — a restarted shard
+/// comes back disk-warm without re-simulating anything.
 fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
         match arg_after(args, flag) {
@@ -983,6 +1026,14 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     config.store_dir = arg_after(args, "--store-dir").map(std::path::PathBuf::from);
     config.store_budget = parse_num("--store-budget")?;
     config.run_tag = parse_num("--run-tag")?;
+    config.stream_window = match parse_num("--stream-window")? {
+        Some(0) => {
+            return Err(CliError::Usage(
+                "--stream-window must be at least 1".to_string(),
+            ))
+        }
+        other => other.map(|n| n as usize),
+    };
     if args.iter().any(|a| a == "--stats") {
         config.telemetry = critic_obs::Telemetry::enabled();
     }
@@ -999,10 +1050,32 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
         config.sys = Some(Arc::new(SysInjector::new(sys_specs)));
     }
     let port = parse_num("--port")?.map(|n| n as u16).unwrap_or(0);
+    let ctx = serve::ShardContext {
+        shard: parse_num("--shard")?,
+        ..serve::ShardContext::default()
+    };
+    let peers: Vec<String> = arg_after(args, "--peers")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
 
     sigterm::install();
     let service = critic_core::service::CampaignService::open(config)?;
-    let summary = serve::run_serve(port, &service)
+    if !peers.is_empty() {
+        // Rebuild before binding: by the time the banner prints (and a
+        // supervising router marks this shard up), the store is disk-warm.
+        let rebuild = serve::rebuild_from_peers(service.store(), &peers, &ctx.fetched_artifacts);
+        eprintln!(
+            "peer rebuild: {} peer(s) consulted, {} artifact(s) fetched, {} rejected",
+            rebuild.peers_consulted, rebuild.fetched, rebuild.rejected
+        );
+    }
+    let summary = serve::run_serve(port, &service, &ctx)
         .map_err(|e| CliError::Io(format!("cannot bind server: {e}")))?;
     // A graceful drain is the server's one way out; code 9 tells the
     // supervisor "state intact, journal checkpointed".
@@ -1012,21 +1085,20 @@ fn run_serve_command(args: &[String]) -> Result<(), CliError> {
     })
 }
 
-/// `critic loadgen --addr HOST:PORT [--clients N] [--requests N]
-/// [--rate X] [--seed N] [--deadline-ms N] [--json] [-o FILE]`
+/// `critic router --journal-dir DIR --store-dir DIR [--port N]
+/// [--shards N] [--vnodes N] [--heartbeat-ms N] [--backoff-ms N]
+/// [--backoff-cap-ms N] [serve flags forwarded to every shard...]`
 ///
-/// Open-loop load against a running `critic serve`: N concurrent clients
-/// each sending `--requests` submissions from a seeded app × scheme mix at
-/// `--rate` per second, reporting latency percentiles, reject/shed counts,
-/// and degradation occupancy.
-fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
-    let Some(addr) = arg_after(args, "--addr") else {
-        return Err(CliError::Usage(
-            "usage: critic loadgen --addr HOST:PORT [--clients N] [--requests N] [--rate X] \
-             [--seed N] [--deadline-ms N] [--json] [-o FILE]"
-                .to_string(),
-        ));
-    };
+/// The sharded front tier: binds the client-facing listener, spawns
+/// `--shards` `critic serve` children (shard `i` journals to
+/// `DIR/shard-i.jsonl` and stores under `DIR/shard-i`), places every
+/// submission on the consistent-hash ring keyed on the cell's stable
+/// placement key, and supervises the fleet — heartbeats, restarts with
+/// exponential backoff and peer rebuild, reroutes to ring successors
+/// while a shard is down. Prints `listening on 127.0.0.1:PORT` once
+/// bound. Drains the whole fleet on `SIGTERM` or `{"shutdown":true}` and
+/// exits through code 9.
+fn run_router_command(args: &[String]) -> Result<(), CliError> {
     let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
         match arg_after(args, flag) {
             None => Ok(None),
@@ -1036,7 +1108,128 @@ fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
                 .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
         }
     };
-    let mut config = LoadgenConfig::new(&addr);
+    let Some(journal_dir) = arg_after(args, "--journal-dir") else {
+        return Err(CliError::Usage(
+            "usage: critic router --journal-dir DIR --store-dir DIR [--shards N] [options]"
+                .to_string(),
+        ));
+    };
+    let Some(store_dir) = arg_after(args, "--store-dir") else {
+        return Err(CliError::Usage(
+            "critic router requires --store-dir DIR (each shard stores under DIR/shard-N)"
+                .to_string(),
+        ));
+    };
+    let binary = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("cannot locate own binary: {e}")))?;
+    let mut config = router::RouterConfig::new(
+        binary,
+        std::path::PathBuf::from(journal_dir),
+        std::path::PathBuf::from(store_dir),
+    );
+    config.port = parse_num("--port")?.map(|n| n as u16).unwrap_or(0);
+    if let Some(n) = parse_num("--shards")? {
+        if n == 0 {
+            return Err(CliError::Usage("--shards must be at least 1".to_string()));
+        }
+        config.shards = n as u32;
+    }
+    if let Some(n) = parse_num("--vnodes")? {
+        if n == 0 {
+            return Err(CliError::Usage("--vnodes must be at least 1".to_string()));
+        }
+        config.vnodes = n as u32;
+    }
+    if let Some(n) = parse_num("--heartbeat-ms")? {
+        config.heartbeat_ms = n.max(10);
+    }
+    if let Some(n) = parse_num("--backoff-ms")? {
+        config.backoff_base_ms = n.max(1);
+    }
+    if let Some(n) = parse_num("--backoff-cap-ms")? {
+        config.backoff_cap_ms = n.max(config.backoff_base_ms);
+    }
+    // Everything a shard understands is forwarded verbatim; the router
+    // appends the per-shard --port/--shard/--journal/--store-dir itself.
+    for flag in [
+        "--trace-len",
+        "--workers",
+        "--deadline-ms",
+        "--queue",
+        "--watermarks",
+        "--rate",
+        "--burst",
+        "--window",
+        "--breaker",
+        "--segment-lines",
+        "--store-budget",
+        "--stream-window",
+    ] {
+        if let Some(value) = arg_after(args, flag) {
+            config.shard_args.push(flag.to_string());
+            config.shard_args.push(value);
+        }
+    }
+    for flag in ["--validate", "--stats"] {
+        if args.iter().any(|a| a == flag) {
+            config.shard_args.push(flag.to_string());
+        }
+    }
+
+    sigterm::install();
+    let summary = router::run_router(config)
+        .map_err(|e| CliError::Io(format!("cannot start router: {e}")))?;
+    Err(CliError::RouterDrained {
+        connections: summary.connections,
+        forwarded: summary.stats.forwarded,
+        restarts: summary.stats.restarts,
+    })
+}
+
+/// `critic loadgen --addr HOST:PORT [--addr HOST:PORT]... [--clients N]
+/// [--requests N] [--rate X] [--retries N] [--seed N] [--deadline-ms N]
+/// [--json] [-o FILE]`
+///
+/// Open-loop load against a running `critic serve` (or `critic router`):
+/// N concurrent clients each sending `--requests` submissions from a
+/// seeded app × scheme mix at `--rate` per second, reporting latency
+/// percentiles, reject/shed counts, and degradation occupancy. `--addr`
+/// repeats: client `i` connects to address `i mod len`. `--retries N`
+/// resubmits each rejected cell up to N times, honoring the server's
+/// `retry_after_ms` hint when one is given (a blind 10 ms backoff
+/// otherwise); the report counts hinted vs blind retries separately.
+fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
+    let addrs: Vec<String> = {
+        let mut addrs = Vec::new();
+        let mut idx = 0;
+        while let Some(pos) = args[idx..].iter().position(|a| a == "--addr") {
+            idx += pos + 1;
+            let Some(value) = args.get(idx) else {
+                return Err(CliError::Usage("--addr expects HOST:PORT".to_string()));
+            };
+            addrs.push(value.clone());
+        }
+        addrs
+    };
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "usage: critic loadgen --addr HOST:PORT [--addr HOST:PORT]... [--clients N] \
+             [--requests N] [--rate X] [--retries N] [--seed N] [--deadline-ms N] [--json] \
+             [-o FILE]"
+                .to_string(),
+        ));
+    }
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+    let mut config = LoadgenConfig::new(&addrs[0]);
+    config.addrs = addrs;
     if let Some(n) = parse_num("--clients")? {
         config.clients = n as usize;
     }
@@ -1048,6 +1241,7 @@ fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
             .parse::<f64>()
             .map_err(|_| CliError::Usage(format!("--rate expects a number, got `{v}`")))?;
     }
+    config.retries = parse_num("--retries")?.map(|n| n as u32).unwrap_or(0);
     config.seed = parse_num("--seed")?.unwrap_or(0);
     config.deadline_ms = parse_num("--deadline-ms")?;
     let outcome = loadgen::run_loadgen(&config).map_err(bench_error)?;
@@ -1058,8 +1252,8 @@ fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
     } else {
         println!(
             "{} clients x {} requests: {} done ({} ok, {} shed, {} failed), {} rejected, \
-             {} unanswered | p50 {:.1} ms, p99 {:.1} ms, p999 {:.1} ms, max {:.1} ms | \
-             degraded {:?}",
+             {} unanswered | retries {} hinted / {} blind | p50 {:.1} ms, p99 {:.1} ms, \
+             p999 {:.1} ms, max {:.1} ms | degraded {:?}",
             outcome.report.clients,
             config.requests_per_client,
             outcome.report.done,
@@ -1068,6 +1262,8 @@ fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
             outcome.report.failed,
             outcome.report.rejected,
             outcome.report.unanswered,
+            outcome.report.hinted_retries,
+            outcome.report.blind_retries,
             outcome.report.p50_ms,
             outcome.report.p99_ms,
             outcome.report.p999_ms,
@@ -1085,12 +1281,23 @@ fn run_loadgen_command(args: &[String]) -> Result<(), CliError> {
 
 /// `critic soak [--seconds N] [--clients N] [--rate X] [--seed N]
 /// [--no-kill] [--smoke] [--sys NAME[:PARAM]@AT]... [--json] [-o FILE]`
+/// — or, with `--shards N` (N ≥ 2), the sharded fleet soak:
+/// `critic soak --shards N [--seconds N] [--clients N] [--rate X]
+/// [--seed N] [--max-p99-ms X] [--smoke] [--json] [-o FILE]`
 ///
 /// The supervised service soak: spawns a `critic serve` child under
 /// open-loop load and `--sys` fault noise, `SIGKILL`s it mid-load,
 /// audits no-lost-ack against the journal, restarts it, applies a 2×
 /// overload burst under a queue monitor, and drains it gracefully. Exit
 /// code 12 (report JSON printed) when any invariant broke.
+///
+/// The sharded variant spawns a `critic router` fleet instead,
+/// `SIGKILL`s one shard mid-load, and audits no-lost-ack across the
+/// union of shard journals, disk-warm restart via peer `fetch_artifact`
+/// (counter must be > 0), zero re-simulation of cells journaled Ok
+/// before the kill, bit-identical metrics against a single-process run
+/// of the same mix, and a graceful fleet drain. Exit code 13 on any
+/// violation.
 fn run_soak_command(args: &[String]) -> Result<(), CliError> {
     let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
         match arg_after(args, flag) {
@@ -1101,6 +1308,14 @@ fn run_soak_command(args: &[String]) -> Result<(), CliError> {
                 .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
         }
     };
+    if let Some(shards) = parse_num("--shards")? {
+        if shards < 2 {
+            return Err(CliError::Usage(
+                "--shards expects at least 2 (use plain `critic soak` for one server)".to_string(),
+            ));
+        }
+        return run_sharded_soak_command(args, shards as u32);
+    }
     let mut config = SoakConfig {
         smoke: args.iter().any(|a| a == "--smoke"),
         kill: !args.iter().any(|a| a == "--no-kill"),
@@ -1166,6 +1381,89 @@ fn run_soak_command(args: &[String]) -> Result<(), CliError> {
             );
         }
         Err(CliError::SoakViolation {
+            violations: report.violations.len(),
+        })
+    }
+}
+
+/// The `critic soak --shards N` body: configures and runs
+/// [`soak::run_sharded_soak`], then maps violations onto exit code 13.
+fn run_sharded_soak_command(args: &[String], shards: u32) -> Result<(), CliError> {
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        match arg_after(args, flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("{flag} expects a number, got `{v}`"))),
+        }
+    };
+    let mut config = ShardedSoakConfig {
+        shards,
+        smoke: args.iter().any(|a| a == "--smoke"),
+        ..ShardedSoakConfig::default()
+    };
+    if let Some(n) = parse_num("--seconds")? {
+        config.seconds = n;
+    }
+    if let Some(n) = parse_num("--clients")? {
+        config.clients = (n as usize).max(1);
+    }
+    if let Some(v) = arg_after(args, "--rate") {
+        config.rate = v
+            .parse::<f64>()
+            .map_err(|_| CliError::Usage(format!("--rate expects a number, got `{v}`")))?;
+    }
+    config.seed = parse_num("--seed")?.unwrap_or(0);
+    config.max_p99_ms =
+        match arg_after(args, "--max-p99-ms") {
+            None => None,
+            Some(v) => Some(v.parse::<f64>().map_err(|_| {
+                CliError::Usage(format!("--max-p99-ms expects a number, got `{v}`"))
+            })?),
+        };
+
+    let report = soak::run_sharded_soak(&config).map_err(bench_error)?;
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Io(format!("cannot serialise sharded soak report: {e}")))?;
+    if let Some(path) = arg_after(args, "-o") {
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    if report.ok() {
+        if args.iter().any(|a| a == "--json") {
+            println!("{json}");
+        } else {
+            println!(
+                "sharded soak: shard {} SIGKILLed; {} acked before the kill, all preserved \
+                 across {} journals; restarted disk-warm ({} artifacts fetched from peers, \
+                 0 re-simulations); {} in-flight redispatched; {} / {} cells bit-identical \
+                 to a single-process run; failover p99 {:.1} ms; router exited {}",
+                report.killed_shard.unwrap_or_default(),
+                report.acked_before_kill,
+                shards,
+                report.fetched_artifacts,
+                report.redispatched,
+                report.oracle_compared,
+                report.oracle_compared,
+                report.failover_p99_ms,
+                report
+                    .router_exit_code
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "by signal".to_string()),
+            );
+        }
+        Ok(())
+    } else {
+        println!("{json}");
+        for v in &report.violations {
+            eprintln!(
+                "critic: sharded soak invariant `{}` broken: {}",
+                v.invariant, v.detail
+            );
+        }
+        Err(CliError::ShardedSoakViolation {
             violations: report.violations.len(),
         })
     }
@@ -1386,22 +1684,95 @@ struct CellPhases {
     sim_millis: f64,
 }
 
-/// `critic stats --journal FILE [--json]`
+/// Per-shard roll-up in the multi-journal `critic stats` report: one
+/// entry per journal file, in argument order.
+#[derive(Debug, serde::Serialize)]
+struct ShardRollup {
+    /// The journal path as given (or discovered in a `--journal DIR`).
+    journal: String,
+    /// Journalled cells after newest-wins dedup.
+    cells: usize,
+    /// Cells whose terminal status is `Ok`.
+    ok: usize,
+    /// Cells that failed, timed out, panicked, or were shed.
+    failed: usize,
+    /// Sum of final-attempt wall-clock across cells, in milliseconds.
+    total_millis: u64,
+    /// Unparseable lines skipped during replay.
+    skipped_lines: usize,
+    /// Per-run-tag roll-ups within this journal (a router restamps a
+    /// restarted shard's tag, so restarts show up as separate runs).
+    runs: Vec<critic_core::journal::RunRollup>,
+}
+
+/// The fleet-wide `critic stats` report when more than one journal is
+/// given: per-shard roll-ups plus cross-fleet totals.
+#[derive(Debug, serde::Serialize)]
+struct FleetStatsReport {
+    /// One roll-up per journal.
+    shards: Vec<ShardRollup>,
+    /// Distinct (app, scheme) cells across the whole fleet.
+    fleet_cells: usize,
+    /// Sum of per-shard `ok`.
+    fleet_ok: usize,
+    /// Sum of per-shard `failed`.
+    fleet_failed: usize,
+    /// Sum of per-shard wall-clock, in milliseconds.
+    fleet_millis: u64,
+}
+
+/// Expands one `--journal` value: a directory becomes its `*.jsonl`
+/// files sorted by name (the router's `shard-N.jsonl` layout), a file is
+/// taken as-is.
+fn expand_journal_arg(path: &str) -> Result<Vec<std::path::PathBuf>, CliError> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(p)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|f| f.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(CliError::Io(format!("no *.jsonl journals under {path}")));
+        }
+        Ok(files)
+    } else if p.exists() {
+        Ok(vec![p.to_path_buf()])
+    } else {
+        Err(CliError::Io(format!("cannot read {path}: no such file")))
+    }
+}
+
+/// `critic stats --journal FILE|DIR [--journal FILE|DIR]... [--json]`
 ///
 /// Replays a campaign journal — segments, checkpoints, and the active file,
 /// with per-line checksum verification — dedups cells newest-wins on
 /// (app, scheme) — the same rule `--resume` applies — and prints the
-/// telemetry and store roll-up.
+/// telemetry and store roll-up. More than one journal (repeat `--journal`,
+/// or point it at a router's journal directory) switches to the fleet
+/// view: a per-shard roll-up line each plus cross-fleet totals, with
+/// distinct-cell counting across shards.
 fn run_stats_command(args: &[String]) -> Result<(), CliError> {
-    let Some(path) = arg_after(args, "--journal") else {
-        return Err(CliError::Usage(
-            "usage: critic stats --journal FILE [--json]".to_string(),
-        ));
-    };
-    let journal = std::path::Path::new(&path);
-    if !journal.exists() {
-        return Err(CliError::Io(format!("cannot read {path}: no such file")));
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut idx = 0;
+    while let Some(pos) = args[idx..].iter().position(|a| a == "--journal") {
+        idx += pos + 1;
+        let Some(value) = args.get(idx) else {
+            return Err(CliError::Usage("--journal expects FILE|DIR".to_string()));
+        };
+        paths.extend(expand_journal_arg(value)?);
     }
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "usage: critic stats --journal FILE|DIR [--journal FILE|DIR]... [--json]".to_string(),
+        ));
+    }
+    if paths.len() > 1 {
+        return run_fleet_stats(&paths, args.iter().any(|a| a == "--json"));
+    }
+    let journal = paths[0].as_path();
     let replayed =
         Journal::replay(journal, &Telemetry::off()).map_err(|e| CliError::Io(e.to_string()))?;
 
@@ -1511,6 +1882,85 @@ fn run_stats_command(args: &[String]) -> Result<(), CliError> {
         } else {
             println!("{}", report.telemetry.render());
         }
+    }
+    Ok(())
+}
+
+/// The multi-journal `critic stats` body: replays every journal
+/// independently and prints per-shard roll-ups plus fleet totals.
+fn run_fleet_stats(paths: &[std::path::PathBuf], json: bool) -> Result<(), CliError> {
+    let mut shards = Vec::new();
+    let mut fleet: std::collections::BTreeSet<(String, String)> = std::collections::BTreeSet::new();
+    for path in paths {
+        let replayed = Journal::replay(path, &Telemetry::off())
+            .map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        let ok = replayed
+            .records
+            .iter()
+            .filter(|r| r.status == CellStatus::Ok)
+            .count();
+        for record in &replayed.records {
+            fleet.insert((record.app.clone(), record.scheme.clone()));
+        }
+        shards.push(ShardRollup {
+            journal: path.display().to_string(),
+            cells: replayed.records.len(),
+            ok,
+            failed: replayed.records.len() - ok,
+            total_millis: replayed.records.iter().map(|r| r.millis).sum(),
+            skipped_lines: replayed.skipped_lines,
+            runs: replayed.run_rollups(),
+        });
+    }
+    let report = FleetStatsReport {
+        fleet_cells: fleet.len(),
+        fleet_ok: shards.iter().map(|s| s.ok).sum(),
+        fleet_failed: shards.iter().map(|s| s.failed).sum(),
+        fleet_millis: shards.iter().map(|s| s.total_millis).sum(),
+        shards,
+    };
+    if json {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::Io(format!("cannot serialise fleet stats: {e}")))?;
+        println!("{json}");
+    } else {
+        for shard in &report.shards {
+            println!(
+                "{}: {} cells ({} ok, {} failed), {} ms{}",
+                shard.journal,
+                shard.cells,
+                shard.ok,
+                shard.failed,
+                shard.total_millis,
+                if shard.skipped_lines > 0 {
+                    format!(" ({} line(s) skipped)", shard.skipped_lines)
+                } else {
+                    String::new()
+                }
+            );
+            // A shard journal spanning restarts carries one run tag per
+            // incarnation; surface them the same way the single view does.
+            if shard.runs.len() > 1 {
+                for rollup in &shard.runs {
+                    let tag = match rollup.run {
+                        Some(tag) => format!("run {tag}"),
+                        None => "untagged".to_string(),
+                    };
+                    println!(
+                        "    {tag}: {} cells ({} ok, {} failed, {} shed), {} ms",
+                        rollup.cells, rollup.ok, rollup.failed, rollup.shed, rollup.total_millis
+                    );
+                }
+            }
+        }
+        println!(
+            "fleet: {} journals, {} distinct cells ({} ok records, {} failed), {} ms total",
+            report.shards.len(),
+            report.fleet_cells,
+            report.fleet_ok,
+            report.fleet_failed,
+            report.fleet_millis
+        );
     }
     Ok(())
 }

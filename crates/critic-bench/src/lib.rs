@@ -3,7 +3,8 @@
 //! perf-regression harness behind `critic bench` (see [`perf`]), the
 //! chaos harness behind `critic chaos` (see [`chaos`]), and the service
 //! stack behind `critic serve` / `loadgen` / `soak` (see [`serve`],
-//! [`loadgen`], [`soak`]).
+//! [`loadgen`], [`soak`]) plus the sharded front tier behind
+//! `critic router` (see [`router`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,6 +13,7 @@ pub mod chaos;
 pub mod drill;
 pub mod loadgen;
 pub mod perf;
+pub mod router;
 pub mod serve;
 pub mod soak;
 

@@ -16,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use critic_core::campaign::CellStatus;
+use critic_core::campaign::{CellMetrics, CellStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -27,8 +27,9 @@ use crate::serve::{parse_reply, Reply, SubmitBody, SubmitRequest};
 /// One load-generation run's parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server address, `host:port`.
-    pub addr: String,
+    /// Server addresses, `host:port`; client `i` connects to
+    /// `addrs[i % addrs.len()]`, so one run can spread over a fleet.
+    pub addrs: Vec<String>,
     /// Concurrent clients (each on its own connection).
     pub clients: usize,
     /// Submissions per client.
@@ -43,6 +44,15 @@ pub struct LoadgenConfig {
     pub apps: Vec<String>,
     /// Scheme-name pool for the mix.
     pub schemes: Vec<String>,
+    /// When non-empty, the mix draws whole (app, scheme) pairs from this
+    /// pool instead of crossing `apps` × `schemes` — how the sharded soak
+    /// replays exactly the cells it saw acked earlier.
+    pub pairs: Vec<(String, String)>,
+    /// Resubmissions allowed per request after a `rejected` reply. Each
+    /// retry honours the server's `retry_after_ms` hint (a blind 10 ms
+    /// pause when the hint is 0). 0 — the default, and what the
+    /// accounting-exactness tests rely on — never retries.
+    pub retries: u32,
     /// How long to wait for outstanding responses after the last send.
     pub drain_timeout: Duration,
 }
@@ -52,7 +62,7 @@ impl LoadgenConfig {
     /// 16/s over the first four Mobile apps and three schemes.
     pub fn new(addr: &str) -> LoadgenConfig {
         LoadgenConfig {
-            addr: addr.to_string(),
+            addrs: vec![addr.to_string()],
             clients: 8,
             requests_per_client: 8,
             rate: 16.0,
@@ -66,6 +76,8 @@ impl LoadgenConfig {
                 .into_iter()
                 .map(String::from)
                 .collect(),
+            pairs: Vec::new(),
+            retries: 0,
             drain_timeout: Duration::from_secs(120),
         }
     }
@@ -84,6 +96,15 @@ pub struct AckedCell {
     pub scheme: String,
     /// Terminal status.
     pub status: CellStatus,
+    /// When the `done` arrived, milliseconds since the run started — what
+    /// the sharded soak compares against its kill offset to know which
+    /// acks predate the shard kill.
+    pub acked_at_ms: u64,
+    /// Degradation level of the record (0 when unreported).
+    pub degraded: u8,
+    /// The record's metrics, kept so two runs of the same mix can be
+    /// compared bit-for-bit (the sharded soak's single-process oracle).
+    pub metrics: Option<CellMetrics>,
 }
 
 /// Aggregated latency and outcome counters for one loadgen run,
@@ -109,6 +130,10 @@ pub struct LoadgenReport {
     /// Submissions with neither a `rejected` nor a `done` by the drain
     /// timeout (or before the connection was cut).
     pub unanswered: u64,
+    /// Retries sent after waiting out a non-zero `retry_after_ms` hint.
+    pub hinted_retries: u64,
+    /// Retries sent after a blind pause because the hint was 0.
+    pub blind_retries: u64,
     /// Clients that could not connect at all.
     pub connect_failures: u64,
     /// Median submit→done latency, milliseconds.
@@ -144,6 +169,8 @@ struct ClientOutcome {
     rejected: u64,
     retry_after_sum: u64,
     unanswered: u64,
+    hinted_retries: u64,
+    blind_retries: u64,
     connect_failed: bool,
     latencies_micros: Vec<u64>,
     acked: Vec<AckedCell>,
@@ -153,11 +180,29 @@ struct ClientOutcome {
     failed: u64,
 }
 
+/// One submission awaiting its terminal reply.
+struct Pending {
+    sent: Instant,
+    body: SubmitBody,
+    retries_left: u32,
+}
+
+/// One rejected submission waiting out its retry delay.
+struct RetryItem {
+    due: Instant,
+    body: SubmitBody,
+    retries_left: u32,
+    hinted: bool,
+}
+
 /// Shared between one client's writer (pacing) side and reader thread.
 #[derive(Default)]
 struct ClientState {
-    /// id -> send instant, removed on a terminal reply.
-    pending: HashMap<u64, Instant>,
+    /// id -> in-flight submission, removed on a terminal reply.
+    pending: HashMap<u64, Pending>,
+    /// Rejected submissions scheduled for resend; the writer flushes the
+    /// due ones between paced sends and during the drain wait.
+    retries: Vec<RetryItem>,
 }
 
 fn percentile_ms(sorted_micros: &[u64], fraction: f64) -> f64 {
@@ -169,16 +214,84 @@ fn percentile_ms(sorted_micros: &[u64], fraction: f64) -> f64 {
     sorted_micros[index] as f64 / 1e3
 }
 
+/// Writes one submission line; false when the stream is gone.
+fn send_submit(writer: &mut TcpStream, body: &SubmitBody) -> bool {
+    let request = SubmitRequest {
+        submit: body.clone(),
+    };
+    let Ok(json) = serde_json::to_string(&request) else {
+        return false;
+    };
+    use std::io::Write;
+    writer
+        .write_all(json.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// Re-sends every retry whose delay has elapsed. Returns false when the
+/// stream died mid-send (the writer stops sending then).
+fn flush_due_retries(
+    writer: &mut TcpStream,
+    state: &Arc<Mutex<ClientState>>,
+    outcome: &mut ClientOutcome,
+) -> bool {
+    loop {
+        let now = Instant::now();
+        let item = {
+            let mut state = state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let due = state.retries.iter().position(|r| r.due <= now);
+            due.map(|index| state.retries.swap_remove(index))
+        };
+        let Some(item) = item else {
+            return true;
+        };
+        let id = item.body.id;
+        state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pending
+            .insert(
+                id,
+                Pending {
+                    sent: Instant::now(),
+                    body: item.body.clone(),
+                    retries_left: item.retries_left,
+                },
+            );
+        if send_submit(writer, &item.body) {
+            outcome.requests += 1;
+            if item.hinted {
+                outcome.hinted_retries += 1;
+            } else {
+                outcome.blind_retries += 1;
+            }
+        } else {
+            state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pending
+                .remove(&id);
+            return false;
+        }
+    }
+}
+
 /// One client's full run: connect, pace `requests_per_client` submissions,
 /// collect replies until everything is answered or the drain timeout
-/// passes.
-fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
+/// passes. `epoch` is the whole run's start instant, shared across clients
+/// so ack timestamps are comparable.
+fn run_client(config: &LoadgenConfig, client_index: usize, epoch: Instant) -> ClientOutcome {
     let mut outcome = ClientOutcome::default();
+    let addr = &config.addrs[client_index % config.addrs.len()];
     // The server may still be mid-bind when the first client starts; a
     // short retry loop absorbs that without hiding a dead server.
     let mut stream = None;
     for _ in 0..50 {
-        match TcpStream::connect(&config.addr) {
+        match TcpStream::connect(addr) {
             Ok(s) => {
                 stream = Some(s);
                 break;
@@ -220,11 +333,24 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
                 Reply::Rejected(body) => {
                     results.rejected += 1;
                     results.retry_after_sum += body.retry_after_ms;
-                    reader_state
+                    let mut state = reader_state
                         .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .pending
-                        .remove(&body.id);
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(pending) = state.pending.remove(&body.id) {
+                        if pending.retries_left > 0 {
+                            // Honour the server's hint; a zero hint means
+                            // "don't retry as-is", so back off blindly and
+                            // briefly instead of hammering.
+                            let hinted = body.retry_after_ms > 0;
+                            let delay = if hinted { body.retry_after_ms } else { 10 };
+                            state.retries.push(RetryItem {
+                                due: Instant::now() + Duration::from_millis(delay),
+                                body: pending.body,
+                                retries_left: pending.retries_left - 1,
+                                hinted,
+                            });
+                        }
+                    }
                 }
                 Reply::Done(body) => {
                     let sent = reader_state
@@ -232,10 +358,10 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .pending
                         .remove(&body.id);
-                    if let Some(sent) = sent {
+                    if let Some(pending) = sent {
                         results
                             .latencies_micros
-                            .push(sent.elapsed().as_micros() as u64);
+                            .push(pending.sent.elapsed().as_micros() as u64);
                     }
                     let level = body.record.degraded.unwrap_or(0).min(3) as usize;
                     results.degraded[level] += 1;
@@ -249,6 +375,9 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
                         app: body.record.app,
                         scheme: body.record.scheme,
                         status: body.record.status,
+                        acked_at_ms: epoch.elapsed().as_millis() as u64,
+                        degraded: body.record.degraded.unwrap_or(0),
+                        metrics: body.record.metrics,
                     });
                 }
                 _ => {}
@@ -267,19 +396,23 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
                 thread::sleep(target - now);
             }
         }
-        let app = config.apps[rng.gen_range(0..config.apps.len())].clone();
-        let scheme = config.schemes[rng.gen_range(0..config.schemes.len())].clone();
-        let id = (client_index as u64) * 1_000_000 + k as u64;
-        let request = SubmitRequest {
-            submit: SubmitBody {
-                id,
-                app,
-                scheme,
-                deadline_ms: config.deadline_ms,
-            },
+        if !flush_due_retries(&mut writer, &state, &mut outcome) {
+            break;
+        }
+        let (app, scheme) = if config.pairs.is_empty() {
+            (
+                config.apps[rng.gen_range(0..config.apps.len())].clone(),
+                config.schemes[rng.gen_range(0..config.schemes.len())].clone(),
+            )
+        } else {
+            config.pairs[rng.gen_range(0..config.pairs.len())].clone()
         };
-        let Ok(json) = serde_json::to_string(&request) else {
-            continue;
+        let id = (client_index as u64) * 1_000_000 + k as u64;
+        let body = SubmitBody {
+            id,
+            app,
+            scheme,
+            deadline_ms: config.deadline_ms,
         };
         // Register before writing: the reply can beat the map update
         // otherwise.
@@ -287,13 +420,15 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pending
-            .insert(id, Instant::now());
-        use std::io::Write;
-        let sent = writer
-            .write_all(json.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
-        if sent.is_err() {
+            .insert(
+                id,
+                Pending {
+                    sent: Instant::now(),
+                    body: body.clone(),
+                    retries_left: config.retries,
+                },
+            );
+        if !send_submit(&mut writer, &body) {
             // Server gone (soak SIGKILL): stop sending; whatever is
             // pending becomes unanswered.
             state
@@ -306,14 +441,19 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
         outcome.requests += 1;
     }
 
-    // Wait out the in-flight tail, then cut the stream to free the reader.
+    // Wait out the in-flight tail (flushing retries as their delays
+    // elapse), then cut the stream to free the reader.
     let deadline = Instant::now() + config.drain_timeout;
     loop {
-        let outstanding = state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .pending
-            .len();
+        if !flush_due_retries(&mut writer, &state, &mut outcome) {
+            break;
+        }
+        let outstanding = {
+            let state = state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.pending.len() + state.retries.len()
+        };
         if outstanding == 0 || Instant::now() >= deadline || reader.is_finished() {
             break;
         }
@@ -351,14 +491,20 @@ fn run_client(config: &LoadgenConfig, client_index: usize) -> ClientOutcome {
 /// (no apps/schemes in the mix); connection failures are counted in the
 /// report instead, because the soak *expects* them mid-kill.
 pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenOutcome, BenchError> {
-    if config.apps.is_empty() || config.schemes.is_empty() {
+    if config.pairs.is_empty() && (config.apps.is_empty() || config.schemes.is_empty()) {
         return Err(BenchError::Io(
             "loadgen needs at least one app and one scheme in the mix".to_string(),
         ));
     }
+    if config.addrs.is_empty() {
+        return Err(BenchError::Io(
+            "loadgen needs at least one server address".to_string(),
+        ));
+    }
+    let epoch = Instant::now();
     let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
-            .map(|i| scope.spawn(move || run_client(config, i)))
+            .map(|i| scope.spawn(move || run_client(config, i, epoch)))
             .collect();
         handles
             .into_iter()
@@ -380,6 +526,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> Result<LoadgenOutcome, BenchError>
         report.shed += outcome.shed;
         report.failed += outcome.failed;
         report.unanswered += outcome.unanswered;
+        report.hinted_retries += outcome.hinted_retries;
+        report.blind_retries += outcome.blind_retries;
         report.connect_failures += u64::from(outcome.connect_failed);
         report.mean_retry_after_ms += outcome.retry_after_sum as f64;
         for (level, count) in outcome.degraded.iter().enumerate() {

@@ -890,7 +890,14 @@ pub fn run_service_bench(setup: &ServiceBenchSetup) -> Result<ServiceBenchReport
     let server = {
         let service = service.clone();
         let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || crate::serve::serve_on(listener, &service, &shutdown))
+        std::thread::spawn(move || {
+            crate::serve::serve_on(
+                listener,
+                &service,
+                &shutdown,
+                &crate::serve::ShardContext::default(),
+            )
+        })
     };
 
     let clients_8 = service_phase(&addr, 8, setup.requests_per_client, setup.rate, 1)?;

@@ -9,6 +9,9 @@
 //! {"stats":true}
 //! {"ping":true}
 //! {"shutdown":true}
+//! {"heartbeat":true}
+//! {"fetch_artifact":{"class":"profile","key":1234}}
+//! {"list_artifacts":true}
 //! ```
 //!
 //! Replies:
@@ -20,8 +23,18 @@
 //! {"stats_reply":{...}}
 //! {"pong":true}
 //! {"draining":true}
+//! {"heartbeat_reply":{"shard":2,"draining":false}}
+//! {"artifact":{"class":"profile","key":1234,"found":true,"payload":"...","crc32":987}}
+//! {"artifact_index":[{"class":"profile","key":1234},...]}
 //! {"error":"..."}
 //! ```
+//!
+//! The last three verbs are the shard-fleet surface: `heartbeat` is the
+//! router's liveness probe (answered even while draining, unlike new
+//! submissions), and `fetch_artifact`/`list_artifacts` are the peer-rebuild
+//! path — a restarted shard diffs a live peer's artifact index against its
+//! own disk and pulls what it is missing, CRC-checked on receipt, instead
+//! of re-simulating.
 //!
 //! Ordering: `accepted` is written after the submission is admitted, but
 //! the terminal `done` is written by a worker thread and may overtake it
@@ -33,13 +46,16 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
 use critic_core::campaign::CellRecord;
+use critic_core::disk::ArtifactClass;
+use critic_core::keys::crc32;
 use critic_core::service::{CampaignService, SubmitOutcome};
+use critic_core::store::ArtifactStore;
 use serde::{Deserialize, Serialize};
 
 /// Set by the binary's `SIGTERM` handler; the accept loop polls it and
@@ -86,6 +102,40 @@ pub struct PingRequest {
 pub struct ShutdownRequest {
     /// Always `true`; the key is the request.
     pub shutdown: bool,
+}
+
+/// `{"heartbeat":true}` — the router's liveness probe. Unlike `ping`, the
+/// reply carries the shard's identity so a supervisor can detect a port
+/// reused by a stranger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeartbeatRequest {
+    /// Always `true`; the key is the request.
+    pub heartbeat: bool,
+}
+
+/// `{"fetch_artifact":{"class":"profile","key":N}}` — ask a peer shard for
+/// one persistent artifact by (class, key).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchArtifactRequest {
+    /// Which artifact.
+    pub fetch_artifact: ArtifactRef,
+}
+
+/// `{"list_artifacts":true}` — ask a peer shard for its full artifact
+/// index, so a rebuilding shard can diff it against its own disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ListArtifactsRequest {
+    /// Always `true`; the key is the request.
+    pub list_artifacts: bool,
+}
+
+/// One (class, key) reference into a shard's persistent store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArtifactRef {
+    /// Artifact class name (`profile` or `baseline`).
+    pub class: String,
+    /// The stable artifact key.
+    pub key: u64,
 }
 
 /// `{"accepted":{"id":N}}` — the submission passed admission control.
@@ -161,6 +211,20 @@ pub struct ServeStats {
     pub draining: bool,
     /// Persistent-store disk hits so far (0 without a `--store-dir`).
     pub disk_hits: u64,
+    /// Which shard this server is, when it runs under a router.
+    pub shard: Option<u64>,
+    /// Artifacts pulled from peers during rebuild (the soak's disk-warm
+    /// gate: a restarted shard must show this > 0).
+    pub fetched_artifacts: u64,
+    /// Profiles materialized so far — disk-warm loads included, since the
+    /// in-memory memo counts its closure runs.
+    pub profiles_built: u64,
+    /// Baselines materialized so far, same accounting.
+    pub baselines_built: u64,
+    /// Persistent-store entries written. A from-scratch build always
+    /// saves and a disk-warm load never does, so the soak's
+    /// zero-re-simulation gate watches the delta of this counter.
+    pub disk_saves: u64,
 }
 
 /// `{"pong":true}` — answer to a [`PingRequest`].
@@ -175,6 +239,56 @@ pub struct PongReply {
 pub struct DrainingReply {
     /// Always `true`.
     pub draining: bool,
+}
+
+/// `{"heartbeat_reply":{...}}` — answer to a [`HeartbeatRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeartbeatReply {
+    /// The heartbeat body.
+    pub heartbeat_reply: HeartbeatBody,
+}
+
+/// The body of a [`HeartbeatReply`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeartbeatBody {
+    /// The shard id the server was started with, if any.
+    pub shard: Option<u64>,
+    /// Whether a drain has begun (a draining shard is alive but should
+    /// get no new work).
+    pub draining: bool,
+}
+
+/// `{"artifact":{...}}` — answer to a [`FetchArtifactRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactReply {
+    /// The artifact body.
+    pub artifact: ArtifactBody,
+}
+
+/// The body of an [`ArtifactReply`]. `payload` is the artifact's JSON
+/// text carried as a JSON string; `crc32` is over the payload bytes so the
+/// receiver verifies integrity *before* trusting its own disk write (the
+/// store's on-disk CRC then re-protects it at rest).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactBody {
+    /// Artifact class name (`profile` or `baseline`).
+    pub class: String,
+    /// The stable artifact key.
+    pub key: u64,
+    /// Whether the serving shard had the artifact.
+    pub found: bool,
+    /// The artifact's JSON text, when found.
+    pub payload: Option<String>,
+    /// CRC-32 of the payload bytes (0 when not found).
+    pub crc32: u32,
+}
+
+/// `{"artifact_index":[...]}` — answer to a [`ListArtifactsRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArtifactIndexReply {
+    /// Every (class, key) on the serving shard's disk, in deterministic
+    /// order.
+    pub artifact_index: Vec<ArtifactRef>,
 }
 
 /// `{"error":"..."}` — the request line did not parse as any request.
@@ -211,15 +325,70 @@ fn write_line<T: Serialize>(stream: &Arc<Mutex<TcpStream>>, reply: &T) {
     let _ = guard.flush();
 }
 
+/// What distinguishes one shard's serve loop from a standalone server:
+/// its identity and the peer-rebuild counter. [`Default`] is the
+/// standalone case (no shard id, nothing fetched), which is what every
+/// pre-existing call site wants.
+#[derive(Debug, Clone, Default)]
+pub struct ShardContext {
+    /// The shard id, when running under a router.
+    pub shard: Option<u64>,
+    /// Artifacts pulled from peers during rebuild; shared with the
+    /// connection threads so `stats` can report it live.
+    pub fetched_artifacts: Arc<AtomicU64>,
+}
+
 /// Snapshot of the service counters for a [`StatsReply`].
-fn serve_stats(service: &CampaignService) -> ServeStats {
+fn serve_stats(service: &CampaignService, ctx: &ShardContext) -> ServeStats {
+    let store = service.store_stats();
     ServeStats {
         queue_depth: service.queue_depth() as u64,
         in_flight: service.in_flight() as u64,
         accepted: service.accepted(),
         responded: service.responded(),
         draining: service.is_draining(),
-        disk_hits: service.store_stats().disk.map(|d| d.disk_hits).unwrap_or(0),
+        disk_hits: store.disk.map(|d| d.disk_hits).unwrap_or(0),
+        shard: ctx.shard,
+        fetched_artifacts: ctx.fetched_artifacts.load(Ordering::Relaxed),
+        profiles_built: store.profiles_built,
+        baselines_built: store.baselines_built,
+        disk_saves: store.disk.map(|d| d.saves).unwrap_or(0),
+    }
+}
+
+/// Answers one [`FetchArtifactRequest`] from the service's persistent
+/// store. Absent disk tier, unknown class, and missing key all answer
+/// `found:false` — a rebuilding peer treats them identically.
+fn fetch_artifact_body(service: &CampaignService, want: &ArtifactRef) -> ArtifactBody {
+    let missing = ArtifactBody {
+        class: want.class.clone(),
+        key: want.key,
+        found: false,
+        payload: None,
+        crc32: 0,
+    };
+    let Some(class) = ArtifactClass::parse(&want.class) else {
+        return missing;
+    };
+    let Some(disk) = service.store().disk() else {
+        return missing;
+    };
+    match disk.load(class, want.key) {
+        Ok(Some(bytes)) => {
+            let checksum = crc32(&bytes);
+            match String::from_utf8(bytes) {
+                Ok(payload) => ArtifactBody {
+                    class: want.class.clone(),
+                    key: want.key,
+                    found: true,
+                    payload: Some(payload),
+                    crc32: checksum,
+                },
+                Err(_) => missing,
+            }
+        }
+        // Not found and quarantined-corrupt both answer `found:false`.
+        Ok(None) | Err(_) => missing,
     }
 }
 
@@ -230,6 +399,7 @@ fn handle_client(
     service: CampaignService,
     client: u64,
     shutdown: Arc<AtomicBool>,
+    ctx: ShardContext,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -289,11 +459,43 @@ fn handle_client(
             write_line(
                 &writer,
                 &StatsReply {
-                    stats_reply: serve_stats(&service),
+                    stats_reply: serve_stats(&service, &ctx),
                 },
             );
         } else if serde_json::from_str::<PingRequest>(text).is_ok() {
             write_line(&writer, &PongReply { pong: true });
+        } else if serde_json::from_str::<HeartbeatRequest>(text).is_ok() {
+            write_line(
+                &writer,
+                &HeartbeatReply {
+                    heartbeat_reply: HeartbeatBody {
+                        shard: ctx.shard,
+                        draining: service.is_draining(),
+                    },
+                },
+            );
+        } else if let Ok(request) = serde_json::from_str::<FetchArtifactRequest>(text) {
+            write_line(
+                &writer,
+                &ArtifactReply {
+                    artifact: fetch_artifact_body(&service, &request.fetch_artifact),
+                },
+            );
+        } else if serde_json::from_str::<ListArtifactsRequest>(text).is_ok() {
+            let artifact_index = service
+                .store()
+                .disk()
+                .map(|disk| {
+                    disk.entries()
+                        .into_iter()
+                        .map(|(class, key)| ArtifactRef {
+                            class: class.name().to_string(),
+                            key,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            write_line(&writer, &ArtifactIndexReply { artifact_index });
         } else if serde_json::from_str::<ShutdownRequest>(text).is_ok() {
             shutdown.store(true, Ordering::SeqCst);
             write_line(&writer, &DrainingReply { draining: true });
@@ -319,6 +521,7 @@ pub fn serve_on(
     listener: TcpListener,
     service: &CampaignService,
     shutdown: &Arc<AtomicBool>,
+    ctx: &ShardContext,
 ) -> ServeSummary {
     let _ = listener.set_nonblocking(true);
     let mut handles = Vec::new();
@@ -337,8 +540,9 @@ pub fn serve_on(
                 }
                 let service = service.clone();
                 let shutdown = Arc::clone(shutdown);
+                let ctx = ctx.clone();
                 handles.push(thread::spawn(move || {
-                    handle_client(stream, service, client, shutdown);
+                    handle_client(stream, service, client, shutdown, ctx);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -372,18 +576,115 @@ pub fn serve_on(
 ///
 /// Returns the bind error verbatim; everything after the bind is
 /// best-effort and surfaces through the summary instead.
-pub fn run_serve(port: u16, service: &CampaignService) -> std::io::Result<ServeSummary> {
+pub fn run_serve(
+    port: u16,
+    service: &CampaignService,
+    ctx: &ShardContext,
+) -> std::io::Result<ServeSummary> {
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     println!("listening on {addr}");
     let _ = std::io::stdout().flush();
     let shutdown = Arc::new(AtomicBool::new(false));
-    let summary = serve_on(listener, service, &shutdown);
+    let summary = serve_on(listener, service, &shutdown, ctx);
     eprintln!(
         "critic serve: drained after {} connection(s), {} accepted, {} responded",
         summary.connections, summary.accepted, summary.responded
     );
     Ok(summary)
+}
+
+/// What one peer-rebuild pass did, per peer and in total.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RebuildReport {
+    /// Peers successfully consulted (index listed).
+    pub peers_consulted: u64,
+    /// Artifacts pulled and saved locally.
+    pub fetched: u64,
+    /// Artifacts offered by a peer but rejected on receipt (CRC mismatch
+    /// or malformed reply) — never written to disk.
+    pub rejected: u64,
+}
+
+/// Pulls every artifact present on `peers` but missing from this shard's
+/// own disk, so a restarted shard rejoins disk-warm instead of
+/// re-simulating. Run *before* binding the listener: the router marks a
+/// shard up only once it prints its banner, by which point rebuild is done.
+///
+/// Per-peer failures (connect refused, peer died mid-transfer) are
+/// skipped, not fatal — rebuild is an optimisation, and the shard serves
+/// correctly from an empty disk too. Every received payload is CRC-checked
+/// against the wire checksum before [`critic_core::DiskStore::save`]
+/// re-frames it with the at-rest CRC; a mismatch drops the artifact.
+pub fn rebuild_from_peers(
+    store: &ArtifactStore,
+    peers: &[String],
+    fetched_counter: &AtomicU64,
+) -> RebuildReport {
+    let mut report = RebuildReport::default();
+    let Some(disk) = store.disk() else {
+        return report;
+    };
+    for peer in peers {
+        let Ok(stream) = TcpStream::connect(peer.as_str()) else {
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let Ok(mut writer) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(stream);
+        let index = match request_reply(
+            &mut writer,
+            &mut reader,
+            &ListArtifactsRequest {
+                list_artifacts: true,
+            },
+            |reply| matches!(reply, Reply::ArtifactIndex(_)),
+            |_| {},
+        ) {
+            Ok(Reply::ArtifactIndex(index)) => index,
+            _ => continue,
+        };
+        report.peers_consulted += 1;
+        for wanted in index {
+            let Some(class) = ArtifactClass::parse(&wanted.class) else {
+                continue;
+            };
+            if disk.contains(class, wanted.key) {
+                continue;
+            }
+            let body = match request_reply(
+                &mut writer,
+                &mut reader,
+                &FetchArtifactRequest {
+                    fetch_artifact: wanted.clone(),
+                },
+                |reply| matches!(reply, Reply::Artifact(_)),
+                |_| {},
+            ) {
+                Ok(Reply::Artifact(body)) => body,
+                // Peer hung up mid-transfer: move on to the next peer.
+                _ => break,
+            };
+            if !body.found {
+                continue;
+            }
+            let Some(payload) = body.payload else {
+                report.rejected += 1;
+                continue;
+            };
+            if crc32(payload.as_bytes()) != body.crc32 {
+                report.rejected += 1;
+                continue;
+            }
+            if disk.save(class, wanted.key, payload.as_bytes()).is_ok() {
+                report.fetched += 1;
+                fetched_counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    report
 }
 
 /// Reads reply lines off a client-side stream. Thin helper shared by
@@ -403,6 +704,12 @@ pub enum Reply {
     Pong,
     /// `{"draining":true}`.
     Draining,
+    /// `{"heartbeat_reply":{...}}`.
+    Heartbeat(HeartbeatBody),
+    /// `{"artifact":{...}}`.
+    Artifact(Box<ArtifactBody>),
+    /// `{"artifact_index":[...]}`.
+    ArtifactIndex(Vec<ArtifactRef>),
     /// `{"error":"..."}`.
     Error(String),
 }
@@ -430,6 +737,15 @@ pub fn parse_reply(line: &str) -> Option<Reply> {
     }
     if serde_json::from_str::<DrainingReply>(text).is_ok() {
         return Some(Reply::Draining);
+    }
+    if let Ok(reply) = serde_json::from_str::<HeartbeatReply>(text) {
+        return Some(Reply::Heartbeat(reply.heartbeat_reply));
+    }
+    if let Ok(reply) = serde_json::from_str::<ArtifactReply>(text) {
+        return Some(Reply::Artifact(Box::new(reply.artifact)));
+    }
+    if let Ok(reply) = serde_json::from_str::<ArtifactIndexReply>(text) {
+        return Some(Reply::ArtifactIndex(reply.artifact_index));
     }
     if let Ok(reply) = serde_json::from_str::<ErrorReply>(text) {
         return Some(Reply::Error(reply.error));

@@ -434,7 +434,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, BenchError> {
     let mut child = server.child;
     let addr = server.addr;
     let mut warm_config = load_config.clone();
-    warm_config.addr = addr.clone();
+    warm_config.addrs = vec![addr.clone()];
     warm_config.requests_per_client = (plan.requests_per_client / 2).max(2);
     let warm_outcome = run_loadgen(&warm_config)?;
     report.phase_warm = warm_outcome.report.clone();
@@ -471,7 +471,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, BenchError> {
     let peak = Arc::new(AtomicU64::new(0));
     let monitor = spawn_queue_monitor(addr.clone(), Arc::clone(&stop), Arc::clone(&peak));
     let mut overload_config = load_config.clone();
-    overload_config.addr = addr.clone();
+    overload_config.addrs = vec![addr.clone()];
     overload_config.clients = plan.overload_clients;
     overload_config.rate = plan.overload_rate;
     overload_config.requests_per_client = plan.overload_requests / plan.overload_clients.max(1);
@@ -541,6 +541,556 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, BenchError> {
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Sharded soak: kill one of N shards behind `critic router` mid-load.
+// ---------------------------------------------------------------------------
+
+/// One sharded-soak invocation's parameters (`critic soak --shards N`).
+#[derive(Debug, Clone)]
+pub struct ShardedSoakConfig {
+    /// Approximate seconds of pre-kill load (the kill lands mid-way).
+    pub seconds: u64,
+    /// Concurrent loadgen clients.
+    pub clients: usize,
+    /// Open-loop submissions per second per client.
+    pub rate: f64,
+    /// Shard fleet size behind the router.
+    pub shards: u32,
+    /// Shrink everything for CI smoke and tests.
+    pub smoke: bool,
+    /// Seed for the loadgen mix.
+    pub seed: u64,
+    /// The `critic` binary to spawn the router (and, transitively, the
+    /// shards) from; defaults to the current executable.
+    pub binary: Option<PathBuf>,
+    /// Failover p99 ceiling, milliseconds: the pre-kill load phase spans
+    /// the kill, so its p99 *is* the failover p99.
+    pub max_p99_ms: Option<f64>,
+}
+
+impl Default for ShardedSoakConfig {
+    fn default() -> ShardedSoakConfig {
+        ShardedSoakConfig {
+            seconds: 30,
+            clients: 6,
+            rate: 4.0,
+            shards: 3,
+            smoke: false,
+            seed: 0,
+            binary: None,
+            max_p99_ms: None,
+        }
+    }
+}
+
+/// The sharded-soak report; violations turn into exit code 13.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ShardedSoakReport {
+    /// Every broken invariant (empty = pass).
+    pub violations: Vec<SoakViolation>,
+    /// Which shard was `SIGKILL`ed.
+    pub killed_shard: Option<u32>,
+    /// `done` replies clients observed strictly before the kill.
+    pub acked_before_kill: u64,
+    /// Of those, distinct (app, scheme) cells found across the shard
+    /// journals afterwards.
+    pub acked_preserved: u64,
+    /// Artifacts the killed shard pulled from peers on restart (the
+    /// disk-warm gate: must be > 0).
+    pub fetched_artifacts: u64,
+    /// Profiles + baselines built from scratch during the warm phase,
+    /// summed over the fleet (the zero-re-simulation gate: must be 0).
+    pub resimulated: u64,
+    /// Router-counted shard restarts (must be ≥ 1).
+    pub restarts: u64,
+    /// Router-counted in-flight redispatches after the kill.
+    pub redispatched: u64,
+    /// p99 of the phase spanning the kill, milliseconds.
+    pub failover_p99_ms: f64,
+    /// (app, scheme) cells whose warm-phase metrics differed from the
+    /// single-process oracle run (must be 0).
+    pub oracle_mismatches: u64,
+    /// Cells compared against the oracle.
+    pub oracle_compared: u64,
+    /// The router's exit code after the graceful drain (must be 9).
+    pub router_exit_code: Option<i32>,
+    /// Load phase spanning the kill.
+    pub phase_load: LoadgenReport,
+    /// Post-restore warm phase (replays the pre-kill acked mix).
+    pub phase_warm: LoadgenReport,
+    /// The single-process oracle run of the same mix.
+    pub phase_single: LoadgenReport,
+}
+
+impl ShardedSoakReport {
+    /// Did every invariant hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Spawns a long-lived `critic` child (router or single oracle serve) and
+/// returns it with the address from its banner.
+fn spawn_banner_child(binary: &std::path::Path, args: &[String]) -> Result<Server, BenchError> {
+    let mut cmd = Command::new(binary);
+    cmd.args(args);
+    cmd.stdin(Stdio::null());
+    cmd.stdout(Stdio::piped());
+    cmd.stderr(Stdio::null());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| BenchError::Io(format!("cannot spawn child: {e}")))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| BenchError::Io("child has no stdout".to_string()))?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| BenchError::Io(format!("cannot read child banner: {e}")))?;
+        if n == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(BenchError::Io("child exited before its banner".to_string()));
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok(Server { child, addr })
+}
+
+/// No-lost-ack across a fleet: every distinct (app, scheme) among `acked`
+/// must be present in the union of the shard journals.
+fn check_acked_against_journals(
+    journals: &[PathBuf],
+    acked: &[AckedCell],
+    violations: &mut Vec<SoakViolation>,
+) -> u64 {
+    let keys: BTreeSet<(String, String)> = acked
+        .iter()
+        .map(|a| (a.app.clone(), a.scheme.clone()))
+        .collect();
+    let mut present: BTreeSet<(String, String)> = BTreeSet::new();
+    for journal in journals {
+        if !journal.exists() {
+            continue;
+        }
+        match Journal::replay(journal, &Telemetry::off()) {
+            Ok(replayed) => {
+                for record in &replayed.records {
+                    present.insert((record.app.clone(), record.scheme.clone()));
+                }
+            }
+            Err(e) => violations.push(SoakViolation {
+                invariant: "journal-resumable".to_string(),
+                detail: format!("{} replay failed: {e}", journal.display()),
+            }),
+        }
+    }
+    let mut preserved = 0u64;
+    for key in &keys {
+        if present.contains(key) {
+            preserved += 1;
+        } else {
+            violations.push(SoakViolation {
+                invariant: "no-lost-ack".to_string(),
+                detail: format!(
+                    "cell {}:{} was acknowledged to a client but is missing \
+                     from every shard journal",
+                    key.0, key.1
+                ),
+            });
+        }
+    }
+    preserved
+}
+
+/// Sum of persistent-store saves over every live shard — the fleet's
+/// from-scratch build counter. (`profiles_built` would over-count: the
+/// in-memory memo counts disk-warm loads as closure runs, so a freshly
+/// restarted shard serving from disk would look like it re-simulated.
+/// A save only happens on a genuine from-scratch build.)
+fn fleet_builds(stats: &crate::router::RouterStats) -> u64 {
+    stats
+        .shards
+        .iter()
+        .filter_map(|row| row.addr.as_deref())
+        .filter_map(|addr| fetch_stats(addr).ok())
+        .map(|s| s.disk_saves)
+        .sum()
+}
+
+/// Runs the kill-one-of-N sharded soak: load through the router →
+/// `SIGKILL` one shard mid-load → router reroutes and restarts it with
+/// peer rebuild → audit no-lost-ack across shard journals, disk-warm via
+/// `fetched_artifacts`, zero re-simulation on a warm replay, bit-identical
+/// metrics against a single-process oracle, and a graceful fleet drain.
+///
+/// # Errors
+///
+/// Harness failures are [`BenchError::Io`]; invariant violations go into
+/// the report for the caller to turn into exit code 13.
+pub fn run_sharded_soak(config: &ShardedSoakConfig) -> Result<ShardedSoakReport, BenchError> {
+    let binary = match &config.binary {
+        Some(path) => path.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| BenchError::Io(format!("cannot locate own binary: {e}")))?,
+    };
+    let seconds = config.seconds.max(4);
+    let trace_len = if config.smoke { 2_000 } else { 4_000 };
+    let workers = if config.smoke { 2 } else { 4 };
+    let admission_rate = ((config.clients as f64 * config.rate) as u64).max(4) * 2;
+    let scratch = std::env::temp_dir().join(format!("critic_shard_soak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| BenchError::Io(format!("cannot create {}: {e}", scratch.display())))?;
+    let journal_dir = scratch.join("journals");
+    let store_dir = scratch.join("stores");
+
+    let mut report = ShardedSoakReport::default();
+
+    // Boot the fleet.
+    let router_args: Vec<String> = [
+        "router",
+        "--port",
+        "0",
+        "--shards",
+        &config.shards.to_string(),
+        "--heartbeat-ms",
+        "50",
+        "--trace-len",
+        &trace_len.to_string(),
+        "--workers",
+        &workers.to_string(),
+        "--queue",
+        "64",
+        "--rate",
+        &admission_rate.to_string(),
+        "--burst",
+        &admission_rate.to_string(),
+        "--stats",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain([
+        "--journal-dir".to_string(),
+        journal_dir.to_string_lossy().into_owned(),
+        "--store-dir".to_string(),
+        store_dir.to_string_lossy().into_owned(),
+    ])
+    .collect();
+    let router = spawn_banner_child(&binary, &router_args)?;
+    let mut router_child = router.child;
+    let router_addr = router.addr;
+
+    // Phase 1: load through the router, one shard SIGKILLed mid-way.
+    let mut load_config = LoadgenConfig::new(&router_addr);
+    load_config.clients = config.clients;
+    load_config.requests_per_client = ((seconds as f64 * config.rate).ceil() as usize).max(4);
+    load_config.rate = config.rate;
+    load_config.seed = config.seed;
+    load_config.retries = 3;
+    load_config.drain_timeout = Duration::from_secs(seconds.max(10) * 2);
+    let kill_after = Duration::from_secs(seconds / 2);
+    let phase_start = std::time::Instant::now();
+    let killed: Arc<std::sync::Mutex<Option<(u32, u64)>>> = Arc::new(std::sync::Mutex::new(None));
+    let load_outcome = {
+        let killed = Arc::clone(&killed);
+        let router_addr = router_addr.clone();
+        thread::scope(|scope| {
+            let load_config = &load_config;
+            let loadgen = scope.spawn(move || run_loadgen(load_config));
+            thread::sleep(kill_after);
+            if let Ok(stats) = crate::router::fetch_router_stats(&router_addr) {
+                if let Some(row) = stats.shards.iter().find(|r| r.up && r.pid.is_some()) {
+                    let pid = row.pid.unwrap_or_default();
+                    // std::process cannot signal an arbitrary pid; /bin/kill
+                    // delivers the SIGKILL the soak is about.
+                    let delivered = Command::new("/bin/kill")
+                        .args(["-9", &pid.to_string()])
+                        .status()
+                        .map(|s| s.success())
+                        .unwrap_or(false);
+                    if delivered {
+                        *killed
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some((row.shard, phase_start.elapsed().as_millis() as u64));
+                    }
+                }
+            }
+            loadgen.join()
+        })
+        .map_err(|_| BenchError::Io("loadgen thread panicked".to_string()))?
+        .unwrap_or_default()
+    };
+    let killed = killed
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    report.phase_load = load_outcome.report.clone();
+    report.failover_p99_ms = report.phase_load.p99_ms;
+    let Some((killed_shard, kill_offset_ms)) = killed else {
+        report.violations.push(SoakViolation {
+            invariant: "kill-mid-load".to_string(),
+            detail: "could not SIGKILL a shard mid-load".to_string(),
+        });
+        send_shutdown(&router_addr);
+        let _ = router_child.wait();
+        let _ = std::fs::remove_dir_all(&scratch);
+        return Ok(report);
+    };
+    report.killed_shard = Some(killed_shard);
+
+    // Only acks that landed comfortably before the kill are known to have
+    // completed while every shard was up; the 250 ms margin absorbs the
+    // clock skew between the soak's phase timer and loadgen's epoch.
+    let acked_before_kill: Vec<AckedCell> = load_outcome
+        .acked
+        .iter()
+        .filter(|a| a.acked_at_ms + 250 < kill_offset_ms)
+        .cloned()
+        .collect();
+    report.acked_before_kill = acked_before_kill.len() as u64;
+    if report.acked_before_kill == 0 {
+        report.violations.push(SoakViolation {
+            invariant: "kill-mid-load".to_string(),
+            detail: "the SIGKILL landed before any cell was acknowledged; \
+                     the no-lost-ack check would be vacuous"
+                .to_string(),
+        });
+    }
+    if report.phase_load.unanswered > 0 {
+        report.violations.push(SoakViolation {
+            invariant: "accounting".to_string(),
+            detail: format!(
+                "{} load-phase submissions got neither a rejection nor a result \
+                 across the kill",
+                report.phase_load.unanswered
+            ),
+        });
+    }
+
+    // No-lost-ack across the union of shard journals: the kill must not
+    // have eaten anything a client saw acknowledged.
+    let journals: Vec<PathBuf> = (0..config.shards)
+        .map(|s| journal_dir.join(format!("shard-{s}.jsonl")))
+        .collect();
+    report.acked_preserved =
+        check_acked_against_journals(&journals, &acked_before_kill, &mut report.violations);
+
+    // Wait for the router to restore the killed shard (backoff restart +
+    // peer rebuild both happen before its banner).
+    let restore_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let mut fleet = None;
+    while std::time::Instant::now() < restore_deadline {
+        if let Ok(stats) = crate::router::fetch_router_stats(&router_addr) {
+            if stats.shards.iter().all(|r| r.up) && stats.restarts >= 1 {
+                fleet = Some(stats);
+                break;
+            }
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    let Some(fleet) = fleet else {
+        report.violations.push(SoakViolation {
+            invariant: "shard-restart".to_string(),
+            detail: "the killed shard did not come back up within 60 s".to_string(),
+        });
+        send_shutdown(&router_addr);
+        let _ = router_child.wait();
+        let _ = std::fs::remove_dir_all(&scratch);
+        return Ok(report);
+    };
+    report.restarts = fleet.restarts;
+    report.redispatched = fleet.redispatched;
+
+    // Disk-warm gate: the restarted shard must have pulled artifacts from
+    // its peers, not come back cold.
+    let killed_addr = fleet
+        .shards
+        .iter()
+        .find(|r| r.shard == killed_shard)
+        .and_then(|r| r.addr.clone());
+    match killed_addr.as_deref().map(fetch_stats) {
+        Some(Ok(stats)) => {
+            report.fetched_artifacts = stats.fetched_artifacts;
+            if stats.fetched_artifacts == 0 {
+                report.violations.push(SoakViolation {
+                    invariant: "peer-rebuild".to_string(),
+                    detail: "the restarted shard fetched zero artifacts from \
+                             its peers"
+                        .to_string(),
+                });
+            }
+        }
+        _ => report.violations.push(SoakViolation {
+            invariant: "peer-rebuild".to_string(),
+            detail: "cannot fetch stats from the restarted shard".to_string(),
+        }),
+    }
+
+    // Warm replay of exactly the pre-kill acked mix: the fleet must serve
+    // it all from disk — zero profiles or baselines built from scratch.
+    let mut pairs: Vec<(String, String)> = acked_before_kill
+        .iter()
+        .map(|a| (a.app.clone(), a.scheme.clone()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    pairs.sort();
+    let builds_before = fleet_builds(&fleet);
+    let mut warm_config = load_config.clone();
+    warm_config.pairs = pairs.clone();
+    warm_config.requests_per_client = (pairs.len() * 2).clamp(4, 64);
+    warm_config.seed = config.seed.wrapping_add(1);
+    let warm_outcome = run_loadgen(&warm_config)?;
+    report.phase_warm = warm_outcome.report.clone();
+    if report.phase_warm.unanswered > 0 {
+        report.violations.push(SoakViolation {
+            invariant: "accounting".to_string(),
+            detail: format!(
+                "{} warm-phase submissions got neither a rejection nor a result",
+                report.phase_warm.unanswered
+            ),
+        });
+    }
+    let builds_after = match crate::router::fetch_router_stats(&router_addr) {
+        Ok(stats) => fleet_builds(&stats),
+        Err(_) => builds_before,
+    };
+    report.resimulated = builds_after.saturating_sub(builds_before);
+    if report.resimulated > 0 {
+        report.violations.push(SoakViolation {
+            invariant: "no-resimulation".to_string(),
+            detail: format!(
+                "{} profiles/baselines were rebuilt from scratch while \
+                 replaying cells journaled Ok before the kill",
+                report.resimulated
+            ),
+        });
+    }
+
+    // Bit-identical oracle: a fresh single-process server running the same
+    // mix must produce exactly the same metrics per (app, scheme).
+    let oracle_args: Vec<String> = [
+        "serve",
+        "--port",
+        "0",
+        "--trace-len",
+        &trace_len.to_string(),
+        "--workers",
+        &workers.to_string(),
+        "--queue",
+        "64",
+        "--rate",
+        &admission_rate.to_string(),
+        "--burst",
+        &admission_rate.to_string(),
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain([
+        "--journal".to_string(),
+        scratch.join("oracle.jsonl").to_string_lossy().into_owned(),
+        "--store-dir".to_string(),
+        scratch.join("oracle-store").to_string_lossy().into_owned(),
+    ])
+    .collect();
+    let oracle = spawn_banner_child(&binary, &oracle_args)?;
+    let mut oracle_child = oracle.child;
+    let mut oracle_config = warm_config.clone();
+    oracle_config.addrs = vec![oracle.addr.clone()];
+    let oracle_outcome = run_loadgen(&oracle_config)?;
+    report.phase_single = oracle_outcome.report.clone();
+    let mut sharded_metrics = std::collections::HashMap::new();
+    for cell in warm_outcome
+        .acked
+        .iter()
+        .filter(|a| a.degraded == 0 && a.metrics.is_some())
+    {
+        sharded_metrics.insert(
+            (cell.app.clone(), cell.scheme.clone()),
+            cell.metrics.clone(),
+        );
+    }
+    for cell in oracle_outcome
+        .acked
+        .iter()
+        .filter(|a| a.degraded == 0 && a.metrics.is_some())
+    {
+        let key = (cell.app.clone(), cell.scheme.clone());
+        if let Some(sharded) = sharded_metrics.get(&key) {
+            report.oracle_compared += 1;
+            if *sharded != cell.metrics {
+                report.oracle_mismatches += 1;
+                report.violations.push(SoakViolation {
+                    invariant: "bit-identical".to_string(),
+                    detail: format!(
+                        "cell {}:{} differs between the sharded fleet and a \
+                         single-process run of the same mix",
+                        key.0, key.1
+                    ),
+                });
+            }
+        }
+    }
+    if report.oracle_compared == 0 {
+        report.violations.push(SoakViolation {
+            invariant: "bit-identical".to_string(),
+            detail: "no cell could be compared against the single-process \
+                     oracle"
+                .to_string(),
+        });
+    }
+    send_shutdown(&oracle.addr);
+    let _ = oracle_child.wait();
+
+    // Failover p99 gate, when asked for.
+    if let Some(ceiling) = config.max_p99_ms {
+        if report.failover_p99_ms > ceiling {
+            report.violations.push(SoakViolation {
+                invariant: "failover-p99".to_string(),
+                detail: format!(
+                    "p99 across the kill was {:.1} ms against a {ceiling:.1} ms \
+                     ceiling",
+                    report.failover_p99_ms
+                ),
+            });
+        }
+    }
+
+    // Graceful fleet drain: shards checkpoint and exit 9, then the router
+    // exits 9.
+    send_shutdown(&router_addr);
+    let status = router_child
+        .wait()
+        .map_err(|e| BenchError::Io(format!("cannot wait for router child: {e}")))?;
+    report.router_exit_code = status.code();
+    if status.code() != Some(9) {
+        report.violations.push(SoakViolation {
+            invariant: "graceful-drain".to_string(),
+            detail: format!(
+                "expected router exit code 9 after a graceful drain, got {:?}",
+                status.code()
+            ),
+        });
+    }
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +1124,9 @@ mod tests {
             app: "Acrobat".into(),
             scheme: "critic".into(),
             status: critic_core::campaign::CellStatus::Ok,
+            acked_at_ms: 0,
+            degraded: 0,
+            metrics: None,
         }];
         let mut violations = Vec::new();
         let preserved = check_acked_against_journal(&journal, &acked, &mut violations);

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use critic_bench::loadgen::{run_loadgen, LoadgenConfig};
 use critic_bench::serve::{self, Reply};
-use critic_bench::soak::{run_soak, SoakConfig};
+use critic_bench::soak::{run_sharded_soak, run_soak, ShardedSoakConfig, SoakConfig};
 use critic_core::service::{CampaignService, ServiceConfig};
 use critic_obs::Telemetry;
 
@@ -38,8 +38,14 @@ fn with_server(
     let service = Arc::new(service);
     let thread_service = Arc::clone(&service);
     let thread_shutdown = Arc::clone(&shutdown);
-    let server =
-        std::thread::spawn(move || serve::serve_on(listener, &thread_service, &thread_shutdown));
+    let server = std::thread::spawn(move || {
+        serve::serve_on(
+            listener,
+            &thread_service,
+            &thread_shutdown,
+            &serve::ShardContext::default(),
+        )
+    });
     body(&addr);
     shutdown.store(true, Ordering::SeqCst);
     let summary = server.join().expect("server thread panicked");
@@ -157,6 +163,132 @@ fn overloaded_server_rejects_with_retry_hints_instead_of_queueing() {
 }
 
 #[test]
+fn shard_wire_verbs_answer_heartbeat_fetch_and_index() {
+    let (_service, _summary) = with_server(tiny_service(256), |addr| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut line = String::new();
+
+        stream
+            .write_all(b"{\"heartbeat\":true}\n")
+            .expect("write heartbeat");
+        reader.read_line(&mut line).expect("read heartbeat reply");
+        let Some(Reply::Heartbeat(beat)) = serve::parse_reply(&line) else {
+            panic!("expected heartbeat_reply, got {line:?}");
+        };
+        assert_eq!(beat.shard, None, "no --shard flag, no shard id");
+        assert!(!beat.draining);
+
+        // No persistent store behind this service: the index is empty and
+        // any fetch answers found:false — a rebuilding peer just moves on.
+        line.clear();
+        stream
+            .write_all(b"{\"list_artifacts\":true}\n")
+            .expect("write list");
+        reader.read_line(&mut line).expect("read index");
+        let Some(Reply::ArtifactIndex(index)) = serve::parse_reply(&line) else {
+            panic!("expected artifact_index, got {line:?}");
+        };
+        assert!(index.is_empty());
+
+        line.clear();
+        stream
+            .write_all(b"{\"fetch_artifact\":{\"class\":\"profile\",\"key\":42}}\n")
+            .expect("write fetch");
+        reader.read_line(&mut line).expect("read artifact");
+        let Some(Reply::Artifact(body)) = serve::parse_reply(&line) else {
+            panic!("expected artifact reply, got {line:?}");
+        };
+        assert!(!body.found);
+        assert!(body.payload.is_none());
+    });
+}
+
+#[test]
+fn peer_rebuild_pulls_artifacts_crc_checked() {
+    let scratch = std::env::temp_dir().join(format!("critic_rebuild_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Server A: disk-backed, runs one cell so its store holds a profile
+    // and a baseline.
+    let mut config = ServiceConfig::new(400);
+    config.workers = 1;
+    config.queue_capacity = 16;
+    config.admission_rate = 0;
+    config.breaker_threshold = 0;
+    config.telemetry = Telemetry::off();
+    config.store_dir = Some(scratch.join("a"));
+    let service_a = CampaignService::open(config).expect("service A opens");
+    let (_service_a, _summary) = with_server(service_a, |addr| {
+        let mut config = LoadgenConfig::new(addr);
+        config.clients = 1;
+        config.requests_per_client = 2;
+        config.rate = 64.0;
+        let outcome = run_loadgen(&config).expect("loadgen runs");
+        assert_eq!(outcome.report.done, 2, "seed cells must complete");
+
+        // Server B: fresh disk in the same fleet, rebuilds from A.
+        let mut config = ServiceConfig::new(400);
+        config.telemetry = Telemetry::off();
+        config.store_dir = Some(scratch.join("b"));
+        let service_b = CampaignService::open(config).expect("service B opens");
+        let fetched = std::sync::atomic::AtomicU64::new(0);
+        let report = serve::rebuild_from_peers(service_b.store(), &[addr.to_string()], &fetched);
+        assert_eq!(report.peers_consulted, 1);
+        assert!(report.fetched > 0, "B must pull A's artifacts");
+        assert_eq!(report.rejected, 0, "clean payloads never reject");
+        assert_eq!(fetched.load(Ordering::SeqCst), report.fetched);
+
+        // A second rebuild is a no-op: everything is already local.
+        let again = serve::rebuild_from_peers(service_b.store(), &[addr.to_string()], &fetched);
+        assert_eq!(again.fetched, 0, "rebuild is idempotent");
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn loadgen_retries_rejected_cells_with_hints() {
+    // Same shedding setup as the overload test, but with retries armed:
+    // rejected cells come back and the hinted counter proves the client
+    // used the server's retry_after_ms rather than blind backoff.
+    let mut config = ServiceConfig::new(400);
+    config.workers = 1;
+    config.queue_capacity = 2;
+    config.degrade_watermarks = [1, 2, 0];
+    config.admission_rate = 0;
+    config.client_window = 0;
+    config.breaker_threshold = 0;
+    config.telemetry = Telemetry::off();
+    let service = CampaignService::open(config).expect("service opens");
+
+    let (_service, _summary) = with_server(service, |addr| {
+        let mut config = LoadgenConfig::new(addr);
+        config.clients = 4;
+        config.requests_per_client = 8;
+        config.rate = 1_000.0;
+        config.seed = 5;
+        config.retries = 3;
+        let outcome = run_loadgen(&config).expect("loadgen runs");
+        assert_eq!(outcome.report.unanswered, 0, "every request got a verdict");
+        assert!(
+            outcome.report.rejected > 0,
+            "the burst must shed before retries drain it"
+        );
+        assert!(
+            outcome.report.hinted_retries > 0,
+            "server hints must drive the retries: {:?}",
+            outcome.report
+        );
+        // Retries re-submit, so done + finally-rejected can exceed the
+        // original request count; completion of the bulk is the signal.
+        assert!(
+            outcome.report.done > 0,
+            "retries must convert some rejects into completions"
+        );
+    });
+}
+
+#[test]
 fn smoke_soak_survives_sigkill_restart_and_overload() {
     let config = SoakConfig {
         seconds: 4,
@@ -179,4 +311,37 @@ fn smoke_soak_survives_sigkill_restart_and_overload() {
     assert!(report.disk_hits_after_restart > 0);
     assert_eq!(report.server_exit_code, Some(9));
     assert!(report.phase_overload.rejected > 0);
+}
+
+#[test]
+fn sharded_smoke_soak_kills_a_shard_and_rejoins_disk_warm() {
+    let config = ShardedSoakConfig {
+        seconds: 6,
+        clients: 4,
+        rate: 4.0,
+        shards: 3,
+        smoke: true,
+        seed: 7,
+        binary: Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_critic"))),
+        max_p99_ms: None,
+    };
+    let report = run_sharded_soak(&config).expect("sharded soak orchestration runs");
+    assert!(
+        report.ok(),
+        "sharded soak invariants broken: {:?}",
+        report.violations
+    );
+    assert!(report.killed_shard.is_some());
+    assert!(report.acked_before_kill > 0);
+    assert!(
+        report.fetched_artifacts > 0,
+        "the restarted shard must rejoin warm via peer fetch"
+    );
+    assert_eq!(report.resimulated, 0, "nothing acked pre-kill re-simulates");
+    assert_eq!(
+        report.oracle_mismatches, 0,
+        "sharding never changes results"
+    );
+    assert!(report.oracle_compared > 0);
+    assert_eq!(report.router_exit_code, Some(9));
 }

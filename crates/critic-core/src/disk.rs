@@ -92,6 +92,19 @@ impl ArtifactClass {
             ArtifactClass::Baseline => "baseline",
         }
     }
+
+    /// The inverse of [`ArtifactClass::name`], used when a class crosses
+    /// the wire as text (the `fetch_artifact` verb).
+    pub fn parse(name: &str) -> Option<ArtifactClass> {
+        match name {
+            "profile" => Some(ArtifactClass::Profile),
+            "baseline" => Some(ArtifactClass::Baseline),
+            _ => None,
+        }
+    }
+
+    /// Every persistable class, for index walks.
+    pub const ALL: [ArtifactClass; 2] = [ArtifactClass::Profile, ArtifactClass::Baseline];
 }
 
 /// A typed failure of the persistent store tier. Every I/O error carries
@@ -358,6 +371,46 @@ impl DiskStore {
 
     fn file_name(class: ArtifactClass, key: u64) -> String {
         format!("{}-{key:016x}.art", class.name())
+    }
+
+    /// The inverse of the file-name scheme: `profile-00ab....art` →
+    /// `(Profile, 0xab)`. `None` for temp files, quarantined entries, and
+    /// anything else living in the directory.
+    pub fn parse_entry_name(name: &str) -> Option<(ArtifactClass, u64)> {
+        let stem = name.strip_suffix(".art")?;
+        for class in ArtifactClass::ALL {
+            if let Some(hex) = stem
+                .strip_prefix(class.name())
+                .and_then(|s| s.strip_prefix('-'))
+            {
+                if hex.len() == 16 {
+                    if let Ok(key) = u64::from_str_radix(hex, 16) {
+                        return Some((class, key));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether (`class`, `key`) is present in the index (no disk I/O and
+    /// no counter movement — a peer-rebuild pre-check, not a load).
+    pub fn contains(&self, class: ArtifactClass, key: u64) -> bool {
+        let name = DiskStore::file_name(class, key);
+        lock_clean(&self.index).sizes.contains_key(&name)
+    }
+
+    /// Every (`class`, `key`) currently indexed, in deterministic order.
+    /// This is what a shard's `list_artifacts` wire verb serves so a
+    /// rebuilding peer can diff its own index against ours.
+    pub fn entries(&self) -> Vec<(ArtifactClass, u64)> {
+        let mut entries: Vec<(ArtifactClass, u64)> = lock_clean(&self.index)
+            .sizes
+            .keys()
+            .filter_map(|name| DiskStore::parse_entry_name(name))
+            .collect();
+        entries.sort_unstable_by_key(|(class, key)| (class.code(), *key));
+        entries
     }
 
     /// Loads the payload of (`class`, `key`). `Ok(None)` covers both a

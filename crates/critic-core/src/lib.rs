@@ -41,6 +41,7 @@ pub mod error;
 pub mod experiments;
 pub mod journal;
 pub mod keys;
+pub mod ring;
 pub mod runner;
 pub mod service;
 pub mod store;
@@ -55,6 +56,7 @@ pub use disk::{DiskStore, DiskStoreStats, StoreError};
 pub use error::RunError;
 pub use journal::{Journal, JournalError, ReplayedJournal, RunRollup};
 pub use keys::{crc32, stable_key, KEY_FORMAT_VERSION};
+pub use ring::{placement_key, HashRing, DEFAULT_VNODES};
 pub use runner::{RunOutcome, ValidationStats, Workbench};
 pub use service::{
     Breaker, BreakerDecision, CampaignService, ClientWindows, ServiceConfig, SubmitOutcome,

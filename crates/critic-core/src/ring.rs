@@ -1,0 +1,262 @@
+//! The consistent-hash ring behind `critic router`: places every
+//! (app, scheme) cell on one of N shards, stays stable when shards come
+//! and go, and gives the router a deterministic successor order for
+//! failover and peer rebuild.
+//!
+//! Requirements, in order:
+//!
+//! 1. **Deterministic across processes.** The router and every shard must
+//!    agree on placement without talking to each other, so both point and
+//!    key hashes derive from [`crate::keys::stable_key`] — the versioned
+//!    canonical encoding the persistent store is already addressed by —
+//!    finished through a fixed 64-bit mixer. No process-local state, no
+//!    randomness.
+//! 2. **Balanced.** Each shard owns `vnodes` points on the circle
+//!    (default [`DEFAULT_VNODES`]), which bounds the load imbalance at
+//!    roughly `1/sqrt(vnodes)` of the mean — property-tested.
+//! 3. **Minimal disruption.** Adding a shard moves only the keys the new
+//!    shard now owns (~`1/(N+1)` of the space); removing one moves only
+//!    the keys it owned. Both are exact properties of the structure, not
+//!    approximations, and are property-tested as such.
+
+use crate::keys::stable_key;
+
+/// Virtual nodes per shard when the caller does not choose: enough that
+/// the worst shard stays within ~25% of the mean at N <= 16.
+pub const DEFAULT_VNODES: u32 = 128;
+
+/// The placement key of one (app, scheme) cell: the stable artifact key
+/// of the lowercased app name and the scheme name. Case-folded the same
+/// way the service resolves app names, so `Acrobat` and `acrobat` land on
+/// the same shard.
+pub fn placement_key(app: &str, scheme: &str) -> u64 {
+    stable_key(&("placement", app.to_ascii_lowercase(), scheme))
+}
+
+/// SplitMix64 finalizer: spreads the FNV-derived stable key over the
+/// whole circle. Fixed constants — part of the wire contract, never to
+/// change without a key-format version bump.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// One shard's point on the circle for replica `replica`.
+fn point_hash(shard: u32, replica: u32) -> u64 {
+    mix(stable_key(&("ring-point", shard, replica)))
+}
+
+/// A consistent-hash ring over shard indices with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted (point hash, shard) pairs — the circle.
+    points: Vec<(u64, u32)>,
+    /// The distinct shards on the ring, in insertion order.
+    shards: Vec<u32>,
+    /// Virtual nodes per shard.
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Builds a ring over `shards` with `vnodes` points each (0 is
+    /// clamped to 1). Duplicate shard ids are ignored after the first.
+    pub fn new(shards: impl IntoIterator<Item = u32>, vnodes: u32) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut ring = HashRing {
+            points: Vec::new(),
+            shards: Vec::new(),
+            vnodes,
+        };
+        for shard in shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+
+    /// The distinct shards currently on the ring.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Adds `shard`'s points to the circle. A shard already present is a
+    /// no-op, so the ring never double-weights anyone.
+    pub fn add_shard(&mut self, shard: u32) {
+        if self.shards.contains(&shard) {
+            return;
+        }
+        self.shards.push(shard);
+        for replica in 0..self.vnodes {
+            self.points.push((point_hash(shard, replica), shard));
+        }
+        // Sort by hash; ties (astronomically unlikely but possible) break
+        // by shard id so two processes building the same ring agree.
+        self.points.sort_unstable();
+    }
+
+    /// Removes `shard`'s points from the circle.
+    pub fn remove_shard(&mut self, shard: u32) {
+        self.shards.retain(|s| *s != shard);
+        self.points.retain(|(_, s)| *s != shard);
+    }
+
+    /// The index into `points` owning `key`: the first point clockwise
+    /// from the key's position, wrapping at the top of the circle.
+    fn owner_index(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = mix(key);
+        let index = self.points.partition_point(|(point, _)| *point < hash);
+        Some(if index == self.points.len() { 0 } else { index })
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn place(&self, key: u64) -> Option<u32> {
+        self.owner_index(key).map(|i| self.points[i].1)
+    }
+
+    /// Every shard in failover order for `key`: the owner first, then
+    /// each *distinct* shard met walking clockwise. The router forwards
+    /// to the first live entry, so a dead owner's keyspace spills onto
+    /// its ring successors rather than one designated backup.
+    pub fn successors(&self, key: u64) -> Vec<u32> {
+        let Some(start) = self.owner_index(key) else {
+            return Vec::new();
+        };
+        let mut order = Vec::with_capacity(self.shards.len());
+        for offset in 0..self.points.len() {
+            let (_, shard) = self.points[(start + offset) % self.points.len()];
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The shards a rebuilt `shard` should pull artifacts from: every
+    /// other shard, nearest ring-successor of `shard`'s own points first.
+    /// (Those successors absorbed `shard`'s keyspace while it was down,
+    /// so they are the peers most likely to hold what it missed.)
+    pub fn neighbors(&self, shard: u32) -> Vec<u32> {
+        let mut order = Vec::new();
+        for (index, (_, owner)) in self.points.iter().enumerate() {
+            if *owner != shard {
+                continue;
+            }
+            for offset in 1..self.points.len() {
+                let (_, other) = self.points[(index + offset) % self.points.len()];
+                if other != shard {
+                    if !order.contains(&other) {
+                        order.push(other);
+                    }
+                    break;
+                }
+            }
+        }
+        for other in &self.shards {
+            if *other != shard && !order.contains(other) {
+                order.push(*other);
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_golden() {
+        // Two independently built rings agree, and the absolute values
+        // are pinned: a change here is a wire-contract break (router and
+        // shards from different builds would disagree on ownership).
+        let a = HashRing::new(0..3, DEFAULT_VNODES);
+        let b = HashRing::new([2, 0, 1], DEFAULT_VNODES);
+        let key = placement_key("Acrobat", "critic");
+        assert_eq!(a.place(key), b.place(key));
+        let golden: Vec<Option<u32>> = [
+            placement_key("Acrobat", "critic"),
+            placement_key("Angrybirds", "opp16"),
+            placement_key("Browser", "hoist"),
+            placement_key("Facebook", "critic"),
+        ]
+        .iter()
+        .map(|k| a.place(*k))
+        .collect();
+        assert_eq!(golden, vec![Some(2), Some(1), Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn case_folding_matches_the_service_resolver() {
+        assert_eq!(
+            placement_key("Acrobat", "critic"),
+            placement_key("ACROBAT", "critic")
+        );
+        assert_ne!(
+            placement_key("Acrobat", "critic"),
+            placement_key("Acrobat", "opp16")
+        );
+    }
+
+    #[test]
+    fn successors_start_at_the_owner_and_cover_every_shard() {
+        let ring = HashRing::new(0..4, 32);
+        for key in 0..200u64 {
+            let order = ring.successors(key);
+            assert_eq!(order.len(), 4);
+            assert_eq!(Some(order[0]), ring.place(key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn neighbors_exclude_self_and_cover_the_rest() {
+        let ring = HashRing::new(0..3, 16);
+        for shard in 0..3 {
+            let peers = ring.neighbors(shard);
+            assert!(!peers.contains(&shard));
+            let mut sorted = peers.clone();
+            sorted.sort_unstable();
+            let expected: Vec<u32> = (0..3).filter(|s| *s != shard).collect();
+            assert_eq!(sorted, expected);
+        }
+    }
+
+    #[test]
+    fn empty_ring_places_nothing() {
+        let ring = HashRing::new(std::iter::empty(), 8);
+        assert_eq!(ring.place(7), None);
+        assert!(ring.successors(7).is_empty());
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let full = HashRing::new(0..5, 64);
+        let mut reduced = full.clone();
+        reduced.remove_shard(3);
+        for key in 0..2000u64 {
+            let before = full.place(key).unwrap();
+            let after = reduced.place(key).unwrap();
+            if before != 3 {
+                assert_eq!(before, after, "key {key} moved without cause");
+            } else {
+                assert_ne!(after, 3);
+            }
+        }
+    }
+}

@@ -488,6 +488,12 @@ pub struct ServiceConfig {
     pub store_budget: Option<u64>,
     /// Run tag stamped on every journaled record of this server process.
     pub run_tag: Option<u64>,
+    /// Streaming window for cell execution: `Some(n)` runs every cell's
+    /// trace through the chunked streaming pipeline (`n` instructions per
+    /// window, O(window) memory per worker) instead of materializing it.
+    /// `None` keeps the materialized path. Results are bit-identical
+    /// either way.
+    pub stream_window: Option<usize>,
     /// Service-wide telemetry sink.
     pub telemetry: Telemetry,
     /// Systemic-fault injector (soak noise); `None` = no taps.
@@ -515,6 +521,7 @@ impl ServiceConfig {
             store_dir: None,
             store_budget: None,
             run_tag: None,
+            stream_window: None,
             telemetry: Telemetry::from_env(),
             sys: None,
         }
@@ -736,6 +743,13 @@ impl CampaignService {
         self.inner.store.stats()
     }
 
+    /// The service's artifact store — the peer-rebuild wire verbs
+    /// (`fetch_artifact`, `list_artifacts`) serve and ingest persistent
+    /// entries through it.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.inner.store
+    }
+
     /// Graceful drain: refuse new work, finish every queued and in-flight
     /// cell, append the store and telemetry trailers, and write a durable
     /// journal checkpoint. Terminates provided cells do (see
@@ -802,7 +816,7 @@ fn run_submitted(
             inner.config.validate,
             deadline,
             level,
-            None,
+            inner.config.stream_window,
             &inner.store,
             telemetry,
             inner.config.sys.as_ref(),

@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) on the consistent-hash ring behind
+//! `critic router`: placement is a pure function of the key and the
+//! shard set (so independently built routers and shards always agree),
+//! load spreads across shards within a vnode-variance bound, and
+//! growing or shrinking the fleet by one shard remaps only ~1/N of the
+//! keyspace — the property that makes shard restarts cheap.
+
+use std::collections::HashMap;
+
+use critics::core::ring::{placement_key, HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Placement depends only on the *set* of shards, not on
+    /// construction order — two processes that learn the fleet in
+    /// different orders (a router and a rebuilding shard, say) can
+    /// never disagree on an owner.
+    #[test]
+    fn placement_ignores_construction_order(
+        keys in prop::collection::vec(0u64..u64::MAX, 1..64),
+        shards in 1u32..9,
+    ) {
+        let forward = HashRing::new(0..shards, DEFAULT_VNODES);
+        let reverse = HashRing::new((0..shards).rev(), DEFAULT_VNODES);
+        for key in keys {
+            prop_assert_eq!(forward.place(key), reverse.place(key));
+        }
+    }
+
+    /// Rebuilding the same ring twice gives identical placements for
+    /// app × scheme cells — determinism across independent processes,
+    /// on the exact keys the service routes by.
+    #[test]
+    fn placement_is_deterministic_for_cells(
+        app_seed in 0u64..1_000,
+        shards in 1u32..9,
+        vnodes in 16u32..256,
+    ) {
+        let a = HashRing::new(0..shards, vnodes);
+        let b = HashRing::new(0..shards, vnodes);
+        let key = placement_key(&format!("app-{app_seed}"), "critic");
+        prop_assert_eq!(a.place(key), b.place(key));
+        let owner = a.place(key);
+        prop_assert!(owner.is_some_and(|s| s < shards));
+    }
+
+    /// Keys spread over the fleet within a generous vnode-variance
+    /// bound: with 128 vnodes per shard no shard owns more than ~3× or
+    /// less than ~1/5 of its fair share over a few thousand keys.
+    #[test]
+    fn distribution_is_balanced_within_bound(
+        seed in 0u64..1_000,
+        shards in 2u32..7,
+    ) {
+        let ring = HashRing::new(0..shards, DEFAULT_VNODES);
+        let total = 4_000u64;
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        // splitmix64 keys: deterministic, well spread.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for _ in 0..total {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let key = z ^ (z >> 31);
+            let owner = ring.place(key).expect("non-empty ring places");
+            *counts.entry(owner).or_default() += 1;
+        }
+        let fair = total as f64 / shards as f64;
+        for shard in 0..shards {
+            let got = *counts.get(&shard).unwrap_or(&0) as f64;
+            prop_assert!(
+                got < fair * 3.0,
+                "shard {} owns {} of {} keys, over 3x the fair share {:.0}",
+                shard, got, total, fair
+            );
+            prop_assert!(
+                got > fair / 5.0,
+                "shard {} owns {} of {} keys, under a fifth of the fair share {:.0}",
+                shard, got, total, fair
+            );
+        }
+    }
+
+    /// Adding one shard steals keys *only* for the new shard, and not
+    /// many more than its fair 1/(N+1) share — everything else keeps
+    /// its owner, which is what lets a router grow (or restart) a shard
+    /// without invalidating the rest of the fleet's disk state.
+    #[test]
+    fn adding_a_shard_remaps_only_its_share(
+        seed in 0u64..1_000,
+        shards in 2u32..7,
+    ) {
+        let before = HashRing::new(0..shards, DEFAULT_VNODES);
+        let after = HashRing::new(0..shards + 1, DEFAULT_VNODES);
+        let total = 4_000u64;
+        let mut moved = 0u64;
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+        for _ in 0..total {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let key = z ^ (z >> 31);
+            let old = before.place(key);
+            let new = after.place(key);
+            if old != new {
+                moved += 1;
+                // A key only ever moves TO the added shard.
+                prop_assert_eq!(new, Some(shards));
+            }
+        }
+        let fair = total as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) < fair * 3.0,
+            "{} of {} keys moved when adding shard {}; fair share is {:.0}",
+            moved, total, shards, fair
+        );
+        prop_assert!(moved > 0, "the added shard captured nothing");
+    }
+
+    /// Removing a shard is the mirror image: only the dead shard's keys
+    /// move, and they land on ring successors — the router's reroute
+    /// rule during an outage.
+    #[test]
+    fn removing_a_shard_moves_only_its_keys(
+        seed in 0u64..1_000,
+        shards in 2u32..7,
+        victim in 0u32..7,
+    ) {
+        prop_assume!(victim < shards);
+        let full = HashRing::new(0..shards, DEFAULT_VNODES);
+        let reduced = HashRing::new((0..shards).filter(|&s| s != victim), DEFAULT_VNODES);
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(13);
+        for _ in 0..2_000 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let key = z ^ (z >> 31);
+            let old = full.place(key);
+            let new = reduced.place(key);
+            if old == Some(victim) {
+                // The victim's keys land on the live successor the full
+                // ring would have tried next.
+                let successors = full.successors(key);
+                let fallback = successors.into_iter().find(|&s| s != victim);
+                prop_assert_eq!(new, fallback);
+            } else {
+                // Everyone else's keys stay put.
+                prop_assert_eq!(new, old);
+            }
+        }
+    }
+}

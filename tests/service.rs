@@ -5,9 +5,10 @@
 //! interleave with it at random.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use critics::core::campaign::{CellRecord, CellStatus};
 use critics::core::service::{
     CampaignService, ServiceConfig, SubmitOutcome, TokenBucket, WorkPool,
 };
@@ -247,5 +248,63 @@ proptest! {
         prop_assert_eq!(service.queue_depth(), 0);
         prop_assert_eq!(service.in_flight(), 0);
         prop_assert_eq!(service.responded(), accepted as u64);
+    }
+}
+
+/// The server's `--stream-window` knob reaches `run_service_attempt`
+/// and is a pure memory bound: a service simulating through a small
+/// bounded window produces bit-identical cell metrics to one that
+/// materializes every trace in full.
+#[test]
+fn stream_windowed_service_matches_materialized_metrics() {
+    let run = |window: Option<usize>| {
+        let mut config = ServiceConfig::new(300);
+        config.workers = 1;
+        config.queue_capacity = 8;
+        config.admission_rate = 0;
+        config.client_window = 0;
+        config.breaker_threshold = 0;
+        config.telemetry = Telemetry::off();
+        config.stream_window = window;
+        let service = CampaignService::open(config).expect("in-memory service opens");
+        let records: Arc<Mutex<Vec<CellRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        for (index, (app, scheme)) in [("Acrobat", "critic"), ("Browser", "opp16")]
+            .into_iter()
+            .enumerate()
+        {
+            let sink = Arc::clone(&records);
+            let outcome = service.submit(index as u64, app, scheme, None, move |record| {
+                sink.lock().unwrap().push(record);
+            });
+            assert!(matches!(outcome, SubmitOutcome::Accepted));
+        }
+        service.drain();
+        let mut records = Arc::try_unwrap(records)
+            .expect("drain returned all callbacks")
+            .into_inner()
+            .unwrap();
+        records.sort_by(|a, b| {
+            (a.app.as_str(), a.scheme.as_str()).cmp(&(b.app.as_str(), b.scheme.as_str()))
+        });
+        records
+    };
+    let streamed = run(Some(64));
+    let materialized = run(None);
+    assert_eq!(streamed.len(), 2);
+    assert_eq!(materialized.len(), 2);
+    for (s, m) in streamed.iter().zip(&materialized) {
+        assert_eq!(
+            s.status,
+            CellStatus::Ok,
+            "{}/{} did not complete",
+            s.app,
+            s.scheme
+        );
+        assert!(s.metrics.is_some(), "{}/{} has no metrics", s.app, s.scheme);
+        assert_eq!(
+            s.metrics, m.metrics,
+            "stream window changed {}/{} metrics",
+            s.app, s.scheme
+        );
     }
 }
